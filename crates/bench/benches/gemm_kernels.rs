@@ -1,0 +1,77 @@
+//! Criterion microbenchmarks of the three GEMM kernels at three sparsity
+//! points — the software analogue of the paper's Table I comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panacea_bitslice::{SlicedActivation, SlicedWeight};
+use panacea_core::aqs::aqs_gemm;
+use panacea_core::dense::dense_gemm;
+use panacea_core::sibia::{sibia_gemm, SkipSide};
+use panacea_quant::dbs::DbsType;
+use panacea_tensor::Matrix;
+use rand::Rng;
+
+const M: usize = 64;
+const K: usize = 128;
+const N: usize = 64;
+const R: u8 = 9;
+
+fn operands(sparse: f64, seed: u64) -> (Matrix<i32>, Matrix<i32>, Matrix<i32>) {
+    let mut rng = panacea_tensor::seeded_rng(seed);
+    let w = Matrix::from_fn(M, K, |_, _| {
+        if rng.gen::<f64>() < sparse {
+            rng.gen_range(-7i32..=7)
+        } else {
+            rng.gen_range(-64i32..64)
+        }
+    });
+    let x_asym = Matrix::from_fn(K, N, |_, _| {
+        if rng.gen::<f64>() < sparse {
+            (i32::from(R) << 4) | rng.gen_range(0..16)
+        } else {
+            rng.gen_range(0i32..256)
+        }
+    });
+    let x_sym = Matrix::from_fn(K, N, |_, _| {
+        if rng.gen::<f64>() < sparse {
+            rng.gen_range(-7i32..=7)
+        } else {
+            rng.gen_range(-64i32..64)
+        }
+    });
+    (w, x_asym, x_sym)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_kernels");
+    for &sparse in &[0.0f64, 0.5, 0.95] {
+        let (w, x_asym, x_sym) = operands(sparse, 7);
+        let sw = SlicedWeight::from_int(&w, 1).expect("weights");
+        let sx = SlicedActivation::from_uint(&x_asym, 1, DbsType::Type1).expect("acts");
+        let sx_sym = SlicedWeight::from_int(&x_sym, 1).expect("sym acts");
+
+        group.bench_with_input(BenchmarkId::new("dense", sparse), &sparse, |b, _| {
+            b.iter(|| dense_gemm(&w, &x_asym, 8, 8).expect("shapes"))
+        });
+        group.bench_with_input(BenchmarkId::new("sibia", sparse), &sparse, |b, _| {
+            b.iter(|| sibia_gemm(&sw, &sx_sym, SkipSide::Activation))
+        });
+        group.bench_with_input(BenchmarkId::new("aqs", sparse), &sparse, |b, _| {
+            b.iter(|| aqs_gemm(&sw, &sx, R))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the PTQ front-end: calibration (with ZPM/DBS)
+//! and element-wise quantization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use panacea_quant::dbs::DbsConfig;
+use panacea_quant::{ActivationCalibrator, AsymmetricQuantizer, Quantizer, SymmetricQuantizer};
+use panacea_tensor::dist::DistributionKind;
+
+fn bench_quantizers(c: &mut Criterion) {
+    let mut rng = panacea_tensor::seeded_rng(5);
+    let batch = DistributionKind::TransformerAct {
+        core_mean: 0.1,
+        core_std: 0.5,
+        pos_scale: 10.0,
+        neg_scale: 6.0,
+        outlier_frac: 0.01,
+    }
+    .sample_matrix(256, 256, &mut rng);
+
+    c.bench_function("calibrate_base", |b| {
+        b.iter(|| {
+            let mut cal = ActivationCalibrator::new(8);
+            cal.observe(&batch);
+            cal.finalize()
+        })
+    });
+    c.bench_function("calibrate_zpm_dbs", |b| {
+        b.iter(|| {
+            let mut cal =
+                ActivationCalibrator::new(8).with_zpm(true).with_dbs(DbsConfig::default());
+            cal.observe(&batch);
+            cal.finalize()
+        })
+    });
+
+    let asym = AsymmetricQuantizer::calibrate(batch.as_slice(), 8);
+    let sym = SymmetricQuantizer::calibrate(batch.as_slice(), 8);
+    c.bench_function("quantize_asym_64k", |b| b.iter(|| asym.quantize_matrix(&batch)));
+    c.bench_function("quantize_sym_64k", |b| b.iter(|| sym.quantize_matrix(&batch)));
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_quantizers
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the run-length codec at varying compressed
+//! fractions (what the IDXD decodes every tile).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panacea_bitslice::{ActVector, RleStream};
+use rand::Rng;
+
+fn vectors(sparse: f64, n: usize, r: u8, seed: u64) -> Vec<ActVector> {
+    let mut rng = panacea_tensor::seeded_rng(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen::<f64>() < sparse {
+                ActVector([r; 4])
+            } else {
+                ActVector([
+                    rng.gen_range(0..16),
+                    rng.gen_range(0..16),
+                    rng.gen_range(0..16),
+                    rng.gen_range(0..16),
+                ])
+            }
+        })
+        .collect()
+}
+
+fn bench_rle(c: &mut Criterion) {
+    let r = 10u8;
+    let mut group = c.benchmark_group("rle_codec");
+    for &sparse in &[0.1f64, 0.5, 0.95] {
+        let vs = vectors(sparse, 4096, r, 3);
+        group.bench_with_input(BenchmarkId::new("encode", sparse), &sparse, |b, _| {
+            b.iter(|| RleStream::encode(&vs, |v| v.is_uniform(r)))
+        });
+        let stream = RleStream::encode(&vs, |v| v.is_uniform(r));
+        group.bench_with_input(BenchmarkId::new("decode", sparse), &sparse, |b, _| {
+            b.iter(|| stream.decode())
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_rle
+}
+criterion_main!(benches);

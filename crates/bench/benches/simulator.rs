@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the accelerator models themselves: cost of
+//! simulating one layer and one full benchmark model on each design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use panacea_sim::arch::{HardwareBudget, PanaceaConfig};
+use panacea_sim::baselines::{SibiaSim, SystolicFlow, SystolicSim};
+use panacea_sim::panacea::PanaceaSim;
+use panacea_sim::workload::LayerWork;
+use panacea_sim::{simulate_model, Accelerator};
+
+fn layer() -> LayerWork {
+    LayerWork {
+        name: "fc".into(),
+        m: 2560,
+        k: 2560,
+        n: 2048,
+        count: 32,
+        w_planes: 2,
+        x_planes: 2,
+        rho_w: 0.5,
+        rho_x: 0.95,
+    }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let pan = PanaceaSim::new(PanaceaConfig::default());
+    let sibia = SibiaSim::new(HardwareBudget::default());
+    let ws = SystolicSim::new(SystolicFlow::WeightStationary, HardwareBudget::default());
+    let l = layer();
+
+    c.bench_function("panacea_layer", |b| b.iter(|| pan.simulate(&l)));
+    c.bench_function("sibia_layer", |b| b.iter(|| sibia.simulate(&l)));
+    c.bench_function("saws_layer", |b| b.iter(|| ws.simulate(&l)));
+
+    let model: Vec<LayerWork> = (0..16).map(|_| layer()).collect();
+    c.bench_function("panacea_model_16_layers", |b| {
+        b.iter(|| simulate_model(&pan, &model, 400.0))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_simulator
+}
+criterion_main!(benches);

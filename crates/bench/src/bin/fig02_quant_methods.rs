@@ -1,0 +1,55 @@
+//! Fig. 2 — symmetric vs asymmetric uniform quantization of a one-sided
+//! tensor: range utilization and reconstruction error.
+
+use panacea_bench::{emit, f3};
+use panacea_quant::{AsymmetricQuantizer, Quantizer, SymmetricQuantizer};
+use panacea_tensor::{dist::DistributionKind, stats};
+
+fn main() {
+    let mut rng = panacea_tensor::seeded_rng(2);
+    // A typical asymmetric activation tensor: one-sided with a small
+    // negative lobe (post-GELU-like).
+    let x = DistributionKind::AsymmetricGaussian { mean: 0.6, std: 0.35, skew: 0.08 }
+        .sample_matrix(256, 256, &mut rng);
+
+    let sym = SymmetricQuantizer::calibrate(x.as_slice(), 8);
+    let asym = AsymmetricQuantizer::calibrate(x.as_slice(), 8);
+
+    let sym_codes: Vec<i32> = x.iter().map(|&v| sym.quantize(v)).collect();
+    let asym_codes: Vec<i32> = x.iter().map(|&v| asym.quantize(v)).collect();
+    let used = |codes: &[i32]| {
+        let mut seen = std::collections::HashSet::new();
+        seen.extend(codes.iter().copied());
+        seen.len()
+    };
+    let mse_of = |q: &dyn Quantizer, codes: &[i32]| {
+        let deq: Vec<f32> = codes.iter().map(|&c| q.dequantize(c)).collect();
+        stats::mse(x.as_slice(), &deq)
+    };
+
+    let rows = vec![
+        vec![
+            "symmetric (Eq. 1)".to_string(),
+            format!("{}", sym.params().zero_point),
+            f3(f64::from(sym.params().scale)),
+            format!("{}/256", used(&sym_codes)),
+            format!("{:.2e}", mse_of(&sym, &sym_codes)),
+        ],
+        vec![
+            "asymmetric (Eq. 2)".to_string(),
+            format!("{}", asym.params().zero_point),
+            f3(f64::from(asym.params().scale)),
+            format!("{}/256", used(&asym_codes)),
+            format!("{:.2e}", mse_of(&asym, &asym_codes)),
+        ],
+    ];
+    emit(
+        "Fig. 2 — uniform quantization of a one-sided activation tensor (8-bit)",
+        &["scheme", "zero-point", "scale", "codes used", "MSE"],
+        &rows,
+    );
+    println!(
+        "Paper shape: asymmetric uses the full unsigned range (more codes) and\n\
+         achieves lower reconstruction error on one-sided data."
+    );
+}

@@ -1,0 +1,72 @@
+//! Fig. 8 — zero-point manipulation on an OPT-2.7B FC-layer-like
+//! activation distribution: skip-range coverage without vs with ZPM
+//! (the paper reports 68% → 98% for `zp = 161`).
+
+use panacea_bench::{emit, pct};
+use panacea_quant::zpm::{frequent_slice_without_zpm, manipulate_zero_point};
+use panacea_quant::{AsymmetricQuantizer, Quantizer};
+use panacea_tensor::dist::DistributionKind;
+use panacea_tensor::stats::Histogram;
+
+fn main() {
+    let mut rng = panacea_tensor::seeded_rng(8);
+    // OPT FC-layer regime: tight near-zero core with rare outliers that
+    // stretch the quantization range asymmetrically so the calibrated
+    // zero-point lands mid-range (the paper's example: zp = 161).
+    let mut x = DistributionKind::Gaussian { mean: 0.0, std: 0.012 }
+        .sample_matrix(256, 256, &mut rng)
+        .into_vec();
+    x.push(-2.5); // outlier pinning min
+    x.push(1.5); // outlier pinning max
+    let q = AsymmetricQuantizer::calibrate(&x, 8);
+    let zp = q.params().zero_point;
+
+    let mut hist = Histogram::new(0, 255);
+    for &v in &x {
+        hist.record(q.quantize(v));
+    }
+
+    // Without ZPM: skip range of r = zp_HO.
+    let r0 = frequent_slice_without_zpm(zp, 4);
+    let lo0 = i32::from(r0) << 4;
+    let cov0 = hist.fraction_in(lo0, lo0 + 15);
+
+    // With ZPM (Eq. 7): re-quantize with the manipulated zero-point.
+    let z = manipulate_zero_point(zp, 8, 4);
+    let q1 = q.with_zero_point(z.zero_point);
+    let mut hist1 = Histogram::new(0, 255);
+    for &v in &x {
+        hist1.record(q1.quantize(v));
+    }
+    let cov1 = hist1.fraction_in(z.skip_lo, z.skip_hi);
+
+    let rows = vec![
+        vec![
+            "without ZPM".to_string(),
+            format!("{zp}"),
+            format!("{r0:04b}"),
+            format!("[{lo0}, {}]", lo0 + 15),
+            pct(cov0),
+        ],
+        vec![
+            "with ZPM (Eq. 7)".to_string(),
+            format!("{}", z.zero_point),
+            format!("{:04b}", z.frequent_ho_slice),
+            format!("[{}, {}]", z.skip_lo, z.skip_hi),
+            pct(cov1),
+        ],
+    ];
+    emit(
+        "Fig. 8 — ZPM on an OPT-2.7B-like FC activation (8-bit, l = 4)",
+        &["configuration", "zero-point", "r", "skip range", "coverage"],
+        &rows,
+    );
+    println!(
+        "Paper shape: moving zp to the centre of its skip range raises the\n\
+         slice-level coverage from ~68% to ~98% (paper: 68% -> 98%).\n\
+         Measured here: {} -> {}.",
+        pct(cov0),
+        pct(cov1)
+    );
+    assert!(cov1 >= cov0, "ZPM must not reduce coverage");
+}

@@ -1,0 +1,82 @@
+//! Figs. 9–10 — distribution-based bit-slicing: type classification by
+//! `std × z` against the z-score table, the per-type slicing rules, and
+//! the sparsity gain on progressively wider distributions.
+
+use panacea_bench::{emit, pct};
+use panacea_bitslice::{sparsity, SlicedActivation};
+use panacea_quant::dbs::{dbs_slices, DbsConfig, DbsType};
+use panacea_quant::{ActivationCalibrator, Quantizer};
+use panacea_tensor::dist::DistributionKind;
+
+fn main() {
+    // --- Fig. 10: the slicing rules on the paper's example value.
+    let example = 0b0101_0101;
+    let rows: Vec<Vec<String>> = DbsType::all()
+        .iter()
+        .map(|&ty| {
+            let (ho, lo) = dbs_slices(example, ty);
+            vec![
+                format!("{ty}"),
+                format!("l = {}", ty.lo_bits()),
+                format!("{ho:04b}"),
+                format!("{lo:04b}"),
+                format!("<< {}", ty.lo_shift()),
+                format!("{}", 1 << ty.lo_bits()),
+            ]
+        })
+        .collect();
+    emit(
+        "Fig. 10 — DBS slicing rules applied to 01010101b",
+        &["type", "LO width", "HO cont.", "LO cont.", "S-ACC shift", "skip-range width"],
+        &rows,
+    );
+
+    // --- Fig. 9: classification and sparsity across distribution widths.
+    let mut rows = Vec::new();
+    for &(label, std) in &[
+        ("narrow", 0.01f32),
+        ("medium", 0.035),
+        ("wide", 0.08),
+        ("very wide", 0.20),
+    ] {
+        let mut rng = panacea_tensor::seeded_rng(9);
+        let mut data = DistributionKind::Gaussian { mean: 0.0, std }
+            .sample_matrix(128, 128, &mut rng)
+            .into_vec();
+        data.push(-1.0);
+        data.push(1.0);
+
+        let sparsity_of = |dbs: Option<DbsConfig>| -> (DbsType, f64) {
+            let mut cal = ActivationCalibrator::new(8).with_zpm(true);
+            if let Some(cfg) = dbs {
+                cal = cal.with_dbs(cfg);
+            }
+            cal.observe_slice(&data);
+            let cfg = cal.finalize();
+            let mut codes: Vec<i32> = data.iter().map(|&v| cfg.quantizer.quantize(v)).collect();
+            codes.truncate(codes.len() / 4 * 4);
+            let m = panacea_tensor::Matrix::from_vec(codes.len() / 4, 4, codes).expect("shape");
+            let sx = SlicedActivation::from_uint(&m, 1, cfg.dbs_type).expect("codes");
+            (cfg.dbs_type, sparsity::act_slice_sparsity(sx.ho(), cfg.frequent_ho_slice))
+        };
+        let (_, s_off) = sparsity_of(None);
+        let (ty, s_on) = sparsity_of(Some(DbsConfig::default()));
+        rows.push(vec![
+            label.to_string(),
+            format!("{std}"),
+            format!("{ty}"),
+            pct(s_off),
+            pct(s_on),
+            format!("{:+.1}%p", (s_on - s_off) * 100.0),
+        ]);
+    }
+    emit(
+        "Fig. 9 — DBS classification and HO slice sparsity gain",
+        &["distribution", "std", "DBS type", "sparsity (l=4)", "sparsity (DBS)", "gain"],
+        &rows,
+    );
+    println!(
+        "Paper shape: wider distributions are classified type-2/3 and recover\n\
+         high slice sparsity (paper: +20% average, >50% on some layers)."
+    );
+}

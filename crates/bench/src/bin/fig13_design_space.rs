@@ -1,0 +1,75 @@
+//! Fig. 13 — Panacea throughput across the (ρ_w, ρ_x) design space for
+//! both operator splits (4 DWO + 8 SWO vs 8 DWO + 4 SWO), with and
+//! without DTP, for a small and a large GEMM, against SA-WS / SA-OS /
+//! SIMD.
+
+use panacea_bench::{emit, ratio, ComparisonSet};
+use panacea_sim::arch::PanaceaConfig;
+use panacea_sim::panacea::PanaceaSim;
+use panacea_sim::workload::LayerWork;
+use panacea_sim::simulate_model;
+
+fn layer(m: usize, k: usize, n: usize, rho_w: f64, rho_x: f64) -> LayerWork {
+    LayerWork {
+        name: format!("gemm{m}x{k}x{n}"),
+        m,
+        k,
+        n,
+        count: 1,
+        w_planes: 2,
+        x_planes: 2,
+        rho_w,
+        rho_x,
+    }
+}
+
+fn main() {
+    let set = ComparisonSet::default_set();
+    let clock = set.budget().clock_mhz;
+    let sizes = [(512usize, 512usize, 512usize), (2048, 2048, 2048)];
+    let splits = [(4usize, 8usize), (8, 4)];
+
+    for (dwo, swo) in splits {
+        for (m, k, n) in sizes {
+            let mut rows = Vec::new();
+            for rho in [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0] {
+                let l = vec![layer(m, k, n, rho, rho)];
+                let mk = |dtp: bool| {
+                    PanaceaSim::new(PanaceaConfig {
+                        dwo_per_pea: dwo,
+                        swo_per_pea: swo,
+                        dtp,
+                        ..PanaceaConfig::default()
+                    })
+                };
+                let p_no = simulate_model(&mk(false), &l, clock);
+                let p_dtp = simulate_model(&mk(true), &l, clock);
+                let ws = simulate_model(&set.sa_ws, &l, clock);
+                let os = simulate_model(&set.sa_os, &l, clock);
+                let simd = simulate_model(&set.simd, &l, clock);
+                rows.push(vec![
+                    format!("{rho:.2}"),
+                    format!("{:.2}", p_no.tops),
+                    format!("{:.2}", p_dtp.tops),
+                    format!("{:.2}", ws.tops),
+                    format!("{:.2}", os.tops),
+                    format!("{:.2}", simd.tops),
+                    ratio(p_dtp.tops / simd.tops),
+                ]);
+            }
+            emit(
+                &format!(
+                    "Fig. 13 — throughput (TOPS), {dwo} DWO + {swo} SWO per PEA, GEMM {m}x{k}x{n}"
+                ),
+                &["rho_w=rho_x", "Pan (no DTP)", "Pan (DTP)", "SA-WS", "SA-OS", "SIMD", "Pan/SIMD"],
+                &rows,
+            );
+        }
+    }
+    println!(
+        "Paper shape: Panacea trails the dense designs at low sparsity, overtakes\n\
+         them past mid sparsity (paper: up to 3.7x/3.35x/3.14x vs SA-WS/SA-OS/SIMD),\n\
+         DTP lifts the high-sparsity plateau (paper: +1.11x), and the 8-DWO split\n\
+         narrows the dense gap but saturates earlier without DTP."
+    );
+}

@@ -1,0 +1,64 @@
+//! Fig. 14 — (a) per-layer activation HO vector sparsity of DeiT-base
+//! under the previous bit-slice GEMM vs AQS-GEMM (+ ZPM/DBS);
+//! (b) weight/activation HO vector sparsity of Sibia vs Panacea across
+//! DeiT-base, BERT-base and GPT-2.
+
+use panacea_bench::{emit, pct};
+use panacea_models::{profile_model, ProfileOptions};
+use panacea_models::zoo::Benchmark;
+
+fn main() {
+    // --- (a) per-layer, DeiT-base.
+    let deit = Benchmark::DeitBase.spec();
+    let base = profile_model(&deit, &ProfileOptions::baseline());
+    let opt = profile_model(&deit, &ProfileOptions::default());
+    let rows: Vec<Vec<String>> = base
+        .iter()
+        .zip(&opt)
+        .map(|(b, o)| {
+            vec![
+                b.spec.name.clone(),
+                pct(b.rho_x_zero_only),
+                pct(b.rho_x),
+                pct(o.rho_x),
+                format!("{}", o.dbs_type),
+            ]
+        })
+        .collect();
+    emit(
+        "Fig. 14(a) — DeiT-base activation HO vector sparsity per layer",
+        &["layer", "prev bit-slice (zero-only)", "AQS-GEMM", "AQS + ZPM + DBS", "DBS type"],
+        &rows,
+    );
+    println!(
+        "Paper shape: the previous bit-slice GEMM sees sparsity only on the\n\
+         post-GELU MLP.FC2 inputs; AQS-GEMM exposes sparsity on every layer and\n\
+         ZPM/DBS push wide layers higher."
+    );
+
+    // --- (b) Sibia vs Panacea across three models.
+    let mut rows = Vec::new();
+    for b in [Benchmark::DeitBase, Benchmark::BertBase, Benchmark::Gpt2] {
+        let model = b.spec();
+        let profiles = profile_model(&model, &ProfileOptions::default());
+        let avg = |f: &dyn Fn(&panacea_models::LayerProfile) -> f64| {
+            profiles.iter().map(|p| f(p)).sum::<f64>() / profiles.len() as f64
+        };
+        rows.push(vec![
+            model.name.clone(),
+            pct(avg(&|p| p.rho_w)),
+            pct(avg(&|p| p.rho_x_sibia)),
+            pct(avg(&|p| p.rho_x)),
+        ]);
+    }
+    emit(
+        "Fig. 14(b) — mean HO vector sparsity (weights shared; activations per engine)",
+        &["model", "rho_w (SBR, both)", "rho_x Sibia (sym)", "rho_x Panacea (asym)"],
+        &rows,
+    );
+    println!(
+        "Paper shape: both engines share the weight sparsity; Panacea's AQS-GEMM\n\
+         reaches comparable-or-higher activation vector sparsity than Sibia while\n\
+         using the more accurate asymmetric quantization."
+    );
+}

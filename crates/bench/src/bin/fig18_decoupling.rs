@@ -1,0 +1,84 @@
+//! Fig. 18 — decoupling the two contributions on OPT-2.7B:
+//! (a) symmetric vs asymmetric quantization *on Panacea* (quality differs,
+//! hardware cost stays flat thanks to ZPM/DBS);
+//! (b) AQS-GEMM (skips zero *and* r-valued slices) vs a zero-skip-only
+//! engine on the same asymmetric data (paper: 1.67× energy efficiency,
+//! 2.10× throughput).
+
+use panacea_bench::{emit, f3, ratio, to_layer_work, ComparisonSet, EngineKind};
+use panacea_models::proxy::{aggregate_sqnr_db, perplexity_proxy};
+use panacea_models::{profile_model, ProfileOptions};
+use panacea_models::zoo::Benchmark;
+use panacea_sim::simulate_model;
+
+fn main() {
+    let set = ComparisonSet::default_set();
+    let clock = set.budget().clock_mhz;
+    let model = Benchmark::Opt2_7b.spec();
+    let profiles = profile_model(&model, &ProfileOptions::default());
+
+    // --- (a) symmetric vs asymmetric quantization on Panacea.
+    // Symmetric = zero-point pinned mid-range (paper: zp = 128): the
+    // skip machinery still works (r = 128 >> 4 = 8), ZPM/DBS keep the
+    // sparsity, so efficiency is flat — only quality moves.
+    let pan_layers: Vec<_> =
+        profiles.iter().map(|p| to_layer_work(p, EngineKind::Panacea)).collect();
+    let asym_sqnr = aggregate_sqnr_db(
+        &profiles.iter().map(|p| (p.sqnr_dbs_db, p.spec.total_macs())).collect::<Vec<_>>(),
+    );
+    let sym_sqnr = aggregate_sqnr_db(
+        &profiles.iter().map(|p| (p.sqnr_sym_db, p.spec.total_macs())).collect::<Vec<_>>(),
+    );
+    let perf = simulate_model(&set.panacea, &pan_layers, clock);
+    let rows = vec![
+        vec![
+            "Panacea, symmetric acts (zp = 128)".to_string(),
+            f3(perf.tops_per_w),
+            format!("{:.2}", perf.tops),
+            format!("{:.1}", perplexity_proxy(model.fp16_quality, sym_sqnr)),
+        ],
+        vec![
+            "Panacea, asymmetric acts".to_string(),
+            f3(perf.tops_per_w),
+            format!("{:.2}", perf.tops),
+            format!("{:.1}", perplexity_proxy(model.fp16_quality, asym_sqnr)),
+        ],
+    ];
+    emit(
+        "Fig. 18(a) — quantization scheme on Panacea (OPT-2.7B)",
+        &["configuration", "TOPS/W", "TOPS", "perplexity"],
+        &rows,
+    );
+
+    // --- (b) AQS-GEMM vs zero-slice skipping only.
+    let zero_layers: Vec<_> =
+        profiles.iter().map(|p| to_layer_work(p, EngineKind::PanaceaZeroSkipOnly)).collect();
+    let full = simulate_model(&set.panacea, &pan_layers, clock);
+    let zero = simulate_model(&set.panacea, &zero_layers, clock);
+    let rows = vec![
+        vec![
+            "skip zero slices only".to_string(),
+            f3(zero.tops_per_w),
+            format!("{:.2}", zero.tops),
+            ratio(1.0),
+            ratio(1.0),
+        ],
+        vec![
+            "AQS-GEMM (zero + r-valued)".to_string(),
+            f3(full.tops_per_w),
+            format!("{:.2}", full.tops),
+            ratio(full.tops_per_w / zero.tops_per_w),
+            ratio(full.tops / zero.tops),
+        ],
+    ];
+    emit(
+        "Fig. 18(b) — AQS-GEMM vs zero-skip-only on asymmetric data (OPT-2.7B)",
+        &["engine", "TOPS/W", "TOPS", "eff. gain", "thpt gain"],
+        &rows,
+    );
+    println!(
+        "Paper shape: (a) same efficiency, better PPL for asymmetric; (b) AQS-GEMM\n\
+         1.67x energy efficiency and 2.10x throughput over zero-skip-only, with\n\
+         identical (exact) outputs."
+    );
+}

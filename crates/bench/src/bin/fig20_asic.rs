@@ -1,0 +1,69 @@
+//! Fig. 20 — ASIC-level comparison table: module inventory, area, and
+//! peak/effective performance of the bit-slice accelerators.
+//!
+//! LUTein (HPCA'24) is not re-modeled here (its LUT-based datapath is out
+//! of scope); its row reports the published figures for context, marked
+//! as such. Sibia and Panacea rows come from this repository's models.
+
+use panacea_bench::{emit, f3, to_layer_work, ComparisonSet, EngineKind};
+use panacea_models::{profile_model, ProfileOptions};
+use panacea_models::zoo::Benchmark;
+use panacea_sim::{simulate_model, Accelerator};
+
+fn main() {
+    let set = ComparisonSet::default_set();
+    let clock = set.budget().clock_mhz;
+
+    // Representative effective performance: GPT-2 benchmark.
+    let model = Benchmark::Gpt2.spec();
+    let profiles = profile_model(&model, &ProfileOptions::default());
+    let pan: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Panacea)).collect();
+    let sib: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Sibia)).collect();
+    let p = simulate_model(&set.panacea, &pan, clock);
+    let s = simulate_model(&set.sibia, &sib, clock);
+
+    let rows = vec![
+        vec![
+            "Sibia (HPCA'23)".to_string(),
+            "28nm".to_string(),
+            "1536".to_string(),
+            f3(set.sibia.area_mm2()),
+            format!("{:.0}", clock),
+            format!("{:.2}", s.tops),
+            f3(s.tops_per_w),
+            "sym only".to_string(),
+        ],
+        vec![
+            "LUTein (HPCA'24, reported)".to_string(),
+            "28nm".to_string(),
+            "n/a (LUT)".to_string(),
+            "n/a".to_string(),
+            "n/a".to_string(),
+            "n/a".to_string(),
+            "n/a".to_string(),
+            "sym only".to_string(),
+        ],
+        vec![
+            "Panacea (this work)".to_string(),
+            "28nm".to_string(),
+            "3072".to_string(),
+            f3(set.panacea.area_mm2()),
+            format!("{:.0}", clock),
+            format!("{:.2}", p.tops),
+            f3(p.tops_per_w),
+            "sym + asym".to_string(),
+        ],
+    ];
+    emit(
+        "Fig. 20 — ASIC comparison (GPT-2 effective numbers for modeled designs)",
+        &["design", "node", "4b muls", "area mm^2", "MHz", "eff. TOPS", "TOPS/W", "quantization"],
+        &rows,
+    );
+    println!(
+        "Paper shape: Panacea supports 2x more multipliers and asymmetric\n\
+         quantization with a small core-area overhead over Sibia, while\n\
+         delivering higher effective throughput and efficiency.\n\
+         (Sibia modeled with 1536 active multipliers' worth of OPCs in its own\n\
+         paper; here both are modeled under the iso-resource 3072 budget.)"
+    );
+}

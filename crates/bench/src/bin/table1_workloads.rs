@@ -1,0 +1,79 @@
+//! Table I — hardware workloads of the bit-slice GEMM accelerators as a
+//! function of HO vector sparsity: measured counts from the functional
+//! kernels vs the paper's closed-form expressions.
+
+use panacea_bench::{emit, f3};
+use panacea_bitslice::{SlicedActivation, SlicedWeight};
+use panacea_core::aqs::aqs_gemm;
+use panacea_core::sibia::{sibia_gemm, SkipSide};
+use panacea_core::workload::table1;
+use panacea_quant::dbs::DbsType;
+use panacea_tensor::Matrix;
+
+const K: usize = 64;
+const R: u8 = 9;
+
+/// Builds the 4×K×4 micro-tile with exact sparsity fractions.
+fn operands(rho_w: f64, rho_x: f64) -> (Matrix<i32>, Matrix<i32>) {
+    let kw = (rho_w * K as f64).round() as usize;
+    let kx = (rho_x * K as f64).round() as usize;
+    let w = Matrix::from_fn(4, K, |_, c| if c < kw { 5 } else { -45 });
+    let x = Matrix::from_fn(K, 4, |r, _| if r < kx { (i32::from(R) << 4) | 3 } else { 7 });
+    (w, x)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &(rho_w, rho_x) in
+        &[(0.0, 0.0), (0.0, 0.5), (0.5, 0.0), (0.5, 0.5), (0.9, 0.9), (1.0, 1.0)]
+    {
+        let (w, x) = operands(rho_w, rho_x);
+        let sw = SlicedWeight::from_int(&w, 1).expect("7-bit weights");
+        let sx = SlicedActivation::from_uint(&x, 1, DbsType::Type1).expect("8-bit acts");
+        let (out, wl) = aqs_gemm(&sw, &sx, R);
+        assert_eq!(out, w.gemm(&x).expect("shapes"), "AQS-GEMM must stay exact");
+
+        // Sibia on the symmetric equivalent (same sparsity pattern).
+        let x_sym = Matrix::from_fn(K, 4, |r, _| if r < kx_of(rho_x) { 3 } else { 60 });
+        let sx_sym = SlicedWeight::from_int(&x_sym, 1).expect("7-bit acts");
+        let (_, wl_sibia) = sibia_gemm(&sw, &sx_sym, SkipSide::Activation);
+
+        rows.push(vec![
+            format!("{rho_w:.1}"),
+            format!("{rho_x:.1}"),
+            format!("{}", wl.mul),
+            f3(table1::panacea_mul(K as u64, rho_x, rho_w)),
+            format!("{}", wl.comp_mul),
+            format!("{}", wl.comp_add),
+            format!("{}", wl.ema_slices),
+            f3(table1::panacea_ema(K as u64, rho_x, rho_w)),
+            format!("{}", wl_sibia.mul),
+            f3(table1::sibia_mul(K as u64, rho_x, rho_w.min(rho_x))),
+        ]);
+    }
+    emit(
+        "Table I — measured workloads vs closed forms (4×K×4 tile, K = 64)",
+        &[
+            "rho_w",
+            "rho_x",
+            "Pan mul",
+            "16K(2-rx)(2-rw)",
+            "comp mul",
+            "comp add",
+            "Pan EMA",
+            "4K(4-rw-rx)",
+            "Sibia mul",
+            "32K(2-max)",
+        ],
+        &rows,
+    );
+    println!(
+        "Closed forms are expectations under independent compression; the\n\
+         measured counts match exactly for the uniform patterns used here\n\
+         whenever one side is dense, and stay within the overlap term otherwise."
+    );
+}
+
+fn kx_of(rho_x: f64) -> usize {
+    (rho_x * K as f64).round() as usize
+}

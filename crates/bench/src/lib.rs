@@ -1,0 +1,194 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §5 for the index) and prints it both as an
+//! aligned text table and as JSON (behind `--json`).
+
+use panacea_models::profile::LayerProfile;
+use panacea_sim::arch::{HardwareBudget, PanaceaConfig};
+use panacea_sim::baselines::{SibiaSim, SimdSim, SystolicFlow, SystolicSim};
+use panacea_sim::panacea::PanaceaSim;
+use panacea_sim::workload::LayerWork;
+use panacea_sim::Accelerator;
+
+/// Which accelerator semantics to use when converting a measured profile
+/// into a [`LayerWork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Panacea: all-`r` activation vector sparsity (optionally ZPM/DBS).
+    Panacea,
+    /// Panacea restricted to zero-slice skipping (Fig. 18(b) ablation).
+    PanaceaZeroSkipOnly,
+    /// Sibia: symmetric activations, its own zero-vector sparsity.
+    Sibia,
+    /// Dense designs: sparsity ignored.
+    Dense,
+}
+
+/// Converts a measured layer profile into the simulator descriptor under
+/// the given engine's semantics.
+pub fn to_layer_work(p: &LayerProfile, engine: EngineKind) -> LayerWork {
+    let (rho_w, rho_x, x_planes) = match engine {
+        EngineKind::Panacea => (p.rho_w, p.rho_x, p.spec.act_lo_slices + 1),
+        EngineKind::PanaceaZeroSkipOnly => (p.rho_w, p.rho_x_zero_only, p.spec.act_lo_slices + 1),
+        // Sibia's symmetric (3k+4)-bit activations use the same number of
+        // slices as its weights' format family.
+        EngineKind::Sibia => (p.rho_w, p.rho_x_sibia, p.spec.act_lo_slices + 1),
+        EngineKind::Dense => (0.0, 0.0, p.spec.act_lo_slices + 1),
+    };
+    LayerWork {
+        name: p.spec.name.clone(),
+        m: p.spec.m,
+        k: p.spec.k,
+        n: p.spec.n,
+        count: p.spec.count,
+        w_planes: usize::from((p.spec.weight_bits - 4) / 3) + 1,
+        x_planes,
+        rho_w,
+        rho_x,
+    }
+}
+
+/// The full iso-resource comparison set: SA-WS, SA-OS, SIMD, Sibia and a
+/// Panacea instance with the given configuration.
+pub struct ComparisonSet {
+    /// Panacea under `cfg`.
+    pub panacea: PanaceaSim,
+    /// Sibia under the same budget.
+    pub sibia: SibiaSim,
+    /// SIMD under the same budget.
+    pub simd: SimdSim,
+    /// Weight-stationary systolic array.
+    pub sa_ws: SystolicSim,
+    /// Output-stationary systolic array.
+    pub sa_os: SystolicSim,
+}
+
+impl ComparisonSet {
+    /// Builds the set with a shared default budget.
+    pub fn new(cfg: PanaceaConfig) -> Self {
+        let budget = cfg.budget;
+        ComparisonSet {
+            panacea: PanaceaSim::new(cfg),
+            sibia: SibiaSim::new(budget),
+            simd: SimdSim::new(budget),
+            sa_ws: SystolicSim::new(SystolicFlow::WeightStationary, budget),
+            sa_os: SystolicSim::new(SystolicFlow::OutputStationary, budget),
+        }
+    }
+
+    /// Default configuration set.
+    pub fn default_set() -> Self {
+        ComparisonSet::new(PanaceaConfig::default())
+    }
+
+    /// The shared budget.
+    pub fn budget(&self) -> HardwareBudget {
+        self.panacea.config().budget
+    }
+
+    /// Baselines in the paper's order (SA-WS, SA-OS, SIMD, Sibia).
+    pub fn baselines(&self) -> [&dyn Accelerator; 4] {
+        [&self.sa_ws, &self.sa_os, &self.simd, &self.sibia]
+    }
+}
+
+/// Renders an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let header_line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(header_line.join("  ").len()));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints a table and, when `--json` is among the CLI args, a JSON dump of
+/// the rows keyed by header.
+pub fn emit(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("{}", render_table(title, headers, rows));
+    if std::env::args().any(|a| a == "--json") {
+        let objs: Vec<serde_json::Value> = rows
+            .iter()
+            .map(|row| {
+                let map: serde_json::Map<String, serde_json::Value> = headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| ((*h).to_string(), serde_json::Value::String(c.clone())))
+                    .collect();
+                serde_json::Value::Object(map)
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "title": title, "rows": objs }))
+                .expect("serializable")
+        );
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a ratio as `×N.NN`.
+pub fn ratio(v: f64) -> String {
+    format!("x{v:.2}")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panacea_models::profile::{profile_layer, ProfileOptions};
+    use panacea_models::zoo::Benchmark;
+
+    #[test]
+    fn conversion_uses_engine_semantics() {
+        let spec = &Benchmark::DeitBase.spec().layers[0];
+        let opts = ProfileOptions { sample_m: 64, sample_k: 64, sample_n: 64, ..ProfileOptions::default() };
+        let p = profile_layer(spec, &opts);
+        let pan = to_layer_work(&p, EngineKind::Panacea);
+        let dense = to_layer_work(&p, EngineKind::Dense);
+        assert_eq!(dense.rho_x, 0.0);
+        assert!(pan.rho_x >= dense.rho_x);
+        assert_eq!(pan.m, spec.m);
+        assert_eq!(pan.w_planes, 2);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let s = render_table("t", &["a", "bb"], &[vec!["1".into(), "2".into()]]);
+        assert!(s.contains("bb"));
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn comparison_set_builds() {
+        let set = ComparisonSet::default_set();
+        assert_eq!(set.baselines().len(), 4);
+        assert_eq!(set.panacea.name(), "Panacea");
+    }
+}

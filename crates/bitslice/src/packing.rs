@@ -1,0 +1,218 @@
+//! Bit-packing of slice planes and RLE streams into byte buffers — the
+//! DRAM/SRAM storage format whose sizes the EMA analyses count.
+//!
+//! Slices are 4-bit, so two pack per byte (little-nibble-first). An RLE
+//! stream packs each entry as a 4-bit skip index followed by the 16-bit
+//! vector payload when present, matching the format of Fig. 7(a).
+
+use panacea_tensor::Matrix;
+
+use crate::rle::RleStream;
+use crate::vector::ActVector;
+
+/// Packs a sequence of 4-bit values (given in the low nibble of each
+/// byte) two-per-byte, little nibble first.
+///
+/// # Examples
+///
+/// ```
+/// let packed = panacea_bitslice::packing::pack_nibbles(&[0x1, 0xF, 0xA]);
+/// assert_eq!(packed, vec![0xF1, 0x0A]);
+/// ```
+pub fn pack_nibbles(nibbles: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(nibbles.len().div_ceil(2));
+    for pair in nibbles.chunks(2) {
+        let lo = pair[0] & 0xF;
+        let hi = if pair.len() > 1 { pair[1] & 0xF } else { 0 };
+        out.push(lo | (hi << 4));
+    }
+    out
+}
+
+/// Inverse of [`pack_nibbles`]; `count` recovers odd-length sequences.
+///
+/// # Panics
+///
+/// Panics if `count` exceeds the packed capacity.
+pub fn unpack_nibbles(bytes: &[u8], count: usize) -> Vec<u8> {
+    assert!(count <= bytes.len() * 2, "count {count} exceeds capacity");
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let b = bytes[i / 2];
+        out.push(if i % 2 == 0 { b & 0xF } else { b >> 4 });
+    }
+    out
+}
+
+/// Packs a signed slice plane (values in `[-8, 7]`) row-major into
+/// two's-complement nibbles.
+pub fn pack_weight_plane(plane: &Matrix<i8>) -> Vec<u8> {
+    let nibbles: Vec<u8> = plane.iter().map(|&s| (s as u8) & 0xF).collect();
+    pack_nibbles(&nibbles)
+}
+
+/// Unpacks a signed slice plane packed by [`pack_weight_plane`].
+///
+/// # Panics
+///
+/// Panics if the buffer is too small for `rows × cols` nibbles.
+pub fn unpack_weight_plane(bytes: &[u8], rows: usize, cols: usize) -> Matrix<i8> {
+    let nibbles = unpack_nibbles(bytes, rows * cols);
+    let data: Vec<i8> = nibbles
+        .into_iter()
+        .map(|n| if n >= 8 { n as i8 - 16 } else { n as i8 })
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("dimensions match count")
+}
+
+/// Packs an unsigned slice plane (values in `[0, 15]`).
+pub fn pack_act_plane(plane: &Matrix<u8>) -> Vec<u8> {
+    let nibbles: Vec<u8> = plane.iter().map(|&s| s & 0xF).collect();
+    pack_nibbles(&nibbles)
+}
+
+/// Unpacks an unsigned slice plane packed by [`pack_act_plane`].
+///
+/// # Panics
+///
+/// Panics if the buffer is too small for `rows × cols` nibbles.
+pub fn unpack_act_plane(bytes: &[u8], rows: usize, cols: usize) -> Matrix<u8> {
+    Matrix::from_vec(rows, cols, unpack_nibbles(bytes, rows * cols))
+        .expect("dimensions match count")
+}
+
+/// Serializes an activation RLE stream: a 32-bit vector count, then per
+/// entry a skip nibble and, for payload entries, four slice nibbles.
+pub fn pack_rle(stream: &RleStream<ActVector>) -> Vec<u8> {
+    let mut nibbles: Vec<u8> = Vec::new();
+    let mut payload_flags = Vec::new();
+    for e in stream.entries() {
+        nibbles.push(e.skip);
+        payload_flags.push(e.payload.is_some());
+        if let Some(v) = e.payload {
+            nibbles.extend(v.0.iter().map(|&s| s & 0xF));
+        }
+    }
+    let mut out = (stream.total_vectors() as u32).to_le_bytes().to_vec();
+    out.extend((stream.entries().len() as u32).to_le_bytes());
+    // Payload bitmap, one bit per entry.
+    let mut bitmap = vec![0u8; payload_flags.len().div_ceil(8)];
+    for (i, &f) in payload_flags.iter().enumerate() {
+        if f {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out.extend(bitmap);
+    out.extend(pack_nibbles(&nibbles));
+    out
+}
+
+/// Deserializes a stream packed by [`pack_rle`], reconstructing the full
+/// vector sequence with compressed positions filled by the all-`r` vector.
+///
+/// # Panics
+///
+/// Panics if the buffer is malformed (truncated).
+pub fn unpack_rle(bytes: &[u8], r: u8) -> Vec<ActVector> {
+    let total = u32::from_le_bytes(bytes[0..4].try_into().expect("header")) as usize;
+    let n_entries = u32::from_le_bytes(bytes[4..8].try_into().expect("header")) as usize;
+    let bitmap_len = n_entries.div_ceil(8);
+    let bitmap = &bytes[8..8 + bitmap_len];
+    let payload_count =
+        (0..n_entries).filter(|&i| bitmap[i / 8] & (1 << (i % 8)) != 0).count();
+    let nibbles =
+        unpack_nibbles(&bytes[8 + bitmap_len..], n_entries + payload_count * 4);
+    let mut out = vec![ActVector([r; 4]); total];
+    let mut pos = 0usize;
+    let mut cursor = 0usize;
+    for i in 0..n_entries {
+        let skip = nibbles[cursor];
+        cursor += 1;
+        pos += usize::from(skip);
+        if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+            let mut v = [0u8; 4];
+            v.copy_from_slice(&nibbles[cursor..cursor + 4]);
+            cursor += 4;
+            out[pos] = ActVector(v);
+            pos += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nibble_round_trip_even_and_odd() {
+        for data in [vec![1u8, 2, 3, 4], vec![7u8, 8, 9]] {
+            let packed = pack_nibbles(&data);
+            assert_eq!(unpack_nibbles(&packed, data.len()), data);
+        }
+    }
+
+    #[test]
+    fn weight_plane_round_trips_negative_slices() {
+        let plane = Matrix::from_fn(4, 6, |r, c| (r as i8 * 3 + c as i8) % 8 - 4);
+        let packed = pack_weight_plane(&plane);
+        assert_eq!(packed.len(), 12); // 24 nibbles
+        assert_eq!(unpack_weight_plane(&packed, 4, 6), plane);
+    }
+
+    #[test]
+    fn act_plane_round_trips() {
+        let plane = Matrix::from_fn(3, 5, |r, c| ((r * 5 + c) % 16) as u8);
+        let packed = pack_act_plane(&plane);
+        assert_eq!(unpack_act_plane(&packed, 3, 5), plane);
+    }
+
+    #[test]
+    fn rle_round_trip_mixed_stream() {
+        let r = 9u8;
+        let vectors = vec![
+            ActVector([r; 4]),
+            ActVector([1, 2, 3, 4]),
+            ActVector([r; 4]),
+            ActVector([r; 4]),
+            ActVector([5, r, 7, 8]),
+            ActVector([r; 4]),
+        ];
+        let stream = RleStream::encode(&vectors, |v| v.is_uniform(r));
+        let bytes = pack_rle(&stream);
+        assert_eq!(unpack_rle(&bytes, r), vectors);
+    }
+
+    #[test]
+    fn packed_rle_is_smaller_than_dense_when_sparse() {
+        let r = 3u8;
+        let mut vectors = vec![ActVector([r; 4]); 100];
+        vectors[50] = ActVector([1, 1, 1, 1]);
+        let stream = RleStream::encode(&vectors, |v| v.is_uniform(r));
+        let bytes = pack_rle(&stream);
+        let dense_bytes = 100 * 2; // 4 nibbles per vector
+        assert!(bytes.len() < dense_bytes / 4, "{} vs {dense_bytes}", bytes.len());
+    }
+
+    proptest! {
+        #[test]
+        fn rle_pack_round_trips(values in proptest::collection::vec(0u8..3, 0..160), r in 0u8..3) {
+            let vectors: Vec<ActVector> = values
+                .chunks(4)
+                .filter(|c| c.len() == 4)
+                .map(|c| ActVector([c[0], c[1], c[2], c[3]]))
+                .collect();
+            let stream = RleStream::encode(&vectors, |v| v.is_uniform(r));
+            let bytes = pack_rle(&stream);
+            prop_assert_eq!(unpack_rle(&bytes, r), vectors);
+        }
+
+        #[test]
+        fn plane_pack_round_trips(vals in proptest::collection::vec(-8i8..=7, 24)) {
+            let plane = Matrix::from_vec(4, 6, vals).unwrap();
+            let packed = pack_weight_plane(&plane);
+            prop_assert_eq!(unpack_weight_plane(&packed, 4, 6), plane);
+        }
+    }
+}

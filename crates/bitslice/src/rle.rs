@@ -1,0 +1,211 @@
+//! Run-length encoding of compressed slice-vector streams (Fig. 7(a)).
+//!
+//! An RLE stream stores only the *uncompressed* vectors; each carries a
+//! 4-bit skip index counting the compressed vectors preceding it. Runs
+//! longer than 15 are continued with payload-free skip entries. The index
+//! decoder (IDXD) in each PEA reverses the encoding to recover original
+//! vector positions.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum skip count per index (4-bit indices ⇒ 15).
+pub const MAX_SKIP: usize = 15;
+
+/// One RLE entry: `skip` compressed vectors, then optionally a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RleEntry<T> {
+    /// Number of compressed vectors preceding this entry's payload
+    /// (`0..=15`).
+    pub skip: u8,
+    /// The uncompressed vector, or `None` for a pure run-continuation
+    /// entry.
+    pub payload: Option<T>,
+}
+
+/// A run-length-encoded stream of slice vectors.
+///
+/// # Examples
+///
+/// ```
+/// use panacea_bitslice::RleStream;
+///
+/// // Compress every zero in a scalar stream.
+/// let data = [0u8, 0, 7, 0, 0, 0, 9];
+/// let stream = RleStream::encode(&data, |&v| v == 0);
+/// let decoded = stream.decode();
+/// assert_eq!(decoded, vec![(2, 7), (6, 9)]);
+/// assert_eq!(stream.total_vectors(), 7);
+/// assert_eq!(stream.compressed_count(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RleStream<T> {
+    entries: Vec<RleEntry<T>>,
+    total_vectors: usize,
+}
+
+impl<T: Copy> RleStream<T> {
+    /// Encodes a vector stream, compressing every element for which
+    /// `is_compressed` returns `true`.
+    pub fn encode(vectors: &[T], mut is_compressed: impl FnMut(&T) -> bool) -> Self {
+        let mut entries = Vec::new();
+        let mut run = 0usize;
+        for v in vectors {
+            if is_compressed(v) {
+                run += 1;
+            } else {
+                while run > MAX_SKIP {
+                    entries.push(RleEntry { skip: MAX_SKIP as u8, payload: None });
+                    run -= MAX_SKIP;
+                }
+                entries.push(RleEntry { skip: run as u8, payload: Some(*v) });
+                run = 0;
+            }
+        }
+        // Trailing compressed vectors are implicit in `total_vectors`.
+        RleStream { entries, total_vectors: vectors.len() }
+    }
+
+    /// Decodes into `(original_index, vector)` pairs for the uncompressed
+    /// vectors — what the PEA's index decoder produces.
+    pub fn decode(&self) -> Vec<(usize, T)> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        for e in &self.entries {
+            pos += usize::from(e.skip);
+            if let Some(v) = e.payload {
+                out.push((pos, v));
+                pos += 1;
+            }
+        }
+        out
+    }
+
+    /// The encoded entries, in order.
+    pub fn entries(&self) -> &[RleEntry<T>] {
+        &self.entries
+    }
+
+    /// Number of vectors in the original stream.
+    pub fn total_vectors(&self) -> usize {
+        self.total_vectors
+    }
+
+    /// Number of uncompressed (stored) vectors.
+    pub fn uncompressed_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.payload.is_some()).count()
+    }
+
+    /// Number of compressed (skipped) vectors.
+    pub fn compressed_count(&self) -> usize {
+        self.total_vectors - self.uncompressed_count()
+    }
+
+    /// Encoded size in bits: 4 bits of index per entry plus
+    /// `payload_bits` per stored vector (16 for a 4×4-bit slice vector).
+    pub fn encoded_bits(&self, payload_bits: usize) -> usize {
+        self.entries.len() * 4 + self.uncompressed_count() * payload_bits
+    }
+}
+
+impl<T: Copy + Default> RleStream<T> {
+    /// Fully reconstructs the original stream, filling compressed
+    /// positions with `fill`.
+    pub fn reconstruct_with(&self, fill: T) -> Vec<T> {
+        let mut out = vec![fill; self.total_vectors];
+        for (i, v) in self.decode() {
+            out[i] = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::ActVector;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_compressed_stream_has_no_entries_with_payload() {
+        let data = [0u8; 40];
+        let s = RleStream::encode(&data, |&v| v == 0);
+        assert_eq!(s.uncompressed_count(), 0);
+        assert_eq!(s.compressed_count(), 40);
+        assert_eq!(s.decode(), vec![]);
+    }
+
+    #[test]
+    fn dense_stream_stores_everything() {
+        let data = [1u8, 2, 3];
+        let s = RleStream::encode(&data, |&v| v == 0);
+        assert_eq!(s.uncompressed_count(), 3);
+        assert_eq!(s.decode(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn long_runs_split_at_15() {
+        let mut data = vec![0u8; 37];
+        data.push(5);
+        let s = RleStream::encode(&data, |&v| v == 0);
+        // 37 = 15 + 15 + 7: two continuation entries + one payload entry.
+        assert_eq!(s.entries().len(), 3);
+        assert_eq!(s.entries()[0], RleEntry { skip: 15, payload: None });
+        assert_eq!(s.entries()[1], RleEntry { skip: 15, payload: None });
+        assert_eq!(s.entries()[2], RleEntry { skip: 7, payload: Some(5) });
+        assert_eq!(s.decode(), vec![(37, 5)]);
+    }
+
+    #[test]
+    fn encoded_bits_accounts_for_indices_and_payloads() {
+        let data = [0u8, 1, 0, 2];
+        let s = RleStream::encode(&data, |&v| v == 0);
+        // Two entries with payloads: 2·4 index bits + 2·16 payload bits.
+        assert_eq!(s.encoded_bits(16), 8 + 32);
+    }
+
+    #[test]
+    fn works_with_slice_vectors() {
+        let r = 10u8;
+        let vectors = [
+            ActVector([r; 4]),
+            ActVector([r, r, 9, r]),
+            ActVector([r; 4]),
+            ActVector([r; 4]),
+            ActVector([1, 2, 3, 4]),
+        ];
+        let s = RleStream::encode(&vectors, |v| v.is_uniform(r));
+        let decoded = s.decode();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], (1, ActVector([r, r, 9, r])));
+        assert_eq!(decoded[1], (4, ActVector([1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn reconstruct_with_fills_compressed_positions() {
+        let data = [0u8, 3, 0, 0, 8];
+        let s = RleStream::encode(&data, |&v| v == 0);
+        assert_eq!(s.reconstruct_with(0), data.to_vec());
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trips(data in proptest::collection::vec(0u8..4, 0..200)) {
+            let s = RleStream::encode(&data, |&v| v == 0);
+            prop_assert_eq!(s.reconstruct_with(0), data.clone());
+            prop_assert_eq!(s.total_vectors(), data.len());
+            let nz = data.iter().filter(|&&v| v != 0).count();
+            prop_assert_eq!(s.uncompressed_count(), nz);
+        }
+
+        #[test]
+        fn decoded_indices_are_strictly_increasing(
+            data in proptest::collection::vec(0u8..3, 0..120)
+        ) {
+            let s = RleStream::encode(&data, |&v| v == 0);
+            let idx: Vec<usize> = s.decode().into_iter().map(|(i, _)| i).collect();
+            for w in idx.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Slice vectors (paper Fig. 7(a)).
+//!
+//! AQS-GEMM groups HO slices into length-4 vectors before compression:
+//! weight planes into **4×1 column vectors** (4 consecutive output rows,
+//! same `k`), activation planes into **1×4 row vectors** (same `k`, 4
+//! consecutive output columns). A weight vector is compressible when all
+//! four slices are zero; an activation vector when all four slices equal
+//! the frequent value `r`.
+
+use panacea_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Slice-vector length `v` (the paper uses `v = 4` throughout).
+pub const VECTOR_LEN: usize = 4;
+
+/// A 4×1 weight slice-vector (column of 4 consecutive output rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WeightVector(pub [i8; VECTOR_LEN]);
+
+impl WeightVector {
+    /// `true` when every slice is zero (compressible under SBR).
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&s| s == 0)
+    }
+}
+
+/// A 1×4 activation slice-vector (row of 4 consecutive output columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ActVector(pub [u8; VECTOR_LEN]);
+
+impl ActVector {
+    /// `true` when every slice equals the frequent value `r`
+    /// (compressible under AQS-GEMM).
+    pub fn is_uniform(&self, r: u8) -> bool {
+        self.0.iter().all(|&s| s == r)
+    }
+}
+
+/// Groups a weight slice plane (`M × K`) into column vectors:
+/// `out[g][k]` is the vector of rows `4g..4g+4` at column `k`.
+///
+/// # Panics
+///
+/// Panics if `plane.rows()` is not a multiple of [`VECTOR_LEN`].
+///
+/// # Examples
+///
+/// ```
+/// use panacea_bitslice::vector::weight_vectors;
+/// use panacea_tensor::Matrix;
+///
+/// let plane = Matrix::from_fn(4, 2, |r, c| (r + c) as i8);
+/// let v = weight_vectors(&plane);
+/// assert_eq!(v.len(), 1);
+/// assert_eq!(v[0][1].0, [1, 2, 3, 4]);
+/// ```
+pub fn weight_vectors(plane: &Matrix<i8>) -> Vec<Vec<WeightVector>> {
+    assert_eq!(
+        plane.rows() % VECTOR_LEN,
+        0,
+        "weight rows {} not a multiple of v = {VECTOR_LEN}",
+        plane.rows()
+    );
+    (0..plane.rows() / VECTOR_LEN)
+        .map(|g| {
+            (0..plane.cols())
+                .map(|k| {
+                    let mut v = [0i8; VECTOR_LEN];
+                    for (i, slot) in v.iter_mut().enumerate() {
+                        *slot = plane[(g * VECTOR_LEN + i, k)];
+                    }
+                    WeightVector(v)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Groups an activation slice plane (`K × N`) into row vectors:
+/// `out[k][g]` is the vector of columns `4g..4g+4` at row `k`.
+///
+/// # Panics
+///
+/// Panics if `plane.cols()` is not a multiple of [`VECTOR_LEN`].
+pub fn act_vectors(plane: &Matrix<u8>) -> Vec<Vec<ActVector>> {
+    assert_eq!(
+        plane.cols() % VECTOR_LEN,
+        0,
+        "activation cols {} not a multiple of v = {VECTOR_LEN}",
+        plane.cols()
+    );
+    (0..plane.rows())
+        .map(|k| {
+            (0..plane.cols() / VECTOR_LEN)
+                .map(|g| {
+                    let mut v = [0u8; VECTOR_LEN];
+                    for (i, slot) in v.iter_mut().enumerate() {
+                        *slot = plane[(k, g * VECTOR_LEN + i)];
+                    }
+                    ActVector(v)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The 4×4 outer product of a weight vector (signed) with an activation
+/// vector (unsigned) — one OPC invocation of the hardware (16 4b×4b
+/// sign-unsigned multiplies).
+///
+/// # Examples
+///
+/// ```
+/// use panacea_bitslice::{ActVector, WeightVector};
+/// use panacea_bitslice::vector::outer_product;
+///
+/// let p = outer_product(&WeightVector([1, -1, 0, 2]), &ActVector([3, 0, 1, 15]));
+/// assert_eq!(p[0], [3, 0, 1, 15]);
+/// assert_eq!(p[1], [-3, 0, -1, -15]);
+/// ```
+pub fn outer_product(w: &WeightVector, x: &ActVector) -> [[i32; VECTOR_LEN]; VECTOR_LEN] {
+    let mut out = [[0i32; VECTOR_LEN]; VECTOR_LEN];
+    for (m, row) in out.iter_mut().enumerate() {
+        for (n, cell) in row.iter_mut().enumerate() {
+            *cell = i32::from(w.0[m]) * i32::from(x.0[n]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weight_vector_compressibility() {
+        assert!(WeightVector([0, 0, 0, 0]).is_zero());
+        assert!(!WeightVector([0, 0, 1, 0]).is_zero());
+    }
+
+    #[test]
+    fn act_vector_compressibility() {
+        assert!(ActVector([10, 10, 10, 10]).is_uniform(10));
+        assert!(!ActVector([10, 10, 10, 11]).is_uniform(10));
+        // Symmetric quantization corresponds to r = 0.
+        assert!(ActVector([0, 0, 0, 0]).is_uniform(0));
+    }
+
+    #[test]
+    fn grouping_shapes() {
+        let wp = Matrix::<i8>::zeros(8, 3);
+        let wv = weight_vectors(&wp);
+        assert_eq!(wv.len(), 2);
+        assert_eq!(wv[0].len(), 3);
+        let xp = Matrix::<u8>::zeros(3, 8);
+        let xv = act_vectors(&xp);
+        assert_eq!(xv.len(), 3);
+        assert_eq!(xv[0].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn weight_grouping_requires_multiple_of_v() {
+        weight_vectors(&Matrix::<i8>::zeros(6, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn act_grouping_requires_multiple_of_v() {
+        act_vectors(&Matrix::<u8>::zeros(2, 6));
+    }
+
+    #[test]
+    fn outer_product_zero_annihilates() {
+        let p = outer_product(&WeightVector([0; 4]), &ActVector([15; 4]));
+        assert!(p.iter().flatten().all(|&v| v == 0));
+    }
+
+    proptest! {
+        #[test]
+        fn outer_product_matches_scalar(
+            w in proptest::array::uniform4(-8i8..=7),
+            x in proptest::array::uniform4(0u8..=15),
+        ) {
+            let p = outer_product(&WeightVector(w), &ActVector(x));
+            for m in 0..4 {
+                for n in 0..4 {
+                    prop_assert_eq!(p[m][n], i32::from(w[m]) * i32::from(x[n]));
+                }
+            }
+        }
+
+        #[test]
+        fn grouping_round_trips(vals in proptest::collection::vec(-8i8..=7, 32)) {
+            let plane = Matrix::from_vec(8, 4, vals).unwrap();
+            let groups = weight_vectors(&plane);
+            for (g, row) in groups.iter().enumerate() {
+                for (k, v) in row.iter().enumerate() {
+                    for i in 0..VECTOR_LEN {
+                        prop_assert_eq!(v.0[i], plane[(g * VECTOR_LEN + i, k)]);
+                    }
+                }
+            }
+        }
+    }
+}

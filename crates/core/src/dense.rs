@@ -1,0 +1,95 @@
+//! Dense integer GEMM with workload accounting — the kernel the SA-WS,
+//! SA-OS and SIMD baselines execute on 8-bit operands.
+
+use panacea_tensor::{matrix::MatrixError, Matrix};
+
+use crate::workload::Workload;
+
+/// Computes `w (M×K) · x (K×N)` densely, counting every MAC.
+///
+/// `bits_w`/`bits_x` determine the 4b×4b-equivalent multiplication cost:
+/// an `a`-bit × `b`-bit multiply costs `⌈a/4⌉·⌈b/4⌉` 4b×4b multiplies
+/// (the paper's iso-resource convention: one 8b×8b = four 4b×4b).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on incompatible shapes.
+///
+/// # Examples
+///
+/// ```
+/// use panacea_tensor::Matrix;
+///
+/// let w = Matrix::from_vec(4, 2, vec![1; 8]).unwrap();
+/// let x = Matrix::from_vec(2, 4, vec![2; 8]).unwrap();
+/// let (out, wl) = panacea_core::dense::dense_gemm(&w, &x, 8, 8)?;
+/// assert_eq!(out[(0, 0)], 4);
+/// // 4·2·4 MACs, each one 8b×8b = four 4b×4b.
+/// assert_eq!(wl.mul, 4 * 2 * 4 * 4);
+/// # Ok::<(), panacea_tensor::matrix::MatrixError>(())
+/// ```
+pub fn dense_gemm(
+    w: &Matrix<i32>,
+    x: &Matrix<i32>,
+    bits_w: u8,
+    bits_x: u8,
+) -> Result<(Matrix<i32>, Workload), MatrixError> {
+    let out = w.gemm(x)?;
+    let macs = (w.rows() * w.cols() * x.cols()) as u64;
+    let mul_cost = u64::from(bits_w.div_ceil(4)) * u64::from(bits_x.div_ceil(4));
+    // EMA: every weight element is streamed once per output tile; at the
+    // kernel level we count one pass of each operand in 4-bit slices.
+    let w_slices = (w.rows() * w.cols()) as u64 * u64::from(bits_w.div_ceil(4));
+    let x_slices = (x.rows() * x.cols()) as u64 * u64::from(bits_x.div_ceil(4));
+    Ok((
+        out,
+        Workload {
+            mul: macs * mul_cost,
+            add: macs * mul_cost,
+            ema_slices: w_slices + x_slices,
+            comp_mul: 0,
+            comp_add: 0,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::table1;
+
+    #[test]
+    fn matches_reference_gemm() {
+        let w = Matrix::from_fn(3, 5, |r, c| r as i32 - c as i32);
+        let x = Matrix::from_fn(5, 2, |r, c| (r * 2 + c) as i32);
+        let (out, _) = dense_gemm(&w, &x, 8, 8).unwrap();
+        assert_eq!(out, w.gemm(&x).unwrap());
+    }
+
+    #[test]
+    fn workload_matches_table1_micro_tile() {
+        // 4 × K × 4 with 8-bit operands: 64K 4b-equivalent multiplies.
+        let k = 32usize;
+        let w = Matrix::from_fn(4, k, |_, _| 1);
+        let x = Matrix::from_fn(k, 4, |_, _| 1);
+        let (_, wl) = dense_gemm(&w, &x, 8, 8).unwrap();
+        assert_eq!(wl.mul as f64, table1::dense_mul(k as u64));
+        assert_eq!(wl.ema_slices as f64, table1::dense_ema(k as u64));
+    }
+
+    #[test]
+    fn lower_precision_costs_fewer_equivalent_muls() {
+        let w = Matrix::from_fn(4, 8, |_, _| 1);
+        let x = Matrix::from_fn(8, 4, |_, _| 1);
+        let (_, wl8) = dense_gemm(&w, &x, 8, 8).unwrap();
+        let (_, wl4) = dense_gemm(&w, &x, 4, 8).unwrap();
+        assert_eq!(wl4.mul * 2, wl8.mul);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let w = Matrix::<i32>::zeros(2, 3);
+        let x = Matrix::<i32>::zeros(4, 2);
+        assert!(dense_gemm(&w, &x, 8, 8).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! AQS-GEMM — the Panacea paper's primary algorithmic contribution —
+//! together with the baseline GEMMs it is evaluated against and the
+//! Table-I workload model.
+//!
+//! * [`dense`] — plain integer GEMM with workload accounting (what the
+//!   SA-WS / SA-OS / SIMD baselines execute);
+//! * [`sibia`] — the Sibia bit-slice GEMM: SBR slicing for both operands,
+//!   skipping of all-zero HO slice-vectors of *one* operand (the paper's
+//!   `max(ρ_w, ρ_x)` limitation);
+//! * [`aqs`] — the **asymmetrically-quantized bit-slice GEMM**: SBR
+//!   weights × straightforward-sliced unsigned activations, compression of
+//!   all-zero weight HO vectors *and* all-`r` activation HO vectors, MAC
+//!   skipping for both, and the Eq. 5→6 compensation term that restores
+//!   bit-exact results while reusing already-loaded weight slices;
+//! * [`workload`] — operation/EMA counters and the closed-form Table-I
+//!   expressions they are validated against;
+//! * [`pipeline`] — a prepared quantized linear layer (weights sliced,
+//!   zero-point folded into the bias, optional requantization) tying the
+//!   whole inference flow together.
+//!
+//! # Examples
+//!
+//! Bit-exactness of AQS-GEMM against the dense reference:
+//!
+//! ```
+//! use panacea_bitslice::{SlicedActivation, SlicedWeight};
+//! use panacea_core::aqs::aqs_gemm;
+//! use panacea_quant::dbs::DbsType;
+//! use panacea_tensor::Matrix;
+//!
+//! let w = Matrix::from_fn(4, 8, |r, c| (r as i32 * 3 + c as i32) % 63 - 31);
+//! let x = Matrix::from_fn(8, 4, |r, c| ((r * 17 + c * 53) % 256) as i32);
+//! let sw = SlicedWeight::from_int(&w, 1).unwrap();
+//! let sx = SlicedActivation::from_uint(&x, 1, DbsType::Type1).unwrap();
+//! let (out, _workload) = aqs_gemm(&sw, &sx, 10);
+//! assert_eq!(out, w.gemm(&x).unwrap());
+//! ```
+
+pub mod aqs;
+pub mod dense;
+pub mod pipeline;
+pub mod sibia;
+pub mod workload;
+
+pub use aqs::{aqs_gemm, aqs_tile_stats, TileStats};
+pub use workload::Workload;

@@ -1,0 +1,323 @@
+//! A complete quantized linear layer — the unit of work Panacea executes.
+//!
+//! [`QuantizedLinear`] packages everything the paper's inference flow
+//! (Fig. 6, right half) attaches to one GEMM: the SBR-sliced symmetric
+//! weights, the calibrated asymmetric activation format (ZPM/DBS
+//! applied), the bias with the `zp·W·1` term folded in offline (Eq. 3),
+//! and optionally a requantizer producing the next layer's input codes
+//! (the PPU loop of Fig. 11). `forward` runs the AQS-GEMM — compressed,
+//! skipped, compensated, and bit-exact.
+
+use panacea_bitslice::{SliceError, SlicedActivation, SlicedWeight};
+use panacea_quant::requant::Requantizer;
+use panacea_quant::{LayerQuantConfig, QuantError, Quantizer, SymmetricQuantizer};
+use panacea_tensor::Matrix;
+
+use crate::aqs::aqs_gemm;
+use crate::workload::Workload;
+
+/// Errors from layer preparation.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Weight quantization/slicing failed.
+    Slice(SliceError),
+    /// Quantizer construction failed.
+    Quant(QuantError),
+    /// Bias length does not match the weight rows.
+    BiasMismatch {
+        /// Expected entries (weight rows).
+        expected: usize,
+        /// Provided entries.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Slice(e) => write!(f, "slicing failed: {e}"),
+            PipelineError::Quant(e) => write!(f, "quantization failed: {e}"),
+            PipelineError::BiasMismatch { expected, actual } => {
+                write!(f, "bias has {actual} entries, weight has {expected} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<SliceError> for PipelineError {
+    fn from(e: SliceError) -> Self {
+        PipelineError::Slice(e)
+    }
+}
+
+impl From<QuantError> for PipelineError {
+    fn from(e: QuantError) -> Self {
+        PipelineError::Quant(e)
+    }
+}
+
+/// A prepared quantized linear layer (weights resident, bias folded).
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    sliced_weight: SlicedWeight,
+    w_scale: f32,
+    act: LayerQuantConfig,
+    /// `b̂ = b_int − zp·(W·1)`, added after the GEMM.
+    folded_bias: Vec<i64>,
+    requant: Option<Requantizer>,
+}
+
+impl QuantizedLinear {
+    /// Prepares a layer from float weights + bias and a finalized
+    /// activation calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if the bias length mismatches or the
+    /// weights cannot be quantized/sliced at `w_bits`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use panacea_core::pipeline::QuantizedLinear;
+    /// use panacea_quant::ActivationCalibrator;
+    /// use panacea_tensor::{dist::DistributionKind, seeded_rng};
+    ///
+    /// let mut rng = seeded_rng(2);
+    /// let w = DistributionKind::Gaussian { mean: 0.0, std: 0.05 }.sample_matrix(8, 16, &mut rng);
+    /// let x = DistributionKind::Gaussian { mean: 0.0, std: 0.5 }.sample_matrix(16, 8, &mut rng);
+    /// let mut cal = ActivationCalibrator::new(8).with_zpm(true);
+    /// cal.observe(&x);
+    /// let layer = QuantizedLinear::prepare(&w, &[0.0; 8], 7, cal.finalize())?;
+    /// let (out, _) = layer.forward_f32(&x);
+    /// assert_eq!(out.shape(), (8, 8));
+    /// # Ok::<(), panacea_core::pipeline::PipelineError>(())
+    /// ```
+    pub fn prepare(
+        w_f: &Matrix<f32>,
+        bias: &[f32],
+        w_bits: u8,
+        act: LayerQuantConfig,
+    ) -> Result<Self, PipelineError> {
+        if bias.len() != w_f.rows() {
+            return Err(PipelineError::BiasMismatch { expected: w_f.rows(), actual: bias.len() });
+        }
+        let wq = SymmetricQuantizer::calibrate(w_f.as_slice(), w_bits);
+        let w_int = wq.quantize_matrix(w_f);
+        let n_lo = usize::from((w_bits - 4) / 3);
+        let sliced_weight = SlicedWeight::from_int(&w_int, n_lo)?;
+        let acc_scale =
+            f64::from(wq.params().scale) * f64::from(act.quantizer.params().scale);
+        let zp = i64::from(act.quantizer.params().zero_point);
+        let folded_bias = (0..w_int.rows())
+            .map(|m| {
+                let b_int = (f64::from(bias[m]) / acc_scale).round() as i64;
+                let row_sum: i64 = w_int.row(m).iter().map(|&v| i64::from(v)).sum();
+                b_int - zp * row_sum
+            })
+            .collect();
+        Ok(QuantizedLinear {
+            sliced_weight,
+            w_scale: wq.params().scale,
+            act,
+            folded_bias,
+            requant: None,
+        })
+    }
+
+    /// Attaches a requantizer so [`forward_codes`](Self::forward_codes)
+    /// can emit the next layer's 8-bit input codes directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Quant`] if the accumulator scale is
+    /// degenerate.
+    pub fn with_output(mut self, next: LayerQuantConfig) -> Result<Self, PipelineError> {
+        let acc_scale =
+            f64::from(self.w_scale) * f64::from(self.act.quantizer.params().scale);
+        self.requant = Some(Requantizer::new(acc_scale, next.quantizer)?);
+        Ok(self)
+    }
+
+    /// The activation configuration this layer expects at its input.
+    pub fn input_config(&self) -> &LayerQuantConfig {
+        &self.act
+    }
+
+    /// The accumulator scale `s_W · s_x`.
+    pub fn accumulator_scale(&self) -> f64 {
+        f64::from(self.w_scale) * f64::from(self.act.quantizer.params().scale)
+    }
+
+    /// Runs the layer on already-quantized input codes (`K × N`,
+    /// unsigned). Returns the biased integer accumulators
+    /// (`≈ (Wx + b)/s_W s_x`) and the measured workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible or codes exceed the activation
+    /// format.
+    pub fn forward(&self, x_codes: &Matrix<i32>) -> (Matrix<i32>, Workload) {
+        let k = self.act.quantizer.params().bits / 4 - 1;
+        let sx = SlicedActivation::from_uint(x_codes, usize::from(k), self.act.dbs_type)
+            .expect("input codes exceed the calibrated activation format");
+        let (mut acc, wl) = aqs_gemm(&self.sliced_weight, &sx, self.act.frequent_ho_slice);
+        for m in 0..acc.rows() {
+            let b = self.folded_bias[m];
+            for v in acc.row_mut(m) {
+                *v = (i64::from(*v) + b) as i32;
+            }
+        }
+        (acc, wl)
+    }
+
+    /// Quantizes a float input, runs the layer, and dequantizes the
+    /// output — the float-in/float-out convenience path.
+    pub fn forward_f32(&self, x_f: &Matrix<f32>) -> (Matrix<f32>, Workload) {
+        let codes = self.act.quantizer.quantize_matrix(x_f);
+        let (acc, wl) = self.forward(&codes);
+        let s = self.accumulator_scale();
+        (acc.map(|&v| (f64::from(v) * s) as f32), wl)
+    }
+
+    /// Runs the layer and requantizes into the next layer's input codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output format was attached via
+    /// [`with_output`](Self::with_output).
+    pub fn forward_codes(&self, x_codes: &Matrix<i32>) -> (Matrix<i32>, Workload) {
+        let rq = self
+            .requant
+            .as_ref()
+            .expect("attach an output format with with_output() before forward_codes()");
+        let (acc, wl) = self.forward(x_codes);
+        (rq.requantize_matrix(&acc), wl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panacea_quant::dbs::DbsConfig;
+    use panacea_quant::ActivationCalibrator;
+    use panacea_tensor::dist::DistributionKind;
+    use panacea_tensor::stats;
+
+    fn calib(x: &Matrix<f32>, zpm: bool) -> LayerQuantConfig {
+        let mut cal = ActivationCalibrator::new(8).with_zpm(zpm).with_dbs(DbsConfig::default());
+        cal.observe(x);
+        cal.finalize()
+    }
+
+    fn setup(seed: u64) -> (Matrix<f32>, Matrix<f32>, Vec<f32>) {
+        let mut rng = panacea_tensor::seeded_rng(seed);
+        let w = DistributionKind::Gaussian { mean: 0.0, std: 0.05 }.sample_matrix(16, 32, &mut rng);
+        let x = DistributionKind::TransformerAct {
+            core_mean: 0.1,
+            core_std: 0.4,
+            pos_scale: 8.0,
+            neg_scale: 5.0,
+            outlier_frac: 0.02,
+        }
+        .sample_matrix(32, 16, &mut rng);
+        let bias: Vec<f32> =
+            (0..16).map(|_| DistributionKind::Gaussian { mean: 0.0, std: 0.1 }.sample(&mut rng)).collect();
+        (w, x, bias)
+    }
+
+    #[test]
+    fn forward_tracks_float_reference() {
+        let (w, x, bias) = setup(60);
+        let layer = QuantizedLinear::prepare(&w, &bias, 7, calib(&x, true)).expect("prepare");
+        let (out, _) = layer.forward_f32(&x);
+        let mut reference = w.gemm_f32(&x).expect("shapes");
+        for m in 0..reference.rows() {
+            for n in 0..reference.cols() {
+                reference[(m, n)] += bias[m];
+            }
+        }
+        let sqnr = stats::sqnr_db(reference.as_slice(), out.as_slice());
+        assert!(sqnr > 15.0, "quantized layer too lossy: {sqnr} dB");
+    }
+
+    #[test]
+    fn zero_point_folding_matches_direct_computation() {
+        let (w, x, bias) = setup(61);
+        let cfg = calib(&x, true);
+        let layer = QuantizedLinear::prepare(&w, &bias, 7, cfg).expect("prepare");
+        let codes = cfg.quantizer.quantize_matrix(&x);
+        let (acc, _) = layer.forward(&codes);
+        // Recompute: W_int (codes − zp) + b_int, using truncated codes.
+        let wq = SymmetricQuantizer::calibrate(w.as_slice(), 7);
+        let w_int = wq.quantize_matrix(&w);
+        let zp = cfg.quantizer.params().zero_point;
+        let trunc = codes.map(|&v| panacea_quant::dbs::dbs_truncate(v, cfg.dbs_type) - zp);
+        let mut direct = w_int.gemm(&trunc).expect("shapes");
+        let s = layer.accumulator_scale();
+        for m in 0..direct.rows() {
+            let b = (f64::from(bias[m]) / s).round() as i32;
+            for v in direct.row_mut(m) {
+                *v += b;
+            }
+        }
+        // The only difference allowed is the DBS truncation constant, which
+        // cancels because both paths use truncated codes.
+        assert_eq!(acc, direct);
+    }
+
+    #[test]
+    fn two_layer_chain_produces_valid_codes() {
+        let (w1, x, bias1) = setup(62);
+        let mut rng = panacea_tensor::seeded_rng(63);
+        let w2 = DistributionKind::Gaussian { mean: 0.0, std: 0.05 }.sample_matrix(8, 16, &mut rng);
+        // Calibrate layer-2 input from the float intermediate.
+        let mut inter = w1.gemm_f32(&x).expect("shapes");
+        for m in 0..inter.rows() {
+            for n in 0..inter.cols() {
+                inter[(m, n)] += bias1[m];
+            }
+        }
+        let cfg1 = calib(&x, true);
+        let cfg2 = calib(&inter, true);
+        let layer1 = QuantizedLinear::prepare(&w1, &bias1, 7, cfg1)
+            .expect("layer1")
+            .with_output(cfg2)
+            .expect("requant");
+        let layer2 = QuantizedLinear::prepare(&w2, &[0.0; 8], 7, cfg2).expect("layer2");
+
+        let codes1 = cfg1.quantizer.quantize_matrix(&x);
+        let (codes2, _) = layer1.forward_codes(&codes1);
+        assert!(codes2.iter().all(|&v| (0..=255).contains(&v)));
+        let (out, _) = layer2.forward(&codes2);
+        assert_eq!(out.shape(), (8, 16));
+    }
+
+    #[test]
+    fn bias_mismatch_rejected() {
+        let (w, x, _) = setup(64);
+        let err = QuantizedLinear::prepare(&w, &[0.0; 3], 7, calib(&x, false)).unwrap_err();
+        assert!(matches!(err, PipelineError::BiasMismatch { expected: 16, actual: 3 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "attach an output format")]
+    fn forward_codes_without_output_panics() {
+        let (w, x, bias) = setup(65);
+        let cfg = calib(&x, false);
+        let layer = QuantizedLinear::prepare(&w, &bias, 7, cfg).expect("prepare");
+        let codes = cfg.quantizer.quantize_matrix(&x);
+        layer.forward_codes(&codes);
+    }
+
+    #[test]
+    fn works_with_4bit_weights() {
+        let (w, x, bias) = setup(66);
+        let layer = QuantizedLinear::prepare(&w, &bias, 4, calib(&x, true)).expect("prepare");
+        let (out, wl) = layer.forward_f32(&x);
+        assert_eq!(out.shape(), (16, 16));
+        assert!(wl.mul > 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the AQS-GEMM invariants: bit-exactness for
+//! arbitrary operands, sparsity patterns, `r` values and plane counts.
+
+use panacea_bitslice::{SlicedActivation, SlicedWeight};
+use panacea_core::aqs::{aqs_gemm, aqs_tile_stats};
+use panacea_core::sibia::{sibia_gemm, SkipSide};
+use panacea_quant::dbs::{dbs_truncate, DbsType};
+use panacea_tensor::Matrix;
+use proptest::prelude::*;
+
+fn weight_strategy(m: usize, k: usize) -> impl Strategy<Value = Matrix<i32>> {
+    proptest::collection::vec(-64i32..=63, m * k)
+        .prop_map(move |v| Matrix::from_vec(m, k, v).expect("sized"))
+}
+
+fn act_strategy(k: usize, n: usize) -> impl Strategy<Value = Matrix<i32>> {
+    proptest::collection::vec(0i32..=255, k * n)
+        .prop_map(move |v| Matrix::from_vec(k, n, v).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AQS-GEMM is exact for every operand pair and every r.
+    #[test]
+    fn aqs_exact_for_arbitrary_operands(
+        w in weight_strategy(8, 12),
+        x in act_strategy(12, 8),
+        r in 0u8..16,
+    ) {
+        let sw = SlicedWeight::from_int(&w, 1).expect("weights");
+        let sx = SlicedActivation::from_uint(&x, 1, DbsType::Type1).expect("acts");
+        let (out, _) = aqs_gemm(&sw, &sx, r);
+        prop_assert_eq!(out, w.gemm(&x).expect("shapes"));
+    }
+
+    /// The result never depends on r — r only moves work between the
+    /// skipped set and the compensation term.
+    #[test]
+    fn result_independent_of_r(
+        w in weight_strategy(4, 8),
+        x in act_strategy(8, 4),
+    ) {
+        let sw = SlicedWeight::from_int(&w, 1).expect("weights");
+        let sx = SlicedActivation::from_uint(&x, 1, DbsType::Type1).expect("acts");
+        let (first, _) = aqs_gemm(&sw, &sx, 0);
+        for r in 1u8..16 {
+            let (out, _) = aqs_gemm(&sw, &sx, r);
+            prop_assert_eq!(&out, &first, "r = {}", r);
+        }
+    }
+
+    /// DBS types 2/3 compute exactly the truncated-operand product.
+    #[test]
+    fn dbs_exactness(
+        w in weight_strategy(4, 8),
+        x in act_strategy(8, 4),
+        r in 0u8..8,
+    ) {
+        let sw = SlicedWeight::from_int(&w, 1).expect("weights");
+        for ty in [DbsType::Type2, DbsType::Type3] {
+            let sx = SlicedActivation::from_uint(&x, 1, ty).expect("acts");
+            let x_eff = x.map(|&v| dbs_truncate(v, ty));
+            let (out, _) = aqs_gemm(&sw, &sx, r);
+            prop_assert_eq!(out, w.gemm(&x_eff).expect("shapes"));
+        }
+    }
+
+    /// Work never increases when values move into the skip range.
+    #[test]
+    fn more_compressible_data_never_costs_more(
+        base in act_strategy(16, 8),
+        r in 0u8..16,
+    ) {
+        let w = Matrix::from_fn(4, 16, |a, b| ((a * 7 + b * 3) % 120) as i32 - 60);
+        let sw = SlicedWeight::from_int(&w, 1).expect("weights");
+        // Force the first half of the rows into the skip range.
+        let squeezed = Matrix::from_fn(16, 8, |k, n| {
+            if k < 8 { (i32::from(r) << 4) | (base[(k, n)] & 0xF) } else { base[(k, n)] }
+        });
+        let sx_base = SlicedActivation::from_uint(&base, 1, DbsType::Type1).expect("acts");
+        let sx_sq = SlicedActivation::from_uint(&squeezed, 1, DbsType::Type1).expect("acts");
+        let (_, wl_base) = aqs_gemm(&sw, &sx_base, r);
+        let (_, wl_sq) = aqs_gemm(&sw, &sx_sq, r);
+        prop_assert!(wl_sq.mul <= wl_base.mul);
+        prop_assert!(wl_sq.ema_slices <= wl_base.ema_slices);
+    }
+
+    /// Measured vector sparsities are consistent with the skip counts.
+    #[test]
+    fn stats_are_internally_consistent(
+        w in weight_strategy(8, 8),
+        x in act_strategy(8, 8),
+        r in 0u8..16,
+    ) {
+        let sw = SlicedWeight::from_int(&w, 1).expect("weights");
+        let sx = SlicedActivation::from_uint(&x, 1, DbsType::Type1).expect("acts");
+        let s = aqs_tile_stats(&sw, &sx, r);
+        prop_assert!((0.0..=1.0).contains(&s.rho_w));
+        prop_assert!((0.0..=1.0).contains(&s.rho_x));
+        let total = s.dwo_outer_products + s.swo_outer_products + s.skipped_outer_products;
+        prop_assert_eq!(total, 2 * 2 * 2 * 8 * 2); // planes² × mg × K × ng
+    }
+
+    /// Sibia and AQS agree bit-for-bit on shared representable inputs.
+    #[test]
+    fn engines_agree_on_common_domain(
+        w in weight_strategy(4, 8),
+        x_small in proptest::collection::vec(0i32..=63, 8 * 4),
+    ) {
+        let x = Matrix::from_vec(8, 4, x_small).expect("sized");
+        let sw = SlicedWeight::from_int(&w, 1).expect("weights");
+        let sx = SlicedActivation::from_uint(&x, 1, DbsType::Type1).expect("acts");
+        let sx_sbr = SlicedWeight::from_int(&x, 1).expect("acts as SBR");
+        let reference = w.gemm(&x).expect("shapes");
+        prop_assert_eq!(aqs_gemm(&sw, &sx, 0).0, reference.clone());
+        prop_assert_eq!(sibia_gemm(&sw, &sx_sbr, SkipSide::Weight).0, reference);
+    }
+}

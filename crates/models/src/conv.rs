@@ -1,0 +1,238 @@
+//! Convolution lowered to GEMM via im2col — the substrate behind the
+//! ResNet-18 workloads (`models::zoo::resnet18` describes the shapes; this
+//! module actually executes them, so post-ReLU feature maps used for
+//! calibration come from real convolutions, not just samplers).
+//!
+//! Layout: a feature map is `C × (H·W)` (channels × positions, row-major
+//! spatial); an im2col patch matrix is `(C·kh·kw) × (H_out·W_out)`;
+//! a convolution weight is `C_out × (C·kh·kw)` — so `conv = W · im2col(x)`
+//! is exactly the GEMM shape the accelerator model consumes.
+
+use panacea_tensor::Matrix;
+
+/// Convolution geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (both dims).
+    pub stride: usize,
+    /// Zero padding (both dims).
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// Output height.
+    pub fn out_height(&self) -> usize {
+        (self.height + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_width(&self) -> usize {
+        (self.width + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// GEMM inner dimension `K = C·kh·kw`.
+    pub fn gemm_k(&self) -> usize {
+        self.channels * self.kh * self.kw
+    }
+
+    /// GEMM output columns `N = H_out·W_out`.
+    pub fn gemm_n(&self) -> usize {
+        self.out_height() * self.out_width()
+    }
+}
+
+/// Lowers a `C × (H·W)` feature map into the `(C·kh·kw) × (H_out·W_out)`
+/// patch matrix (zero padding outside the image).
+///
+/// # Panics
+///
+/// Panics if `input` does not have `channels` rows and `H·W` columns, or
+/// if the kernel exceeds the padded input.
+///
+/// # Examples
+///
+/// A 1×1 kernel with stride 1 is the identity lowering:
+///
+/// ```
+/// use panacea_models::conv::{im2col, ConvShape};
+/// use panacea_tensor::Matrix;
+///
+/// let shape = ConvShape { channels: 2, height: 3, width: 3, kh: 1, kw: 1, stride: 1, pad: 0 };
+/// let x = Matrix::from_fn(2, 9, |c, p| (c * 9 + p) as f32);
+/// assert_eq!(im2col(&x, shape), x);
+/// ```
+pub fn im2col(input: &Matrix<f32>, s: ConvShape) -> Matrix<f32> {
+    assert_eq!(input.rows(), s.channels, "channel count mismatch");
+    assert_eq!(input.cols(), s.height * s.width, "spatial size mismatch");
+    assert!(
+        s.kh <= s.height + 2 * s.pad && s.kw <= s.width + 2 * s.pad,
+        "kernel exceeds padded input"
+    );
+    let (oh, ow) = (s.out_height(), s.out_width());
+    let mut out = Matrix::<f32>::zeros(s.gemm_k(), oh * ow);
+    for c in 0..s.channels {
+        for ky in 0..s.kh {
+            for kx in 0..s.kw {
+                let row = (c * s.kh + ky) * s.kw + kx;
+                for oy in 0..oh {
+                    let iy = (oy * s.stride + ky) as isize - s.pad as isize;
+                    if iy < 0 || iy >= s.height as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * s.stride + kx) as isize - s.pad as isize;
+                        if ix < 0 || ix >= s.width as isize {
+                            continue;
+                        }
+                        out[(row, oy * ow + ox)] =
+                            input[(c, iy as usize * s.width + ix as usize)];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Direct (sliding-window) convolution reference: `C_out × (H_out·W_out)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches (weight must be `C_out × C·kh·kw`).
+pub fn conv_direct(input: &Matrix<f32>, weight: &Matrix<f32>, s: ConvShape) -> Matrix<f32> {
+    assert_eq!(weight.cols(), s.gemm_k(), "weight inner dim mismatch");
+    let (oh, ow) = (s.out_height(), s.out_width());
+    let mut out = Matrix::<f32>::zeros(weight.rows(), oh * ow);
+    for co in 0..weight.rows() {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0f32;
+                for c in 0..s.channels {
+                    for ky in 0..s.kh {
+                        let iy = (oy * s.stride + ky) as isize - s.pad as isize;
+                        if iy < 0 || iy >= s.height as isize {
+                            continue;
+                        }
+                        for kx in 0..s.kw {
+                            let ix = (ox * s.stride + kx) as isize - s.pad as isize;
+                            if ix < 0 || ix >= s.width as isize {
+                                continue;
+                            }
+                            acc += weight[(co, (c * s.kh + ky) * s.kw + kx)]
+                                * input[(c, iy as usize * s.width + ix as usize)];
+                        }
+                    }
+                }
+                out[(co, oy * ow + ox)] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Convolution as GEMM: `W · im2col(x)`, followed by optional ReLU — the
+/// path the accelerator executes.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv_gemm(input: &Matrix<f32>, weight: &Matrix<f32>, s: ConvShape, relu: bool) -> Matrix<f32> {
+    let patches = im2col(input, s);
+    let out = weight.gemm_f32(&patches).expect("weight × patches");
+    if relu {
+        out.map(|&v| v.max(0.0))
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panacea_tensor::dist::DistributionKind;
+
+    fn shape_3x3() -> ConvShape {
+        ConvShape { channels: 3, height: 8, width: 8, kh: 3, kw: 3, stride: 1, pad: 1 }
+    }
+
+    fn random_case(s: ConvShape, c_out: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>) {
+        let mut rng = panacea_tensor::seeded_rng(seed);
+        let x = DistributionKind::Gaussian { mean: 0.0, std: 1.0 }
+            .sample_matrix(s.channels, s.height * s.width, &mut rng);
+        let w = DistributionKind::Gaussian { mean: 0.0, std: 0.2 }
+            .sample_matrix(c_out, s.gemm_k(), &mut rng);
+        (x, w)
+    }
+
+    #[test]
+    fn output_dims_match_formula() {
+        let s = shape_3x3();
+        assert_eq!((s.out_height(), s.out_width()), (8, 8)); // same-padding
+        let s2 = ConvShape { stride: 2, ..s };
+        assert_eq!((s2.out_height(), s2.out_width()), (4, 4));
+    }
+
+    #[test]
+    fn gemm_path_matches_direct_convolution() {
+        let s = shape_3x3();
+        let (x, w) = random_case(s, 4, 80);
+        let a = conv_gemm(&x, &w, s, false);
+        let b = conv_direct(&x, &w, s);
+        assert_eq!(a.shape(), b.shape());
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn strided_and_unpadded_variants_agree() {
+        for s in [
+            ConvShape { channels: 2, height: 7, width: 9, kh: 3, kw: 3, stride: 2, pad: 0 },
+            ConvShape { channels: 1, height: 6, width: 6, kh: 5, kw: 5, stride: 1, pad: 2 },
+        ] {
+            let (x, w) = random_case(s, 3, 81);
+            let a = conv_gemm(&x, &w, s, false);
+            let b = conv_direct(&x, &w, s);
+            for (u, v) in a.iter().zip(b.iter()) {
+                assert!((u - v).abs() < 1e-4, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn relu_output_is_one_sided() {
+        let s = shape_3x3();
+        let (x, w) = random_case(s, 4, 82);
+        let out = conv_gemm(&x, &w, s, true);
+        assert!(out.iter().all(|&v| v >= 0.0));
+        // And a healthy share is exactly zero — the sparsity source the
+        // paper's ResNet numbers rely on.
+        let zeros = out.iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > out.len() / 4, "only {zeros} zeros of {}", out.len());
+    }
+
+    #[test]
+    fn im2col_shapes_match_zoo_resnet_layers() {
+        // stage1 conv: 64 channels, 56×56, 3×3 same-padding.
+        let s = ConvShape { channels: 64, height: 56, width: 56, kh: 3, kw: 3, stride: 1, pad: 1 };
+        assert_eq!(s.gemm_k(), 64 * 9);
+        assert_eq!(s.gemm_n(), 56 * 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn wrong_channel_count_panics() {
+        let s = shape_3x3();
+        im2col(&Matrix::<f32>::zeros(2, 64), s);
+    }
+}

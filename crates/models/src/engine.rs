@@ -1,0 +1,304 @@
+//! A small pure-Rust transformer forward engine.
+//!
+//! Used to produce *actual* activation tensors (post-LayerNorm, attention
+//! context, post-GELU) for calibration demos, the end-to-end examples, and
+//! tests — so the quantization pipeline is exercised on data with the same
+//! structural correlations real models produce, not just i.i.d. samples.
+//!
+//! Activations follow the workspace GEMM convention: a tensor is
+//! `features × tokens` (`K × N`), weights are `M × K`.
+
+use panacea_tensor::{dist::gelu, dist::DistributionKind, Matrix};
+
+/// Configuration of a [`TinyTransformer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Model width (must be divisible by `n_heads`).
+    pub d_model: usize,
+    /// Number of attention heads.
+    pub n_heads: usize,
+    /// MLP hidden width.
+    pub d_ff: usize,
+    /// Number of blocks.
+    pub n_layers: usize,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> Self {
+        TransformerConfig { d_model: 64, n_heads: 4, d_ff: 256, n_layers: 2 }
+    }
+}
+
+/// One transformer block's weights.
+#[derive(Debug, Clone)]
+struct Block {
+    w_qkv: Matrix<f32>,
+    w_proj: Matrix<f32>,
+    w_fc1: Matrix<f32>,
+    w_fc2: Matrix<f32>,
+}
+
+/// A named activation captured during a forward pass, paired with the
+/// weight of the layer that consumes it.
+#[derive(Debug, Clone)]
+pub struct CapturedLayer {
+    /// Layer name, e.g. `"block0.fc2"`.
+    pub name: String,
+    /// The weight matrix (`M × K`).
+    pub weight: Matrix<f32>,
+    /// The input activation (`K × N`).
+    pub input: Matrix<f32>,
+}
+
+/// A small pre-norm transformer with synthetic weights.
+///
+/// # Examples
+///
+/// ```
+/// use panacea_models::engine::{TinyTransformer, TransformerConfig};
+/// use panacea_tensor::{dist::DistributionKind, seeded_rng};
+///
+/// let model = TinyTransformer::new_random(TransformerConfig::default(), 7);
+/// let mut rng = seeded_rng(8);
+/// let x = DistributionKind::Gaussian { mean: 0.0, std: 1.0 }
+///     .sample_matrix(64, 16, &mut rng);
+/// let y = model.forward(&x);
+/// assert_eq!(y.shape(), (64, 16));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TinyTransformer {
+    cfg: TransformerConfig,
+    blocks: Vec<Block>,
+}
+
+impl TinyTransformer {
+    /// Builds a transformer with Xavier-style random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `n_heads`.
+    pub fn new_random(cfg: TransformerConfig, seed: u64) -> Self {
+        assert_eq!(cfg.d_model % cfg.n_heads, 0, "d_model must divide by n_heads");
+        let mut rng = panacea_tensor::seeded_rng(seed);
+        let init = |m: usize, k: usize, rng: &mut rand::rngs::StdRng| {
+            let std = (2.0 / (m + k) as f32).sqrt();
+            DistributionKind::Gaussian { mean: 0.0, std }.sample_matrix(m, k, rng)
+        };
+        let blocks = (0..cfg.n_layers)
+            .map(|_| Block {
+                w_qkv: init(3 * cfg.d_model, cfg.d_model, &mut rng),
+                w_proj: init(cfg.d_model, cfg.d_model, &mut rng),
+                w_fc1: init(cfg.d_ff, cfg.d_model, &mut rng),
+                w_fc2: init(cfg.d_model, cfg.d_ff, &mut rng),
+            })
+            .collect();
+        TinyTransformer { cfg, blocks }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> TransformerConfig {
+        self.cfg
+    }
+
+    /// Runs a forward pass on `x` (`d_model × tokens`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != d_model`.
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.forward_captured(x, &mut Vec::new())
+    }
+
+    /// Runs a forward pass, recording the `(weight, input)` pair of every
+    /// weight GEMM into `captures`.
+    pub fn forward_captured(
+        &self,
+        x: &Matrix<f32>,
+        captures: &mut Vec<CapturedLayer>,
+    ) -> Matrix<f32> {
+        assert_eq!(x.rows(), self.cfg.d_model, "input feature dim mismatch");
+        let mut h = x.clone();
+        for (bi, block) in self.blocks.iter().enumerate() {
+            // Attention sub-layer (pre-norm, residual).
+            let normed = layer_norm(&h);
+            captures.push(CapturedLayer {
+                name: format!("block{bi}.qkv"),
+                weight: block.w_qkv.clone(),
+                input: normed.clone(),
+            });
+            let qkv = block.w_qkv.gemm_f32(&normed).expect("qkv shapes");
+            let ctx = self.attention(&qkv);
+            captures.push(CapturedLayer {
+                name: format!("block{bi}.attn_proj"),
+                weight: block.w_proj.clone(),
+                input: ctx.clone(),
+            });
+            let attn_out = block.w_proj.gemm_f32(&ctx).expect("proj shapes");
+            h = add(&h, &attn_out);
+
+            // MLP sub-layer.
+            let normed = layer_norm(&h);
+            captures.push(CapturedLayer {
+                name: format!("block{bi}.fc1"),
+                weight: block.w_fc1.clone(),
+                input: normed.clone(),
+            });
+            let hidden = block.w_fc1.gemm_f32(&normed).expect("fc1 shapes");
+            let activated = hidden.map(|&v| gelu(v));
+            captures.push(CapturedLayer {
+                name: format!("block{bi}.fc2"),
+                weight: block.w_fc2.clone(),
+                input: activated.clone(),
+            });
+            let mlp_out = block.w_fc2.gemm_f32(&activated).expect("fc2 shapes");
+            h = add(&h, &mlp_out);
+        }
+        h
+    }
+
+    /// Multi-head self-attention over the stacked QKV tensor
+    /// (`3·d_model × tokens`).
+    fn attention(&self, qkv: &Matrix<f32>) -> Matrix<f32> {
+        let d = self.cfg.d_model;
+        let t = qkv.cols();
+        let dh = d / self.cfg.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut ctx = Matrix::<f32>::zeros(d, t);
+        for h in 0..self.cfg.n_heads {
+            let q0 = h * dh;
+            // Scores: A[i][j] = (q_i · k_j) · scale, softmax over j.
+            for i in 0..t {
+                let mut row = vec![0f32; t];
+                for (j, slot) in row.iter_mut().enumerate() {
+                    let mut dot = 0f32;
+                    for f in 0..dh {
+                        dot += qkv[(q0 + f, i)] * qkv[(d + q0 + f, j)];
+                    }
+                    *slot = dot * scale;
+                }
+                softmax_in_place(&mut row);
+                for f in 0..dh {
+                    let mut acc = 0f32;
+                    for (j, &a) in row.iter().enumerate() {
+                        acc += a * qkv[(2 * d + q0 + f, j)];
+                    }
+                    ctx[(q0 + f, i)] = acc;
+                }
+            }
+        }
+        ctx
+    }
+}
+
+/// Per-token (column-wise) LayerNorm with unit gain and zero bias.
+pub fn layer_norm(x: &Matrix<f32>) -> Matrix<f32> {
+    let (k, n) = x.shape();
+    let mut out = Matrix::<f32>::zeros(k, n);
+    for c in 0..n {
+        let mut mean = 0f32;
+        for r in 0..k {
+            mean += x[(r, c)];
+        }
+        mean /= k as f32;
+        let mut var = 0f32;
+        for r in 0..k {
+            let d = x[(r, c)] - mean;
+            var += d * d;
+        }
+        var /= k as f32;
+        let inv = 1.0 / (var + 1e-5).sqrt();
+        for r in 0..k {
+            out[(r, c)] = (x[(r, c)] - mean) * inv;
+        }
+    }
+    out
+}
+
+/// Numerically-stable softmax.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0f32;
+    for v in xs.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in xs.iter_mut() {
+        *v /= sum;
+    }
+}
+
+fn add(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+    debug_assert_eq!(a.shape(), b.shape());
+    Matrix::from_fn(a.rows(), a.cols(), |r, c| a[(r, c)] + b[(r, c)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panacea_tensor::stats;
+
+    fn input(d: usize, t: usize, seed: u64) -> Matrix<f32> {
+        let mut rng = panacea_tensor::seeded_rng(seed);
+        DistributionKind::Gaussian { mean: 0.0, std: 1.0 }.sample_matrix(d, t, &mut rng)
+    }
+
+    #[test]
+    fn forward_preserves_shape_and_is_deterministic() {
+        let m = TinyTransformer::new_random(TransformerConfig::default(), 1);
+        let x = input(64, 12, 2);
+        let y1 = m.forward(&x);
+        let y2 = m.forward(&x);
+        assert_eq!(y1.shape(), (64, 12));
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn layer_norm_normalizes_columns() {
+        let x = input(32, 8, 3);
+        let n = layer_norm(&x);
+        for c in 0..8 {
+            let col: Vec<f32> = (0..32).map(|r| n[(r, c)]).collect();
+            assert!(stats::mean(&col).abs() < 1e-4);
+            assert!((stats::std_dev(&col) - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut xs = vec![1.0, 2.0, 3.0, -10.0];
+        softmax_in_place(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(xs.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn captures_cover_all_weight_gemms() {
+        let cfg = TransformerConfig { n_layers: 3, ..TransformerConfig::default() };
+        let m = TinyTransformer::new_random(cfg, 4);
+        let mut caps = Vec::new();
+        m.forward_captured(&input(64, 8, 5), &mut caps);
+        assert_eq!(caps.len(), 3 * 4);
+        assert!(caps.iter().any(|c| c.name == "block2.fc2"));
+        for c in &caps {
+            assert_eq!(c.weight.cols(), c.input.rows(), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn fc2_inputs_are_post_gelu_one_sided() {
+        let m = TinyTransformer::new_random(TransformerConfig::default(), 6);
+        let mut caps = Vec::new();
+        m.forward_captured(&input(64, 16, 7), &mut caps);
+        let fc2 = caps.iter().find(|c| c.name == "block0.fc2").unwrap();
+        let min = fc2.input.iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(min > -0.5, "post-GELU lower bound violated: {min}");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dim mismatch")]
+    fn wrong_input_width_panics() {
+        let m = TinyTransformer::new_random(TransformerConfig::default(), 8);
+        m.forward(&Matrix::<f32>::zeros(32, 4));
+    }
+}

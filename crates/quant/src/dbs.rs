@@ -1,0 +1,354 @@
+//! Distribution-based bit-slicing (DBS), paper §III-C and Figs. 9–10.
+//!
+//! ZPM centres the quantized distribution inside a skip range, but a *wide*
+//! distribution still spills past the `2^l`-value range. DBS widens the LO
+//! slice (`l` = 4 → 5 → 6 bits) for wide distributions, doubling or
+//! quadrupling the skip range, at the cost of discarding `l − 4` LSBs so the
+//! hardware can keep uniform 4-bit slice datapaths (the S-ACC simply shifts
+//! partial sums back, Fig. 10).
+//!
+//! Classification happens during calibration: the monitored histogram's
+//! standard deviation `std` is compared against the half-width of each
+//! candidate skip range using a z-score: the smallest `l` with
+//! `std · z ≤ 2^{l−1}` achieves the target coverage. `l = 4, 5, 6`
+//! correspond to DBS **type-1/2/3**.
+
+use panacea_tensor::stats::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// The three DBS distribution types (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DbsType {
+    /// Narrow distribution — default 4-bit LO slice.
+    Type1,
+    /// Medium-width distribution — 5-bit LO slice (skip range ×2).
+    Type2,
+    /// Wide distribution — 6-bit LO slice (skip range ×4).
+    Type3,
+}
+
+impl DbsType {
+    /// LO-slice bit-width `l` for this type (paper: 4, 5, 6).
+    pub fn lo_bits(self) -> u8 {
+        match self {
+            DbsType::Type1 => 4,
+            DbsType::Type2 => 5,
+            DbsType::Type3 => 6,
+        }
+    }
+
+    /// Number of LSBs discarded to keep 4-bit slice containers.
+    pub fn discarded_lsbs(self) -> u8 {
+        self.lo_bits() - 4
+    }
+
+    /// Shift applied by the S-ACC when accumulating LO partial sums.
+    pub fn lo_shift(self) -> u8 {
+        self.discarded_lsbs()
+    }
+
+    /// All types, in increasing LO width, for sweeps.
+    pub fn all() -> [DbsType; 3] {
+        [DbsType::Type1, DbsType::Type2, DbsType::Type3]
+    }
+}
+
+impl std::fmt::Display for DbsType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbsType::Type1 => write!(f, "type-1"),
+            DbsType::Type2 => write!(f, "type-2"),
+            DbsType::Type3 => write!(f, "type-3"),
+        }
+    }
+}
+
+/// One row of the z-score table used during calibration (Fig. 9): the area
+/// under a standard normal from the mean up to `z` standard deviations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZTableEntry {
+    /// Number of standard deviations from the mean.
+    pub z: f64,
+    /// One-sided area `Φ(z) − 0.5`.
+    pub area_from_mean: f64,
+}
+
+/// The z-score table: `Φ(z) − 0.5` for `z = 0.0, 0.1, …, 3.5`.
+pub const Z_TABLE: &[ZTableEntry] = &[
+    ZTableEntry { z: 0.0, area_from_mean: 0.0000 },
+    ZTableEntry { z: 0.1, area_from_mean: 0.0398 },
+    ZTableEntry { z: 0.2, area_from_mean: 0.0793 },
+    ZTableEntry { z: 0.3, area_from_mean: 0.1179 },
+    ZTableEntry { z: 0.4, area_from_mean: 0.1554 },
+    ZTableEntry { z: 0.5, area_from_mean: 0.1915 },
+    ZTableEntry { z: 0.6, area_from_mean: 0.2257 },
+    ZTableEntry { z: 0.7, area_from_mean: 0.2580 },
+    ZTableEntry { z: 0.8, area_from_mean: 0.2881 },
+    ZTableEntry { z: 0.9, area_from_mean: 0.3159 },
+    ZTableEntry { z: 1.0, area_from_mean: 0.3413 },
+    ZTableEntry { z: 1.1, area_from_mean: 0.3643 },
+    ZTableEntry { z: 1.2, area_from_mean: 0.3849 },
+    ZTableEntry { z: 1.3, area_from_mean: 0.4032 },
+    ZTableEntry { z: 1.4, area_from_mean: 0.4192 },
+    ZTableEntry { z: 1.5, area_from_mean: 0.4332 },
+    ZTableEntry { z: 1.6, area_from_mean: 0.4452 },
+    ZTableEntry { z: 1.7, area_from_mean: 0.4554 },
+    ZTableEntry { z: 1.8, area_from_mean: 0.4641 },
+    ZTableEntry { z: 1.9, area_from_mean: 0.4713 },
+    ZTableEntry { z: 2.0, area_from_mean: 0.4772 },
+    ZTableEntry { z: 2.1, area_from_mean: 0.4821 },
+    ZTableEntry { z: 2.2, area_from_mean: 0.4861 },
+    ZTableEntry { z: 2.3, area_from_mean: 0.4893 },
+    ZTableEntry { z: 2.4, area_from_mean: 0.4918 },
+    ZTableEntry { z: 2.5, area_from_mean: 0.4938 },
+    ZTableEntry { z: 2.6, area_from_mean: 0.4953 },
+    ZTableEntry { z: 2.7, area_from_mean: 0.4965 },
+    ZTableEntry { z: 2.8, area_from_mean: 0.4974 },
+    ZTableEntry { z: 2.9, area_from_mean: 0.4981 },
+    ZTableEntry { z: 3.0, area_from_mean: 0.4987 },
+    ZTableEntry { z: 3.1, area_from_mean: 0.4990 },
+    ZTableEntry { z: 3.2, area_from_mean: 0.4993 },
+    ZTableEntry { z: 3.3, area_from_mean: 0.4995 },
+    ZTableEntry { z: 3.4, area_from_mean: 0.4997 },
+    ZTableEntry { z: 3.5, area_from_mean: 0.4998 },
+];
+
+/// Looks up the smallest tabulated `z` whose area-from-mean reaches
+/// `area` (one-sided, `0 ≤ area < 0.5`). Returns the last table entry for
+/// unreachable areas.
+///
+/// # Examples
+///
+/// ```
+/// // 45% one-sided coverage (90% two-sided) needs z ≈ 1.7.
+/// let z = panacea_quant::dbs::z_for_area(0.45);
+/// assert!((z - 1.7).abs() < 0.11);
+/// ```
+pub fn z_for_area(area: f64) -> f64 {
+    for e in Z_TABLE {
+        if e.area_from_mean >= area {
+            return e.z;
+        }
+    }
+    Z_TABLE[Z_TABLE.len() - 1].z
+}
+
+/// DBS calibration configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DbsConfig {
+    /// Target two-sided coverage of the skip range (the paper's "target
+    /// sparsity"); default 0.93.
+    pub target_coverage: f64,
+}
+
+impl Default for DbsConfig {
+    fn default() -> Self {
+        DbsConfig { target_coverage: 0.93 }
+    }
+}
+
+impl DbsConfig {
+    /// Classifies a quantized-activation histogram into a DBS type.
+    ///
+    /// The smallest `l ∈ {4, 5, 6}` satisfying `std · z ≤ 2^{l−1}` is
+    /// chosen; if even `l = 6` cannot reach the target the layer is still
+    /// type-3 (best effort, as in the paper).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use panacea_quant::dbs::{DbsConfig, DbsType};
+    /// use panacea_tensor::stats::Histogram;
+    ///
+    /// let mut narrow = Histogram::new(0, 255);
+    /// for v in 124..=132 {
+    ///     narrow.record(v);
+    /// }
+    /// assert_eq!(DbsConfig::default().classify(&narrow), DbsType::Type1);
+    /// ```
+    pub fn classify(&self, hist: &Histogram) -> DbsType {
+        let std = hist.std_dev();
+        self.classify_std(std)
+    }
+
+    /// Classification from a pre-computed standard deviation.
+    pub fn classify_std(&self, std: f64) -> DbsType {
+        let z = z_for_area(self.target_coverage / 2.0);
+        let required_half_width = std * z;
+        if required_half_width <= f64::from(1u32 << 3) {
+            DbsType::Type1
+        } else if required_half_width <= f64::from(1u32 << 4) {
+            DbsType::Type2
+        } else {
+            DbsType::Type3
+        }
+    }
+}
+
+/// Truncates a quantized value the way the DBS hardware does: the
+/// `l − 4` LSBs of the long LO slice are discarded (Fig. 10), i.e. zeroed.
+///
+/// Type-1 (`l = 4`) is the identity; type-2 drops 1 LSB; type-3 drops 2.
+///
+/// # Examples
+///
+/// ```
+/// use panacea_quant::dbs::{dbs_truncate, DbsType};
+///
+/// assert_eq!(dbs_truncate(0b0101_0101, DbsType::Type1), 0b0101_0101);
+/// assert_eq!(dbs_truncate(0b0101_0101, DbsType::Type2), 0b0101_0100);
+/// assert_eq!(dbs_truncate(0b0101_0111, DbsType::Type3), 0b0101_0100);
+/// ```
+pub fn dbs_truncate(q: i32, ty: DbsType) -> i32 {
+    let drop = ty.discarded_lsbs();
+    (q >> drop) << drop
+}
+
+/// Splits an 8-bit quantized value into the type's `(HO, LO)` 4-bit slice
+/// containers (Fig. 10): HO holds the top `8 − l` bits (zero-padded), LO
+/// holds the top 4 bits of the `l`-bit low part.
+///
+/// The represented value is `HO·2^l + LO·2^{l−4}`, i.e.
+/// [`dbs_truncate`]`(q, ty)`.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 255]`.
+///
+/// # Examples
+///
+/// The paper's type-2 example: `01010101₂` splits into HO `010₂` and LO
+/// `10101₂`, stored as 4-bit containers `0010₂` and `1010₂`:
+///
+/// ```
+/// use panacea_quant::dbs::{dbs_slices, DbsType};
+///
+/// let (ho, lo) = dbs_slices(0b0101_0101, DbsType::Type2);
+/// assert_eq!(ho, 0b0010);
+/// assert_eq!(lo, 0b1010);
+/// ```
+pub fn dbs_slices(q: i32, ty: DbsType) -> (u8, u8) {
+    assert!((0..=255).contains(&q), "value {q} outside u8 range");
+    let l = u32::from(ty.lo_bits());
+    let ho = (q as u32) >> l;
+    let lo_full = (q as u32) & ((1 << l) - 1);
+    let lo = lo_full >> (l - 4);
+    (ho as u8, lo as u8)
+}
+
+/// Reassembles the value represented by DBS slice containers.
+///
+/// # Examples
+///
+/// ```
+/// use panacea_quant::dbs::{dbs_slices, dbs_truncate, dbs_unslice, DbsType};
+///
+/// for ty in [DbsType::Type1, DbsType::Type2, DbsType::Type3] {
+///     let (ho, lo) = dbs_slices(201, ty);
+///     assert_eq!(dbs_unslice(ho, lo, ty), dbs_truncate(201, ty));
+/// }
+/// ```
+pub fn dbs_unslice(ho: u8, lo: u8, ty: DbsType) -> i32 {
+    let l = u32::from(ty.lo_bits());
+    ((u32::from(ho) << l) + (u32::from(lo) << (l - 4))) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lo_bits_match_paper() {
+        assert_eq!(DbsType::Type1.lo_bits(), 4);
+        assert_eq!(DbsType::Type2.lo_bits(), 5);
+        assert_eq!(DbsType::Type3.lo_bits(), 6);
+    }
+
+    #[test]
+    fn z_table_is_monotonic() {
+        for w in Z_TABLE.windows(2) {
+            assert!(w[1].z > w[0].z);
+            assert!(w[1].area_from_mean >= w[0].area_from_mean);
+        }
+    }
+
+    #[test]
+    fn z_for_area_endpoints() {
+        assert_eq!(z_for_area(0.0), 0.0);
+        assert_eq!(z_for_area(0.9), 3.5); // unreachable → last entry
+    }
+
+    #[test]
+    fn classify_narrow_medium_wide() {
+        let cfg = DbsConfig { target_coverage: 0.90 };
+        // z(0.45) ≈ 1.7 → thresholds std ≤ 8/1.7 ≈ 4.7 and std ≤ 16/1.7 ≈ 9.4.
+        assert_eq!(cfg.classify_std(2.0), DbsType::Type1);
+        assert_eq!(cfg.classify_std(6.0), DbsType::Type2);
+        assert_eq!(cfg.classify_std(20.0), DbsType::Type3);
+    }
+
+    #[test]
+    fn classify_from_histogram() {
+        let cfg = DbsConfig::default();
+        let mut wide = Histogram::new(0, 255);
+        for v in (0..=255).step_by(4) {
+            wide.record(v);
+        }
+        assert_eq!(cfg.classify(&wide), DbsType::Type3);
+    }
+
+    #[test]
+    fn higher_target_coverage_never_narrows_the_type() {
+        let lo = DbsConfig { target_coverage: 0.80 };
+        let hi = DbsConfig { target_coverage: 0.99 };
+        for std in [1.0, 3.0, 5.0, 8.0, 12.0, 30.0] {
+            let a = lo.classify_std(std);
+            let b = hi.classify_std(std);
+            assert!(
+                b.lo_bits() >= a.lo_bits(),
+                "std={std}: target 0.99 gave {b} narrower than {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncate_is_identity_for_type1() {
+        for q in 0..=255 {
+            assert_eq!(dbs_truncate(q, DbsType::Type1), q);
+        }
+    }
+
+    #[test]
+    fn truncate_error_bounded_by_dropped_lsbs() {
+        for q in 0..=255 {
+            assert!(q - dbs_truncate(q, DbsType::Type2) <= 1);
+            assert!(q - dbs_truncate(q, DbsType::Type3) <= 3);
+        }
+    }
+
+    #[test]
+    fn paper_type2_slicing_example() {
+        // 01010101₂ → HO 010₂, LO 10101₂ → containers 0010₂ / 1010₂ (Fig. 10b).
+        let (ho, lo) = dbs_slices(0b0101_0101, DbsType::Type2);
+        assert_eq!(ho, 0b0010);
+        assert_eq!(lo, 0b1010);
+        assert_eq!(dbs_unslice(ho, lo, DbsType::Type2), 0b0101_0100);
+    }
+
+    #[test]
+    fn slices_fit_in_four_bits_and_round_trip() {
+        for ty in DbsType::all() {
+            for q in 0..=255 {
+                let (ho, lo) = dbs_slices(q, ty);
+                assert!(ho < 16 && lo < 16, "ty={ty} q={q} ho={ho} lo={lo}");
+                assert_eq!(dbs_unslice(ho, lo, ty), dbs_truncate(q, ty));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside u8 range")]
+    fn dbs_slices_rejects_out_of_range() {
+        dbs_slices(256, DbsType::Type1);
+    }
+}

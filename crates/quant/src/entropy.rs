@@ -1,0 +1,201 @@
+//! Entropy (KL-divergence) calibration — the TensorRT-style refinement of
+//! min/max calibration the PTQ literature the paper builds on uses for
+//! outlier-heavy activations.
+//!
+//! Instead of mapping the full `[min, max]` range onto the 8-bit grid,
+//! entropy calibration searches over clip thresholds and keeps the one
+//! whose quantized distribution is closest (in KL divergence) to the
+//! original — trading saturation of rare outliers for resolution on the
+//! bulk. It composes with the rest of the pipeline: the result is an
+//! ordinary [`AsymmetricQuantizer`] that ZPM/DBS then operate on.
+
+use panacea_tensor::stats;
+
+use crate::quantizer::{AsymmetricQuantizer, QuantError};
+
+/// Number of fine histogram bins used for the threshold search.
+const FINE_BINS: usize = 2048;
+
+/// Calibrates an asymmetric quantizer by KL-divergence threshold search.
+///
+/// The candidate clip ranges shrink symmetrically in quantile space from
+/// the full range down to the central 80%; the range minimizing the KL
+/// divergence between the original (fine-binned) distribution and its
+/// quantized-then-expanded counterpart wins.
+///
+/// # Errors
+///
+/// Returns [`QuantError::UnsupportedBits`] for `bits ∉ 2..=16` or
+/// [`QuantError::InvalidScale`] for empty/degenerate data.
+///
+/// # Examples
+///
+/// ```
+/// use panacea_quant::entropy::calibrate_entropy;
+/// use panacea_quant::Quantizer;
+/// use panacea_tensor::{dist::DistributionKind, seeded_rng};
+///
+/// let mut rng = seeded_rng(4);
+/// let mut data = DistributionKind::Gaussian { mean: 0.3, std: 0.2 }
+///     .sample_matrix(64, 64, &mut rng)
+///     .into_vec();
+/// data.extend([40.0, -25.0]); // extreme outliers
+/// let q = calibrate_entropy(&data, 8)?;
+/// // The entropy range clips the outliers: scale far below min/max.
+/// assert!(q.params().scale < 65.0 / 255.0 / 5.0);
+/// # Ok::<(), panacea_quant::QuantError>(())
+/// ```
+pub fn calibrate_entropy(data: &[f32], bits: u8) -> Result<AsymmetricQuantizer, QuantError> {
+    if !(2..=16).contains(&bits) {
+        return Err(QuantError::UnsupportedBits(bits));
+    }
+    let (lo, hi) = stats::min_max(data);
+    if data.is_empty() || !(hi > lo) {
+        return Err(QuantError::InvalidScale("degenerate calibration data".to_string()));
+    }
+    let lo = lo.min(0.0);
+    let hi = hi.max(0.0);
+    // Fine histogram over the full range.
+    let width = (hi - lo) / FINE_BINS as f32;
+    let mut hist = vec![0f64; FINE_BINS];
+    for &v in data {
+        let b = (((v - lo) / width) as usize).min(FINE_BINS - 1);
+        hist[b] += 1.0;
+    }
+    let levels = 1usize << bits;
+
+    let mut best: Option<(f64, f32, f32)> = None;
+    // Candidate clip ranges walk *quantile* space — outlier-stretched
+    // tensors concentrate the bulk in a sliver of the value range, so
+    // bin-space shrinking would never reach it.
+    for &tail in &[0.0f32, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 2.5e-2, 5e-2] {
+        let c_lo = stats::percentile(data, tail * 100.0);
+        let c_hi = stats::percentile(data, 100.0 - tail * 100.0);
+        if !(c_hi > c_lo) {
+            continue;
+        }
+        let b0 = (((c_lo - lo) / width) as usize).min(FINE_BINS - 1);
+        let b1 = ((((c_hi - lo) / width) as usize) + 1).clamp(b0 + 1, FINE_BINS);
+        // Clip: mass outside collapses onto the edge bins.
+        let mut clipped = hist[b0..b1].to_vec();
+        clipped[0] += hist[..b0].iter().sum::<f64>();
+        let last = clipped.len() - 1;
+        clipped[last] += hist[b1..].iter().sum::<f64>();
+        let kl = kl_after_requantize(&clipped, levels);
+        if best.map_or(true, |(b, _, _)| kl < b) {
+            best = Some((kl, c_lo, c_hi));
+        }
+    }
+    let (_, c_lo, c_hi) = best.expect("at least one candidate");
+    // The representable range must include zero for an exact zero-point.
+    let c_lo = c_lo.min(0.0);
+    let c_hi = c_hi.max(0.0);
+    let qmax = (levels - 1) as f32;
+    let scale = (c_hi - c_lo) / qmax;
+    let zp = (-c_lo / scale).round() as i32;
+    AsymmetricQuantizer::from_params(scale, zp, bits)
+}
+
+/// KL(P ‖ Q) where Q is P merged into `levels` equal buckets and spread
+/// back uniformly — the standard entropy-calibration surrogate.
+fn kl_after_requantize(p: &[f64], levels: usize) -> f64 {
+    let n = p.len();
+    let chunk = n.div_ceil(levels);
+    let total: f64 = p.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut kl = 0.0;
+    for c in p.chunks(chunk) {
+        let mass: f64 = c.iter().sum();
+        let nonzero = c.iter().filter(|&&v| v > 0.0).count();
+        if nonzero == 0 {
+            continue;
+        }
+        let q = mass / nonzero as f64;
+        for &v in c {
+            if v > 0.0 {
+                kl += (v / total) * ((v / total) / (q / total)).ln();
+            }
+        }
+    }
+    kl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::Quantizer;
+    use panacea_tensor::dist::DistributionKind;
+
+    fn outlier_data(seed: u64) -> Vec<f32> {
+        let mut rng = panacea_tensor::seeded_rng(seed);
+        let mut d = DistributionKind::Gaussian { mean: 0.2, std: 0.15 }
+            .sample_matrix(128, 64, &mut rng)
+            .into_vec();
+        d.extend([30.0, 28.0, -22.0]);
+        d
+    }
+
+    #[test]
+    fn entropy_clips_extreme_outliers() {
+        let data = outlier_data(1);
+        let minmax = AsymmetricQuantizer::calibrate(&data, 8);
+        let entropy = calibrate_entropy(&data, 8).unwrap();
+        assert!(
+            entropy.params().scale < minmax.params().scale / 3.0,
+            "entropy {} vs minmax {}",
+            entropy.params().scale,
+            minmax.params().scale
+        );
+    }
+
+    #[test]
+    fn entropy_improves_bulk_mse() {
+        let data = outlier_data(2);
+        let bulk: Vec<f32> = data.iter().copied().filter(|v| v.abs() < 2.0).collect();
+        let err = |q: &AsymmetricQuantizer| {
+            let deq: Vec<f32> = bulk.iter().map(|&v| q.dequantize(q.quantize(v))).collect();
+            panacea_tensor::stats::mse(&bulk, &deq)
+        };
+        let minmax = AsymmetricQuantizer::calibrate(&data, 8);
+        let entropy = calibrate_entropy(&data, 8).unwrap();
+        assert!(err(&entropy) < err(&minmax) / 2.0);
+    }
+
+    #[test]
+    fn clean_data_keeps_nearly_full_range() {
+        let mut rng = panacea_tensor::seeded_rng(3);
+        let data = DistributionKind::Uniform { lo: -1.0, hi: 1.0 }
+            .sample_matrix(64, 64, &mut rng)
+            .into_vec();
+        let minmax = AsymmetricQuantizer::calibrate(&data, 8);
+        let entropy = calibrate_entropy(&data, 8).unwrap();
+        let ratio = entropy.params().scale / minmax.params().scale;
+        assert!(ratio > 0.75, "uniform data should not be clipped hard: {ratio}");
+    }
+
+    #[test]
+    fn zero_maps_exactly() {
+        let data = outlier_data(4);
+        let q = calibrate_entropy(&data, 8).unwrap();
+        let zp = q.params().zero_point;
+        assert_eq!(q.quantize(0.0), zp);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(calibrate_entropy(&[], 8).is_err());
+        assert!(calibrate_entropy(&[1.0; 10], 8).is_err());
+        assert!(calibrate_entropy(&[0.0, 1.0], 1).is_err());
+    }
+
+    #[test]
+    fn composes_with_zpm() {
+        let data = outlier_data(5);
+        let q = calibrate_entropy(&data, 8).unwrap();
+        let (q2, z) = crate::zpm::apply_zpm(&q, 4);
+        assert_eq!(q2.params().zero_point, z.zero_point);
+        assert!(z.skip_hi <= 255);
+    }
+}

@@ -1,0 +1,147 @@
+//! Integer GEMM with asymmetric activations (paper Eq. 3).
+//!
+//! `W x + b ≈ s_W s_x (W_int x_uint − zp_x W_int 1 + b_int)`
+//! `        = s_W s_x (W_int x_uint + b̂_int)`
+//!
+//! The zero-point correction `zp_x · W_int · 1` depends only on the weights
+//! and the calibrated zero-point, so it is folded into the bias **offline**;
+//! inference then runs a plain unsigned×signed integer GEMM with no extra
+//! work — the property that makes asymmetric activation quantization "free"
+//! at the algorithm level (and which AQS-GEMM preserves at the *bit-slice*
+//! level via its compensation term).
+
+use panacea_tensor::{matrix::MatrixError, Matrix};
+
+/// Folds the asymmetric zero-point into an integer bias:
+/// `b̂[m] = b[m] − zp_x · Σ_k W[m][k]`.
+///
+/// # Panics
+///
+/// Panics if `bias.len() != w_int.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use panacea_tensor::Matrix;
+///
+/// let w = Matrix::from_vec(2, 2, vec![1, -2, 3, 4]).unwrap();
+/// let bhat = panacea_quant::integer::fold_zero_point_bias(&w, 10, &[100, 200]);
+/// assert_eq!(bhat, vec![100 - 10 * (1 - 2), 200 - 10 * (3 + 4)]);
+/// ```
+pub fn fold_zero_point_bias(w_int: &Matrix<i32>, zp_x: i32, bias: &[i32]) -> Vec<i32> {
+    assert_eq!(bias.len(), w_int.rows(), "bias length must match weight rows");
+    (0..w_int.rows())
+        .map(|m| {
+            let row_sum: i64 = w_int.row(m).iter().map(|&w| i64::from(w)).sum();
+            (i64::from(bias[m]) - i64::from(zp_x) * row_sum) as i32
+        })
+        .collect()
+}
+
+/// Computes the inference-time integer GEMM of Eq. 3:
+/// `W_int (M×K) · x_uint (K×N) + b̂` with `b̂` broadcast along columns.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on incompatible shapes.
+///
+/// # Panics
+///
+/// Panics if `bhat.len() != w_int.rows()`.
+pub fn asym_integer_gemm(
+    w_int: &Matrix<i32>,
+    x_uint: &Matrix<i32>,
+    bhat: &[i32],
+) -> Result<Matrix<i32>, MatrixError> {
+    assert_eq!(bhat.len(), w_int.rows(), "folded bias length must match weight rows");
+    let mut out = w_int.gemm(x_uint)?;
+    for m in 0..out.rows() {
+        let b = bhat[m];
+        for v in out.row_mut(m) {
+            *v += b;
+        }
+    }
+    Ok(out)
+}
+
+/// Checks the Eq. 3 identity in exact integer arithmetic:
+/// `W (x − zp·1) + b == W x + b̂`. Returns the two sides for inspection.
+///
+/// This is the oracle used by integration tests; production code calls
+/// [`asym_integer_gemm`] directly.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ShapeMismatch`] on incompatible shapes.
+pub fn eq3_both_sides(
+    w_int: &Matrix<i32>,
+    x_uint: &Matrix<i32>,
+    zp_x: i32,
+    bias: &[i32],
+) -> Result<(Matrix<i32>, Matrix<i32>), MatrixError> {
+    // Left side: W (x − zp) + b, centred activations.
+    let x_centered = x_uint.map(|&v| v - zp_x);
+    let mut left = w_int.gemm(&x_centered)?;
+    for m in 0..left.rows() {
+        let b = bias[m];
+        for v in left.row_mut(m) {
+            *v += b;
+        }
+    }
+    // Right side: W x + b̂ with the folded bias.
+    let bhat = fold_zero_point_bias(w_int, zp_x, bias);
+    let right = asym_integer_gemm(w_int, x_uint, &bhat)?;
+    Ok((left, right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn eq3_identity_holds_exactly() {
+        let mut rng = panacea_tensor::seeded_rng(77);
+        for _ in 0..10 {
+            let m = rng.gen_range(1..8);
+            let k = rng.gen_range(1..16);
+            let n = rng.gen_range(1..8);
+            let w = Matrix::from_fn(m, k, |_, _| rng.gen_range(-64i32..64));
+            let x = Matrix::from_fn(k, n, |_, _| rng.gen_range(0i32..256));
+            let zp = rng.gen_range(0i32..256);
+            let bias: Vec<i32> = (0..m).map(|_| rng.gen_range(-1000..1000)).collect();
+            let (left, right) = eq3_both_sides(&w, &x, zp, &bias).unwrap();
+            assert_eq!(left, right);
+        }
+    }
+
+    #[test]
+    fn zero_zero_point_means_no_fold() {
+        let w = Matrix::from_vec(2, 2, vec![5, -3, 2, 2]).unwrap();
+        let bias = vec![7, -7];
+        assert_eq!(fold_zero_point_bias(&w, 0, &bias), bias);
+    }
+
+    #[test]
+    fn gemm_broadcasts_bias_per_row() {
+        let w = Matrix::from_vec(2, 1, vec![1, 1]).unwrap();
+        let x = Matrix::from_vec(1, 3, vec![10, 20, 30]).unwrap();
+        let out = asym_integer_gemm(&w, &x, &[1, -1]).unwrap();
+        assert_eq!(out.row(0), &[11, 21, 31]);
+        assert_eq!(out.row(1), &[9, 19, 29]);
+    }
+
+    #[test]
+    fn shape_mismatch_propagates() {
+        let w = Matrix::<i32>::zeros(2, 3);
+        let x = Matrix::<i32>::zeros(2, 3);
+        assert!(asym_integer_gemm(&w, &x, &[0, 0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn wrong_bias_length_panics() {
+        let w = Matrix::<i32>::zeros(2, 2);
+        fold_zero_point_bias(&w, 1, &[0]);
+    }
+}

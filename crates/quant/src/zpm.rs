@@ -1,0 +1,201 @@
+//! Zero-point manipulation (ZPM), paper §III-C and Eq. 7.
+//!
+//! Under AQS-GEMM, a high-order (HO) activation slice is skippable when it
+//! equals the frequent value `r = zp_HO`. The values whose HO slice equals
+//! `r` form the *skip range* `[r·2^l, r·2^l + 2^l − 1]` of width `2^l`
+//! (`l` = LO-slice bit-width). A zero-point that sits near the *edge* of a
+//! skip range wastes half of it: the quantized distribution is centred at
+//! `zp`, so only the half of the bell inside the range is skippable.
+//!
+//! ZPM moves the zero-point to the *centre* of a skip range during PTQ
+//! calibration:
+//!
+//! ```text
+//! zp' = 2^l · round(zp / 2^l) + 2^{l−1}     (zp > 0)
+//! zp' = 0                                   (otherwise)
+//! r'  = (zp' − 2^{l−1}) >> l
+//! ```
+//!
+//! The shift is at most `2^{l−1}` quantization steps, which the paper
+//! observes does not measurably change model quality (the dequantized
+//! values move by ≤ half of the HO-slice granularity, while scale is
+//! untouched).
+
+use serde::{Deserialize, Serialize};
+
+use crate::quantizer::AsymmetricQuantizer;
+
+/// Result of applying ZPM to a calibrated zero-point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZpmResult {
+    /// Manipulated zero-point `zp'`.
+    pub zero_point: i32,
+    /// The frequent HO slice value `r'` whose vectors are compressible.
+    pub frequent_ho_slice: u8,
+    /// Inclusive start of the skip range in the quantized domain.
+    pub skip_lo: i32,
+    /// Inclusive end of the skip range in the quantized domain.
+    pub skip_hi: i32,
+}
+
+/// Applies Eq. 7 to a zero-point for total width `bits` and LO-slice width
+/// `lo_bits`, returning the manipulated zero-point and the induced skip
+/// range.
+///
+/// The result is clamped so the skip range stays inside `[0, 2^bits − 1]`.
+///
+/// # Panics
+///
+/// Panics if `lo_bits >= bits` or `bits > 16`.
+///
+/// # Examples
+///
+/// The paper's running example (Fig. 8): an OPT-2.7B FC layer calibrates to
+/// `zp = 161`; with 4-bit LO slices ZPM moves it to `zp' = 168`, centring
+/// the distribution in the skip range of HO slice `r' = 1010₂ = 10`:
+///
+/// ```
+/// let z = panacea_quant::zpm::manipulate_zero_point(161, 8, 4);
+/// assert_eq!(z.zero_point, 168);
+/// assert_eq!(z.frequent_ho_slice, 0b1010);
+/// assert_eq!((z.skip_lo, z.skip_hi), (160, 175));
+/// ```
+pub fn manipulate_zero_point(zp: i32, bits: u8, lo_bits: u8) -> ZpmResult {
+    assert!(lo_bits < bits, "LO width {lo_bits} must be below total width {bits}");
+    assert!(bits <= 16, "unsupported bit-width {bits}");
+    let step = 1i32 << lo_bits;
+    let half = step / 2;
+    let qmax = (1i32 << bits) - 1;
+    let zp_prime = if zp > 0 {
+        // Snap to the centre of the skip range containing zp; this is the
+        // nearest centre, so the zero-point moves by at most 2^{l−1} steps.
+        ((zp >> lo_bits) * step + half).clamp(half, qmax - half + 1)
+    } else {
+        0
+    };
+    let r = ((zp_prime - half).max(0) >> lo_bits) as u8;
+    let skip_lo = i32::from(r) << lo_bits;
+    ZpmResult {
+        zero_point: zp_prime,
+        frequent_ho_slice: r,
+        skip_lo,
+        skip_hi: skip_lo + step - 1,
+    }
+}
+
+/// Convenience wrapper: returns a quantizer whose zero-point has been
+/// manipulated, together with the [`ZpmResult`] bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use panacea_quant::{AsymmetricQuantizer, Quantizer};
+///
+/// let q = AsymmetricQuantizer::from_params(0.05, 161, 8).unwrap();
+/// let (q2, z) = panacea_quant::zpm::apply_zpm(&q, 4);
+/// assert_eq!(q2.params().zero_point, z.zero_point);
+/// ```
+pub fn apply_zpm(q: &AsymmetricQuantizer, lo_bits: u8) -> (AsymmetricQuantizer, ZpmResult) {
+    use crate::quantizer::Quantizer;
+    let p = q.params();
+    let z = manipulate_zero_point(p.zero_point, p.bits, lo_bits);
+    (q.with_zero_point(z.zero_point), z)
+}
+
+/// The frequent HO slice for an *unmanipulated* zero-point: `r = zp_HO`
+/// (paper §III-B). Used when ZPM is disabled.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(panacea_quant::zpm::frequent_slice_without_zpm(161, 4), 0b1010);
+/// ```
+pub fn frequent_slice_without_zpm(zp: i32, lo_bits: u8) -> u8 {
+    ((zp.max(0)) >> lo_bits) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_zp_161() {
+        // Fig. 8: zp = 161 → r = 1010₂ without ZPM, zp' = 168 with ZPM.
+        assert_eq!(frequent_slice_without_zpm(161, 4), 0b1010);
+        let z = manipulate_zero_point(161, 8, 4);
+        assert_eq!(z.zero_point, 168);
+        assert_eq!(z.frequent_ho_slice, 0b1010);
+        assert_eq!(z.skip_lo, 160);
+        assert_eq!(z.skip_hi, 175);
+    }
+
+    #[test]
+    fn zero_and_negative_zp_map_to_zero() {
+        let z = manipulate_zero_point(0, 8, 4);
+        assert_eq!(z.zero_point, 0);
+        assert_eq!(z.frequent_ho_slice, 0);
+        let z = manipulate_zero_point(-5, 8, 4);
+        assert_eq!(z.zero_point, 0);
+    }
+
+    #[test]
+    fn manipulated_zp_is_centre_of_its_skip_range() {
+        for zp in 1..=255 {
+            let z = manipulate_zero_point(zp, 8, 4);
+            if z.zero_point == 0 {
+                continue;
+            }
+            assert_eq!(
+                z.zero_point,
+                (z.skip_lo + z.skip_hi + 1) / 2,
+                "zp'={} not centred in [{}, {}]",
+                z.zero_point,
+                z.skip_lo,
+                z.skip_hi
+            );
+        }
+    }
+
+    #[test]
+    fn shift_is_bounded_by_half_range() {
+        for zp in 1..=255 {
+            let z = manipulate_zero_point(zp, 8, 4);
+            assert!(
+                (z.zero_point - zp).abs() <= 8,
+                "zp={zp} moved to {} (> 2^{{l-1}} steps)",
+                z.zero_point
+            );
+        }
+    }
+
+    #[test]
+    fn skip_range_stays_inside_quantized_domain() {
+        for lo_bits in 4..=6u8 {
+            for zp in 0..=255 {
+                let z = manipulate_zero_point(zp, 8, lo_bits);
+                assert!(z.skip_lo >= 0);
+                assert!(z.skip_hi <= 255, "lo_bits={lo_bits} zp={zp} hi={}", z.skip_hi);
+            }
+        }
+    }
+
+    #[test]
+    fn wider_lo_slices_give_wider_skip_ranges() {
+        let z4 = manipulate_zero_point(128, 8, 4);
+        let z5 = manipulate_zero_point(128, 8, 5);
+        let z6 = manipulate_zero_point(128, 8, 6);
+        assert_eq!(z4.skip_hi - z4.skip_lo + 1, 16);
+        assert_eq!(z5.skip_hi - z5.skip_lo + 1, 32);
+        assert_eq!(z6.skip_hi - z6.skip_lo + 1, 64);
+    }
+
+    #[test]
+    fn apply_zpm_changes_only_zero_point() {
+        use crate::quantizer::Quantizer;
+        let q = AsymmetricQuantizer::from_params(0.1, 93, 8).unwrap();
+        let (q2, z) = apply_zpm(&q, 4);
+        assert_eq!(q2.params().scale, 0.1);
+        assert_eq!(q2.params().zero_point, z.zero_point);
+        assert_eq!(q2.params().bits, 8);
+    }
+}

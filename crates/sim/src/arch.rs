@@ -1,0 +1,224 @@
+//! Hardware configurations and the area model.
+//!
+//! Every design is constrained to the paper's iso-resource budget:
+//! 3072 4b×4b multipliers (= 768 8b×8b), 192 KB of on-chip SRAM, and a
+//! 256 bit/cycle DRAM interface, in 28 nm.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::Tech28;
+
+/// The shared iso-resource budget (paper §IV, Figs. 15–16 caption).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareBudget {
+    /// Total 4b×4b multipliers.
+    pub multipliers_4b: usize,
+    /// Total on-chip SRAM in bytes.
+    pub sram_bytes: usize,
+    /// DRAM interface width in bits per cycle.
+    pub dram_bits_per_cycle: usize,
+    /// Clock frequency in MHz (absolute scale only; ratios are
+    /// frequency-independent).
+    pub clock_mhz: f64,
+    /// Energy constants.
+    pub tech: Tech28,
+}
+
+impl Default for HardwareBudget {
+    fn default() -> Self {
+        HardwareBudget {
+            multipliers_4b: 3072,
+            sram_bytes: 192 * 1024,
+            dram_bits_per_cycle: 256,
+            clock_mhz: 400.0,
+            tech: Tech28::default(),
+        }
+    }
+}
+
+/// Tiling parameters of Panacea's output-stationary dataflow (§III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileConfig {
+    /// Output-row tile (`TM = P·v`).
+    pub tm: usize,
+    /// Inner-dimension tile.
+    pub tk: usize,
+    /// Output-column tile (`TN = R·v`).
+    pub tn: usize,
+    /// Slice-vector length.
+    pub v: usize,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig { tm: 64, tk: 32, tn: 64, v: 4 }
+    }
+}
+
+/// Panacea configuration (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PanaceaConfig {
+    /// Number of processing element arrays.
+    pub n_peas: usize,
+    /// Dynamic workload operators per PEA (default 4, Fig. 13(a)).
+    pub dwo_per_pea: usize,
+    /// Static workload operators per PEA (default 8).
+    pub swo_per_pea: usize,
+    /// Double-tile processing enabled.
+    pub dtp: bool,
+    /// ZPM active during calibration (affects only which `ρ_x` the caller
+    /// feeds in; recorded here for reporting).
+    pub zpm: bool,
+    /// DBS active during calibration (idem; adds shifter area/energy).
+    pub dbs: bool,
+    /// Tiling parameters.
+    pub tile: TileConfig,
+    /// Shared budget.
+    pub budget: HardwareBudget,
+    /// Fraction of SRAM dedicated to weights (rest split between
+    /// activations and outputs).
+    pub wmem_fraction: f64,
+}
+
+impl Default for PanaceaConfig {
+    fn default() -> Self {
+        PanaceaConfig {
+            n_peas: 16,
+            dwo_per_pea: 4,
+            swo_per_pea: 8,
+            dtp: true,
+            zpm: true,
+            dbs: true,
+            tile: TileConfig::default(),
+            budget: HardwareBudget::default(),
+            wmem_fraction: 0.5,
+        }
+    }
+}
+
+impl PanaceaConfig {
+    /// Total OPCs (each OPC = 16 4b×4b multipliers).
+    pub fn total_opcs(&self) -> usize {
+        self.n_peas * (self.dwo_per_pea + self.swo_per_pea)
+    }
+
+    /// Total 4b×4b multipliers implied by the operator pools.
+    pub fn total_multipliers(&self) -> usize {
+        self.total_opcs() * 16
+    }
+
+    /// Weight-memory capacity in bytes.
+    pub fn wmem_bytes(&self) -> usize {
+        (self.budget.sram_bytes as f64 * self.wmem_fraction) as usize
+    }
+
+    /// Checks the configuration respects the multiplier budget.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_multipliers() > self.budget.multipliers_4b {
+            return Err(format!(
+                "{} multipliers exceed the {}-multiplier budget",
+                self.total_multipliers(),
+                self.budget.multipliers_4b
+            ));
+        }
+        if self.tile.tm != self.n_peas * self.tile.v {
+            return Err(format!(
+                "TM = {} must equal P·v = {}",
+                self.tile.tm,
+                self.n_peas * self.tile.v
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Area constants (µm², 28 nm) for the Fig. 20 bookkeeping model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// One 4b×4b multiplier.
+    pub mul4_um2: f64,
+    /// One 8-bit adder.
+    pub add8_um2: f64,
+    /// One 32-bit shift-accumulator.
+    pub sacc_um2: f64,
+    /// SRAM per KB (including periphery).
+    pub sram_um2_per_kb: f64,
+    /// Buffer per KB (flip-flop based, denser logic but costlier per bit).
+    pub buf_um2_per_kb: f64,
+    /// Control overhead fraction of the datapath.
+    pub control_overhead: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            mul4_um2: 95.0,
+            add8_um2: 30.0,
+            sacc_um2: 260.0,
+            sram_um2_per_kb: 6200.0,
+            buf_um2_per_kb: 14000.0,
+            control_overhead: 0.15,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Area of a design described by its module inventory, in mm².
+    pub fn core_area_mm2(
+        &self,
+        muls: usize,
+        adders: usize,
+        saccs: usize,
+        sram_kb: f64,
+        buf_kb: f64,
+    ) -> f64 {
+        let datapath = muls as f64 * self.mul4_um2
+            + adders as f64 * self.add8_um2
+            + saccs as f64 * self.sacc_um2
+            + sram_kb * self.sram_um2_per_kb
+            + buf_kb * self.buf_um2_per_kb;
+        datapath * (1.0 + self.control_overhead) / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_fits_budget() {
+        let cfg = PanaceaConfig::default();
+        cfg.validate().expect("default config must validate");
+        assert_eq!(cfg.total_multipliers(), 3072);
+    }
+
+    #[test]
+    fn alternate_8d4s_config_also_fits() {
+        let cfg = PanaceaConfig { dwo_per_pea: 8, swo_per_pea: 4, ..PanaceaConfig::default() };
+        cfg.validate().unwrap();
+        assert_eq!(cfg.total_multipliers(), 3072);
+    }
+
+    #[test]
+    fn oversized_config_rejected() {
+        let cfg = PanaceaConfig { dwo_per_pea: 10, swo_per_pea: 10, ..PanaceaConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn mismatched_tiling_rejected() {
+        let cfg = PanaceaConfig { n_peas: 8, ..PanaceaConfig::default() };
+        assert!(cfg.validate().is_err(), "TM = 64 ≠ 8·4");
+    }
+
+    #[test]
+    fn area_model_scales_with_inventory() {
+        let a = AreaModel::default();
+        let small = a.core_area_mm2(3072, 3072, 32, 192.0, 8.0);
+        let big = a.core_area_mm2(6144, 6144, 64, 192.0, 16.0);
+        assert!(big > small);
+        // A 3072-multiplier, 192 KB design lands in the low-mm² range
+        // typical of 28 nm edge accelerators.
+        assert!((1.0..10.0).contains(&small), "area {small} mm²");
+    }
+}

@@ -1,0 +1,374 @@
+//! Baseline accelerator models under the iso-resource budget:
+//! SA-WS / SA-OS systolic arrays, the SIMD design, and Sibia.
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::{AreaModel, HardwareBudget};
+use crate::energy::EnergyBreakdown;
+use crate::workload::{LayerPerf, LayerWork};
+use crate::Accelerator;
+
+/// Systolic-array dataflow variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystolicFlow {
+    /// Weight-stationary.
+    WeightStationary,
+    /// Output-stationary.
+    OutputStationary,
+}
+
+/// A 32×24 systolic array of 768 8b×8b MACs (= 3072 4b×4b equivalents).
+#[derive(Debug, Clone)]
+pub struct SystolicSim {
+    flow: SystolicFlow,
+    budget: HardwareBudget,
+    rows: usize,
+    cols: usize,
+    area: AreaModel,
+}
+
+impl SystolicSim {
+    /// Creates an SA-WS or SA-OS model with the default 32×24 geometry.
+    pub fn new(flow: SystolicFlow, budget: HardwareBudget) -> Self {
+        SystolicSim { flow, budget, rows: 32, cols: 24, area: AreaModel::default() }
+    }
+}
+
+/// Shared dense-operand DRAM/SRAM traffic model: operands are moved in
+/// 8-bit format; an operand is re-fetched from DRAM once per pass of the
+/// non-stationary loop unless it fits its SRAM partition.
+fn dense_traffic(
+    l: &LayerWork,
+    budget: &HardwareBudget,
+    w_passes: f64,
+    x_passes: f64,
+) -> (f64, f64, f64) {
+    let half = budget.sram_bytes as f64 / 2.0;
+    let w_base = l.m as f64 * l.k as f64 * 8.0;
+    let x_base = l.k as f64 * l.n as f64 * 8.0;
+    let w_bits = w_base * if w_base / 8.0 <= half { 1.0 } else { w_passes };
+    let x_bits = x_base * if x_base / 8.0 <= half * 0.75 { 1.0 } else { x_passes };
+    let out_bits = l.m as f64 * l.n as f64 * 8.0;
+    (w_bits, x_bits, out_bits)
+}
+
+/// Dense 8-bit MAC energy (4 mul4 + reduction + accumulate + operand regs).
+fn mac8_energy_pj(budget: &HardwareBudget) -> f64 {
+    let t = budget.tech;
+    4.0 * t.mul4_pj + 3.0 * t.add8_pj + t.acc32_pj + 16.0 * 2.0 * t.buf_pj_bit
+}
+
+impl Accelerator for SystolicSim {
+    fn name(&self) -> &str {
+        match self.flow {
+            SystolicFlow::WeightStationary => "SA-WS",
+            SystolicFlow::OutputStationary => "SA-OS",
+        }
+    }
+
+    fn simulate(&self, l: &LayerWork) -> LayerPerf {
+        l.validate().expect("invalid layer");
+        let t = self.budget.tech;
+        let fill_drain = (self.rows + self.cols) as f64;
+        let (cycles, psum_sram_bits, w_passes, x_passes) = match self.flow {
+            SystolicFlow::WeightStationary => {
+                let kt = (l.k as f64 / self.rows as f64).ceil();
+                let mt = (l.m as f64 / self.cols as f64).ceil();
+                let cycles = kt * mt * (l.n as f64 + fill_drain);
+                // Partial sums spill to SRAM between k-tiles.
+                let psum = l.m as f64 * l.n as f64 * 32.0 * 2.0 * (kt - 1.0).max(0.0);
+                (cycles, psum, 1.0, mt)
+            }
+            SystolicFlow::OutputStationary => {
+                let mt = (l.m as f64 / self.rows as f64).ceil();
+                let nt = (l.n as f64 / self.cols as f64).ceil();
+                let cycles = mt * nt * (l.k as f64 + fill_drain);
+                (cycles, 0.0, nt, mt)
+            }
+        };
+        let (w_bits, x_bits, out_bits) = dense_traffic(l, &self.budget, w_passes, x_passes);
+        let dram_bits = w_bits + x_bits + out_bits;
+        let dram_cycles = dram_bits / self.budget.dram_bits_per_cycle as f64;
+        let total_cycles = cycles.max(dram_cycles);
+
+        let macs = l.macs();
+        let compute_pj = macs * mac8_energy_pj(&self.budget);
+        let sram_rd = w_bits.max(l.m as f64 * l.k as f64 * 8.0 * x_passes)
+            + x_bits.max(l.k as f64 * l.n as f64 * 8.0 * w_passes)
+            + psum_sram_bits / 2.0;
+        let sram_wr = w_bits + x_bits + out_bits + psum_sram_bits / 2.0;
+        let sram_pj = sram_rd * t.sram_rd_pj_bit + sram_wr * t.sram_wr_pj_bit;
+        let ppu = l.m as f64 * l.n as f64 * t.ppu_pj_elem;
+        let energy = EnergyBreakdown {
+            compute_pj,
+            sram_pj,
+            buffer_pj: 0.0, // operand registers already in the MAC energy
+            dram_pj: dram_bits * t.dram_pj_bit,
+            other_pj: ppu,
+            static_pj: 0.0,
+        }
+        .with_static(t.static_overhead)
+        .scaled(l.count as f64);
+
+        let util = (macs / ((self.rows * self.cols) as f64 * total_cycles)).min(1.0);
+        LayerPerf {
+            cycles: total_cycles * l.count as f64,
+            compute_cycles: cycles * l.count as f64,
+            energy,
+            dram_bits: dram_bits * l.count as f64,
+            sram_bits: (sram_rd + sram_wr) * l.count as f64,
+            util_primary: util,
+            util_secondary: 0.0,
+            dtp_active: false,
+        }
+    }
+
+    fn area_mm2(&self) -> f64 {
+        // 768 8b MACs = 3072 mul4-equivalents + accumulators.
+        self.area.core_area_mm2(3072, 3072, 768, self.budget.sram_bytes as f64 / 1024.0, 4.0)
+    }
+}
+
+/// A 768-lane 8-bit SIMD MAC engine (the per-vector-scaled design of
+/// Keller et al., JSSC'23, reduced to its dense-GEMM behaviour).
+#[derive(Debug, Clone)]
+pub struct SimdSim {
+    budget: HardwareBudget,
+    lanes: usize,
+    area: AreaModel,
+}
+
+impl SimdSim {
+    /// Creates the SIMD model (768 lanes under the default budget).
+    pub fn new(budget: HardwareBudget) -> Self {
+        SimdSim { budget, lanes: 768, area: AreaModel::default() }
+    }
+}
+
+impl Accelerator for SimdSim {
+    fn name(&self) -> &str {
+        "SIMD"
+    }
+
+    fn simulate(&self, l: &LayerWork) -> LayerPerf {
+        l.validate().expect("invalid layer");
+        let t = self.budget.tech;
+        // No fill/drain; small issue overhead.
+        let compute_cycles = l.macs() / self.lanes as f64 / 0.95;
+        let n_m_tiles = (l.m as f64 / 64.0).ceil();
+        let n_n_tiles = (l.n as f64 / 64.0).ceil();
+        let (w_bits, x_bits, out_bits) = dense_traffic(l, &self.budget, n_n_tiles, n_m_tiles);
+        let dram_bits = w_bits + x_bits + out_bits;
+        let dram_cycles = dram_bits / self.budget.dram_bits_per_cycle as f64;
+        let cycles = compute_cycles.max(dram_cycles);
+
+        let compute_pj = l.macs() * mac8_energy_pj(&self.budget);
+        let sram_rd = w_bits + x_bits;
+        let sram_wr = w_bits + x_bits + out_bits;
+        let energy = EnergyBreakdown {
+            compute_pj,
+            sram_pj: sram_rd * t.sram_rd_pj_bit + sram_wr * t.sram_wr_pj_bit,
+            buffer_pj: 0.0,
+            dram_pj: dram_bits * t.dram_pj_bit,
+            other_pj: l.m as f64 * l.n as f64 * t.ppu_pj_elem,
+            static_pj: 0.0,
+        }
+        .with_static(t.static_overhead)
+        .scaled(l.count as f64);
+
+        LayerPerf {
+            cycles: cycles * l.count as f64,
+            compute_cycles: compute_cycles * l.count as f64,
+            energy,
+            dram_bits: dram_bits * l.count as f64,
+            sram_bits: (sram_rd + sram_wr) * l.count as f64,
+            util_primary: (l.macs() / (self.lanes as f64 * cycles)).min(1.0),
+            util_secondary: 0.0,
+            dtp_active: false,
+        }
+    }
+
+    fn area_mm2(&self) -> f64 {
+        self.area.core_area_mm2(3072, 3072, 768, self.budget.sram_bytes as f64 / 1024.0, 3.0)
+    }
+}
+
+/// The Sibia bit-slice accelerator (Im et al., HPCA'23): 192 OPCs, SBR on
+/// both (symmetric) operands, zero-vector skipping on the more-sparse
+/// operand only, uncompressed DRAM format.
+#[derive(Debug, Clone)]
+pub struct SibiaSim {
+    budget: HardwareBudget,
+    opcs: usize,
+    area: AreaModel,
+}
+
+impl SibiaSim {
+    /// Creates the Sibia model (192 OPCs = 3072 multipliers).
+    pub fn new(budget: HardwareBudget) -> Self {
+        SibiaSim { budget, opcs: 192, area: AreaModel::default() }
+    }
+}
+
+impl Accelerator for SibiaSim {
+    fn name(&self) -> &str {
+        "Sibia"
+    }
+
+    fn simulate(&self, l: &LayerWork) -> LayerPerf {
+        l.validate().expect("invalid layer");
+        let t = self.budget.tech;
+        let pw = l.w_planes as f64;
+        let px = l.x_planes as f64;
+        // Skip the side with more savings; the other side's sparsity is
+        // left unexploited (Table I's max(ρw, ρx)). A single-plane operand
+        // has no HO slices to skip.
+        let skip_x = if l.x_planes >= 2 { pw * l.rho_x } else { 0.0 };
+        let skip_w = if l.w_planes >= 2 { px * l.rho_w } else { 0.0 };
+        let skipped = skip_x.max(skip_w);
+        let classes = (pw * px - skipped).max(0.0);
+        let vec_pairs = l.m as f64 / 4.0 * l.k as f64 * (l.n as f64 / 4.0);
+        let exec_ops = vec_pairs * classes;
+        let compute_cycles = exec_ops / self.opcs as f64;
+
+        // Uncompressed (3n+4)-bit packed operand format from DRAM.
+        let w_bpe = 3.0 * (pw - 1.0) + 4.0;
+        let x_bpe = 3.0 * (px - 1.0) + 4.0;
+        let half = self.budget.sram_bytes as f64 / 2.0;
+        let n_m_tiles = (l.m as f64 / 64.0).ceil();
+        let n_n_tiles = (l.n as f64 / 64.0).ceil();
+        let w_base = l.m as f64 * l.k as f64 * w_bpe;
+        let x_base = l.k as f64 * l.n as f64 * x_bpe;
+        let w_bits = w_base * if 64.0 * l.k as f64 * w_bpe / 8.0 <= half { 1.0 } else { n_n_tiles };
+        let x_bits =
+            x_base * if x_base / 8.0 <= half * 0.75 { 1.0 } else { n_m_tiles };
+        let out_bits = l.m as f64 * l.n as f64 * 8.0;
+        let dram_bits = w_bits + x_bits + out_bits;
+        let dram_cycles = dram_bits / self.budget.dram_bits_per_cycle as f64;
+        let cycles = compute_cycles.max(dram_cycles);
+
+        let compute_pj = exec_ops
+            * (16.0 * t.mul4_pj + 16.0 * t.add8_pj + 16.0 * t.shift_pj + 16.0 * t.acc32_pj);
+        let buffer_pj = exec_ops * ((8.0 * 4.0) + 16.0 * 24.0 * 2.0) * t.buf_pj_bit;
+        let sram_rd = w_bits + x_bits;
+        let sram_wr = w_bits + x_bits + out_bits;
+        let rle = vec_pairs / l.k as f64 * (1.0 - l.rho_w.max(l.rho_x));
+        let energy = EnergyBreakdown {
+            compute_pj,
+            sram_pj: sram_rd * t.sram_rd_pj_bit + sram_wr * t.sram_wr_pj_bit,
+            buffer_pj,
+            dram_pj: dram_bits * t.dram_pj_bit,
+            other_pj: l.m as f64 * l.n as f64 * t.ppu_pj_elem + rle * t.rle_decode_pj,
+            static_pj: 0.0,
+        }
+        .with_static(t.static_overhead)
+        .scaled(l.count as f64);
+
+        LayerPerf {
+            cycles: cycles * l.count as f64,
+            compute_cycles: compute_cycles * l.count as f64,
+            energy,
+            dram_bits: dram_bits * l.count as f64,
+            sram_bits: (sram_rd + sram_wr) * l.count as f64,
+            util_primary: (exec_ops / (self.opcs as f64 * cycles)).min(1.0),
+            util_secondary: 0.0,
+            dtp_active: false,
+        }
+    }
+
+    fn area_mm2(&self) -> f64 {
+        self.area
+            .core_area_mm2(3072, 3072, 64, self.budget.sram_bytes as f64 / 1024.0, 6.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(rho_w: f64, rho_x: f64) -> LayerWork {
+        LayerWork {
+            name: "t".into(),
+            m: 768,
+            k: 768,
+            n: 512,
+            count: 1,
+            w_planes: 2,
+            x_planes: 2,
+            rho_w,
+            rho_x,
+        }
+    }
+
+    fn budget() -> HardwareBudget {
+        HardwareBudget::default()
+    }
+
+    #[test]
+    fn dense_designs_ignore_sparsity() {
+        for acc in [
+            SystolicSim::new(SystolicFlow::WeightStationary, budget()),
+        ] {
+            let a = acc.simulate(&layer(0.0, 0.0));
+            let b = acc.simulate(&layer(0.9, 0.9));
+            assert_eq!(a.cycles, b.cycles, "{}", acc.name());
+        }
+        let simd = SimdSim::new(budget());
+        assert_eq!(simd.simulate(&layer(0.0, 0.0)).cycles, simd.simulate(&layer(0.9, 0.9)).cycles);
+    }
+
+    #[test]
+    fn sibia_exploits_one_side_only() {
+        let sibia = SibiaSim::new(budget());
+        let both = sibia.simulate(&layer(0.9, 0.9));
+        let one = sibia.simulate(&layer(0.0, 0.9));
+        // Same max(ρw, ρx) ⇒ same cycles.
+        assert_eq!(both.cycles, one.cycles);
+        let dense = sibia.simulate(&layer(0.0, 0.0));
+        assert!(both.cycles < dense.cycles);
+    }
+
+    #[test]
+    fn ws_prefers_large_n_os_prefers_large_k() {
+        let ws = SystolicSim::new(SystolicFlow::WeightStationary, budget());
+        let os = SystolicSim::new(SystolicFlow::OutputStationary, budget());
+        // Tall-skinny (small n): WS pays fill/drain per weight tile.
+        let small_n = LayerWork { n: 8, ..layer(0.0, 0.0) };
+        assert!(os.simulate(&small_n).cycles < ws.simulate(&small_n).cycles);
+    }
+
+    #[test]
+    fn simd_has_highest_dense_utilization() {
+        let simd = SimdSim::new(budget()).simulate(&layer(0.0, 0.0));
+        let ws = SystolicSim::new(SystolicFlow::WeightStationary, budget())
+            .simulate(&layer(0.0, 0.0));
+        assert!(simd.util_primary >= ws.util_primary);
+    }
+
+    #[test]
+    fn all_baselines_have_positive_energy_and_area() {
+        let l = layer(0.5, 0.5);
+        let accs: Vec<Box<dyn Accelerator>> = vec![
+            Box::new(SystolicSim::new(SystolicFlow::WeightStationary, budget())),
+            Box::new(SystolicSim::new(SystolicFlow::OutputStationary, budget())),
+            Box::new(SimdSim::new(budget())),
+            Box::new(SibiaSim::new(budget())),
+        ];
+        for a in accs {
+            let p = a.simulate(&l);
+            assert!(p.energy.total_pj() > 0.0, "{}", a.name());
+            assert!(p.cycles > 0.0, "{}", a.name());
+            assert!(a.area_mm2() > 0.5, "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn sibia_mixed_precision_costs_more() {
+        let sibia = SibiaSim::new(budget());
+        let base = sibia.simulate(&layer(0.0, 0.5));
+        let mut mp = layer(0.0, 0.5);
+        mp.w_planes = 3;
+        let more = sibia.simulate(&mp);
+        assert!(more.cycles > base.cycles);
+    }
+}

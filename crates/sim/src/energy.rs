@@ -1,0 +1,160 @@
+//! 28 nm energy constants and itemized energy accounting.
+//!
+//! Values are representative post-layout numbers for a 28 nm CMOS node,
+//! assembled from the public literature the paper builds on (Horowitz's
+//! ISSCC'14 energy survey scaled from 45 nm, CACTI 7.0 for DRAM, and the
+//! Sibia/LUTein papers' reported figures). Absolute joules differ from the
+//! authors' proprietary library, but every design is priced with the same
+//! constants, so the *ratios* the paper reports are preserved — which is
+//! also the paper's own iso-resource argument.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants (picojoules) for a 28 nm implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tech28 {
+    /// One 4b×4b multiply.
+    pub mul4_pj: f64,
+    /// One 8-bit add (partial-product reduction inside an OPC).
+    pub add8_pj: f64,
+    /// One 24/32-bit accumulate (S-ACC / systolic accumulator).
+    pub acc32_pj: f64,
+    /// One barrel-shift (S-ACC slice alignment, DBS shifting).
+    pub shift_pj: f64,
+    /// One RLE index decode.
+    pub rle_decode_pj: f64,
+    /// SRAM read, per bit (192 KB-class banks).
+    pub sram_rd_pj_bit: f64,
+    /// SRAM write, per bit.
+    pub sram_wr_pj_bit: f64,
+    /// Small local buffer (WBUF/psum/global buffer) access, per bit.
+    pub buf_pj_bit: f64,
+    /// External DRAM access, per bit (CACTI 7.0, LPDDR4-class).
+    pub dram_pj_bit: f64,
+    /// Post-processing (requantization + piecewise non-linearity), per
+    /// output element.
+    pub ppu_pj_elem: f64,
+    /// Static/clock overhead as a fraction of dynamic energy.
+    pub static_overhead: f64,
+}
+
+impl Default for Tech28 {
+    fn default() -> Self {
+        Tech28 {
+            mul4_pj: 0.07,
+            add8_pj: 0.012,
+            acc32_pj: 0.045,
+            shift_pj: 0.006,
+            rle_decode_pj: 0.02,
+            sram_rd_pj_bit: 0.014,
+            sram_wr_pj_bit: 0.018,
+            buf_pj_bit: 0.004,
+            dram_pj_bit: 20.0,
+            ppu_pj_elem: 0.8,
+            static_overhead: 0.10,
+        }
+    }
+}
+
+/// Itemized energy of a simulated run (picojoules).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Multipliers + adders + shifters (the operator pools).
+    pub compute_pj: f64,
+    /// On-chip SRAM (WMEM/AMEM/OMEM) traffic.
+    pub sram_pj: f64,
+    /// Local buffers (WBUF, global activation buffer, psum buffers).
+    pub buffer_pj: f64,
+    /// External DRAM traffic.
+    pub dram_pj: f64,
+    /// Everything else (RLE decode, PPU, compensators bookkeeping).
+    pub other_pj: f64,
+    /// Static/clock overhead.
+    pub static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.sram_pj + self.buffer_pj + self.dram_pj + self.other_pj
+            + self.static_pj
+    }
+
+    /// Element-wise sum.
+    pub fn merged(&self, o: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj + o.compute_pj,
+            sram_pj: self.sram_pj + o.sram_pj,
+            buffer_pj: self.buffer_pj + o.buffer_pj,
+            dram_pj: self.dram_pj + o.dram_pj,
+            other_pj: self.other_pj + o.other_pj,
+            static_pj: self.static_pj + o.static_pj,
+        }
+    }
+
+    /// Scales every component (e.g. by a layer's `count`).
+    pub fn scaled(&self, f: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj * f,
+            sram_pj: self.sram_pj * f,
+            buffer_pj: self.buffer_pj * f,
+            dram_pj: self.dram_pj * f,
+            other_pj: self.other_pj * f,
+            static_pj: self.static_pj * f,
+        }
+    }
+
+    /// Applies the static overhead fraction to the dynamic total.
+    pub fn with_static(mut self, overhead: f64) -> EnergyBreakdown {
+        let dynamic =
+            self.compute_pj + self.sram_pj + self.buffer_pj + self.dram_pj + self.other_pj;
+        self.static_pj = dynamic * overhead;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_constants_are_ordered_sensibly() {
+        let t = Tech28::default();
+        // DRAM ≫ SRAM ≫ buffer, multiply ≫ add.
+        assert!(t.dram_pj_bit > 100.0 * t.sram_rd_pj_bit);
+        assert!(t.sram_rd_pj_bit > t.buf_pj_bit);
+        assert!(t.mul4_pj > t.add8_pj);
+    }
+
+    #[test]
+    fn total_includes_all_components() {
+        let e = EnergyBreakdown {
+            compute_pj: 1.0,
+            sram_pj: 2.0,
+            buffer_pj: 3.0,
+            dram_pj: 4.0,
+            other_pj: 5.0,
+            static_pj: 6.0,
+        };
+        assert_eq!(e.total_pj(), 21.0);
+    }
+
+    #[test]
+    fn merged_and_scaled_compose() {
+        let e = EnergyBreakdown { compute_pj: 1.0, ..EnergyBreakdown::default() };
+        let two = e.merged(&e);
+        assert_eq!(two.compute_pj, 2.0);
+        assert_eq!(two.scaled(3.0).compute_pj, 6.0);
+    }
+
+    #[test]
+    fn static_overhead_is_fraction_of_dynamic() {
+        let e = EnergyBreakdown {
+            compute_pj: 50.0,
+            sram_pj: 50.0,
+            ..EnergyBreakdown::default()
+        }
+        .with_static(0.1);
+        assert!((e.static_pj - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,362 @@
+//! Event-level functional execution of one AQS-GEMM tile on a PEA.
+//!
+//! The analytical model in [`crate::panacea`] prices *expected* workloads.
+//! This module executes a real sliced tile: it enumerates the surviving
+//! outer products exactly as the workload scheduler would, list-schedules
+//! them cycle-by-cycle onto the DWO/SWO pools (LO×LO work may overflow to
+//! idle DWOs when double-tile processing is active), runs the arithmetic,
+//! and returns both the bit-exact result and the exact cycle count. It is
+//! the ground truth the analytical model is validated against in tests,
+//! and the engine behind the scheduling ablations.
+
+use panacea_bitslice::{SlicedActivation, SlicedWeight, VECTOR_LEN};
+use panacea_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One outer-product job emitted by the workload scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OuterProductJob {
+    /// Weight plane index.
+    pub w_plane: usize,
+    /// Activation plane index.
+    pub x_plane: usize,
+    /// Weight row group (4 rows starting at `4·mg`).
+    pub mg: usize,
+    /// Inner-dimension index.
+    pub k: usize,
+    /// Activation column group (4 columns starting at `4·ng`).
+    pub ng: usize,
+    /// `true` if the job must run on a DWO (touches an HO plane).
+    pub dynamic: bool,
+}
+
+/// Cycle-by-cycle execution trace summary of one tile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Exact cycles to drain the schedule.
+    pub cycles: u64,
+    /// Jobs executed on the dynamic pool.
+    pub dwo_jobs: u64,
+    /// Jobs executed on the static pool (or overflowed to DWOs).
+    pub swo_jobs: u64,
+    /// Jobs skipped by compression.
+    pub skipped: u64,
+    /// Mean DWO occupancy over the drain interval.
+    pub dwo_occupancy: f64,
+    /// Mean SWO occupancy over the drain interval.
+    pub swo_occupancy: f64,
+}
+
+/// A functional PEA executor with `n_dwo` dynamic and `n_swo` static
+/// operators.
+///
+/// # Examples
+///
+/// ```
+/// use panacea_bitslice::{SlicedActivation, SlicedWeight};
+/// use panacea_quant::dbs::DbsType;
+/// use panacea_sim::exec::PeaExecutor;
+/// use panacea_tensor::Matrix;
+///
+/// let w = Matrix::from_fn(4, 8, |r, c| (r as i32 + c as i32) % 13 - 6);
+/// let x = Matrix::from_fn(8, 4, |r, c| ((r * 31 + c) % 256) as i32);
+/// let sw = SlicedWeight::from_int(&w, 1).unwrap();
+/// let sx = SlicedActivation::from_uint(&x, 1, DbsType::Type1).unwrap();
+/// let exec = PeaExecutor::new(4, 8, false);
+/// let (out, report) = exec.run_tile(&sw, &sx, 5);
+/// assert_eq!(out, w.gemm(&x).unwrap());
+/// assert!(report.cycles > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PeaExecutor {
+    n_dwo: usize,
+    n_swo: usize,
+    /// DTP mode: static jobs may run on idle DWOs.
+    dtp: bool,
+}
+
+impl PeaExecutor {
+    /// Creates an executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either pool is empty.
+    pub fn new(n_dwo: usize, n_swo: usize, dtp: bool) -> Self {
+        assert!(n_dwo > 0 && n_swo > 0, "operator pools must be non-empty");
+        PeaExecutor { n_dwo, n_swo, dtp }
+    }
+
+    /// Enumerates the surviving outer-product jobs of a tile, exactly as
+    /// the hardware's workload scheduler (IDXD + index matching) would.
+    pub fn schedule(
+        &self,
+        w: &SlicedWeight,
+        x: &SlicedActivation,
+        r: u8,
+    ) -> (Vec<OuterProductJob>, u64) {
+        let m = w.plane(0).rows();
+        let k_dim = w.plane(0).cols();
+        let n = x.plane(0).cols();
+        assert_eq!(k_dim, x.plane(0).rows(), "inner dimensions differ");
+        assert_eq!(m % VECTOR_LEN, 0, "M must be a multiple of {VECTOR_LEN}");
+        assert_eq!(n % VECTOR_LEN, 0, "N must be a multiple of {VECTOR_LEN}");
+        let w_ho = w.num_planes() - 1;
+        let x_ho = x.num_planes() - 1;
+        let w_has_ho = w.num_planes() >= 2;
+        let mut jobs = Vec::new();
+        let mut skipped = 0u64;
+        for i in 0..w.num_planes() {
+            for j in 0..x.num_planes() {
+                let dynamic = (i == w_ho && w_has_ho) || j == x_ho;
+                for mg in 0..m / VECTOR_LEN {
+                    for k in 0..k_dim {
+                        let w_zero = w_has_ho
+                            && i == w_ho
+                            && (0..VECTOR_LEN)
+                                .all(|d| w.plane(w_ho)[(mg * VECTOR_LEN + d, k)] == 0);
+                        for ng in 0..n / VECTOR_LEN {
+                            let x_comp = j == x_ho
+                                && (0..VECTOR_LEN)
+                                    .all(|d| x.plane(x_ho)[(k, ng * VECTOR_LEN + d)] == r);
+                            if w_zero || x_comp {
+                                skipped += 1;
+                            } else {
+                                jobs.push(OuterProductJob { w_plane: i, x_plane: j, mg, k, ng, dynamic });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (jobs, skipped)
+    }
+
+    /// Executes a tile: schedules, runs the arithmetic, applies the Eq. 6
+    /// compensation, and reports exact cycles. Returns the product of the
+    /// represented operands (bit-exact for DBS type-1).
+    pub fn run_tile(
+        &self,
+        w: &SlicedWeight,
+        x: &SlicedActivation,
+        r: u8,
+    ) -> (Matrix<i32>, ExecReport) {
+        let (jobs, skipped) = self.schedule(w, x, r);
+        let m = w.plane(0).rows();
+        let n = x.plane(0).cols();
+        let mut out = Matrix::<i32>::zeros(m, n);
+
+        // Arithmetic (order-independent, so pool assignment is for timing
+        // only).
+        for job in &jobs {
+            let wp = w.plane(job.w_plane);
+            let xp = x.plane(job.x_plane);
+            let scale = w.plane_weight(job.w_plane) * x.plane_weight(job.x_plane);
+            for dm in 0..VECTOR_LEN {
+                let wv = i32::from(wp[(job.mg * VECTOR_LEN + dm, job.k)]) * scale;
+                if wv == 0 {
+                    continue;
+                }
+                for dn in 0..VECTOR_LEN {
+                    out[(job.mg * VECTOR_LEN + dm, job.ng * VECTOR_LEN + dn)] +=
+                        wv * i32::from(xp[(job.k, job.ng * VECTOR_LEN + dn)]);
+                }
+            }
+        }
+
+        // Compensation (Eq. 6): per compressed x-HO vector, add r_eff·W.
+        let x_ho = x.num_planes() - 1;
+        let r_eff = i64::from(r) * i64::from(x.plane_weight(x_ho));
+        if r_eff != 0 {
+            let w_int = w.reconstruct();
+            for k in 0..x.plane(0).rows() {
+                for ng in 0..n / VECTOR_LEN {
+                    let compressed = (0..VECTOR_LEN)
+                        .all(|d| x.plane(x_ho)[(k, ng * VECTOR_LEN + d)] == r);
+                    if !compressed {
+                        continue;
+                    }
+                    for mm in 0..m {
+                        let add = r_eff * i64::from(w_int[(mm, k)]);
+                        for dn in 0..VECTOR_LEN {
+                            let cell = &mut out[(mm, ng * VECTOR_LEN + dn)];
+                            *cell = (i64::from(*cell) + add) as i32;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Timing: greedy list schedule. Each operator completes one job
+        // per cycle; dynamic jobs only on DWOs; static jobs prefer SWOs
+        // and may spill to idle DWOs when DTP is on.
+        let dyn_jobs = jobs.iter().filter(|j| j.dynamic).count() as u64;
+        let stat_jobs = jobs.len() as u64 - dyn_jobs;
+        let cycles = self.drain_cycles(dyn_jobs, stat_jobs);
+        let report = ExecReport {
+            cycles,
+            dwo_jobs: dyn_jobs,
+            swo_jobs: stat_jobs,
+            skipped,
+            dwo_occupancy: if cycles == 0 {
+                0.0
+            } else {
+                dyn_jobs as f64 / (cycles * self.n_dwo as u64) as f64
+            },
+            swo_occupancy: if cycles == 0 {
+                0.0
+            } else {
+                stat_jobs as f64 / (cycles * self.n_swo as u64) as f64
+            },
+        };
+        (out, report)
+    }
+
+    /// Exact drain time of `d` dynamic and `s` static jobs under the pool
+    /// constraints (cycle-stepped, not closed-form, so odd remainders are
+    /// handled exactly).
+    pub fn drain_cycles(&self, mut d: u64, mut s: u64) -> u64 {
+        let mut cycles = 0u64;
+        while d > 0 || s > 0 {
+            // DWOs take dynamic jobs first; with DTP, leftover DWO slots
+            // take static jobs.
+            let dwo_taken = d.min(self.n_dwo as u64);
+            d -= dwo_taken;
+            let mut free_dwo = self.n_dwo as u64 - dwo_taken;
+            if !self.dtp {
+                free_dwo = 0;
+            }
+            let swo_taken = s.min(self.n_swo as u64 + free_dwo);
+            s -= swo_taken;
+            cycles += 1;
+        }
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panacea_quant::dbs::DbsType;
+    use rand::Rng;
+
+    fn operands(
+        m: usize,
+        k: usize,
+        n: usize,
+        ws: f64,
+        xs: f64,
+        r: u8,
+        seed: u64,
+    ) -> (SlicedWeight, SlicedActivation, Matrix<i32>, Matrix<i32>) {
+        let mut rng = panacea_tensor::seeded_rng(seed);
+        let w = Matrix::from_fn(m, k, |_, _| {
+            if rng.gen::<f64>() < ws {
+                rng.gen_range(-7i32..=7)
+            } else {
+                rng.gen_range(-64i32..64)
+            }
+        });
+        let x = Matrix::from_fn(k, n, |_, _| {
+            if rng.gen::<f64>() < xs {
+                (i32::from(r) << 4) | rng.gen_range(0..16)
+            } else {
+                rng.gen_range(0i32..256)
+            }
+        });
+        let sw = SlicedWeight::from_int(&w, 1).expect("weights");
+        let sx = SlicedActivation::from_uint(&x, 1, DbsType::Type1).expect("acts");
+        (sw, sx, w, x)
+    }
+
+    #[test]
+    fn executes_bit_exact_across_sparsities() {
+        for (i, &(ws, xs)) in [(0.0, 0.0), (0.6, 0.9), (1.0, 1.0)].iter().enumerate() {
+            let (sw, sx, w, x) = operands(8, 16, 8, ws, xs, 11, 40 + i as u64);
+            let exec = PeaExecutor::new(4, 8, true);
+            let (out, _) = exec.run_tile(&sw, &sx, 11);
+            assert_eq!(out, w.gemm(&x).unwrap(), "ws={ws} xs={xs}");
+        }
+    }
+
+    #[test]
+    fn cycle_count_matches_hand_schedule() {
+        // 10 dynamic + 20 static on 4 DWO + 8 SWO, no DTP:
+        // DWOs need ceil(10/4)=3 cycles, SWOs ceil(20/8)=3 → 3 cycles.
+        let exec = PeaExecutor::new(4, 8, false);
+        assert_eq!(exec.drain_cycles(10, 20), 3);
+        // All-static with DTP: 24 jobs over 12 operators → 2 cycles.
+        let exec = PeaExecutor::new(4, 8, true);
+        assert_eq!(exec.drain_cycles(0, 24), 2);
+        // Without DTP the same load needs 3 cycles on the 8 SWOs.
+        let exec = PeaExecutor::new(4, 8, false);
+        assert_eq!(exec.drain_cycles(0, 24), 3);
+    }
+
+    #[test]
+    fn dtp_never_slows_a_schedule() {
+        let with = PeaExecutor::new(4, 8, true);
+        let without = PeaExecutor::new(4, 8, false);
+        let mut rng = panacea_tensor::seeded_rng(9);
+        for _ in 0..50 {
+            let d = rng.gen_range(0u64..100);
+            let s = rng.gen_range(0u64..100);
+            assert!(with.drain_cycles(d, s) <= without.drain_cycles(d, s), "d={d} s={s}");
+        }
+    }
+
+    #[test]
+    fn schedule_partitions_jobs_consistently() {
+        let (sw, sx, ..) = operands(8, 12, 8, 0.5, 0.8, 7, 50);
+        let exec = PeaExecutor::new(4, 8, false);
+        let (jobs, skipped) = exec.schedule(&sw, &sx, 7);
+        let total_pairs = 2 * 2 * 2 * 12 * 2; // planes² × m-groups × K × n-groups
+        assert_eq!(jobs.len() as u64 + skipped, total_pairs as u64);
+        // Every LO×LO job is static, everything else dynamic.
+        for j in &jobs {
+            let is_lo_lo = j.w_plane == 0 && j.x_plane == 0;
+            assert_eq!(!j.dynamic, is_lo_lo, "{j:?}");
+        }
+    }
+
+    #[test]
+    fn exact_cycles_track_analytical_model_within_rounding() {
+        // The analytical model uses expectations; on a concrete tile the
+        // exact drain must agree within the per-pool ceiling slack.
+        let (sw, sx, ..) = operands(4, 32, 64, 0.4, 0.9, 7, 51);
+        let exec = PeaExecutor::new(4, 8, false);
+        let (_, rep) = exec.run_tile(&sw, &sx, 7);
+        let lower =
+            (rep.dwo_jobs as f64 / 4.0).max(rep.swo_jobs as f64 / 8.0).floor() as u64;
+        assert!(
+            rep.cycles >= lower && rep.cycles <= lower + 2,
+            "cycles {} outside [{lower}, {}]",
+            rep.cycles,
+            lower + 2
+        );
+    }
+
+    #[test]
+    fn occupancies_are_fractions_and_reflect_imbalance() {
+        let (sw, sx, ..) = operands(8, 32, 32, 0.99, 0.99, 3, 52);
+        let exec = PeaExecutor::new(4, 8, false);
+        let (_, rep) = exec.run_tile(&sw, &sx, 3);
+        assert!((0.0..=1.0).contains(&rep.dwo_occupancy));
+        assert!((0.0..=1.0).contains(&rep.swo_occupancy));
+        // At high sparsity the static pool dominates the drain.
+        assert!(rep.swo_occupancy > rep.dwo_occupancy);
+    }
+
+    #[test]
+    fn single_plane_weights_make_everything_static_but_x_ho() {
+        let mut rng = panacea_tensor::seeded_rng(53);
+        let w = Matrix::from_fn(4, 8, |_, _| rng.gen_range(-8i32..8));
+        let x = Matrix::from_fn(8, 4, |_, _| rng.gen_range(0i32..256));
+        let sw = SlicedWeight::from_int(&w, 0).expect("4-bit weights");
+        let sx = SlicedActivation::from_uint(&x, 1, DbsType::Type1).expect("acts");
+        let exec = PeaExecutor::new(4, 8, false);
+        let (out, rep) = exec.run_tile(&sw, &sx, 0);
+        assert_eq!(out, w.gemm(&x).unwrap());
+        // Jobs: W×x_LO static, W×x_HO dynamic.
+        assert_eq!(rep.dwo_jobs + rep.swo_jobs + rep.skipped, (2 * 8 * 1) as u64);
+    }
+}

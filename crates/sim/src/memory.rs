@@ -1,0 +1,186 @@
+//! Explicit on-chip memory planning.
+//!
+//! The analytical models check tile-fit conditions inline; this module
+//! exposes the same arithmetic as a first-class planner so configurations
+//! can be validated (and sized) ahead of simulation: WMEM / AMEM / OMEM
+//! partitioning of the 192 KB budget, compressed tile footprints, the
+//! double-buffering requirement, and the DTP capacity condition.
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::{PanaceaConfig, TileConfig};
+use crate::workload::LayerWork;
+
+/// A partition of the on-chip SRAM budget (bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryPlan {
+    /// Weight memory capacity.
+    pub wmem: usize,
+    /// Activation memory capacity.
+    pub amem: usize,
+    /// Output memory capacity.
+    pub omem: usize,
+}
+
+impl MemoryPlan {
+    /// Derives the plan from a Panacea configuration (AMEM takes 3/4 of
+    /// the non-weight share, OMEM the rest — the split used throughout
+    /// the simulator).
+    pub fn from_config(cfg: &PanaceaConfig) -> Self {
+        let wmem = cfg.wmem_bytes();
+        let rest = cfg.budget.sram_bytes - wmem;
+        MemoryPlan { wmem, amem: rest * 3 / 4, omem: rest - rest * 3 / 4 }
+    }
+
+    /// Total capacity.
+    pub fn total(&self) -> usize {
+        self.wmem + self.amem + self.omem
+    }
+}
+
+/// Compressed footprint (bytes) of one `TM × K` weight tile.
+///
+/// Dense LO planes cost 4 bits per element; the HO plane costs
+/// `(4 + 1)·(1 − ρ_w)` bits (slice + amortized RLE index). Single-plane
+/// weights are dense 4-bit.
+pub fn weight_tile_bytes(tile: &TileConfig, l: &LayerWork) -> f64 {
+    let bpe = if l.w_planes == 1 {
+        4.0
+    } else {
+        4.0 * (l.w_planes as f64 - 1.0) + 5.0 * (1.0 - l.rho_w)
+    };
+    tile.tm as f64 * l.k as f64 * bpe / 8.0
+}
+
+/// Compressed footprint (bytes) of one `TK × TN` activation tile.
+pub fn act_tile_bytes(tile: &TileConfig, l: &LayerWork) -> f64 {
+    let bpe = 4.0 * (l.x_planes as f64 - 1.0) + 5.0 * (1.0 - l.rho_x);
+    tile.tk as f64 * tile.tn as f64 * bpe / 8.0
+}
+
+/// Output-tile footprint (bytes): `TM × TN` requantized 8-bit outputs.
+pub fn out_tile_bytes(tile: &TileConfig) -> f64 {
+    (tile.tm * tile.tn) as f64
+}
+
+/// Result of checking one layer against a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitReport {
+    /// The full `TM × K` weight tile is resident in WMEM (weights are
+    /// fetched once and reused across the whole N sweep).
+    pub weight_tile_fits: bool,
+    /// The minimum `TM × TK` weight working set fits WMEM
+    /// double-buffered (required for execution at all).
+    pub weight_subtile_fits: bool,
+    /// Two weight tiles fit — the DTP enable condition (§III-D).
+    pub dtp_capacity: bool,
+    /// The activation tile fits AMEM double-buffered.
+    pub act_tile_fits: bool,
+    /// The whole activation matrix fits AMEM (no re-fetch passes).
+    pub full_act_fits: bool,
+    /// The output tile fits OMEM double-buffered.
+    pub out_tile_fits: bool,
+}
+
+impl FitReport {
+    /// The layer is executable under this plan (every minimum per-tile
+    /// working set fits; non-resident tiles just re-fetch).
+    pub fn executable(&self) -> bool {
+        self.weight_subtile_fits && self.act_tile_fits && self.out_tile_fits
+    }
+}
+
+/// Checks one layer's working sets against a plan.
+pub fn check_fit(plan: &MemoryPlan, tile: &TileConfig, l: &LayerWork) -> FitReport {
+    let w = weight_tile_bytes(tile, l);
+    let a = act_tile_bytes(tile, l);
+    let o = out_tile_bytes(tile);
+    let full_act =
+        l.k as f64 * l.n as f64 * (4.0 * (l.x_planes as f64 - 1.0) + 5.0 * (1.0 - l.rho_x)) / 8.0;
+    let w_sub = w * tile.tk as f64 / l.k as f64;
+    FitReport {
+        weight_tile_fits: w <= plan.wmem as f64,
+        weight_subtile_fits: 2.0 * w_sub <= plan.wmem as f64,
+        dtp_capacity: 2.0 * w <= plan.wmem as f64,
+        act_tile_fits: 2.0 * a <= plan.amem as f64,
+        full_act_fits: full_act <= plan.amem as f64,
+        out_tile_fits: 2.0 * o <= plan.omem as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::PanaceaConfig;
+
+    fn layer(k: usize, n: usize, rho_w: f64, rho_x: f64) -> LayerWork {
+        LayerWork {
+            name: "l".into(),
+            m: 768,
+            k,
+            n,
+            count: 1,
+            w_planes: 2,
+            x_planes: 2,
+            rho_w,
+            rho_x,
+        }
+    }
+
+    #[test]
+    fn plan_partitions_the_full_budget() {
+        let plan = MemoryPlan::from_config(&PanaceaConfig::default());
+        assert_eq!(plan.total(), 192 * 1024);
+        assert_eq!(plan.wmem, 96 * 1024);
+    }
+
+    #[test]
+    fn compression_shrinks_tile_footprints() {
+        let t = TileConfig::default();
+        let dense = weight_tile_bytes(&t, &layer(2048, 512, 0.0, 0.0));
+        let sparse = weight_tile_bytes(&t, &layer(2048, 512, 0.9, 0.0));
+        assert!(sparse < dense);
+        // Dense two-plane tile: TM·K·9 bits.
+        assert!((dense - 64.0 * 2048.0 * 9.0 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_plane_weights_are_plain_4bit() {
+        let t = TileConfig::default();
+        let mut l = layer(1024, 256, 0.7, 0.0);
+        l.w_planes = 1;
+        assert!((weight_tile_bytes(&t, &l) - 64.0 * 1024.0 * 4.0 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn typical_transformer_layers_are_executable() {
+        let plan = MemoryPlan::from_config(&PanaceaConfig::default());
+        let t = TileConfig::default();
+        for (k, n) in [(768, 196), (3072, 1024), (2560, 2048)] {
+            let rep = check_fit(&plan, &t, &layer(k, n, 0.5, 0.9));
+            assert!(rep.executable(), "K={k} N={n}: {rep:?}");
+        }
+    }
+
+    #[test]
+    fn huge_k_disables_weight_residency_but_stays_executable() {
+        let plan = MemoryPlan::from_config(&PanaceaConfig::default());
+        let t = TileConfig::default();
+        // K so large that even one TM-tile exceeds WMEM — still executable
+        // through per-TK sub-tiles.
+        let rep = check_fit(&plan, &t, &layer(300_000, 128, 0.0, 0.5));
+        assert!(!rep.weight_tile_fits);
+        assert!(rep.weight_subtile_fits);
+        assert!(rep.executable());
+    }
+
+    #[test]
+    fn small_activations_fit_entirely() {
+        let plan = MemoryPlan::from_config(&PanaceaConfig::default());
+        let t = TileConfig::default();
+        let rep = check_fit(&plan, &t, &layer(768, 16, 0.5, 0.9));
+        assert!(rep.full_act_fits);
+        let rep = check_fit(&plan, &t, &layer(3072, 2048, 0.5, 0.2));
+        assert!(!rep.full_act_fits);
+    }
+}

@@ -1,0 +1,182 @@
+//! Design-space sweep utilities (the machinery behind Fig. 13).
+//!
+//! A [`SweepGrid`] enumerates Panacea configurations × sparsity points ×
+//! GEMM shapes and evaluates them under a shared budget, producing the
+//! flat records the harness binaries and downstream analyses consume.
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::PanaceaConfig;
+use crate::panacea::PanaceaSim;
+use crate::workload::LayerWork;
+use crate::Accelerator;
+
+/// One point of a design-space sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// DWOs per PEA.
+    pub dwo: usize,
+    /// SWOs per PEA.
+    pub swo: usize,
+    /// DTP enabled.
+    pub dtp: bool,
+    /// GEMM shape `(M, K, N)`.
+    pub shape: (usize, usize, usize),
+    /// Weight HO vector sparsity.
+    pub rho_w: f64,
+    /// Activation HO vector sparsity.
+    pub rho_x: f64,
+    /// Effective throughput in TOPS at the budget clock.
+    pub tops: f64,
+    /// Energy efficiency in TOPS/W.
+    pub tops_per_w: f64,
+    /// DWO utilization.
+    pub util_dwo: f64,
+    /// SWO utilization.
+    pub util_swo: f64,
+    /// Whether DTP was actually active (capacity condition).
+    pub dtp_active: bool,
+}
+
+/// Sweep specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Operator splits to evaluate, as `(dwo, swo)` per PEA.
+    pub splits: Vec<(usize, usize)>,
+    /// DTP settings to evaluate.
+    pub dtp: Vec<bool>,
+    /// GEMM shapes `(M, K, N)`.
+    pub shapes: Vec<(usize, usize, usize)>,
+    /// Sparsity points applied to both operands (`ρ_w = ρ_x = ρ`).
+    pub sparsities: Vec<f64>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        SweepGrid {
+            splits: vec![(4, 8), (8, 4)],
+            dtp: vec![false, true],
+            shapes: vec![(512, 512, 512), (2048, 2048, 2048)],
+            sparsities: vec![0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0],
+        }
+    }
+}
+
+impl SweepGrid {
+    /// Runs the sweep under `base` (clock/budget/tiling taken from it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any produced configuration violates the budget.
+    pub fn run(&self, base: &PanaceaConfig) -> Vec<SweepPoint> {
+        let mut out = Vec::new();
+        for &(dwo, swo) in &self.splits {
+            for &dtp in &self.dtp {
+                let sim = PanaceaSim::new(PanaceaConfig {
+                    dwo_per_pea: dwo,
+                    swo_per_pea: swo,
+                    dtp,
+                    ..*base
+                });
+                for &(m, k, n) in &self.shapes {
+                    for &rho in &self.sparsities {
+                        let layer = LayerWork {
+                            name: format!("sweep{m}x{k}x{n}"),
+                            m,
+                            k,
+                            n,
+                            count: 1,
+                            w_planes: 2,
+                            x_planes: 2,
+                            rho_w: rho,
+                            rho_x: rho,
+                        };
+                        let perf = sim.simulate(&layer);
+                        let seconds =
+                            perf.cycles / (base.budget.clock_mhz * 1e6);
+                        let joules = perf.energy.total_pj() * 1e-12;
+                        out.push(SweepPoint {
+                            dwo,
+                            swo,
+                            dtp,
+                            shape: (m, k, n),
+                            rho_w: rho,
+                            rho_x: rho,
+                            tops: layer.total_ops() / seconds / 1e12,
+                            tops_per_w: layer.total_ops() / joules / 1e12,
+                            util_dwo: perf.util_primary,
+                            util_swo: perf.util_secondary,
+                            dtp_active: perf.dtp_active,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The best configuration (by throughput) at a given sparsity point
+    /// and shape, if present in the sweep results.
+    pub fn best_at<'a>(
+        points: &'a [SweepPoint],
+        shape: (usize, usize, usize),
+        rho: f64,
+    ) -> Option<&'a SweepPoint> {
+        points
+            .iter()
+            .filter(|p| p.shape == shape && (p.rho_x - rho).abs() < 1e-9)
+            .max_by(|a, b| a.tops.total_cmp(&b.tops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid {
+            splits: vec![(4, 8), (8, 4)],
+            dtp: vec![false, true],
+            shapes: vec![(512, 512, 512)],
+            sparsities: vec![0.0, 0.9],
+        }
+    }
+
+    #[test]
+    fn sweep_enumerates_full_grid() {
+        let points = small_grid().run(&PanaceaConfig::default());
+        assert_eq!(points.len(), 2 * 2 * 1 * 2);
+    }
+
+    #[test]
+    fn throughput_monotone_in_sparsity_per_config() {
+        let points = small_grid().run(&PanaceaConfig::default());
+        for &(dwo, swo) in &[(4, 8), (8, 4)] {
+            for &dtp in &[false, true] {
+                let same: Vec<&SweepPoint> = points
+                    .iter()
+                    .filter(|p| p.dwo == dwo && p.swo == swo && p.dtp == dtp)
+                    .collect();
+                assert!(same[0].rho_x < same[1].rho_x);
+                assert!(
+                    same[1].tops >= same[0].tops,
+                    "({dwo},{swo},dtp={dtp}): sparsity reduced throughput"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_at_prefers_dtp_at_high_sparsity() {
+        let points = small_grid().run(&PanaceaConfig::default());
+        let best = SweepGrid::best_at(&points, (512, 512, 512), 0.9).expect("point exists");
+        assert!(best.dtp, "DTP should win at ρ = 0.9, got {best:?}");
+    }
+
+    #[test]
+    fn dense_point_prefers_more_dwos() {
+        let points = small_grid().run(&PanaceaConfig::default());
+        let best = SweepGrid::best_at(&points, (512, 512, 512), 0.0).expect("point exists");
+        assert_eq!((best.dwo, best.swo), (8, 4), "dense GEMMs want the DWO-heavy split");
+    }
+}

@@ -1,0 +1,118 @@
+//! The layer descriptor consumed by every accelerator model, and the
+//! per-layer simulation result.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyBreakdown;
+
+/// One GEMM layer with measured sparsity, as fed to a simulator.
+///
+/// `rho_x` must be measured under the *target accelerator's* semantics:
+/// all-`r` vector sparsity for Panacea, all-zero vector sparsity of
+/// symmetric activations for Sibia, zero for the dense baselines (they
+/// ignore it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerWork {
+    /// Layer name for reports.
+    pub name: String,
+    /// Weight rows.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Activation columns.
+    pub n: usize,
+    /// Number of identical instances executed.
+    pub count: usize,
+    /// Weight slice planes (`n+1`; 2 for 7-bit, 3 for 10-bit, 1 for 4-bit).
+    pub w_planes: usize,
+    /// Activation slice planes (`k+1`; 2 for 8-bit, 3 for 12-bit).
+    pub x_planes: usize,
+    /// Weight HO vector sparsity `ρ_w ∈ [0, 1]`.
+    pub rho_w: f64,
+    /// Activation HO vector sparsity `ρ_x ∈ [0, 1]`.
+    pub rho_x: f64,
+}
+
+impl LayerWork {
+    /// Dense MAC count of one instance.
+    pub fn macs(&self) -> f64 {
+        self.m as f64 * self.k as f64 * self.n as f64
+    }
+
+    /// Nominal operations (2 per MAC) across all instances — the
+    /// numerator of "effective TOPS".
+    pub fn total_ops(&self) -> f64 {
+        2.0 * self.macs() * self.count as f64
+    }
+
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.m == 0 || self.k == 0 || self.n == 0 || self.count == 0 {
+            return Err(format!("{}: degenerate dimensions", self.name));
+        }
+        if self.w_planes == 0 || self.x_planes == 0 {
+            return Err(format!("{}: zero slice planes", self.name));
+        }
+        for (label, v) in [("rho_w", self.rho_w), ("rho_x", self.rho_x)] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{}: {label} = {v} outside [0, 1]", self.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of simulating one layer (all `count` instances).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerPerf {
+    /// Total cycles (max of compute and memory under double buffering).
+    pub cycles: f64,
+    /// Compute-only cycles (operator-pool drain time).
+    pub compute_cycles: f64,
+    /// Itemized energy (pJ).
+    pub energy: EnergyBreakdown,
+    /// DRAM traffic in bits.
+    pub dram_bits: f64,
+    /// On-chip SRAM traffic in bits (reads + writes).
+    pub sram_bits: f64,
+    /// Mean utilization of the sparse-workload operator pool (DWOs for
+    /// Panacea; overall MAC utilization for other designs).
+    pub util_primary: f64,
+    /// Mean utilization of the dense pool (SWOs); 0 where not applicable.
+    pub util_secondary: f64,
+    /// Whether double-tile processing was active (Panacea only).
+    pub dtp_active: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> LayerWork {
+        LayerWork {
+            name: "t".into(),
+            m: 64,
+            k: 64,
+            n: 64,
+            count: 2,
+            w_planes: 2,
+            x_planes: 2,
+            rho_w: 0.5,
+            rho_x: 0.5,
+        }
+    }
+
+    #[test]
+    fn ops_count_both_instances() {
+        let l = layer();
+        assert_eq!(l.total_ops(), 2.0 * 64.0 * 64.0 * 64.0 * 2.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_inputs() {
+        assert!(layer().validate().is_ok());
+        assert!(LayerWork { m: 0, ..layer() }.validate().is_err());
+        assert!(LayerWork { rho_x: 1.5, ..layer() }.validate().is_err());
+        assert!(LayerWork { w_planes: 0, ..layer() }.validate().is_err());
+    }
+}

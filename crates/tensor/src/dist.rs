@@ -1,0 +1,381 @@
+//! Synthetic value distributions mimicking real DNN weight/activation
+//! statistics.
+//!
+//! The paper's hardware results depend on the *distribution* of quantized
+//! values (which determines bit-slice sparsity), not on any particular
+//! trained checkpoint. This module generates floating-point tensors whose
+//! shapes match the paper's observations:
+//!
+//! * DNN **weights** are near-zero Gaussian (`Gaussian`);
+//! * **post-GELU** activations are heavily one-sided with a spike just
+//!   below zero and a long positive tail (`PostGelu`) — this is the
+//!   distribution behind the paper's remark that `MLP.FC2` inputs have many
+//!   zero HO slices even under asymmetric quantization (Fig. 14(a));
+//! * **post-LayerNorm / attention** activations are asymmetric Gaussians
+//!   with a shifted mean (`AsymmetricGaussian`), the case motivating
+//!   asymmetric quantization (Fig. 2, Fig. 5(a));
+//! * **LLM activations with outlier channels** (OPT/Llama) are a Gaussian
+//!   core plus a sparse set of large-magnitude channels (`OutlierChannels`),
+//!   the case motivating wide-distribution DBS types (Fig. 9);
+//! * `LongTail` (Laplace) models wide heavy-tailed layers (DBS type-3).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Matrix;
+
+/// A parameterized family of synthetic layer-value distributions.
+///
+/// # Examples
+///
+/// ```
+/// use panacea_tensor::dist::DistributionKind;
+///
+/// let mut rng = panacea_tensor::seeded_rng(7);
+/// let m = DistributionKind::PostGelu { scale: 1.0 }.sample_matrix(8, 8, &mut rng);
+/// // GELU output is bounded below by roughly -0.17 * scale.
+/// assert!(m.iter().all(|&v| v > -0.2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DistributionKind {
+    /// Zero-mean-like Gaussian `N(mean, std²)`; models trained weights.
+    Gaussian {
+        /// Mean of the distribution.
+        mean: f32,
+        /// Standard deviation (must be finite and non-negative).
+        std: f32,
+    },
+    /// Gaussian shifted away from zero; models post-LayerNorm activations
+    /// whose quantized range is poorly used by symmetric quantization.
+    AsymmetricGaussian {
+        /// Mean of the distribution (typically nonzero).
+        mean: f32,
+        /// Standard deviation.
+        std: f32,
+        /// Skew factor in `[0, 1)`: fraction of samples drawn from a
+        /// second Gaussian at `mean + 3·std`, producing a one-sided tail.
+        skew: f32,
+    },
+    /// GELU applied to a Gaussian pre-activation; models MLP hidden
+    /// activations (many near-zero values, long positive tail).
+    PostGelu {
+        /// Standard deviation of the Gaussian pre-activation.
+        scale: f32,
+    },
+    /// Laplace (double-exponential); models wide heavy-tailed layers.
+    LongTail {
+        /// Location parameter.
+        mean: f32,
+        /// Laplace diversity `b` (std = `b·√2`).
+        scale: f32,
+    },
+    /// Gaussian core with a sparse set of high-magnitude columns; models
+    /// OPT/Llama outlier channels.
+    OutlierChannels {
+        /// Std of the dense Gaussian core.
+        core_std: f32,
+        /// Multiplier applied to outlier columns.
+        outlier_scale: f32,
+        /// Fraction of columns that are outliers, in `[0, 1]`.
+        outlier_frac: f32,
+    },
+    /// Uniform on `[lo, hi]`; used by property tests as an adversarial case.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f32,
+        /// Inclusive upper bound.
+        hi: f32,
+    },
+    /// Softmax-like distribution in `[0, 1]` concentrated near zero with a
+    /// few rows summing to one; models attention probabilities.
+    SoftmaxLike {
+        /// Effective number of large entries per row (sharpness).
+        sharpness: f32,
+    },
+    /// Transformer activation: a tight Gaussian core plus sparse outlier
+    /// *channels* (rows of a `K × N` activation) whose positive and
+    /// negative tails scale asymmetrically. This is the well-documented
+    /// structure of post-LayerNorm transformer activations: the outliers
+    /// stretch the quantization range far beyond the bulk, so the bulk
+    /// collapses into a few quantized steps around the zero-point — the
+    /// regime that gives Panacea its high HO-slice sparsity.
+    TransformerAct {
+        /// Mean of the dense core (nonzero for post-LayerNorm layers,
+        /// which is what makes asymmetric quantization pay off).
+        core_mean: f32,
+        /// Standard deviation of the dense core.
+        core_std: f32,
+        /// Multiplier applied to positive samples of outlier channels.
+        pos_scale: f32,
+        /// Multiplier applied to negative samples of outlier channels.
+        neg_scale: f32,
+        /// Fraction of channels (rows) that are outliers, in `[0, 1]`.
+        outlier_frac: f32,
+    },
+    /// Post-GELU (or post-ReLU) activation with outlier channels: most
+    /// values pile up just below/at zero while rare channels carry large
+    /// positive values. Models MLP hidden states and CNN feature maps.
+    PostGeluOutlier {
+        /// Standard deviation of the Gaussian pre-activation.
+        scale: f32,
+        /// Multiplier applied to outlier channels (rows).
+        outlier_scale: f32,
+        /// Fraction of outlier channels, in `[0, 1]`.
+        outlier_frac: f32,
+    },
+}
+
+impl DistributionKind {
+    /// Draws a single sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f32 {
+        match *self {
+            DistributionKind::Gaussian { mean, std } => mean + std * gaussian(rng),
+            DistributionKind::AsymmetricGaussian { mean, std, skew } => {
+                if rng.gen::<f32>() < skew {
+                    mean + 3.0 * std + std * gaussian(rng).abs()
+                } else {
+                    mean + std * gaussian(rng)
+                }
+            }
+            DistributionKind::PostGelu { scale } => gelu(scale * gaussian(rng)),
+            DistributionKind::LongTail { mean, scale } => {
+                let u: f32 = rng.gen::<f32>() - 0.5;
+                mean - scale * u.signum() * (1.0 - 2.0 * u.abs()).max(1e-12).ln()
+            }
+            DistributionKind::OutlierChannels { core_std, .. } => core_std * gaussian(rng),
+            DistributionKind::Uniform { lo, hi } => rng.gen::<f32>() * (hi - lo) + lo,
+            DistributionKind::SoftmaxLike { sharpness } => {
+                // Exponential race: most entries tiny, a few near 1/sharpness.
+                let e: f32 = -(rng.gen::<f32>().max(1e-12)).ln();
+                (e / sharpness).min(1.0)
+            }
+            DistributionKind::TransformerAct { core_mean, core_std, .. } => {
+                core_mean + core_std * gaussian(rng)
+            }
+            DistributionKind::PostGeluOutlier { scale, .. } => gelu(scale * gaussian(rng)),
+        }
+    }
+
+    /// Draws a full `rows × cols` matrix.
+    ///
+    /// For [`DistributionKind::OutlierChannels`] the outlier pattern is
+    /// column-wise (matching per-channel outliers in transformer
+    /// activations); for all other kinds elements are i.i.d.
+    pub fn sample_matrix(&self, rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix<f32> {
+        match *self {
+            DistributionKind::OutlierChannels { core_std, outlier_scale, outlier_frac } => {
+                let mut outlier: Vec<bool> =
+                    (0..cols).map(|_| rng.gen::<f32>() < outlier_frac).collect();
+                // Real tensors always exhibit at least one outlier channel;
+                // forcing one keeps small sampled tiles in the same regime.
+                if cols > 0 && !outlier.iter().any(|&b| b) {
+                    outlier[0] = true;
+                }
+                let mut m = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let v = core_std * gaussian(rng);
+                        m[(r, c)] = if outlier[c] { v * outlier_scale } else { v };
+                    }
+                }
+                m
+            }
+            DistributionKind::TransformerAct {
+                core_mean,
+                core_std,
+                pos_scale,
+                neg_scale,
+                outlier_frac,
+            } => {
+                // At least one outlier channel so the range is stretched
+                // deterministically, as in real calibration data.
+                let mut outlier: Vec<bool> =
+                    (0..rows).map(|_| rng.gen::<f32>() < outlier_frac).collect();
+                if rows > 0 && !outlier.iter().any(|&b| b) {
+                    outlier[0] = true;
+                }
+                let mut m = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let v = core_std * gaussian(rng);
+                        m[(r, c)] = if outlier[r] {
+                            if v >= 0.0 { v * pos_scale } else { v * neg_scale }
+                        } else {
+                            core_mean + v
+                        };
+                    }
+                }
+                m
+            }
+            DistributionKind::PostGeluOutlier { scale, outlier_scale, outlier_frac } => {
+                let mut outlier: Vec<bool> =
+                    (0..rows).map(|_| rng.gen::<f32>() < outlier_frac).collect();
+                if rows > 0 && !outlier.iter().any(|&b| b) {
+                    outlier[0] = true;
+                }
+                let mut m = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    // GELU is applied *after* the outlier-bearing
+                    // pre-activation, so the negative lobe stays bounded at
+                    // ≈ −0.17 while outlier channels stretch the positive
+                    // range — exactly the paper's MLP.FC2 regime.
+                    let s_eff = if outlier[r] { scale * outlier_scale } else { scale };
+                    for c in 0..cols {
+                        m[(r, c)] = gelu(s_eff * gaussian(rng));
+                    }
+                }
+                m
+            }
+            _ => Matrix::from_fn(rows, cols, |_, _| self.sample(rng)),
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen::<f32>().max(1e-12);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// GELU activation (tanh approximation, as used by GPT-2/BERT).
+///
+/// # Examples
+///
+/// ```
+/// let y = panacea_tensor::dist::gelu(0.0);
+/// assert_eq!(y, 0.0);
+/// assert!(panacea_tensor::dist::gelu(3.0) > 2.9);
+/// assert!(panacea_tensor::dist::gelu(-3.0) > -0.01);
+/// ```
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    fn rng() -> rand::rngs::StdRng {
+        crate::seeded_rng(0xC0FFEE)
+    }
+
+    #[test]
+    fn gaussian_matches_requested_moments() {
+        let mut r = rng();
+        let m = DistributionKind::Gaussian { mean: 2.0, std: 0.5 }.sample_matrix(200, 200, &mut r);
+        assert!((stats::mean(m.as_slice()) - 2.0).abs() < 0.02);
+        assert!((stats::std_dev(m.as_slice()) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn post_gelu_is_one_sided() {
+        let mut r = rng();
+        let m = DistributionKind::PostGelu { scale: 1.0 }.sample_matrix(100, 100, &mut r);
+        let min = m.iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(min > -0.2, "GELU lower bound violated: {min}");
+        // Most mass is near zero.
+        let near_zero = m.iter().filter(|v| v.abs() < 0.25).count();
+        assert!(near_zero > m.len() / 3);
+    }
+
+    #[test]
+    fn asymmetric_gaussian_is_skewed() {
+        let mut r = rng();
+        let d = DistributionKind::AsymmetricGaussian { mean: 1.0, std: 1.0, skew: 0.3 };
+        let m = d.sample_matrix(200, 100, &mut r);
+        // With a positive skew tail the mean exceeds the base mean.
+        assert!(stats::mean(m.as_slice()) > 1.5);
+    }
+
+    #[test]
+    fn long_tail_has_heavier_tails_than_gaussian() {
+        let mut r = rng();
+        let lt = DistributionKind::LongTail { mean: 0.0, scale: 1.0 }.sample_matrix(100, 100, &mut r);
+        let std = stats::std_dev(lt.as_slice());
+        let frac_beyond_3std =
+            lt.iter().filter(|v| v.abs() > 3.0 * std).count() as f32 / lt.len() as f32;
+        // Gaussian would be ~0.27%; Laplace is noticeably more.
+        assert!(frac_beyond_3std > 0.005, "tail fraction {frac_beyond_3std}");
+    }
+
+    #[test]
+    fn outlier_channels_inflate_some_columns() {
+        let mut r = rng();
+        let d = DistributionKind::OutlierChannels {
+            core_std: 1.0,
+            outlier_scale: 20.0,
+            outlier_frac: 0.1,
+        };
+        let m = d.sample_matrix(200, 64, &mut r);
+        let mut col_max = vec![0f32; 64];
+        for row in 0..200 {
+            for col in 0..64 {
+                col_max[col] = col_max[col].max(m[(row, col)].abs());
+            }
+        }
+        let big = col_max.iter().filter(|&&v| v > 15.0).count();
+        assert!(big >= 2, "expected some outlier columns, got {big}");
+        assert!(big <= 20, "too many outlier columns: {big}");
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut r = rng();
+        let m = DistributionKind::Uniform { lo: -1.0, hi: 3.0 }.sample_matrix(50, 50, &mut r);
+        assert!(m.iter().all(|&v| (-1.0..=3.0).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_like_in_unit_interval() {
+        let mut r = rng();
+        let m = DistributionKind::SoftmaxLike { sharpness: 8.0 }.sample_matrix(50, 50, &mut r);
+        assert!(m.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Concentrated near zero.
+        assert!(stats::mean(m.as_slice()) < 0.3);
+    }
+
+    #[test]
+    fn transformer_act_stretches_range_asymmetrically() {
+        let mut r = rng();
+        let d = DistributionKind::TransformerAct {
+            core_mean: 0.2,
+            core_std: 0.5,
+            pos_scale: 10.0,
+            neg_scale: 5.0,
+            outlier_frac: 0.02,
+        };
+        let m = d.sample_matrix(128, 128, &mut r);
+        let (lo, hi) = crate::stats::min_max(m.as_slice());
+        // The positive tail reaches farther than the negative one.
+        assert!(hi > -lo, "hi={hi} lo={lo}");
+        assert!(hi > 5.0, "outliers should stretch the range, hi={hi}");
+        // The bulk stays tight: most values within ±2 core std.
+        let bulk = m.iter().filter(|v| v.abs() < 1.0).count();
+        assert!(bulk as f64 / m.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn post_gelu_outlier_is_one_sided_with_big_channels() {
+        let mut r = rng();
+        let d = DistributionKind::PostGeluOutlier {
+            scale: 1.0,
+            outlier_scale: 10.0,
+            outlier_frac: 0.02,
+        };
+        let m = d.sample_matrix(128, 64, &mut r);
+        let (lo, hi) = crate::stats::min_max(m.as_slice());
+        assert!(lo > -2.0, "GELU keeps the negative lobe small, lo={lo}");
+        assert!(hi > 5.0, "outlier channels reach high, hi={hi}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = DistributionKind::Gaussian { mean: 0.0, std: 1.0 };
+        let a = d.sample_matrix(4, 4, &mut crate::seeded_rng(9));
+        let b = d.sample_matrix(4, 4, &mut crate::seeded_rng(9));
+        assert_eq!(a, b);
+    }
+}

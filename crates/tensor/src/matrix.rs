@@ -1,0 +1,418 @@
+//! A small, owned, row-major matrix type.
+//!
+//! The Panacea workloads only need 2-D dense storage with element access,
+//! iteration, transposition, and a reference GEMM; a full linear-algebra
+//! library would be overkill and would obscure the bit-exact integer paths
+//! that the accelerator model cares about.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced by matrix constructors and shape-checked operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The provided buffer length does not equal `rows * cols`.
+    LengthMismatch {
+        /// Expected number of elements (`rows * cols`).
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape ({expected} expected)")
+            }
+            MatrixError::ShapeMismatch { left, right } => {
+                write!(f, "incompatible shapes {left:?} and {right:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// Owned row-major matrix.
+///
+/// # Examples
+///
+/// ```
+/// use panacea_tensor::Matrix;
+///
+/// let a = Matrix::from_rows(vec![vec![1i32, 2], vec![3, 4]]).unwrap();
+/// assert_eq!(a.rows(), 2);
+/// assert_eq!(a[(1, 0)], 3);
+/// let t = a.transposed();
+/// assert_eq!(t[(0, 1)], 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Default + Clone> Matrix<T> {
+    /// Creates a `rows × cols` matrix filled with `T::default()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let z = panacea_tensor::Matrix::<i32>::zeros(2, 2);
+    /// assert_eq!(z.as_slice(), &[0, 0, 0, 0]);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+}
+
+impl<T> Matrix<T> {
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::LengthMismatch`] if `data.len() != rows * cols`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), panacea_tensor::matrix::MatrixError> {
+    /// let m = panacea_tensor::Matrix::from_vec(2, 2, vec![1, 2, 3, 4])?;
+    /// assert_eq!(m[(0, 1)], 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, MatrixError> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::LengthMismatch { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let id = panacea_tensor::Matrix::from_fn(3, 3, |r, c| (r == c) as i32);
+    /// assert_eq!(id[(2, 2)], 1);
+    /// assert_eq!(id[(0, 2)], 0);
+    /// ```
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::LengthMismatch`] if the rows are ragged.
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Result<Self, MatrixError> {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in rows {
+            if row.len() != n_cols {
+                return Err(MatrixError::LengthMismatch { expected: n_cols, actual: row.len() });
+            }
+            data.extend(row);
+        }
+        Ok(Matrix { rows: n_rows, cols: n_cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the elements.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the elements.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the flat row-major buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrow of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over all elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Mutable iterator over all elements in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    /// Applies `f` to every element, producing a new matrix of the results.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let m = panacea_tensor::Matrix::from_fn(2, 2, |r, c| (r + c) as i32);
+    /// let doubled = m.map(|&v| v * 2);
+    /// assert_eq!(doubled[(1, 1)], 4);
+    /// ```
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Matrix<U> {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(f).collect() }
+    }
+}
+
+impl<T: Clone> Matrix<T> {
+    /// Returns the transpose of the matrix.
+    pub fn transposed(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)].clone())
+    }
+
+    /// Extracts the sub-matrix `rows_range × cols_range`, clamped to bounds.
+    ///
+    /// Ranges extending past the matrix edge are truncated, which makes tile
+    /// extraction at matrix borders ergonomic for the accelerator model.
+    pub fn submatrix(
+        &self,
+        row_start: usize,
+        col_start: usize,
+        n_rows: usize,
+        n_cols: usize,
+    ) -> Matrix<T> {
+        let r_end = (row_start + n_rows).min(self.rows);
+        let c_end = (col_start + n_cols).min(self.cols);
+        let r0 = row_start.min(r_end);
+        let c0 = col_start.min(c_end);
+        Matrix::from_fn(r_end - r0, c_end - c0, |r, c| self[(r0 + r, c0 + c)].clone())
+    }
+}
+
+impl<T> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Matrix<T> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Matrix<i32> {
+    /// Reference integer GEMM: `self (M×K) · rhs (K×N)` in exact `i64`
+    /// accumulation, truncated back to `i32` (all Panacea workloads fit).
+    ///
+    /// This is the bit-exact oracle every sliced GEMM is checked against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), panacea_tensor::matrix::MatrixError> {
+    /// use panacea_tensor::Matrix;
+    /// let a = Matrix::from_vec(2, 2, vec![1, 2, 3, 4])?;
+    /// let b = Matrix::from_vec(2, 2, vec![5, 6, 7, 8])?;
+    /// let c = a.gemm(&b)?;
+    /// assert_eq!(c.as_slice(), &[19, 22, 43, 50]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn gemm(&self, rhs: &Matrix<i32>) -> Result<Matrix<i32>, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::ShapeMismatch { left: self.shape(), right: rhs.shape() });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for m in 0..self.rows {
+            for k in 0..self.cols {
+                let a = i64::from(self[(m, k)]);
+                if a == 0 {
+                    continue;
+                }
+                for n in 0..rhs.cols {
+                    let acc = i64::from(out[(m, n)]) + a * i64::from(rhs[(k, n)]);
+                    out[(m, n)] = acc as i32;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Matrix<f32> {
+    /// Reference floating-point GEMM used by the model forward engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn gemm_f32(&self, rhs: &Matrix<f32>) -> Result<Matrix<f32>, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::ShapeMismatch { left: self.shape(), right: rhs.shape() });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for m in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(m, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for n in 0..rhs.cols {
+                    out[(m, n)] += a * rhs[(k, n)];
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::<i32>::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        let err = Matrix::from_vec(2, 2, vec![1, 2, 3]).unwrap_err();
+        assert_eq!(err, MatrixError::LengthMismatch { expected: 4, actual: 3 });
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_rows() {
+        let err = Matrix::from_rows(vec![vec![1, 2], vec![3]]).unwrap_err();
+        assert!(matches!(err, MatrixError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let m = Matrix::from_vec(2, 3, vec![0, 1, 2, 10, 11, 12]).unwrap();
+        assert_eq!(m[(0, 2)], 2);
+        assert_eq!(m[(1, 0)], 10);
+        assert_eq!(m.row(1), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as i32);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn submatrix_clamps_to_bounds() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as i32);
+        let s = m.submatrix(2, 3, 10, 10);
+        assert_eq!(s.shape(), (2, 1));
+        assert_eq!(s[(0, 0)], 11);
+        assert_eq!(s[(1, 0)], 15);
+    }
+
+    #[test]
+    fn gemm_matches_hand_computed() {
+        let a = Matrix::from_vec(2, 3, vec![1, -2, 3, 0, 4, -1]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![2, 0, 1, -1, 3, 5]).unwrap();
+        let c = a.gemm(&b).unwrap();
+        assert_eq!(c.as_slice(), &[9, 17, 1, -9]);
+    }
+
+    #[test]
+    fn gemm_shape_mismatch_is_error() {
+        let a = Matrix::<i32>::zeros(2, 3);
+        let b = Matrix::<i32>::zeros(2, 3);
+        assert!(matches!(a.gemm(&b), Err(MatrixError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r as i32 + 1) * (c as i32 - 2));
+        let id = Matrix::from_fn(4, 4, |r, c| i32::from(r == c));
+        assert_eq!(a.gemm(&id).unwrap(), a);
+        assert_eq!(id.gemm(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let m = Matrix::from_fn(2, 5, |r, c| (r + c) as i32);
+        let f = m.map(|&v| v as f32 * 0.5);
+        assert_eq!(f.shape(), (2, 5));
+        assert_eq!(f[(1, 4)], 2.5);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut m = Matrix::<i32>::zeros(2, 2);
+        m.row_mut(1)[0] = 7;
+        assert_eq!(m[(1, 0)], 7);
+    }
+}

@@ -1,0 +1,38 @@
+//! # Panacea
+//!
+//! A from-scratch Rust reproduction of *"Panacea: Novel DNN Accelerator
+//! using Accuracy-Preserving Asymmetric Quantization and Energy-Saving
+//! Bit-Slice Sparsity"* (HPCA 2025).
+//!
+//! This facade crate re-exports the workspace sub-crates:
+//!
+//! * [`tensor`] — matrices, synthetic distributions, statistics;
+//! * [`quant`] — symmetric/asymmetric PTQ, calibration, ZPM, DBS, OPTQ;
+//! * [`bitslice`] — SBR & straightforward slicing, slice vectors, RLE;
+//! * [`core`] — the AQS-GEMM (compression + skipping + compensation) and
+//!   baseline GEMMs, plus the Table-I workload model;
+//! * [`sim`] — the Panacea cycle/energy simulator and the SA-WS / SA-OS /
+//!   SIMD / Sibia baseline accelerators;
+//! * [`models`] — DNN benchmark layer inventories, a small forward engine,
+//!   and quality-proxy metrics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use panacea::quant::{AsymmetricQuantizer, Quantizer};
+//! use panacea::tensor::{dist::DistributionKind, seeded_rng};
+//!
+//! let mut rng = seeded_rng(1);
+//! let x = DistributionKind::AsymmetricGaussian { mean: 1.0, std: 0.5, skew: 0.1 }
+//!     .sample_matrix(16, 16, &mut rng);
+//! let q = AsymmetricQuantizer::calibrate(x.as_slice(), 8);
+//! let xq = q.quantize_matrix(&x);
+//! assert!(xq.iter().all(|&v| (0..=255).contains(&v)));
+//! ```
+
+pub use panacea_bitslice as bitslice;
+pub use panacea_core as core;
+pub use panacea_models as models;
+pub use panacea_quant as quant;
+pub use panacea_sim as sim;
+pub use panacea_tensor as tensor;
