@@ -26,8 +26,9 @@ fn bench_quantizers(c: &mut Criterion) {
     });
     c.bench_function("calibrate_zpm_dbs", |b| {
         b.iter(|| {
-            let mut cal =
-                ActivationCalibrator::new(8).with_zpm(true).with_dbs(DbsConfig::default());
+            let mut cal = ActivationCalibrator::new(8)
+                .with_zpm(true)
+                .with_dbs(DbsConfig::default());
             cal.observe(&batch);
             cal.finalize()
         })
@@ -35,8 +36,12 @@ fn bench_quantizers(c: &mut Criterion) {
 
     let asym = AsymmetricQuantizer::calibrate(batch.as_slice(), 8);
     let sym = SymmetricQuantizer::calibrate(batch.as_slice(), 8);
-    c.bench_function("quantize_asym_64k", |b| b.iter(|| asym.quantize_matrix(&batch)));
-    c.bench_function("quantize_sym_64k", |b| b.iter(|| sym.quantize_matrix(&batch)));
+    c.bench_function("quantize_asym_64k", |b| {
+        b.iter(|| asym.quantize_matrix(&batch))
+    });
+    c.bench_function("quantize_sym_64k", |b| {
+        b.iter(|| sym.quantize_matrix(&batch))
+    });
 }
 
 fn quick() -> Criterion {

@@ -1,0 +1,119 @@
+//! Criterion benchmarks of the `panacea-serve` runtime: throughput of
+//! the batched AQS pipeline versus batch width, and end-to-end runtime
+//! dispatch versus worker count.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panacea_serve::{
+    BatchPolicy, LayerSpec, ModelRegistry, PrepareOptions, PreparedModel, Runtime, RuntimeConfig,
+};
+use panacea_tensor::dist::DistributionKind;
+use panacea_tensor::Matrix;
+use rand::Rng;
+
+const K: usize = 128;
+const M: usize = 64;
+
+fn prepared_model(seed: u64) -> PreparedModel {
+    let mut rng = panacea_tensor::seeded_rng(seed);
+    let w = DistributionKind::Gaussian {
+        mean: 0.0,
+        std: 0.05,
+    }
+    .sample_matrix(M, K, &mut rng);
+    let calib = DistributionKind::TransformerAct {
+        core_mean: 0.1,
+        core_std: 0.4,
+        pos_scale: 8.0,
+        neg_scale: 5.0,
+        outlier_frac: 0.02,
+    }
+    .sample_matrix(K, 64, &mut rng);
+    PreparedModel::prepare(
+        "bench",
+        &[LayerSpec::unbiased(w)],
+        &calib,
+        PrepareOptions::default(),
+    )
+    .expect("prepare")
+}
+
+fn request(model: &PreparedModel, cols: usize, rng: &mut impl Rng) -> Matrix<i32> {
+    Matrix::from_fn(model.in_features(), cols, |_, _| rng.gen_range(0i32..256))
+}
+
+/// One coalesced forward pass over `batch` columns — the raw kernel-side
+/// gain of batching, independent of queueing.
+fn bench_batch_width(c: &mut Criterion) {
+    let model = prepared_model(1);
+    let mut rng = panacea_tensor::seeded_rng(2);
+    let mut group = c.benchmark_group("serving_batch_width");
+    for batch in [1usize, 8, 32] {
+        let codes = request(&model, batch, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("forward_cols", batch),
+            &codes,
+            |b, codes| b.iter(|| model.forward_codes(codes)),
+        );
+    }
+    group.finish();
+}
+
+/// Full runtime round trip: submit a burst of requests, wait for all
+/// responses — queueing, coalescing, dispatch, and split included.
+fn bench_runtime_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_runtime");
+    for workers in [1usize, 2, 4] {
+        let registry = Arc::new(ModelRegistry::new());
+        let model = registry.insert(prepared_model(3));
+        let runtime = Runtime::start(
+            Arc::clone(&registry),
+            RuntimeConfig {
+                workers,
+                policy: BatchPolicy {
+                    max_batch: 32,
+                    max_wait: Duration::from_micros(200),
+                },
+            },
+        );
+        let mut rng = panacea_tensor::seeded_rng(4);
+        let burst: Vec<Matrix<i32>> = (0..16).map(|_| request(&model, 2, &mut rng)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("burst16x2", workers),
+            &burst,
+            |b, burst| {
+                b.iter(|| {
+                    let pending: Vec<_> = burst
+                        .iter()
+                        .map(|codes| {
+                            runtime
+                                .submit_to(Arc::clone(&model), codes.clone())
+                                .expect("queued")
+                        })
+                        .collect();
+                    pending
+                        .into_iter()
+                        .map(|p| p.wait().expect("served").acc)
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_batch_width, bench_runtime_dispatch
+}
+criterion_main!(benches);

@@ -3,8 +3,8 @@
 //! paper: EMA −60.5% (DeiT-base) / −46.8% (GPT-2), SRAM −29.2% / −27.4%.
 
 use panacea_bench::{emit, pct, to_layer_work, ComparisonSet, EngineKind};
-use panacea_models::{profile_model, ProfileOptions};
 use panacea_models::zoo::Benchmark;
+use panacea_models::{profile_model, ProfileOptions};
 use panacea_sim::simulate_model;
 
 fn main() {
@@ -14,8 +14,14 @@ fn main() {
     for b in [Benchmark::DeitBase, Benchmark::Gpt2] {
         let model = b.spec();
         let profiles = profile_model(&model, &ProfileOptions::default());
-        let pan: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Panacea)).collect();
-        let sib: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Sibia)).collect();
+        let pan: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Panacea))
+            .collect();
+        let sib: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Sibia))
+            .collect();
         let p = simulate_model(&set.panacea, &pan, clock);
         let s = simulate_model(&set.sibia, &sib, clock);
         rows.push(vec![
@@ -30,7 +36,15 @@ fn main() {
     }
     emit(
         "§III-B — memory-access reduction of HO-slice compression vs Sibia",
-        &["model", "Sibia EMA", "Panacea EMA", "EMA saved", "Sibia SRAM", "Panacea SRAM", "SRAM saved"],
+        &[
+            "model",
+            "Sibia EMA",
+            "Panacea EMA",
+            "EMA saved",
+            "Sibia SRAM",
+            "Panacea SRAM",
+            "SRAM saved",
+        ],
         &rows,
     );
     println!("Paper: EMA -60.5% (DeiT) / -46.8% (GPT-2); SRAM -29.2% / -27.4%.");

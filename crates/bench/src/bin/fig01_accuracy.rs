@@ -5,8 +5,8 @@
 
 use panacea_bench::emit;
 use panacea_models::proxy::{accuracy_loss_pp, aggregate_sqnr_db, perplexity_proxy};
-use panacea_models::{profile_model, ProfileOptions};
 use panacea_models::zoo::Benchmark;
+use panacea_models::{profile_model, ProfileOptions};
 
 fn main() {
     let mut rows = Vec::new();
@@ -15,7 +15,10 @@ fn main() {
         let profiles = profile_model(&model, &ProfileOptions::default());
         let agg = |f: &dyn Fn(&panacea_models::LayerProfile) -> f64| {
             aggregate_sqnr_db(
-                &profiles.iter().map(|p| (f(p), p.spec.total_macs())).collect::<Vec<_>>(),
+                &profiles
+                    .iter()
+                    .map(|p| (f(p), p.spec.total_macs()))
+                    .collect::<Vec<_>>(),
             )
         };
         let sym = agg(&|p| p.sqnr_sym_db);
@@ -41,7 +44,13 @@ fn main() {
     }
     emit(
         "Fig. 1 — symmetric vs asymmetric activation quantization (8-bit W/A)",
-        &["model", "FP16", "symmetric acts", "asymmetric acts", "SQNR gain"],
+        &[
+            "model",
+            "FP16",
+            "symmetric acts",
+            "asymmetric acts",
+            "SQNR gain",
+        ],
         &rows,
     );
     println!(

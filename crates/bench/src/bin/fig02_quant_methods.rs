@@ -9,8 +9,12 @@ fn main() {
     let mut rng = panacea_tensor::seeded_rng(2);
     // A typical asymmetric activation tensor: one-sided with a small
     // negative lobe (post-GELU-like).
-    let x = DistributionKind::AsymmetricGaussian { mean: 0.6, std: 0.35, skew: 0.08 }
-        .sample_matrix(256, 256, &mut rng);
+    let x = DistributionKind::AsymmetricGaussian {
+        mean: 0.6,
+        std: 0.35,
+        skew: 0.08,
+    }
+    .sample_matrix(256, 256, &mut rng);
 
     let sym = SymmetricQuantizer::calibrate(x.as_slice(), 8);
     let asym = AsymmetricQuantizer::calibrate(x.as_slice(), 8);

@@ -5,8 +5,8 @@
 use panacea_bench::{emit, pct};
 use panacea_bitslice::{sparsity, SlicedActivation};
 use panacea_models::proxy::{accuracy_loss_pp, aggregate_sqnr_db};
-use panacea_models::{profile_model, ProfileOptions};
 use panacea_models::zoo::Benchmark;
+use panacea_models::{profile_model, ProfileOptions};
 use panacea_quant::dbs::DbsType;
 use panacea_quant::{AsymmetricQuantizer, Quantizer};
 use panacea_tensor::dist::DistributionKind;
@@ -14,8 +14,12 @@ use panacea_tensor::dist::DistributionKind;
 fn main() {
     // --- (a) HO-slice histogram under asymmetric quantization.
     let mut rng = panacea_tensor::seeded_rng(5);
-    let x = DistributionKind::AsymmetricGaussian { mean: 0.4, std: 0.25, skew: 0.05 }
-        .sample_matrix(128, 128, &mut rng);
+    let x = DistributionKind::AsymmetricGaussian {
+        mean: 0.4,
+        std: 0.25,
+        skew: 0.05,
+    }
+    .sample_matrix(128, 128, &mut rng);
     let q = AsymmetricQuantizer::calibrate(x.as_slice(), 8);
     let xq = q.quantize_matrix(&x);
     let sx = SlicedActivation::from_uint(&xq, 1, DbsType::Type1).expect("8-bit codes");
@@ -32,7 +36,11 @@ fn main() {
                 format!("{v:04b}"),
                 format!("{}", counts[v]),
                 pct(counts[v] as f64 / total as f64),
-                if v == r as usize { "<- r = zp_HO".into() } else { String::new() },
+                if v == r as usize {
+                    "<- r = zp_HO".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
@@ -51,20 +59,33 @@ fn main() {
     // --- (b) Accuracy comparison on BERT-base (MNLI proxy).
     let model = Benchmark::BertBase.spec();
     let profiles = profile_model(&model, &ProfileOptions::default());
-    let per_layer_asym: Vec<(f64, u64)> =
-        profiles.iter().map(|p| (p.sqnr_asym_db, p.spec.total_macs())).collect();
-    let per_layer_sym: Vec<(f64, u64)> =
-        profiles.iter().map(|p| (p.sqnr_sym_db, p.spec.total_macs())).collect();
+    let per_layer_asym: Vec<(f64, u64)> = profiles
+        .iter()
+        .map(|p| (p.sqnr_asym_db, p.spec.total_macs()))
+        .collect();
+    let per_layer_sym: Vec<(f64, u64)> = profiles
+        .iter()
+        .map(|p| (p.sqnr_sym_db, p.spec.total_macs()))
+        .collect();
     let base_acc = model.fp16_quality;
     let acc = |sqnr: f64| base_acc - accuracy_loss_pp(sqnr);
     let asym_sqnr = aggregate_sqnr_db(&per_layer_asym);
     let sym_sqnr = aggregate_sqnr_db(&per_layer_sym);
     let rows = vec![
         vec!["FP32 GEMM".to_string(), format!("{base_acc:.1}")],
-        vec!["int GEMM, symmetric acts".to_string(), format!("{:.1}", acc(sym_sqnr))],
-        vec!["int GEMM, asymmetric acts".to_string(), format!("{:.1}", acc(asym_sqnr))],
+        vec![
+            "int GEMM, symmetric acts".to_string(),
+            format!("{:.1}", acc(sym_sqnr)),
+        ],
+        vec![
+            "int GEMM, asymmetric acts".to_string(),
+            format!("{:.1}", acc(asym_sqnr)),
+        ],
         // AQS-GEMM is bit-exact w.r.t. the asymmetric integer GEMM.
-        vec!["AQS-GEMM (ours, exact)".to_string(), format!("{:.1}", acc(asym_sqnr))],
+        vec![
+            "AQS-GEMM (ours, exact)".to_string(),
+            format!("{:.1}", acc(asym_sqnr)),
+        ],
     ];
     emit(
         "Fig. 5(b) — accuracy on BERT-base / MNLI (proxy metric)",

@@ -13,9 +13,12 @@ fn main() {
     // OPT FC-layer regime: tight near-zero core with rare outliers that
     // stretch the quantization range asymmetrically so the calibrated
     // zero-point lands mid-range (the paper's example: zp = 161).
-    let mut x = DistributionKind::Gaussian { mean: 0.0, std: 0.012 }
-        .sample_matrix(256, 256, &mut rng)
-        .into_vec();
+    let mut x = DistributionKind::Gaussian {
+        mean: 0.0,
+        std: 0.012,
+    }
+    .sample_matrix(256, 256, &mut rng)
+    .into_vec();
     x.push(-2.5); // outlier pinning min
     x.push(1.5); // outlier pinning max
     let q = AsymmetricQuantizer::calibrate(&x, 8);

@@ -27,7 +27,14 @@ fn main() {
         .collect();
     emit(
         "Fig. 10 — DBS slicing rules applied to 01010101b",
-        &["type", "LO width", "HO cont.", "LO cont.", "S-ACC shift", "skip-range width"],
+        &[
+            "type",
+            "LO width",
+            "HO cont.",
+            "LO cont.",
+            "S-ACC shift",
+            "skip-range width",
+        ],
         &rows,
     );
 
@@ -57,7 +64,10 @@ fn main() {
             codes.truncate(codes.len() / 4 * 4);
             let m = panacea_tensor::Matrix::from_vec(codes.len() / 4, 4, codes).expect("shape");
             let sx = SlicedActivation::from_uint(&m, 1, cfg.dbs_type).expect("codes");
-            (cfg.dbs_type, sparsity::act_slice_sparsity(sx.ho(), cfg.frequent_ho_slice))
+            (
+                cfg.dbs_type,
+                sparsity::act_slice_sparsity(sx.ho(), cfg.frequent_ho_slice),
+            )
         };
         let (_, s_off) = sparsity_of(None);
         let (ty, s_on) = sparsity_of(Some(DbsConfig::default()));
@@ -72,7 +82,14 @@ fn main() {
     }
     emit(
         "Fig. 9 — DBS classification and HO slice sparsity gain",
-        &["distribution", "std", "DBS type", "sparsity (l=4)", "sparsity (DBS)", "gain"],
+        &[
+            "distribution",
+            "std",
+            "DBS type",
+            "sparsity (l=4)",
+            "sparsity (DBS)",
+            "gain",
+        ],
         &rows,
     );
     println!(

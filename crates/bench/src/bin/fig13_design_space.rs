@@ -6,8 +6,8 @@
 use panacea_bench::{emit, ratio, ComparisonSet};
 use panacea_sim::arch::PanaceaConfig;
 use panacea_sim::panacea::PanaceaSim;
-use panacea_sim::workload::LayerWork;
 use panacea_sim::simulate_model;
+use panacea_sim::workload::LayerWork;
 
 fn layer(m: usize, k: usize, n: usize, rho_w: f64, rho_x: f64) -> LayerWork {
     LayerWork {
@@ -61,7 +61,15 @@ fn main() {
                 &format!(
                     "Fig. 13 — throughput (TOPS), {dwo} DWO + {swo} SWO per PEA, GEMM {m}x{k}x{n}"
                 ),
-                &["rho_w=rho_x", "Pan (no DTP)", "Pan (DTP)", "SA-WS", "SA-OS", "SIMD", "Pan/SIMD"],
+                &[
+                    "rho_w=rho_x",
+                    "Pan (no DTP)",
+                    "Pan (DTP)",
+                    "SA-WS",
+                    "SA-OS",
+                    "SIMD",
+                    "Pan/SIMD",
+                ],
                 &rows,
             );
         }

@@ -4,8 +4,8 @@
 //! DeiT-base, BERT-base and GPT-2.
 
 use panacea_bench::{emit, pct};
-use panacea_models::{profile_model, ProfileOptions};
 use panacea_models::zoo::Benchmark;
+use panacea_models::{profile_model, ProfileOptions};
 
 fn main() {
     // --- (a) per-layer, DeiT-base.
@@ -27,7 +27,13 @@ fn main() {
         .collect();
     emit(
         "Fig. 14(a) — DeiT-base activation HO vector sparsity per layer",
-        &["layer", "prev bit-slice (zero-only)", "AQS-GEMM", "AQS + ZPM + DBS", "DBS type"],
+        &[
+            "layer",
+            "prev bit-slice (zero-only)",
+            "AQS-GEMM",
+            "AQS + ZPM + DBS",
+            "DBS type",
+        ],
         &rows,
     );
     println!(
@@ -42,7 +48,7 @@ fn main() {
         let model = b.spec();
         let profiles = profile_model(&model, &ProfileOptions::default());
         let avg = |f: &dyn Fn(&panacea_models::LayerProfile) -> f64| {
-            profiles.iter().map(|p| f(p)).sum::<f64>() / profiles.len() as f64
+            profiles.iter().map(f).sum::<f64>() / profiles.len() as f64
         };
         rows.push(vec![
             model.name.clone(),
@@ -53,7 +59,12 @@ fn main() {
     }
     emit(
         "Fig. 14(b) — mean HO vector sparsity (weights shared; activations per engine)",
-        &["model", "rho_w (SBR, both)", "rho_x Sibia (sym)", "rho_x Panacea (asym)"],
+        &[
+            "model",
+            "rho_w (SBR, both)",
+            "rho_x Sibia (sym)",
+            "rho_x Panacea (asym)",
+        ],
         &rows,
     );
     println!(

@@ -4,8 +4,8 @@
 //! throughput; DBS: −11% / +12%; DTP: −8.9% / +7.6%).
 
 use panacea_bench::{emit, f3, ratio, to_layer_work, ComparisonSet, EngineKind};
-use panacea_models::{profile_model, ProfileOptions};
 use panacea_models::zoo::Benchmark;
+use panacea_models::{profile_model, ProfileOptions};
 use panacea_quant::dbs::DbsConfig;
 use panacea_sim::arch::PanaceaConfig;
 use panacea_sim::panacea::PanaceaSim;
@@ -17,12 +17,26 @@ fn main() {
 
     // --- (a)+(b): breakdown and throughput across benchmarks.
     let mut rows = Vec::new();
-    for b in [Benchmark::DeitBase, Benchmark::BertBase, Benchmark::Gpt2, Benchmark::Resnet18] {
+    for b in [
+        Benchmark::DeitBase,
+        Benchmark::BertBase,
+        Benchmark::Gpt2,
+        Benchmark::Resnet18,
+    ] {
         let model = b.spec();
         let profiles = profile_model(&model, &ProfileOptions::default());
-        let pan: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Panacea)).collect();
-        let sib: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Sibia)).collect();
-        let dense: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Dense)).collect();
+        let pan: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Panacea))
+            .collect();
+        let sib: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Sibia))
+            .collect();
+        let dense: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Dense))
+            .collect();
 
         for (acc, layers) in [
             (&set.sa_ws as &dyn Accelerator, &dense),
@@ -40,7 +54,10 @@ fn main() {
                 f3(tot / 1e9), // mJ
                 format!("{:.0}%", e.compute_pj / tot * 100.0),
                 format!("{:.0}%", e.sram_pj / tot * 100.0),
-                format!("{:.0}%", (e.buffer_pj + e.other_pj + e.static_pj) / tot * 100.0),
+                format!(
+                    "{:.0}%",
+                    (e.buffer_pj + e.other_pj + e.static_pj) / tot * 100.0
+                ),
                 format!("{:.0}%", e.dram_pj / tot * 100.0),
                 format!("{:.2}", perf.tops),
                 f3(perf.tops_per_w),
@@ -49,7 +66,17 @@ fn main() {
     }
     emit(
         "Fig. 15(a,b) — energy breakdown (mJ, % by component) and throughput",
-        &["model", "design", "energy mJ", "compute", "SRAM", "buf/other", "DRAM", "TOPS", "TOPS/W"],
+        &[
+            "model",
+            "design",
+            "energy mJ",
+            "compute",
+            "SRAM",
+            "buf/other",
+            "DRAM",
+            "TOPS",
+            "TOPS/W",
+        ],
         &rows,
     );
 
@@ -57,15 +84,31 @@ fn main() {
     let gpt2 = Benchmark::Gpt2.spec();
     let steps: [(&str, ProfileOptions, bool); 4] = [
         ("baseline (AQS only)", ProfileOptions::baseline(), false),
-        ("+ ZPM", ProfileOptions { zpm: true, dbs: None, ..ProfileOptions::default() }, false),
+        (
+            "+ ZPM",
+            ProfileOptions {
+                zpm: true,
+                dbs: None,
+                ..ProfileOptions::default()
+            },
+            false,
+        ),
         (
             "+ DBS",
-            ProfileOptions { zpm: true, dbs: Some(DbsConfig::default()), ..ProfileOptions::default() },
+            ProfileOptions {
+                zpm: true,
+                dbs: Some(DbsConfig::default()),
+                ..ProfileOptions::default()
+            },
             false,
         ),
         (
             "+ DTP",
-            ProfileOptions { zpm: true, dbs: Some(DbsConfig::default()), ..ProfileOptions::default() },
+            ProfileOptions {
+                zpm: true,
+                dbs: Some(DbsConfig::default()),
+                ..ProfileOptions::default()
+            },
             true,
         ),
     ];
@@ -73,7 +116,10 @@ fn main() {
     let mut prev: Option<(f64, f64)> = None;
     for (label, opts, dtp) in steps {
         let profiles = profile_model(&gpt2, &opts);
-        let layers: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Panacea)).collect();
+        let layers: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Panacea))
+            .collect();
         let sim = PanaceaSim::new(PanaceaConfig {
             dtp,
             zpm: opts.zpm,
@@ -100,7 +146,13 @@ fn main() {
     }
     emit(
         "Fig. 15 — GPT-2 ablation (cumulative ZPM / DBS / DTP)",
-        &["configuration", "energy mJ", "TOPS", "Δ energy", "Δ throughput"],
+        &[
+            "configuration",
+            "energy mJ",
+            "TOPS",
+            "Δ energy",
+            "Δ throughput",
+        ],
         &rows,
     );
 
@@ -111,15 +163,34 @@ fn main() {
         dbs: false,
         ..PanaceaConfig::default()
     });
-    let zpm = PanaceaSim::new(PanaceaConfig { dtp: false, dbs: false, ..PanaceaConfig::default() });
-    let dbs = PanaceaSim::new(PanaceaConfig { dtp: false, ..PanaceaConfig::default() });
+    let zpm = PanaceaSim::new(PanaceaConfig {
+        dtp: false,
+        dbs: false,
+        ..PanaceaConfig::default()
+    });
+    let dbs = PanaceaSim::new(PanaceaConfig {
+        dtp: false,
+        ..PanaceaConfig::default()
+    });
     let full = PanaceaSim::new(PanaceaConfig::default());
     let a0 = base.area_mm2();
     let rows = vec![
         vec!["baseline".to_string(), f3(a0), ratio(1.0)],
-        vec!["+ ZPM".to_string(), f3(zpm.area_mm2()), ratio(zpm.area_mm2() / a0)],
-        vec!["+ DBS".to_string(), f3(dbs.area_mm2()), ratio(dbs.area_mm2() / a0)],
-        vec!["+ DTP".to_string(), f3(full.area_mm2()), ratio(full.area_mm2() / a0)],
+        vec![
+            "+ ZPM".to_string(),
+            f3(zpm.area_mm2()),
+            ratio(zpm.area_mm2() / a0),
+        ],
+        vec![
+            "+ DBS".to_string(),
+            f3(dbs.area_mm2()),
+            ratio(dbs.area_mm2() / a0),
+        ],
+        vec![
+            "+ DTP".to_string(),
+            f3(full.area_mm2()),
+            ratio(full.area_mm2() / a0),
+        ],
     ];
     emit(
         "Fig. 15(c) — relative area cost of the proposed methods",

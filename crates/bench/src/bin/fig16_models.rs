@@ -4,8 +4,8 @@
 
 use panacea_bench::{emit, f3, ratio, to_layer_work, ComparisonSet, EngineKind};
 use panacea_models::proxy::{accuracy_loss_pp, aggregate_sqnr_db, perplexity_proxy};
-use panacea_models::{profile_model, ProfileOptions};
 use panacea_models::zoo::Benchmark;
+use panacea_models::{profile_model, ProfileOptions};
 use panacea_sim::{simulate_model, Accelerator};
 
 fn main() {
@@ -13,22 +13,42 @@ fn main() {
     let clock = set.budget().clock_mhz;
     let mut rows = Vec::new();
 
-    for b in [Benchmark::DeitBase, Benchmark::BertBase, Benchmark::Gpt2, Benchmark::Resnet18] {
+    for b in [
+        Benchmark::DeitBase,
+        Benchmark::BertBase,
+        Benchmark::Gpt2,
+        Benchmark::Resnet18,
+    ] {
         let model = b.spec();
         let profiles = profile_model(&model, &ProfileOptions::default());
-        let pan: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Panacea)).collect();
-        let sib: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Sibia)).collect();
-        let dense: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Dense)).collect();
+        let pan: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Panacea))
+            .collect();
+        let sib: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Sibia))
+            .collect();
+        let dense: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Dense))
+            .collect();
 
         // Quality: dense 8-bit designs use plain asymmetric activations,
         // Panacea additionally pays the small DBS truncation, Sibia is
         // stuck with 7-bit symmetric quantization.
-        let asym: Vec<(f64, u64)> =
-            profiles.iter().map(|p| (p.sqnr_asym_db, p.spec.total_macs())).collect();
-        let dbs: Vec<(f64, u64)> =
-            profiles.iter().map(|p| (p.sqnr_dbs_db, p.spec.total_macs())).collect();
-        let sym: Vec<(f64, u64)> =
-            profiles.iter().map(|p| (p.sqnr_sym_db, p.spec.total_macs())).collect();
+        let asym: Vec<(f64, u64)> = profiles
+            .iter()
+            .map(|p| (p.sqnr_asym_db, p.spec.total_macs()))
+            .collect();
+        let dbs: Vec<(f64, u64)> = profiles
+            .iter()
+            .map(|p| (p.sqnr_dbs_db, p.spec.total_macs()))
+            .collect();
+        let sym: Vec<(f64, u64)> = profiles
+            .iter()
+            .map(|p| (p.sqnr_sym_db, p.spec.total_macs()))
+            .collect();
         let quality = |sqnr: f64| -> String {
             if model.quality_is_ppl {
                 format!("ppl {:.1}", perplexity_proxy(model.fp16_quality, sqnr))
@@ -39,7 +59,11 @@ fn main() {
 
         let p_perf = simulate_model(&set.panacea, &pan, clock);
         for (acc, layers, q) in [
-            (&set.sa_ws as &dyn Accelerator, &dense, quality(aggregate_sqnr_db(&asym))),
+            (
+                &set.sa_ws as &dyn Accelerator,
+                &dense,
+                quality(aggregate_sqnr_db(&asym)),
+            ),
             (&set.sa_os, &dense, quality(aggregate_sqnr_db(&asym))),
             (&set.simd, &dense, quality(aggregate_sqnr_db(&asym))),
             (&set.sibia, &sib, quality(aggregate_sqnr_db(&sym))),
@@ -59,7 +83,15 @@ fn main() {
     }
     emit(
         "Fig. 16 — efficiency, throughput and quality loss (iso-resources)",
-        &["model", "design", "TOPS/W", "TOPS", "quality", "Pan eff. gain", "Pan thpt gain"],
+        &[
+            "model",
+            "design",
+            "TOPS/W",
+            "TOPS",
+            "quality",
+            "Pan eff. gain",
+            "Pan thpt gain",
+        ],
         &rows,
     );
     println!(

@@ -4,8 +4,8 @@
 
 use panacea_bench::{emit, f3, ratio, to_layer_work, ComparisonSet, EngineKind};
 use panacea_models::proxy::{aggregate_sqnr_db, perplexity_proxy};
-use panacea_models::{profile_model, ProfileOptions};
 use panacea_models::zoo::Benchmark;
+use panacea_models::{profile_model, ProfileOptions};
 use panacea_sim::{simulate_model, Accelerator};
 
 fn main() {
@@ -22,16 +22,31 @@ fn main() {
     ] {
         let model = b.spec();
         let profiles = profile_model(&model, &ProfileOptions::default());
-        let pan: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Panacea)).collect();
-        let sib: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Sibia)).collect();
-        let dense: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Dense)).collect();
+        let pan: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Panacea))
+            .collect();
+        let sib: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Sibia))
+            .collect();
+        let dense: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Dense))
+            .collect();
 
-        let asym: Vec<(f64, u64)> =
-            profiles.iter().map(|p| (p.sqnr_asym_db, p.spec.total_macs())).collect();
-        let dbs: Vec<(f64, u64)> =
-            profiles.iter().map(|p| (p.sqnr_dbs_db, p.spec.total_macs())).collect();
-        let sym: Vec<(f64, u64)> =
-            profiles.iter().map(|p| (p.sqnr_sym_db, p.spec.total_macs())).collect();
+        let asym: Vec<(f64, u64)> = profiles
+            .iter()
+            .map(|p| (p.sqnr_asym_db, p.spec.total_macs()))
+            .collect();
+        let dbs: Vec<(f64, u64)> = profiles
+            .iter()
+            .map(|p| (p.sqnr_dbs_db, p.spec.total_macs()))
+            .collect();
+        let sym: Vec<(f64, u64)> = profiles
+            .iter()
+            .map(|p| (p.sqnr_sym_db, p.spec.total_macs()))
+            .collect();
         let ppl_asym = perplexity_proxy(model.fp16_quality, aggregate_sqnr_db(&asym));
         let ppl_dbs = perplexity_proxy(model.fp16_quality, aggregate_sqnr_db(&dbs));
         let ppl_sym = perplexity_proxy(model.fp16_quality, aggregate_sqnr_db(&sym));
@@ -57,7 +72,14 @@ fn main() {
     }
     emit(
         "Fig. 17 — LLM energy efficiency and perplexity (WikiText-2 proxy)",
-        &["model", "design", "TOPS/W", "TOPS", "perplexity", "Pan eff. gain"],
+        &[
+            "model",
+            "design",
+            "TOPS/W",
+            "TOPS",
+            "perplexity",
+            "Pan eff. gain",
+        ],
         &rows,
     );
     println!(

@@ -7,8 +7,8 @@
 
 use panacea_bench::{emit, f3, ratio, to_layer_work, ComparisonSet, EngineKind};
 use panacea_models::proxy::{aggregate_sqnr_db, perplexity_proxy};
-use panacea_models::{profile_model, ProfileOptions};
 use panacea_models::zoo::Benchmark;
+use panacea_models::{profile_model, ProfileOptions};
 use panacea_sim::simulate_model;
 
 fn main() {
@@ -21,13 +21,21 @@ fn main() {
     // Symmetric = zero-point pinned mid-range (paper: zp = 128): the
     // skip machinery still works (r = 128 >> 4 = 8), ZPM/DBS keep the
     // sparsity, so efficiency is flat — only quality moves.
-    let pan_layers: Vec<_> =
-        profiles.iter().map(|p| to_layer_work(p, EngineKind::Panacea)).collect();
+    let pan_layers: Vec<_> = profiles
+        .iter()
+        .map(|p| to_layer_work(p, EngineKind::Panacea))
+        .collect();
     let asym_sqnr = aggregate_sqnr_db(
-        &profiles.iter().map(|p| (p.sqnr_dbs_db, p.spec.total_macs())).collect::<Vec<_>>(),
+        &profiles
+            .iter()
+            .map(|p| (p.sqnr_dbs_db, p.spec.total_macs()))
+            .collect::<Vec<_>>(),
     );
     let sym_sqnr = aggregate_sqnr_db(
-        &profiles.iter().map(|p| (p.sqnr_sym_db, p.spec.total_macs())).collect::<Vec<_>>(),
+        &profiles
+            .iter()
+            .map(|p| (p.sqnr_sym_db, p.spec.total_macs()))
+            .collect::<Vec<_>>(),
     );
     let perf = simulate_model(&set.panacea, &pan_layers, clock);
     let rows = vec![
@@ -51,8 +59,10 @@ fn main() {
     );
 
     // --- (b) AQS-GEMM vs zero-slice skipping only.
-    let zero_layers: Vec<_> =
-        profiles.iter().map(|p| to_layer_work(p, EngineKind::PanaceaZeroSkipOnly)).collect();
+    let zero_layers: Vec<_> = profiles
+        .iter()
+        .map(|p| to_layer_work(p, EngineKind::PanaceaZeroSkipOnly))
+        .collect();
     let full = simulate_model(&set.panacea, &pan_layers, clock);
     let zero = simulate_model(&set.panacea, &zero_layers, clock);
     let rows = vec![

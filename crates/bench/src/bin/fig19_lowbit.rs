@@ -7,11 +7,11 @@
 //! "56% of Sibia's energy" effect).
 
 use panacea_bench::{emit, f3, ratio, to_layer_work, ComparisonSet, EngineKind};
-use panacea_sim::arch::PanaceaConfig;
 use panacea_models::proxy::{aggregate_sqnr_db, perplexity_proxy};
-use panacea_models::{profile_model, ProfileOptions};
 use panacea_models::zoo::Benchmark;
+use panacea_models::{profile_model, ProfileOptions};
 use panacea_quant::optq::{layer_output_error, optq_quantize, rtn_quantize, OptqConfig};
+use panacea_sim::arch::PanaceaConfig;
 use panacea_sim::simulate_model;
 use panacea_tensor::dist::DistributionKind;
 
@@ -19,23 +19,43 @@ fn main() {
     // Deployment choice for the low-bit study: weights are 4× smaller, so
     // a larger WMEM share lets DTP hold two TM-tiles at once (the paper's
     // "DTP is frequently enabled due to the 4-bit weights").
-    let set = ComparisonSet::new(PanaceaConfig { wmem_fraction: 0.85, ..PanaceaConfig::default() });
+    let set = ComparisonSet::new(PanaceaConfig {
+        wmem_fraction: 0.85,
+        ..PanaceaConfig::default()
+    });
     let clock = set.budget().clock_mhz;
     let model = Benchmark::Opt2_7b.spec();
 
     // --- Real OPTQ on a representative sampled layer (scaled-down K for
     // the O(K³) Hessian inverse; quality trend carries).
     let mut rng = panacea_tensor::seeded_rng(19);
-    let w = DistributionKind::OutlierChannels { core_std: 0.02, outlier_scale: 12.0, outlier_frac: 0.01 }
-        .sample_matrix(64, 128, &mut rng);
-    let x = DistributionKind::OutlierChannels { core_std: 0.3, outlier_scale: 30.0, outlier_frac: 0.02 }
-        .sample_matrix(128, 256, &mut rng);
-    let cfg4 = OptqConfig { bits: 4, group_size: Some(64), damping: 0.01 };
+    let w = DistributionKind::OutlierChannels {
+        core_std: 0.02,
+        outlier_scale: 12.0,
+        outlier_frac: 0.01,
+    }
+    .sample_matrix(64, 128, &mut rng);
+    let x = DistributionKind::OutlierChannels {
+        core_std: 0.3,
+        outlier_scale: 30.0,
+        outlier_frac: 0.02,
+    }
+    .sample_matrix(128, 256, &mut rng);
+    let cfg4 = OptqConfig {
+        bits: 4,
+        group_size: Some(64),
+        damping: 0.01,
+    };
     let optq = optq_quantize(&w, &x, cfg4).expect("OPTQ");
     let rtn = rtn_quantize(&w, cfg4).expect("RTN");
     let e_optq = layer_output_error(&w, &optq.dequantize(), &x);
     let e_rtn = layer_output_error(&w, &rtn.dequantize(), &x);
-    let sig: f64 = w.gemm_f32(&x).unwrap().iter().map(|&v| f64::from(v).powi(2)).sum();
+    let sig: f64 = w
+        .gemm_f32(&x)
+        .unwrap()
+        .iter()
+        .map(|&v| f64::from(v).powi(2))
+        .sum();
     let optq_sqnr = 10.0 * (sig / e_optq).log10();
     let rtn_sqnr = 10.0 * (sig / e_rtn).log10();
     emit(
@@ -49,22 +69,38 @@ fn main() {
 
     // --- System-level comparison at 7-bit and 4-bit weights.
     let mut rows = Vec::new();
-    for (label, w_bits, ppl_penalty_db) in [("7-bit (n=1)", 7u8, 0.0), ("4-bit OPTQ (n=0)", 4, rtn_sqnr - optq_sqnr)] {
+    for (label, w_bits, ppl_penalty_db) in [
+        ("7-bit (n=1)", 7u8, 0.0),
+        ("4-bit OPTQ (n=0)", 4, rtn_sqnr - optq_sqnr),
+    ] {
         let mut spec = model.clone();
         for l in &mut spec.layers {
             l.weight_bits = w_bits;
         }
         let profiles = profile_model(&spec, &ProfileOptions::default());
-        let pan: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Panacea)).collect();
-        let sib: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Sibia)).collect();
+        let pan: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Panacea))
+            .collect();
+        let sib: Vec<_> = profiles
+            .iter()
+            .map(|p| to_layer_work(p, EngineKind::Sibia))
+            .collect();
         let p = simulate_model(&set.panacea, &pan, clock);
         let s = simulate_model(&set.sibia, &sib, clock);
         // Quality: OPTQ holds PPL close to FP16 even at 4 bits; the
         // aggregate SQNR reflects the weight-width change through the
         // profiles, with the OPTQ-vs-RTN delta credited back.
         let sqnr = aggregate_sqnr_db(
-            &profiles.iter().map(|pr| (pr.sqnr_dbs_db, pr.spec.total_macs())).collect::<Vec<_>>(),
-        ) + if w_bits == 4 { ppl_penalty_db.max(0.0) } else { 0.0 };
+            &profiles
+                .iter()
+                .map(|pr| (pr.sqnr_dbs_db, pr.spec.total_macs()))
+                .collect::<Vec<_>>(),
+        ) + if w_bits == 4 {
+            ppl_penalty_db.max(0.0)
+        } else {
+            0.0
+        };
         let ppl = perplexity_proxy(model.fp16_quality, sqnr);
         rows.push(vec![
             label.to_string(),
@@ -85,7 +121,14 @@ fn main() {
     }
     emit(
         "Fig. 19 — OPT-2.7B with 7-bit vs 4-bit weights",
-        &["weights", "design", "energy mJ", "latency ms", "perplexity", "latency gain"],
+        &[
+            "weights",
+            "design",
+            "energy mJ",
+            "latency ms",
+            "perplexity",
+            "latency gain",
+        ],
         &rows,
     );
     println!(

@@ -6,8 +6,8 @@
 //! as such. Sibia and Panacea rows come from this repository's models.
 
 use panacea_bench::{emit, f3, to_layer_work, ComparisonSet, EngineKind};
-use panacea_models::{profile_model, ProfileOptions};
 use panacea_models::zoo::Benchmark;
+use panacea_models::{profile_model, ProfileOptions};
 use panacea_sim::{simulate_model, Accelerator};
 
 fn main() {
@@ -17,8 +17,14 @@ fn main() {
     // Representative effective performance: GPT-2 benchmark.
     let model = Benchmark::Gpt2.spec();
     let profiles = profile_model(&model, &ProfileOptions::default());
-    let pan: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Panacea)).collect();
-    let sib: Vec<_> = profiles.iter().map(|p| to_layer_work(p, EngineKind::Sibia)).collect();
+    let pan: Vec<_> = profiles
+        .iter()
+        .map(|p| to_layer_work(p, EngineKind::Panacea))
+        .collect();
+    let sib: Vec<_> = profiles
+        .iter()
+        .map(|p| to_layer_work(p, EngineKind::Sibia))
+        .collect();
     let p = simulate_model(&set.panacea, &pan, clock);
     let s = simulate_model(&set.sibia, &sib, clock);
 
@@ -56,7 +62,16 @@ fn main() {
     ];
     emit(
         "Fig. 20 — ASIC comparison (GPT-2 effective numbers for modeled designs)",
-        &["design", "node", "4b muls", "area mm^2", "MHz", "eff. TOPS", "TOPS/W", "quantization"],
+        &[
+            "design",
+            "node",
+            "4b muls",
+            "area mm^2",
+            "MHz",
+            "eff. TOPS",
+            "TOPS/W",
+            "quantization",
+        ],
         &rows,
     );
     println!(

@@ -18,15 +18,24 @@ fn operands(rho_w: f64, rho_x: f64) -> (Matrix<i32>, Matrix<i32>) {
     let kw = (rho_w * K as f64).round() as usize;
     let kx = (rho_x * K as f64).round() as usize;
     let w = Matrix::from_fn(4, K, |_, c| if c < kw { 5 } else { -45 });
-    let x = Matrix::from_fn(K, 4, |r, _| if r < kx { (i32::from(R) << 4) | 3 } else { 7 });
+    let x = Matrix::from_fn(
+        K,
+        4,
+        |r, _| if r < kx { (i32::from(R) << 4) | 3 } else { 7 },
+    );
     (w, x)
 }
 
 fn main() {
     let mut rows = Vec::new();
-    for &(rho_w, rho_x) in
-        &[(0.0, 0.0), (0.0, 0.5), (0.5, 0.0), (0.5, 0.5), (0.9, 0.9), (1.0, 1.0)]
-    {
+    for &(rho_w, rho_x) in &[
+        (0.0, 0.0),
+        (0.0, 0.5),
+        (0.5, 0.0),
+        (0.5, 0.5),
+        (0.9, 0.9),
+        (1.0, 1.0),
+    ] {
         let (w, x) = operands(rho_w, rho_x);
         let sw = SlicedWeight::from_int(&w, 1).expect("7-bit weights");
         let sx = SlicedActivation::from_uint(&x, 1, DbsType::Type1).expect("8-bit acts");

@@ -105,15 +105,21 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     }
     let mut out = String::new();
     out.push_str(&format!("\n== {title} ==\n"));
-    let header_line: Vec<String> =
-        headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
     out.push_str(&header_line.join("  "));
     out.push('\n');
     out.push_str(&"-".repeat(header_line.join("  ").len()));
     out.push('\n');
     for row in rows {
-        let line: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
         out.push_str(&line.join("  "));
         out.push('\n');
     }
@@ -168,7 +174,12 @@ mod tests {
     #[test]
     fn conversion_uses_engine_semantics() {
         let spec = &Benchmark::DeitBase.spec().layers[0];
-        let opts = ProfileOptions { sample_m: 64, sample_k: 64, sample_n: 64, ..ProfileOptions::default() };
+        let opts = ProfileOptions {
+            sample_m: 64,
+            sample_k: 64,
+            sample_n: 64,
+            ..ProfileOptions::default()
+        };
         let p = profile_layer(spec, &opts);
         let pan = to_layer_work(&p, EngineKind::Panacea);
         let dense = to_layer_work(&p, EngineKind::Dense);

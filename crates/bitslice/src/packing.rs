@@ -118,10 +118,10 @@ pub fn unpack_rle(bytes: &[u8], r: u8) -> Vec<ActVector> {
     let n_entries = u32::from_le_bytes(bytes[4..8].try_into().expect("header")) as usize;
     let bitmap_len = n_entries.div_ceil(8);
     let bitmap = &bytes[8..8 + bitmap_len];
-    let payload_count =
-        (0..n_entries).filter(|&i| bitmap[i / 8] & (1 << (i % 8)) != 0).count();
-    let nibbles =
-        unpack_nibbles(&bytes[8 + bitmap_len..], n_entries + payload_count * 4);
+    let payload_count = (0..n_entries)
+        .filter(|&i| bitmap[i / 8] & (1 << (i % 8)) != 0)
+        .count();
+    let nibbles = unpack_nibbles(&bytes[8 + bitmap_len..], n_entries + payload_count * 4);
     let mut out = vec![ActVector([r; 4]); total];
     let mut pos = 0usize;
     let mut cursor = 0usize;
@@ -192,7 +192,11 @@ mod tests {
         let stream = RleStream::encode(&vectors, |v| v.is_uniform(r));
         let bytes = pack_rle(&stream);
         let dense_bytes = 100 * 2; // 4 nibbles per vector
-        assert!(bytes.len() < dense_bytes / 4, "{} vs {dense_bytes}", bytes.len());
+        assert!(
+            bytes.len() < dense_bytes / 4,
+            "{} vs {dense_bytes}",
+            bytes.len()
+        );
     }
 
     proptest! {

@@ -40,7 +40,10 @@ impl fmt::Display for SliceError {
                 write!(f, "value {value} does not fit in {bits} bits")
             }
             SliceError::DbsUnsupported { k } => {
-                write!(f, "DBS types 2/3 require 8-bit activations (k = 1), got k = {k}")
+                write!(
+                    f,
+                    "DBS types 2/3 require 8-bit activations (k = 1), got k = {k}"
+                )
             }
             SliceError::UnsupportedSliceCount(n) => write!(f, "unsupported slice count {n}"),
         }
@@ -121,7 +124,9 @@ impl SlicedWeight {
 
     /// The high-order plane.
     pub fn ho(&self) -> &Matrix<i8> {
-        self.planes.last().expect("SlicedWeight always has at least one plane")
+        self.planes
+            .last()
+            .expect("SlicedWeight always has at least one plane")
     }
 
     /// Positional weight of plane `i` (`8^i`).
@@ -205,7 +210,11 @@ impl SlicedActivation {
                 }
             }
         }
-        Ok(SlicedActivation { planes, k, dbs_type })
+        Ok(SlicedActivation {
+            planes,
+            k,
+            dbs_type,
+        })
     }
 
     /// Number of planes (`k + 1`).
@@ -229,7 +238,9 @@ impl SlicedActivation {
 
     /// The high-order plane.
     pub fn ho(&self) -> &Matrix<u8> {
-        self.planes.last().expect("SlicedActivation always has at least one plane")
+        self.planes
+            .last()
+            .expect("SlicedActivation always has at least one plane")
     }
 
     /// Positional weight of plane `i`: `16^i` in general; for 8-bit values

@@ -54,15 +54,24 @@ impl<T: Copy> RleStream<T> {
                 run += 1;
             } else {
                 while run > MAX_SKIP {
-                    entries.push(RleEntry { skip: MAX_SKIP as u8, payload: None });
+                    entries.push(RleEntry {
+                        skip: MAX_SKIP as u8,
+                        payload: None,
+                    });
                     run -= MAX_SKIP;
                 }
-                entries.push(RleEntry { skip: run as u8, payload: Some(*v) });
+                entries.push(RleEntry {
+                    skip: run as u8,
+                    payload: Some(*v),
+                });
                 run = 0;
             }
         }
         // Trailing compressed vectors are implicit in `total_vectors`.
-        RleStream { entries, total_vectors: vectors.len() }
+        RleStream {
+            entries,
+            total_vectors: vectors.len(),
+        }
     }
 
     /// Decodes into `(original_index, vector)` pairs for the uncompressed
@@ -149,9 +158,27 @@ mod tests {
         let s = RleStream::encode(&data, |&v| v == 0);
         // 37 = 15 + 15 + 7: two continuation entries + one payload entry.
         assert_eq!(s.entries().len(), 3);
-        assert_eq!(s.entries()[0], RleEntry { skip: 15, payload: None });
-        assert_eq!(s.entries()[1], RleEntry { skip: 15, payload: None });
-        assert_eq!(s.entries()[2], RleEntry { skip: 7, payload: Some(5) });
+        assert_eq!(
+            s.entries()[0],
+            RleEntry {
+                skip: 15,
+                payload: None
+            }
+        );
+        assert_eq!(
+            s.entries()[1],
+            RleEntry {
+                skip: 15,
+                payload: None
+            }
+        );
+        assert_eq!(
+            s.entries()[2],
+            RleEntry {
+                skip: 7,
+                payload: Some(5)
+            }
+        );
         assert_eq!(s.decode(), vec![(37, 5)]);
     }
 

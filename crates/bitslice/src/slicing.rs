@@ -43,7 +43,10 @@ pub const MAX_SBR_LO_SLICES: usize = 4;
 /// assert_eq!(s, vec![-1, 0]);
 /// ```
 pub fn sbr_slices(value: i32, n: usize) -> Vec<i8> {
-    assert!(n <= MAX_SBR_LO_SLICES, "SBR with n={n} LO slices unsupported");
+    assert!(
+        n <= MAX_SBR_LO_SLICES,
+        "SBR with n={n} LO slices unsupported"
+    );
     let bits = 3 * n as u32 + 4;
     let lo_bound = -(1i32 << (bits - 1));
     let hi_bound = (1i32 << (bits - 1)) - 1;
@@ -106,7 +109,10 @@ pub fn sbr_slice_weight(i: usize) -> i32 {
 /// ```
 pub fn straightforward_slices(value: u32, k: usize) -> Vec<u8> {
     let bits = 4 * (k as u32 + 1);
-    assert!(bits <= 32 && u64::from(value) < (1u64 << bits), "value {value} does not fit in {bits} bits");
+    assert!(
+        bits <= 32 && u64::from(value) < (1u64 << bits),
+        "value {value} does not fit in {bits} bits"
+    );
     (0..=k).map(|i| ((value >> (4 * i)) & 0xF) as u8).collect()
 }
 
@@ -139,7 +145,10 @@ pub fn straightforward_reconstruct(slices: &[u8]) -> u32 {
 /// assert_eq!(lo, 13);
 /// ```
 pub fn naive_signed_slices(value: i32) -> (i8, u8) {
-    assert!((-128..=127).contains(&value), "value {value} not 8-bit signed");
+    assert!(
+        (-128..=127).contains(&value),
+        "value {value} not 8-bit signed"
+    );
     let lo = (value & 0xF) as u8;
     let ho = (value >> 4) as i8; // arithmetic: floor(value / 16)
     (ho, lo)

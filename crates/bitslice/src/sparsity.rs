@@ -48,8 +48,7 @@ pub fn weight_vector_sparsity(plane: &Matrix<i8>) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let zero: usize =
-        groups.iter().flatten().filter(|v| v.is_zero()).count();
+    let zero: usize = groups.iter().flatten().filter(|v| v.is_zero()).count();
     zero as f64 / total as f64
 }
 
@@ -64,8 +63,7 @@ pub fn act_vector_sparsity(plane: &Matrix<u8>, r: u8) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let uniform: usize =
-        groups.iter().flatten().filter(|v| v.is_uniform(r)).count();
+    let uniform: usize = groups.iter().flatten().filter(|v| v.is_uniform(r)).count();
     uniform as f64 / total as f64
 }
 

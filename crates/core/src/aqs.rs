@@ -51,14 +51,24 @@ pub struct TileStats {
 #[inline]
 fn w_vec(plane: &Matrix<i8>, mg: usize, k: usize) -> [i8; VECTOR_LEN] {
     let base = mg * VECTOR_LEN;
-    [plane[(base, k)], plane[(base + 1, k)], plane[(base + 2, k)], plane[(base + 3, k)]]
+    [
+        plane[(base, k)],
+        plane[(base + 1, k)],
+        plane[(base + 2, k)],
+        plane[(base + 3, k)],
+    ]
 }
 
 /// Extracts the 1×4 activation slice-vector at (`k`, `ng`) of a plane.
 #[inline]
 fn x_vec(plane: &Matrix<u8>, k: usize, ng: usize) -> [u8; VECTOR_LEN] {
     let base = ng * VECTOR_LEN;
-    [plane[(k, base)], plane[(k, base + 1)], plane[(k, base + 2)], plane[(k, base + 3)]]
+    [
+        plane[(k, base)],
+        plane[(k, base + 1)],
+        plane[(k, base + 2)],
+        plane[(k, base + 3)],
+    ]
 }
 
 /// Computes `W · X` with the AQS-GEMM, returning the exact product of the
@@ -78,11 +88,7 @@ fn x_vec(plane: &Matrix<u8>, k: usize, ng: usize) -> [u8; VECTOR_LEN] {
 ///
 /// See the crate-level example; the central invariant is
 /// `aqs_gemm(W, X, r).0 == W·X` for every `r`.
-pub fn aqs_gemm(
-    w: &SlicedWeight,
-    x: &SlicedActivation,
-    r: u8,
-) -> (Matrix<i32>, Workload) {
+pub fn aqs_gemm(w: &SlicedWeight, x: &SlicedActivation, r: u8) -> (Matrix<i32>, Workload) {
     let (out, stats) = aqs_gemm_with_stats(w, x, r);
     let wl = Workload {
         mul: (stats.dwo_outer_products + stats.swo_outer_products) * 16,
@@ -100,17 +106,24 @@ pub fn aqs_tile_stats(w: &SlicedWeight, x: &SlicedActivation, r: u8) -> TileStat
     aqs_gemm_with_stats(w, x, r).1
 }
 
-fn aqs_gemm_with_stats(
-    w: &SlicedWeight,
-    x: &SlicedActivation,
-    r: u8,
-) -> (Matrix<i32>, TileStats) {
+// The kernel walks (plane, group, k) coordinates across several parallel
+// lookup tables; index loops keep it aligned with the paper's notation.
+#[allow(clippy::needless_range_loop)]
+fn aqs_gemm_with_stats(w: &SlicedWeight, x: &SlicedActivation, r: u8) -> (Matrix<i32>, TileStats) {
     let m = w.plane(0).rows();
     let k_dim = w.plane(0).cols();
     let n = x.plane(0).cols();
     assert_eq!(k_dim, x.plane(0).rows(), "inner dimensions differ");
-    assert_eq!(m % VECTOR_LEN, 0, "M = {m} must be a multiple of {VECTOR_LEN}");
-    assert_eq!(n % VECTOR_LEN, 0, "N = {n} must be a multiple of {VECTOR_LEN}");
+    assert_eq!(
+        m % VECTOR_LEN,
+        0,
+        "M = {m} must be a multiple of {VECTOR_LEN}"
+    );
+    assert_eq!(
+        n % VECTOR_LEN,
+        0,
+        "N = {n} must be a multiple of {VECTOR_LEN}"
+    );
     let n_w_planes = w.num_planes();
     let n_x_planes = x.num_planes();
     let w_ho = n_w_planes - 1;
@@ -202,7 +215,11 @@ fn aqs_gemm_with_stats(
         let w_int = w.reconstruct();
         let b_prime: Vec<i64> = (0..m)
             .map(|mm| {
-                w_int.row(mm).iter().map(|&v| i64::from(v) * i64::from(r_eff)).sum::<i64>()
+                w_int
+                    .row(mm)
+                    .iter()
+                    .map(|&v| i64::from(v) * i64::from(r_eff))
+                    .sum::<i64>()
             })
             .collect();
         for ng in 0..n_groups {

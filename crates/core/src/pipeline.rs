@@ -102,14 +102,16 @@ impl QuantizedLinear {
         act: LayerQuantConfig,
     ) -> Result<Self, PipelineError> {
         if bias.len() != w_f.rows() {
-            return Err(PipelineError::BiasMismatch { expected: w_f.rows(), actual: bias.len() });
+            return Err(PipelineError::BiasMismatch {
+                expected: w_f.rows(),
+                actual: bias.len(),
+            });
         }
         let wq = SymmetricQuantizer::calibrate(w_f.as_slice(), w_bits);
         let w_int = wq.quantize_matrix(w_f);
         let n_lo = usize::from((w_bits - 4) / 3);
         let sliced_weight = SlicedWeight::from_int(&w_int, n_lo)?;
-        let acc_scale =
-            f64::from(wq.params().scale) * f64::from(act.quantizer.params().scale);
+        let acc_scale = f64::from(wq.params().scale) * f64::from(act.quantizer.params().scale);
         let zp = i64::from(act.quantizer.params().zero_point);
         let folded_bias = (0..w_int.rows())
             .map(|m| {
@@ -135,8 +137,7 @@ impl QuantizedLinear {
     /// Returns [`PipelineError::Quant`] if the accumulator scale is
     /// degenerate.
     pub fn with_output(mut self, next: LayerQuantConfig) -> Result<Self, PipelineError> {
-        let acc_scale =
-            f64::from(self.w_scale) * f64::from(self.act.quantizer.params().scale);
+        let acc_scale = f64::from(self.w_scale) * f64::from(self.act.quantizer.params().scale);
         self.requant = Some(Requantizer::new(acc_scale, next.quantizer)?);
         Ok(self)
     }
@@ -196,6 +197,93 @@ impl QuantizedLinear {
         let (acc, wl) = self.forward(x_codes);
         (rq.requantize_matrix(&acc), wl)
     }
+
+    /// Runs the layer on several requests' codes at once by coalescing
+    /// their columns into one wide GEMM `N` dimension and splitting the
+    /// accumulators back per request.
+    ///
+    /// The PE array processes activations in vectors of
+    /// [`VECTOR_LEN`](panacea_bitslice::VECTOR_LEN) columns, so the
+    /// coalesced batch is zero-padded up to the vector width and the
+    /// padding trimmed from the output — narrow lone requests pay that
+    /// padding in full, which is precisely the waste batching amortizes.
+    /// Every AQS-GEMM step is element-exact regardless of how columns are
+    /// grouped, so each returned matrix is bit-identical to running that
+    /// request alone; only the [`Workload`] accounting reflects the
+    /// amortization. This is the single-layer batched entry point;
+    /// `panacea-serve`'s `PreparedModel::forward_batch` runs the same
+    /// [`run_coalesced`] contract across a whole layer chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requests disagree on the feature dimension `K` or if
+    /// codes exceed the activation format.
+    pub fn forward_batch(&self, requests: &[&Matrix<i32>]) -> (Vec<Matrix<i32>>, Workload) {
+        run_coalesced(requests, |stacked| self.forward_padded(stacked))
+    }
+
+    /// [`forward`](Self::forward) for any column count: pads up to the PE
+    /// vector width when needed (skipping the copy when already aligned)
+    /// and trims the padding from the accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`forward`](Self::forward).
+    pub fn forward_padded(&self, x_codes: &Matrix<i32>) -> (Matrix<i32>, Workload) {
+        if x_codes.cols().is_multiple_of(panacea_bitslice::VECTOR_LEN) {
+            return self.forward(x_codes);
+        }
+        let (padded, pad) = pad_cols_to_vector_len(x_codes);
+        let (acc, wl) = self.forward(&padded);
+        (acc.submatrix(0, 0, acc.rows(), acc.cols() - pad), wl)
+    }
+}
+
+/// The shared contract of every batched entry point: coalesce the
+/// requests' columns into one wide matrix, run `f` exactly once over it,
+/// and split the result back per request. `f` must return a matrix with
+/// one output column per input column (AQS-GEMM's column independence
+/// makes the split bit-exact).
+///
+/// # Panics
+///
+/// Panics if the requests disagree on the feature dimension.
+pub fn run_coalesced<F>(requests: &[&Matrix<i32>], f: F) -> (Vec<Matrix<i32>>, Workload)
+where
+    F: FnOnce(&Matrix<i32>) -> (Matrix<i32>, Workload),
+{
+    if requests.is_empty() {
+        return (Vec::new(), Workload::default());
+    }
+    let widths: Vec<usize> = requests.iter().map(|x| x.cols()).collect();
+    let stacked =
+        Matrix::hstack(requests).expect("batched requests must share the feature dimension");
+    let (out, wl) = f(&stacked);
+    let parts = out
+        .split_cols(&widths)
+        .expect("batched op must keep one output column per input column");
+    (parts, wl)
+}
+
+/// Zero-pads a code matrix with extra columns until its width is a
+/// multiple of the PE array's vector length, returning the padded matrix
+/// and the number of columns added. Zero is always a representable code,
+/// and GEMM columns are independent, so padding never perturbs real
+/// outputs.
+pub fn pad_cols_to_vector_len(codes: &Matrix<i32>) -> (Matrix<i32>, usize) {
+    let vlen = panacea_bitslice::VECTOR_LEN;
+    let pad = (vlen - codes.cols() % vlen) % vlen;
+    if pad == 0 {
+        return (codes.clone(), 0);
+    }
+    let padded = Matrix::from_fn(codes.rows(), codes.cols() + pad, |r, c| {
+        if c < codes.cols() {
+            codes[(r, c)]
+        } else {
+            0
+        }
+    });
+    (padded, pad)
 }
 
 #[cfg(test)]
@@ -207,14 +295,20 @@ mod tests {
     use panacea_tensor::stats;
 
     fn calib(x: &Matrix<f32>, zpm: bool) -> LayerQuantConfig {
-        let mut cal = ActivationCalibrator::new(8).with_zpm(zpm).with_dbs(DbsConfig::default());
+        let mut cal = ActivationCalibrator::new(8)
+            .with_zpm(zpm)
+            .with_dbs(DbsConfig::default());
         cal.observe(x);
         cal.finalize()
     }
 
     fn setup(seed: u64) -> (Matrix<f32>, Matrix<f32>, Vec<f32>) {
         let mut rng = panacea_tensor::seeded_rng(seed);
-        let w = DistributionKind::Gaussian { mean: 0.0, std: 0.05 }.sample_matrix(16, 32, &mut rng);
+        let w = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 0.05,
+        }
+        .sample_matrix(16, 32, &mut rng);
         let x = DistributionKind::TransformerAct {
             core_mean: 0.1,
             core_std: 0.4,
@@ -223,8 +317,15 @@ mod tests {
             outlier_frac: 0.02,
         }
         .sample_matrix(32, 16, &mut rng);
-        let bias: Vec<f32> =
-            (0..16).map(|_| DistributionKind::Gaussian { mean: 0.0, std: 0.1 }.sample(&mut rng)).collect();
+        let bias: Vec<f32> = (0..16)
+            .map(|_| {
+                DistributionKind::Gaussian {
+                    mean: 0.0,
+                    std: 0.1,
+                }
+                .sample(&mut rng)
+            })
+            .collect();
         (w, x, bias)
     }
 
@@ -257,8 +358,8 @@ mod tests {
         let trunc = codes.map(|&v| panacea_quant::dbs::dbs_truncate(v, cfg.dbs_type) - zp);
         let mut direct = w_int.gemm(&trunc).expect("shapes");
         let s = layer.accumulator_scale();
-        for m in 0..direct.rows() {
-            let b = (f64::from(bias[m]) / s).round() as i32;
+        for (m, &bv) in bias.iter().enumerate() {
+            let b = (f64::from(bv) / s).round() as i32;
             for v in direct.row_mut(m) {
                 *v += b;
             }
@@ -272,7 +373,11 @@ mod tests {
     fn two_layer_chain_produces_valid_codes() {
         let (w1, x, bias1) = setup(62);
         let mut rng = panacea_tensor::seeded_rng(63);
-        let w2 = DistributionKind::Gaussian { mean: 0.0, std: 0.05 }.sample_matrix(8, 16, &mut rng);
+        let w2 = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 0.05,
+        }
+        .sample_matrix(8, 16, &mut rng);
         // Calibrate layer-2 input from the float intermediate.
         let mut inter = w1.gemm_f32(&x).expect("shapes");
         for m in 0..inter.rows() {
@@ -299,7 +404,13 @@ mod tests {
     fn bias_mismatch_rejected() {
         let (w, x, _) = setup(64);
         let err = QuantizedLinear::prepare(&w, &[0.0; 3], 7, calib(&x, false)).unwrap_err();
-        assert!(matches!(err, PipelineError::BiasMismatch { expected: 16, actual: 3 }));
+        assert!(matches!(
+            err,
+            PipelineError::BiasMismatch {
+                expected: 16,
+                actual: 3
+            }
+        ));
     }
 
     #[test]
@@ -310,6 +421,50 @@ mod tests {
         let layer = QuantizedLinear::prepare(&w, &bias, 7, cfg).expect("prepare");
         let codes = cfg.quantizer.quantize_matrix(&x);
         layer.forward_codes(&codes);
+    }
+
+    #[test]
+    fn forward_batch_is_bit_exact_vs_single_requests() {
+        let (w, x, bias) = setup(67);
+        let cfg = calib(&x, true);
+        let layer = QuantizedLinear::prepare(&w, &bias, 7, cfg).expect("prepare");
+        let codes = cfg.quantizer.quantize_matrix(&x);
+        // Slice the 16 columns into uneven requests (incl. width 1 and 5).
+        let requests = codes.split_cols(&[1, 5, 3, 7]).expect("widths");
+        let refs: Vec<&Matrix<i32>> = requests.iter().collect();
+        let (batched, wl) = layer.forward_batch(&refs);
+        assert!(wl.mul > 0);
+        for (req, got) in requests.iter().zip(&batched) {
+            // Solo reference: pad the lone request to the vector width
+            // (what a caller without a batcher is forced to do) and trim.
+            let (padded, pad) = pad_cols_to_vector_len(req);
+            let (alone, _) = layer.forward(&padded);
+            let alone = alone.submatrix(0, 0, alone.rows(), alone.cols() - pad);
+            assert_eq!(got, &alone);
+        }
+    }
+
+    #[test]
+    fn pad_cols_preserves_content_and_alignment() {
+        let m = Matrix::from_fn(4, 5, |r, c| (r * 5 + c) as i32);
+        let (p, pad) = pad_cols_to_vector_len(&m);
+        assert_eq!(pad, 3);
+        assert_eq!(p.shape(), (4, 8));
+        assert_eq!(p.submatrix(0, 0, 4, 5), m);
+        assert!((5..8).all(|c| (0..4).all(|r| p[(r, c)] == 0)));
+        let aligned = Matrix::from_fn(4, 8, |r, c| (r + c) as i32);
+        let (q, pad0) = pad_cols_to_vector_len(&aligned);
+        assert_eq!(pad0, 0);
+        assert_eq!(q, aligned);
+    }
+
+    #[test]
+    fn forward_batch_of_nothing_is_empty() {
+        let (w, x, bias) = setup(68);
+        let layer = QuantizedLinear::prepare(&w, &bias, 7, calib(&x, true)).expect("prepare");
+        let (outs, wl) = layer.forward_batch(&[]);
+        assert!(outs.is_empty());
+        assert_eq!(wl, Workload::default());
     }
 
     #[test]

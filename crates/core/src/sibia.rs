@@ -26,13 +26,23 @@ pub enum SkipSide {
 #[inline]
 fn col_vec(plane: &Matrix<i8>, mg: usize, k: usize) -> [i8; VECTOR_LEN] {
     let b = mg * VECTOR_LEN;
-    [plane[(b, k)], plane[(b + 1, k)], plane[(b + 2, k)], plane[(b + 3, k)]]
+    [
+        plane[(b, k)],
+        plane[(b + 1, k)],
+        plane[(b + 2, k)],
+        plane[(b + 3, k)],
+    ]
 }
 
 #[inline]
 fn row_vec(plane: &Matrix<i8>, k: usize, ng: usize) -> [i8; VECTOR_LEN] {
     let b = ng * VECTOR_LEN;
-    [plane[(k, b)], plane[(k, b + 1)], plane[(k, b + 2)], plane[(k, b + 3)]]
+    [
+        plane[(k, b)],
+        plane[(k, b + 1)],
+        plane[(k, b + 2)],
+        plane[(k, b + 3)],
+    ]
 }
 
 /// Computes `W · X` with Sibia's single-sided zero-vector skipping; both
@@ -61,17 +71,21 @@ fn row_vec(plane: &Matrix<i8>, k: usize, ng: usize) -> [i8; VECTOR_LEN] {
 /// let (out, _) = sibia_gemm(&sw, &sx, SkipSide::Activation);
 /// assert_eq!(out, w.gemm(&x).unwrap());
 /// ```
-pub fn sibia_gemm(
-    w: &SlicedWeight,
-    x: &SlicedWeight,
-    side: SkipSide,
-) -> (Matrix<i32>, Workload) {
+pub fn sibia_gemm(w: &SlicedWeight, x: &SlicedWeight, side: SkipSide) -> (Matrix<i32>, Workload) {
     let m = w.plane(0).rows();
     let k_dim = w.plane(0).cols();
     let n = x.plane(0).cols();
     assert_eq!(k_dim, x.plane(0).rows(), "inner dimensions differ");
-    assert_eq!(m % VECTOR_LEN, 0, "M = {m} must be a multiple of {VECTOR_LEN}");
-    assert_eq!(n % VECTOR_LEN, 0, "N = {n} must be a multiple of {VECTOR_LEN}");
+    assert_eq!(
+        m % VECTOR_LEN,
+        0,
+        "M = {m} must be a multiple of {VECTOR_LEN}"
+    );
+    assert_eq!(
+        n % VECTOR_LEN,
+        0,
+        "N = {n} must be a multiple of {VECTOR_LEN}"
+    );
     let w_ho = w.num_planes() - 1;
     let x_ho = x.num_planes() - 1;
     let m_groups = m / VECTOR_LEN;
@@ -198,7 +212,11 @@ mod tests {
             let sx = SlicedWeight::from_int(&x, 1).unwrap();
             let (out, wl) = sibia_gemm(&sw, &sx, SkipSide::Activation);
             assert_eq!(out, w.gemm(&x).unwrap());
-            assert_eq!(wl.mul as f64, table1::sibia_mul(k_dim as u64, rho, 0.0), "rho={rho}");
+            assert_eq!(
+                wl.mul as f64,
+                table1::sibia_mul(k_dim as u64, rho, 0.0),
+                "rho={rho}"
+            );
             assert_eq!(wl.ema_slices as f64, table1::sibia_ema(k_dim as u64));
         }
     }
@@ -223,8 +241,16 @@ mod tests {
         let x_dense = random_sym(20, 4, 0.0, 8);
         let x_sparse = random_sym(20, 4, 1.0, 9);
         let sw = SlicedWeight::from_int(&w, 1).unwrap();
-        let (_, a) = sibia_gemm(&sw, &SlicedWeight::from_int(&x_dense, 1).unwrap(), SkipSide::Activation);
-        let (_, b) = sibia_gemm(&sw, &SlicedWeight::from_int(&x_sparse, 1).unwrap(), SkipSide::Activation);
+        let (_, a) = sibia_gemm(
+            &sw,
+            &SlicedWeight::from_int(&x_dense, 1).unwrap(),
+            SkipSide::Activation,
+        );
+        let (_, b) = sibia_gemm(
+            &sw,
+            &SlicedWeight::from_int(&x_sparse, 1).unwrap(),
+            SkipSide::Activation,
+        );
         assert_eq!(a.ema_slices, b.ema_slices);
     }
 

@@ -128,10 +128,31 @@ mod tests {
 
     #[test]
     fn merged_adds_fields() {
-        let a = Workload { mul: 1, add: 2, ema_slices: 3, comp_mul: 4, comp_add: 5 };
-        let b = Workload { mul: 10, add: 20, ema_slices: 30, comp_mul: 40, comp_add: 50 };
+        let a = Workload {
+            mul: 1,
+            add: 2,
+            ema_slices: 3,
+            comp_mul: 4,
+            comp_add: 5,
+        };
+        let b = Workload {
+            mul: 10,
+            add: 20,
+            ema_slices: 30,
+            comp_mul: 40,
+            comp_add: 50,
+        };
         let m = a.merged(&b);
-        assert_eq!(m, Workload { mul: 11, add: 22, ema_slices: 33, comp_mul: 44, comp_add: 55 });
+        assert_eq!(
+            m,
+            Workload {
+                mul: 11,
+                add: 22,
+                ema_slices: 33,
+                comp_mul: 44,
+                comp_add: 55
+            }
+        );
         assert_eq!(m.total_mul(), 55);
         assert_eq!(m.total_add(), 77);
     }
@@ -173,6 +194,6 @@ mod tests {
     #[test]
     fn ema_decreases_with_sparsity() {
         assert!(table1::panacea_ema(10, 0.9, 0.9) < table1::panacea_ema(10, 0.0, 0.0));
-        assert_eq!(table1::panacea_ema(10, 0.0, 0.0), table1::dense_ema(10) as f64);
+        assert_eq!(table1::panacea_ema(10, 0.0, 0.0), table1::dense_ema(10));
     }
 }

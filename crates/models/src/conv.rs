@@ -94,8 +94,7 @@ pub fn im2col(input: &Matrix<f32>, s: ConvShape) -> Matrix<f32> {
                         if ix < 0 || ix >= s.width as isize {
                             continue;
                         }
-                        out[(row, oy * ow + ox)] =
-                            input[(c, iy as usize * s.width + ix as usize)];
+                        out[(row, oy * ow + ox)] = input[(c, iy as usize * s.width + ix as usize)];
                     }
                 }
             }
@@ -146,7 +145,12 @@ pub fn conv_direct(input: &Matrix<f32>, weight: &Matrix<f32>, s: ConvShape) -> M
 /// # Panics
 ///
 /// Panics on shape mismatches.
-pub fn conv_gemm(input: &Matrix<f32>, weight: &Matrix<f32>, s: ConvShape, relu: bool) -> Matrix<f32> {
+pub fn conv_gemm(
+    input: &Matrix<f32>,
+    weight: &Matrix<f32>,
+    s: ConvShape,
+    relu: bool,
+) -> Matrix<f32> {
     let patches = im2col(input, s);
     let out = weight.gemm_f32(&patches).expect("weight × patches");
     if relu {
@@ -162,15 +166,29 @@ mod tests {
     use panacea_tensor::dist::DistributionKind;
 
     fn shape_3x3() -> ConvShape {
-        ConvShape { channels: 3, height: 8, width: 8, kh: 3, kw: 3, stride: 1, pad: 1 }
+        ConvShape {
+            channels: 3,
+            height: 8,
+            width: 8,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     fn random_case(s: ConvShape, c_out: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>) {
         let mut rng = panacea_tensor::seeded_rng(seed);
-        let x = DistributionKind::Gaussian { mean: 0.0, std: 1.0 }
-            .sample_matrix(s.channels, s.height * s.width, &mut rng);
-        let w = DistributionKind::Gaussian { mean: 0.0, std: 0.2 }
-            .sample_matrix(c_out, s.gemm_k(), &mut rng);
+        let x = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .sample_matrix(s.channels, s.height * s.width, &mut rng);
+        let w = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 0.2,
+        }
+        .sample_matrix(c_out, s.gemm_k(), &mut rng);
         (x, w)
     }
 
@@ -197,8 +215,24 @@ mod tests {
     #[test]
     fn strided_and_unpadded_variants_agree() {
         for s in [
-            ConvShape { channels: 2, height: 7, width: 9, kh: 3, kw: 3, stride: 2, pad: 0 },
-            ConvShape { channels: 1, height: 6, width: 6, kh: 5, kw: 5, stride: 1, pad: 2 },
+            ConvShape {
+                channels: 2,
+                height: 7,
+                width: 9,
+                kh: 3,
+                kw: 3,
+                stride: 2,
+                pad: 0,
+            },
+            ConvShape {
+                channels: 1,
+                height: 6,
+                width: 6,
+                kh: 5,
+                kw: 5,
+                stride: 1,
+                pad: 2,
+            },
         ] {
             let (x, w) = random_case(s, 3, 81);
             let a = conv_gemm(&x, &w, s, false);
@@ -224,7 +258,15 @@ mod tests {
     #[test]
     fn im2col_shapes_match_zoo_resnet_layers() {
         // stage1 conv: 64 channels, 56×56, 3×3 same-padding.
-        let s = ConvShape { channels: 64, height: 56, width: 56, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let s = ConvShape {
+            channels: 64,
+            height: 56,
+            width: 56,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         assert_eq!(s.gemm_k(), 64 * 9);
         assert_eq!(s.gemm_n(), 56 * 56);
     }

@@ -25,7 +25,12 @@ pub struct TransformerConfig {
 
 impl Default for TransformerConfig {
     fn default() -> Self {
-        TransformerConfig { d_model: 64, n_heads: 4, d_ff: 256, n_layers: 2 }
+        TransformerConfig {
+            d_model: 64,
+            n_heads: 4,
+            d_ff: 256,
+            n_layers: 2,
+        }
     }
 }
 
@@ -78,7 +83,11 @@ impl TinyTransformer {
     ///
     /// Panics if `d_model` is not divisible by `n_heads`.
     pub fn new_random(cfg: TransformerConfig, seed: u64) -> Self {
-        assert_eq!(cfg.d_model % cfg.n_heads, 0, "d_model must divide by n_heads");
+        assert_eq!(
+            cfg.d_model % cfg.n_heads,
+            0,
+            "d_model must divide by n_heads"
+        );
         let mut rng = panacea_tensor::seeded_rng(seed);
         let init = |m: usize, k: usize, rng: &mut rand::rngs::StdRng| {
             let std = (2.0 / (m + k) as f32).sqrt();
@@ -154,6 +163,17 @@ impl TinyTransformer {
             h = add(&h, &mlp_out);
         }
         h
+    }
+
+    /// Runs a forward pass over `x` and returns the captured
+    /// `(weight, input)` pair of every weight GEMM — the calibration
+    /// front-end the serving runtime prepares models from. Each capture's
+    /// activations carry the real structural correlations of this model,
+    /// so a layer served from a capture is calibrated on genuine data.
+    pub fn captured_layers(&self, x: &Matrix<f32>) -> Vec<CapturedLayer> {
+        let mut captures = Vec::new();
+        self.forward_captured(x, &mut captures);
+        captures
     }
 
     /// Multi-head self-attention over the stacked QKV tensor
@@ -239,7 +259,11 @@ mod tests {
 
     fn input(d: usize, t: usize, seed: u64) -> Matrix<f32> {
         let mut rng = panacea_tensor::seeded_rng(seed);
-        DistributionKind::Gaussian { mean: 0.0, std: 1.0 }.sample_matrix(d, t, &mut rng)
+        DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .sample_matrix(d, t, &mut rng)
     }
 
     #[test]
@@ -274,7 +298,10 @@ mod tests {
 
     #[test]
     fn captures_cover_all_weight_gemms() {
-        let cfg = TransformerConfig { n_layers: 3, ..TransformerConfig::default() };
+        let cfg = TransformerConfig {
+            n_layers: 3,
+            ..TransformerConfig::default()
+        };
         let m = TinyTransformer::new_random(cfg, 4);
         let mut caps = Vec::new();
         m.forward_captured(&input(64, 8, 5), &mut caps);

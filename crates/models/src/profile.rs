@@ -53,7 +53,11 @@ impl Default for ProfileOptions {
 impl ProfileOptions {
     /// The paper's baseline configuration: no ZPM, no DBS.
     pub fn baseline() -> Self {
-        ProfileOptions { zpm: false, dbs: None, ..ProfileOptions::default() }
+        ProfileOptions {
+            zpm: false,
+            dbs: None,
+            ..ProfileOptions::default()
+        }
     }
 }
 
@@ -138,12 +142,16 @@ pub fn profile_layer(spec: &LayerSpec, opts: &ProfileOptions) -> LayerProfile {
     let x_sym = xq_sym.quantize_matrix(&x_f);
     let sx_sym = SlicedWeight::from_int(&x_sym, usize::from((sym_bits - 4) / 3))
         .expect("symmetric activations fit");
-    let rho_x_sibia =
-        sparsity::weight_vector_sparsity(&sx_sym.ho().transposed());
+    let rho_x_sibia = sparsity::weight_vector_sparsity(&sx_sym.ho().transposed());
 
     // --- Quality proxies.
-    let sqnr_asym_db =
-        proxy::layer_output_sqnr(&w_f, &x_f, ActScheme::Asymmetric, spec.weight_bits, act_bits);
+    let sqnr_asym_db = proxy::layer_output_sqnr(
+        &w_f,
+        &x_f,
+        ActScheme::Asymmetric,
+        spec.weight_bits,
+        act_bits,
+    );
     let sqnr_dbs_db = if quant.dbs_type == DbsType::Type1 {
         sqnr_asym_db
     } else {
@@ -177,7 +185,11 @@ pub fn profile_layer(spec: &LayerSpec, opts: &ProfileOptions) -> LayerProfile {
 
 /// Profiles every layer of a model.
 pub fn profile_model(model: &ModelSpec, opts: &ProfileOptions) -> Vec<LayerProfile> {
-    model.layers.iter().map(|l| profile_layer(l, opts)).collect()
+    model
+        .layers
+        .iter()
+        .map(|l| profile_layer(l, opts))
+        .collect()
 }
 
 /// Cheap deterministic string hash (FNV-1a) to derive per-layer seeds.
@@ -196,7 +208,12 @@ mod tests {
     use crate::zoo::{Benchmark, LayerKind};
 
     fn quick_opts() -> ProfileOptions {
-        ProfileOptions { sample_m: 64, sample_k: 96, sample_n: 64, ..ProfileOptions::default() }
+        ProfileOptions {
+            sample_m: 64,
+            sample_k: 96,
+            sample_n: 64,
+            ..ProfileOptions::default()
+        }
     }
 
     #[test]
@@ -211,7 +228,13 @@ mod tests {
     #[test]
     fn sparsities_are_probabilities() {
         for p in profile_model(&Benchmark::DeitBase.spec(), &quick_opts()) {
-            for v in [p.rho_w, p.rho_x, p.rho_x_zero_only, p.rho_x_sibia, p.coverage] {
+            for v in [
+                p.rho_w,
+                p.rho_x,
+                p.rho_x_zero_only,
+                p.rho_x_sibia,
+                p.coverage,
+            ] {
                 assert!((0.0..=1.0).contains(&v), "{} -> {v}", p.spec.name);
             }
         }
@@ -230,13 +253,24 @@ mod tests {
             p.rho_x,
             p.rho_x_zero_only
         );
-        assert!(p.rho_x > 0.2, "expected nontrivial AQS sparsity, got {}", p.rho_x);
+        assert!(
+            p.rho_x > 0.2,
+            "expected nontrivial AQS sparsity, got {}",
+            p.rho_x
+        );
     }
 
     #[test]
     fn zpm_and_dbs_do_not_reduce_sparsity() {
         let spec = &Benchmark::Opt2_7b.spec().layers[0];
-        let base = profile_layer(spec, &ProfileOptions { zpm: false, dbs: None, ..quick_opts() });
+        let base = profile_layer(
+            spec,
+            &ProfileOptions {
+                zpm: false,
+                dbs: None,
+                ..quick_opts()
+            },
+        );
         let opt = profile_layer(spec, &quick_opts());
         assert!(
             opt.rho_x + 1e-9 >= base.rho_x,
@@ -261,8 +295,19 @@ mod tests {
         // The paper's Fig. 14(a) note: MLP.FC2 inputs (post-GELU) give the
         // legacy zero-skip engines their only sparse layer.
         let model = Benchmark::DeitBase.spec();
-        let fc2 = model.layers.iter().find(|l| l.kind == LayerKind::MlpFc2).unwrap();
-        let p = profile_layer(fc2, &ProfileOptions { zpm: false, dbs: None, ..quick_opts() });
+        let fc2 = model
+            .layers
+            .iter()
+            .find(|l| l.kind == LayerKind::MlpFc2)
+            .unwrap();
+        let p = profile_layer(
+            fc2,
+            &ProfileOptions {
+                zpm: false,
+                dbs: None,
+                ..quick_opts()
+            },
+        );
         assert!(
             p.rho_x_zero_only > 0.05,
             "post-GELU should produce some all-zero vectors, got {}",
@@ -273,7 +318,11 @@ mod tests {
     #[test]
     fn mixed_precision_layers_profile_without_dbs() {
         let model = Benchmark::Llama1b.spec();
-        let down = model.layers.iter().find(|l| l.kind == LayerKind::DownProj).unwrap();
+        let down = model
+            .layers
+            .iter()
+            .find(|l| l.kind == LayerKind::DownProj)
+            .unwrap();
         let p = profile_layer(down, &quick_opts());
         assert_eq!(p.dbs_type, DbsType::Type1, "12-bit inputs must stay type-1");
     }

@@ -9,8 +9,8 @@
 //! mapping plus helpers to measure per-layer SQNR under the two
 //! quantization schemes.
 
-use panacea_quant::{AsymmetricQuantizer, Quantizer, SymmetricQuantizer};
 use panacea_quant::dbs::{dbs_truncate, DbsType};
+use panacea_quant::{AsymmetricQuantizer, Quantizer, SymmetricQuantizer};
 use panacea_tensor::{stats, Matrix};
 use serde::{Deserialize, Serialize};
 
@@ -124,7 +124,11 @@ pub fn aggregate_sqnr_db(per_layer: &[(f64, u64)]) -> f64 {
     let noise: f64 = per_layer
         .iter()
         .map(|&(sqnr, macs)| {
-            let p = if sqnr.is_infinite() { 0.0 } else { 10f64.powf(-sqnr / 10.0) };
+            let p = if sqnr.is_infinite() {
+                0.0
+            } else {
+                10f64.powf(-sqnr / 10.0)
+            };
             p * macs as f64 / total
         })
         .sum();
@@ -169,12 +173,19 @@ mod tests {
     #[test]
     fn dbs_truncation_costs_a_little_quality() {
         let mut rng = panacea_tensor::seeded_rng(5);
-        let w = DistributionKind::Gaussian { mean: 0.0, std: 0.05 }.sample_matrix(16, 32, &mut rng);
+        let w = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 0.05,
+        }
+        .sample_matrix(16, 32, &mut rng);
         let x = DistributionKind::Uniform { lo: -1.0, hi: 3.0 }.sample_matrix(32, 16, &mut rng);
         let plain = layer_output_sqnr(&w, &x, ActScheme::Asymmetric, 7, 8);
         let t3 = layer_output_sqnr(&w, &x, ActScheme::AsymmetricDbs(DbsType::Type3), 7, 8);
         assert!(t3 < plain, "truncation should reduce SQNR: {t3} vs {plain}");
-        assert!(t3 > plain - 15.0, "truncation cost should be modest: {t3} vs {plain}");
+        assert!(
+            t3 > plain - 15.0,
+            "truncation cost should be modest: {t3} vs {plain}"
+        );
     }
 
     #[test]
@@ -189,7 +200,10 @@ mod tests {
 
     #[test]
     fn aggregate_of_exact_layers_is_infinite() {
-        assert_eq!(aggregate_sqnr_db(&[(f64::INFINITY, 5), (f64::INFINITY, 9)]), f64::INFINITY);
+        assert_eq!(
+            aggregate_sqnr_db(&[(f64::INFINITY, 5), (f64::INFINITY, 9)]),
+            f64::INFINITY
+        );
         assert_eq!(aggregate_sqnr_db(&[]), f64::INFINITY);
     }
 }

@@ -94,7 +94,10 @@ impl ModelSpec {
 
     /// Total weight parameters across all layers.
     pub fn total_weights(&self) -> u64 {
-        self.layers.iter().map(|l| (l.m * l.k * l.count) as u64).sum()
+        self.layers
+            .iter()
+            .map(|l| (l.m * l.k * l.count) as u64)
+            .sum()
     }
 }
 
@@ -140,8 +143,12 @@ impl Benchmark {
     /// Builds the layer inventory.
     pub fn spec(self) -> ModelSpec {
         match self {
-            Benchmark::DeitBase => transformer_encoder("DeiT-base", 12, 768, 3072, 196, 81.8, false, 7),
-            Benchmark::BertBase => transformer_encoder("BERT-base", 12, 768, 3072, 128, 84.6, false, 7),
+            Benchmark::DeitBase => {
+                transformer_encoder("DeiT-base", 12, 768, 3072, 196, 81.8, false, 7)
+            }
+            Benchmark::BertBase => {
+                transformer_encoder("BERT-base", 12, 768, 3072, 128, 84.6, false, 7)
+            }
             Benchmark::Gpt2 => {
                 let mut m = transformer_encoder("GPT-2", 12, 768, 3072, 1024, 29.4, true, 7);
                 // Paper footnote 1: 10-bit symmetric weights (3 SBR slices)
@@ -178,7 +185,11 @@ fn ln_dist() -> DistributionKind {
 /// Post-GELU activations: one-sided, near-zero heavy, with outlier
 /// channels stretching the positive range.
 fn gelu_dist() -> DistributionKind {
-    DistributionKind::PostGeluOutlier { scale: 1.0, outlier_scale: 8.0, outlier_frac: 0.02 }
+    DistributionKind::PostGeluOutlier {
+        scale: 1.0,
+        outlier_scale: 8.0,
+        outlier_frac: 0.02,
+    }
 }
 
 /// Attention-context activations: near-zero core, milder outliers.
@@ -206,9 +217,14 @@ fn outlier_dist(scale: f32) -> DistributionKind {
 /// Trained-weight distribution: near-zero Gaussian core with rare large
 /// values; `outlier_scale` tunes the resulting SBR HO sparsity.
 fn weight_dist(outlier_scale: f32) -> DistributionKind {
-    DistributionKind::OutlierChannels { core_std: 0.02, outlier_scale, outlier_frac: 0.01 }
+    DistributionKind::OutlierChannels {
+        core_std: 0.02,
+        outlier_scale,
+        outlier_frac: 0.01,
+    }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the paper table columns
 fn layer(
     name: String,
     kind: LayerKind,
@@ -236,6 +252,7 @@ fn layer(
 /// Standard pre-norm transformer encoder (DeiT/BERT/GPT-2 share the
 /// four weight GEMMs per block; attention score/context products are
 /// activation-activation and excluded, matching the paper's layer lists).
+#[allow(clippy::too_many_arguments)] // mirrors the paper table columns
 fn transformer_encoder(
     name: &str,
     blocks: usize,
@@ -247,24 +264,113 @@ fn transformer_encoder(
     _wbits: u8,
 ) -> ModelSpec {
     let layers = vec![
-        layer(format!("{name}.qkv"), LayerKind::Qkv, 3 * d, d, tokens, blocks, ln_dist(), 5.0),
-        layer(format!("{name}.attn_proj"), LayerKind::AttnProj, d, d, tokens, blocks, ctx_dist(), 4.0),
-        layer(format!("{name}.mlp.fc1"), LayerKind::MlpFc1, d_ff, d, tokens, blocks, ln_dist(), 4.5),
-        layer(format!("{name}.mlp.fc2"), LayerKind::MlpFc2, d, d_ff, tokens, blocks, gelu_dist(), 4.0),
+        layer(
+            format!("{name}.qkv"),
+            LayerKind::Qkv,
+            3 * d,
+            d,
+            tokens,
+            blocks,
+            ln_dist(),
+            5.0,
+        ),
+        layer(
+            format!("{name}.attn_proj"),
+            LayerKind::AttnProj,
+            d,
+            d,
+            tokens,
+            blocks,
+            ctx_dist(),
+            4.0,
+        ),
+        layer(
+            format!("{name}.mlp.fc1"),
+            LayerKind::MlpFc1,
+            d_ff,
+            d,
+            tokens,
+            blocks,
+            ln_dist(),
+            4.5,
+        ),
+        layer(
+            format!("{name}.mlp.fc2"),
+            LayerKind::MlpFc2,
+            d,
+            d_ff,
+            tokens,
+            blocks,
+            gelu_dist(),
+            4.0,
+        ),
     ];
-    ModelSpec { name: name.to_string(), layers, fp16_quality: quality, quality_is_ppl: is_ppl }
+    ModelSpec {
+        name: name.to_string(),
+        layers,
+        fp16_quality: quality,
+        quality_is_ppl: is_ppl,
+    }
 }
 
 /// OPT decoder blocks: like the encoder but with outlier-channel
 /// activations (the well-documented OPT outlier phenomenon).
-fn opt_decoder(name: &str, blocks: usize, d: usize, d_ff: usize, tokens: usize, ppl: f64) -> ModelSpec {
+fn opt_decoder(
+    name: &str,
+    blocks: usize,
+    d: usize,
+    d_ff: usize,
+    tokens: usize,
+    ppl: f64,
+) -> ModelSpec {
     let layers = vec![
-        layer(format!("{name}.qkv"), LayerKind::Qkv, 3 * d, d, tokens, blocks, outlier_dist(16.0), 5.0),
-        layer(format!("{name}.attn_proj"), LayerKind::AttnProj, d, d, tokens, blocks, ctx_dist(), 4.0),
-        layer(format!("{name}.mlp.fc1"), LayerKind::MlpFc1, d_ff, d, tokens, blocks, outlier_dist(20.0), 4.5),
-        layer(format!("{name}.mlp.fc2"), LayerKind::MlpFc2, d, d_ff, tokens, blocks, gelu_dist(), 4.0),
+        layer(
+            format!("{name}.qkv"),
+            LayerKind::Qkv,
+            3 * d,
+            d,
+            tokens,
+            blocks,
+            outlier_dist(16.0),
+            5.0,
+        ),
+        layer(
+            format!("{name}.attn_proj"),
+            LayerKind::AttnProj,
+            d,
+            d,
+            tokens,
+            blocks,
+            ctx_dist(),
+            4.0,
+        ),
+        layer(
+            format!("{name}.mlp.fc1"),
+            LayerKind::MlpFc1,
+            d_ff,
+            d,
+            tokens,
+            blocks,
+            outlier_dist(20.0),
+            4.5,
+        ),
+        layer(
+            format!("{name}.mlp.fc2"),
+            LayerKind::MlpFc2,
+            d,
+            d_ff,
+            tokens,
+            blocks,
+            gelu_dist(),
+            4.0,
+        ),
     ];
-    ModelSpec { name: name.to_string(), layers, fp16_quality: ppl, quality_is_ppl: true }
+    ModelSpec {
+        name: name.to_string(),
+        layers,
+        fp16_quality: ppl,
+        quality_is_ppl: true,
+    }
 }
 
 /// Llama-3.2 decoder: GQA attention (smaller KV projections), SwiGLU MLP,
@@ -291,25 +397,79 @@ fn llama_decoder(
     );
     down.act_lo_slices = 2; // three 4-bit slices, paper Fig. 17 discussion
     let layers = vec![
-        layer(format!("{name}.attn.q"), LayerKind::Qkv, d, d, tokens, blocks, outlier_dist(16.0), 5.0),
-        layer(format!("{name}.attn.kv"), LayerKind::Qkv, 2 * kv_dim, d, tokens, blocks, outlier_dist(16.0), 5.0),
-        layer(format!("{name}.attn.o"), LayerKind::AttnProj, d, d, tokens, blocks, ctx_dist(), 4.0),
-        layer(format!("{name}.mlp.gate_up"), LayerKind::GateUp, 2 * d_ff, d, tokens, blocks, outlier_dist(20.0), 4.5),
+        layer(
+            format!("{name}.attn.q"),
+            LayerKind::Qkv,
+            d,
+            d,
+            tokens,
+            blocks,
+            outlier_dist(16.0),
+            5.0,
+        ),
+        layer(
+            format!("{name}.attn.kv"),
+            LayerKind::Qkv,
+            2 * kv_dim,
+            d,
+            tokens,
+            blocks,
+            outlier_dist(16.0),
+            5.0,
+        ),
+        layer(
+            format!("{name}.attn.o"),
+            LayerKind::AttnProj,
+            d,
+            d,
+            tokens,
+            blocks,
+            ctx_dist(),
+            4.0,
+        ),
+        layer(
+            format!("{name}.mlp.gate_up"),
+            LayerKind::GateUp,
+            2 * d_ff,
+            d,
+            tokens,
+            blocks,
+            outlier_dist(20.0),
+            4.5,
+        ),
         down,
     ];
-    ModelSpec { name: name.to_string(), layers, fp16_quality: ppl, quality_is_ppl: true }
+    ModelSpec {
+        name: name.to_string(),
+        layers,
+        fp16_quality: ppl,
+        quality_is_ppl: true,
+    }
 }
 
 /// Post-ReLU convolution inputs: one-sided with outlier feature maps.
 fn relu_dist() -> DistributionKind {
-    DistributionKind::PostGeluOutlier { scale: 0.8, outlier_scale: 6.0, outlier_frac: 0.03 }
+    DistributionKind::PostGeluOutlier {
+        scale: 0.8,
+        outlier_scale: 6.0,
+        outlier_frac: 0.03,
+    }
 }
 
 /// ResNet-18 with convolutions lowered to GEMM (im2col):
 /// `M = C_out`, `K = C_in·k²` (rounded up to ×4), `N = H_out·W_out`.
 fn resnet18() -> ModelSpec {
     let conv = |name: &str, c_out: usize, k: usize, n: usize, count: usize| {
-        layer(name.to_string(), LayerKind::Conv, c_out, k.div_ceil(4) * 4, n.div_ceil(4) * 4, count, relu_dist(), 4.5)
+        layer(
+            name.to_string(),
+            LayerKind::Conv,
+            c_out,
+            k.div_ceil(4) * 4,
+            n.div_ceil(4) * 4,
+            count,
+            relu_dist(),
+            4.5,
+        )
     };
     let layers = vec![
         conv("conv1", 64, 3 * 49, 112 * 112, 1),
@@ -323,9 +483,23 @@ fn resnet18() -> ModelSpec {
         conv("stage4.conv0", 512, 256 * 9, 7 * 7, 1),
         conv("stage4.conv", 512, 512 * 9, 7 * 7, 3),
         conv("stage4.down", 512, 256, 7 * 7, 1),
-        layer("fc".to_string(), LayerKind::Head, 1000, 512, 4, 1, relu_dist(), 4.5),
+        layer(
+            "fc".to_string(),
+            LayerKind::Head,
+            1000,
+            512,
+            4,
+            1,
+            relu_dist(),
+            4.5,
+        ),
     ];
-    ModelSpec { name: "ResNet-18".to_string(), layers, fp16_quality: 69.8, quality_is_ppl: false }
+    ModelSpec {
+        name: "ResNet-18".to_string(),
+        layers,
+        fp16_quality: 69.8,
+        quality_is_ppl: false,
+    }
 }
 
 #[cfg(test)]
@@ -379,7 +553,11 @@ mod tests {
     #[test]
     fn llama_down_projection_has_three_act_slices() {
         let llama = Benchmark::Llama1b.spec();
-        let down = llama.layers.iter().find(|l| l.kind == LayerKind::DownProj).unwrap();
+        let down = llama
+            .layers
+            .iter()
+            .find(|l| l.kind == LayerKind::DownProj)
+            .unwrap();
         assert_eq!(down.act_lo_slices, 2);
     }
 
@@ -395,7 +573,11 @@ mod tests {
     fn fc2_layers_use_post_gelu_inputs() {
         for b in [Benchmark::DeitBase, Benchmark::Gpt2, Benchmark::Opt2_7b] {
             let spec = b.spec();
-            let fc2 = spec.layers.iter().find(|l| l.kind == LayerKind::MlpFc2).unwrap();
+            let fc2 = spec
+                .layers
+                .iter()
+                .find(|l| l.kind == LayerKind::MlpFc2)
+                .unwrap();
             assert!(
                 matches!(fc2.act_dist, DistributionKind::PostGeluOutlier { .. }),
                 "{:?}",

@@ -128,10 +128,7 @@ impl ActivationCalibrator {
     /// type-based ZPM when enabled) and measures its coverage.
     fn candidate(&self, base: &AsymmetricQuantizer, dbs_type: DbsType) -> LayerQuantConfig {
         let lo_bits = dbs_type.lo_bits();
-        let measure = |quantizer: AsymmetricQuantizer,
-                       frequent: u8,
-                       skip_lo: i32,
-                       skip_hi: i32| {
+        let measure = |quantizer: AsymmetricQuantizer, frequent: u8, skip_lo: i32, skip_hi: i32| {
             let total = self.samples.len().max(1);
             let inside = self
                 .samples
@@ -216,6 +213,24 @@ pub struct LayerQuantConfig {
     pub coverage: f64,
 }
 
+impl LayerQuantConfig {
+    /// The largest code representable in this activation format
+    /// (`2^bits − 1`).
+    pub fn max_code(&self) -> i32 {
+        (1i32 << self.quantizer.params().bits) - 1
+    }
+
+    /// Whether every entry of `codes` fits the calibrated unsigned format.
+    ///
+    /// The serving runtime uses this to reject malformed requests before
+    /// they reach a worker, where an out-of-range code would panic the
+    /// slicer mid-batch.
+    pub fn codes_in_range(&self, codes: &Matrix<i32>) -> bool {
+        let max = self.max_code();
+        codes.iter().all(|&v| (0..=max).contains(&v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,8 +242,11 @@ mod tests {
     fn narrow_batches(cal: &mut ActivationCalibrator, seed: u64) {
         let mut rng = panacea_tensor::seeded_rng(seed);
         for _ in 0..4 {
-            let b = DistributionKind::Gaussian { mean: 0.0, std: 0.02 }
-                .sample_matrix(64, 64, &mut rng);
+            let b = DistributionKind::Gaussian {
+                mean: 0.0,
+                std: 0.02,
+            }
+            .sample_matrix(64, 64, &mut rng);
             cal.observe(&b);
         }
         cal.observe_slice(&[-2.0, 2.1]);
@@ -248,13 +266,18 @@ mod tests {
             c0.coverage,
             c1.coverage
         );
-        assert!(c1.coverage > 0.9, "narrow distribution should be highly coverable");
+        assert!(
+            c1.coverage > 0.9,
+            "narrow distribution should be highly coverable"
+        );
     }
 
     #[test]
     fn dbs_widens_slices_for_wide_distributions() {
         let mut rng = panacea_tensor::seeded_rng(8);
-        let mut cal = ActivationCalibrator::new(8).with_zpm(true).with_dbs(DbsConfig::default());
+        let mut cal = ActivationCalibrator::new(8)
+            .with_zpm(true)
+            .with_dbs(DbsConfig::default());
         for _ in 0..4 {
             // Full-range uniform: quantized std ≈ 74 ⇒ type-3.
             let b = DistributionKind::Uniform { lo: -4.0, hi: 4.0 }.sample_matrix(64, 64, &mut rng);
@@ -267,7 +290,9 @@ mod tests {
 
     #[test]
     fn dbs_keeps_narrow_distributions_type1() {
-        let mut cal = ActivationCalibrator::new(8).with_zpm(true).with_dbs(DbsConfig::default());
+        let mut cal = ActivationCalibrator::new(8)
+            .with_zpm(true)
+            .with_dbs(DbsConfig::default());
         narrow_batches(&mut cal, 7);
         let cfg = cal.finalize();
         assert_eq!(cfg.dbs_type, DbsType::Type1);
@@ -287,11 +312,18 @@ mod tests {
         let mut rng = panacea_tensor::seeded_rng(10);
         let mut cal = ActivationCalibrator::new(8).with_reservoir_cap(256);
         for _ in 0..8 {
-            let b = DistributionKind::Gaussian { mean: 1.0, std: 0.2 }
-                .sample_matrix(64, 64, &mut rng);
+            let b = DistributionKind::Gaussian {
+                mean: 1.0,
+                std: 0.2,
+            }
+            .sample_matrix(64, 64, &mut rng);
             cal.observe(&b);
         }
-        assert!(cal.retained() <= 257, "reservoir exceeded cap: {}", cal.retained());
+        assert!(
+            cal.retained() <= 257,
+            "reservoir exceeded cap: {}",
+            cal.retained()
+        );
         let cfg = cal.finalize();
         // zp should map ~1.0-mean data near mid-range despite thinning.
         let zp = cfg.quantizer.params().zero_point;

@@ -75,42 +75,150 @@ pub struct ZTableEntry {
 
 /// The z-score table: `Φ(z) − 0.5` for `z = 0.0, 0.1, …, 3.5`.
 pub const Z_TABLE: &[ZTableEntry] = &[
-    ZTableEntry { z: 0.0, area_from_mean: 0.0000 },
-    ZTableEntry { z: 0.1, area_from_mean: 0.0398 },
-    ZTableEntry { z: 0.2, area_from_mean: 0.0793 },
-    ZTableEntry { z: 0.3, area_from_mean: 0.1179 },
-    ZTableEntry { z: 0.4, area_from_mean: 0.1554 },
-    ZTableEntry { z: 0.5, area_from_mean: 0.1915 },
-    ZTableEntry { z: 0.6, area_from_mean: 0.2257 },
-    ZTableEntry { z: 0.7, area_from_mean: 0.2580 },
-    ZTableEntry { z: 0.8, area_from_mean: 0.2881 },
-    ZTableEntry { z: 0.9, area_from_mean: 0.3159 },
-    ZTableEntry { z: 1.0, area_from_mean: 0.3413 },
-    ZTableEntry { z: 1.1, area_from_mean: 0.3643 },
-    ZTableEntry { z: 1.2, area_from_mean: 0.3849 },
-    ZTableEntry { z: 1.3, area_from_mean: 0.4032 },
-    ZTableEntry { z: 1.4, area_from_mean: 0.4192 },
-    ZTableEntry { z: 1.5, area_from_mean: 0.4332 },
-    ZTableEntry { z: 1.6, area_from_mean: 0.4452 },
-    ZTableEntry { z: 1.7, area_from_mean: 0.4554 },
-    ZTableEntry { z: 1.8, area_from_mean: 0.4641 },
-    ZTableEntry { z: 1.9, area_from_mean: 0.4713 },
-    ZTableEntry { z: 2.0, area_from_mean: 0.4772 },
-    ZTableEntry { z: 2.1, area_from_mean: 0.4821 },
-    ZTableEntry { z: 2.2, area_from_mean: 0.4861 },
-    ZTableEntry { z: 2.3, area_from_mean: 0.4893 },
-    ZTableEntry { z: 2.4, area_from_mean: 0.4918 },
-    ZTableEntry { z: 2.5, area_from_mean: 0.4938 },
-    ZTableEntry { z: 2.6, area_from_mean: 0.4953 },
-    ZTableEntry { z: 2.7, area_from_mean: 0.4965 },
-    ZTableEntry { z: 2.8, area_from_mean: 0.4974 },
-    ZTableEntry { z: 2.9, area_from_mean: 0.4981 },
-    ZTableEntry { z: 3.0, area_from_mean: 0.4987 },
-    ZTableEntry { z: 3.1, area_from_mean: 0.4990 },
-    ZTableEntry { z: 3.2, area_from_mean: 0.4993 },
-    ZTableEntry { z: 3.3, area_from_mean: 0.4995 },
-    ZTableEntry { z: 3.4, area_from_mean: 0.4997 },
-    ZTableEntry { z: 3.5, area_from_mean: 0.4998 },
+    ZTableEntry {
+        z: 0.0,
+        area_from_mean: 0.0000,
+    },
+    ZTableEntry {
+        z: 0.1,
+        area_from_mean: 0.0398,
+    },
+    ZTableEntry {
+        z: 0.2,
+        area_from_mean: 0.0793,
+    },
+    ZTableEntry {
+        z: 0.3,
+        area_from_mean: 0.1179,
+    },
+    ZTableEntry {
+        z: 0.4,
+        area_from_mean: 0.1554,
+    },
+    ZTableEntry {
+        z: 0.5,
+        area_from_mean: 0.1915,
+    },
+    ZTableEntry {
+        z: 0.6,
+        area_from_mean: 0.2257,
+    },
+    ZTableEntry {
+        z: 0.7,
+        area_from_mean: 0.2580,
+    },
+    ZTableEntry {
+        z: 0.8,
+        area_from_mean: 0.2881,
+    },
+    ZTableEntry {
+        z: 0.9,
+        area_from_mean: 0.3159,
+    },
+    ZTableEntry {
+        z: 1.0,
+        area_from_mean: 0.3413,
+    },
+    ZTableEntry {
+        z: 1.1,
+        area_from_mean: 0.3643,
+    },
+    ZTableEntry {
+        z: 1.2,
+        area_from_mean: 0.3849,
+    },
+    ZTableEntry {
+        z: 1.3,
+        area_from_mean: 0.4032,
+    },
+    ZTableEntry {
+        z: 1.4,
+        area_from_mean: 0.4192,
+    },
+    ZTableEntry {
+        z: 1.5,
+        area_from_mean: 0.4332,
+    },
+    ZTableEntry {
+        z: 1.6,
+        area_from_mean: 0.4452,
+    },
+    ZTableEntry {
+        z: 1.7,
+        area_from_mean: 0.4554,
+    },
+    ZTableEntry {
+        z: 1.8,
+        area_from_mean: 0.4641,
+    },
+    ZTableEntry {
+        z: 1.9,
+        area_from_mean: 0.4713,
+    },
+    ZTableEntry {
+        z: 2.0,
+        area_from_mean: 0.4772,
+    },
+    ZTableEntry {
+        z: 2.1,
+        area_from_mean: 0.4821,
+    },
+    ZTableEntry {
+        z: 2.2,
+        area_from_mean: 0.4861,
+    },
+    ZTableEntry {
+        z: 2.3,
+        area_from_mean: 0.4893,
+    },
+    ZTableEntry {
+        z: 2.4,
+        area_from_mean: 0.4918,
+    },
+    ZTableEntry {
+        z: 2.5,
+        area_from_mean: 0.4938,
+    },
+    ZTableEntry {
+        z: 2.6,
+        area_from_mean: 0.4953,
+    },
+    ZTableEntry {
+        z: 2.7,
+        area_from_mean: 0.4965,
+    },
+    ZTableEntry {
+        z: 2.8,
+        area_from_mean: 0.4974,
+    },
+    ZTableEntry {
+        z: 2.9,
+        area_from_mean: 0.4981,
+    },
+    ZTableEntry {
+        z: 3.0,
+        area_from_mean: 0.4987,
+    },
+    ZTableEntry {
+        z: 3.1,
+        area_from_mean: 0.4990,
+    },
+    ZTableEntry {
+        z: 3.2,
+        area_from_mean: 0.4993,
+    },
+    ZTableEntry {
+        z: 3.3,
+        area_from_mean: 0.4995,
+    },
+    ZTableEntry {
+        z: 3.4,
+        area_from_mean: 0.4997,
+    },
+    ZTableEntry {
+        z: 3.5,
+        area_from_mean: 0.4998,
+    },
 ];
 
 /// Looks up the smallest tabulated `z` whose area-from-mean reaches
@@ -143,7 +251,9 @@ pub struct DbsConfig {
 
 impl Default for DbsConfig {
     fn default() -> Self {
-        DbsConfig { target_coverage: 0.93 }
+        DbsConfig {
+            target_coverage: 0.93,
+        }
     }
 }
 
@@ -280,7 +390,9 @@ mod tests {
 
     #[test]
     fn classify_narrow_medium_wide() {
-        let cfg = DbsConfig { target_coverage: 0.90 };
+        let cfg = DbsConfig {
+            target_coverage: 0.90,
+        };
         // z(0.45) ≈ 1.7 → thresholds std ≤ 8/1.7 ≈ 4.7 and std ≤ 16/1.7 ≈ 9.4.
         assert_eq!(cfg.classify_std(2.0), DbsType::Type1);
         assert_eq!(cfg.classify_std(6.0), DbsType::Type2);
@@ -299,8 +411,12 @@ mod tests {
 
     #[test]
     fn higher_target_coverage_never_narrows_the_type() {
-        let lo = DbsConfig { target_coverage: 0.80 };
-        let hi = DbsConfig { target_coverage: 0.99 };
+        let lo = DbsConfig {
+            target_coverage: 0.80,
+        };
+        let hi = DbsConfig {
+            target_coverage: 0.99,
+        };
         for std in [1.0, 3.0, 5.0, 8.0, 12.0, 30.0] {
             let a = lo.classify_std(std);
             let b = hi.classify_std(std);

@@ -45,13 +45,18 @@ const FINE_BINS: usize = 2048;
 /// assert!(q.params().scale < 65.0 / 255.0 / 5.0);
 /// # Ok::<(), panacea_quant::QuantError>(())
 /// ```
+// `!(hi > lo)` deliberately treats NaN bounds as degenerate; partial_cmp
+// would obscure that.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
 pub fn calibrate_entropy(data: &[f32], bits: u8) -> Result<AsymmetricQuantizer, QuantError> {
     if !(2..=16).contains(&bits) {
         return Err(QuantError::UnsupportedBits(bits));
     }
     let (lo, hi) = stats::min_max(data);
     if data.is_empty() || !(hi > lo) {
-        return Err(QuantError::InvalidScale("degenerate calibration data".to_string()));
+        return Err(QuantError::InvalidScale(
+            "degenerate calibration data".to_string(),
+        ));
     }
     let lo = lo.min(0.0);
     let hi = hi.max(0.0);
@@ -82,7 +87,7 @@ pub fn calibrate_entropy(data: &[f32], bits: u8) -> Result<AsymmetricQuantizer, 
         let last = clipped.len() - 1;
         clipped[last] += hist[b1..].iter().sum::<f64>();
         let kl = kl_after_requantize(&clipped, levels);
-        if best.map_or(true, |(b, _, _)| kl < b) {
+        if best.is_none_or(|(b, _, _)| kl < b) {
             best = Some((kl, c_lo, c_hi));
         }
     }
@@ -130,9 +135,12 @@ mod tests {
 
     fn outlier_data(seed: u64) -> Vec<f32> {
         let mut rng = panacea_tensor::seeded_rng(seed);
-        let mut d = DistributionKind::Gaussian { mean: 0.2, std: 0.15 }
-            .sample_matrix(128, 64, &mut rng)
-            .into_vec();
+        let mut d = DistributionKind::Gaussian {
+            mean: 0.2,
+            std: 0.15,
+        }
+        .sample_matrix(128, 64, &mut rng)
+        .into_vec();
         d.extend([30.0, 28.0, -22.0]);
         d
     }
@@ -172,7 +180,10 @@ mod tests {
         let minmax = AsymmetricQuantizer::calibrate(&data, 8);
         let entropy = calibrate_entropy(&data, 8).unwrap();
         let ratio = entropy.params().scale / minmax.params().scale;
-        assert!(ratio > 0.75, "uniform data should not be clipped hard: {ratio}");
+        assert!(
+            ratio > 0.75,
+            "uniform data should not be clipped hard: {ratio}"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ use panacea_tensor::{matrix::MatrixError, Matrix};
 /// assert_eq!(bhat, vec![100 - 10 * (1 - 2), 200 - 10 * (3 + 4)]);
 /// ```
 pub fn fold_zero_point_bias(w_int: &Matrix<i32>, zp_x: i32, bias: &[i32]) -> Vec<i32> {
-    assert_eq!(bias.len(), w_int.rows(), "bias length must match weight rows");
+    assert_eq!(
+        bias.len(),
+        w_int.rows(),
+        "bias length must match weight rows"
+    );
     (0..w_int.rows())
         .map(|m| {
             let row_sum: i64 = w_int.row(m).iter().map(|&w| i64::from(w)).sum();
@@ -53,10 +57,13 @@ pub fn asym_integer_gemm(
     x_uint: &Matrix<i32>,
     bhat: &[i32],
 ) -> Result<Matrix<i32>, MatrixError> {
-    assert_eq!(bhat.len(), w_int.rows(), "folded bias length must match weight rows");
+    assert_eq!(
+        bhat.len(),
+        w_int.rows(),
+        "folded bias length must match weight rows"
+    );
     let mut out = w_int.gemm(x_uint)?;
-    for m in 0..out.rows() {
-        let b = bhat[m];
+    for (m, &b) in bhat.iter().enumerate() {
         for v in out.row_mut(m) {
             *v += b;
         }
@@ -82,8 +89,7 @@ pub fn eq3_both_sides(
     // Left side: W (x − zp) + b, centred activations.
     let x_centered = x_uint.map(|&v| v - zp_x);
     let mut left = w_int.gemm(&x_centered)?;
-    for m in 0..left.rows() {
-        let b = bias[m];
+    for (m, &b) in bias.iter().enumerate() {
         for v in left.row_mut(m) {
             *v += b;
         }

@@ -29,7 +29,11 @@ pub struct OptqConfig {
 
 impl Default for OptqConfig {
     fn default() -> Self {
-        OptqConfig { bits: 4, group_size: None, damping: 0.01 }
+        OptqConfig {
+            bits: 4,
+            group_size: None,
+            damping: 0.01,
+        }
     }
 }
 
@@ -157,11 +161,12 @@ pub fn optq_quantize(
             let g = col / group;
             let end = (col + group).min(k);
             for (m, row_scales) in scales.iter_mut().enumerate() {
-                let max_abs = (col..end)
-                    .map(|c| wf[m * k + c].abs())
-                    .fold(0f64, f64::max);
-                row_scales[g] =
-                    if max_abs > 0.0 { (max_abs / qmax as f64) as f32 } else { 1.0 };
+                let max_abs = (col..end).map(|c| wf[m * k + c].abs()).fold(0f64, f64::max);
+                row_scales[g] = if max_abs > 0.0 {
+                    (max_abs / qmax as f64) as f32
+                } else {
+                    1.0
+                };
             }
         }
         let g = col / group;
@@ -179,7 +184,11 @@ pub fn optq_quantize(
             }
         }
     }
-    Ok(OptqResult { q_weights: q, scales, group_size: group })
+    Ok(OptqResult {
+        q_weights: q,
+        scales,
+        group_size: group,
+    })
 }
 
 /// Baseline: plain round-to-nearest symmetric quantization with the same
@@ -194,25 +203,36 @@ pub fn rtn_quantize(w: &Matrix<f32>, cfg: OptqConfig) -> Result<OptqResult, Quan
     let qmin = -(1i32 << (cfg.bits - 1));
     let n_groups = k.div_ceil(group);
     let mut scales = vec![vec![1f32; n_groups]; w.rows()];
-    for m in 0..w.rows() {
-        for g in 0..n_groups {
+    for (m, row_scales) in scales.iter_mut().enumerate() {
+        for (g, slot) in row_scales.iter_mut().enumerate() {
             let end = ((g + 1) * group).min(k);
-            let max_abs =
-                (g * group..end).map(|c| w[(m, c)].abs()).fold(0f32, f32::max);
-            scales[m][g] = if max_abs > 0.0 { max_abs / qmax as f32 } else { 1.0 };
+            let max_abs = (g * group..end)
+                .map(|c| w[(m, c)].abs())
+                .fold(0f32, f32::max);
+            *slot = if max_abs > 0.0 {
+                max_abs / qmax as f32
+            } else {
+                1.0
+            };
         }
     }
     let q = Matrix::from_fn(w.rows(), k, |m, c| {
         ((w[(m, c)] / scales[m][c / group]).round() as i32).clamp(qmin, qmax)
     });
-    Ok(OptqResult { q_weights: q, scales, group_size: group })
+    Ok(OptqResult {
+        q_weights: q,
+        scales,
+        group_size: group,
+    })
 }
 
 /// Layer-output squared error `‖(W − Ŵ) X‖²` — the objective OPTQ
 /// minimizes; used to verify OPTQ beats RTN.
 pub fn layer_output_error(w: &Matrix<f32>, w_hat: &Matrix<f32>, x: &Matrix<f32>) -> f64 {
     let diff = Matrix::from_fn(w.rows(), w.cols(), |m, c| w[(m, c)] - w_hat[(m, c)]);
-    let e = diff.gemm_f32(x).expect("shape mismatch in layer_output_error");
+    let e = diff
+        .gemm_f32(x)
+        .expect("shape mismatch in layer_output_error");
     e.iter().map(|&v| f64::from(v).powi(2)).sum()
 }
 
@@ -294,7 +314,11 @@ mod tests {
 
     fn setup(k: usize, m: usize, n: usize, seed: u64) -> (Matrix<f32>, Matrix<f32>) {
         let mut rng = panacea_tensor::seeded_rng(seed);
-        let w = DistributionKind::Gaussian { mean: 0.0, std: 0.05 }.sample_matrix(m, k, &mut rng);
+        let w = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 0.05,
+        }
+        .sample_matrix(m, k, &mut rng);
         let x = DistributionKind::OutlierChannels {
             core_std: 1.0,
             outlier_scale: 8.0,
@@ -307,7 +331,11 @@ mod tests {
     #[test]
     fn optq_beats_rtn_on_layer_output_error() {
         let (w, x) = setup(32, 16, 64, 21);
-        let cfg = OptqConfig { bits: 3, group_size: None, damping: 0.01 };
+        let cfg = OptqConfig {
+            bits: 3,
+            group_size: None,
+            damping: 0.01,
+        };
         let optq = optq_quantize(&w, &x, cfg).unwrap();
         let rtn = rtn_quantize(&w, cfg).unwrap();
         let e_optq = layer_output_error(&w, &optq.dequantize(), &x);
@@ -322,11 +350,22 @@ mod tests {
     fn optq_codes_stay_in_range() {
         let (w, x) = setup(24, 8, 48, 3);
         for bits in [2u8, 4, 7] {
-            let r = optq_quantize(&w, &x, OptqConfig { bits, group_size: None, damping: 0.01 })
-                .unwrap();
+            let r = optq_quantize(
+                &w,
+                &x,
+                OptqConfig {
+                    bits,
+                    group_size: None,
+                    damping: 0.01,
+                },
+            )
+            .unwrap();
             let lo = -(1i32 << (bits - 1));
             let hi = (1i32 << (bits - 1)) - 1;
-            assert!(r.q_weights.iter().all(|&q| (lo..=hi).contains(&q)), "bits={bits}");
+            assert!(
+                r.q_weights.iter().all(|&q| (lo..=hi).contains(&q)),
+                "bits={bits}"
+            );
         }
     }
 
@@ -336,7 +375,11 @@ mod tests {
         let r = optq_quantize(
             &w,
             &x,
-            OptqConfig { bits: 4, group_size: Some(8), damping: 0.01 },
+            OptqConfig {
+                bits: 4,
+                group_size: Some(8),
+                damping: 0.01,
+            },
         )
         .unwrap();
         assert_eq!(r.scales[0].len(), 4);
@@ -349,7 +392,11 @@ mod tests {
         let r = optq_quantize(
             &w,
             &x,
-            OptqConfig { bits: 12, group_size: None, damping: 0.01 },
+            OptqConfig {
+                bits: 12,
+                group_size: None,
+                damping: 0.01,
+            },
         )
         .unwrap();
         let err = layer_output_error(&w, &r.dequantize(), &x);
@@ -359,14 +406,26 @@ mod tests {
             .iter()
             .map(|&v| f64::from(v).powi(2))
             .sum();
-        assert!(err / sig < 1e-4, "relative error {} too high at 12 bits", err / sig);
+        assert!(
+            err / sig < 1e-4,
+            "relative error {} too high at 12 bits",
+            err / sig
+        );
     }
 
     #[test]
     fn unsupported_bits_rejected() {
         let (w, x) = setup(8, 4, 8, 1);
         assert!(matches!(
-            optq_quantize(&w, &x, OptqConfig { bits: 1, group_size: None, damping: 0.01 }),
+            optq_quantize(
+                &w,
+                &x,
+                OptqConfig {
+                    bits: 1,
+                    group_size: None,
+                    damping: 0.01
+                }
+            ),
             Err(QuantError::UnsupportedBits(1))
         ));
     }
@@ -375,7 +434,11 @@ mod tests {
     fn zero_weight_matrix_quantizes_to_zero() {
         let w = Matrix::<f32>::zeros(4, 8);
         let mut rng = panacea_tensor::seeded_rng(2);
-        let x = DistributionKind::Gaussian { mean: 0.0, std: 1.0 }.sample_matrix(8, 16, &mut rng);
+        let x = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .sample_matrix(8, 16, &mut rng);
         let r = optq_quantize(&w, &x, OptqConfig::default()).unwrap();
         assert!(r.q_weights.iter().all(|&q| q == 0));
     }

@@ -57,7 +57,11 @@ impl PerChannelWeights {
                 codes[(m, k)] = q.quantize(w[(m, k)]);
             }
         }
-        Ok(PerChannelWeights { codes, scales, bits })
+        Ok(PerChannelWeights {
+            codes,
+            scales,
+            bits,
+        })
     }
 
     /// The integer codes (`M × K`).
@@ -101,7 +105,11 @@ mod tests {
     fn ragged_weights(seed: u64) -> Matrix<f32> {
         // Rows with wildly different magnitudes.
         let mut rng = panacea_tensor::seeded_rng(seed);
-        let base = DistributionKind::Gaussian { mean: 0.0, std: 1.0 }.sample_matrix(16, 32, &mut rng);
+        let base = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .sample_matrix(16, 32, &mut rng);
         Matrix::from_fn(16, 32, |m, k| base[(m, k)] * 10f32.powi((m % 4) as i32 - 2))
     }
 
@@ -113,7 +121,10 @@ mod tests {
         let pt_deq = w.map(|&v| pt.dequantize(pt.quantize(v)));
         let e_pc = pc.reconstruction_mse(&w);
         let e_pt = panacea_tensor::stats::mse(w.as_slice(), pt_deq.as_slice());
-        assert!(e_pc < e_pt / 2.0, "per-channel {e_pc} should beat per-tensor {e_pt}");
+        assert!(
+            e_pc < e_pt / 2.0,
+            "per-channel {e_pc} should beat per-tensor {e_pt}"
+        );
     }
 
     #[test]
@@ -122,7 +133,10 @@ mod tests {
         for bits in [4u8, 7, 8] {
             let pc = PerChannelWeights::quantize(&w, bits).unwrap();
             let hi = (1i32 << (bits - 1)) - 1;
-            assert!(pc.codes().iter().all(|&c| (-hi - 1..=hi).contains(&c)), "bits={bits}");
+            assert!(
+                pc.codes().iter().all(|&c| (-hi - 1..=hi).contains(&c)),
+                "bits={bits}"
+            );
         }
     }
 

@@ -132,7 +132,12 @@ impl SymmetricQuantizer {
             return Err(QuantError::InvalidScale(format!("{scale}")));
         }
         Ok(SymmetricQuantizer {
-            params: QuantParams { scale, zero_point: 0, bits, signed: true },
+            params: QuantParams {
+                scale,
+                zero_point: 0,
+                bits,
+                signed: true,
+            },
         })
     }
 
@@ -149,9 +154,18 @@ impl SymmetricQuantizer {
         assert!((2..=16).contains(&bits), "unsupported bit-width {bits}");
         let max_abs = data.iter().fold(0f32, |acc, &v| acc.max(v.abs()));
         let denom = ((1u32 << bits) - 1) as f32;
-        let scale = if max_abs > 0.0 { 2.0 * max_abs / denom } else { 1.0 };
+        let scale = if max_abs > 0.0 {
+            2.0 * max_abs / denom
+        } else {
+            1.0
+        };
         SymmetricQuantizer {
-            params: QuantParams { scale, zero_point: 0, bits, signed: true },
+            params: QuantParams {
+                scale,
+                zero_point: 0,
+                bits,
+                signed: true,
+            },
         }
     }
 }
@@ -232,10 +246,19 @@ impl AsymmetricQuantizer {
         let lo = lo.min(0.0);
         let hi = hi.max(0.0);
         let qmax = (1i32 << bits) - 1;
-        let scale = if hi > lo { (hi - lo) / qmax as f32 } else { 1.0 };
+        let scale = if hi > lo {
+            (hi - lo) / qmax as f32
+        } else {
+            1.0
+        };
         let zp = round_ties_away(-lo / scale).clamp(0, qmax);
         AsymmetricQuantizer {
-            params: QuantParams { scale, zero_point: zp, bits, signed: false },
+            params: QuantParams {
+                scale,
+                zero_point: zp,
+                bits,
+                signed: false,
+            },
         }
     }
 
@@ -253,10 +276,19 @@ impl AsymmetricQuantizer {
         let lo = stats::percentile(data, 100.0 - q).min(0.0);
         let hi = stats::percentile(data, q).max(0.0);
         let qmax = (1i32 << bits) - 1;
-        let scale = if hi > lo { (hi - lo) / qmax as f32 } else { 1.0 };
+        let scale = if hi > lo {
+            (hi - lo) / qmax as f32
+        } else {
+            1.0
+        };
         let zp = round_ties_away(-lo / scale).clamp(0, qmax);
         AsymmetricQuantizer {
-            params: QuantParams { scale, zero_point: zp, bits, signed: false },
+            params: QuantParams {
+                scale,
+                zero_point: zp,
+                bits,
+                signed: false,
+            },
         }
     }
 
@@ -369,15 +401,23 @@ mod tests {
     #[test]
     fn asymmetric_beats_symmetric_on_one_sided_data() {
         let mut rng = panacea_tensor::seeded_rng(3);
-        let data = DistributionKind::AsymmetricGaussian { mean: 2.0, std: 0.5, skew: 0.1 }
-            .sample_matrix(64, 64, &mut rng);
+        let data = DistributionKind::AsymmetricGaussian {
+            mean: 2.0,
+            std: 0.5,
+            skew: 0.1,
+        }
+        .sample_matrix(64, 64, &mut rng);
         let sym = SymmetricQuantizer::calibrate(data.as_slice(), 8);
         let asym = AsymmetricQuantizer::calibrate(data.as_slice(), 8);
-        let err = |deq: Vec<f32>| -> f64 {
-            panacea_tensor::stats::mse(data.as_slice(), &deq)
-        };
-        let e_sym = err(data.iter().map(|&x| sym.dequantize(sym.quantize(x))).collect());
-        let e_asym = err(data.iter().map(|&x| asym.dequantize(asym.quantize(x))).collect());
+        let err = |deq: Vec<f32>| -> f64 { panacea_tensor::stats::mse(data.as_slice(), &deq) };
+        let e_sym = err(data
+            .iter()
+            .map(|&x| sym.dequantize(sym.quantize(x)))
+            .collect());
+        let e_asym = err(data
+            .iter()
+            .map(|&x| asym.dequantize(asym.quantize(x)))
+            .collect());
         assert!(
             e_asym < e_sym,
             "asymmetric MSE {e_asym} should beat symmetric {e_sym} on one-sided data"
@@ -387,8 +427,7 @@ mod tests {
     #[test]
     fn quantize_matrix_round_trip_error_bounded_by_half_step() {
         let mut rng = panacea_tensor::seeded_rng(11);
-        let data =
-            DistributionKind::Uniform { lo: -2.0, hi: 6.0 }.sample_matrix(32, 32, &mut rng);
+        let data = DistributionKind::Uniform { lo: -2.0, hi: 6.0 }.sample_matrix(32, 32, &mut rng);
         let q = AsymmetricQuantizer::calibrate(data.as_slice(), 8);
         let qm = q.quantize_matrix(&data);
         let deq = q.dequantize_matrix(&qm);
@@ -402,9 +441,12 @@ mod tests {
     fn percentile_calibration_improves_bulk_resolution() {
         let mut rng = panacea_tensor::seeded_rng(21);
         // Near-zero bulk plus a handful of extreme outliers.
-        let mut data = DistributionKind::Gaussian { mean: 0.2, std: 0.1 }
-            .sample_matrix(64, 64, &mut rng)
-            .into_vec();
+        let mut data = DistributionKind::Gaussian {
+            mean: 0.2,
+            std: 0.1,
+        }
+        .sample_matrix(64, 64, &mut rng)
+        .into_vec();
         data.extend([25.0, -18.0, 30.0]);
         let minmax = AsymmetricQuantizer::calibrate(&data, 8);
         let clipped = AsymmetricQuantizer::calibrate_percentile(&data, 8, 99.9);

@@ -49,7 +49,12 @@ impl Requantizer {
             r /= 2.0;
             shift -= 1;
         }
-        Ok(Requantizer { input_scale, output, mantissa: r.round() as i64, shift })
+        Ok(Requantizer {
+            input_scale,
+            output,
+            mantissa: r.round() as i64,
+            shift,
+        })
     }
 
     /// The output quantizer this requantizer targets.
@@ -59,7 +64,8 @@ impl Requantizer {
 
     /// Float-reference requantization.
     pub fn requantize_ref(&self, acc: i32) -> i32 {
-        self.output.quantize((f64::from(acc) * self.input_scale) as f32)
+        self.output
+            .quantize((f64::from(acc) * self.input_scale) as f32)
     }
 
     /// Fixed-point requantization as the PPU hardware computes it:
@@ -71,7 +77,11 @@ impl Requantizer {
             prod
         } else {
             let bias = 1i64 << (self.shift - 1);
-            if prod >= 0 { (prod + bias) >> self.shift } else { -((-prod + bias) >> self.shift) }
+            if prod >= 0 {
+                (prod + bias) >> self.shift
+            } else {
+                -((-prod + bias) >> self.shift)
+            }
         };
         let p = self.output.params();
         (rounded + i64::from(p.zero_point)).clamp(0, i64::from(p.qmax())) as i32

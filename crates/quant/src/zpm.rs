@@ -61,7 +61,10 @@ pub struct ZpmResult {
 /// assert_eq!((z.skip_lo, z.skip_hi), (160, 175));
 /// ```
 pub fn manipulate_zero_point(zp: i32, bits: u8, lo_bits: u8) -> ZpmResult {
-    assert!(lo_bits < bits, "LO width {lo_bits} must be below total width {bits}");
+    assert!(
+        lo_bits < bits,
+        "LO width {lo_bits} must be below total width {bits}"
+    );
     assert!(bits <= 16, "unsupported bit-width {bits}");
     let step = 1i32 << lo_bits;
     let half = step / 2;
@@ -174,7 +177,11 @@ mod tests {
             for zp in 0..=255 {
                 let z = manipulate_zero_point(zp, 8, lo_bits);
                 assert!(z.skip_lo >= 0);
-                assert!(z.skip_hi <= 255, "lo_bits={lo_bits} zp={zp} hi={}", z.skip_hi);
+                assert!(
+                    z.skip_hi <= 255,
+                    "lo_bits={lo_bits} zp={zp} hi={}",
+                    z.skip_hi
+                );
             }
         }
     }

@@ -1,0 +1,269 @@
+//! Dynamic batching: coalescing queued requests into one wide GEMM.
+//!
+//! AQS-GEMM amortizes its per-tile preparation (slice loading, RLE
+//! decode, compensation setup) over the `N` dimension, so serving
+//! throughput grows when independent requests' activation columns ride in
+//! one call. The batcher groups queued jobs that target the *same*
+//! prepared model (pointer identity, so a re-registered model never mixes
+//! with its predecessor) up to a column budget, and the executor splits
+//! the accumulators back per request — bit-exactly, because the GEMM is
+//! element-exact under any column grouping.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use panacea_tensor::Matrix;
+
+use crate::metrics::Metrics;
+use crate::model::PreparedModel;
+use crate::InferenceOutput;
+
+/// Batching policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Column budget per batch: a batch closes once the coalesced
+    /// requests reach this many activation columns.
+    pub max_batch: usize,
+    /// How long the oldest queued request may wait for companions before
+    /// the batch is dispatched anyway.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One queued request: codes, the resolved model handle, the response
+/// channel, and the enqueue timestamp latency is measured from.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub(crate) model: Arc<PreparedModel>,
+    pub(crate) codes: Matrix<i32>,
+    pub(crate) responder: mpsc::Sender<InferenceOutput>,
+    pub(crate) enqueued_at: Instant,
+}
+
+/// A dispatchable group of same-model jobs.
+#[derive(Debug)]
+pub(crate) struct Batch {
+    pub(crate) model: Arc<PreparedModel>,
+    pub(crate) jobs: Vec<Job>,
+}
+
+/// Total queued columns targeting the queue head's model — what the
+/// worker compares against [`BatchPolicy::max_batch`] when deciding
+/// whether to keep waiting.
+pub(crate) fn head_model_cols(queue: &VecDeque<Job>) -> usize {
+    let Some(head) = queue.front() else { return 0 };
+    queue
+        .iter()
+        .filter(|j| Arc::ptr_eq(&j.model, &head.model))
+        .map(|j| j.codes.cols())
+        .sum()
+}
+
+/// Whether every queued job targets the queue head's model. Workers only
+/// linger for companions while this holds: once a *different* model is
+/// waiting behind the head, lingering would head-of-line-block it, so
+/// the head batch dispatches immediately and frees the queue.
+pub(crate) fn queue_is_single_model(queue: &VecDeque<Job>) -> bool {
+    let Some(head) = queue.front() else {
+        return true;
+    };
+    queue.iter().all(|j| Arc::ptr_eq(&j.model, &head.model))
+}
+
+/// Removes the head job plus every queued job for the same model, in
+/// arrival order, until the column budget is filled. Jobs for other
+/// models keep their relative order.
+pub(crate) fn take_batch(queue: &mut VecDeque<Job>, max_batch: usize) -> Option<Batch> {
+    let head = queue.pop_front()?;
+    let model = Arc::clone(&head.model);
+    let mut cols = head.codes.cols();
+    let mut jobs = vec![head];
+    let mut i = 0;
+    while i < queue.len() && cols < max_batch {
+        if Arc::ptr_eq(&queue[i].model, &model) {
+            let job = queue.remove(i).expect("index in bounds");
+            cols += job.codes.cols();
+            jobs.push(job);
+        } else {
+            i += 1;
+        }
+    }
+    Some(Batch { model, jobs })
+}
+
+/// Executes a batch: one coalesced forward pass, split back per request,
+/// responses sent, metrics recorded. Requests whose receiver has been
+/// dropped are completed and counted but their send is ignored.
+pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
+    let Batch { model, jobs } = batch;
+    let refs: Vec<&Matrix<i32>> = jobs.iter().map(|j| &j.codes).collect();
+    let total_cols: usize = refs.iter().map(|m| m.cols()).sum();
+
+    let started = Instant::now();
+    let (outputs, workload) = model.forward_batch(&refs);
+    let compute = started.elapsed();
+
+    let done = Instant::now();
+    let latencies: Vec<Duration> = jobs
+        .iter()
+        .map(|j| done.duration_since(j.enqueued_at))
+        .collect();
+    // Record before answering: a caller that observes its response must
+    // also observe this batch in the metrics.
+    let batch_max_latency = latencies.iter().copied().max().unwrap_or(Duration::ZERO);
+    metrics.record_batch(
+        jobs.len(),
+        total_cols,
+        &workload,
+        compute,
+        batch_max_latency,
+    );
+    for ((job, out), latency) in jobs.iter().zip(outputs).zip(latencies) {
+        // A dropped receiver just means the caller stopped waiting.
+        let _ = job.responder.send(InferenceOutput {
+            acc: out,
+            scale: model.output_scale(),
+            workload,
+            batched_cols: total_cols,
+            latency,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LayerSpec, PrepareOptions, PreparedModel};
+    use panacea_tensor::dist::DistributionKind;
+
+    fn prepared(seed: u64) -> Arc<PreparedModel> {
+        let mut rng = panacea_tensor::seeded_rng(seed);
+        let w = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 0.05,
+        }
+        .sample_matrix(8, 16, &mut rng);
+        let calib = DistributionKind::Gaussian {
+            mean: 0.2,
+            std: 0.5,
+        }
+        .sample_matrix(16, 16, &mut rng);
+        Arc::new(
+            PreparedModel::prepare(
+                "m",
+                &[LayerSpec::unbiased(w)],
+                &calib,
+                PrepareOptions::default(),
+            )
+            .expect("prepare"),
+        )
+    }
+
+    fn job(model: &Arc<PreparedModel>, cols: usize) -> (Job, mpsc::Receiver<InferenceOutput>) {
+        let (tx, rx) = mpsc::channel();
+        let codes = Matrix::from_fn(model.in_features(), cols, |r, c| {
+            ((r * 31 + c * 7) % 200) as i32
+        });
+        (
+            Job {
+                model: Arc::clone(model),
+                codes,
+                responder: tx,
+                enqueued_at: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn take_batch_groups_by_model_identity() {
+        let a = prepared(1);
+        let b = prepared(2);
+        let mut queue = VecDeque::new();
+        let (ja1, _r1) = job(&a, 2);
+        let (jb, _r2) = job(&b, 2);
+        let (ja2, _r3) = job(&a, 3);
+        queue.extend([ja1, jb, ja2]);
+        assert_eq!(head_model_cols(&queue), 5);
+        let batch = take_batch(&mut queue, 32).expect("non-empty");
+        assert_eq!(batch.jobs.len(), 2);
+        assert!(Arc::ptr_eq(&batch.model, &a));
+        // The other model's job stays queued at the head.
+        assert_eq!(queue.len(), 1);
+        assert!(Arc::ptr_eq(&queue[0].model, &b));
+    }
+
+    #[test]
+    fn take_batch_respects_column_budget() {
+        let a = prepared(3);
+        let mut queue = VecDeque::new();
+        let mut rxs = Vec::new();
+        for _ in 0..6 {
+            let (j, rx) = job(&a, 4);
+            queue.push_back(j);
+            rxs.push(rx);
+        }
+        // Budget 10: head (4) + one more (8) still < 10, third reaches 12.
+        let batch = take_batch(&mut queue, 10).expect("non-empty");
+        assert_eq!(batch.jobs.len(), 3);
+        assert_eq!(queue.len(), 3);
+    }
+
+    #[test]
+    fn empty_queue_yields_no_batch() {
+        let mut queue: VecDeque<Job> = VecDeque::new();
+        assert!(take_batch(&mut queue, 8).is_none());
+        assert_eq!(head_model_cols(&queue), 0);
+    }
+
+    #[test]
+    fn execute_answers_every_job_bit_exactly() {
+        let a = prepared(4);
+        let mut queue = VecDeque::new();
+        let mut rxs = Vec::new();
+        for cols in [1usize, 3, 5] {
+            let (j, rx) = job(&a, cols);
+            queue.push_back(j);
+            rxs.push(rx);
+        }
+        let singles: Vec<Matrix<i32>> = queue.iter().map(|j| a.forward_codes(&j.codes).0).collect();
+        let metrics = Metrics::default();
+        let batch = take_batch(&mut queue, 64).expect("non-empty");
+        execute(batch, &metrics);
+        for (rx, alone) in rxs.iter().zip(singles) {
+            let out = rx.try_recv().expect("answered");
+            assert_eq!(out.acc, alone);
+            assert_eq!(out.batched_cols, 9);
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.columns, 9);
+    }
+
+    #[test]
+    fn execute_survives_dropped_receivers() {
+        let a = prepared(5);
+        let (j, rx) = job(&a, 2);
+        drop(rx);
+        let metrics = Metrics::default();
+        execute(
+            Batch {
+                model: Arc::clone(&a),
+                jobs: vec![j],
+            },
+            &metrics,
+        );
+        assert_eq!(metrics.snapshot().requests, 1);
+    }
+}

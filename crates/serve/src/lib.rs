@@ -1,0 +1,156 @@
+//! `panacea-serve` — a batched, multi-threaded AQS inference runtime.
+//!
+//! The rest of the workspace reproduces the Panacea paper's *algorithms*:
+//! asymmetric quantization, bit-slice compression, and the AQS-GEMM that
+//! executes one layer for one caller. This crate adds the *serving* layer
+//! a production deployment needs, exploiting two structural properties of
+//! the AQS flow:
+//!
+//! 1. **Preparation amortizes.** Weight slicing, calibration, ZPM/DBS and
+//!    zero-point folding are expensive but happen once per model. A
+//!    [`PreparedModel`] is immutable after preparation and is shared
+//!    across threads by [`ModelRegistry`] behind an [`Arc`](std::sync::Arc).
+//! 2. **Width amortizes.** AQS-GEMM's per-tile preparation is amortized
+//!    over the `N` dimension, and the GEMM is element-exact under any
+//!    column grouping — so independent requests can be coalesced into one
+//!    wide call and split back **bit-exactly**. The [`Runtime`]'s workers
+//!    do precisely that, governed by [`BatchPolicy`]'s `max_batch` column
+//!    budget and `max_wait` linger.
+//!
+//! ```text
+//!  submit()──▶ queue ──▶ worker: linger ≤ max_wait, coalesce ≤ max_batch
+//!                          │ hstack columns      (same PreparedModel)
+//!                          ▼
+//!                    AQS-GEMM chain  ──▶ split_cols ──▶ per-request reply
+//! ```
+//!
+//! Shutdown is clean by construction: dropping the [`Runtime`] stops
+//! intake, drains every accepted request, and joins all workers.
+
+pub mod batch;
+pub mod metrics;
+pub mod model;
+pub mod runtime;
+
+use std::fmt;
+use std::time::Duration;
+
+use panacea_core::pipeline::PipelineError;
+use panacea_core::Workload;
+use panacea_tensor::Matrix;
+
+pub use batch::BatchPolicy;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use model::{LayerSpec, ModelRegistry, PrepareOptions, PreparedModel};
+pub use runtime::{Pending, Runtime, RuntimeConfig};
+
+/// A completed request: the final integer accumulators plus serving
+/// telemetry.
+#[derive(Debug, Clone)]
+pub struct InferenceOutput {
+    /// Final-layer accumulators for this request's columns (`M × N_req`),
+    /// bit-identical to running the request alone.
+    pub acc: Matrix<i32>,
+    /// Scale converting `acc` to floats (`acc · scale ≈ W·x + b`).
+    pub scale: f64,
+    /// AQS workload of the *whole* batch this request rode in.
+    pub workload: Workload,
+    /// Total columns in that batch (≥ this request's columns).
+    pub batched_cols: usize,
+    /// Queue-to-response latency for this request.
+    pub latency: Duration,
+}
+
+impl InferenceOutput {
+    /// Dequantizes the accumulators into floats.
+    pub fn to_f32(&self) -> Matrix<f32> {
+        self.acc.map(|&v| (f64::from(v) * self.scale) as f32)
+    }
+}
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The requested model name is not registered.
+    UnknownModel {
+        /// The name that failed to resolve.
+        model: String,
+    },
+    /// A model was prepared with zero layers.
+    EmptyModel {
+        /// The offending model name.
+        model: String,
+    },
+    /// Feature-dimension mismatch (layer chain or request codes).
+    Shape {
+        /// Expected feature count.
+        expected: usize,
+        /// Provided feature count.
+        actual: usize,
+    },
+    /// A request carried zero activation columns.
+    EmptyRequest,
+    /// A layer's output rows are not a multiple of the PE array's vector
+    /// width, so the accelerator model cannot execute it.
+    UnalignedRows {
+        /// The offending row count.
+        rows: usize,
+    },
+    /// Request codes exceed the model's calibrated activation format.
+    CodesOutOfRange {
+        /// Largest representable code.
+        max: i32,
+    },
+    /// The runtime is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The runtime terminated before answering (never happens under
+    /// clean shutdown, which drains the queue).
+    WorkerLost,
+    /// Quantization/slicing failed during model preparation.
+    Pipeline(PipelineError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel { model } => write!(f, "unknown model {model:?}"),
+            ServeError::EmptyModel { model } => {
+                write!(f, "model {model:?} has no layers")
+            }
+            ServeError::Shape { expected, actual } => {
+                write!(
+                    f,
+                    "feature dimension mismatch: expected {expected}, got {actual}"
+                )
+            }
+            ServeError::EmptyRequest => write!(f, "request has zero activation columns"),
+            ServeError::UnalignedRows { rows } => {
+                write!(
+                    f,
+                    "layer output rows {rows} must be a multiple of the PE vector width"
+                )
+            }
+            ServeError::CodesOutOfRange { max } => {
+                write!(f, "request codes exceed the calibrated format (max {max})")
+            }
+            ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            ServeError::WorkerLost => write!(f, "runtime terminated before answering"),
+            ServeError::Pipeline(e) => write!(f, "model preparation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}

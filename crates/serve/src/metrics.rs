@@ -1,0 +1,126 @@
+//! Aggregated serving metrics: request/batch counts, coalesced columns,
+//! summed AQS workload, and latency extremes.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use panacea_core::Workload;
+
+/// A point-in-time copy of the runtime's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests completed.
+    pub requests: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Activation columns processed (the GEMM `N` work actually served).
+    pub columns: u64,
+    /// Summed AQS workload over every dispatched batch.
+    pub workload: Workload,
+    /// Total on-worker compute time across batches.
+    pub compute_time: Duration,
+    /// Worst queue-to-response latency seen so far.
+    pub max_latency: Duration,
+    /// Widest batch (in columns) dispatched so far.
+    pub widest_batch: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean columns per batch — the effective batching factor.
+    pub fn mean_batch_cols(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.columns as f64 / self.batches as f64
+        }
+    }
+
+    /// Served columns per second of worker compute time.
+    pub fn columns_per_second(&self) -> f64 {
+        let secs = self.compute_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.columns as f64 / secs
+        }
+    }
+}
+
+/// Shared mutable counters, updated once per dispatched batch.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl Metrics {
+    /// Records one completed batch.
+    pub(crate) fn record_batch(
+        &self,
+        requests: usize,
+        columns: usize,
+        workload: &Workload,
+        compute: Duration,
+        max_latency: Duration,
+    ) {
+        let mut m = self.inner.lock().expect("metrics lock poisoned");
+        m.requests += requests as u64;
+        m.batches += 1;
+        m.columns += columns as u64;
+        m.workload = m.workload.merged(workload);
+        m.compute_time += compute;
+        m.max_latency = m.max_latency.max(max_latency);
+        m.widest_batch = m.widest_batch.max(columns as u64);
+    }
+
+    /// Copies out the current counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        *self.inner.lock().expect("metrics lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_accumulate() {
+        let m = Metrics::default();
+        let wl = Workload {
+            mul: 10,
+            add: 20,
+            ema_slices: 5,
+            comp_mul: 1,
+            comp_add: 2,
+        };
+        m.record_batch(
+            3,
+            12,
+            &wl,
+            Duration::from_millis(4),
+            Duration::from_millis(9),
+        );
+        m.record_batch(
+            1,
+            4,
+            &wl,
+            Duration::from_millis(2),
+            Duration::from_millis(3),
+        );
+        let s = m.snapshot();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.columns, 16);
+        assert_eq!(s.workload.mul, 20);
+        assert_eq!(s.max_latency, Duration::from_millis(9));
+        assert_eq!(s.widest_batch, 12);
+        assert!((s.mean_batch_cols() - 8.0).abs() < 1e-12);
+        assert!(s.columns_per_second() > 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot_has_safe_ratios() {
+        let s = Metrics::default().snapshot();
+        assert_eq!(s.mean_batch_cols(), 0.0);
+        assert_eq!(s.columns_per_second(), 0.0);
+    }
+}

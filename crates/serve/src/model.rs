@@ -1,0 +1,517 @@
+//! Prepared models and the registry that shares them across workers.
+//!
+//! Preparation — weight quantization, SBR slicing, activation calibration,
+//! zero-point folding, requantizer construction — is the expensive,
+//! one-time half of the Panacea inference flow. A [`PreparedModel`] runs
+//! it exactly once per model and is then immutable, so the runtime shares
+//! it across worker threads behind an [`Arc`] and every request pays only
+//! the cheap half: one AQS-GEMM chain over its activation columns.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use panacea_bitslice::VECTOR_LEN;
+use panacea_core::pipeline::{pad_cols_to_vector_len, run_coalesced, QuantizedLinear};
+use panacea_core::Workload;
+use panacea_models::engine::CapturedLayer;
+use panacea_quant::dbs::DbsConfig;
+use panacea_quant::{ActivationCalibrator, LayerQuantConfig, Quantizer};
+use panacea_tensor::Matrix;
+
+use crate::ServeError;
+
+/// One float layer of a model to prepare: weights `M × K` and a bias of
+/// length `M`.
+#[derive(Debug, Clone)]
+pub struct LayerSpec {
+    /// Weight matrix (`M × K`).
+    pub weight: Matrix<f32>,
+    /// Bias (`M` entries).
+    pub bias: Vec<f32>,
+}
+
+impl LayerSpec {
+    /// A layer with a zero bias.
+    pub fn unbiased(weight: Matrix<f32>) -> Self {
+        let bias = vec![0.0; weight.rows()];
+        LayerSpec { weight, bias }
+    }
+}
+
+/// Quantization knobs applied during preparation.
+#[derive(Debug, Clone, Copy)]
+pub struct PrepareOptions {
+    /// Weight bit-width (SBR format family, e.g. 4 or 7).
+    pub w_bits: u8,
+    /// Apply zero-point manipulation during calibration.
+    pub zpm: bool,
+    /// Apply distribution-based bit-slicing during calibration.
+    pub dbs: bool,
+}
+
+impl Default for PrepareOptions {
+    fn default() -> Self {
+        PrepareOptions {
+            w_bits: 7,
+            zpm: true,
+            dbs: true,
+        }
+    }
+}
+
+/// A fully prepared linear chain: every layer's weights are sliced, every
+/// activation format calibrated, and adjacent layers are glued by
+/// requantizers so codes flow end to end without leaving the integer
+/// domain.
+#[derive(Debug, Clone)]
+pub struct PreparedModel {
+    name: String,
+    layers: Vec<QuantizedLinear>,
+    input_cfg: LayerQuantConfig,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl PreparedModel {
+    /// Prepares a linear chain from float layers.
+    ///
+    /// `calibration` is a `K × N` activation sample for the first layer's
+    /// input; later layers are calibrated on the float reference
+    /// intermediates it induces (`W·x + b` per layer), mirroring how PTQ
+    /// calibration observes real intermediate tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::EmptyModel`] for zero layers,
+    /// [`ServeError::Shape`] if adjacent layers disagree on width or the
+    /// calibration sample has the wrong feature count, and forwards
+    /// quantization failures as [`ServeError::Pipeline`].
+    pub fn prepare(
+        name: impl Into<String>,
+        layers: &[LayerSpec],
+        calibration: &Matrix<f32>,
+        opts: PrepareOptions,
+    ) -> Result<Self, ServeError> {
+        let name = name.into();
+        let Some(first) = layers.first() else {
+            return Err(ServeError::EmptyModel { model: name });
+        };
+        if calibration.rows() != first.weight.cols() {
+            return Err(ServeError::Shape {
+                expected: first.weight.cols(),
+                actual: calibration.rows(),
+            });
+        }
+        for pair in layers.windows(2) {
+            if pair[1].weight.cols() != pair[0].weight.rows() {
+                return Err(ServeError::Shape {
+                    expected: pair[0].weight.rows(),
+                    actual: pair[1].weight.cols(),
+                });
+            }
+        }
+        // The PE array emits output rows in vectors of VECTOR_LEN, so
+        // every layer's M must align; catching it here turns a worker
+        // panic at forward time into a preparation error.
+        for spec in layers {
+            if spec.weight.rows() % VECTOR_LEN != 0 {
+                return Err(ServeError::UnalignedRows {
+                    rows: spec.weight.rows(),
+                });
+            }
+        }
+
+        // Calibrate every layer input on the float reference chain.
+        let calibrate = |x: &Matrix<f32>| {
+            let mut cal = ActivationCalibrator::new(8).with_zpm(opts.zpm);
+            if opts.dbs {
+                cal = cal.with_dbs(DbsConfig::default());
+            }
+            cal.observe(x);
+            cal.finalize()
+        };
+        let mut configs = Vec::with_capacity(layers.len());
+        let mut x = calibration.clone();
+        for spec in layers {
+            configs.push(calibrate(&x));
+            let mut next = spec.weight.gemm_f32(&x).map_err(|_| ServeError::Shape {
+                expected: spec.weight.cols(),
+                actual: x.rows(),
+            })?;
+            for m in 0..next.rows() {
+                for n in 0..next.cols() {
+                    next[(m, n)] += spec.bias[m];
+                }
+            }
+            x = next;
+        }
+
+        let mut prepared = Vec::with_capacity(layers.len());
+        for (i, spec) in layers.iter().enumerate() {
+            let mut layer =
+                QuantizedLinear::prepare(&spec.weight, &spec.bias, opts.w_bits, configs[i])
+                    .map_err(ServeError::Pipeline)?;
+            if i + 1 < layers.len() {
+                layer = layer
+                    .with_output(configs[i + 1])
+                    .map_err(ServeError::Pipeline)?;
+            }
+            prepared.push(layer);
+        }
+        Ok(PreparedModel {
+            name,
+            input_cfg: configs[0],
+            in_features: first.weight.cols(),
+            out_features: layers.last().expect("non-empty").weight.rows(),
+            layers: prepared,
+        })
+    }
+
+    /// Prepares a single-layer model from a [`CapturedLayer`] recorded by
+    /// the transformer engine, calibrated on the layer's real captured
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`prepare`](Self::prepare).
+    pub fn from_capture(capture: &CapturedLayer, opts: PrepareOptions) -> Result<Self, ServeError> {
+        PreparedModel::prepare(
+            capture.name.clone(),
+            &[LayerSpec::unbiased(capture.weight.clone())],
+            &capture.input,
+            opts,
+        )
+    }
+
+    /// The model's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Features per input column (`K` of the first layer).
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Rows of the output accumulator (`M` of the last layer).
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Number of prepared layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The activation format requests must quantize into.
+    pub fn input_config(&self) -> &LayerQuantConfig {
+        &self.input_cfg
+    }
+
+    /// The scale converting final accumulators to floats.
+    pub fn output_scale(&self) -> f64 {
+        self.layers.last().expect("non-empty").accumulator_scale()
+    }
+
+    /// Quantizes a float input (`K × N`) into request codes.
+    pub fn quantize(&self, x: &Matrix<f32>) -> Matrix<i32> {
+        self.input_cfg.quantizer.quantize_matrix(x)
+    }
+
+    /// Checks a request's codes against this model's input contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Shape`] on a feature-count mismatch,
+    /// [`ServeError::EmptyRequest`] for zero columns, and
+    /// [`ServeError::CodesOutOfRange`] if any code exceeds the calibrated
+    /// format.
+    pub fn validate(&self, codes: &Matrix<i32>) -> Result<(), ServeError> {
+        if codes.rows() != self.in_features {
+            return Err(ServeError::Shape {
+                expected: self.in_features,
+                actual: codes.rows(),
+            });
+        }
+        if codes.cols() == 0 {
+            return Err(ServeError::EmptyRequest);
+        }
+        if !self.input_cfg.codes_in_range(codes) {
+            return Err(ServeError::CodesOutOfRange {
+                max: self.input_cfg.max_code(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the full chain on already-quantized codes (`K × N`), returning
+    /// the final integer accumulators and the summed workload.
+    ///
+    /// The input is zero-padded up to the PE array's vector width and the
+    /// padding trimmed from the output, so any column count is accepted;
+    /// the padded columns are wasted work a wider batch would reclaim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` violates the input contract (use
+    /// [`validate`](Self::validate) first — the runtime does).
+    pub fn forward_codes(&self, codes: &Matrix<i32>) -> (Matrix<i32>, Workload) {
+        // Pad once at entry (skipping the copy when already aligned — the
+        // common case for a well-coalesced batch); every layer preserves N.
+        let (padded, pad);
+        let input = if codes.cols().is_multiple_of(VECTOR_LEN) {
+            pad = 0;
+            codes
+        } else {
+            (padded, pad) = pad_cols_to_vector_len(codes);
+            &padded
+        };
+        let mut wl = Workload::default();
+        let last = self.layers.len() - 1;
+        let mut x: Option<Matrix<i32>> = None;
+        for layer in &self.layers[..last] {
+            let (next, w) = layer.forward_codes(x.as_ref().unwrap_or(input));
+            wl = wl.merged(&w);
+            x = Some(next);
+        }
+        let (acc, w) = self.layers[last].forward(x.as_ref().unwrap_or(input));
+        let acc = if pad == 0 {
+            acc
+        } else {
+            acc.submatrix(0, 0, acc.rows(), acc.cols() - pad)
+        };
+        (acc, wl.merged(&w))
+    }
+
+    /// Runs the chain on several requests' codes at once: their columns
+    /// are coalesced into one wide GEMM `N` dimension, executed in a
+    /// single pass, and split back per request — bit-identical to running
+    /// each request alone. This is the batched entry point the runtime's
+    /// batch executor drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requests disagree on the feature dimension or
+    /// violate the input contract (the runtime validates at submission).
+    pub fn forward_batch(&self, requests: &[&Matrix<i32>]) -> (Vec<Matrix<i32>>, Workload) {
+        run_coalesced(requests, |stacked| self.forward_codes(stacked))
+    }
+
+    /// Float-in/float-out convenience path (quantize, run, dequantize).
+    pub fn forward_f32(&self, x: &Matrix<f32>) -> (Matrix<f32>, Workload) {
+        let (acc, wl) = self.forward_codes(&self.quantize(x));
+        let s = self.output_scale();
+        (acc.map(|&v| (f64::from(v) * s) as f32), wl)
+    }
+}
+
+/// A concurrent name → [`PreparedModel`] map shared by every worker.
+///
+/// Models are immutable once inserted; lookups hand out cheap [`Arc`]
+/// clones, so a worker mid-batch never blocks registration of new models.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<PreparedModel>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Registers a prepared model under its name, returning the shared
+    /// handle. Re-registering a name replaces the model for *new*
+    /// requests; in-flight batches keep the handle they resolved.
+    pub fn insert(&self, model: PreparedModel) -> Arc<PreparedModel> {
+        let shared = Arc::new(model);
+        self.models
+            .write()
+            .expect("registry lock poisoned")
+            .insert(shared.name().to_string(), Arc::clone(&shared));
+        shared
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<Arc<PreparedModel>> {
+        self.models
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .models
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panacea_tensor::dist::DistributionKind;
+
+    fn spec_chain(seed: u64, dims: &[usize]) -> (Vec<LayerSpec>, Matrix<f32>) {
+        let mut rng = panacea_tensor::seeded_rng(seed);
+        let layers: Vec<LayerSpec> = dims
+            .windows(2)
+            .map(|d| {
+                let w = DistributionKind::Gaussian {
+                    mean: 0.0,
+                    std: 0.05,
+                }
+                .sample_matrix(d[1], d[0], &mut rng);
+                LayerSpec::unbiased(w)
+            })
+            .collect();
+        let calib = DistributionKind::TransformerAct {
+            core_mean: 0.1,
+            core_std: 0.4,
+            pos_scale: 8.0,
+            neg_scale: 5.0,
+            outlier_frac: 0.02,
+        }
+        .sample_matrix(dims[0], 24, &mut rng);
+        (layers, calib)
+    }
+
+    #[test]
+    fn prepare_builds_requant_chain() {
+        let (layers, calib) = spec_chain(1, &[32, 16, 8]);
+        let m = PreparedModel::prepare("mlp", &layers, &calib, PrepareOptions::default())
+            .expect("prepare");
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.in_features(), 32);
+        assert_eq!(m.out_features(), 8);
+        let codes = m.quantize(&calib);
+        assert!(m.validate(&codes).is_ok());
+        let (acc, wl) = m.forward_codes(&codes);
+        assert_eq!(acc.shape(), (8, 24));
+        assert!(wl.mul > 0);
+    }
+
+    #[test]
+    fn forward_is_deterministic_across_clones() {
+        let (layers, calib) = spec_chain(2, &[16, 8]);
+        let m = PreparedModel::prepare("m", &layers, &calib, PrepareOptions::default())
+            .expect("prepare");
+        let codes = m.quantize(&calib);
+        let (a, _) = m.forward_codes(&codes);
+        let (b, _) = m.clone().forward_codes(&codes);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        let calib = Matrix::<f32>::zeros(4, 4);
+        let err =
+            PreparedModel::prepare("none", &[], &calib, PrepareOptions::default()).unwrap_err();
+        assert!(matches!(err, ServeError::EmptyModel { .. }));
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let (mut layers, calib) = spec_chain(3, &[16, 8, 4]);
+        // Break the chain: second layer expects 8 features, give it 6.
+        layers[1].weight = Matrix::<f32>::zeros(4, 6);
+        layers[1].bias = vec![0.0; 4];
+        assert!(matches!(
+            PreparedModel::prepare("bad", &layers, &calib, PrepareOptions::default()),
+            Err(ServeError::Shape {
+                expected: 8,
+                actual: 6
+            })
+        ));
+        // Wrong calibration width.
+        let (layers, _) = spec_chain(4, &[16, 8]);
+        let bad_calib = Matrix::<f32>::zeros(9, 4);
+        assert!(matches!(
+            PreparedModel::prepare("bad2", &layers, &bad_calib, PrepareOptions::default()),
+            Err(ServeError::Shape {
+                expected: 16,
+                actual: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_enforces_request_contract() {
+        let (layers, calib) = spec_chain(5, &[16, 8]);
+        let m = PreparedModel::prepare("m", &layers, &calib, PrepareOptions::default())
+            .expect("prepare");
+        assert!(matches!(
+            m.validate(&Matrix::<i32>::zeros(15, 2)),
+            Err(ServeError::Shape {
+                expected: 16,
+                actual: 15
+            })
+        ));
+        assert!(matches!(
+            m.validate(&Matrix::<i32>::zeros(16, 0)),
+            Err(ServeError::EmptyRequest)
+        ));
+        let bad = Matrix::from_fn(16, 2, |_, _| 999);
+        assert!(matches!(
+            m.validate(&bad),
+            Err(ServeError::CodesOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_shares_and_replaces() {
+        let (layers, calib) = spec_chain(6, &[8, 4]);
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        let m = PreparedModel::prepare("a", &layers, &calib, PrepareOptions::default())
+            .expect("prepare");
+        let h1 = reg.insert(m.clone());
+        let h2 = reg.get("a").expect("registered");
+        assert!(Arc::ptr_eq(&h1, &h2));
+        let h3 = reg.insert(m);
+        assert!(!Arc::ptr_eq(&h1, &h3));
+        assert_eq!(reg.names(), vec!["a".to_string()]);
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn from_capture_serves_a_real_transformer_layer() {
+        use panacea_models::engine::{TinyTransformer, TransformerConfig};
+        let model = TinyTransformer::new_random(TransformerConfig::default(), 11);
+        let mut rng = panacea_tensor::seeded_rng(12);
+        let x = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .sample_matrix(64, 16, &mut rng);
+        let captures = model.captured_layers(&x);
+        let fc2 = captures
+            .iter()
+            .find(|c| c.name == "block0.fc2")
+            .expect("captured");
+        let prepared =
+            PreparedModel::from_capture(fc2, PrepareOptions::default()).expect("prepare");
+        assert_eq!(prepared.name(), "block0.fc2");
+        assert_eq!(prepared.in_features(), 256);
+        let (out, _) = prepared.forward_f32(&fc2.input);
+        assert_eq!(out.shape(), (64, 16));
+    }
+}

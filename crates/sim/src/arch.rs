@@ -51,7 +51,12 @@ pub struct TileConfig {
 
 impl Default for TileConfig {
     fn default() -> Self {
-        TileConfig { tm: 64, tk: 32, tn: 64, v: 4 }
+        TileConfig {
+            tm: 64,
+            tk: 32,
+            tn: 64,
+            v: 4,
+        }
     }
 }
 
@@ -194,20 +199,31 @@ mod tests {
 
     #[test]
     fn alternate_8d4s_config_also_fits() {
-        let cfg = PanaceaConfig { dwo_per_pea: 8, swo_per_pea: 4, ..PanaceaConfig::default() };
+        let cfg = PanaceaConfig {
+            dwo_per_pea: 8,
+            swo_per_pea: 4,
+            ..PanaceaConfig::default()
+        };
         cfg.validate().unwrap();
         assert_eq!(cfg.total_multipliers(), 3072);
     }
 
     #[test]
     fn oversized_config_rejected() {
-        let cfg = PanaceaConfig { dwo_per_pea: 10, swo_per_pea: 10, ..PanaceaConfig::default() };
+        let cfg = PanaceaConfig {
+            dwo_per_pea: 10,
+            swo_per_pea: 10,
+            ..PanaceaConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn mismatched_tiling_rejected() {
-        let cfg = PanaceaConfig { n_peas: 8, ..PanaceaConfig::default() };
+        let cfg = PanaceaConfig {
+            n_peas: 8,
+            ..PanaceaConfig::default()
+        };
         assert!(cfg.validate().is_err(), "TM = 64 ≠ 8·4");
     }
 

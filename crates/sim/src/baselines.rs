@@ -30,7 +30,13 @@ pub struct SystolicSim {
 impl SystolicSim {
     /// Creates an SA-WS or SA-OS model with the default 32×24 geometry.
     pub fn new(flow: SystolicFlow, budget: HardwareBudget) -> Self {
-        SystolicSim { flow, budget, rows: 32, cols: 24, area: AreaModel::default() }
+        SystolicSim {
+            flow,
+            budget,
+            rows: 32,
+            cols: 24,
+            area: AreaModel::default(),
+        }
     }
 }
 
@@ -47,7 +53,12 @@ fn dense_traffic(
     let w_base = l.m as f64 * l.k as f64 * 8.0;
     let x_base = l.k as f64 * l.n as f64 * 8.0;
     let w_bits = w_base * if w_base / 8.0 <= half { 1.0 } else { w_passes };
-    let x_bits = x_base * if x_base / 8.0 <= half * 0.75 { 1.0 } else { x_passes };
+    let x_bits = x_base
+        * if x_base / 8.0 <= half * 0.75 {
+            1.0
+        } else {
+            x_passes
+        };
     let out_bits = l.m as f64 * l.n as f64 * 8.0;
     (w_bits, x_bits, out_bits)
 }
@@ -125,7 +136,8 @@ impl Accelerator for SystolicSim {
 
     fn area_mm2(&self) -> f64 {
         // 768 8b MACs = 3072 mul4-equivalents + accumulators.
-        self.area.core_area_mm2(3072, 3072, 768, self.budget.sram_bytes as f64 / 1024.0, 4.0)
+        self.area
+            .core_area_mm2(3072, 3072, 768, self.budget.sram_bytes as f64 / 1024.0, 4.0)
     }
 }
 
@@ -141,7 +153,11 @@ pub struct SimdSim {
 impl SimdSim {
     /// Creates the SIMD model (768 lanes under the default budget).
     pub fn new(budget: HardwareBudget) -> Self {
-        SimdSim { budget, lanes: 768, area: AreaModel::default() }
+        SimdSim {
+            budget,
+            lanes: 768,
+            area: AreaModel::default(),
+        }
     }
 }
 
@@ -189,7 +205,8 @@ impl Accelerator for SimdSim {
     }
 
     fn area_mm2(&self) -> f64 {
-        self.area.core_area_mm2(3072, 3072, 768, self.budget.sram_bytes as f64 / 1024.0, 3.0)
+        self.area
+            .core_area_mm2(3072, 3072, 768, self.budget.sram_bytes as f64 / 1024.0, 3.0)
     }
 }
 
@@ -206,7 +223,11 @@ pub struct SibiaSim {
 impl SibiaSim {
     /// Creates the Sibia model (192 OPCs = 3072 multipliers).
     pub fn new(budget: HardwareBudget) -> Self {
-        SibiaSim { budget, opcs: 192, area: AreaModel::default() }
+        SibiaSim {
+            budget,
+            opcs: 192,
+            area: AreaModel::default(),
+        }
     }
 }
 
@@ -239,9 +260,18 @@ impl Accelerator for SibiaSim {
         let n_n_tiles = (l.n as f64 / 64.0).ceil();
         let w_base = l.m as f64 * l.k as f64 * w_bpe;
         let x_base = l.k as f64 * l.n as f64 * x_bpe;
-        let w_bits = w_base * if 64.0 * l.k as f64 * w_bpe / 8.0 <= half { 1.0 } else { n_n_tiles };
-        let x_bits =
-            x_base * if x_base / 8.0 <= half * 0.75 { 1.0 } else { n_m_tiles };
+        let w_bits = w_base
+            * if 64.0 * l.k as f64 * w_bpe / 8.0 <= half {
+                1.0
+            } else {
+                n_n_tiles
+            };
+        let x_bits = x_base
+            * if x_base / 8.0 <= half * 0.75 {
+                1.0
+            } else {
+                n_m_tiles
+            };
         let out_bits = l.m as f64 * l.n as f64 * 8.0;
         let dram_bits = w_bits + x_bits + out_bits;
         let dram_cycles = dram_bits / self.budget.dram_bits_per_cycle as f64;
@@ -306,15 +336,17 @@ mod tests {
 
     #[test]
     fn dense_designs_ignore_sparsity() {
-        for acc in [
-            SystolicSim::new(SystolicFlow::WeightStationary, budget()),
-        ] {
+        {
+            let acc = SystolicSim::new(SystolicFlow::WeightStationary, budget());
             let a = acc.simulate(&layer(0.0, 0.0));
             let b = acc.simulate(&layer(0.9, 0.9));
             assert_eq!(a.cycles, b.cycles, "{}", acc.name());
         }
         let simd = SimdSim::new(budget());
-        assert_eq!(simd.simulate(&layer(0.0, 0.0)).cycles, simd.simulate(&layer(0.9, 0.9)).cycles);
+        assert_eq!(
+            simd.simulate(&layer(0.0, 0.0)).cycles,
+            simd.simulate(&layer(0.9, 0.9)).cycles
+        );
     }
 
     #[test]
@@ -333,15 +365,18 @@ mod tests {
         let ws = SystolicSim::new(SystolicFlow::WeightStationary, budget());
         let os = SystolicSim::new(SystolicFlow::OutputStationary, budget());
         // Tall-skinny (small n): WS pays fill/drain per weight tile.
-        let small_n = LayerWork { n: 8, ..layer(0.0, 0.0) };
+        let small_n = LayerWork {
+            n: 8,
+            ..layer(0.0, 0.0)
+        };
         assert!(os.simulate(&small_n).cycles < ws.simulate(&small_n).cycles);
     }
 
     #[test]
     fn simd_has_highest_dense_utilization() {
         let simd = SimdSim::new(budget()).simulate(&layer(0.0, 0.0));
-        let ws = SystolicSim::new(SystolicFlow::WeightStationary, budget())
-            .simulate(&layer(0.0, 0.0));
+        let ws =
+            SystolicSim::new(SystolicFlow::WeightStationary, budget()).simulate(&layer(0.0, 0.0));
         assert!(simd.util_primary >= ws.util_primary);
     }
 

@@ -76,7 +76,11 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Total energy in picojoules.
     pub fn total_pj(&self) -> f64 {
-        self.compute_pj + self.sram_pj + self.buffer_pj + self.dram_pj + self.other_pj
+        self.compute_pj
+            + self.sram_pj
+            + self.buffer_pj
+            + self.dram_pj
+            + self.other_pj
             + self.static_pj
     }
 
@@ -141,7 +145,10 @@ mod tests {
 
     #[test]
     fn merged_and_scaled_compose() {
-        let e = EnergyBreakdown { compute_pj: 1.0, ..EnergyBreakdown::default() };
+        let e = EnergyBreakdown {
+            compute_pj: 1.0,
+            ..EnergyBreakdown::default()
+        };
         let two = e.merged(&e);
         assert_eq!(two.compute_pj, 2.0);
         assert_eq!(two.scaled(3.0).compute_pj, 6.0);

@@ -121,7 +121,14 @@ impl PeaExecutor {
                             if w_zero || x_comp {
                                 skipped += 1;
                             } else {
-                                jobs.push(OuterProductJob { w_plane: i, x_plane: j, mg, k, ng, dynamic });
+                                jobs.push(OuterProductJob {
+                                    w_plane: i,
+                                    x_plane: j,
+                                    mg,
+                                    k,
+                                    ng,
+                                    dynamic,
+                                });
                             }
                         }
                     }
@@ -170,8 +177,8 @@ impl PeaExecutor {
             let w_int = w.reconstruct();
             for k in 0..x.plane(0).rows() {
                 for ng in 0..n / VECTOR_LEN {
-                    let compressed = (0..VECTOR_LEN)
-                        .all(|d| x.plane(x_ho)[(k, ng * VECTOR_LEN + d)] == r);
+                    let compressed =
+                        (0..VECTOR_LEN).all(|d| x.plane(x_ho)[(k, ng * VECTOR_LEN + d)] == r);
                     if !compressed {
                         continue;
                     }
@@ -300,7 +307,10 @@ mod tests {
         for _ in 0..50 {
             let d = rng.gen_range(0u64..100);
             let s = rng.gen_range(0u64..100);
-            assert!(with.drain_cycles(d, s) <= without.drain_cycles(d, s), "d={d} s={s}");
+            assert!(
+                with.drain_cycles(d, s) <= without.drain_cycles(d, s),
+                "d={d} s={s}"
+            );
         }
     }
 
@@ -325,8 +335,9 @@ mod tests {
         let (sw, sx, ..) = operands(4, 32, 64, 0.4, 0.9, 7, 51);
         let exec = PeaExecutor::new(4, 8, false);
         let (_, rep) = exec.run_tile(&sw, &sx, 7);
-        let lower =
-            (rep.dwo_jobs as f64 / 4.0).max(rep.swo_jobs as f64 / 8.0).floor() as u64;
+        let lower = (rep.dwo_jobs as f64 / 4.0)
+            .max(rep.swo_jobs as f64 / 8.0)
+            .floor() as u64;
         assert!(
             rep.cycles >= lower && rep.cycles <= lower + 2,
             "cycles {} outside [{lower}, {}]",
@@ -357,6 +368,6 @@ mod tests {
         let (out, rep) = exec.run_tile(&sw, &sx, 0);
         assert_eq!(out, w.gemm(&x).unwrap());
         // Jobs: W×x_LO static, W×x_HO dynamic.
-        assert_eq!(rep.dwo_jobs + rep.swo_jobs + rep.skipped, (2 * 8 * 1) as u64);
+        assert_eq!(rep.dwo_jobs + rep.swo_jobs + rep.skipped, (2 * 8) as u64);
     }
 }

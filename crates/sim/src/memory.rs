@@ -29,7 +29,11 @@ impl MemoryPlan {
     pub fn from_config(cfg: &PanaceaConfig) -> Self {
         let wmem = cfg.wmem_bytes();
         let rest = cfg.budget.sram_bytes - wmem;
-        MemoryPlan { wmem, amem: rest * 3 / 4, omem: rest - rest * 3 / 4 }
+        MemoryPlan {
+            wmem,
+            amem: rest * 3 / 4,
+            omem: rest - rest * 3 / 4,
+        }
     }
 
     /// Total capacity.

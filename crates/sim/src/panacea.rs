@@ -12,8 +12,6 @@
 //! cycles. Memory cycles follow the 256 bit/cycle DRAM budget with
 //! double-buffered overlap: `tile latency = max(compute, memory)`.
 
-
-
 use crate::arch::{AreaModel, PanaceaConfig};
 use crate::energy::EnergyBreakdown;
 use crate::workload::{LayerPerf, LayerWork};
@@ -38,7 +36,10 @@ impl PanaceaSim {
     /// Panics if the configuration violates the hardware budget.
     pub fn new(cfg: PanaceaConfig) -> Self {
         cfg.validate().expect("invalid Panacea configuration");
-        PanaceaSim { cfg, area: AreaModel::default() }
+        PanaceaSim {
+            cfg,
+            area: AreaModel::default(),
+        }
     }
 
     /// The active configuration.
@@ -102,8 +103,7 @@ impl Accelerator for PanaceaSim {
         // pair handled by one PEA: products touching a compressible HO
         // plane are dynamic (DWO), dense LO×LO products are static (SWO).
         let dwo_classes = f64::from(x_ho)
-            * (n_w_lo * (1.0 - rho_x)
-                + f64::from(w_ho) * (1.0 - rho_w) * (1.0 - rho_x))
+            * (n_w_lo * (1.0 - rho_x) + f64::from(w_ho) * (1.0 - rho_w) * (1.0 - rho_x))
             + f64::from(w_ho) * n_x_lo * (1.0 - rho_w);
         let swo_classes = n_w_lo * n_x_lo;
         // Exact number of (k, sub-tile) pairs each PEA sweeps for the whole
@@ -131,16 +131,18 @@ impl Accelerator for PanaceaSim {
         // they are re-fetched for every output-column pass.
         let w_bpe = self.w_bits_per_elem(l);
         let x_bpe = self.x_bits_per_elem(l);
-        let w_tile_fits =
-            (if dtp { 2.0 } else { 1.0 }) * t.tm as f64 * l.k as f64 * w_bpe / 8.0
-                <= self.cfg.wmem_bytes() as f64;
+        let w_tile_fits = (if dtp { 2.0 } else { 1.0 }) * t.tm as f64 * l.k as f64 * w_bpe / 8.0
+            <= self.cfg.wmem_bytes() as f64;
         let w_reload = if w_tile_fits { 1.0 } else { n_n_tiles };
         let amem_bytes = (self.cfg.budget.sram_bytes - self.cfg.wmem_bytes()) as f64 * 0.75;
         let x_fits = l.k as f64 * l.n as f64 * x_bpe / 8.0 <= amem_bytes;
         // DTP processes two weight tiles per activation load, halving the
         // number of activation re-fetch passes (§III-D).
-        let x_reload =
-            if x_fits { 1.0 } else { (n_m_tiles / if dtp { 2.0 } else { 1.0 }).ceil() };
+        let x_reload = if x_fits {
+            1.0
+        } else {
+            (n_m_tiles / if dtp { 2.0 } else { 1.0 }).ceil()
+        };
         let w_bits = l.m as f64 * l.k as f64 * w_bpe * w_reload;
         let x_bits = l.k as f64 * l.n as f64 * x_bpe * x_reload;
         let out_bits = l.m as f64 * l.n as f64 * 8.0;
@@ -168,8 +170,7 @@ impl Accelerator for PanaceaSim {
         // SRAM traffic: tiles written once from DRAM and read once per use.
         let sram_rd_bits = w_bits + x_bits * (n_m_tiles / x_reload).max(1.0);
         let sram_wr_bits = w_bits + x_bits + out_bits;
-        let sram_pj =
-            sram_rd_bits * tech.sram_rd_pj_bit + sram_wr_bits * tech.sram_wr_pj_bit;
+        let sram_pj = sram_rd_bits * tech.sram_rd_pj_bit + sram_wr_bits * tech.sram_wr_pj_bit;
         // RLE decode: one per stored HO vector of both operands.
         let rle_entries = f64::from(w_ho) * l.m as f64 * l.k as f64 * (1.0 - rho_w) / t.v as f64
             + l.k as f64 * l.n as f64 * (1.0 - rho_x) / t.v as f64;
@@ -196,8 +197,16 @@ impl Accelerator for PanaceaSim {
             energy,
             dram_bits: dram_bits * l.count as f64,
             sram_bits: (sram_rd_bits + sram_wr_bits) * l.count as f64,
-            util_primary: if denom_d > 0.0 { (dwo_ops / denom_d).min(1.0) } else { 0.0 },
-            util_secondary: if denom_s > 0.0 { (swo_ops / denom_s).min(1.0) } else { 0.0 },
+            util_primary: if denom_d > 0.0 {
+                (dwo_ops / denom_d).min(1.0)
+            } else {
+                0.0
+            },
+            util_secondary: if denom_s > 0.0 {
+                (swo_ops / denom_s).min(1.0)
+            } else {
+                0.0
+            },
             dtp_active: dtp,
         }
     }
@@ -212,7 +221,8 @@ impl Accelerator for PanaceaSim {
         let sram_kb = self.cfg.budget.sram_bytes as f64 / 1024.0;
         // WBUF + global activation buffer + psum buffers (doubled by DTP).
         let buf_kb = if self.cfg.dtp { 12.0 } else { 8.0 };
-        self.area.core_area_mm2(muls, adders, saccs, sram_kb, buf_kb)
+        self.area
+            .core_area_mm2(muls, adders, saccs, sram_kb, buf_kb)
     }
 }
 
@@ -235,7 +245,10 @@ mod tests {
     }
 
     fn sim(dtp: bool) -> PanaceaSim {
-        PanaceaSim::new(PanaceaConfig { dtp, ..PanaceaConfig::default() })
+        PanaceaSim::new(PanaceaConfig {
+            dtp,
+            ..PanaceaConfig::default()
+        })
     }
 
     #[test]

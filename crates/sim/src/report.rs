@@ -70,8 +70,16 @@ pub fn simulate_model(acc: &dyn Accelerator, layers: &[LayerWork], clock_mhz: f6
         seconds,
         energy,
         ops,
-        tops: if seconds > 0.0 { ops / seconds / 1e12 } else { 0.0 },
-        tops_per_w: if joules > 0.0 { ops / joules / 1e12 } else { 0.0 },
+        tops: if seconds > 0.0 {
+            ops / seconds / 1e12
+        } else {
+            0.0
+        },
+        tops_per_w: if joules > 0.0 {
+            ops / joules / 1e12
+        } else {
+            0.0
+        },
         dram_bytes: dram_bits / 8.0,
         sram_bytes: sram_bits / 8.0,
     }
@@ -137,19 +145,30 @@ mod tests {
         assert!(p.tops_per_w > w.tops_per_w);
         // The winning ratios should be in the paper's ballpark (1.2×–4×).
         let ratio = p.tops_per_w / s.tops_per_w;
-        assert!((1.05..6.0).contains(&ratio), "Panacea/Sibia efficiency ratio {ratio}");
+        assert!(
+            (1.05..6.0).contains(&ratio),
+            "Panacea/Sibia efficiency ratio {ratio}"
+        );
     }
 
     #[test]
     fn panacea_loses_to_simd_when_dense() {
         // Fig. 13: at very low sparsity Panacea's DWO pool is the
         // bottleneck and the dense designs win.
-        let pan = PanaceaSim::new(PanaceaConfig { dtp: false, ..PanaceaConfig::default() });
+        let pan = PanaceaSim::new(PanaceaConfig {
+            dtp: false,
+            ..PanaceaConfig::default()
+        });
         let simd = SimdSim::new(HardwareBudget::default());
         let dense = layers(0.0, 0.0);
         let p = simulate_model(&pan, &dense, 400.0);
         let v = simulate_model(&simd, &dense, 400.0);
-        assert!(p.tops < v.tops, "Panacea {} should trail SIMD {} when dense", p.tops, v.tops);
+        assert!(
+            p.tops < v.tops,
+            "Panacea {} should trail SIMD {} when dense",
+            p.tops,
+            v.tops
+        );
     }
 
     #[test]

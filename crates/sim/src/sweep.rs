@@ -92,8 +92,7 @@ impl SweepGrid {
                             rho_x: rho,
                         };
                         let perf = sim.simulate(&layer);
-                        let seconds =
-                            perf.cycles / (base.budget.clock_mhz * 1e6);
+                        let seconds = perf.cycles / (base.budget.clock_mhz * 1e6);
                         let joules = perf.energy.total_pj() * 1e-12;
                         out.push(SweepPoint {
                             dwo,
@@ -117,11 +116,11 @@ impl SweepGrid {
 
     /// The best configuration (by throughput) at a given sparsity point
     /// and shape, if present in the sweep results.
-    pub fn best_at<'a>(
-        points: &'a [SweepPoint],
+    pub fn best_at(
+        points: &[SweepPoint],
         shape: (usize, usize, usize),
         rho: f64,
-    ) -> Option<&'a SweepPoint> {
+    ) -> Option<&SweepPoint> {
         points
             .iter()
             .filter(|p| p.shape == shape && (p.rho_x - rho).abs() < 1e-9)
@@ -145,7 +144,7 @@ mod tests {
     #[test]
     fn sweep_enumerates_full_grid() {
         let points = small_grid().run(&PanaceaConfig::default());
-        assert_eq!(points.len(), 2 * 2 * 1 * 2);
+        assert_eq!(points.len(), (2 * 2) * 2);
     }
 
     #[test]
@@ -177,6 +176,10 @@ mod tests {
     fn dense_point_prefers_more_dwos() {
         let points = small_grid().run(&PanaceaConfig::default());
         let best = SweepGrid::best_at(&points, (512, 512, 512), 0.0).expect("point exists");
-        assert_eq!((best.dwo, best.swo), (8, 4), "dense GEMMs want the DWO-heavy split");
+        assert_eq!(
+            (best.dwo, best.swo),
+            (8, 4),
+            "dense GEMMs want the DWO-heavy split"
+        );
     }
 }

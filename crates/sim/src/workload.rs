@@ -112,7 +112,17 @@ mod tests {
     fn validation_catches_bad_inputs() {
         assert!(layer().validate().is_ok());
         assert!(LayerWork { m: 0, ..layer() }.validate().is_err());
-        assert!(LayerWork { rho_x: 1.5, ..layer() }.validate().is_err());
-        assert!(LayerWork { w_planes: 0, ..layer() }.validate().is_err());
+        assert!(LayerWork {
+            rho_x: 1.5,
+            ..layer()
+        }
+        .validate()
+        .is_err());
+        assert!(LayerWork {
+            w_planes: 0,
+            ..layer()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -149,9 +149,11 @@ impl DistributionKind {
                 let e: f32 = -(rng.gen::<f32>().max(1e-12)).ln();
                 (e / sharpness).min(1.0)
             }
-            DistributionKind::TransformerAct { core_mean, core_std, .. } => {
-                core_mean + core_std * gaussian(rng)
-            }
+            DistributionKind::TransformerAct {
+                core_mean,
+                core_std,
+                ..
+            } => core_mean + core_std * gaussian(rng),
             DistributionKind::PostGeluOutlier { scale, .. } => gelu(scale * gaussian(rng)),
         }
     }
@@ -163,7 +165,11 @@ impl DistributionKind {
     /// activations); for all other kinds elements are i.i.d.
     pub fn sample_matrix(&self, rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix<f32> {
         match *self {
-            DistributionKind::OutlierChannels { core_std, outlier_scale, outlier_frac } => {
+            DistributionKind::OutlierChannels {
+                core_std,
+                outlier_scale,
+                outlier_frac,
+            } => {
                 let mut outlier: Vec<bool> =
                     (0..cols).map(|_| rng.gen::<f32>() < outlier_frac).collect();
                 // Real tensors always exhibit at least one outlier channel;
@@ -199,7 +205,11 @@ impl DistributionKind {
                     for c in 0..cols {
                         let v = core_std * gaussian(rng);
                         m[(r, c)] = if outlier[r] {
-                            if v >= 0.0 { v * pos_scale } else { v * neg_scale }
+                            if v >= 0.0 {
+                                v * pos_scale
+                            } else {
+                                v * neg_scale
+                            }
                         } else {
                             core_mean + v
                         };
@@ -207,7 +217,11 @@ impl DistributionKind {
                 }
                 m
             }
-            DistributionKind::PostGeluOutlier { scale, outlier_scale, outlier_frac } => {
+            DistributionKind::PostGeluOutlier {
+                scale,
+                outlier_scale,
+                outlier_frac,
+            } => {
                 let mut outlier: Vec<bool> =
                     (0..rows).map(|_| rng.gen::<f32>() < outlier_frac).collect();
                 if rows > 0 && !outlier.iter().any(|&b| b) {
@@ -219,7 +233,11 @@ impl DistributionKind {
                     // pre-activation, so the negative lobe stays bounded at
                     // ≈ −0.17 while outlier channels stretch the positive
                     // range — exactly the paper's MLP.FC2 regime.
-                    let s_eff = if outlier[r] { scale * outlier_scale } else { scale };
+                    let s_eff = if outlier[r] {
+                        scale * outlier_scale
+                    } else {
+                        scale
+                    };
                     for c in 0..cols {
                         m[(r, c)] = gelu(s_eff * gaussian(rng));
                     }
@@ -265,7 +283,11 @@ mod tests {
     #[test]
     fn gaussian_matches_requested_moments() {
         let mut r = rng();
-        let m = DistributionKind::Gaussian { mean: 2.0, std: 0.5 }.sample_matrix(200, 200, &mut r);
+        let m = DistributionKind::Gaussian {
+            mean: 2.0,
+            std: 0.5,
+        }
+        .sample_matrix(200, 200, &mut r);
         assert!((stats::mean(m.as_slice()) - 2.0).abs() < 0.02);
         assert!((stats::std_dev(m.as_slice()) - 0.5).abs() < 0.02);
     }
@@ -284,7 +306,11 @@ mod tests {
     #[test]
     fn asymmetric_gaussian_is_skewed() {
         let mut r = rng();
-        let d = DistributionKind::AsymmetricGaussian { mean: 1.0, std: 1.0, skew: 0.3 };
+        let d = DistributionKind::AsymmetricGaussian {
+            mean: 1.0,
+            std: 1.0,
+            skew: 0.3,
+        };
         let m = d.sample_matrix(200, 100, &mut r);
         // With a positive skew tail the mean exceeds the base mean.
         assert!(stats::mean(m.as_slice()) > 1.5);
@@ -293,7 +319,11 @@ mod tests {
     #[test]
     fn long_tail_has_heavier_tails_than_gaussian() {
         let mut r = rng();
-        let lt = DistributionKind::LongTail { mean: 0.0, scale: 1.0 }.sample_matrix(100, 100, &mut r);
+        let lt = DistributionKind::LongTail {
+            mean: 0.0,
+            scale: 1.0,
+        }
+        .sample_matrix(100, 100, &mut r);
         let std = stats::std_dev(lt.as_slice());
         let frac_beyond_3std =
             lt.iter().filter(|v| v.abs() > 3.0 * std).count() as f32 / lt.len() as f32;
@@ -373,7 +403,10 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let d = DistributionKind::Gaussian { mean: 0.0, std: 1.0 };
+        let d = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        };
         let a = d.sample_matrix(4, 4, &mut crate::seeded_rng(9));
         let b = d.sample_matrix(4, 4, &mut crate::seeded_rng(9));
         assert_eq!(a, b);

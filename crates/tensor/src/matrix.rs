@@ -33,7 +33,10 @@ impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MatrixError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match shape ({expected} expected)")
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape ({expected} expected)"
+                )
             }
             MatrixError::ShapeMismatch { left, right } => {
                 write!(f, "incompatible shapes {left:?} and {right:?}")
@@ -74,7 +77,11 @@ impl<T: Default + Clone> Matrix<T> {
     /// assert_eq!(z.as_slice(), &[0, 0, 0, 0]);
     /// ```
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
     }
 }
 
@@ -96,7 +103,10 @@ impl<T> Matrix<T> {
     /// ```
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, MatrixError> {
         if data.len() != rows * cols {
-            return Err(MatrixError::LengthMismatch { expected: rows * cols, actual: data.len() });
+            return Err(MatrixError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Matrix { rows, cols, data })
     }
@@ -131,11 +141,18 @@ impl<T> Matrix<T> {
         let mut data = Vec::with_capacity(n_rows * n_cols);
         for row in rows {
             if row.len() != n_cols {
-                return Err(MatrixError::LengthMismatch { expected: n_cols, actual: row.len() });
+                return Err(MatrixError::LengthMismatch {
+                    expected: n_cols,
+                    actual: row.len(),
+                });
             }
             data.extend(row);
         }
-        Ok(Matrix { rows: n_rows, cols: n_cols, data })
+        Ok(Matrix {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -184,7 +201,11 @@ impl<T> Matrix<T> {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[T] {
-        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -194,7 +215,11 @@ impl<T> Matrix<T> {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [T] {
-        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -218,7 +243,11 @@ impl<T> Matrix<T> {
     /// assert_eq!(doubled[(1, 1)], 4);
     /// ```
     pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Matrix<U> {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(f).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(f).collect(),
+        }
     }
 }
 
@@ -243,7 +272,94 @@ impl<T: Clone> Matrix<T> {
         let c_end = (col_start + n_cols).min(self.cols);
         let r0 = row_start.min(r_end);
         let c0 = col_start.min(c_end);
-        Matrix::from_fn(r_end - r0, c_end - c0, |r, c| self[(r0 + r, c0 + c)].clone())
+        Matrix::from_fn(r_end - r0, c_end - c0, |r, c| {
+            self[(r0 + r, c0 + c)].clone()
+        })
+    }
+
+    /// Concatenates matrices side-by-side along the column axis.
+    ///
+    /// This is how the serving runtime coalesces the activation columns of
+    /// independent requests into one wide GEMM `N` dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] if the operands disagree on
+    /// row count. An empty input produces a `0 × 0` matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use panacea_tensor::Matrix;
+    ///
+    /// let a = Matrix::from_rows(vec![vec![1i32, 2], vec![3, 4]]).unwrap();
+    /// let b = Matrix::from_rows(vec![vec![5i32], vec![6]]).unwrap();
+    /// let c = Matrix::hstack(&[&a, &b]).unwrap();
+    /// assert_eq!(c.shape(), (2, 3));
+    /// assert_eq!(c.row(0), &[1, 2, 5]);
+    /// ```
+    pub fn hstack(parts: &[&Matrix<T>]) -> Result<Matrix<T>, MatrixError> {
+        let Some(first) = parts.first() else {
+            return Ok(Matrix {
+                rows: 0,
+                cols: 0,
+                data: Vec::new(),
+            });
+        };
+        let rows = first.rows;
+        for p in parts {
+            if p.rows != rows {
+                return Err(MatrixError::ShapeMismatch {
+                    left: first.shape(),
+                    right: p.shape(),
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for r in 0..rows {
+            for p in parts {
+                data.extend_from_slice(&p.data[r * p.cols..(r + 1) * p.cols]);
+            }
+        }
+        let cols = parts.iter().map(|p| p.cols).sum();
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Splits the matrix into column blocks of the given widths — the
+    /// inverse of [`hstack`](Self::hstack).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] if the widths do not sum to
+    /// the column count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use panacea_tensor::Matrix;
+    ///
+    /// let m = Matrix::from_rows(vec![vec![1i32, 2, 5], vec![3, 4, 6]]).unwrap();
+    /// let parts = m.split_cols(&[2, 1]).unwrap();
+    /// assert_eq!(parts[0].row(1), &[3, 4]);
+    /// assert_eq!(parts[1].row(0), &[5]);
+    /// ```
+    pub fn split_cols(&self, widths: &[usize]) -> Result<Vec<Matrix<T>>, MatrixError> {
+        let total: usize = widths.iter().sum();
+        if total != self.cols {
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: (self.rows, total),
+            });
+        }
+        let mut out = Vec::with_capacity(widths.len());
+        let mut c0 = 0usize;
+        for &w in widths {
+            out.push(Matrix::from_fn(self.rows, w, |r, c| {
+                self[(r, c0 + c)].clone()
+            }));
+            c0 += w;
+        }
+        Ok(out)
     }
 }
 
@@ -251,14 +367,20 @@ impl<T> Index<(usize, usize)> for Matrix<T> {
     type Output = T;
 
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl<T> IndexMut<(usize, usize)> for Matrix<T> {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -287,7 +409,10 @@ impl Matrix<i32> {
     /// ```
     pub fn gemm(&self, rhs: &Matrix<i32>) -> Result<Matrix<i32>, MatrixError> {
         if self.cols != rhs.rows {
-            return Err(MatrixError::ShapeMismatch { left: self.shape(), right: rhs.shape() });
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for m in 0..self.rows {
@@ -314,7 +439,10 @@ impl Matrix<f32> {
     /// Returns [`MatrixError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
     pub fn gemm_f32(&self, rhs: &Matrix<f32>) -> Result<Matrix<f32>, MatrixError> {
         if self.cols != rhs.rows {
-            return Err(MatrixError::ShapeMismatch { left: self.shape(), right: rhs.shape() });
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for m in 0..self.rows {
@@ -346,7 +474,13 @@ mod tests {
     #[test]
     fn from_vec_rejects_bad_length() {
         let err = Matrix::from_vec(2, 2, vec![1, 2, 3]).unwrap_err();
-        assert_eq!(err, MatrixError::LengthMismatch { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            MatrixError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
     }
 
     #[test]
@@ -414,5 +548,51 @@ mod tests {
         let mut m = Matrix::<i32>::zeros(2, 2);
         m.row_mut(1)[0] = 7;
         assert_eq!(m[(1, 0)], 7);
+    }
+
+    #[test]
+    fn hstack_then_split_round_trips() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r * 10 + c) as i32);
+        let b = Matrix::from_fn(3, 5, |r, c| -((r * 7 + c) as i32));
+        let c = Matrix::from_fn(3, 1, |r, _| r as i32);
+        let stacked = Matrix::hstack(&[&a, &b, &c]).unwrap();
+        assert_eq!(stacked.shape(), (3, 8));
+        let parts = stacked.split_cols(&[2, 5, 1]).unwrap();
+        assert_eq!(parts, vec![a, b, c]);
+    }
+
+    #[test]
+    fn hstack_of_nothing_is_empty() {
+        let m = Matrix::<i32>::hstack(&[]).unwrap();
+        assert_eq!(m.shape(), (0, 0));
+    }
+
+    #[test]
+    fn hstack_rejects_row_mismatch() {
+        let a = Matrix::<i32>::zeros(2, 2);
+        let b = Matrix::<i32>::zeros(3, 2);
+        assert!(matches!(
+            Matrix::hstack(&[&a, &b]),
+            Err(MatrixError::ShapeMismatch {
+                left: (2, 2),
+                right: (3, 2)
+            })
+        ));
+    }
+
+    #[test]
+    fn split_cols_rejects_bad_widths() {
+        let m = Matrix::<i32>::zeros(2, 4);
+        assert!(m.split_cols(&[2, 1]).is_err());
+        assert!(m.split_cols(&[5]).is_err());
+    }
+
+    #[test]
+    fn split_cols_with_zero_width_blocks() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r + c) as i32);
+        let parts = m.split_cols(&[0, 3, 0]).unwrap();
+        assert_eq!(parts[0].shape(), (2, 0));
+        assert_eq!(parts[1], m);
+        assert_eq!(parts[2].shape(), (2, 0));
     }
 }

@@ -88,7 +88,10 @@ impl Histogram {
     /// Panics if `hi < lo`.
     pub fn new(lo: i32, hi: i32) -> Self {
         assert!(hi >= lo, "histogram range [{lo}, {hi}] is empty");
-        Histogram { lo, counts: vec![0; (hi - lo + 1) as usize] }
+        Histogram {
+            lo,
+            counts: vec![0; (hi - lo + 1) as usize],
+        }
     }
 
     /// Records one observation; out-of-range values clamp to the end bins,
@@ -197,7 +200,11 @@ pub fn mse(a: &[f32], b: &[f32]) -> f64 {
 ///
 /// Panics if the slices differ in length.
 pub fn sqnr_db(reference: &[f32], approx: &[f32]) -> f64 {
-    assert_eq!(reference.len(), approx.len(), "sqnr operands differ in length");
+    assert_eq!(
+        reference.len(),
+        approx.len(),
+        "sqnr operands differ in length"
+    );
     let sig: f64 = reference.iter().map(|&x| f64::from(x).powi(2)).sum();
     let err: f64 = reference
         .iter()

@@ -23,7 +23,11 @@ fn main() {
         ),
         (
             "post-GELU (one-sided)",
-            DistributionKind::PostGeluOutlier { scale: 1.0, outlier_scale: 8.0, outlier_frac: 0.02 },
+            DistributionKind::PostGeluOutlier {
+                scale: 1.0,
+                outlier_scale: 8.0,
+                outlier_frac: 0.02,
+            },
         ),
         (
             "OPT outlier channels (extreme)",
@@ -35,7 +39,10 @@ fn main() {
                 outlier_frac: 0.02,
             },
         ),
-        ("wide uniform (adversarial)", DistributionKind::Uniform { lo: -2.0, hi: 2.0 }),
+        (
+            "wide uniform (adversarial)",
+            DistributionKind::Uniform { lo: -2.0, hi: 2.0 },
+        ),
     ];
 
     println!(

@@ -16,23 +16,39 @@ use panacea::tensor::{dist::DistributionKind, seeded_rng, stats, Matrix};
 fn main() {
     let mut rng = seeded_rng(17);
     // A 3-channel 16×16 input and two 3×3 conv layers (8 then 16 filters).
-    let mut shape = ConvShape { channels: 3, height: 16, width: 16, kh: 3, kw: 3, stride: 1, pad: 1 };
-    let mut fmap = DistributionKind::Gaussian { mean: 0.0, std: 1.0 }
-        .sample_matrix(3, 16 * 16, &mut rng);
+    let mut shape = ConvShape {
+        channels: 3,
+        height: 16,
+        width: 16,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let mut fmap = DistributionKind::Gaussian {
+        mean: 0.0,
+        std: 1.0,
+    }
+    .sample_matrix(3, 16 * 16, &mut rng);
 
     println!(
         "{:<8} {:>14} {:>9} {:>10} {:>9}",
         "layer", "GEMM (MxKxN)", "DBS", "rho_x", "SQNR dB"
     );
     for (li, c_out) in [8usize, 16].into_iter().enumerate() {
-        let w = DistributionKind::Gaussian { mean: 0.0, std: 0.15 }
-            .sample_matrix(c_out, shape.gemm_k(), &mut rng);
+        let w = DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 0.15,
+        }
+        .sample_matrix(c_out, shape.gemm_k(), &mut rng);
         // Float reference through the conv (with ReLU).
         let reference = conv_gemm(&fmap, &w, shape, true);
 
         // Quantized path: calibrate on the im2col patches, run the layer.
         let patches = im2col(&fmap, shape);
-        let mut cal = ActivationCalibrator::new(8).with_zpm(true).with_dbs(DbsConfig::default());
+        let mut cal = ActivationCalibrator::new(8)
+            .with_zpm(true)
+            .with_dbs(DbsConfig::default());
         cal.observe(&patches);
         let cfg = cal.finalize();
         let layer = QuantizedLinear::prepare(&w, &vec![0.0; c_out], 7, cfg).expect("layer");
@@ -59,7 +75,10 @@ fn main() {
 
         // Next layer consumes this layer's (float) ReLU output.
         fmap = out_relu;
-        shape = ConvShape { channels: c_out, ..shape };
+        shape = ConvShape {
+            channels: c_out,
+            ..shape
+        };
     }
     println!("\nPost-ReLU feature maps quantize into the skip range around the zero-point,");
     println!("which is why the paper's ResNet-18 numbers benefit from AQS-GEMM too.");

@@ -34,7 +34,10 @@ fn main() {
     let clock = budget.clock_mhz;
 
     println!("DeiT-base on candidate Panacea configurations:");
-    println!("{:<26} {:>8} {:>8} {:>9} {:>9}", "configuration", "TOPS", "TOPS/W", "DWO util", "SWO util");
+    println!(
+        "{:<26} {:>8} {:>8} {:>9} {:>9}",
+        "configuration", "TOPS", "TOPS/W", "DWO util", "SWO util"
+    );
     for (dwo, swo) in [(4usize, 8usize), (8, 4), (6, 6)] {
         for dtp in [false, true] {
             let sim = PanaceaSim::new(PanaceaConfig {
@@ -58,8 +61,14 @@ fn main() {
     }
 
     println!("\nIso-resource baselines:");
-    let dense: Vec<LayerWork> =
-        layers.iter().map(|l| LayerWork { rho_w: 0.0, rho_x: 0.0, ..l.clone() }).collect();
+    let dense: Vec<LayerWork> = layers
+        .iter()
+        .map(|l| LayerWork {
+            rho_w: 0.0,
+            rho_x: 0.0,
+            ..l.clone()
+        })
+        .collect();
     let baselines: Vec<Box<dyn Accelerator>> = vec![
         Box::new(SystolicSim::new(SystolicFlow::WeightStationary, budget)),
         Box::new(SystolicSim::new(SystolicFlow::OutputStationary, budget)),
@@ -68,6 +77,11 @@ fn main() {
     ];
     for acc in &baselines {
         let perf = simulate_model(acc.as_ref(), &dense, clock);
-        println!("{:<26} {:>8.2} {:>8.3}", acc.name(), perf.tops, perf.tops_per_w);
+        println!(
+            "{:<26} {:>8.2} {:>8.3}",
+            acc.name(),
+            perf.tops,
+            perf.tops_per_w
+        );
     }
 }

@@ -15,10 +15,19 @@ use panacea::tensor::{dist::DistributionKind, seeded_rng, stats, Matrix};
 
 fn main() {
     // A miniature GPT-style model and a batch of token embeddings.
-    let cfg = TransformerConfig { d_model: 64, n_heads: 4, d_ff: 128, n_layers: 2 };
+    let cfg = TransformerConfig {
+        d_model: 64,
+        n_heads: 4,
+        d_ff: 128,
+        n_layers: 2,
+    };
     let model = TinyTransformer::new_random(cfg, 7);
     let mut rng = seeded_rng(11);
-    let x = DistributionKind::Gaussian { mean: 0.0, std: 1.0 }.sample_matrix(64, 16, &mut rng);
+    let x = DistributionKind::Gaussian {
+        mean: 0.0,
+        std: 1.0,
+    }
+    .sample_matrix(64, 16, &mut rng);
 
     // Capture every weight GEMM's (weight, input) during the float pass.
     let mut captures = Vec::new();
@@ -34,22 +43,23 @@ fn main() {
         // separate dataset; the structure is identical).
         let wq = SymmetricQuantizer::calibrate(cap.weight.as_slice(), 7);
         let w_int = wq.quantize_matrix(&cap.weight);
-        let mut cal =
-            ActivationCalibrator::new(8).with_zpm(true).with_dbs(DbsConfig::default());
+        let mut cal = ActivationCalibrator::new(8)
+            .with_zpm(true)
+            .with_dbs(DbsConfig::default());
         cal.observe(&cap.input);
         let qcfg = cal.finalize();
         let x_int = qcfg.quantizer.quantize_matrix(&cap.input);
 
         let sw = SlicedWeight::from_int(&w_int, 1).expect("weights fit");
-        let sx =
-            SlicedActivation::from_uint(&x_int, 1, qcfg.dbs_type).expect("activations fit");
+        let sx = SlicedActivation::from_uint(&x_int, 1, qcfg.dbs_type).expect("activations fit");
         let (acc, wl) = aqs_gemm(&sw, &sx, qcfg.frequent_ho_slice);
 
         // Integer accumulators represent s_w·s_x·(W·(x − zp)); the zp·W·1
         // term folds into the bias (Eq. 3) — reconstruct the float output.
         let zp = qcfg.quantizer.params().zero_point;
-        let row_sums: Vec<i64> =
-            (0..w_int.rows()).map(|m| w_int.row(m).iter().map(|&v| i64::from(v)).sum()).collect();
+        let row_sums: Vec<i64> = (0..w_int.rows())
+            .map(|m| w_int.row(m).iter().map(|&v| i64::from(v)).sum())
+            .collect();
         let scale = f64::from(wq.params().scale) * f64::from(qcfg.quantizer.params().scale);
         let deq = Matrix::from_fn(acc.rows(), acc.cols(), |m, n| {
             ((f64::from(acc[(m, n)]) - zp as f64 * row_sums[m] as f64) * scale) as f32

@@ -6,8 +6,8 @@
 
 use panacea::bitslice::{sparsity, SlicedActivation, SlicedWeight};
 use panacea::core::aqs::aqs_gemm;
-use panacea::quant::{ActivationCalibrator, Quantizer, SymmetricQuantizer};
 use panacea::quant::dbs::DbsConfig;
+use panacea::quant::{ActivationCalibrator, Quantizer, SymmetricQuantizer};
 use panacea::tensor::{dist::DistributionKind, seeded_rng};
 
 fn main() {
@@ -34,7 +34,9 @@ fn main() {
     //    zero-point manipulation and distribution-based slicing.
     let wq = SymmetricQuantizer::calibrate(w_f.as_slice(), 7);
     let w_int = wq.quantize_matrix(&w_f);
-    let mut cal = ActivationCalibrator::new(8).with_zpm(true).with_dbs(DbsConfig::default());
+    let mut cal = ActivationCalibrator::new(8)
+        .with_zpm(true)
+        .with_dbs(DbsConfig::default());
     cal.observe(&x_f);
     let cfg = cal.finalize();
     let x_int = cfg.quantizer.quantize_matrix(&x_f);

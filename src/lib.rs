@@ -14,7 +14,10 @@
 //! * [`sim`] — the Panacea cycle/energy simulator and the SA-WS / SA-OS /
 //!   SIMD / Sibia baseline accelerators;
 //! * [`models`] — DNN benchmark layer inventories, a small forward engine,
-//!   and quality-proxy metrics.
+//!   and quality-proxy metrics;
+//! * [`serve`] — the batched, multi-threaded inference runtime: a
+//!   prepared-model registry, a dynamic batcher coalescing requests into
+//!   the GEMM `N` dimension, and a worker pool with clean shutdown.
 //!
 //! # Quickstart
 //!
@@ -34,5 +37,6 @@ pub use panacea_bitslice as bitslice;
 pub use panacea_core as core;
 pub use panacea_models as models;
 pub use panacea_quant as quant;
+pub use panacea_serve as serve;
 pub use panacea_sim as sim;
 pub use panacea_tensor as tensor;

@@ -12,8 +12,8 @@ use panacea::quant::integer::{asym_integer_gemm, fold_zero_point_bias};
 use panacea::quant::{ActivationCalibrator, Quantizer, SymmetricQuantizer};
 use panacea::sim::arch::PanaceaConfig;
 use panacea::sim::panacea::PanaceaSim;
-use panacea::sim::workload::LayerWork;
 use panacea::sim::simulate_model;
+use panacea::sim::workload::LayerWork;
 use panacea::tensor::{dist::DistributionKind, seeded_rng, Matrix};
 
 /// Full pipeline on realistic data: calibrate, quantize, slice, AQS-GEMM,
@@ -38,7 +38,9 @@ fn full_pipeline_is_bit_exact() {
 
     let wq = SymmetricQuantizer::calibrate(w_f.as_slice(), 7);
     let w_int = wq.quantize_matrix(&w_f);
-    let mut cal = ActivationCalibrator::new(8).with_zpm(true).with_dbs(DbsConfig::default());
+    let mut cal = ActivationCalibrator::new(8)
+        .with_zpm(true)
+        .with_dbs(DbsConfig::default());
     cal.observe(&x_f);
     let cfg = cal.finalize();
     let x_int = cfg.quantizer.quantize_matrix(&x_f);
@@ -81,8 +83,12 @@ fn aqs_and_sibia_agree_on_symmetric_data() {
 /// the simulator reproduces the paper's headline ordering on all of them.
 #[test]
 fn all_benchmarks_profile_and_simulate() {
-    let opts =
-        ProfileOptions { sample_m: 64, sample_k: 96, sample_n: 64, ..ProfileOptions::default() };
+    let opts = ProfileOptions {
+        sample_m: 64,
+        sample_k: 96,
+        sample_n: 64,
+        ..ProfileOptions::default()
+    };
     let pan = PanaceaSim::new(PanaceaConfig::default());
     for b in Benchmark::all() {
         let model = b.spec();
@@ -102,7 +108,8 @@ fn all_benchmarks_profile_and_simulate() {
             })
             .collect();
         for l in &layers {
-            l.validate().unwrap_or_else(|e| panic!("{}: {e}", model.name));
+            l.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", model.name));
         }
         let perf = simulate_model(&pan, &layers, 400.0);
         assert!(perf.tops > 0.0, "{}", model.name);
@@ -114,8 +121,12 @@ fn all_benchmarks_profile_and_simulate() {
 /// beats the zero-skip-only configuration of itself (Fig. 18(b) shape).
 #[test]
 fn aqs_outperforms_zero_skip_only_end_to_end() {
-    let opts =
-        ProfileOptions { sample_m: 64, sample_k: 96, sample_n: 64, ..ProfileOptions::default() };
+    let opts = ProfileOptions {
+        sample_m: 64,
+        sample_k: 96,
+        sample_n: 64,
+        ..ProfileOptions::default()
+    };
     let model = Benchmark::Opt2_7b.spec();
     let profiles = profile_model(&model, &opts);
     let pan = PanaceaSim::new(PanaceaConfig::default());
@@ -131,7 +142,11 @@ fn aqs_outperforms_zero_skip_only_end_to_end() {
                 w_planes: 2,
                 x_planes: p.spec.act_lo_slices + 1,
                 rho_w: p.rho_w,
-                rho_x: if zero_only { p.rho_x_zero_only } else { p.rho_x },
+                rho_x: if zero_only {
+                    p.rho_x_zero_only
+                } else {
+                    p.rho_x
+                },
             })
             .collect()
     };
@@ -162,7 +177,6 @@ fn requantized_outputs_feed_next_layer() {
     let next_input = rq.requantize_matrix(&acc);
     assert!(next_input.iter().all(|&v| (0..=255).contains(&v)));
     // And it slices cleanly for the next layer.
-    let sliced =
-        SlicedActivation::from_uint(&next_input, 1, panacea::quant::DbsType::Type1);
+    let sliced = SlicedActivation::from_uint(&next_input, 1, panacea::quant::DbsType::Type1);
     assert!(sliced.is_ok());
 }

@@ -49,7 +49,10 @@ fn validate_tile(ws: f64, xs: f64, r: u8, seed: u64, dtp: bool) {
 
     // Analytical: one-tile layer, DTP disabled to match the single-tile
     // exec semantics unless requested.
-    let sim = PanaceaSim::new(PanaceaConfig { dtp, ..PanaceaConfig::default() });
+    let sim = PanaceaSim::new(PanaceaConfig {
+        dtp,
+        ..PanaceaConfig::default()
+    });
     let layer = LayerWork {
         name: "tile".into(),
         m: t.tm,

@@ -13,7 +13,12 @@ use panacea::sim::workload::LayerWork;
 use panacea::sim::{simulate_model, Accelerator};
 
 fn quick_opts() -> ProfileOptions {
-    ProfileOptions { sample_m: 64, sample_k: 96, sample_n: 64, ..ProfileOptions::default() }
+    ProfileOptions {
+        sample_m: 64,
+        sample_k: 96,
+        sample_n: 64,
+        ..ProfileOptions::default()
+    }
 }
 
 fn to_work(p: &panacea::models::LayerProfile, sibia: bool) -> LayerWork {
@@ -44,7 +49,11 @@ fn panacea_wins_efficiency_on_every_benchmark() {
         let sib_layers: Vec<_> = profiles.iter().map(|p| to_work(p, true)).collect();
         let dense: Vec<_> = pan_layers
             .iter()
-            .map(|l| LayerWork { rho_w: 0.0, rho_x: 0.0, ..l.clone() })
+            .map(|l| LayerWork {
+                rho_w: 0.0,
+                rho_x: 0.0,
+                ..l.clone()
+            })
             .collect();
         let p = simulate_model(&pan, &pan_layers, 400.0);
         let s = simulate_model(&sibia, &sib_layers, 400.0);
@@ -53,7 +62,11 @@ fn panacea_wins_efficiency_on_every_benchmark() {
         let vs_simd = p.tops_per_w / v.tops_per_w;
         assert!(vs_sibia > 1.0, "{:?}: vs Sibia {vs_sibia}", b);
         assert!(vs_simd > 1.0, "{:?}: vs SIMD {vs_simd}", b);
-        assert!(vs_sibia < 6.0 && vs_simd < 8.0, "{:?}: ratios out of band", b);
+        assert!(
+            vs_sibia < 6.0 && vs_simd < 8.0,
+            "{:?}: ratios out of band",
+            b
+        );
     }
 }
 
@@ -82,13 +95,24 @@ fn table1_limits_hold() {
 /// model quality than the symmetric scheme on every transformer benchmark.
 #[test]
 fn asymmetric_quality_wins_aggregate() {
-    for b in [Benchmark::DeitBase, Benchmark::BertBase, Benchmark::Gpt2, Benchmark::Opt2_7b] {
+    for b in [
+        Benchmark::DeitBase,
+        Benchmark::BertBase,
+        Benchmark::Gpt2,
+        Benchmark::Opt2_7b,
+    ] {
         let profiles = profile_model(&b.spec(), &quick_opts());
         let asym = aggregate_sqnr_db(
-            &profiles.iter().map(|p| (p.sqnr_asym_db, p.spec.total_macs())).collect::<Vec<_>>(),
+            &profiles
+                .iter()
+                .map(|p| (p.sqnr_asym_db, p.spec.total_macs()))
+                .collect::<Vec<_>>(),
         );
         let sym = aggregate_sqnr_db(
-            &profiles.iter().map(|p| (p.sqnr_sym_db, p.spec.total_macs())).collect::<Vec<_>>(),
+            &profiles
+                .iter()
+                .map(|p| (p.sqnr_sym_db, p.spec.total_macs()))
+                .collect::<Vec<_>>(),
         );
         assert!(asym > sym, "{:?}: asym {asym} dB ≤ sym {sym} dB", b);
     }
@@ -99,7 +123,14 @@ fn asymmetric_quality_wins_aggregate() {
 #[test]
 fn optimizations_never_reduce_sparsity() {
     for b in [Benchmark::DeitBase, Benchmark::Gpt2, Benchmark::Opt2_7b] {
-        let base = profile_model(&b.spec(), &ProfileOptions { zpm: false, dbs: None, ..quick_opts() });
+        let base = profile_model(
+            &b.spec(),
+            &ProfileOptions {
+                zpm: false,
+                dbs: None,
+                ..quick_opts()
+            },
+        );
         let full = profile_model(&b.spec(), &quick_opts());
         for (bp, fp) in base.iter().zip(&full) {
             assert!(

@@ -1,0 +1,29 @@
+//! Fixed-size array strategies.
+
+use rand::rngs::StdRng;
+
+use crate::strategy::Strategy;
+
+/// The strategy returned by [`uniform4`].
+#[derive(Debug, Clone)]
+pub struct Uniform4<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for Uniform4<S> {
+    type Value = [S::Value; 4];
+
+    fn new_value(&self, rng: &mut StdRng) -> [S::Value; 4] {
+        [
+            self.element.new_value(rng),
+            self.element.new_value(rng),
+            self.element.new_value(rng),
+            self.element.new_value(rng),
+        ]
+    }
+}
+
+/// Generates `[T; 4]` with each element drawn from `element`.
+pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+    Uniform4 { element }
+}

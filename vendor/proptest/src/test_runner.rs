@@ -1,0 +1,54 @@
+//! Test configuration and per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the suite fast while
+        // still sweeping a broad input space deterministically.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Derives the deterministic RNG for one test case from the fully
+/// qualified test name and the case index (FNV-1a over both).
+pub fn case_rng(test_path: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= u64::from(case);
+    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    StdRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_differs_by_case_and_test() {
+        let a = case_rng("m::t", 0).next_u64();
+        let b = case_rng("m::t", 1).next_u64();
+        let c = case_rng("m::u", 0).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline shim of `serde`'s derive macros.
+//!
+//! The workspace annotates many types with
+//! `#[derive(Serialize, Deserialize)]`, but the only serialization it
+//! actually performs goes through the vendored `serde_json::Value`
+//! builder API, which needs no trait impls. With no crates.io access,
+//! this proc-macro crate supplies the two derives as no-ops: they accept
+//! the item (including any `#[serde(...)]` helper attributes) and expand
+//! to nothing, so every annotated type compiles unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,216 @@
+//! Offline shim of the `serde_json` surface the workspace uses: the
+//! [`Value`] tree, the [`json!`] object/array builder, and
+//! [`to_string_pretty`]. Serialization of arbitrary user types is not
+//! supported (and not used) — values are built explicitly.
+
+use std::fmt;
+
+/// Maps are ordered so JSON output is deterministic.
+pub type Map<K, V> = std::collections::BTreeMap<K, V>;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(f64::from(v))
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(v as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Error type kept for API compatibility; this shim never fails.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error (unreachable)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        // JSON has no NaN/Infinity; mirror serde_json's null fallback.
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < 9e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints a [`Value`] with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real crate's signature.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(value, 0, &mut out);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Supports objects, arrays,
+/// `null`, and any expression convertible via `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::Value::from($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_builder_and_pretty_print() {
+        let v = json!({ "title": "t", "rows": vec![Value::String("a".into())] });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"title\": \"t\""));
+        assert!(s.contains("\"a\""));
+    }
+
+    #[test]
+    fn map_collects_pairs() {
+        let m: Map<String, Value> = [("k".to_string(), Value::Number(1.0))]
+            .into_iter()
+            .collect();
+        let s = to_string_pretty(&Value::Object(m)).unwrap();
+        assert_eq!(s, "{\n  \"k\": 1\n}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = to_string_pretty(&Value::String("a\"b\n".into())).unwrap();
+        assert_eq!(s, "\"a\\\"b\\n\"");
+    }
+}
