@@ -1,11 +1,13 @@
-//! Criterion benchmarks of the `panacea-serve` runtime: throughput of
-//! the batched AQS pipeline versus batch width, and end-to-end runtime
-//! dispatch versus worker count.
+//! Criterion benchmarks of the serving stack: throughput of the batched
+//! AQS pipeline versus batch width, end-to-end runtime dispatch versus
+//! worker count, and the gateway's per-request overheads — shard
+//! routing decisions and request-cache hits/misses.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panacea_gateway::{CacheConfig, CachedOutput, RequestCache, ShardRouter};
 use panacea_serve::{
     BatchPolicy, LayerSpec, ModelRegistry, PrepareOptions, PreparedModel, Runtime, RuntimeConfig,
 };
@@ -104,6 +106,48 @@ fn bench_runtime_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of one routing decision (rendezvous scores + a queue-depth
+/// probe per candidate) as the shard count grows.
+fn bench_router_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_router");
+    for shards in [2usize, 4, 8] {
+        let router = ShardRouter::new(vec![prepared_model(5)], shards, RuntimeConfig::default());
+        group.bench_with_input(BenchmarkId::new("route", shards), &router, |b, router| {
+            b.iter(|| router.route("bench"))
+        });
+    }
+    group.finish();
+}
+
+/// Request-cache probe cost on both paths: a bit-exact hit (digest +
+/// full key comparison + LRU bump) and a clean miss.
+fn bench_request_cache(c: &mut Criterion) {
+    let model = prepared_model(6);
+    let mut rng = panacea_tensor::seeded_rng(7);
+    let cache = RequestCache::new(CacheConfig {
+        capacity: 512,
+        shards: 8,
+    });
+    let hit_codes = request(&model, 4, &mut rng);
+    let (acc, _) = model.forward_codes(&hit_codes);
+    cache.insert(
+        "bench",
+        hit_codes.clone(),
+        CachedOutput {
+            acc,
+            scale: model.output_scale(),
+        },
+    );
+    let miss_codes = request(&model, 4, &mut rng);
+
+    let mut group = c.benchmark_group("gateway_cache");
+    group.bench_function("hit", |b| {
+        b.iter(|| cache.get("bench", &hit_codes).expect("hit"))
+    });
+    group.bench_function("miss", |b| b.iter(|| cache.get("bench", &miss_codes)));
+    group.finish();
+}
+
 fn quick() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -114,6 +158,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_batch_width, bench_runtime_dispatch
+    targets = bench_batch_width, bench_runtime_dispatch, bench_router_route, bench_request_cache
 }
 criterion_main!(benches);

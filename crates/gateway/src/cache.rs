@@ -1,0 +1,441 @@
+//! A bounded, sharded, content-addressed response cache.
+//!
+//! Under real traffic identical activation payloads recur — retried
+//! requests, common prompts, synthetic monitors — and an identical
+//! payload for the same model is guaranteed the identical integer
+//! accumulators (the whole pipeline is deterministic), so it should
+//! never re-enter the AQS-GEMM pipeline. The cache is keyed by the model
+//! name plus the *quantized* request codes: a hit requires full key
+//! equality (bit-exact codes), never a digest match alone, so a hit is
+//! always a correct replay. The digest
+//! ([`Matrix::content_hash`](panacea_tensor::Matrix::content_hash))
+//! only picks the shard and accelerates bucket lookup.
+//!
+//! Shards are independent LRUs behind their own locks, so concurrent
+//! connection handlers rarely contend; eviction is strict
+//! least-recently-used per shard.
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use panacea_tensor::Matrix;
+
+/// Sizing knobs for [`RequestCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total cached responses across all shards; 0 disables caching.
+    pub capacity: usize,
+    /// Number of independently locked LRU shards.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 1024,
+            shards: 8,
+        }
+    }
+}
+
+/// A cached response: everything needed to replay an inference without
+/// touching the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedOutput {
+    /// Final-layer integer accumulators.
+    pub acc: Matrix<i32>,
+    /// Scale converting `acc` to floats.
+    pub scale: f64,
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the runtime.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct CacheKey {
+    model: String,
+    codes: Matrix<i32>,
+}
+
+#[derive(Debug)]
+struct Node {
+    key: CacheKey,
+    digest: u64,
+    value: CachedOutput,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// One LRU shard: a digest-bucketed index over an intrusive
+/// doubly-linked recency list stored in a slab.
+#[derive(Debug, Default)]
+struct LruShard {
+    buckets: HashMap<u64, Vec<usize>>,
+    slab: Vec<Option<Node>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl LruShard {
+    fn new() -> Self {
+        LruShard {
+            head: NIL,
+            tail: NIL,
+            ..LruShard::default()
+        }
+    }
+
+    fn node(&self, i: usize) -> &Node {
+        self.slab[i].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, i: usize) -> &mut Node {
+        self.slab[i].as_mut().expect("live node")
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = {
+            let n = self.node(i);
+            (n.prev, n.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.node_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.node_mut(n).prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.node_mut(i).prev = NIL;
+        self.node_mut(i).next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.node_mut(h).prev = i,
+        }
+        self.head = i;
+    }
+
+    fn find(&self, digest: u64, model: &str, codes: &Matrix<i32>) -> Option<usize> {
+        self.buckets.get(&digest)?.iter().copied().find(|&i| {
+            let key = &self.node(i).key;
+            key.model == model && key.codes == *codes
+        })
+    }
+
+    fn get(&mut self, digest: u64, model: &str, codes: &Matrix<i32>) -> Option<CachedOutput> {
+        let i = self.find(digest, model, codes)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.node(i).value.clone())
+    }
+
+    /// Inserts (or refreshes) an entry; returns how many entries the
+    /// capacity bound evicted.
+    fn insert(&mut self, digest: u64, key: CacheKey, value: CachedOutput, capacity: usize) -> u64 {
+        if capacity == 0 {
+            return 0;
+        }
+        if let Some(i) = self.find(digest, &key.model, &key.codes) {
+            // Bit-exact key already resident: refresh recency, keep the
+            // (necessarily identical) value.
+            self.unlink(i);
+            self.push_front(i);
+            return 0;
+        }
+        let mut evicted = 0;
+        while self.len >= capacity {
+            self.evict_tail();
+            evicted += 1;
+        }
+        let node = Node {
+            key,
+            digest,
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Some(node);
+                slot
+            }
+            None => {
+                self.slab.push(Some(node));
+                self.slab.len() - 1
+            }
+        };
+        self.buckets.entry(digest).or_default().push(i);
+        self.push_front(i);
+        self.len += 1;
+        evicted
+    }
+
+    fn evict_tail(&mut self) {
+        let i = self.tail;
+        debug_assert_ne!(i, NIL, "evict called on an empty shard");
+        self.unlink(i);
+        let node = self.slab[i].take().expect("live node");
+        let bucket = self
+            .buckets
+            .get_mut(&node.digest)
+            .expect("bucket for live node");
+        bucket.retain(|&j| j != i);
+        if bucket.is_empty() {
+            self.buckets.remove(&node.digest);
+        }
+        self.free.push(i);
+        self.len -= 1;
+    }
+}
+
+/// The gateway's sharded LRU response cache. See the module docs.
+#[derive(Debug)]
+pub struct RequestCache {
+    shards: Vec<Mutex<LruShard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl RequestCache {
+    /// Builds a cache with `config.capacity` total entries spread over
+    /// `config.shards` independently locked LRU shards.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        RequestCache {
+            shards: (0..shards).map(|_| Mutex::new(LruShard::new())).collect(),
+            capacity_per_shard: config.capacity.div_ceil(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn digest(model: &str, codes: &Matrix<i32>) -> u64 {
+        let mut h = DefaultHasher::new();
+        model.hash(&mut h);
+        codes.content_hash().hash(&mut h);
+        h.finish()
+    }
+
+    fn shard_for(&self, digest: u64) -> &Mutex<LruShard> {
+        &self.shards[(digest as usize) % self.shards.len()]
+    }
+
+    /// Looks up a bit-exact prior response for `(model, codes)`,
+    /// refreshing its recency on a hit.
+    pub fn get(&self, model: &str, codes: &Matrix<i32>) -> Option<CachedOutput> {
+        let digest = Self::digest(model, codes);
+        let found = self
+            .shard_for(digest)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(digest, model, codes);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a response for `(model, codes)`, evicting least-recently
+    /// used entries if its shard is full.
+    pub fn insert(&self, model: &str, codes: Matrix<i32>, value: CachedOutput) {
+        let digest = Self::digest(model, &codes);
+        let evicted = self
+            .shard_for(digest)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(
+                digest,
+                CacheKey {
+                    model: model.to_string(),
+                    codes,
+                },
+                value,
+                self.capacity_per_shard,
+            );
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len)
+            .sum()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss/eviction counters plus resident entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn codes(salt: i32) -> Matrix<i32> {
+        Matrix::from_fn(4, 2, |r, c| salt * 100 + (r * 2 + c) as i32)
+    }
+
+    fn output(salt: i32) -> CachedOutput {
+        CachedOutput {
+            acc: Matrix::from_fn(2, 2, |r, c| salt * 10 + (r + c) as i32),
+            scale: 0.5,
+        }
+    }
+
+    #[test]
+    fn hit_requires_bit_exact_codes_and_model() {
+        let cache = RequestCache::new(CacheConfig::default());
+        cache.insert("m", codes(1), output(1));
+        assert_eq!(cache.get("m", &codes(1)), Some(output(1)));
+        assert_eq!(cache.get("m", &codes(2)), None);
+        assert_eq!(cache.get("other", &codes(1)), None);
+        let mut nearly = codes(1);
+        nearly[(3, 1)] += 1;
+        assert_eq!(cache.get("m", &nearly), None);
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        // One shard, capacity 2: deterministic recency order.
+        let cache = RequestCache::new(CacheConfig {
+            capacity: 2,
+            shards: 1,
+        });
+        cache.insert("m", codes(1), output(1));
+        cache.insert("m", codes(2), output(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get("m", &codes(1)).is_some());
+        cache.insert("m", codes(3), output(3));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get("m", &codes(2)).is_none(), "victim survived");
+        assert!(cache.get("m", &codes(1)).is_some());
+        assert!(cache.get("m", &codes(3)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_the_same_key_refreshes_instead_of_duplicating() {
+        let cache = RequestCache::new(CacheConfig {
+            capacity: 2,
+            shards: 1,
+        });
+        cache.insert("m", codes(1), output(1));
+        cache.insert("m", codes(2), output(2));
+        // Refresh 1 (no eviction, no growth), then insert a third: the
+        // refreshed 1 must outlive 2.
+        cache.insert("m", codes(1), output(1));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        cache.insert("m", codes(3), output(3));
+        assert!(cache.get("m", &codes(1)).is_some());
+        assert!(cache.get("m", &codes(2)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = RequestCache::new(CacheConfig {
+            capacity: 0,
+            shards: 4,
+        });
+        cache.insert("m", codes(1), output(1));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("m", &codes(1)), None);
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        let cache = RequestCache::new(CacheConfig {
+            capacity: 256,
+            shards: 4,
+        });
+        for salt in 0..64 {
+            cache.insert("m", codes(salt), output(salt));
+        }
+        assert_eq!(cache.len(), 64);
+        let occupied = cache
+            .shards
+            .iter()
+            .filter(|s| s.lock().unwrap().len > 0)
+            .count();
+        assert!(occupied >= 2, "all 64 keys landed in one shard");
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(RequestCache::new(CacheConfig {
+            capacity: 64,
+            shards: 4,
+        }));
+        let mut threads = Vec::new();
+        for t in 0..4 {
+            let cache = Arc::clone(&cache);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let salt = (t * 7 + i) % 32;
+                    cache.insert("m", codes(salt), output(salt));
+                    if let Some(hit) = cache.get("m", &codes(salt)) {
+                        assert_eq!(hit, output(salt), "cache returned a wrong payload");
+                    }
+                }
+            }));
+        }
+        for th in threads {
+            th.join().expect("worker");
+        }
+        assert!(cache.len() <= 64);
+    }
+}

@@ -1,0 +1,123 @@
+//! A blocking TCP client for the gateway protocol.
+//!
+//! One [`GatewayClient`] owns one connection and pipelines nothing:
+//! every call writes one request line and blocks for one response line.
+//! Concurrency comes from opening more clients — they are cheap, and the
+//! server dedicates a thread per connection anyway.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use panacea_tensor::Matrix;
+
+use crate::protocol::{
+    decode_response, encode_request, GatewayStats, InferReply, Payload, Request, Response,
+};
+use crate::GatewayError;
+
+/// A connected gateway client. See the module docs.
+#[derive(Debug)]
+pub struct GatewayClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl GatewayClient {
+    /// Connects to a [`GatewayServer`](crate::GatewayServer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(GatewayClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, GatewayError> {
+        let line = encode_request(request);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(GatewayError::Protocol(
+                "server closed the connection before answering".to_string(),
+            ));
+        }
+        decode_response(&reply)
+    }
+
+    fn expect_infer(&mut self, request: &Request) -> Result<InferReply, GatewayError> {
+        match self.call(request)? {
+            Response::Infer(reply) => Ok(reply),
+            Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
+            Response::Stats(_) => Err(GatewayError::Protocol(
+                "server answered an infer request with stats".to_string(),
+            )),
+        }
+    }
+
+    /// Runs a model on pre-quantized activation codes.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Remote`] for server-side rejections (overload,
+    /// unknown model, bad payload), [`GatewayError::Io`] /
+    /// [`GatewayError::Protocol`] for transport failures.
+    pub fn infer_codes(
+        &mut self,
+        model: &str,
+        codes: Matrix<i32>,
+    ) -> Result<InferReply, GatewayError> {
+        self.expect_infer(&Request::Infer {
+            model: model.to_string(),
+            payload: Payload::Codes(codes),
+        })
+    }
+
+    /// Runs a model on float activations; the server quantizes them with
+    /// the model's calibrated input format.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`infer_codes`](Self::infer_codes), plus
+    /// [`GatewayError::Protocol`] for non-finite elements — JSON cannot
+    /// carry NaN/infinity, so they are rejected here rather than
+    /// silently mangled on the wire.
+    pub fn infer_f32(
+        &mut self,
+        model: &str,
+        input: Matrix<f32>,
+    ) -> Result<InferReply, GatewayError> {
+        if input.iter().any(|v| !v.is_finite()) {
+            return Err(GatewayError::Protocol(
+                "float payload contains NaN or infinite elements".to_string(),
+            ));
+        }
+        self.expect_infer(&Request::Infer {
+            model: model.to_string(),
+            payload: Payload::F32(input),
+        })
+    }
+
+    /// Fetches gateway-level metrics (per-shard, cache, admission).
+    ///
+    /// # Errors
+    ///
+    /// Same transport failures as [`infer_codes`](Self::infer_codes).
+    pub fn stats(&mut self) -> Result<GatewayStats, GatewayError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
+            Response::Infer(_) => Err(GatewayError::Protocol(
+                "server answered a stats request with an inference".to_string(),
+            )),
+        }
+    }
+}

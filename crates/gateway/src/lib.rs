@@ -1,0 +1,122 @@
+//! `panacea-gateway` — the sharded network front-end over
+//! [`panacea_serve`].
+//!
+//! `panacea-serve` batches requests inside one process; this crate turns
+//! it into a deployable service reachable over TCP:
+//!
+//! ```text
+//!  client ──line-delimited JSON──▶ GatewayServer
+//!                                     │ decode, resolve, quantize
+//!                                     ▼
+//!                               RequestCache ──hit──▶ reply (no GEMM)
+//!                                     │ miss
+//!                                     ▼
+//!                             AdmissionController ──full──▶ Overloaded
+//!                                     │ admitted
+//!                                     ▼
+//!                     ShardRouter (rendezvous hash + least load)
+//!                       │                │
+//!                   Runtime #0 …     Runtime #N-1   (panacea-serve)
+//! ```
+//!
+//! * [`ShardRouter`] owns N independent [`Runtime`](panacea_serve::Runtime)
+//!   shards, every shard's registry sharing the *same*
+//!   `Arc<PreparedModel>`s (one preparation, one copy of the sliced
+//!   weights). Requests route by rendezvous hashing on the model name,
+//!   tie-broken toward the emptier queue so hot models spread out.
+//! * [`RequestCache`] is a sharded LRU keyed by a digest of the model
+//!   name and the *quantized* request codes; hits are bit-exact replays
+//!   (full key equality, never digest-only) that skip the AQS-GEMM
+//!   pipeline entirely.
+//! * [`AdmissionController`] bounds simultaneous in-flight requests and
+//!   per-request queue wait, shedding the excess with explicit
+//!   [`ServeError::Overloaded`] rejections instead of queueing without
+//!   limit.
+//! * [`GatewayServer`] / [`GatewayClient`] speak a line-delimited JSON
+//!   protocol (`infer` and `stats` verbs) over blocking TCP — std only,
+//!   with the wire encoding provided by the vendored `serde_json`.
+
+pub mod admission;
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod router;
+pub mod server;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+use std::fmt;
+
+use panacea_serve::ServeError;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
+pub use cache::{CacheConfig, CacheStats, CachedOutput, RequestCache};
+pub use client::GatewayClient;
+pub use protocol::{ErrorKind, GatewayStats, InferReply, Payload, Request, Response, ShardStats};
+pub use router::ShardRouter;
+pub use server::{Gateway, GatewayConfig, GatewayServer};
+
+/// Errors surfaced by the gateway layer (client or server side).
+#[derive(Debug)]
+pub enum GatewayError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A wire message could not be encoded or decoded.
+    Protocol(String),
+    /// The server answered with an error response.
+    Remote {
+        /// Machine-readable error category from the wire.
+        kind: ErrorKind,
+        /// Human-readable message from the server.
+        message: String,
+    },
+    /// A serving-layer failure when driving an in-process [`Gateway`].
+    Serve(ServeError),
+}
+
+impl GatewayError {
+    /// Whether this error is an admission-control rejection — the one
+    /// category callers are expected to retry after backing off.
+    pub fn is_overloaded(&self) -> bool {
+        match self {
+            GatewayError::Remote { kind, .. } => *kind == ErrorKind::Overloaded,
+            GatewayError::Serve(ServeError::Overloaded { .. }) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::Io(e) => write!(f, "i/o failure: {e}"),
+            GatewayError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            GatewayError::Remote { kind, message } => {
+                write!(f, "server rejected request ({kind}): {message}")
+            }
+            GatewayError::Serve(e) => write!(f, "serving failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GatewayError::Io(e) => Some(e),
+            GatewayError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GatewayError {
+    fn from(e: std::io::Error) -> Self {
+        GatewayError::Io(e)
+    }
+}
+
+impl From<ServeError> for GatewayError {
+    fn from(e: ServeError) -> Self {
+        GatewayError::Serve(e)
+    }
+}

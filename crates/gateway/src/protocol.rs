@@ -1,0 +1,549 @@
+//! The gateway wire protocol: line-delimited JSON over TCP.
+//!
+//! Every message is one JSON object on one line. Requests carry a
+//! `verb` — `"infer"` (with either pre-quantized integer `codes` or a
+//! float `input` the server quantizes) or `"stats"`. Responses carry
+//! `ok`; successful inferences return the final integer accumulators
+//! plus the dequantization scale (so clients can verify bit-exactness
+//! against local execution before converting to floats), the shard that
+//! served the request, and whether the response came from the cache.
+//!
+//! Matrices travel as `{"rows": R, "cols": C, "data": [row-major…]}`.
+//! Integer payloads round-trip bit-exactly (JSON numbers are `f64`,
+//! which represents every `i32`); finite float payloads round-trip
+//! exactly too because the writer emits shortest-round-trip decimal
+//! forms. JSON has no NaN/infinity, so non-finite floats do not survive
+//! the wire — [`GatewayClient`](crate::GatewayClient) rejects them
+//! before sending and the server rejects them on decode.
+
+use std::time::Duration;
+
+use panacea_tensor::Matrix;
+use serde_json::{json, Value};
+
+use crate::admission::AdmissionStats;
+use crate::cache::CacheStats;
+use crate::GatewayError;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a model on one activation payload.
+    Infer {
+        /// Registered model name.
+        model: String,
+        /// The activations to run.
+        payload: Payload,
+    },
+    /// Fetch gateway-level metrics.
+    Stats,
+}
+
+/// The activation payload of an `infer` request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Already-quantized activation codes (`K × N`), produced with the
+    /// model's calibrated input format.
+    Codes(Matrix<i32>),
+    /// Float activations (`K × N`); the server quantizes them with the
+    /// model's input format before execution.
+    F32(Matrix<f32>),
+}
+
+/// A successful `infer` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferReply {
+    /// Final-layer integer accumulators (`M × N`), bit-identical to
+    /// running the request directly on a [`panacea_serve::Runtime`].
+    pub acc: Matrix<i32>,
+    /// Scale converting `acc` to floats.
+    pub scale: f64,
+    /// Gateway-measured request latency (decode to response, excluding
+    /// network time).
+    pub latency: Duration,
+    /// The shard that served (or would have served) the request.
+    pub shard: usize,
+    /// Whether the response was replayed from the request cache.
+    pub cache_hit: bool,
+}
+
+impl InferReply {
+    /// Dequantizes the accumulators into floats.
+    pub fn to_f32(&self) -> Matrix<f32> {
+        self.acc.map(|&v| (f64::from(v) * self.scale) as f32)
+    }
+}
+
+/// Machine-readable category of an error response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Admission control shed the request; retry after backing off.
+    Overloaded,
+    /// The model name is not registered on this gateway.
+    UnknownModel,
+    /// The request itself is invalid (shape, code range, empty payload).
+    BadRequest,
+    /// The gateway is shutting down.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::UnknownModel => "unknown_model",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn from_str(s: &str) -> Self {
+        match s {
+            "overloaded" => ErrorKind::Overloaded,
+            "unknown_model" => ErrorKind::UnknownModel,
+            "bad_request" => ErrorKind::BadRequest,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            _ => ErrorKind::Internal,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Point-in-time serving counters for one shard, as reported by the
+/// `stats` verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStats {
+    /// Requests completed by this shard.
+    pub requests: u64,
+    /// Batches dispatched by this shard.
+    pub batches: u64,
+    /// Activation columns served by this shard.
+    pub columns: u64,
+    /// Columns zero-padded to the PE vector width.
+    pub padded_cols: u64,
+    /// Served columns per second of worker compute time.
+    pub columns_per_second: f64,
+    /// Columns waiting in this shard's queue right now.
+    pub queued_cols: u64,
+    /// Columns claimed by workers but not yet answered.
+    pub in_flight_cols: u64,
+}
+
+/// Gateway-level metrics bundle returned by the `stats` verb.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GatewayStats {
+    /// Per-shard serving counters, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+    /// Request-cache counters.
+    pub cache: CacheStats,
+    /// Admission-control counters.
+    pub admission: AdmissionStats,
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful inference.
+    Infer(InferReply),
+    /// Metrics snapshot.
+    Stats(GatewayStats),
+    /// The request failed; `kind` says how, `message` says why.
+    Error {
+        /// Machine-readable category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn matrix_i32_to_value(m: &Matrix<i32>) -> Value {
+    json!({
+        "rows": m.rows(),
+        "cols": m.cols(),
+        "data": Value::Array(m.iter().map(|&v| Value::from(v)).collect()),
+    })
+}
+
+fn matrix_f32_to_value(m: &Matrix<f32>) -> Value {
+    json!({
+        "rows": m.rows(),
+        "cols": m.cols(),
+        "data": Value::Array(m.iter().map(|&v| Value::from(v)).collect()),
+    })
+}
+
+fn bad(msg: impl Into<String>) -> GatewayError {
+    GatewayError::Protocol(msg.into())
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, GatewayError> {
+    v.get(key)
+        .ok_or_else(|| bad(format!("missing field {key:?}")))
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, GatewayError> {
+    field(v, key)?
+        .as_u64()
+        .map(|x| x as usize)
+        .ok_or_else(|| bad(format!("field {key:?} is not a non-negative integer")))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, GatewayError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| bad(format!("field {key:?} is not a non-negative integer")))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, GatewayError> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| bad(format!("field {key:?} is not a number")))
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, GatewayError> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| bad(format!("field {key:?} is not a string")))
+}
+
+fn value_to_matrix_i32(v: &Value) -> Result<Matrix<i32>, GatewayError> {
+    let rows = usize_field(v, "rows")?;
+    let cols = usize_field(v, "cols")?;
+    let data = field(v, "data")?
+        .as_array()
+        .ok_or_else(|| bad("matrix data is not an array"))?;
+    let mut out = Vec::with_capacity(data.len());
+    for item in data {
+        let n = item
+            .as_i64()
+            .ok_or_else(|| bad("matrix element is not an integer"))?;
+        let n = i32::try_from(n).map_err(|_| bad("matrix element exceeds i32 range"))?;
+        out.push(n);
+    }
+    Matrix::from_vec(rows, cols, out)
+        .map_err(|_| bad("matrix data length does not match rows*cols"))
+}
+
+fn value_to_matrix_f32(v: &Value) -> Result<Matrix<f32>, GatewayError> {
+    let rows = usize_field(v, "rows")?;
+    let cols = usize_field(v, "cols")?;
+    let data = field(v, "data")?
+        .as_array()
+        .ok_or_else(|| bad("matrix data is not an array"))?;
+    let mut out = Vec::with_capacity(data.len());
+    for item in data {
+        let n = item
+            .as_f64()
+            .ok_or_else(|| bad("matrix element is not a number"))?;
+        out.push(n as f32);
+    }
+    Matrix::from_vec(rows, cols, out)
+        .map_err(|_| bad("matrix data length does not match rows*cols"))
+}
+
+/// Serializes a request to its single-line wire form (no newline).
+pub fn encode_request(req: &Request) -> String {
+    let value = match req {
+        Request::Infer { model, payload } => {
+            let (key, matrix) = match payload {
+                Payload::Codes(codes) => ("codes", matrix_i32_to_value(codes)),
+                Payload::F32(input) => ("input", matrix_f32_to_value(input)),
+            };
+            let mut map = serde_json::Map::new();
+            map.insert("verb".to_string(), Value::from("infer"));
+            map.insert("model".to_string(), Value::from(model.clone()));
+            map.insert(key.to_string(), matrix);
+            Value::Object(map)
+        }
+        Request::Stats => json!({ "verb": "stats" }),
+    };
+    serde_json::to_string(&value).expect("shim serializer never fails")
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`GatewayError::Protocol`] on malformed JSON, an unknown verb, or a
+/// payload that is missing or malformed.
+pub fn decode_request(line: &str) -> Result<Request, GatewayError> {
+    let v = serde_json::from_str(line.trim()).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    match str_field(&v, "verb")? {
+        "infer" => {
+            let model = str_field(&v, "model")?.to_string();
+            let payload = match (v.get("codes"), v.get("input")) {
+                (Some(codes), None) => Payload::Codes(value_to_matrix_i32(codes)?),
+                (None, Some(input)) => Payload::F32(value_to_matrix_f32(input)?),
+                (Some(_), Some(_)) => {
+                    return Err(bad("request carries both codes and input"));
+                }
+                (None, None) => return Err(bad("request carries neither codes nor input")),
+            };
+            Ok(Request::Infer { model, payload })
+        }
+        "stats" => Ok(Request::Stats),
+        other => Err(bad(format!("unknown verb {other:?}"))),
+    }
+}
+
+fn shard_stats_to_value(s: &ShardStats) -> Value {
+    json!({
+        "requests": s.requests,
+        "batches": s.batches,
+        "columns": s.columns,
+        "padded_cols": s.padded_cols,
+        "columns_per_second": s.columns_per_second,
+        "queued_cols": s.queued_cols,
+        "in_flight_cols": s.in_flight_cols,
+    })
+}
+
+fn value_to_shard_stats(v: &Value) -> Result<ShardStats, GatewayError> {
+    Ok(ShardStats {
+        requests: u64_field(v, "requests")?,
+        batches: u64_field(v, "batches")?,
+        columns: u64_field(v, "columns")?,
+        padded_cols: u64_field(v, "padded_cols")?,
+        columns_per_second: f64_field(v, "columns_per_second")?,
+        queued_cols: u64_field(v, "queued_cols")?,
+        in_flight_cols: u64_field(v, "in_flight_cols")?,
+    })
+}
+
+fn stats_to_value(stats: &GatewayStats) -> Value {
+    json!({
+        "ok": true,
+        "kind": "stats",
+        "shards": Value::Array(stats.shards.iter().map(shard_stats_to_value).collect()),
+        "cache": json!({
+            "hits": stats.cache.hits,
+            "misses": stats.cache.misses,
+            "evictions": stats.cache.evictions,
+            "entries": stats.cache.entries,
+        }),
+        "admission": json!({
+            "admitted": stats.admission.admitted,
+            "rejected_capacity": stats.admission.rejected_capacity,
+            "rejected_timeout": stats.admission.rejected_timeout,
+            "in_flight": stats.admission.in_flight,
+        }),
+    })
+}
+
+fn value_to_stats(v: &Value) -> Result<GatewayStats, GatewayError> {
+    let shards = field(v, "shards")?
+        .as_array()
+        .ok_or_else(|| bad("shards is not an array"))?
+        .iter()
+        .map(value_to_shard_stats)
+        .collect::<Result<Vec<_>, _>>()?;
+    let cache = field(v, "cache")?;
+    let admission = field(v, "admission")?;
+    Ok(GatewayStats {
+        shards,
+        cache: CacheStats {
+            hits: u64_field(cache, "hits")?,
+            misses: u64_field(cache, "misses")?,
+            evictions: u64_field(cache, "evictions")?,
+            entries: u64_field(cache, "entries")? as usize,
+        },
+        admission: AdmissionStats {
+            admitted: u64_field(admission, "admitted")?,
+            rejected_capacity: u64_field(admission, "rejected_capacity")?,
+            rejected_timeout: u64_field(admission, "rejected_timeout")?,
+            in_flight: usize_field(admission, "in_flight")?,
+        },
+    })
+}
+
+/// Serializes a response to its single-line wire form (no newline).
+pub fn encode_response(resp: &Response) -> String {
+    let value = match resp {
+        Response::Infer(reply) => json!({
+            "ok": true,
+            "kind": "infer",
+            "acc": matrix_i32_to_value(&reply.acc),
+            "scale": reply.scale,
+            "latency_us": reply.latency.as_micros() as u64,
+            "shard": reply.shard,
+            "cache_hit": reply.cache_hit,
+        }),
+        Response::Stats(stats) => stats_to_value(stats),
+        Response::Error { kind, message } => json!({
+            "ok": false,
+            "error": kind.as_str(),
+            "message": message.clone(),
+        }),
+    };
+    serde_json::to_string(&value).expect("shim serializer never fails")
+}
+
+/// Parses one response line.
+///
+/// # Errors
+///
+/// [`GatewayError::Protocol`] on malformed JSON or an unknown response
+/// kind.
+pub fn decode_response(line: &str) -> Result<Response, GatewayError> {
+    let v = serde_json::from_str(line.trim()).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    let ok = field(&v, "ok")?
+        .as_bool()
+        .ok_or_else(|| bad("field \"ok\" is not a boolean"))?;
+    if !ok {
+        return Ok(Response::Error {
+            kind: ErrorKind::from_str(str_field(&v, "error")?),
+            message: str_field(&v, "message")?.to_string(),
+        });
+    }
+    match str_field(&v, "kind")? {
+        "infer" => Ok(Response::Infer(InferReply {
+            acc: value_to_matrix_i32(field(&v, "acc")?)?,
+            scale: f64_field(&v, "scale")?,
+            latency: Duration::from_micros(u64_field(&v, "latency_us")?),
+            shard: usize_field(&v, "shard")?,
+            cache_hit: field(&v, "cache_hit")?
+                .as_bool()
+                .ok_or_else(|| bad("field \"cache_hit\" is not a boolean"))?,
+        })),
+        "stats" => Ok(Response::Stats(value_to_stats(&v)?)),
+        other => Err(bad(format!("unknown response kind {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes() -> Matrix<i32> {
+        Matrix::from_fn(3, 2, |r, c| (r as i32 - 1) * 100 + c as i32)
+    }
+
+    #[test]
+    fn infer_request_round_trips_codes_bit_exactly() {
+        let req = Request::Infer {
+            model: "block0.fc2".to_string(),
+            payload: Payload::Codes(codes()),
+        };
+        let line = encode_request(&req);
+        assert!(!line.contains('\n'));
+        assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn infer_request_round_trips_floats() {
+        let input = Matrix::from_fn(2, 2, |r, c| 0.25 * (r as f32) - 1.5 * (c as f32));
+        let req = Request::Infer {
+            model: "m".to_string(),
+            payload: Payload::F32(input),
+        };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+    }
+
+    #[test]
+    fn stats_request_round_trips() {
+        assert_eq!(
+            decode_request(&encode_request(&Request::Stats)).unwrap(),
+            Request::Stats
+        );
+    }
+
+    #[test]
+    fn infer_response_round_trips() {
+        let resp = Response::Infer(InferReply {
+            acc: codes(),
+            scale: 1.25e-3,
+            latency: Duration::from_micros(417),
+            shard: 1,
+            cache_hit: true,
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn stats_response_round_trips() {
+        let resp = Response::Stats(GatewayStats {
+            shards: vec![
+                ShardStats {
+                    requests: 10,
+                    batches: 3,
+                    columns: 40,
+                    padded_cols: 2,
+                    columns_per_second: 1234.5,
+                    queued_cols: 4,
+                    in_flight_cols: 8,
+                },
+                ShardStats::default(),
+            ],
+            cache: CacheStats {
+                hits: 5,
+                misses: 7,
+                evictions: 1,
+                entries: 6,
+            },
+            admission: AdmissionStats {
+                admitted: 12,
+                rejected_capacity: 2,
+                rejected_timeout: 1,
+                in_flight: 3,
+            },
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn error_response_round_trips_kind() {
+        let resp = Response::Error {
+            kind: ErrorKind::Overloaded,
+            message: "in-flight limit 8 reached".to_string(),
+        };
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for line in [
+            "",
+            "not json",
+            "{}",
+            "{\"verb\":\"launch\"}",
+            "{\"verb\":\"infer\",\"model\":\"m\"}",
+            "{\"verb\":\"infer\",\"model\":\"m\",\"codes\":{\"rows\":2,\"cols\":2,\"data\":[1]}}",
+            "{\"verb\":\"infer\",\"model\":\"m\",\"codes\":{\"rows\":1,\"cols\":1,\"data\":[1.5]}}",
+        ] {
+            assert!(decode_request(line).is_err(), "accepted {line:?}");
+        }
+    }
+
+    #[test]
+    fn i32_extremes_survive_the_wire() {
+        let m = Matrix::from_vec(1, 4, vec![i32::MIN, -1, 1, i32::MAX]).unwrap();
+        let req = Request::Infer {
+            model: "m".to_string(),
+            payload: Payload::Codes(m.clone()),
+        };
+        let Request::Infer { payload, .. } = decode_request(&encode_request(&req)).unwrap() else {
+            panic!("wrong verb");
+        };
+        assert_eq!(payload, Payload::Codes(m));
+    }
+
+    #[test]
+    fn reply_to_f32_applies_scale() {
+        let reply = InferReply {
+            acc: Matrix::from_vec(1, 2, vec![4, -8]).unwrap(),
+            scale: 0.5,
+            latency: Duration::ZERO,
+            shard: 0,
+            cache_hit: false,
+        };
+        assert_eq!(reply.to_f32().as_slice(), &[2.0, -4.0]);
+    }
+}

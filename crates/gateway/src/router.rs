@@ -1,0 +1,308 @@
+//! Shard routing: N independent serving runtimes behind one front door.
+//!
+//! Every shard is a full [`Runtime`] — its own worker pool, queue, and
+//! [`ModelRegistry`] — but all registries share the *same*
+//! `Arc<PreparedModel>`s, so N shards cost one model preparation and one
+//! copy of the sliced weights. Routing is rendezvous (highest-random-
+//! weight) hashing on the model name: each model has a stable shard
+//! preference order, so its requests keep landing where its batches
+//! coalesce, and removing a shard only reshuffles the models that lived
+//! there. The router compares the **top two** candidates' live queue
+//! depth and takes the emptier one, so a hot model overflows onto its
+//! second-choice shard instead of queueing behind itself.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Arc;
+
+use panacea_serve::{
+    InferenceOutput, ModelRegistry, Pending, PreparedModel, QueueDepth, Runtime, RuntimeConfig,
+    ServeError,
+};
+use panacea_tensor::Matrix;
+
+use crate::protocol::ShardStats;
+
+/// N serving runtimes plus the routing policy that spreads models over
+/// them. See the module docs.
+#[derive(Debug)]
+pub struct ShardRouter {
+    shards: Vec<Runtime>,
+}
+
+impl ShardRouter {
+    /// Builds `shards` runtimes (at least one), each configured by
+    /// `config`, with every prepared model registered on every shard.
+    pub fn new(models: Vec<PreparedModel>, shards: usize, config: RuntimeConfig) -> Self {
+        Self::from_shared(models.into_iter().map(Arc::new).collect(), shards, config)
+    }
+
+    /// [`new`](Self::new) for models that are already shared handles —
+    /// no weight cloning happens either way.
+    pub fn from_shared(
+        models: Vec<Arc<PreparedModel>>,
+        shards: usize,
+        config: RuntimeConfig,
+    ) -> Self {
+        let shards = (0..shards.max(1))
+            .map(|_| {
+                let registry = Arc::new(ModelRegistry::new());
+                for model in &models {
+                    registry.insert_shared(Arc::clone(model));
+                }
+                Runtime::start(registry, config)
+            })
+            .collect();
+        ShardRouter { shards }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to one shard's runtime (metrics, queue depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.num_shards()`.
+    pub fn shard(&self, shard: usize) -> &Runtime {
+        &self.shards[shard]
+    }
+
+    /// Resolves a model name against the shared registry (every shard
+    /// holds the same set, so shard 0 answers for all).
+    pub fn model(&self, name: &str) -> Option<Arc<PreparedModel>> {
+        self.shards[0].registry().get(name)
+    }
+
+    /// Registered model names, sorted.
+    pub fn model_names(&self) -> Vec<String> {
+        self.shards[0].registry().names()
+    }
+
+    fn rendezvous_score(model: &str, shard: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        model.hash(&mut h);
+        shard.hash(&mut h);
+        h.finish()
+    }
+
+    /// The two highest-scoring candidate shards for a model, best first.
+    /// With a single shard both slots name it.
+    fn candidates(&self, model: &str) -> (usize, usize) {
+        let mut best = (0, u64::MIN);
+        let mut second = (0, u64::MIN);
+        for shard in 0..self.shards.len() {
+            let score = Self::rendezvous_score(model, shard);
+            if score > best.1 {
+                second = best;
+                best = (shard, score);
+            } else if score > second.1 {
+                second = (shard, score);
+            }
+        }
+        if self.shards.len() == 1 {
+            second = best;
+        }
+        (best.0, second.0)
+    }
+
+    /// Picks the shard for a request: the model's rendezvous favourite,
+    /// unless its runner-up is strictly less loaded right now.
+    pub fn route(&self, model: &str) -> usize {
+        let (first, second) = self.candidates(model);
+        if first == second {
+            return first;
+        }
+        let load_first = self.shards[first].queue_depth().load();
+        let load_second = self.shards[second].queue_depth().load();
+        if load_second < load_first {
+            second
+        } else {
+            first
+        }
+    }
+
+    /// Routes and enqueues a request, returning the response handle and
+    /// the shard that took it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit`].
+    pub fn submit(&self, model: &str, codes: Matrix<i32>) -> Result<(Pending, usize), ServeError> {
+        let resolved = self.model(model).ok_or_else(|| ServeError::UnknownModel {
+            model: model.to_string(),
+        })?;
+        let shard = self.route(model);
+        let pending = self.shards[shard].submit_to(resolved, codes)?;
+        Ok((pending, shard))
+    }
+
+    /// [`submit`](Self::submit) onto an explicit shard with an
+    /// already-resolved model — the gateway uses this to keep the shard
+    /// decision and the cache probe on the same codes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit_to`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.num_shards()`.
+    pub fn submit_to_shard(
+        &self,
+        shard: usize,
+        model: Arc<PreparedModel>,
+        codes: Matrix<i32>,
+    ) -> Result<Pending, ServeError> {
+        self.shards[shard].submit_to(model, codes)
+    }
+
+    /// Routes, enqueues, and blocks for the answer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::infer`].
+    pub fn infer(
+        &self,
+        model: &str,
+        codes: Matrix<i32>,
+    ) -> Result<(InferenceOutput, usize), ServeError> {
+        let (pending, shard) = self.submit(model, codes)?;
+        Ok((pending.wait()?, shard))
+    }
+
+    /// Live queue depth of every shard.
+    pub fn queue_depths(&self) -> Vec<QueueDepth> {
+        self.shards.iter().map(Runtime::queue_depth).collect()
+    }
+
+    /// Per-shard serving counters in wire form, indexed by shard id.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|rt| {
+                let m = rt.metrics();
+                let q = rt.queue_depth();
+                ShardStats {
+                    requests: m.requests,
+                    batches: m.batches,
+                    columns: m.columns,
+                    padded_cols: m.padded_cols,
+                    columns_per_second: m.columns_per_second(),
+                    queued_cols: q.queued_cols as u64,
+                    in_flight_cols: q.in_flight_cols as u64,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{codes, models};
+    use panacea_serve::BatchPolicy;
+    use std::time::Duration;
+
+    #[test]
+    fn routing_is_deterministic_at_equal_load() {
+        let router = ShardRouter::new(models(&["a", "b"], 1), 4, RuntimeConfig::default());
+        for name in ["a", "b"] {
+            let first = router.route(name);
+            for _ in 0..10 {
+                assert_eq!(router.route(name), first);
+            }
+        }
+    }
+
+    #[test]
+    fn many_models_spread_over_shards() {
+        let names: Vec<String> = (0..32).map(|i| format!("model-{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let router = ShardRouter::new(models(&name_refs, 2), 4, RuntimeConfig::default());
+        let mut used = std::collections::HashSet::new();
+        for name in &names {
+            used.insert(router.route(name));
+        }
+        assert!(
+            used.len() >= 3,
+            "32 models landed on only {} of 4 shards",
+            used.len()
+        );
+    }
+
+    #[test]
+    fn loaded_favourite_overflows_to_runner_up() {
+        // A long linger + huge budget keeps submitted work sitting in the
+        // favourite's queue, so the router must divert to the runner-up.
+        let router = ShardRouter::new(
+            models(&["hot"], 3),
+            2,
+            RuntimeConfig {
+                workers: 1,
+                policy: BatchPolicy {
+                    max_batch: 4096,
+                    max_wait: Duration::from_secs(5),
+                },
+            },
+        );
+        let model = router.model("hot").expect("registered");
+        let favourite = router.route("hot");
+        let (first, second) = router.candidates("hot");
+        assert_eq!(favourite, first);
+        assert_ne!(first, second, "two shards must give two candidates");
+        let _pending = router
+            .submit_to_shard(favourite, Arc::clone(&model), codes(&model, 8, 0))
+            .expect("queued");
+        assert_eq!(
+            router.route("hot"),
+            second,
+            "router kept sending to the loaded favourite"
+        );
+    }
+
+    #[test]
+    fn shards_share_prepared_models_by_pointer() {
+        let router = ShardRouter::new(models(&["m"], 4), 3, RuntimeConfig::default());
+        let handles: Vec<Arc<PreparedModel>> = (0..3)
+            .map(|i| router.shard(i).registry().get("m").expect("registered"))
+            .collect();
+        assert!(Arc::ptr_eq(&handles[0], &handles[1]));
+        assert!(Arc::ptr_eq(&handles[1], &handles[2]));
+    }
+
+    #[test]
+    fn infer_routes_and_matches_direct_execution() {
+        let router = ShardRouter::new(models(&["a", "b"], 5), 2, RuntimeConfig::default());
+        for (salt, name) in ["a", "b", "a", "b"].iter().enumerate() {
+            let model = router.model(name).expect("registered");
+            let x = codes(&model, 2, salt);
+            let (expect, _) = model.forward_codes(&x);
+            let (out, shard) = router.infer(name, x).expect("served");
+            assert_eq!(out.acc, expect);
+            assert!(shard < router.num_shards());
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_rejected_before_routing() {
+        let router = ShardRouter::new(models(&["m"], 6), 2, RuntimeConfig::default());
+        assert!(matches!(
+            router.infer("ghost", Matrix::<i32>::zeros(16, 1)),
+            Err(ServeError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn single_shard_router_still_routes() {
+        let router = ShardRouter::new(models(&["m"], 7), 1, RuntimeConfig::default());
+        assert_eq!(router.num_shards(), 1);
+        assert_eq!(router.route("m"), 0);
+        let model = router.model("m").expect("registered");
+        let x = codes(&model, 1, 0);
+        let (out, shard) = router.infer("m", x).expect("served");
+        assert_eq!(shard, 0);
+        assert_eq!(out.acc.rows(), 8);
+    }
+}

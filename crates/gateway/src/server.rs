@@ -1,0 +1,497 @@
+//! The gateway itself: protocol handling glued to routing, caching, and
+//! admission — plus the blocking TCP server that exposes it.
+//!
+//! [`Gateway`] is the transport-free core (handy for in-process use and
+//! tests); [`GatewayServer`] wraps it in a `TcpListener` with one
+//! acceptor thread and one handler thread per connection. Handlers use
+//! short read timeouts so shutdown never hangs on an idle socket, and
+//! dropping the server stops the acceptor, joins every handler, and then
+//! shuts the shards down cleanly (drain, join workers).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use panacea_serve::{PreparedModel, RuntimeConfig, ServeError};
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::cache::{CacheConfig, CachedOutput, RequestCache};
+use crate::protocol::{
+    decode_request, encode_response, ErrorKind, GatewayStats, InferReply, Payload, Request,
+    Response,
+};
+use crate::router::ShardRouter;
+
+/// Everything a gateway deployment tunes.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Number of serving shards (independent runtimes).
+    pub shards: usize,
+    /// Per-shard runtime sizing (workers, batching policy).
+    pub runtime: RuntimeConfig,
+    /// Response cache sizing.
+    pub cache: CacheConfig,
+    /// Admission bounds.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            shards: 2,
+            runtime: RuntimeConfig::default(),
+            cache: CacheConfig::default(),
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// The transport-free gateway core: cache → admission → shard router.
+#[derive(Debug)]
+pub struct Gateway {
+    router: ShardRouter,
+    cache: RequestCache,
+    admission: AdmissionController,
+}
+
+impl Gateway {
+    /// Builds a gateway serving `models` under `config`.
+    pub fn new(models: Vec<PreparedModel>, config: GatewayConfig) -> Self {
+        Self::from_shared(models.into_iter().map(Arc::new).collect(), config)
+    }
+
+    /// [`new`](Self::new) for already-shared model handles.
+    pub fn from_shared(models: Vec<Arc<PreparedModel>>, config: GatewayConfig) -> Self {
+        Gateway {
+            router: ShardRouter::from_shared(models, config.shards, config.runtime),
+            cache: RequestCache::new(config.cache),
+            admission: AdmissionController::new(config.admission),
+        }
+    }
+
+    /// The shard router (shard metrics, direct routing).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The response cache.
+    pub fn cache(&self) -> &RequestCache {
+        &self.cache
+    }
+
+    /// The admission controller.
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Runs one inference through cache, admission, and routing.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`panacea_serve::Runtime::infer`] surfaces, plus
+    /// [`ServeError::Overloaded`] from admission control.
+    pub fn infer(&self, model: &str, payload: Payload) -> Result<InferReply, ServeError> {
+        let started = Instant::now();
+        let resolved = self
+            .router
+            .model(model)
+            .ok_or_else(|| ServeError::UnknownModel {
+                model: model.to_string(),
+            })?;
+        let codes = match payload {
+            Payload::Codes(codes) => codes,
+            Payload::F32(input) => resolved.quantize(&input),
+        };
+        resolved.validate(&codes)?;
+        let shard = self.router.route(model);
+        if let Some(hit) = self.cache.get(model, &codes) {
+            return Ok(InferReply {
+                acc: hit.acc,
+                scale: hit.scale,
+                latency: started.elapsed(),
+                shard,
+                cache_hit: true,
+            });
+        }
+        let permit = self.admission.try_admit()?;
+        let pending = self
+            .router
+            .submit_to_shard(shard, resolved, codes.clone())?;
+        let out = self.admission.wait_bounded(&pending)?;
+        drop(permit);
+        self.cache.insert(
+            model,
+            codes,
+            CachedOutput {
+                acc: out.acc.clone(),
+                scale: out.scale,
+            },
+        );
+        Ok(InferReply {
+            acc: out.acc,
+            scale: out.scale,
+            latency: started.elapsed(),
+            shard,
+            cache_hit: false,
+        })
+    }
+
+    /// Current gateway-level metrics (per-shard, cache, admission).
+    pub fn stats(&self) -> GatewayStats {
+        GatewayStats {
+            shards: self.router.shard_stats(),
+            cache: self.cache.stats(),
+            admission: self.admission.stats(),
+        }
+    }
+
+    /// Dispatches one decoded request to a response — the single entry
+    /// point both the TCP server and in-process callers use.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Infer { model, payload } => match self.infer(&model, payload) {
+                Ok(reply) => Response::Infer(reply),
+                Err(e) => Response::Error {
+                    kind: error_kind(&e),
+                    message: e.to_string(),
+                },
+            },
+        }
+    }
+}
+
+fn error_kind(e: &ServeError) -> ErrorKind {
+    match e {
+        ServeError::Overloaded { .. } => ErrorKind::Overloaded,
+        ServeError::UnknownModel { .. } => ErrorKind::UnknownModel,
+        ServeError::Shape { .. }
+        | ServeError::EmptyRequest
+        | ServeError::CodesOutOfRange { .. }
+        | ServeError::EmptyModel { .. }
+        | ServeError::UnalignedRows { .. } => ErrorKind::BadRequest,
+        ServeError::ShuttingDown => ErrorKind::ShuttingDown,
+        ServeError::WorkerLost | ServeError::Pipeline(_) => ErrorKind::Internal,
+    }
+}
+
+/// How often blocked reads wake to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A blocking TCP front-end over a shared [`Gateway`].
+#[derive(Debug)]
+pub struct GatewayServer {
+    gateway: Arc<Gateway>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl GatewayServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections, one handler thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(gateway: Arc<Gateway>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let gateway = Arc::clone(&gateway);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("panacea-gateway-accept".to_string())
+                .spawn(move || accept_loop(&listener, &gateway, &stop))
+                .expect("spawn acceptor")
+        };
+        Ok(GatewayServer {
+            gateway,
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The gateway this server fronts.
+    pub fn gateway(&self) -> &Arc<Gateway> {
+        &self.gateway
+    }
+
+    /// Stops accepting, disconnects idle handlers, and joins every
+    /// server thread. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor with a throwaway connection. A wildcard
+        // bind address is not connectable, so nudge via loopback.
+        let mut nudge_addr = self.local_addr;
+        if nudge_addr.ip().is_unspecified() {
+            nudge_addr.set_ip(match nudge_addr {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(nudge_addr);
+        let _ = acceptor.join();
+    }
+}
+
+impl Drop for GatewayServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, gateway: &Arc<Gateway>, stop: &Arc<AtomicBool>) {
+    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    for (conn, stream) in listener.incoming().enumerate() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let gateway = Arc::clone(gateway);
+        let stop = Arc::clone(stop);
+        let handle = thread::Builder::new()
+            .name(format!("panacea-gateway-conn-{conn}"))
+            .spawn(move || serve_connection(&gateway, stream, &stop))
+            .expect("spawn connection handler");
+        let mut guard = handlers.lock().expect("handler list poisoned");
+        guard.retain(|h| !h.is_finished());
+        guard.push(handle);
+    }
+    for handle in handlers.into_inner().expect("handler list poisoned") {
+        let _ = handle.join();
+    }
+}
+
+/// Largest accepted request line; a connection streaming more without a
+/// newline is answered with an error and closed, bounding per-connection
+/// memory.
+const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Bound on how long a response write may stall on a non-reading client
+/// before the connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) {
+    // Short read timeouts let the handler notice shutdown while parked
+    // on an idle connection; the write timeout keeps a stalled reader
+    // from pinning the handler (and shutdown) forever.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
+        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    let respond = |writer: &mut BufWriter<TcpStream>, response: &Response| {
+        let encoded = encode_response(response);
+        writer
+            .write_all(encoded.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_ok()
+    };
+    loop {
+        // `read_line` appends, so a line split across timeouts
+        // accumulates until its newline arrives. The `take` budget makes
+        // one oversized line surface as a truncated read instead of
+        // accumulating without bound inside a single call.
+        let budget = (MAX_LINE_BYTES + 1 - line.len()) as u64;
+        match std::io::Read::take(&mut reader, budget).read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                if line.len() > MAX_LINE_BYTES {
+                    let _ = respond(
+                        &mut writer,
+                        &Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                        },
+                    );
+                    return;
+                }
+                if !line.ends_with('\n') {
+                    continue; // mid-line EOF race; next read settles it
+                }
+                if line.trim().is_empty() {
+                    line.clear();
+                    continue;
+                }
+                let response = match decode_request(&line) {
+                    Ok(request) => gateway.handle(request),
+                    Err(e) => Response::Error {
+                        kind: ErrorKind::BadRequest,
+                        message: e.to_string(),
+                    },
+                };
+                line.clear();
+                if !respond(&mut writer, &response) {
+                    return; // client hung up or stalled mid-response
+                }
+                // Re-check between requests so a chatty client cannot
+                // starve shutdown of its timeout window.
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A timed-out read may still have appended a partial
+                // chunk; enforce the cap here too.
+                if line.len() > MAX_LINE_BYTES || stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{codes, models};
+    use panacea_serve::BatchPolicy;
+    use panacea_tensor::dist::DistributionKind;
+    use panacea_tensor::Matrix;
+
+    #[test]
+    fn infer_hits_cache_on_identical_payload() {
+        let gateway = Gateway::new(models(&["m"], 1), GatewayConfig::default());
+        let model = gateway.router().model("m").expect("registered");
+        let x = codes(&model, 2, 0);
+        let (expect, _) = model.forward_codes(&x);
+        let first = gateway
+            .infer("m", Payload::Codes(x.clone()))
+            .expect("served");
+        assert!(!first.cache_hit);
+        assert_eq!(first.acc, expect);
+        let second = gateway.infer("m", Payload::Codes(x)).expect("served");
+        assert!(second.cache_hit, "identical payload missed the cache");
+        assert_eq!(second.acc, expect, "cache replay diverged");
+        let stats = gateway.stats();
+        assert_eq!(stats.cache.hits, 1);
+        // The cached request never re-entered a runtime.
+        let total_served: u64 = stats.shards.iter().map(|s| s.requests).sum();
+        assert_eq!(total_served, 1);
+    }
+
+    #[test]
+    fn f32_payload_is_quantized_server_side() {
+        let gateway = Gateway::new(models(&["m"], 2), GatewayConfig::default());
+        let model = gateway.router().model("m").expect("registered");
+        let mut rng = panacea_tensor::seeded_rng(3);
+        let input = DistributionKind::Gaussian {
+            mean: 0.2,
+            std: 0.5,
+        }
+        .sample_matrix(model.in_features(), 2, &mut rng);
+        let (expect, _) = model.forward_codes(&model.quantize(&input));
+        let reply = gateway.infer("m", Payload::F32(input)).expect("served");
+        assert_eq!(reply.acc, expect);
+    }
+
+    #[test]
+    fn bad_requests_map_to_protocol_error_kinds() {
+        let gateway = Gateway::new(models(&["m"], 3), GatewayConfig::default());
+        let ghost = gateway.handle(Request::Infer {
+            model: "ghost".to_string(),
+            payload: Payload::Codes(Matrix::zeros(16, 1)),
+        });
+        assert!(matches!(
+            ghost,
+            Response::Error {
+                kind: ErrorKind::UnknownModel,
+                ..
+            }
+        ));
+        let misshapen = gateway.handle(Request::Infer {
+            model: "m".to_string(),
+            payload: Payload::Codes(Matrix::zeros(3, 1)),
+        });
+        assert!(matches!(
+            misshapen,
+            Response::Error {
+                kind: ErrorKind::BadRequest,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn overload_rejections_reach_the_response() {
+        // One permit and a lingering runtime: the second concurrent
+        // request must be rejected, not queued.
+        let gateway = Arc::new(Gateway::new(
+            models(&["m"], 4),
+            GatewayConfig {
+                shards: 1,
+                runtime: RuntimeConfig {
+                    workers: 1,
+                    policy: BatchPolicy {
+                        max_batch: 4096,
+                        max_wait: Duration::from_millis(300),
+                    },
+                },
+                admission: AdmissionConfig {
+                    max_in_flight: 1,
+                    max_queue_wait: Duration::from_secs(5),
+                },
+                ..GatewayConfig::default()
+            },
+        ));
+        let model = gateway.router().model("m").expect("registered");
+        let slow = {
+            let gateway = Arc::clone(&gateway);
+            let x = codes(&model, 1, 0);
+            thread::spawn(move || gateway.infer("m", Payload::Codes(x)))
+        };
+        // Give the first request time to take the only permit.
+        thread::sleep(Duration::from_millis(50));
+        let shed = gateway.infer("m", Payload::Codes(codes(&model, 1, 1)));
+        assert!(
+            matches!(shed, Err(ServeError::Overloaded { .. })),
+            "burst request was not shed: {shed:?}"
+        );
+        assert!(slow.join().expect("first request").is_ok());
+        assert_eq!(gateway.stats().admission.rejected_capacity, 1);
+    }
+
+    #[test]
+    fn stats_aggregate_all_layers() {
+        let gateway = Gateway::new(models(&["a", "b"], 5), GatewayConfig::default());
+        let a = gateway.router().model("a").expect("registered");
+        for salt in 0..3 {
+            gateway
+                .infer("a", Payload::Codes(codes(&a, 1, salt)))
+                .expect("served");
+        }
+        let s = gateway.stats();
+        assert_eq!(s.shards.len(), 2);
+        assert_eq!(s.shards.iter().map(|x| x.requests).sum::<u64>(), 3);
+        assert_eq!(s.admission.admitted, 3);
+        assert_eq!(s.cache.misses, 3);
+        assert_eq!(s.cache.entries, 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared fixtures for this crate's unit tests: small prepared models
+//! and deterministic request codes.
+
+use panacea_serve::{LayerSpec, PrepareOptions, PreparedModel};
+use panacea_tensor::dist::DistributionKind;
+use panacea_tensor::Matrix;
+
+/// Prepares one 8×16 single-layer model per name, each calibrated on its
+/// own Gaussian sample drawn from a seeded RNG.
+pub(crate) fn models(names: &[&str], seed: u64) -> Vec<PreparedModel> {
+    let mut rng = panacea_tensor::seeded_rng(seed);
+    names
+        .iter()
+        .map(|name| {
+            let w = DistributionKind::Gaussian {
+                mean: 0.0,
+                std: 0.05,
+            }
+            .sample_matrix(8, 16, &mut rng);
+            let calib = DistributionKind::Gaussian {
+                mean: 0.2,
+                std: 0.5,
+            }
+            .sample_matrix(16, 16, &mut rng);
+            PreparedModel::prepare(
+                *name,
+                &[LayerSpec::unbiased(w)],
+                &calib,
+                PrepareOptions::default(),
+            )
+            .expect("prepare")
+        })
+        .collect()
+}
+
+/// Deterministic in-range request codes for a prepared model.
+pub(crate) fn codes(model: &PreparedModel, cols: usize, salt: usize) -> Matrix<i32> {
+    Matrix::from_fn(model.in_features(), cols, |r, c| {
+        ((r * 31 + c * 7 + salt * 13) % 200) as i32
+    })
+}

@@ -1,0 +1,252 @@
+//! End-to-end gateway tests over real localhost TCP: bit-exactness
+//! against direct runtime execution, cache replay, explicit overload
+//! rejections, stats round-trip, and clean server shutdown.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use panacea_gateway::{
+    AdmissionConfig, CacheConfig, Gateway, GatewayClient, GatewayConfig, GatewayServer,
+};
+use panacea_serve::{BatchPolicy, LayerSpec, PrepareOptions, PreparedModel, RuntimeConfig};
+use panacea_tensor::dist::DistributionKind;
+use panacea_tensor::Matrix;
+
+fn models(names: &[&str], seed: u64) -> Vec<PreparedModel> {
+    let mut rng = panacea_tensor::seeded_rng(seed);
+    names
+        .iter()
+        .map(|name| {
+            let w = DistributionKind::Gaussian {
+                mean: 0.0,
+                std: 0.05,
+            }
+            .sample_matrix(8, 16, &mut rng);
+            let calib = DistributionKind::Gaussian {
+                mean: 0.2,
+                std: 0.5,
+            }
+            .sample_matrix(16, 16, &mut rng);
+            PreparedModel::prepare(
+                *name,
+                &[LayerSpec::unbiased(w)],
+                &calib,
+                PrepareOptions::default(),
+            )
+            .expect("prepare")
+        })
+        .collect()
+}
+
+fn codes(model: &PreparedModel, cols: usize, salt: usize) -> Matrix<i32> {
+    Matrix::from_fn(model.in_features(), cols, |r, c| {
+        ((r * 31 + c * 7 + salt * 13) % 200) as i32
+    })
+}
+
+#[test]
+fn concurrent_clients_get_bit_exact_answers_over_tcp() {
+    let names = ["a", "b", "c", "d"];
+    let gateway = Arc::new(Gateway::new(models(&names, 1), GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let mut threads = Vec::new();
+    for t in 0..6 {
+        let gateway = Arc::clone(&gateway);
+        threads.push(thread::spawn(move || {
+            let mut client = GatewayClient::connect(addr).expect("connect");
+            for i in 0..4 {
+                let name = names[(t + i) % names.len()];
+                let model = gateway.router().model(name).expect("registered");
+                let x = codes(&model, 1 + (t + i) % 3, t * 10 + i);
+                let (expect, _) = model.forward_codes(&x);
+                let reply = client.infer_codes(name, x).expect("served");
+                assert_eq!(reply.acc, expect, "thread {t} request {i} diverged");
+                assert!(reply.shard < 2);
+            }
+        }));
+    }
+    for th in threads {
+        th.join().expect("client thread");
+    }
+    let served: u64 = gateway
+        .stats()
+        .shards
+        .iter()
+        .map(|s| s.requests)
+        .sum::<u64>()
+        + gateway.stats().cache.hits;
+    assert_eq!(served, 24);
+}
+
+#[test]
+fn repeated_request_is_a_bit_exact_cache_hit() {
+    let gateway = Arc::new(Gateway::new(models(&["m"], 2), GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    let model = gateway.router().model("m").expect("registered");
+    let x = codes(&model, 2, 0);
+    let first = client.infer_codes("m", x.clone()).expect("served");
+    assert!(!first.cache_hit);
+    let second = client.infer_codes("m", x).expect("served");
+    assert!(second.cache_hit, "identical payload missed the cache");
+    assert_eq!(second.acc, first.acc);
+    assert_eq!(second.scale, first.scale);
+}
+
+#[test]
+fn f32_round_trip_matches_local_quantize_and_forward() {
+    let gateway = Arc::new(Gateway::new(models(&["m"], 3), GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    let model = gateway.router().model("m").expect("registered");
+    let mut rng = panacea_tensor::seeded_rng(4);
+    let input = DistributionKind::Gaussian {
+        mean: 0.2,
+        std: 0.5,
+    }
+    .sample_matrix(model.in_features(), 3, &mut rng);
+    let (expect, _) = model.forward_codes(&model.quantize(&input));
+    let reply = client.infer_f32("m", input).expect("served");
+    assert_eq!(reply.acc, expect, "wire f32 payload diverged");
+}
+
+#[test]
+fn overload_burst_yields_explicit_rejections_not_unbounded_queueing() {
+    // Two permits, lingering batcher: a synchronized 8-client burst must
+    // see some Overloaded rejections while every accepted request still
+    // completes correctly.
+    let gateway = Arc::new(Gateway::new(
+        models(&["m"], 5),
+        GatewayConfig {
+            shards: 1,
+            runtime: RuntimeConfig {
+                workers: 1,
+                policy: BatchPolicy {
+                    max_batch: 4096,
+                    max_wait: Duration::from_millis(100),
+                },
+            },
+            cache: CacheConfig {
+                capacity: 0, // force every request through admission
+                shards: 1,
+            },
+            admission: AdmissionConfig {
+                max_in_flight: 2,
+                max_queue_wait: Duration::from_secs(10),
+            },
+        },
+    ));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let model = gateway.router().model("m").expect("registered");
+
+    let barrier = Arc::new(Barrier::new(8));
+    let mut threads = Vec::new();
+    for t in 0..8 {
+        let barrier = Arc::clone(&barrier);
+        let x = codes(&model, 1, t);
+        let expect = model.forward_codes(&x).0;
+        threads.push(thread::spawn(move || {
+            let mut client = GatewayClient::connect(addr).expect("connect");
+            barrier.wait();
+            match client.infer_codes("m", x) {
+                Ok(reply) => {
+                    assert_eq!(reply.acc, expect, "admitted request diverged");
+                    Ok(())
+                }
+                Err(e) => {
+                    assert!(e.is_overloaded(), "unexpected failure: {e}");
+                    Err(())
+                }
+            }
+        }));
+    }
+    let outcomes: Vec<Result<(), ()>> = threads
+        .into_iter()
+        .map(|th| th.join().expect("client thread"))
+        .collect();
+    let rejected = outcomes.iter().filter(|o| o.is_err()).count();
+    assert!(rejected > 0, "8-way burst over 2 permits saw no rejection");
+    assert!(
+        rejected < 8,
+        "every request was rejected — nothing was served"
+    );
+    assert_eq!(gateway.stats().admission.rejected_capacity, rejected as u64);
+}
+
+#[test]
+fn stats_verb_round_trips_over_the_wire() {
+    let gateway = Arc::new(Gateway::new(models(&["m"], 6), GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    let model = gateway.router().model("m").expect("registered");
+    let x = codes(&model, 2, 0);
+    client.infer_codes("m", x.clone()).expect("served");
+    client.infer_codes("m", x).expect("served");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats, gateway.stats(), "wire stats diverged from source");
+    assert_eq!(stats.shards.len(), 2);
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.cache.misses, 1);
+    assert!((stats.cache.hit_rate() - 0.5).abs() < 1e-12);
+    assert_eq!(stats.admission.admitted, 1);
+    assert_eq!(stats.shards.iter().map(|s| s.requests).sum::<u64>(), 1);
+}
+
+#[test]
+fn malformed_lines_get_error_responses_and_the_connection_survives() {
+    use std::io::{BufRead, BufReader, Write};
+    let gateway = Arc::new(Gateway::new(models(&["m"], 7), GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    raw.write_all(b"this is not json\n").expect("write");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("bad_request"), "got {line:?}");
+
+    // The same connection still serves valid requests afterwards.
+    let model = gateway.router().model("m").expect("registered");
+    let x = codes(&model, 1, 0);
+    let expect = model.forward_codes(&x).0;
+    let req = panacea_gateway::protocol::encode_request(&panacea_gateway::Request::Infer {
+        model: "m".to_string(),
+        payload: panacea_gateway::Payload::Codes(x),
+    });
+    raw.write_all(req.as_bytes()).expect("write");
+    raw.write_all(b"\n").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    let resp = panacea_gateway::protocol::decode_response(&line).expect("decode");
+    match resp {
+        panacea_gateway::Response::Infer(reply) => assert_eq!(reply.acc, expect),
+        other => panic!("expected an inference, got {other:?}"),
+    }
+}
+
+#[test]
+fn server_shutdown_joins_threads_and_refuses_new_connections() {
+    let gateway = Arc::new(Gateway::new(models(&["m"], 8), GatewayConfig::default()));
+    let mut server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // An idle connected client must not block shutdown.
+    let _idle = GatewayClient::connect(addr).expect("connect");
+    server.shutdown();
+    server.shutdown(); // idempotent
+
+    // After shutdown the port no longer answers the protocol: either the
+    // connection is refused outright or it closes without a response.
+    if let Ok(mut client) = GatewayClient::connect(addr) {
+        let model = gateway.router().model("m").expect("registered");
+        assert!(client.infer_codes("m", codes(&model, 1, 0)).is_err());
+    }
+}

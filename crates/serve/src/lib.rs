@@ -42,7 +42,7 @@ use panacea_tensor::Matrix;
 pub use batch::BatchPolicy;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use model::{LayerSpec, ModelRegistry, PrepareOptions, PreparedModel};
-pub use runtime::{Pending, Runtime, RuntimeConfig};
+pub use runtime::{Pending, QueueDepth, Runtime, RuntimeConfig, RuntimeHandle};
 
 /// A completed request: the final integer accumulators plus serving
 /// telemetry.
@@ -101,6 +101,13 @@ pub enum ServeError {
         /// Largest representable code.
         max: i32,
     },
+    /// The admission layer shed this request instead of queueing it
+    /// unboundedly: either the in-flight limit was reached or the
+    /// queue-wait bound elapsed before a worker answered.
+    Overloaded {
+        /// Which admission bound rejected the request.
+        reason: OverloadReason,
+    },
     /// The runtime is shutting down and no longer accepts requests.
     ShuttingDown,
     /// The runtime terminated before answering (never happens under
@@ -133,9 +140,41 @@ impl fmt::Display for ServeError {
             ServeError::CodesOutOfRange { max } => {
                 write!(f, "request codes exceed the calibrated format (max {max})")
             }
+            ServeError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
             ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
             ServeError::WorkerLost => write!(f, "runtime terminated before answering"),
             ServeError::Pipeline(e) => write!(f, "model preparation failed: {e}"),
+        }
+    }
+}
+
+/// Which admission bound caused a [`ServeError::Overloaded`] rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// The maximum number of simultaneously admitted requests was
+    /// reached; shedding keeps queueing bounded under a burst.
+    InFlight {
+        /// The configured in-flight limit that was hit.
+        limit: usize,
+    },
+    /// The request was admitted and queued but no worker answered within
+    /// the queue-wait bound; the caller was released rather than left
+    /// waiting (the runtime still completes the work it accepted).
+    QueueWait {
+        /// The bound that elapsed.
+        waited: Duration,
+    },
+}
+
+impl fmt::Display for OverloadReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverloadReason::InFlight { limit } => {
+                write!(f, "in-flight limit {limit} reached")
+            }
+            OverloadReason::QueueWait { waited } => {
+                write!(f, "queue wait exceeded {waited:?}")
+            }
         }
     }
 }

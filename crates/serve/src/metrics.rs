@@ -23,6 +23,9 @@ pub struct MetricsSnapshot {
     pub max_latency: Duration,
     /// Widest batch (in columns) dispatched so far.
     pub widest_batch: u64,
+    /// Columns the GEMM zero-padded to reach the PE vector width —
+    /// wasted work the batcher's vector-group packing tries to avoid.
+    pub padded_cols: u64,
 }
 
 impl MetricsSnapshot {
@@ -44,6 +47,17 @@ impl MetricsSnapshot {
             self.columns as f64 / secs
         }
     }
+
+    /// Fraction of executed GEMM columns that were zero padding
+    /// (`padded / (served + padded)`) — 0 when nothing has run.
+    pub fn padding_overhead(&self) -> f64 {
+        let executed = self.columns + self.padded_cols;
+        if executed == 0 {
+            0.0
+        } else {
+            self.padded_cols as f64 / executed as f64
+        }
+    }
 }
 
 /// Shared mutable counters, updated once per dispatched batch.
@@ -58,6 +72,7 @@ impl Metrics {
         &self,
         requests: usize,
         columns: usize,
+        padded: usize,
         workload: &Workload,
         compute: Duration,
         max_latency: Duration,
@@ -66,6 +81,7 @@ impl Metrics {
         m.requests += requests as u64;
         m.batches += 1;
         m.columns += columns as u64;
+        m.padded_cols += padded as u64;
         m.workload = m.workload.merged(workload);
         m.compute_time += compute;
         m.max_latency = m.max_latency.max(max_latency);
@@ -95,6 +111,7 @@ mod tests {
         m.record_batch(
             3,
             12,
+            0,
             &wl,
             Duration::from_millis(4),
             Duration::from_millis(9),
@@ -102,6 +119,7 @@ mod tests {
         m.record_batch(
             1,
             4,
+            2,
             &wl,
             Duration::from_millis(2),
             Duration::from_millis(3),
@@ -110,11 +128,13 @@ mod tests {
         assert_eq!(s.requests, 4);
         assert_eq!(s.batches, 2);
         assert_eq!(s.columns, 16);
+        assert_eq!(s.padded_cols, 2);
         assert_eq!(s.workload.mul, 20);
         assert_eq!(s.max_latency, Duration::from_millis(9));
         assert_eq!(s.widest_batch, 12);
         assert!((s.mean_batch_cols() - 8.0).abs() < 1e-12);
         assert!(s.columns_per_second() > 0.0);
+        assert!((s.padding_overhead() - 2.0 / 18.0).abs() < 1e-12);
     }
 
     #[test]
@@ -122,5 +142,6 @@ mod tests {
         let s = Metrics::default().snapshot();
         assert_eq!(s.mean_batch_cols(), 0.0);
         assert_eq!(s.columns_per_second(), 0.0);
+        assert_eq!(s.padding_overhead(), 0.0);
     }
 }

@@ -324,12 +324,19 @@ impl ModelRegistry {
     /// handle. Re-registering a name replaces the model for *new*
     /// requests; in-flight batches keep the handle they resolved.
     pub fn insert(&self, model: PreparedModel) -> Arc<PreparedModel> {
-        let shared = Arc::new(model);
+        self.insert_shared(Arc::new(model))
+    }
+
+    /// Registers an already-shared prepared model without cloning its
+    /// weights — how a shard router gives every shard's registry the
+    /// *same* prepared instance, so N shards cost one preparation and
+    /// one copy of the sliced weights.
+    pub fn insert_shared(&self, model: Arc<PreparedModel>) -> Arc<PreparedModel> {
         self.models
             .write()
             .expect("registry lock poisoned")
-            .insert(shared.name().to_string(), Arc::clone(&shared));
-        shared
+            .insert(model.name().to_string(), Arc::clone(&model));
+        model
     }
 
     /// Looks up a model by name.

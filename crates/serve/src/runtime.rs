@@ -15,7 +15,7 @@
 use std::collections::VecDeque;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use panacea_tensor::Matrix;
 
@@ -45,6 +45,9 @@ impl Default for RuntimeConfig {
 #[derive(Debug)]
 struct State {
     queue: VecDeque<Job>,
+    /// Columns claimed by workers but not yet answered — the part of the
+    /// load a queue snapshot would otherwise miss.
+    in_flight_cols: usize,
     shutting_down: bool,
 }
 
@@ -54,6 +57,63 @@ struct Shared {
     work_ready: Condvar,
     policy: BatchPolicy,
     metrics: Metrics,
+}
+
+impl Shared {
+    /// Validates and enqueues a request — the single submission path
+    /// behind both [`Runtime`] and [`RuntimeHandle`].
+    fn submit_to(
+        &self,
+        model: Arc<PreparedModel>,
+        codes: Matrix<i32>,
+    ) -> Result<Pending, ServeError> {
+        model.validate(&codes)?;
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            model,
+            codes,
+            responder: tx,
+            enqueued_at: Instant::now(),
+        };
+        {
+            let mut st = self.state.lock().expect("queue lock poisoned");
+            if st.shutting_down {
+                return Err(ServeError::ShuttingDown);
+            }
+            st.queue.push_back(job);
+        }
+        self.work_ready.notify_one();
+        Ok(Pending { rx })
+    }
+
+    fn queue_depth(&self) -> QueueDepth {
+        let st = self.state.lock().expect("queue lock poisoned");
+        QueueDepth {
+            queued_jobs: st.queue.len(),
+            queued_cols: st.queue.iter().map(|j| j.codes.cols()).sum(),
+            in_flight_cols: st.in_flight_cols,
+        }
+    }
+}
+
+/// A point-in-time view of how much work a runtime is holding — what a
+/// router compares across shards when spreading load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueDepth {
+    /// Requests waiting in the queue.
+    pub queued_jobs: usize,
+    /// Activation columns waiting in the queue.
+    pub queued_cols: usize,
+    /// Columns claimed by workers but not yet answered.
+    pub in_flight_cols: usize,
+}
+
+impl QueueDepth {
+    /// Total outstanding columns (queued + in flight) — the scalar load
+    /// figure shard routing ranks by.
+    pub fn load(&self) -> usize {
+        self.queued_cols + self.in_flight_cols
+    }
 }
 
 /// A batched, multi-threaded inference runtime over a model registry.
@@ -91,6 +151,7 @@ impl Runtime {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
+                in_flight_cols: 0,
                 shutting_down: false,
             }),
             work_ready: Condvar::new(),
@@ -153,23 +214,7 @@ impl Runtime {
         model: Arc<PreparedModel>,
         codes: Matrix<i32>,
     ) -> Result<Pending, ServeError> {
-        model.validate(&codes)?;
-        let (tx, rx) = mpsc::channel();
-        let job = Job {
-            model,
-            codes,
-            responder: tx,
-            enqueued_at: Instant::now(),
-        };
-        {
-            let mut st = self.shared.state.lock().expect("queue lock poisoned");
-            if st.shutting_down {
-                return Err(ServeError::ShuttingDown);
-            }
-            st.queue.push_back(job);
-        }
-        self.shared.work_ready.notify_one();
-        Ok(Pending { rx })
+        self.shared.submit_to(model, codes)
     }
 
     /// Submits and blocks until the response arrives.
@@ -185,6 +230,26 @@ impl Runtime {
     /// Current aggregate metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// Snapshot of the queued and in-flight work — what a shard router
+    /// ranks runtimes by.
+    pub fn queue_depth(&self) -> QueueDepth {
+        self.shared.queue_depth()
+    }
+
+    /// A cloneable, submission-capable handle onto this runtime.
+    ///
+    /// The handle shares the queue and registry but not the worker
+    /// threads, so it can be handed to connection handlers or pollers
+    /// without tying the runtime's lifetime to theirs. Once the owning
+    /// [`Runtime`] shuts down, submissions through any handle fail with
+    /// [`ServeError::ShuttingDown`].
+    pub fn handle(&self) -> RuntimeHandle {
+        RuntimeHandle {
+            registry: Arc::clone(&self.registry),
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Stops accepting new requests, drains every queued request, and
@@ -207,6 +272,69 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// A cloneable handle onto a [`Runtime`]: submit, poll metrics and queue
+/// depth — everything except lifecycle control (shutdown stays with the
+/// owning `Runtime`). Obtained from [`Runtime::handle`].
+#[derive(Debug, Clone)]
+pub struct RuntimeHandle {
+    registry: Arc<ModelRegistry>,
+    shared: Arc<Shared>,
+}
+
+impl RuntimeHandle {
+    /// The registry this handle resolves model names against.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Validates and enqueues a request — see [`Runtime::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit`].
+    pub fn submit(&self, model: &str, codes: Matrix<i32>) -> Result<Pending, ServeError> {
+        let resolved = self
+            .registry
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel {
+                model: model.to_string(),
+            })?;
+        self.shared.submit_to(resolved, codes)
+    }
+
+    /// [`submit`](Self::submit) with an already-resolved model handle.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit_to`].
+    pub fn submit_to(
+        &self,
+        model: Arc<PreparedModel>,
+        codes: Matrix<i32>,
+    ) -> Result<Pending, ServeError> {
+        self.shared.submit_to(model, codes)
+    }
+
+    /// Submits and blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::infer`].
+    pub fn infer(&self, model: &str, codes: Matrix<i32>) -> Result<InferenceOutput, ServeError> {
+        self.submit(model, codes)?.wait()
+    }
+
+    /// Current aggregate metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Snapshot of the queued and in-flight work.
+    pub fn queue_depth(&self) -> QueueDepth {
+        self.shared.queue_depth()
     }
 }
 
@@ -240,6 +368,26 @@ impl Pending {
             Ok(out) => Ok(Some(out)),
             Err(mpsc::TryRecvError::Empty) => Ok(None),
             Err(mpsc::TryRecvError::Disconnected) => Err(ServeError::WorkerLost),
+        }
+    }
+
+    /// Blocks up to `timeout` for the response: `Ok(None)` if it did not
+    /// arrive in time (the request stays queued and this handle stays
+    /// valid, so the caller may wait again — or drop the handle to stop
+    /// listening; the runtime still completes the work it accepted).
+    ///
+    /// This is the bounded wait an admission layer uses to shed slow
+    /// requests without spin-looping on [`try_wait`](Self::try_wait).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WorkerLost`] if the runtime terminated without
+    /// answering.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Option<InferenceOutput>, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(out) => Ok(Some(out)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::WorkerLost),
         }
     }
 }
@@ -289,12 +437,15 @@ fn worker_loop(shared: &Shared) {
         let Some(batch) = take_batch(&mut st.queue, shared.policy.max_batch) else {
             continue;
         };
+        let batch_cols: usize = batch.jobs.iter().map(|j| j.codes.cols()).sum();
+        st.in_flight_cols += batch_cols;
         drop(st);
         // If the batch left same-model stragglers (over budget) or other
         // models queued, make sure an idle sibling picks them up.
         shared.work_ready.notify_one();
         execute(batch, &shared.metrics);
         st = shared.state.lock().expect("queue lock poisoned");
+        st.in_flight_cols -= batch_cols;
     }
 }
 

@@ -251,6 +251,35 @@ impl<T> Matrix<T> {
     }
 }
 
+impl<T: std::hash::Hash> Matrix<T> {
+    /// A stable 64-bit digest of the matrix contents (shape + elements).
+    ///
+    /// Equal matrices always hash equal, so the digest can key
+    /// content-addressed structures — the serving layer's request cache
+    /// uses it to pick a cache shard and to pre-hash lookup keys without
+    /// rehashing the element buffer at every probe. The digest is
+    /// deterministic within a build but not a cross-version wire format.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use panacea_tensor::Matrix;
+    ///
+    /// let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as i32);
+    /// let b = a.clone();
+    /// assert_eq!(a.content_hash(), b.content_hash());
+    /// let mut c = a.clone();
+    /// c[(0, 0)] += 1;
+    /// assert_ne!(a.content_hash(), c.content_hash());
+    /// ```
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{DefaultHasher, Hasher};
+        let mut h = DefaultHasher::new();
+        std::hash::Hash::hash(self, &mut h);
+        h.finish()
+    }
+}
+
 impl<T: Clone> Matrix<T> {
     /// Returns the transpose of the matrix.
     pub fn transposed(&self) -> Matrix<T> {
@@ -585,6 +614,18 @@ mod tests {
         let m = Matrix::<i32>::zeros(2, 4);
         assert!(m.split_cols(&[2, 1]).is_err());
         assert!(m.split_cols(&[5]).is_err());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_shape_and_data() {
+        let a = Matrix::from_fn(2, 6, |r, c| (r * 6 + c) as i32);
+        // Same flat buffer, different shape.
+        let b = Matrix::from_vec(3, 4, a.as_slice().to_vec()).unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+        let mut c = a.clone();
+        c[(1, 5)] = -1;
+        assert_ne!(a.content_hash(), c.content_hash());
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Gateway demo: a sharded TCP front-end serving concurrent clients over
+//! localhost, with three gates asserted along the way:
+//!
+//! 1. every response — cached or not — is bit-identical to running the
+//!    same codes directly on a `panacea-serve` `Runtime`;
+//! 2. a repeated payload is answered from the request cache
+//!    (`cache_hit = true`) with the identical accumulators;
+//! 3. a synchronized burst over a tiny admission limit is shed with
+//!    explicit `Overloaded` rejections instead of queueing unboundedly.
+//!
+//! Run with: `cargo run --release --example gateway_demo`
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use panacea::gateway::{
+    AdmissionConfig, CacheConfig, Gateway, GatewayClient, GatewayConfig, GatewayServer,
+};
+use panacea::serve::{
+    BatchPolicy, LayerSpec, ModelRegistry, PrepareOptions, PreparedModel, Runtime, RuntimeConfig,
+};
+use panacea::tensor::{dist::DistributionKind, seeded_rng, Matrix};
+
+const CLIENTS: usize = 6;
+const REQUESTS_PER_CLIENT: usize = 8;
+
+fn prepare_models(names: &[&str], seed: u64) -> Vec<Arc<PreparedModel>> {
+    let mut rng = seeded_rng(seed);
+    names
+        .iter()
+        .map(|name| {
+            let w1 = DistributionKind::Gaussian {
+                mean: 0.0,
+                std: 0.05,
+            }
+            .sample_matrix(32, 64, &mut rng);
+            let w2 = DistributionKind::Gaussian {
+                mean: 0.0,
+                std: 0.05,
+            }
+            .sample_matrix(8, 32, &mut rng);
+            let calib = DistributionKind::TransformerAct {
+                core_mean: 0.1,
+                core_std: 0.4,
+                pos_scale: 8.0,
+                neg_scale: 5.0,
+                outlier_frac: 0.02,
+            }
+            .sample_matrix(64, 24, &mut rng);
+            Arc::new(
+                PreparedModel::prepare(
+                    *name,
+                    &[LayerSpec::unbiased(w1), LayerSpec::unbiased(w2)],
+                    &calib,
+                    PrepareOptions::default(),
+                )
+                .expect("prepare"),
+            )
+        })
+        .collect()
+}
+
+fn request_codes(model: &PreparedModel, cols: usize, salt: usize) -> Matrix<i32> {
+    Matrix::from_fn(model.in_features(), cols, |r, c| {
+        ((r * 31 + c * 7 + salt * 13) % 180) as i32
+    })
+}
+
+fn main() {
+    // 1. Prepare a model set once; every shard and the reference runtime
+    //    share the same Arc'd prepared weights.
+    let names = [
+        "embed", "attn.qkv", "attn.out", "ffn.up", "ffn.down", "head",
+    ];
+    let models = prepare_models(&names, 7);
+    println!(
+        "prepared {} two-layer models (64→32→8), shared across shards",
+        models.len()
+    );
+
+    // 2. Direct reference runtime: the bit-exactness oracle.
+    let reference_registry = Arc::new(ModelRegistry::new());
+    for m in &models {
+        reference_registry.insert_shared(Arc::clone(m));
+    }
+    let reference = Runtime::start(Arc::clone(&reference_registry), RuntimeConfig::default());
+
+    // 3. Gateway: 2 shards behind a TCP server on an ephemeral port.
+    let gateway = Arc::new(Gateway::from_shared(
+        models.clone(),
+        GatewayConfig {
+            shards: 2,
+            runtime: RuntimeConfig::default(),
+            cache: CacheConfig::default(),
+            admission: AdmissionConfig::default(),
+        },
+    ));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    println!("gateway listening on {addr} with {} shards", 2);
+
+    println!("\nrendezvous routing (at idle load):");
+    let mut shards_used = std::collections::HashSet::new();
+    for name in &names {
+        let shard = gateway.router().route(name);
+        shards_used.insert(shard);
+        println!("  {name:>9} → shard {shard}");
+    }
+    assert!(
+        shards_used.len() >= 2,
+        "model set should spread over ≥2 shards"
+    );
+
+    // 4. Concurrent clients over TCP; every reply checked against the
+    //    direct runtime.
+    let mut handles = Vec::new();
+    for t in 0..CLIENTS {
+        let reference = reference.handle();
+        let models = models.clone();
+        handles.push(thread::spawn(move || {
+            let mut client = GatewayClient::connect(addr).expect("connect");
+            let mut shards_seen = std::collections::HashSet::new();
+            for i in 0..REQUESTS_PER_CLIENT {
+                let which = (t + i) % models.len();
+                let model = &models[which];
+                let codes = request_codes(model, 1 + (t + i) % 3, t * 100 + i);
+                let direct = reference
+                    .infer(model.name(), codes.clone())
+                    .expect("direct runtime");
+                let reply = client.infer_codes(model.name(), codes).expect("gateway");
+                assert_eq!(
+                    reply.acc, direct.acc,
+                    "gateway diverged from direct Runtime::infer"
+                );
+                shards_seen.insert(reply.shard);
+            }
+            shards_seen
+        }));
+    }
+    let mut shards_seen = std::collections::HashSet::new();
+    for h in handles {
+        shards_seen.extend(h.join().expect("client thread"));
+    }
+    println!(
+        "\n{} clients × {} requests: all bit-exact vs. direct Runtime::infer ✓ (served by shards {:?})",
+        CLIENTS, REQUESTS_PER_CLIENT, {
+            let mut v: Vec<_> = shards_seen.iter().copied().collect();
+            v.sort_unstable();
+            v
+        }
+    );
+    assert!(shards_seen.len() >= 2, "traffic never reached a 2nd shard");
+
+    // 5. Cache replay: the same payload twice — second answer must be a
+    //    bit-exact hit that never re-enters the AQS-GEMM pipeline.
+    let mut client = GatewayClient::connect(addr).expect("connect");
+    let model = &models[0];
+    let payload = request_codes(model, 2, 9999);
+    let direct = reference
+        .infer(model.name(), payload.clone())
+        .expect("direct runtime");
+    let cold = client
+        .infer_codes(model.name(), payload.clone())
+        .expect("cold request");
+    let warm = client
+        .infer_codes(model.name(), payload)
+        .expect("warm request");
+    assert!(!cold.cache_hit && warm.cache_hit, "expected a cache replay");
+    assert_eq!(cold.acc, direct.acc);
+    assert_eq!(warm.acc, direct.acc, "cached output diverged");
+    println!(
+        "cache replay: cold {:?} → warm {:?}, outputs identical ✓",
+        cold.latency, warm.latency
+    );
+
+    // 6. Overload: a second gateway with 2 admission permits and a
+    //    lingering batcher, hit by a synchronized 16-client burst.
+    let strict = Arc::new(Gateway::from_shared(
+        models.clone(),
+        GatewayConfig {
+            shards: 2,
+            runtime: RuntimeConfig {
+                workers: 1,
+                policy: BatchPolicy {
+                    max_batch: 4096,
+                    max_wait: Duration::from_millis(150),
+                },
+            },
+            cache: CacheConfig {
+                capacity: 0, // every request must face admission
+                shards: 1,
+            },
+            admission: AdmissionConfig {
+                max_in_flight: 2,
+                max_queue_wait: Duration::from_secs(10),
+            },
+        },
+    ));
+    let strict_server = GatewayServer::bind(Arc::clone(&strict), "127.0.0.1:0").expect("bind");
+    let strict_addr = strict_server.local_addr();
+    let barrier = Arc::new(Barrier::new(16));
+    let mut burst = Vec::new();
+    for t in 0..16 {
+        let barrier = Arc::clone(&barrier);
+        let model = Arc::clone(&models[t % models.len()]);
+        burst.push(thread::spawn(move || {
+            let mut client = GatewayClient::connect(strict_addr).expect("connect");
+            let codes = request_codes(&model, 1, 5000 + t);
+            barrier.wait();
+            match client.infer_codes(model.name(), codes) {
+                Ok(_) => false,
+                Err(e) => {
+                    assert!(e.is_overloaded(), "burst failed for another reason: {e}");
+                    true
+                }
+            }
+        }));
+    }
+    let rejected = burst
+        .into_iter()
+        .map(|h| h.join().expect("burst thread"))
+        .filter(|&r| r)
+        .count();
+    println!(
+        "overload burst: 16 concurrent requests over 2 permits → {} explicit Overloaded rejections, {} served ✓",
+        rejected,
+        16 - rejected
+    );
+    assert!(rejected > 0, "overload burst was silently absorbed");
+    assert!(rejected < 16, "overload burst starved every request");
+
+    // 7. Gateway-level metrics over the wire.
+    let stats = client.stats().expect("stats");
+    println!("\nper-shard metrics (main gateway):");
+    println!(
+        "{:>6}  {:>9}  {:>8}  {:>8}  {:>7}  {:>12}",
+        "shard", "requests", "batches", "columns", "padded", "throughput"
+    );
+    for (i, s) in stats.shards.iter().enumerate() {
+        println!(
+            "{:>6}  {:>9}  {:>8}  {:>8}  {:>7}  {:>8.0} c/s",
+            i, s.requests, s.batches, s.columns, s.padded_cols, s.columns_per_second
+        );
+    }
+    println!(
+        "cache: {} hits / {} misses ({:.0}% hit rate), {} entries, {} evictions",
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate() * 100.0,
+        stats.cache.entries,
+        stats.cache.evictions
+    );
+    println!(
+        "admission: {} admitted, {} rejected (capacity {}, queue-wait {})",
+        stats.admission.admitted,
+        stats.admission.total_rejected(),
+        stats.admission.rejected_capacity,
+        stats.admission.rejected_timeout
+    );
+    assert!(stats.cache.hits >= 1);
+    println!("\nall gateway gates passed ✓");
+}

@@ -17,7 +17,11 @@
 //!   and quality-proxy metrics;
 //! * [`serve`] — the batched, multi-threaded inference runtime: a
 //!   prepared-model registry, a dynamic batcher coalescing requests into
-//!   the GEMM `N` dimension, and a worker pool with clean shutdown.
+//!   the GEMM `N` dimension, and a worker pool with clean shutdown;
+//! * [`gateway`] — the sharded TCP front-end over `serve`: line-delimited
+//!   JSON protocol, rendezvous shard routing, a content-addressed LRU
+//!   request cache, and admission control with explicit overload
+//!   rejections.
 //!
 //! # Quickstart
 //!
@@ -35,6 +39,7 @@
 
 pub use panacea_bitslice as bitslice;
 pub use panacea_core as core;
+pub use panacea_gateway as gateway;
 pub use panacea_models as models;
 pub use panacea_quant as quant;
 pub use panacea_serve as serve;

@@ -1,0 +1,61 @@
+//! Workspace-level gateway test through the `panacea` facade: a TCP
+//! round trip covering routing, caching, and stats — the same contract
+//! `examples/gateway_demo.rs` gates in CI, in miniature.
+
+use std::sync::Arc;
+
+use panacea::gateway::{Gateway, GatewayClient, GatewayConfig, GatewayServer};
+use panacea::serve::{LayerSpec, PrepareOptions, PreparedModel};
+use panacea::tensor::{dist::DistributionKind, seeded_rng, Matrix};
+
+fn prepared(name: &str, seed: u64) -> PreparedModel {
+    let mut rng = seeded_rng(seed);
+    let w = DistributionKind::Gaussian {
+        mean: 0.0,
+        std: 0.05,
+    }
+    .sample_matrix(8, 16, &mut rng);
+    let calib = DistributionKind::Gaussian {
+        mean: 0.2,
+        std: 0.5,
+    }
+    .sample_matrix(16, 16, &mut rng);
+    PreparedModel::prepare(
+        name,
+        &[LayerSpec::unbiased(w)],
+        &calib,
+        PrepareOptions::default(),
+    )
+    .expect("prepare")
+}
+
+#[test]
+fn facade_gateway_round_trip_with_cache_and_stats() {
+    let models = vec![prepared("a", 1), prepared("b", 2)];
+    let gateway = Arc::new(Gateway::new(models, GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    for name in ["a", "b"] {
+        let model = gateway.router().model(name).expect("registered");
+        let codes = Matrix::from_fn(model.in_features(), 2, |r, c| {
+            ((r * 7 + c * 3) % 150) as i32
+        });
+        let (expect, _) = model.forward_codes(&codes);
+
+        let cold = client.infer_codes(name, codes.clone()).expect("served");
+        assert_eq!(cold.acc, expect, "gateway diverged for {name}");
+        assert!(!cold.cache_hit);
+
+        let warm = client.infer_codes(name, codes).expect("served");
+        assert!(warm.cache_hit, "repeat of {name} missed the cache");
+        assert_eq!(warm.acc, expect, "cache replay diverged for {name}");
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.shards.len(), 2);
+    assert_eq!(stats.cache.hits, 2);
+    assert_eq!(stats.cache.misses, 2);
+    assert_eq!(stats.admission.admitted, 2);
+    assert_eq!(stats.shards.iter().map(|s| s.requests).sum::<u64>(), 2);
+}

@@ -2,7 +2,7 @@
 //!
 //! With no crates.io access, this crate re-implements the pieces the test
 //! suites rely on: the [`Strategy`] trait (integer ranges, `prop_map`),
-//! [`collection::vec`], [`array::uniform4`], [`ProptestConfig`]
+//! [`collection::vec`], [`array::uniform4`], [`test_runner::ProptestConfig`]
 //! (`test_runner::ProptestConfig::with_cases`), and the `proptest!` /
 //! `prop_assert!` / `prop_assert_eq!` macros.
 //!

@@ -1,7 +1,9 @@
 //! Offline shim of the `serde_json` surface the workspace uses: the
-//! [`Value`] tree, the [`json!`] object/array builder, and
-//! [`to_string_pretty`]. Serialization of arbitrary user types is not
-//! supported (and not used) — values are built explicitly.
+//! [`Value`] tree, the [`json!`] object/array builder, the
+//! [`to_string`]/[`to_string_pretty`] writers, and a [`from_str`]
+//! parser (used by the gateway wire protocol). Serialization of
+//! arbitrary user types is not supported (and not used) — values are
+//! built and inspected explicitly.
 
 use std::fmt;
 
@@ -73,13 +75,90 @@ impl<T: Into<Value>> From<Vec<T>> for Value {
     }
 }
 
-/// Error type kept for API compatibility; this shim never fails.
+impl Value {
+    /// Looks up a key of an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && n.abs() < 9e15 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative integral
+    /// number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.as_i64() {
+            Some(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key → value map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// Parse or serialization failure, with a human-readable message.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json shim error (unreachable)")
+        write!(f, "{}", self.message)
     }
 }
 
@@ -159,6 +238,37 @@ fn write_pretty(v: &Value, indent: usize, out: &mut String) {
     }
 }
 
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Pretty-prints a [`Value`] with two-space indentation.
 ///
 /// # Errors
@@ -168,6 +278,242 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     let mut out = String::new();
     write_pretty(value, 0, &mut out);
     Ok(out)
+}
+
+/// Serializes a [`Value`] on one line with no extra whitespace — the
+/// form line-delimited wire protocols need.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real crate's signature.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(value, &mut out);
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character {:?} at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            self.pos = end;
+                            // Surrogate pairs are not produced by this shim's
+                            // writer; map lone surrogates to the replacement
+                            // character rather than failing.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode from the byte position to keep multi-byte
+                    // UTF-8 sequences intact.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty by construction");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::new(format!("invalid number {text:?}")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Numbers are stored as `f64` (integers round-trip exactly up to
+/// 2⁵³), matching this shim's [`Value::Number`] representation.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or trailing non-whitespace.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
 }
 
 /// Builds a [`Value`] from JSON-ish syntax. Supports objects, arrays,
@@ -212,5 +558,68 @@ mod tests {
     fn strings_are_escaped() {
         let s = to_string_pretty(&Value::String("a\"b\n".into())).unwrap();
         assert_eq!(s, "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn compact_round_trips_through_parser() {
+        let v = json!({
+            "name": "gate\"way\n",
+            "count": 42,
+            "ratio": 0.5,
+            "neg": -17,
+            "flag": true,
+            "nothing": Value::Null,
+            "items": vec![1i32, 2, 3]
+        });
+        let s = to_string(&v).unwrap();
+        assert!(!s.contains('\n'));
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_handles_nesting_whitespace_and_unicode() {
+        let v = from_str(" { \"a\" : [ { \"b\" : \"héllo\" } , 2e3 ] } ").unwrap();
+        let arr = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[0].get("b").and_then(Value::as_str), Some("héllo"));
+        assert_eq!(arr[1].as_f64(), Some(2000.0));
+        assert_eq!(
+            from_str("\"\\u0041\\u00e9\"").unwrap(),
+            Value::String("Aé".into())
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "{\"a\" 1}"] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_select_the_right_variant() {
+        let v = json!({ "n": 3, "s": "x", "b": false });
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(false));
+        assert!(v.get("missing").is_none());
+        assert!(v.as_array().is_none());
+        assert_eq!(v.as_object().unwrap().len(), 3);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+        assert_eq!(Value::Number(1.5).as_i64(), None);
+    }
+
+    #[test]
+    fn integers_round_trip_bit_exactly() {
+        let vals = [i32::MIN, -1, 0, 1, i32::MAX];
+        let v = Value::Array(vals.iter().map(|&x| Value::from(x)).collect());
+        let parsed = from_str(&to_string(&v).unwrap()).unwrap();
+        let back: Vec<i64> = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_i64().unwrap())
+            .collect();
+        assert_eq!(back, vals.iter().map(|&x| i64::from(x)).collect::<Vec<_>>());
     }
 }
