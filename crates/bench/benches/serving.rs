@@ -127,11 +127,12 @@ fn bench_request_cache(c: &mut Criterion) {
     let cache = RequestCache::new(CacheConfig {
         capacity: 512,
         shards: 8,
+        ..CacheConfig::default()
     });
     let hit_codes = request(&model, 4, &mut rng);
     let (acc, _) = model.forward_codes(&hit_codes);
     cache.insert(
-        "bench",
+        model.instance_id(),
         hit_codes.clone(),
         CachedOutput {
             acc,
@@ -142,9 +143,11 @@ fn bench_request_cache(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("gateway_cache");
     group.bench_function("hit", |b| {
-        b.iter(|| cache.get("bench", &hit_codes).expect("hit"))
+        b.iter(|| cache.get(model.instance_id(), &hit_codes).expect("hit"))
     });
-    group.bench_function("miss", |b| b.iter(|| cache.get("bench", &miss_codes)));
+    group.bench_function("miss", |b| {
+        b.iter(|| cache.get(model.instance_id(), &miss_codes))
+    });
     group.finish();
 }
 

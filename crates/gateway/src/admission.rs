@@ -7,8 +7,11 @@
 //! `max_in_flight` permits immediately or is rejected with
 //! [`ServeError::Overloaded`], and an admitted request that is not
 //! answered within `max_queue_wait` releases its caller with the same
-//! error (the runtime still finishes work it accepted — only the caller
-//! stops waiting).
+//! error. A shed caller then drops its [`Pending`] handle, which cancels
+//! the request if it is still queued — so shedding frees both the permit
+//! *and* the queued work, and sustained overload cannot grow the runtime
+//! queue behind the admission layer's back. (A request a worker already
+//! claimed into a batch completes normally; its answer is discarded.)
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;

@@ -4,10 +4,15 @@
 //! requests, common prompts, synthetic monitors — and an identical
 //! payload for the same model is guaranteed the identical integer
 //! accumulators (the whole pipeline is deterministic), so it should
-//! never re-enter the AQS-GEMM pipeline. The cache is keyed by the model
-//! name plus the *quantized* request codes: a hit requires full key
-//! equality (bit-exact codes), never a digest match alone, so a hit is
-//! always a correct replay. The digest
+//! never re-enter the AQS-GEMM pipeline. The cache is keyed by the
+//! model's *instance id*
+//! ([`PreparedModel::instance_id`](panacea_serve::PreparedModel::instance_id)
+//! — not its registry name, which can be re-bound to a different model
+//! by re-registration) plus the *quantized* request codes: a hit
+//! requires full key equality (bit-exact codes), never a digest match
+//! alone, so a hit is always a correct replay — even across model
+//! replacement, because a replaced model's entries key under the old id
+//! and simply age out of the LRU. The digest
 //! ([`Matrix::content_hash`](panacea_tensor::Matrix::content_hash))
 //! only picks the shard and accelerates bucket lookup.
 //!
@@ -29,6 +34,11 @@ pub struct CacheConfig {
     pub capacity: usize,
     /// Number of independently locked LRU shards.
     pub shards: usize,
+    /// Largest single entry (codes + accumulators, in bytes) worth
+    /// keeping. `capacity` bounds the entry *count*, so without this a
+    /// handful of near-request-size-limit payloads could pin gigabytes;
+    /// oversized responses are simply not cached.
+    pub max_entry_bytes: usize,
 }
 
 impl Default for CacheConfig {
@@ -36,6 +46,7 @@ impl Default for CacheConfig {
         CacheConfig {
             capacity: 1024,
             shards: 8,
+            max_entry_bytes: 4 << 20,
         }
     }
 }
@@ -77,7 +88,9 @@ impl CacheStats {
 
 #[derive(Debug, PartialEq, Eq)]
 struct CacheKey {
-    model: String,
+    /// [`PreparedModel::instance_id`](panacea_serve::PreparedModel::instance_id)
+    /// of the model that produced the cached output.
+    model: u64,
     codes: Matrix<i32>,
 }
 
@@ -146,14 +159,14 @@ impl LruShard {
         self.head = i;
     }
 
-    fn find(&self, digest: u64, model: &str, codes: &Matrix<i32>) -> Option<usize> {
+    fn find(&self, digest: u64, model: u64, codes: &Matrix<i32>) -> Option<usize> {
         self.buckets.get(&digest)?.iter().copied().find(|&i| {
             let key = &self.node(i).key;
             key.model == model && key.codes == *codes
         })
     }
 
-    fn get(&mut self, digest: u64, model: &str, codes: &Matrix<i32>) -> Option<CachedOutput> {
+    fn get(&mut self, digest: u64, model: u64, codes: &Matrix<i32>) -> Option<CachedOutput> {
         let i = self.find(digest, model, codes)?;
         self.unlink(i);
         self.push_front(i);
@@ -166,7 +179,7 @@ impl LruShard {
         if capacity == 0 {
             return 0;
         }
-        if let Some(i) = self.find(digest, &key.model, &key.codes) {
+        if let Some(i) = self.find(digest, key.model, &key.codes) {
             // Bit-exact key already resident: refresh recency, keep the
             // (necessarily identical) value.
             self.unlink(i);
@@ -224,6 +237,7 @@ impl LruShard {
 pub struct RequestCache {
     shards: Vec<Mutex<LruShard>>,
     capacity_per_shard: usize,
+    max_entry_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -237,13 +251,28 @@ impl RequestCache {
         RequestCache {
             shards: (0..shards).map(|_| Mutex::new(LruShard::new())).collect(),
             capacity_per_shard: config.capacity.div_ceil(shards),
+            max_entry_bytes: config.max_entry_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
-    fn digest(model: &str, codes: &Matrix<i32>) -> u64 {
+    /// Whether this cache stores anything at all (capacity above zero) —
+    /// callers can skip key hashing and payload clones when it does not.
+    pub fn enabled(&self) -> bool {
+        self.capacity_per_shard > 0
+    }
+
+    /// Whether an entry of `cells` `i32` values (request codes plus
+    /// accumulators) fits [`CacheConfig::max_entry_bytes`]. Both counts
+    /// are known before a request runs, so callers can skip the payload
+    /// clone for entries [`insert`](Self::insert) would reject anyway.
+    pub fn admits(&self, cells: usize) -> bool {
+        cells.saturating_mul(std::mem::size_of::<i32>()) <= self.max_entry_bytes
+    }
+
+    fn digest(model: u64, codes: &Matrix<i32>) -> u64 {
         let mut h = DefaultHasher::new();
         model.hash(&mut h);
         codes.content_hash().hash(&mut h);
@@ -255,8 +284,10 @@ impl RequestCache {
     }
 
     /// Looks up a bit-exact prior response for `(model, codes)`,
-    /// refreshing its recency on a hit.
-    pub fn get(&self, model: &str, codes: &Matrix<i32>) -> Option<CachedOutput> {
+    /// refreshing its recency on a hit. `model` is the serving model's
+    /// [`instance_id`](panacea_serve::PreparedModel::instance_id), so
+    /// entries written for a since-replaced model can never answer.
+    pub fn get(&self, model: u64, codes: &Matrix<i32>) -> Option<CachedOutput> {
         let digest = Self::digest(model, codes);
         let found = self
             .shard_for(digest)
@@ -271,8 +302,16 @@ impl RequestCache {
     }
 
     /// Stores a response for `(model, codes)`, evicting least-recently
-    /// used entries if its shard is full.
-    pub fn insert(&self, model: &str, codes: Matrix<i32>, value: CachedOutput) {
+    /// used entries if its shard is full. `model` is the producing
+    /// model's
+    /// [`instance_id`](panacea_serve::PreparedModel::instance_id).
+    /// Entries larger than [`CacheConfig::max_entry_bytes`] are silently
+    /// skipped — the count-based capacity cannot bound their footprint.
+    pub fn insert(&self, model: u64, codes: Matrix<i32>, value: CachedOutput) {
+        let cells = codes.rows() * codes.cols() + value.acc.rows() * value.acc.cols();
+        if !self.admits(cells) {
+            return;
+        }
         let digest = Self::digest(model, &codes);
         let evicted = self
             .shard_for(digest)
@@ -280,10 +319,7 @@ impl RequestCache {
             .expect("cache shard poisoned")
             .insert(
                 digest,
-                CacheKey {
-                    model: model.to_string(),
-                    codes,
-                },
+                CacheKey { model, codes },
                 value,
                 self.capacity_per_shard,
             );
@@ -335,13 +371,13 @@ mod tests {
     #[test]
     fn hit_requires_bit_exact_codes_and_model() {
         let cache = RequestCache::new(CacheConfig::default());
-        cache.insert("m", codes(1), output(1));
-        assert_eq!(cache.get("m", &codes(1)), Some(output(1)));
-        assert_eq!(cache.get("m", &codes(2)), None);
-        assert_eq!(cache.get("other", &codes(1)), None);
+        cache.insert(1, codes(1), output(1));
+        assert_eq!(cache.get(1, &codes(1)), Some(output(1)));
+        assert_eq!(cache.get(1, &codes(2)), None);
+        assert_eq!(cache.get(2, &codes(1)), None);
         let mut nearly = codes(1);
         nearly[(3, 1)] += 1;
-        assert_eq!(cache.get("m", &nearly), None);
+        assert_eq!(cache.get(1, &nearly), None);
         let s = cache.stats();
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 3);
@@ -354,16 +390,17 @@ mod tests {
         let cache = RequestCache::new(CacheConfig {
             capacity: 2,
             shards: 1,
+            ..CacheConfig::default()
         });
-        cache.insert("m", codes(1), output(1));
-        cache.insert("m", codes(2), output(2));
+        cache.insert(1, codes(1), output(1));
+        cache.insert(1, codes(2), output(2));
         // Touch 1 so 2 becomes the LRU victim.
-        assert!(cache.get("m", &codes(1)).is_some());
-        cache.insert("m", codes(3), output(3));
+        assert!(cache.get(1, &codes(1)).is_some());
+        cache.insert(1, codes(3), output(3));
         assert_eq!(cache.stats().evictions, 1);
-        assert!(cache.get("m", &codes(2)).is_none(), "victim survived");
-        assert!(cache.get("m", &codes(1)).is_some());
-        assert!(cache.get("m", &codes(3)).is_some());
+        assert!(cache.get(1, &codes(2)).is_none(), "victim survived");
+        assert!(cache.get(1, &codes(1)).is_some());
+        assert!(cache.get(1, &codes(3)).is_some());
         assert_eq!(cache.len(), 2);
     }
 
@@ -372,17 +409,18 @@ mod tests {
         let cache = RequestCache::new(CacheConfig {
             capacity: 2,
             shards: 1,
+            ..CacheConfig::default()
         });
-        cache.insert("m", codes(1), output(1));
-        cache.insert("m", codes(2), output(2));
+        cache.insert(1, codes(1), output(1));
+        cache.insert(1, codes(2), output(2));
         // Refresh 1 (no eviction, no growth), then insert a third: the
         // refreshed 1 must outlive 2.
-        cache.insert("m", codes(1), output(1));
+        cache.insert(1, codes(1), output(1));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 0);
-        cache.insert("m", codes(3), output(3));
-        assert!(cache.get("m", &codes(1)).is_some());
-        assert!(cache.get("m", &codes(2)).is_none());
+        cache.insert(1, codes(3), output(3));
+        assert!(cache.get(1, &codes(1)).is_some());
+        assert!(cache.get(1, &codes(2)).is_none());
     }
 
     #[test]
@@ -390,10 +428,30 @@ mod tests {
         let cache = RequestCache::new(CacheConfig {
             capacity: 0,
             shards: 4,
+            ..CacheConfig::default()
         });
-        cache.insert("m", codes(1), output(1));
+        cache.insert(1, codes(1), output(1));
         assert!(cache.is_empty());
-        assert_eq!(cache.get("m", &codes(1)), None);
+        assert_eq!(cache.get(1, &codes(1)), None);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        // Budget of 64 bytes = 16 i32 cells across codes + accumulators.
+        let cache = RequestCache::new(CacheConfig {
+            capacity: 8,
+            shards: 1,
+            max_entry_bytes: 64,
+        });
+        // 4×2 codes + 2×2 acc = 12 cells (48 bytes): fits.
+        cache.insert(1, codes(1), output(1));
+        assert_eq!(cache.len(), 1);
+        // 4×4 codes + 2×2 acc = 20 cells (80 bytes): must be skipped, or
+        // the count-based capacity stops bounding memory.
+        let big = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as i32);
+        cache.insert(1, big.clone(), output(2));
+        assert_eq!(cache.len(), 1, "oversized entry was cached");
+        assert!(cache.get(1, &big).is_none());
     }
 
     #[test]
@@ -401,9 +459,10 @@ mod tests {
         let cache = RequestCache::new(CacheConfig {
             capacity: 256,
             shards: 4,
+            ..CacheConfig::default()
         });
         for salt in 0..64 {
-            cache.insert("m", codes(salt), output(salt));
+            cache.insert(1, codes(salt), output(salt));
         }
         assert_eq!(cache.len(), 64);
         let occupied = cache
@@ -419,6 +478,7 @@ mod tests {
         let cache = Arc::new(RequestCache::new(CacheConfig {
             capacity: 64,
             shards: 4,
+            ..CacheConfig::default()
         }));
         let mut threads = Vec::new();
         for t in 0..4 {
@@ -426,8 +486,8 @@ mod tests {
             threads.push(std::thread::spawn(move || {
                 for i in 0..100 {
                     let salt = (t * 7 + i) % 32;
-                    cache.insert("m", codes(salt), output(salt));
-                    if let Some(hit) = cache.get("m", &codes(salt)) {
+                    cache.insert(1, codes(salt), output(salt));
+                    if let Some(hit) = cache.get(1, &codes(salt)) {
                         assert_eq!(hit, output(salt), "cache returned a wrong payload");
                     }
                 }

@@ -24,10 +24,11 @@
 //!   `Arc<PreparedModel>`s (one preparation, one copy of the sliced
 //!   weights). Requests route by rendezvous hashing on the model name,
 //!   tie-broken toward the emptier queue so hot models spread out.
-//! * [`RequestCache`] is a sharded LRU keyed by a digest of the model
-//!   name and the *quantized* request codes; hits are bit-exact replays
-//!   (full key equality, never digest-only) that skip the AQS-GEMM
-//!   pipeline entirely.
+//! * [`RequestCache`] is a sharded LRU keyed by the model's unique
+//!   instance id (so re-registering a name never replays the old
+//!   model's outputs) and the *quantized* request codes; hits are
+//!   bit-exact replays (full key equality, never digest-only) that skip
+//!   the AQS-GEMM pipeline entirely.
 //! * [`AdmissionController`] bounds simultaneous in-flight requests and
 //!   per-request queue wait, shedding the excess with explicit
 //!   [`ServeError::Overloaded`] rejections instead of queueing without
@@ -42,8 +43,8 @@ pub mod client;
 pub mod protocol;
 pub mod router;
 pub mod server;
-#[cfg(test)]
-pub(crate) mod testutil;
+#[doc(hidden)]
+pub mod testutil;
 
 use std::fmt;
 
@@ -54,7 +55,7 @@ pub use cache::{CacheConfig, CacheStats, CachedOutput, RequestCache};
 pub use client::GatewayClient;
 pub use protocol::{ErrorKind, GatewayStats, InferReply, Payload, Request, Response, ShardStats};
 pub use router::ShardRouter;
-pub use server::{Gateway, GatewayConfig, GatewayServer};
+pub use server::{Gateway, GatewayConfig, GatewayServer, ServerConfig};
 
 /// Errors surfaced by the gateway layer (client or server side).
 #[derive(Debug)]

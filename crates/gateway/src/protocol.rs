@@ -214,12 +214,25 @@ fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, GatewayError> {
         .ok_or_else(|| bad(format!("field {key:?} is not a string")))
 }
 
+/// Guards the untrusted `rows`/`cols` pair: their product must be
+/// computable without overflow *and* match the element count, so a
+/// hostile header like `rows=cols=2^32` fails cleanly here instead of
+/// overflowing inside `Matrix::from_vec`.
+fn check_dims(rows: usize, cols: usize, len: usize) -> Result<(), GatewayError> {
+    match rows.checked_mul(cols) {
+        Some(n) if n == len => Ok(()),
+        Some(_) => Err(bad("matrix data length does not match rows*cols")),
+        None => Err(bad("matrix dimensions overflow")),
+    }
+}
+
 fn value_to_matrix_i32(v: &Value) -> Result<Matrix<i32>, GatewayError> {
     let rows = usize_field(v, "rows")?;
     let cols = usize_field(v, "cols")?;
     let data = field(v, "data")?
         .as_array()
         .ok_or_else(|| bad("matrix data is not an array"))?;
+    check_dims(rows, cols, data.len())?;
     let mut out = Vec::with_capacity(data.len());
     for item in data {
         let n = item
@@ -228,8 +241,7 @@ fn value_to_matrix_i32(v: &Value) -> Result<Matrix<i32>, GatewayError> {
         let n = i32::try_from(n).map_err(|_| bad("matrix element exceeds i32 range"))?;
         out.push(n);
     }
-    Matrix::from_vec(rows, cols, out)
-        .map_err(|_| bad("matrix data length does not match rows*cols"))
+    Ok(Matrix::from_vec(rows, cols, out).expect("dims pre-checked against data length"))
 }
 
 fn value_to_matrix_f32(v: &Value) -> Result<Matrix<f32>, GatewayError> {
@@ -238,15 +250,24 @@ fn value_to_matrix_f32(v: &Value) -> Result<Matrix<f32>, GatewayError> {
     let data = field(v, "data")?
         .as_array()
         .ok_or_else(|| bad("matrix data is not an array"))?;
+    check_dims(rows, cols, data.len())?;
     let mut out = Vec::with_capacity(data.len());
     for item in data {
         let n = item
             .as_f64()
             .ok_or_else(|| bad("matrix element is not a number"))?;
-        out.push(n as f32);
+        // JSON has no NaN/infinity, but an overflowing literal like
+        // `1e999` still parses to infinity (and a finite `1e300`
+        // overflows when narrowed to f32); enforce the documented
+        // finite-floats-only invariant here rather than letting the
+        // saturated value surface later as a code-range error.
+        let f = n as f32;
+        if !f.is_finite() {
+            return Err(bad("matrix element is not finite"));
+        }
+        out.push(f);
     }
-    Matrix::from_vec(rows, cols, out)
-        .map_err(|_| bad("matrix data length does not match rows*cols"))
+    Ok(Matrix::from_vec(rows, cols, out).expect("dims pre-checked against data length"))
 }
 
 /// Serializes a request to its single-line wire form (no newline).
@@ -517,8 +538,28 @@ mod tests {
             "{\"verb\":\"infer\",\"model\":\"m\"}",
             "{\"verb\":\"infer\",\"model\":\"m\",\"codes\":{\"rows\":2,\"cols\":2,\"data\":[1]}}",
             "{\"verb\":\"infer\",\"model\":\"m\",\"codes\":{\"rows\":1,\"cols\":1,\"data\":[1.5]}}",
+            // rows*cols overflows usize: must be a clean protocol error,
+            // not a multiplication overflow inside Matrix::from_vec.
+            "{\"verb\":\"infer\",\"model\":\"m\",\"codes\":{\"rows\":4294967296,\"cols\":4294967296,\"data\":[]}}",
         ] {
             assert!(decode_request(line).is_err(), "accepted {line:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_float_payloads_are_rejected_on_decode() {
+        // 1e999 parses to f64 infinity; 1e300 is a finite f64 that
+        // overflows when narrowed to f32. Both must fail with the
+        // finiteness error, not leak into quantization.
+        for datum in ["1e999", "-1e999", "1e300"] {
+            let line = format!(
+                "{{\"verb\":\"infer\",\"model\":\"m\",\"input\":{{\"rows\":1,\"cols\":1,\"data\":[{datum}]}}}}"
+            );
+            let err = decode_request(&line).expect_err("accepted non-finite element");
+            assert!(
+                err.to_string().contains("not finite"),
+                "wrong error for {datum}: {err}"
+            );
         }
     }
 

@@ -3,7 +3,9 @@
 //!
 //! [`Gateway`] is the transport-free core (handy for in-process use and
 //! tests); [`GatewayServer`] wraps it in a `TcpListener` with one
-//! acceptor thread and one handler thread per connection. Handlers use
+//! acceptor thread and one handler thread per connection, bounded by
+//! [`ServerConfig::max_connections`] so peers cannot force unbounded
+//! thread creation. Handlers use
 //! short read timeouts so shutdown never hangs on an idle socket, and
 //! dropping the server stops the acceptor, joins every handler, and then
 //! shuts the shards down cleanly (drain, join workers).
@@ -11,7 +13,7 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -105,31 +107,55 @@ impl Gateway {
             Payload::Codes(codes) => codes,
             Payload::F32(input) => resolved.quantize(&input),
         };
-        resolved.validate(&codes)?;
+        // Validation happens exactly once, inside the runtime's submit
+        // path (`validate` is a full scan of the codes — scanning here
+        // too would double the cost on every uncached request). The
+        // cache-hit fast path needs no scan of its own: entries are only
+        // written after a validated run, and hits require bit-exact key
+        // equality, so invalid codes can never match one.
         let shard = self.router.route(model);
-        if let Some(hit) = self.cache.get(model, &codes) {
-            return Ok(InferReply {
-                acc: hit.acc,
-                scale: hit.scale,
-                latency: started.elapsed(),
-                shard,
-                cache_hit: true,
-            });
+        // A disabled cache — or an entry the size bound would reject
+        // anyway (its accumulator dims are known up front) — skips the
+        // whole probe-and-insert dance, including the codes/acc clones
+        // and the content hash, which are full passes over the payload.
+        let entry_cells = codes.rows() * codes.cols() + resolved.out_features() * codes.cols();
+        let cached = self.cache.enabled() && self.cache.admits(entry_cells);
+        // Cache entries key on the resolved instance, not the name: if
+        // "model" is later re-bound to a new preparation, its old
+        // entries can never answer for the replacement.
+        let resolved_id = resolved.instance_id();
+        if cached {
+            if let Some(hit) = self.cache.get(resolved_id, &codes) {
+                return Ok(InferReply {
+                    acc: hit.acc,
+                    scale: hit.scale,
+                    latency: started.elapsed(),
+                    shard,
+                    cache_hit: true,
+                });
+            }
         }
         let permit = self.admission.try_admit()?;
-        let pending = self
-            .router
-            .submit_to_shard(shard, resolved, codes.clone())?;
+        let (pending, kept_codes) = if cached {
+            let pending =
+                self.router
+                    .submit_to_shard(shard, Arc::clone(&resolved), codes.clone())?;
+            (pending, Some(codes))
+        } else {
+            (self.router.submit_to_shard(shard, resolved, codes)?, None)
+        };
         let out = self.admission.wait_bounded(&pending)?;
         drop(permit);
-        self.cache.insert(
-            model,
-            codes,
-            CachedOutput {
-                acc: out.acc.clone(),
-                scale: out.scale,
-            },
-        );
+        if let Some(codes) = kept_codes {
+            self.cache.insert(
+                resolved_id,
+                codes,
+                CachedOutput {
+                    acc: out.acc.clone(),
+                    scale: out.scale,
+                },
+            );
+        }
         Ok(InferReply {
             acc: out.acc,
             scale: out.scale,
@@ -181,6 +207,25 @@ fn error_kind(e: &ServeError) -> ErrorKind {
 /// How often blocked reads wake to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// Transport-level knobs for [`GatewayServer`] (distinct from
+/// [`GatewayConfig`], which sizes the transport-free [`Gateway`] core).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum simultaneously connected clients, each served by one
+    /// handler thread. Connections past the bound are answered with one
+    /// [`ErrorKind::Overloaded`] error line and closed, so an untrusted
+    /// peer opening sockets cannot force unbounded thread creation.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 1024,
+        }
+    }
+}
+
 /// A blocking TCP front-end over a shared [`Gateway`].
 #[derive(Debug)]
 pub struct GatewayServer {
@@ -192,12 +237,26 @@ pub struct GatewayServer {
 
 impl GatewayServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections, one handler thread per connection.
+    /// accepting connections, one handler thread per connection, with
+    /// the default [`ServerConfig`] connection bound.
     ///
     /// # Errors
     ///
     /// Propagates socket bind failures.
     pub fn bind(gateway: Arc<Gateway>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::bind_with(gateway, addr, ServerConfig::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit transport knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind_with(
+        gateway: Arc<Gateway>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -206,7 +265,7 @@ impl GatewayServer {
             let stop = Arc::clone(&stop);
             thread::Builder::new()
                 .name("panacea-gateway-accept".to_string())
-                .spawn(move || accept_loop(&listener, &gateway, &stop))
+                .spawn(move || accept_loop(&listener, &gateway, &stop, config))
                 .expect("spawn acceptor")
         };
         Ok(GatewayServer {
@@ -254,26 +313,59 @@ impl Drop for GatewayServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, gateway: &Arc<Gateway>, stop: &Arc<AtomicBool>) {
-    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+fn accept_loop(
+    listener: &TcpListener,
+    gateway: &Arc<Gateway>,
+    stop: &Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let max_connections = config.max_connections.max(1);
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     for (conn, stream) in listener.incoming().enumerate() {
         if stop.load(Ordering::Acquire) {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        let Ok(stream) = stream else {
+            // Accept failures can be persistent (fd exhaustion while
+            // every handler slot is held open); sleeping keeps the
+            // acceptor from busy-spinning a core until they clear.
+            thread::sleep(POLL_INTERVAL);
+            continue;
+        };
+        handlers.retain(|h| !h.is_finished());
+        if handlers.len() >= max_connections {
+            reject_connection(stream, max_connections);
+            continue;
+        }
         let gateway = Arc::clone(gateway);
         let stop = Arc::clone(stop);
-        let handle = thread::Builder::new()
+        let spawned = thread::Builder::new()
             .name(format!("panacea-gateway-conn-{conn}"))
-            .spawn(move || serve_connection(&gateway, stream, &stop))
-            .expect("spawn connection handler");
-        let mut guard = handlers.lock().expect("handler list poisoned");
-        guard.retain(|h| !h.is_finished());
-        guard.push(handle);
+            .spawn(move || serve_connection(&gateway, stream, &stop));
+        match spawned {
+            Ok(handle) => handlers.push(handle),
+            // Thread creation failing (resource exhaustion) must not
+            // take the acceptor down; dropping the closure closed the
+            // socket, and the next accept tries again.
+            Err(_) => continue,
+        }
     }
-    for handle in handlers.into_inner().expect("handler list poisoned") {
+    for handle in handlers {
         let _ = handle.join();
     }
+}
+
+/// Answers an over-limit connection with a single `Overloaded` error
+/// line (best-effort) and closes it.
+fn reject_connection(mut stream: TcpStream, limit: usize) {
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let encoded = encode_response(&Response::Error {
+        kind: ErrorKind::Overloaded,
+        message: format!("connection limit {limit} reached; retry later"),
+    });
+    let _ = stream
+        .write_all(encoded.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"));
 }
 
 /// Largest accepted request line; a connection streaming more without a
@@ -299,7 +391,7 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
     let respond = |writer: &mut BufWriter<TcpStream>, response: &Response| {
         let encoded = encode_response(response);
         writer
@@ -309,47 +401,24 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) {
             .is_ok()
     };
     loop {
-        // `read_line` appends, so a line split across timeouts
-        // accumulates until its newline arrives. The `take` budget makes
-        // one oversized line surface as a truncated read instead of
-        // accumulating without bound inside a single call.
-        let budget = (MAX_LINE_BYTES + 1 - line.len()) as u64;
-        match std::io::Read::take(&mut reader, budget).read_line(&mut line) {
-            Ok(0) => return, // EOF
-            Ok(_) => {
-                if line.len() > MAX_LINE_BYTES {
-                    let _ = respond(
-                        &mut writer,
-                        &Response::Error {
-                            kind: ErrorKind::BadRequest,
-                            message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                        },
-                    );
-                    return;
-                }
-                if !line.ends_with('\n') {
-                    continue; // mid-line EOF race; next read settles it
-                }
-                if line.trim().is_empty() {
-                    line.clear();
-                    continue;
-                }
-                let response = match decode_request(&line) {
-                    Ok(request) => gateway.handle(request),
-                    Err(e) => Response::Error {
-                        kind: ErrorKind::BadRequest,
-                        message: e.to_string(),
-                    },
-                };
-                line.clear();
-                if !respond(&mut writer, &response) {
-                    return; // client hung up or stalled mid-response
-                }
-                // Re-check between requests so a chatty client cannot
-                // starve shutdown of its timeout window.
-                if stop.load(Ordering::Acquire) {
-                    return;
-                }
+        // Checked once per buffered chunk, so neither a chatty client
+        // nor one dripping bytes mid-line can starve shutdown.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Accumulate raw bytes rather than `read_line`-ing a String: one
+        // `fill_buf` returns per chunk (or per timeout), keeping the
+        // handler responsive however slowly bytes arrive, and a
+        // multi-byte UTF-8 sequence split across reads stays intact
+        // because decoding happens only once the full line is assembled.
+        let newline_at = match reader.fill_buf() {
+            Ok([]) => return, // EOF
+            Ok(buf) => {
+                let newline = buf.iter().position(|&b| b == b'\n');
+                let take = newline.map_or(buf.len(), |i| i + 1);
+                line.extend_from_slice(&buf[..take]);
+                reader.consume(take);
+                newline
             }
             Err(e)
                 if matches!(
@@ -357,13 +426,43 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) {
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                // A timed-out read may still have appended a partial
-                // chunk; enforce the cap here too.
-                if line.len() > MAX_LINE_BYTES || stop.load(Ordering::Acquire) {
-                    return;
-                }
+                continue;
             }
             Err(_) => return,
+        };
+        if line.len() > MAX_LINE_BYTES {
+            let _ = respond(
+                &mut writer,
+                &Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                },
+            );
+            return;
+        }
+        if newline_at.is_none() {
+            continue; // keep accumulating this line
+        }
+        let response = match std::str::from_utf8(&line) {
+            Ok(text) if text.trim().is_empty() => {
+                line.clear();
+                continue;
+            }
+            Ok(text) => match decode_request(text) {
+                Ok(request) => gateway.handle(request),
+                Err(e) => Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: e.to_string(),
+                },
+            },
+            Err(_) => Response::Error {
+                kind: ErrorKind::BadRequest,
+                message: "request line is not valid UTF-8".to_string(),
+            },
+        };
+        line.clear();
+        if !respond(&mut writer, &response) {
+            return; // client hung up or stalled mid-response
         }
     }
 }
@@ -395,6 +494,38 @@ mod tests {
         // The cached request never re-entered a runtime.
         let total_served: u64 = stats.shards.iter().map(|s| s.requests).sum();
         assert_eq!(total_served, 1);
+    }
+
+    #[test]
+    fn re_registering_a_model_invalidates_cached_replays() {
+        let gateway = Gateway::new(models(&["m"], 9), GatewayConfig::default());
+        let old = gateway.router().model("m").expect("registered");
+        let x = codes(&old, 2, 0);
+        let first = gateway
+            .infer("m", Payload::Codes(x.clone()))
+            .expect("served");
+        assert!(!first.cache_hit);
+        // Replace "m" on every shard with a different preparation (the
+        // documented re-registration path via the shard registries).
+        let replacement = Arc::new(models(&["m"], 10).pop().expect("one model"));
+        for shard in 0..gateway.router().num_shards() {
+            gateway
+                .router()
+                .shard(shard)
+                .registry()
+                .insert_shared(Arc::clone(&replacement));
+        }
+        let (expect, _) = replacement.forward_codes(&x);
+        let after = gateway.infer("m", Payload::Codes(x)).expect("served");
+        assert!(
+            !after.cache_hit,
+            "stale cache entry replayed for the replaced model"
+        );
+        assert_eq!(after.acc, expect, "answer did not come from the new model");
+        assert_ne!(
+            after.acc, first.acc,
+            "test models must differ for this check to mean anything"
+        );
     }
 
     #[test]
@@ -476,6 +607,142 @@ mod tests {
         );
         assert!(slow.join().expect("first request").is_ok());
         assert_eq!(gateway.stats().admission.rejected_capacity, 1);
+    }
+
+    #[test]
+    fn multibyte_utf8_split_across_read_timeouts_survives() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+        let gateway = Arc::new(Gateway::new(models(&["m"], 12), GatewayConfig::default()));
+        let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+        let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+        let line =
+            "{\"verb\":\"infer\",\"model\":\"modèle\",\"codes\":{\"rows\":1,\"cols\":1,\"data\":[1]}}\n";
+        // Split the line *inside* the two-byte 'è' and stall past the
+        // handler's read timeout: the name must reassemble intact (the
+        // server answers unknown_model naming it), not be dropped or
+        // mangled into a JSON parse error.
+        let split = line.find('è').expect("è present") + 1;
+        raw.write_all(&line.as_bytes()[..split]).expect("send head");
+        raw.flush().expect("flush head");
+        thread::sleep(POLL_INTERVAL * 3);
+        raw.write_all(&line.as_bytes()[split..]).expect("send tail");
+        let mut reply = String::new();
+        BufReader::new(&raw)
+            .read_line(&mut reply)
+            .expect("answered");
+        assert!(
+            reply.contains("unknown_model") && reply.contains("modèle"),
+            "name mangled in transit: {reply}"
+        );
+    }
+
+    #[test]
+    fn shutdown_is_prompt_while_a_client_drips_bytes() {
+        use std::io::Write;
+        use std::net::TcpStream;
+        let gateway = Arc::new(Gateway::new(models(&["m"], 13), GatewayConfig::default()));
+        let mut server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        // A client dripping bytes without ever finishing a line: each
+        // chunk keeps the handler's read loop spinning, so shutdown must
+        // still be noticed between chunks.
+        let stop_drip = Arc::new(AtomicBool::new(false));
+        let dripper = {
+            let stop_drip = Arc::clone(&stop_drip);
+            thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                while !stop_drip.load(Ordering::Acquire) {
+                    if s.write_all(b"[").and_then(|()| s.flush()).is_err() {
+                        break; // server closed on us — expected after shutdown
+                    }
+                    thread::sleep(Duration::from_millis(10));
+                }
+            })
+        };
+        thread::sleep(Duration::from_millis(100)); // let the drip start mid-line
+        let started = Instant::now();
+        server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown hung on the dripping client"
+        );
+        stop_drip.store(true, Ordering::Release);
+        dripper.join().expect("dripper");
+    }
+
+    #[test]
+    fn connection_limit_rejects_excess_connections() {
+        use crate::GatewayClient;
+        let gateway = Arc::new(Gateway::new(models(&["m"], 7), GatewayConfig::default()));
+        let server = GatewayServer::bind_with(
+            Arc::clone(&gateway),
+            "127.0.0.1:0",
+            ServerConfig { max_connections: 1 },
+        )
+        .expect("bind");
+        let mut first = GatewayClient::connect(server.local_addr()).expect("connect");
+        assert!(first.stats().is_ok(), "first connection must serve");
+        let mut second = GatewayClient::connect(server.local_addr()).expect("connect");
+        let err = second.stats().expect_err("over-limit connection served");
+        assert!(err.is_overloaded(), "wrong rejection: {err}");
+        // Closing the first connection frees the slot (its handler exits
+        // on EOF; the acceptor prunes finished handlers on the next
+        // accept), so a later connection must get through.
+        drop(first);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut retry = GatewayClient::connect(server.local_addr()).expect("connect");
+            if retry.stats().is_ok() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "connection slot never freed");
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn shed_requests_do_not_linger_in_the_runtime_queue() {
+        // A linger far beyond the queue-wait bound: every request is
+        // shed before its batch dispatches. Shedding must cancel the
+        // queued job, not leave it accumulating behind the freed permit.
+        let gateway = Gateway::new(
+            models(&["m"], 6),
+            GatewayConfig {
+                shards: 1,
+                runtime: RuntimeConfig {
+                    workers: 1,
+                    policy: BatchPolicy {
+                        max_batch: 4096,
+                        max_wait: Duration::from_secs(60),
+                    },
+                },
+                admission: AdmissionConfig {
+                    max_in_flight: 16,
+                    max_queue_wait: Duration::from_millis(10),
+                },
+                ..GatewayConfig::default()
+            },
+        );
+        let model = gateway.router().model("m").expect("registered");
+        for salt in 0..3 {
+            let shed = gateway.infer("m", Payload::Codes(codes(&model, 1, salt)));
+            assert!(
+                matches!(shed, Err(ServeError::Overloaded { .. })),
+                "request outran the 60s linger: {shed:?}"
+            );
+        }
+        // Cancellation wakes the worker, which purges the abandoned
+        // jobs; poll briefly to absorb scheduling noise.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let shard = gateway.router().shard(0);
+        while shard.queue_depth().load() > 0 {
+            assert!(Instant::now() < deadline, "shed jobs still queued");
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(shard.metrics().cancelled, 3);
+        assert_eq!(shard.metrics().requests, 0, "a shed request executed");
+        assert_eq!(gateway.stats().admission.rejected_timeout, 3);
     }
 
     #[test]

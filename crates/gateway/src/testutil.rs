@@ -1,5 +1,8 @@
-//! Shared fixtures for this crate's unit tests: small prepared models
-//! and deterministic request codes.
+//! Shared fixtures for this crate's unit and integration tests: small
+//! prepared models and deterministic request codes. `#[doc(hidden)]`
+//! public so the TCP integration tests (and the workspace-level facade
+//! tests) reuse the exact same fixtures instead of re-implementing
+//! them; not part of the supported API.
 
 use panacea_serve::{LayerSpec, PrepareOptions, PreparedModel};
 use panacea_tensor::dist::DistributionKind;
@@ -7,7 +10,7 @@ use panacea_tensor::Matrix;
 
 /// Prepares one 8×16 single-layer model per name, each calibrated on its
 /// own Gaussian sample drawn from a seeded RNG.
-pub(crate) fn models(names: &[&str], seed: u64) -> Vec<PreparedModel> {
+pub fn models(names: &[&str], seed: u64) -> Vec<PreparedModel> {
     let mut rng = panacea_tensor::seeded_rng(seed);
     names
         .iter()
@@ -34,7 +37,7 @@ pub(crate) fn models(names: &[&str], seed: u64) -> Vec<PreparedModel> {
 }
 
 /// Deterministic in-range request codes for a prepared model.
-pub(crate) fn codes(model: &PreparedModel, cols: usize, salt: usize) -> Matrix<i32> {
+pub fn codes(model: &PreparedModel, cols: usize, salt: usize) -> Matrix<i32> {
     Matrix::from_fn(model.in_features(), cols, |r, c| {
         ((r * 31 + c * 7 + salt * 13) % 200) as i32
     })

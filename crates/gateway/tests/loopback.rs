@@ -6,44 +6,12 @@ use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::Duration;
 
+use panacea_gateway::testutil::{codes, models};
 use panacea_gateway::{
     AdmissionConfig, CacheConfig, Gateway, GatewayClient, GatewayConfig, GatewayServer,
 };
-use panacea_serve::{BatchPolicy, LayerSpec, PrepareOptions, PreparedModel, RuntimeConfig};
+use panacea_serve::{BatchPolicy, RuntimeConfig};
 use panacea_tensor::dist::DistributionKind;
-use panacea_tensor::Matrix;
-
-fn models(names: &[&str], seed: u64) -> Vec<PreparedModel> {
-    let mut rng = panacea_tensor::seeded_rng(seed);
-    names
-        .iter()
-        .map(|name| {
-            let w = DistributionKind::Gaussian {
-                mean: 0.0,
-                std: 0.05,
-            }
-            .sample_matrix(8, 16, &mut rng);
-            let calib = DistributionKind::Gaussian {
-                mean: 0.2,
-                std: 0.5,
-            }
-            .sample_matrix(16, 16, &mut rng);
-            PreparedModel::prepare(
-                *name,
-                &[LayerSpec::unbiased(w)],
-                &calib,
-                PrepareOptions::default(),
-            )
-            .expect("prepare")
-        })
-        .collect()
-}
-
-fn codes(model: &PreparedModel, cols: usize, salt: usize) -> Matrix<i32> {
-    Matrix::from_fn(model.in_features(), cols, |r, c| {
-        ((r * 31 + c * 7 + salt * 13) % 200) as i32
-    })
-}
 
 #[test]
 fn concurrent_clients_get_bit_exact_answers_over_tcp() {
@@ -134,6 +102,7 @@ fn overload_burst_yields_explicit_rejections_not_unbounded_queueing() {
             cache: CacheConfig {
                 capacity: 0, // force every request through admission
                 shards: 1,
+                ..CacheConfig::default()
             },
             admission: AdmissionConfig {
                 max_in_flight: 2,
@@ -190,6 +159,17 @@ fn stats_verb_round_trips_over_the_wire() {
     client.infer_codes("m", x.clone()).expect("served");
     client.infer_codes("m", x).expect("served");
 
+    // The worker decrements its in-flight counter *after* answering, so
+    // wait for the shards to go quiescent before comparing two
+    // point-in-time snapshots for exact equality.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while gateway.router().queue_depths().iter().any(|q| q.load() > 0) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shards never went quiescent"
+        );
+        thread::yield_now();
+    }
     let stats = client.stats().expect("stats");
     assert_eq!(stats, gateway.stats(), "wire stats diverged from source");
     assert_eq!(stats.shards.len(), 2);

@@ -10,6 +10,7 @@
 //! element-exact under any column grouping.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -49,6 +50,9 @@ pub(crate) struct Job {
     pub(crate) codes: Matrix<i32>,
     pub(crate) responder: mpsc::Sender<InferenceOutput>,
     pub(crate) enqueued_at: Instant,
+    /// Set by the caller's dropped `Pending` handle; workers drop the
+    /// job instead of executing it. Shared with the `Pending`.
+    pub(crate) cancelled: Arc<AtomicBool>,
 }
 
 /// A dispatchable group of same-model jobs.
@@ -56,6 +60,17 @@ pub(crate) struct Job {
 pub(crate) struct Batch {
     pub(crate) model: Arc<PreparedModel>,
     pub(crate) jobs: Vec<Job>,
+}
+
+/// Drops every queued job whose caller has abandoned it (its `Pending`
+/// handle was dropped, e.g. by an admission layer shedding the request),
+/// returning how many were removed. Without this, sustained overload
+/// would leave a trail of admitted-then-shed jobs growing the queue
+/// without bound while nobody waits for their answers.
+pub(crate) fn purge_cancelled(queue: &mut VecDeque<Job>) -> usize {
+    let before = queue.len();
+    queue.retain(|j| !j.cancelled.load(Ordering::Acquire));
+    before - queue.len()
 }
 
 /// Total queued columns targeting the queue head's model — what the
@@ -211,6 +226,7 @@ mod tests {
                 codes,
                 responder: tx,
                 enqueued_at: Instant::now(),
+                cancelled: Arc::new(AtomicBool::new(false)),
             },
             rx,
         )
@@ -319,6 +335,21 @@ mod tests {
         let metrics = Metrics::default();
         execute(batch, &metrics);
         assert_eq!(metrics.snapshot().padded_cols, 1);
+    }
+
+    #[test]
+    fn purge_cancelled_drops_abandoned_jobs_only() {
+        let a = prepared(11);
+        let mut queue = VecDeque::new();
+        let (j1, _r1) = job(&a, 1);
+        let (j2, _r2) = job(&a, 2);
+        let (j3, _r3) = job(&a, 3);
+        j2.cancelled.store(true, Ordering::Release);
+        queue.extend([j1, j2, j3]);
+        assert_eq!(purge_cancelled(&mut queue), 1);
+        let widths: Vec<usize> = queue.iter().map(|j| j.codes.cols()).collect();
+        assert_eq!(widths, vec![1, 3], "live jobs must keep their order");
+        assert_eq!(purge_cancelled(&mut queue), 0);
     }
 
     #[test]

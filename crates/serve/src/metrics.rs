@@ -26,6 +26,10 @@ pub struct MetricsSnapshot {
     /// Columns the GEMM zero-padded to reach the PE vector width —
     /// wasted work the batcher's vector-group packing tries to avoid.
     pub padded_cols: u64,
+    /// Queued requests dropped before execution because their caller
+    /// stopped waiting (its `Pending` handle was dropped, e.g. by an
+    /// admission layer shedding the request).
+    pub cancelled: u64,
 }
 
 impl MetricsSnapshot {
@@ -88,6 +92,12 @@ impl Metrics {
         m.widest_batch = m.widest_batch.max(columns as u64);
     }
 
+    /// Records queued requests purged because their caller went away.
+    pub(crate) fn record_cancelled(&self, requests: usize) {
+        let mut m = self.inner.lock().expect("metrics lock poisoned");
+        m.cancelled += requests as u64;
+    }
+
     /// Copies out the current counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         *self.inner.lock().expect("metrics lock poisoned")
@@ -124,7 +134,9 @@ mod tests {
             Duration::from_millis(2),
             Duration::from_millis(3),
         );
+        m.record_cancelled(2);
         let s = m.snapshot();
+        assert_eq!(s.cancelled, 2);
         assert_eq!(s.requests, 4);
         assert_eq!(s.batches, 2);
         assert_eq!(s.columns, 16);

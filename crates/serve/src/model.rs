@@ -8,6 +8,7 @@
 //! the cheap half: one AQS-GEMM chain over its activation columns.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use panacea_bitslice::VECTOR_LEN;
@@ -66,11 +67,17 @@ impl Default for PrepareOptions {
 #[derive(Debug, Clone)]
 pub struct PreparedModel {
     name: String,
+    /// Process-unique preparation identity — see
+    /// [`instance_id`](Self::instance_id).
+    instance: u64,
     layers: Vec<QuantizedLinear>,
     input_cfg: LayerQuantConfig,
     in_features: usize,
     out_features: usize,
 }
+
+/// Source of [`PreparedModel::instance_id`] values; 0 is never issued.
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
 
 impl PreparedModel {
     /// Prepares a linear chain from float layers.
@@ -160,6 +167,7 @@ impl PreparedModel {
         }
         Ok(PreparedModel {
             name,
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
             input_cfg: configs[0],
             in_features: first.weight.cols(),
             out_features: layers.last().expect("non-empty").weight.rows(),
@@ -186,6 +194,18 @@ impl PreparedModel {
     /// The model's registry name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// A process-unique id minted per [`prepare`](Self::prepare) call.
+    ///
+    /// Two models with equal ids are guaranteed bit-identical in their
+    /// outputs (clones share the id and the preparation is
+    /// deterministic), while a *re-preparation* — even of the same
+    /// weights under the same name — gets a fresh id. This is the
+    /// identity a response cache must key on: registry names can be
+    /// re-bound to new models, names cannot.
+    pub fn instance_id(&self) -> u64 {
+        self.instance
     }
 
     /// Features per input column (`K` of the first layer).
@@ -497,6 +517,22 @@ mod tests {
         assert!(!Arc::ptr_eq(&h1, &h3));
         assert_eq!(reg.names(), vec!["a".to_string()]);
         assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn instance_ids_are_unique_per_preparation() {
+        let (layers, calib) = spec_chain(7, &[16, 8]);
+        let a = PreparedModel::prepare("m", &layers, &calib, PrepareOptions::default())
+            .expect("prepare");
+        let b = PreparedModel::prepare("m", &layers, &calib, PrepareOptions::default())
+            .expect("prepare");
+        assert_ne!(
+            a.instance_id(),
+            b.instance_id(),
+            "re-preparation must mint a fresh identity"
+        );
+        assert_eq!(a.instance_id(), a.clone().instance_id());
+        assert_ne!(a.instance_id(), 0, "0 is reserved as never-issued");
     }
 
     #[test]

@@ -13,13 +13,16 @@
 //! threads survive, and no accepted request is dropped.
 
 use std::collections::VecDeque;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use panacea_tensor::Matrix;
 
-use crate::batch::{execute, head_model_cols, queue_is_single_model, take_batch, BatchPolicy, Job};
+use crate::batch::{
+    execute, head_model_cols, purge_cancelled, queue_is_single_model, take_batch, BatchPolicy, Job,
+};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::model::{ModelRegistry, PreparedModel};
 use crate::{InferenceOutput, ServeError};
@@ -63,17 +66,19 @@ impl Shared {
     /// Validates and enqueues a request — the single submission path
     /// behind both [`Runtime`] and [`RuntimeHandle`].
     fn submit_to(
-        &self,
+        self: &Arc<Self>,
         model: Arc<PreparedModel>,
         codes: Matrix<i32>,
     ) -> Result<Pending, ServeError> {
         model.validate(&codes)?;
         let (tx, rx) = mpsc::channel();
+        let cancelled = Arc::new(AtomicBool::new(false));
         let job = Job {
             model,
             codes,
             responder: tx,
             enqueued_at: Instant::now(),
+            cancelled: Arc::clone(&cancelled),
         };
         {
             let mut st = self.state.lock().expect("queue lock poisoned");
@@ -83,7 +88,11 @@ impl Shared {
             st.queue.push_back(job);
         }
         self.work_ready.notify_one();
-        Ok(Pending { rx })
+        Ok(Pending {
+            rx,
+            cancelled,
+            shared: Arc::downgrade(self),
+        })
     }
 
     fn queue_depth(&self) -> QueueDepth {
@@ -339,9 +348,46 @@ impl RuntimeHandle {
 }
 
 /// A pending response handle.
+///
+/// Dropping it cancels the request if it is still queued: workers purge
+/// abandoned jobs instead of computing answers nobody is waiting for.
+/// A request already claimed into a batch completes normally (its
+/// response is simply discarded), so cancellation never tears work out
+/// from under a worker.
 #[derive(Debug)]
 pub struct Pending {
     rx: mpsc::Receiver<InferenceOutput>,
+    /// Shared with the queued [`Job`]; set on drop.
+    cancelled: Arc<AtomicBool>,
+    /// Wakes workers on cancellation so a lingering batch window does
+    /// not keep an abandoned job queued. Weak: a response handle must
+    /// not keep a shut-down runtime's state alive.
+    shared: Weak<Shared>,
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        self.cancelled.store(true, Ordering::Release);
+        // The queue holds the only other handle on the flag, so a strong
+        // count above one means the job may still be queued and a worker
+        // should wake to purge it. After execution (the common case) the
+        // count is one and the wakeup is skipped.
+        if Arc::strong_count(&self.cancelled) > 1 {
+            if let Some(shared) = self.shared.upgrade() {
+                // Passing through the queue lock between the store and
+                // the notify closes the lost-wakeup window: a worker
+                // that purged before the store cannot yet be parked (it
+                // still holds the lock), so by the time this acquires
+                // the lock it is either parked (and will get the
+                // notify) or will re-purge and see the flag. No expect:
+                // a poisoned lock means workers died; nothing to wake.
+                if let Ok(guard) = shared.state.lock() {
+                    drop(guard);
+                    shared.work_ready.notify_all();
+                }
+            }
+        }
+    }
 }
 
 impl Pending {
@@ -373,8 +419,8 @@ impl Pending {
 
     /// Blocks up to `timeout` for the response: `Ok(None)` if it did not
     /// arrive in time (the request stays queued and this handle stays
-    /// valid, so the caller may wait again — or drop the handle to stop
-    /// listening; the runtime still completes the work it accepted).
+    /// valid, so the caller may wait again — or drop the handle, which
+    /// cancels the request if a worker has not yet claimed it).
     ///
     /// This is the bounded wait an admission layer uses to shed slow
     /// requests without spin-looping on [`try_wait`](Self::try_wait).
@@ -393,14 +439,24 @@ impl Pending {
 }
 
 fn worker_loop(shared: &Shared) {
+    // Under the queue lock: drop jobs whose caller stopped waiting, so
+    // overload shedding cannot leave the queue growing without bound.
+    let purge = |st: &mut State| {
+        let n = purge_cancelled(&mut st.queue);
+        if n > 0 {
+            shared.metrics.record_cancelled(n);
+        }
+    };
     let mut st = shared.state.lock().expect("queue lock poisoned");
     loop {
+        purge(&mut st);
         // Idle: wait for work or for shutdown with an empty queue.
         while st.queue.is_empty() {
             if st.shutting_down {
                 return;
             }
             st = shared.work_ready.wait(st).expect("queue lock poisoned");
+            purge(&mut st);
         }
 
         // Linger until the head model's columns fill the budget, the
@@ -429,6 +485,7 @@ fn worker_loop(shared: &Shared) {
                 .wait_timeout(st, deadline - now)
                 .expect("queue lock poisoned");
             st = guard;
+            purge(&mut st);
             if timeout.timed_out() {
                 break;
             }
@@ -647,6 +704,99 @@ mod tests {
             m.batches
         );
         assert!(m.widest_batch >= 2);
+    }
+
+    #[test]
+    fn metrics_snapshots_are_monotone_under_concurrent_submits() {
+        let registry = registry_with(&["m"], 12);
+        let runtime = Arc::new(Runtime::start(
+            Arc::clone(&registry),
+            RuntimeConfig {
+                workers: 2,
+                policy: BatchPolicy {
+                    max_batch: 8,
+                    max_wait: Duration::from_millis(1),
+                },
+            },
+        ));
+        let model = registry.get("m").expect("registered");
+        // A poller racing the submitters: every counter in a later
+        // snapshot must dominate the earlier one — a torn or decreasing
+        // reading would make dashboards lie under load.
+        let stop = Arc::new(AtomicBool::new(false));
+        let poller = {
+            let runtime = Arc::clone(&runtime);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut last = MetricsSnapshot::default();
+                while !stop.load(Ordering::Acquire) {
+                    let s = runtime.metrics();
+                    assert!(s.requests >= last.requests, "requests decreased");
+                    assert!(s.batches >= last.batches, "batches decreased");
+                    assert!(s.columns >= last.columns, "columns decreased");
+                    assert!(s.padded_cols >= last.padded_cols, "padding decreased");
+                    assert!(s.cancelled >= last.cancelled, "cancelled decreased");
+                    assert!(s.compute_time >= last.compute_time, "compute decreased");
+                    assert!(s.max_latency >= last.max_latency, "max latency decreased");
+                    assert!(s.widest_batch >= last.widest_batch, "widest batch shrank");
+                    last = s;
+                    thread::yield_now();
+                }
+            })
+        };
+        let mut submitters = Vec::new();
+        for t in 0..4usize {
+            let runtime = Arc::clone(&runtime);
+            let model = Arc::clone(&model);
+            submitters.push(thread::spawn(move || {
+                for i in 0..25usize {
+                    runtime
+                        .submit_to(Arc::clone(&model), codes_for(&model, 1 + (t + i) % 3, i))
+                        .expect("queued")
+                        .wait()
+                        .expect("served");
+                }
+            }));
+        }
+        for th in submitters {
+            th.join().expect("submitter");
+        }
+        stop.store(true, Ordering::Release);
+        poller.join().expect("poller saw a non-monotone snapshot");
+        assert_eq!(runtime.metrics().requests, 100);
+    }
+
+    #[test]
+    fn dropping_pending_cancels_queued_work() {
+        let registry = registry_with(&["m"], 11);
+        // One worker with a generous linger: the head request waits for
+        // companions, giving the abandoned one time to be purged.
+        let runtime = Runtime::start(
+            Arc::clone(&registry),
+            RuntimeConfig {
+                workers: 1,
+                policy: BatchPolicy {
+                    max_batch: 64,
+                    max_wait: Duration::from_millis(150),
+                },
+            },
+        );
+        let model = registry.get("m").expect("registered");
+        let kept = runtime
+            .submit_to(Arc::clone(&model), codes_for(&model, 1, 0))
+            .expect("queued");
+        let abandoned = runtime
+            .submit_to(Arc::clone(&model), codes_for(&model, 1, 1))
+            .expect("queued");
+        drop(abandoned);
+        let out = kept.wait().expect("served");
+        assert_eq!(
+            out.batched_cols, 1,
+            "cancelled request rode the dispatched batch"
+        );
+        let m = runtime.metrics();
+        assert_eq!(m.requests, 1, "cancelled request was executed");
+        assert_eq!(m.cancelled, 1);
     }
 
     #[test]

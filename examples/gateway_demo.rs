@@ -190,6 +190,7 @@ fn main() {
             cache: CacheConfig {
                 capacity: 0, // every request must face admission
                 shards: 1,
+                ..CacheConfig::default()
             },
             admission: AdmissionConfig {
                 max_in_flight: 2,

@@ -4,34 +4,50 @@
 
 use std::sync::Arc;
 
+use panacea::gateway::testutil::models;
 use panacea::gateway::{Gateway, GatewayClient, GatewayConfig, GatewayServer};
-use panacea::serve::{LayerSpec, PrepareOptions, PreparedModel};
-use panacea::tensor::{dist::DistributionKind, seeded_rng, Matrix};
+use panacea::tensor::Matrix;
 
-fn prepared(name: &str, seed: u64) -> PreparedModel {
-    let mut rng = seeded_rng(seed);
-    let w = DistributionKind::Gaussian {
-        mean: 0.0,
-        std: 0.05,
-    }
-    .sample_matrix(8, 16, &mut rng);
-    let calib = DistributionKind::Gaussian {
-        mean: 0.2,
-        std: 0.5,
-    }
-    .sample_matrix(16, 16, &mut rng);
-    PreparedModel::prepare(
-        name,
-        &[LayerSpec::unbiased(w)],
-        &calib,
-        PrepareOptions::default(),
-    )
-    .expect("prepare")
+#[test]
+fn deep_nesting_request_line_is_rejected_not_fatal() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let gateway = Arc::new(Gateway::new(models(&["m"], 3), GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+
+    // The review-scenario payload: a line of a million '[' characters.
+    // The parser must answer with a recursion-limit error instead of
+    // overflowing the handler thread's stack and aborting the process.
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut bomb = "[".repeat(1_000_000);
+    bomb.push('\n');
+    raw.write_all(bomb.as_bytes()).expect("send bomb");
+    let mut reply = String::new();
+    BufReader::new(&raw)
+        .read_line(&mut reply)
+        .expect("answered");
+    assert!(
+        reply.contains("\"ok\":false"),
+        "bomb was not rejected: {reply}"
+    );
+    assert!(
+        reply.contains("recursion limit"),
+        "wrong rejection for the bomb: {reply}"
+    );
+
+    // The server must still serve real traffic afterwards.
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+    let model = gateway.router().model("m").expect("registered");
+    let codes = Matrix::from_fn(model.in_features(), 1, |r, c| ((r * 5 + c) % 100) as i32);
+    let (expect, _) = model.forward_codes(&codes);
+    let reply = client.infer_codes("m", codes).expect("served after bomb");
+    assert_eq!(reply.acc, expect);
 }
 
 #[test]
 fn facade_gateway_round_trip_with_cache_and_stats() {
-    let models = vec![prepared("a", 1), prepared("b", 2)];
+    let models = models(&["a", "b"], 1);
     let gateway = Arc::new(Gateway::new(models, GatewayConfig::default()));
     let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
     let mut client = GatewayClient::connect(server.local_addr()).expect("connect");

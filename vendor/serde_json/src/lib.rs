@@ -292,9 +292,17 @@ pub fn to_string(value: &Value) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Deepest permitted `[`/`{` nesting, mirroring real serde_json's
+/// recursion limit. The parser is recursive-descent and its inputs are
+/// untrusted (the gateway feeds it raw TCP lines), so without a bound a
+/// line of a few hundred thousand `[` characters would overflow the
+/// handler thread's stack and abort the process.
+const RECURSION_LIMIT: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -302,6 +310,7 @@ impl<'a> Parser<'a> {
         Parser {
             bytes: s.as_bytes(),
             pos: 0,
+            depth: 0,
         }
     }
 
@@ -347,8 +356,8 @@ impl<'a> Parser<'a> {
             Some(b't') => self.eat_literal("true", Value::Bool(true)),
             Some(b'f') => self.eat_literal("false", Value::Bool(false)),
             Some(b'"') => Ok(Value::String(self.parse_string()?)),
-            Some(b'[') => self.parse_array(),
-            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.descend(Self::parse_array),
+            Some(b'{') => self.descend(Self::parse_object),
             Some(b'-' | b'0'..=b'9') => self.parse_number(),
             Some(c) => Err(Error::new(format!(
                 "unexpected character {:?} at byte {}",
@@ -356,6 +365,19 @@ impl<'a> Parser<'a> {
             ))),
             None => Err(Error::new("unexpected end of input")),
         }
+    }
+
+    fn descend(&mut self, parse: fn(&mut Self) -> Result<Value, Error>) -> Result<Value, Error> {
+        if self.depth >= RECURSION_LIMIT {
+            return Err(Error::new(format!(
+                "recursion limit exceeded at byte {}",
+                self.pos
+            )));
+        }
+        self.depth += 1;
+        let v = parse(self);
+        self.depth -= 1;
+        v
     }
 
     fn parse_string(&mut self) -> Result<String, Error> {
@@ -383,19 +405,8 @@ impl<'a> Parser<'a> {
                         b'b' => out.push('\u{0008}'),
                         b'f' => out.push('\u{000c}'),
                         b'u' => {
-                            let end = self.pos + 4;
-                            let hex = self
-                                .bytes
-                                .get(self.pos..end)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| Error::new("invalid \\u escape"))?;
-                            self.pos = end;
-                            // Surrogate pairs are not produced by this shim's
-                            // writer; map lone surrogates to the replacement
-                            // character rather than failing.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.parse_hex4()?;
+                            out.push(self.combine_surrogates(code)?);
                         }
                         other => {
                             return Err(Error::new(format!("invalid escape \\{}", other as char)))
@@ -414,6 +425,48 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Reads the four hex digits of a `\u` escape (cursor already past
+    /// the `u`).
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    /// Turns one decoded `\uXXXX` code unit into a character, consuming
+    /// a following `\uXXXX` low surrogate when `code` is a high
+    /// surrogate — how spec-conformant ASCII-escaping encoders (Python's
+    /// `ensure_ascii`, Jackson) transmit astral characters. Unpaired
+    /// surrogates become U+FFFD rather than failing, matching this
+    /// shim's lenient escape handling.
+    fn combine_surrogates(&mut self, code: u32) -> Result<char, Error> {
+        if !(0xD800..0xDC00).contains(&code) {
+            // Not a high surrogate: a lone low surrogate is unpaired by
+            // construction; everything else maps directly.
+            return Ok(char::from_u32(code).unwrap_or('\u{fffd}'));
+        }
+        if self.bytes[self.pos..].starts_with(b"\\u") {
+            let rewind = self.pos;
+            self.pos += 2;
+            let low = self.parse_hex4()?;
+            if (0xDC00..0xE000).contains(&low) {
+                let astral = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                return Ok(char::from_u32(astral).unwrap_or('\u{fffd}'));
+            }
+            // Not a low surrogate: leave the escape for the main loop to
+            // decode on its own and emit a replacement for the unpaired
+            // high half.
+            self.pos = rewind;
+        }
+        Ok('\u{fffd}')
     }
 
     fn parse_number(&mut self) -> Result<Value, Error> {
@@ -589,9 +642,56 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_pairs_decode_to_astral_characters() {
+        // How Python's json.dumps (ensure_ascii=True) or Jackson emit
+        // "m😀": the pair must reassemble, not become two U+FFFDs.
+        assert_eq!(
+            from_str("\"m\\ud83d\\ude00\"").unwrap(),
+            Value::String("m😀".into())
+        );
+        // Unpaired halves stay lenient: replacement character.
+        assert_eq!(
+            from_str("\"a\\ud83db\"").unwrap(),
+            Value::String("a\u{fffd}b".into())
+        );
+        assert_eq!(
+            from_str("\"a\\ude00b\"").unwrap(),
+            Value::String("a\u{fffd}b".into())
+        );
+        // High surrogate followed by a non-surrogate escape: the second
+        // escape must survive as its own character.
+        assert_eq!(
+            from_str("\"a\\ud83d\\u0041b\"").unwrap(),
+            Value::String("a\u{fffd}Ab".into())
+        );
+        // A truncated low half is still a hard error.
+        assert!(from_str("\"a\\ud83d\\ud\"").is_err());
+    }
+
+    #[test]
     fn parser_rejects_malformed_input() {
         for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "{\"a\" 1}"] {
             assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // Within the limit: parses fine.
+        let deep_ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str(&deep_ok).is_ok());
+        // Past the limit: a clean error, not a stack overflow — this is
+        // what an untrusted TCP peer can cheaply send.
+        for bomb in [
+            "[".repeat(1_000_000),
+            format!("{}1{}", "[".repeat(129), "]".repeat(129)),
+            "{\"a\":".repeat(200_000),
+        ] {
+            let err = from_str(&bomb).expect_err("deep nesting accepted");
+            assert!(
+                err.to_string().contains("recursion limit"),
+                "unexpected error: {err}"
+            );
         }
     }
 
