@@ -1,13 +1,17 @@
 //! Criterion benchmarks of the serving stack: throughput of the batched
-//! AQS pipeline versus batch width, end-to-end runtime dispatch versus
-//! worker count, and the gateway's per-request overheads — shard
-//! routing decisions and request-cache hits/misses.
+//! AQS pipeline versus batch width, transformer-block forward versus
+//! batch depth, end-to-end runtime dispatch versus worker count, and the
+//! gateway's per-request overheads — shard routing decisions and
+//! request-cache hits/misses.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panacea_block::QuantizedBlock;
 use panacea_gateway::{CacheConfig, CachedOutput, RequestCache, ShardRouter};
+use panacea_models::engine::TransformerConfig;
+use panacea_models::zoo::Benchmark;
 use panacea_serve::{
     BatchPolicy, LayerSpec, ModelRegistry, PrepareOptions, PreparedModel, Runtime, RuntimeConfig,
 };
@@ -59,6 +63,42 @@ fn bench_batch_width(c: &mut Criterion) {
             &codes,
             |b, codes| b.iter(|| model.forward_codes(codes)),
         );
+    }
+    group.finish();
+}
+
+fn prepared_block(seed: u64) -> QuantizedBlock {
+    let cfg = TransformerConfig {
+        d_model: 32,
+        n_heads: 4,
+        d_ff: 64,
+        n_layers: 1,
+    };
+    panacea_serve::testutil::block_stack(Benchmark::BertBase, cfg, seed)
+        .pop()
+        .expect("one block")
+}
+
+/// One quantized transformer-block forward (4 AQS GEMMs + f32 attention
+/// glue) as the coalesced batch widens: how much of the per-tile setup
+/// the block engine amortizes over the `N` dimension, per sub-layer mix.
+fn bench_block_forward(c: &mut Criterion) {
+    let block = prepared_block(8);
+    let mut group = c.benchmark_group("block_forward");
+    for batch in [1usize, 8, 32] {
+        // `batch` independent 4-token sequences coalesced per the
+        // serving contract: GEMMs run wide, attention per sequence.
+        let seqs: Vec<Matrix<f32>> = (0..batch)
+            .map(|i| {
+                Matrix::from_fn(32, 4, |r, c| {
+                    (((r * 29 + c * 11 + i * 17) % 89) as f32 - 44.0) / 22.0
+                })
+            })
+            .collect();
+        let refs: Vec<&Matrix<f32>> = seqs.iter().collect();
+        group.bench_with_input(BenchmarkId::new("sequences", batch), &refs, |b, refs| {
+            b.iter(|| block.forward_batch(refs))
+        });
     }
     group.finish();
 }
@@ -161,6 +201,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_batch_width, bench_runtime_dispatch, bench_router_route, bench_request_cache
+    targets = bench_batch_width, bench_block_forward, bench_runtime_dispatch, bench_router_route, bench_request_cache
 }
 criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! The block executor: four prepared AQS GEMMs plus the shared f32 glue.
+
+use panacea_bitslice::VECTOR_LEN;
+use panacea_core::pipeline::QuantizedLinear;
+use panacea_core::Workload;
+use panacea_quant::Quantizer;
+use panacea_tensor::{ops, Matrix};
+
+/// Per-sub-layer AQS workload of one block execution — which of the four
+/// weight GEMMs the multiplies and slice traffic went to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockWorkload {
+    /// Stacked QKV projection.
+    pub qkv: Workload,
+    /// Attention output projection.
+    pub attn_proj: Workload,
+    /// First MLP projection (includes its requantization boundary).
+    pub fc1: Workload,
+    /// Second MLP projection.
+    pub fc2: Workload,
+}
+
+impl BlockWorkload {
+    /// Sum over the four sub-layers — the scalar figure the serving
+    /// metrics aggregate.
+    pub fn total(&self) -> Workload {
+        self.qkv
+            .merged(&self.attn_proj)
+            .merged(&self.fc1)
+            .merged(&self.fc2)
+    }
+
+    /// Element-wise sum of two block workloads.
+    pub fn merged(&self, other: &BlockWorkload) -> BlockWorkload {
+        BlockWorkload {
+            qkv: self.qkv.merged(&other.qkv),
+            attn_proj: self.attn_proj.merged(&other.attn_proj),
+            fc1: self.fc1.merged(&other.fc1),
+            fc2: self.fc2.merged(&other.fc2),
+        }
+    }
+}
+
+/// One prepared pre-norm transformer block.
+///
+/// Built by [`BlockBuilder`](crate::BlockBuilder); immutable afterwards,
+/// so it can be shared across serving workers exactly like a prepared
+/// linear chain. Hidden states are `d_model × tokens` f32 matrices.
+#[derive(Debug, Clone)]
+pub struct QuantizedBlock {
+    pub(crate) d_model: usize,
+    pub(crate) n_heads: usize,
+    pub(crate) d_ff: usize,
+    /// QKV projection; accumulators are dequantized for attention.
+    pub(crate) qkv: QuantizedLinear,
+    /// Attention output projection.
+    pub(crate) proj: QuantizedLinear,
+    /// First MLP GEMM, requantizing into the pre-GELU 8-bit format.
+    pub(crate) fc1: QuantizedLinear,
+    /// Second MLP GEMM, consuming the LUT-activated codes.
+    pub(crate) fc2: QuantizedLinear,
+    /// Coded-domain GELU: pre-GELU code → fc2 input code.
+    pub(crate) gelu_lut: Vec<i32>,
+}
+
+impl QuantizedBlock {
+    /// Model width (`d_model`).
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Attention heads.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// MLP hidden width.
+    pub fn d_ff(&self) -> usize {
+        self.d_ff
+    }
+
+    /// Runs the block on one sequence of hidden states
+    /// (`d_model × tokens`), returning the next hidden states and the
+    /// per-sub-layer workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.rows() != d_model` or `h` has zero columns.
+    pub fn forward(&self, h: &Matrix<f32>) -> (Matrix<f32>, BlockWorkload) {
+        self.forward_segments(h, &[h.cols()])
+    }
+
+    /// Runs the block on several independent sequences at once: their
+    /// token columns are coalesced into one wide GEMM `N` dimension
+    /// (LayerNorm, quantization, and all four GEMMs run in a single
+    /// pass), while attention is applied per sequence so tokens never
+    /// attend across requests. The outputs are split back per request —
+    /// bit-identical to running each sequence alone through
+    /// [`forward`](Self::forward), because every coalesced step is
+    /// column-exact and attention only reads its own segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequences disagree on `d_model`, any is empty, or
+    /// the slice itself is handed zero requests with zero columns total.
+    pub fn forward_batch(&self, requests: &[&Matrix<f32>]) -> (Vec<Matrix<f32>>, BlockWorkload) {
+        if requests.is_empty() {
+            return (Vec::new(), BlockWorkload::default());
+        }
+        let widths: Vec<usize> = requests.iter().map(|x| x.cols()).collect();
+        let stacked =
+            Matrix::hstack(requests).expect("batched sequences must share the model width");
+        let (out, wl) = self.forward_segments(&stacked, &widths);
+        let parts = out
+            .split_cols(&widths)
+            .expect("block forward keeps one output column per input column");
+        (parts, wl)
+    }
+
+    /// The general entry point: `x` packs independent sequences
+    /// column-wise, `segments` lists their token counts in order. Columns
+    /// beyond the segment sum are treated as padding — they flow through
+    /// the GEMMs (columns are independent, so they cannot perturb real
+    /// outputs) but are not attended. The input is zero-padded up to the
+    /// PE array's vector width internally and the output trimmed back to
+    /// `x`'s width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != d_model`, `x` has zero columns, or the
+    /// segments sum past `x.cols()`.
+    pub fn forward_segments(
+        &self,
+        x: &Matrix<f32>,
+        segments: &[usize],
+    ) -> (Matrix<f32>, BlockWorkload) {
+        assert_eq!(x.rows(), self.d_model, "hidden-state width mismatch");
+        let n = x.cols();
+        assert!(n > 0, "block forward needs at least one token column");
+        let used: usize = segments.iter().sum();
+        assert!(used <= n, "segments describe more columns than provided");
+
+        // Pad once at entry; every sub-layer preserves N.
+        let aligned = n.div_ceil(VECTOR_LEN) * VECTOR_LEN;
+        let padded;
+        let xp = if aligned == n {
+            x
+        } else {
+            padded = Matrix::from_fn(
+                self.d_model,
+                aligned,
+                |r, c| {
+                    if c < n {
+                        x[(r, c)]
+                    } else {
+                        0.0
+                    }
+                },
+            );
+            &padded
+        };
+
+        // Attention sub-layer.
+        let ln1 = ops::layer_norm(xp);
+        let (qkv_f, wl_qkv) = self.run_dequant(&self.qkv, &ln1);
+        let mut ctx = Matrix::<f32>::zeros(self.d_model, aligned);
+        let mut col = 0;
+        for &len in segments {
+            if len == 0 {
+                continue;
+            }
+            let seg = qkv_f.submatrix(0, col, qkv_f.rows(), len);
+            let seg_ctx = ops::multi_head_attention(&seg, self.n_heads);
+            for r in 0..self.d_model {
+                for c in 0..len {
+                    ctx[(r, col + c)] = seg_ctx[(r, c)];
+                }
+            }
+            col += len;
+        }
+        let (attn_out, wl_proj) = self.run_dequant(&self.proj, &ctx);
+        let h = ops::add(xp, &attn_out);
+
+        // MLP sub-layer: fc1 requantizes straight into the pre-GELU
+        // 8-bit format, the LUT applies GELU code→code, and fc2 consumes
+        // the codes — no f32 round-trip between the two GEMMs.
+        let ln2 = ops::layer_norm(&h);
+        let fc1_codes = self.fc1.input_config().quantizer.quantize_matrix(&ln2);
+        let (mid_codes, wl_fc1) = self.fc1.forward_codes(&fc1_codes);
+        let fc2_codes = mid_codes.map(|&c| self.gelu_lut[c as usize]);
+        let (fc2_acc, wl_fc2) = self.fc2.forward(&fc2_codes);
+        let s_fc2 = self.fc2.accumulator_scale();
+        let mlp_out = fc2_acc.map(|&v| (f64::from(v) * s_fc2) as f32);
+        let out = ops::add(&h, &mlp_out);
+
+        let out = if aligned == n {
+            out
+        } else {
+            out.submatrix(0, 0, self.d_model, n)
+        };
+        (
+            out,
+            BlockWorkload {
+                qkv: wl_qkv,
+                attn_proj: wl_proj,
+                fc1: wl_fc1,
+                fc2: wl_fc2,
+            },
+        )
+    }
+
+    /// Quantize → AQS-GEMM → dequantize for the sub-layers whose output
+    /// feeds f32 structural math (attention, residual).
+    fn run_dequant(&self, layer: &QuantizedLinear, x: &Matrix<f32>) -> (Matrix<f32>, Workload) {
+        let codes = layer.input_config().quantizer.quantize_matrix(x);
+        let (acc, wl) = layer.forward(&codes);
+        let s = layer.accumulator_scale();
+        (acc.map(|&v| (f64::from(v) * s) as f32), wl)
+    }
+}

@@ -1,0 +1,87 @@
+//! Accuracy gate: the quantized block chain tracks the float oracle
+//! (`models::engine::forward`) within a calibrated SQNR bound on
+//! zoo-distribution activations — the whole point of the AQS pipeline is
+//! that 8-bit asymmetric serving stays close to f32.
+
+use panacea_block::{sqnr_report, zoo_hidden_states, zoo_transformer, BlockBuilder};
+use panacea_models::engine::TransformerConfig;
+use panacea_models::zoo::Benchmark;
+use panacea_tensor::stats;
+
+/// End-to-end hidden-state SQNR every block of a 2-block chain must
+/// clear on held-out activations. The bound is deliberately below the
+/// ~18–25 dB these configs achieve, so it trips on real regressions
+/// (a broken requant boundary or GELU table lands near 0 dB) without
+/// being flaky across seeds.
+const MIN_SQNR_DB: f64 = 12.0;
+
+#[test]
+fn quantized_blocks_track_the_float_oracle_on_zoo_activations() {
+    let cfg = TransformerConfig {
+        d_model: 32,
+        n_heads: 4,
+        d_ff: 64,
+        n_layers: 2,
+    };
+    for bench in [Benchmark::BertBase, Benchmark::DeitBase] {
+        let oracle = zoo_transformer(bench, cfg, 21);
+        let calib = zoo_hidden_states(bench, cfg.d_model, 32, 22);
+        let blocks = BlockBuilder::default()
+            .prepare(&oracle, &calib)
+            .expect("prepare");
+        // Held-out evaluation sample: same zoo distribution, fresh seed.
+        let eval = zoo_hidden_states(bench, cfg.d_model, 24, 23);
+        let report = sqnr_report(&blocks, &oracle, &eval);
+        assert_eq!(report.len(), 2);
+        for r in &report {
+            assert!(
+                r.sqnr_db > MIN_SQNR_DB,
+                "{bench:?} block {} too lossy: {:.1} dB (bound {MIN_SQNR_DB} dB)",
+                r.block,
+                r.sqnr_db
+            );
+        }
+        // The cascaded end-to-end output agrees too (same figure as the
+        // last report entry, asserted independently of the report path).
+        let float_out = oracle.forward(&eval);
+        let mut h = eval.clone();
+        for b in &blocks {
+            h = b.forward(&h).0;
+        }
+        let end_to_end = stats::sqnr_db(float_out.as_slice(), h.as_slice());
+        assert!(
+            end_to_end > MIN_SQNR_DB,
+            "{bench:?} end-to-end SQNR {end_to_end:.1} dB below bound"
+        );
+    }
+}
+
+#[test]
+fn low_bit_weights_degrade_gracefully_not_catastrophically() {
+    // 4-bit weights should lose fidelity versus 7-bit but still produce
+    // a meaningful signal — a sanity check that the block path composes
+    // with the OPTQ-style low-bit weight format.
+    let cfg = TransformerConfig {
+        d_model: 16,
+        n_heads: 2,
+        d_ff: 32,
+        n_layers: 1,
+    };
+    let oracle = zoo_transformer(Benchmark::BertBase, cfg, 31);
+    let calib = zoo_hidden_states(Benchmark::BertBase, 16, 24, 32);
+    let hi = BlockBuilder::default().prepare(&oracle, &calib).unwrap();
+    let lo = BlockBuilder {
+        w_bits: 4,
+        ..BlockBuilder::default()
+    }
+    .prepare(&oracle, &calib)
+    .unwrap();
+    let eval = zoo_hidden_states(Benchmark::BertBase, 16, 16, 33);
+    let hi_sqnr = sqnr_report(&hi, &oracle, &eval)[0].sqnr_db;
+    let lo_sqnr = sqnr_report(&lo, &oracle, &eval)[0].sqnr_db;
+    assert!(
+        hi_sqnr > lo_sqnr,
+        "7-bit ({hi_sqnr:.1} dB) should beat 4-bit ({lo_sqnr:.1} dB)"
+    );
+    assert!(lo_sqnr > 3.0, "4-bit block collapsed: {lo_sqnr:.1} dB");
+}

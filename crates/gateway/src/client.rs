@@ -11,7 +11,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use panacea_tensor::Matrix;
 
 use crate::protocol::{
-    decode_response, encode_request, GatewayStats, InferReply, Payload, Request, Response,
+    decode_response, encode_request, BlockReply, GatewayStats, InferReply, Payload, Request,
+    Response,
 };
 use crate::GatewayError;
 
@@ -57,8 +58,8 @@ impl GatewayClient {
         match self.call(request)? {
             Response::Infer(reply) => Ok(reply),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
-            Response::Stats(_) => Err(GatewayError::Protocol(
-                "server answered an infer request with stats".to_string(),
+            Response::Stats(_) | Response::Block(_) => Err(GatewayError::Protocol(
+                "server answered an infer request with the wrong kind".to_string(),
             )),
         }
     }
@@ -106,6 +107,38 @@ impl GatewayClient {
         })
     }
 
+    /// Runs a transformer-block model on one sequence of hidden states
+    /// (`d_model × tokens`), returning the output hidden states —
+    /// bit-identical to direct `QuantizedBlock` execution (finite f32
+    /// values survive the JSON wire exactly).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`infer_codes`](Self::infer_codes), plus
+    /// [`GatewayError::Protocol`] for non-finite elements, which JSON
+    /// cannot carry.
+    pub fn infer_block(
+        &mut self,
+        model: &str,
+        hidden: Matrix<f32>,
+    ) -> Result<BlockReply, GatewayError> {
+        if hidden.iter().any(|v| !v.is_finite()) {
+            return Err(GatewayError::Protocol(
+                "hidden-state payload contains NaN or infinite elements".to_string(),
+            ));
+        }
+        match self.call(&Request::InferBlock {
+            model: model.to_string(),
+            hidden,
+        })? {
+            Response::Block(reply) => Ok(reply),
+            Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
+            Response::Stats(_) | Response::Infer(_) => Err(GatewayError::Protocol(
+                "server answered a block request with the wrong kind".to_string(),
+            )),
+        }
+    }
+
     /// Fetches gateway-level metrics (per-shard, cache, admission).
     ///
     /// # Errors
@@ -115,7 +148,7 @@ impl GatewayClient {
         match self.call(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
-            Response::Infer(_) => Err(GatewayError::Protocol(
+            Response::Infer(_) | Response::Block(_) => Err(GatewayError::Protocol(
                 "server answered a stats request with an inference".to_string(),
             )),
         }

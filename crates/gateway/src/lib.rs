@@ -53,7 +53,9 @@ use panacea_serve::ServeError;
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
 pub use cache::{CacheConfig, CacheStats, CachedOutput, RequestCache};
 pub use client::GatewayClient;
-pub use protocol::{ErrorKind, GatewayStats, InferReply, Payload, Request, Response, ShardStats};
+pub use protocol::{
+    BlockReply, ErrorKind, GatewayStats, InferReply, Payload, Request, Response, ShardStats,
+};
 pub use router::ShardRouter;
 pub use server::{Gateway, GatewayConfig, GatewayServer, ServerConfig};
 

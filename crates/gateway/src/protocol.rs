@@ -28,12 +28,20 @@ use crate::GatewayError;
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Run a model on one activation payload.
+    /// Run a linear-chain model on one activation payload.
     Infer {
         /// Registered model name.
         model: String,
         /// The activations to run.
         payload: Payload,
+    },
+    /// Run a transformer-block model on one sequence of hidden states.
+    InferBlock {
+        /// Registered model name.
+        model: String,
+        /// Hidden states (`d_model × tokens`); the columns form one
+        /// attention sequence.
+        hidden: Matrix<f32>,
     },
     /// Fetch gateway-level metrics.
     Stats,
@@ -72,6 +80,22 @@ impl InferReply {
     pub fn to_f32(&self) -> Matrix<f32> {
         self.acc.map(|&v| (f64::from(v) * self.scale) as f32)
     }
+}
+
+/// A successful `infer_block` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockReply {
+    /// Output hidden states (`d_model × tokens`), bit-identical to
+    /// running the request directly on the prepared `QuantizedBlock`
+    /// stack (finite f32 values survive the JSON wire exactly).
+    pub hidden: Matrix<f32>,
+    /// Gateway-measured request latency (decode to response, excluding
+    /// network time).
+    pub latency: Duration,
+    /// The shard that served (or would have served) the request.
+    pub shard: usize,
+    /// Whether the response was replayed from the request cache.
+    pub cache_hit: bool,
 }
 
 /// Machine-readable category of an error response.
@@ -129,6 +153,12 @@ pub struct ShardStats {
     pub columns: u64,
     /// Columns zero-padded to the PE vector width.
     pub padded_cols: u64,
+    /// Fraction of executed GEMM columns that were zero padding
+    /// (`padded / (served + padded)`).
+    pub padding_overhead: f64,
+    /// Queued requests dropped before execution because their caller
+    /// stopped waiting (e.g. shed by admission control).
+    pub cancelled: u64,
     /// Served columns per second of worker compute time.
     pub columns_per_second: f64,
     /// Columns waiting in this shard's queue right now.
@@ -153,6 +183,8 @@ pub struct GatewayStats {
 pub enum Response {
     /// Successful inference.
     Infer(InferReply),
+    /// Successful transformer-block inference.
+    Block(BlockReply),
     /// Metrics snapshot.
     Stats(GatewayStats),
     /// The request failed; `kind` says how, `message` says why.
@@ -284,6 +316,13 @@ pub fn encode_request(req: &Request) -> String {
             map.insert(key.to_string(), matrix);
             Value::Object(map)
         }
+        Request::InferBlock { model, hidden } => {
+            let mut map = serde_json::Map::new();
+            map.insert("verb".to_string(), Value::from("infer_block"));
+            map.insert("model".to_string(), Value::from(model.clone()));
+            map.insert("hidden".to_string(), matrix_f32_to_value(hidden));
+            Value::Object(map)
+        }
         Request::Stats => json!({ "verb": "stats" }),
     };
     serde_json::to_string(&value).expect("shim serializer never fails")
@@ -310,6 +349,10 @@ pub fn decode_request(line: &str) -> Result<Request, GatewayError> {
             };
             Ok(Request::Infer { model, payload })
         }
+        "infer_block" => Ok(Request::InferBlock {
+            model: str_field(&v, "model")?.to_string(),
+            hidden: value_to_matrix_f32(field(&v, "hidden")?)?,
+        }),
         "stats" => Ok(Request::Stats),
         other => Err(bad(format!("unknown verb {other:?}"))),
     }
@@ -321,6 +364,8 @@ fn shard_stats_to_value(s: &ShardStats) -> Value {
         "batches": s.batches,
         "columns": s.columns,
         "padded_cols": s.padded_cols,
+        "padding_overhead": s.padding_overhead,
+        "cancelled": s.cancelled,
         "columns_per_second": s.columns_per_second,
         "queued_cols": s.queued_cols,
         "in_flight_cols": s.in_flight_cols,
@@ -333,6 +378,8 @@ fn value_to_shard_stats(v: &Value) -> Result<ShardStats, GatewayError> {
         batches: u64_field(v, "batches")?,
         columns: u64_field(v, "columns")?,
         padded_cols: u64_field(v, "padded_cols")?,
+        padding_overhead: f64_field(v, "padding_overhead")?,
+        cancelled: u64_field(v, "cancelled")?,
         columns_per_second: f64_field(v, "columns_per_second")?,
         queued_cols: u64_field(v, "queued_cols")?,
         in_flight_cols: u64_field(v, "in_flight_cols")?,
@@ -397,6 +444,14 @@ pub fn encode_response(resp: &Response) -> String {
             "shard": reply.shard,
             "cache_hit": reply.cache_hit,
         }),
+        Response::Block(reply) => json!({
+            "ok": true,
+            "kind": "infer_block",
+            "hidden": matrix_f32_to_value(&reply.hidden),
+            "latency_us": reply.latency.as_micros() as u64,
+            "shard": reply.shard,
+            "cache_hit": reply.cache_hit,
+        }),
         Response::Stats(stats) => stats_to_value(stats),
         Response::Error { kind, message } => json!({
             "ok": false,
@@ -428,6 +483,14 @@ pub fn decode_response(line: &str) -> Result<Response, GatewayError> {
         "infer" => Ok(Response::Infer(InferReply {
             acc: value_to_matrix_i32(field(&v, "acc")?)?,
             scale: f64_field(&v, "scale")?,
+            latency: Duration::from_micros(u64_field(&v, "latency_us")?),
+            shard: usize_field(&v, "shard")?,
+            cache_hit: field(&v, "cache_hit")?
+                .as_bool()
+                .ok_or_else(|| bad("field \"cache_hit\" is not a boolean"))?,
+        })),
+        "infer_block" => Ok(Response::Block(BlockReply {
+            hidden: value_to_matrix_f32(field(&v, "hidden")?)?,
             latency: Duration::from_micros(u64_field(&v, "latency_us")?),
             shard: usize_field(&v, "shard")?,
             cache_hit: field(&v, "cache_hit")?
@@ -469,6 +532,43 @@ mod tests {
     }
 
     #[test]
+    fn block_request_round_trips_floats_bit_exactly() {
+        // Awkward but finite values: subnormals, negative zero, and
+        // shortest-round-trip-sensitive fractions must all survive.
+        let hidden =
+            Matrix::from_vec(2, 2, vec![0.1f32, -0.0, f32::MIN_POSITIVE, -1.5e-38]).unwrap();
+        let req = Request::InferBlock {
+            model: "decoder".to_string(),
+            hidden: hidden.clone(),
+        };
+        let Request::InferBlock { hidden: back, .. } =
+            decode_request(&encode_request(&req)).unwrap()
+        else {
+            panic!("wrong verb");
+        };
+        for (a, b) in hidden.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "f32 mangled on the wire");
+        }
+    }
+
+    #[test]
+    fn block_response_round_trips() {
+        let resp = Response::Block(BlockReply {
+            hidden: Matrix::from_vec(1, 3, vec![0.25, -3.5, 1e-20]).unwrap(),
+            latency: Duration::from_micros(99),
+            shard: 1,
+            cache_hit: false,
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn block_request_rejects_non_finite_hidden_states() {
+        let line = "{\"verb\":\"infer_block\",\"model\":\"m\",\"hidden\":{\"rows\":1,\"cols\":1,\"data\":[1e999]}}";
+        assert!(decode_request(line).is_err());
+    }
+
+    #[test]
     fn stats_request_round_trips() {
         assert_eq!(
             decode_request(&encode_request(&Request::Stats)).unwrap(),
@@ -497,6 +597,8 @@ mod tests {
                     batches: 3,
                     columns: 40,
                     padded_cols: 2,
+                    padding_overhead: 2.0 / 42.0,
+                    cancelled: 1,
                     columns_per_second: 1234.5,
                     queued_cols: 4,
                     in_flight_cols: 8,

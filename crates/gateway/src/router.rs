@@ -189,6 +189,8 @@ impl ShardRouter {
                     batches: m.batches,
                     columns: m.columns,
                     padded_cols: m.padded_cols,
+                    padding_overhead: m.padding_overhead(),
+                    cancelled: m.cancelled,
                     columns_per_second: m.columns_per_second(),
                     queued_cols: q.queued_cols as u64,
                     in_flight_cols: q.in_flight_cols as u64,

@@ -17,13 +17,14 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use panacea_serve::{PreparedModel, RuntimeConfig, ServeError};
+use panacea_serve::{f32_bits_decode, f32_bits_encode, PreparedModel, RuntimeConfig, ServeError};
+use panacea_tensor::Matrix;
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::cache::{CacheConfig, CachedOutput, RequestCache};
 use crate::protocol::{
-    decode_request, encode_response, ErrorKind, GatewayStats, InferReply, Payload, Request,
-    Response,
+    decode_request, encode_response, BlockReply, ErrorKind, GatewayStats, InferReply, Payload,
+    Request, Response,
 };
 use crate::router::ShardRouter;
 
@@ -89,31 +90,90 @@ impl Gateway {
         &self.admission
     }
 
-    /// Runs one inference through cache, admission, and routing.
+    /// Runs one linear-chain inference through cache, admission, and
+    /// routing.
     ///
     /// # Errors
     ///
     /// Everything [`panacea_serve::Runtime::infer`] surfaces, plus
-    /// [`ServeError::Overloaded`] from admission control.
+    /// [`ServeError::Overloaded`] from admission control and
+    /// [`ServeError::ModelKindMismatch`] when `model` serves transformer
+    /// blocks (use [`infer_block`](Self::infer_block)).
     pub fn infer(&self, model: &str, payload: Payload) -> Result<InferReply, ServeError> {
         let started = Instant::now();
+        let resolved = self.resolve(model, false)?;
+        let codes = match payload {
+            Payload::Codes(codes) => codes,
+            Payload::F32(input) => resolved.quantize(&input),
+        };
+        let (acc, scale, shard, cache_hit) = self.execute(resolved, codes)?;
+        Ok(InferReply {
+            acc,
+            scale,
+            latency: started.elapsed(),
+            shard,
+            cache_hit,
+        })
+    }
+
+    /// Runs one transformer-block inference: hidden states in, hidden
+    /// states out, with the request's columns forming one attention
+    /// sequence. The hidden states ride the queue and cache as f32 bit
+    /// patterns, so routing, caching (bit-exact replay), and admission
+    /// behave exactly as for code-domain requests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`infer`](Self::infer), with
+    /// [`ServeError::ModelKindMismatch`] when `model` is a linear chain
+    /// and [`ServeError::NonFiniteInput`] for NaN/infinite elements.
+    pub fn infer_block(&self, model: &str, hidden: Matrix<f32>) -> Result<BlockReply, ServeError> {
+        let started = Instant::now();
+        let resolved = self.resolve(model, true)?;
+        let bits = f32_bits_encode(&hidden);
+        let (out_bits, _scale, shard, cache_hit) = self.execute(resolved, bits)?;
+        Ok(BlockReply {
+            hidden: f32_bits_decode(&out_bits),
+            latency: started.elapsed(),
+            shard,
+            cache_hit,
+        })
+    }
+
+    /// Resolves a model name and checks its kind against the entry point
+    /// the caller came through.
+    fn resolve(&self, model: &str, want_block: bool) -> Result<Arc<PreparedModel>, ServeError> {
         let resolved = self
             .router
             .model(model)
             .ok_or_else(|| ServeError::UnknownModel {
                 model: model.to_string(),
             })?;
-        let codes = match payload {
-            Payload::Codes(codes) => codes,
-            Payload::F32(input) => resolved.quantize(&input),
-        };
+        if resolved.is_block() != want_block {
+            return Err(ServeError::ModelKindMismatch {
+                model: model.to_string(),
+                model_is_block: resolved.is_block(),
+            });
+        }
+        Ok(resolved)
+    }
+
+    /// The shared request path behind both verbs: cache probe →
+    /// admission → shard submit → bounded wait → cache insert. Returns
+    /// `(payload, scale, shard, cache_hit)` in the model's wire domain
+    /// (integer accumulators, or f32 bit patterns for block models).
+    fn execute(
+        &self,
+        resolved: Arc<PreparedModel>,
+        codes: Matrix<i32>,
+    ) -> Result<(Matrix<i32>, f64, usize, bool), ServeError> {
         // Validation happens exactly once, inside the runtime's submit
         // path (`validate` is a full scan of the codes — scanning here
         // too would double the cost on every uncached request). The
         // cache-hit fast path needs no scan of its own: entries are only
         // written after a validated run, and hits require bit-exact key
         // equality, so invalid codes can never match one.
-        let shard = self.router.route(model);
+        let shard = self.router.route(resolved.name());
         // A disabled cache — or an entry the size bound would reject
         // anyway (its accumulator dims are known up front) — skips the
         // whole probe-and-insert dance, including the codes/acc clones
@@ -121,18 +181,12 @@ impl Gateway {
         let entry_cells = codes.rows() * codes.cols() + resolved.out_features() * codes.cols();
         let cached = self.cache.enabled() && self.cache.admits(entry_cells);
         // Cache entries key on the resolved instance, not the name: if
-        // "model" is later re-bound to a new preparation, its old
+        // the name is later re-bound to a new preparation, its old
         // entries can never answer for the replacement.
         let resolved_id = resolved.instance_id();
         if cached {
             if let Some(hit) = self.cache.get(resolved_id, &codes) {
-                return Ok(InferReply {
-                    acc: hit.acc,
-                    scale: hit.scale,
-                    latency: started.elapsed(),
-                    shard,
-                    cache_hit: true,
-                });
+                return Ok((hit.acc, hit.scale, shard, true));
             }
         }
         let permit = self.admission.try_admit()?;
@@ -156,13 +210,7 @@ impl Gateway {
                 },
             );
         }
-        Ok(InferReply {
-            acc: out.acc,
-            scale: out.scale,
-            latency: started.elapsed(),
-            shard,
-            cache_hit: false,
-        })
+        Ok((out.acc, out.scale, shard, false))
     }
 
     /// Current gateway-level metrics (per-shard, cache, admission).
@@ -186,6 +234,13 @@ impl Gateway {
                     message: e.to_string(),
                 },
             },
+            Request::InferBlock { model, hidden } => match self.infer_block(&model, hidden) {
+                Ok(reply) => Response::Block(reply),
+                Err(e) => Response::Error {
+                    kind: error_kind(&e),
+                    message: e.to_string(),
+                },
+            },
         }
     }
 }
@@ -197,6 +252,8 @@ fn error_kind(e: &ServeError) -> ErrorKind {
         ServeError::Shape { .. }
         | ServeError::EmptyRequest
         | ServeError::CodesOutOfRange { .. }
+        | ServeError::NonFiniteInput
+        | ServeError::ModelKindMismatch { .. }
         | ServeError::EmptyModel { .. }
         | ServeError::UnalignedRows { .. } => ErrorKind::BadRequest,
         ServeError::ShuttingDown => ErrorKind::ShuttingDown,
@@ -526,6 +583,73 @@ mod tests {
             after.acc, first.acc,
             "test models must differ for this check to mean anything"
         );
+    }
+
+    #[test]
+    fn block_inference_is_bit_exact_and_cache_replayed() {
+        use crate::testutil::{block_model, direct_forward, hidden};
+        let (model, blocks) = block_model("blk", 60);
+        let gateway = Gateway::new(vec![model], GatewayConfig::default());
+        let x = hidden(16, 3, 0);
+        let expect = direct_forward(&blocks, &x);
+        let cold = gateway.infer_block("blk", x.clone()).expect("served");
+        assert!(!cold.cache_hit);
+        for (a, b) in expect.iter().zip(cold.hidden.iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "gateway diverged from direct block execution"
+            );
+        }
+        let warm = gateway.infer_block("blk", x).expect("served");
+        assert!(warm.cache_hit, "identical hidden states missed the cache");
+        assert_eq!(warm.hidden, cold.hidden, "cache replay diverged");
+        let stats = gateway.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.shards.iter().map(|s| s.requests).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn verbs_are_guarded_by_model_kind() {
+        use crate::testutil::{block_model, hidden};
+        let (block, _) = block_model("blk", 61);
+        let mut set = models(&["chain"], 62);
+        set.push(block);
+        let gateway = Gateway::new(set, GatewayConfig::default());
+        // Code-domain verb against a block model.
+        let err = gateway
+            .infer("blk", Payload::Codes(Matrix::zeros(16, 1)))
+            .expect_err("block model served a code request");
+        assert!(matches!(
+            err,
+            ServeError::ModelKindMismatch {
+                model_is_block: true,
+                ..
+            }
+        ));
+        // Block verb against a linear chain.
+        let err = gateway
+            .infer_block("chain", hidden(16, 1, 0))
+            .expect_err("chain served a block request");
+        assert!(matches!(
+            err,
+            ServeError::ModelKindMismatch {
+                model_is_block: false,
+                ..
+            }
+        ));
+        // Both surface as BadRequest on the wire.
+        let resp = gateway.handle(Request::InferBlock {
+            model: "chain".to_string(),
+            hidden: hidden(16, 1, 0),
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                kind: ErrorKind::BadRequest,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -8,6 +8,11 @@ use panacea_serve::{LayerSpec, PrepareOptions, PreparedModel};
 use panacea_tensor::dist::DistributionKind;
 use panacea_tensor::Matrix;
 
+// Block fixtures live in `panacea_serve::testutil` (the crate that
+// already depends on the block engine), so the gateway's production
+// dependency graph stays serve + tensor + serde_json.
+pub use panacea_serve::testutil::{block_model, direct_forward, hidden};
+
 /// Prepares one 8×16 single-layer model per name, each calibrated on its
 /// own Gaussian sample drawn from a seeded RNG.
 pub fn models(names: &[&str], seed: u64) -> Vec<PreparedModel> {

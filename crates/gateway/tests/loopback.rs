@@ -149,6 +149,74 @@ fn overload_burst_yields_explicit_rejections_not_unbounded_queueing() {
 }
 
 #[test]
+fn block_requests_round_trip_bit_exactly_over_tcp() {
+    use panacea_gateway::testutil::{block_model, direct_forward, hidden};
+    let (model, blocks) = block_model("decoder", 40);
+    let gateway = Arc::new(Gateway::new(vec![model], GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    for (salt, tokens) in [(0usize, 1usize), (1, 4), (2, 3)] {
+        let x = hidden(16, tokens, salt);
+        let expect = direct_forward(&blocks, &x);
+        let reply = client.infer_block("decoder", x).expect("served");
+        assert_eq!(reply.hidden.shape(), (16, tokens));
+        for (a, b) in expect.iter().zip(reply.hidden.iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "TCP block serving diverged from direct execution"
+            );
+        }
+    }
+
+    // Replay: the same sequence must be a bit-exact cache hit.
+    let x = hidden(16, 2, 9);
+    let cold = client.infer_block("decoder", x.clone()).expect("served");
+    let warm = client.infer_block("decoder", x).expect("served");
+    assert!(!cold.cache_hit && warm.cache_hit, "expected a cache replay");
+    assert_eq!(cold.hidden, warm.hidden);
+
+    // Non-finite payloads are rejected client-side before the wire.
+    let mut nan = hidden(16, 1, 0);
+    nan[(0, 0)] = f32::NAN;
+    assert!(client.infer_block("decoder", nan).is_err());
+}
+
+#[test]
+fn stats_expose_padding_and_cancellation_counters_over_the_wire() {
+    // A 3-column request forces one padded column; the counters must be
+    // visible to a remote client, not just in-process.
+    let gateway = Arc::new(Gateway::new(
+        models(&["m"], 9),
+        GatewayConfig {
+            shards: 1,
+            cache: CacheConfig {
+                capacity: 0,
+                shards: 1,
+                ..CacheConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    ));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+    let model = gateway.router().model("m").expect("registered");
+    client
+        .infer_codes("m", codes(&model, 3, 0))
+        .expect("served");
+    let stats = client.stats().expect("stats");
+    let shard = &stats.shards[0];
+    assert_eq!(shard.padded_cols, 1, "padded column not reported");
+    assert!(
+        (shard.padding_overhead - 0.25).abs() < 1e-12,
+        "padding_overhead wrong: {}",
+        shard.padding_overhead
+    );
+    assert_eq!(shard.cancelled, 0);
+}
+
+#[test]
 fn stats_verb_round_trips_over_the_wire() {
     let gateway = Arc::new(Gateway::new(models(&["m"], 6), GatewayConfig::default()));
     let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");

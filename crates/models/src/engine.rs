@@ -4,11 +4,18 @@
 //! context, post-GELU) for calibration demos, the end-to-end examples, and
 //! tests — so the quantization pipeline is exercised on data with the same
 //! structural correlations real models produce, not just i.i.d. samples.
+//! It also serves as the float oracle the quantized block engine
+//! (`panacea-block`) measures its SQNR against, which is why the non-GEMM
+//! math (LayerNorm, softmax, attention, residual add) lives in
+//! [`panacea_tensor::ops`] and is merely re-exported here: oracle and
+//! quantized engine share one implementation.
 //!
 //! Activations follow the workspace GEMM convention: a tensor is
 //! `features × tokens` (`K × N`), weights are `M × K`.
 
-use panacea_tensor::{dist::gelu, dist::DistributionKind, Matrix};
+use panacea_tensor::{dist::gelu, dist::DistributionKind, ops, Matrix};
+
+pub use panacea_tensor::ops::{layer_norm, softmax_in_place};
 
 /// Configuration of a [`TinyTransformer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,13 +41,19 @@ impl Default for TransformerConfig {
     }
 }
 
-/// One transformer block's weights.
+/// One transformer block's four weight GEMMs. Public so a quantized
+/// block engine can be prepared from — and compared against — the exact
+/// weights the float oracle runs.
 #[derive(Debug, Clone)]
-struct Block {
-    w_qkv: Matrix<f32>,
-    w_proj: Matrix<f32>,
-    w_fc1: Matrix<f32>,
-    w_fc2: Matrix<f32>,
+pub struct BlockWeights {
+    /// Stacked QKV projection (`3·d_model × d_model`).
+    pub w_qkv: Matrix<f32>,
+    /// Attention output projection (`d_model × d_model`).
+    pub w_proj: Matrix<f32>,
+    /// First MLP projection (`d_ff × d_model`).
+    pub w_fc1: Matrix<f32>,
+    /// Second MLP projection (`d_model × d_ff`).
+    pub w_fc2: Matrix<f32>,
 }
 
 /// A named activation captured during a forward pass, paired with the
@@ -73,7 +86,7 @@ pub struct CapturedLayer {
 #[derive(Debug, Clone)]
 pub struct TinyTransformer {
     cfg: TransformerConfig,
-    blocks: Vec<Block>,
+    blocks: Vec<BlockWeights>,
 }
 
 impl TinyTransformer {
@@ -83,30 +96,54 @@ impl TinyTransformer {
     ///
     /// Panics if `d_model` is not divisible by `n_heads`.
     pub fn new_random(cfg: TransformerConfig, seed: u64) -> Self {
-        assert_eq!(
-            cfg.d_model % cfg.n_heads,
-            0,
-            "d_model must divide by n_heads"
-        );
         let mut rng = panacea_tensor::seeded_rng(seed);
         let init = |m: usize, k: usize, rng: &mut rand::rngs::StdRng| {
             let std = (2.0 / (m + k) as f32).sqrt();
             DistributionKind::Gaussian { mean: 0.0, std }.sample_matrix(m, k, rng)
         };
         let blocks = (0..cfg.n_layers)
-            .map(|_| Block {
+            .map(|_| BlockWeights {
                 w_qkv: init(3 * cfg.d_model, cfg.d_model, &mut rng),
                 w_proj: init(cfg.d_model, cfg.d_model, &mut rng),
                 w_fc1: init(cfg.d_ff, cfg.d_model, &mut rng),
                 w_fc2: init(cfg.d_model, cfg.d_ff, &mut rng),
             })
             .collect();
+        Self::from_weights(cfg, blocks)
+    }
+
+    /// Builds a transformer from explicit block weights — how callers
+    /// (e.g. the quantized block engine's tests) construct a float oracle
+    /// sharing weights with another execution path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `n_heads`, the block count
+    /// disagrees with `n_layers`, or any weight has the wrong shape.
+    pub fn from_weights(cfg: TransformerConfig, blocks: Vec<BlockWeights>) -> Self {
+        assert_eq!(
+            cfg.d_model % cfg.n_heads,
+            0,
+            "d_model must divide by n_heads"
+        );
+        assert_eq!(blocks.len(), cfg.n_layers, "block count != n_layers");
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.w_qkv.shape(), (3 * cfg.d_model, cfg.d_model), "qkv {i}");
+            assert_eq!(b.w_proj.shape(), (cfg.d_model, cfg.d_model), "proj {i}");
+            assert_eq!(b.w_fc1.shape(), (cfg.d_ff, cfg.d_model), "fc1 {i}");
+            assert_eq!(b.w_fc2.shape(), (cfg.d_model, cfg.d_ff), "fc2 {i}");
+        }
         TinyTransformer { cfg, blocks }
     }
 
     /// The configuration in effect.
     pub fn config(&self) -> TransformerConfig {
         self.cfg
+    }
+
+    /// The per-block weights, in execution order.
+    pub fn blocks(&self) -> &[BlockWeights] {
+        &self.blocks
     }
 
     /// Runs a forward pass on `x` (`d_model × tokens`).
@@ -118,6 +155,17 @@ impl TinyTransformer {
         self.forward_captured(x, &mut Vec::new())
     }
 
+    /// Applies one block (pre-norm attention + MLP, residuals) to `h` —
+    /// the float oracle for a single quantized block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= n_layers` or `h.rows() != d_model`.
+    pub fn forward_block(&self, block: usize, h: &Matrix<f32>) -> Matrix<f32> {
+        assert_eq!(h.rows(), self.cfg.d_model, "input feature dim mismatch");
+        self.run_block(block, h, None)
+    }
+
     /// Runs a forward pass, recording the `(weight, input)` pair of every
     /// weight GEMM into `captures`.
     pub fn forward_captured(
@@ -127,42 +175,47 @@ impl TinyTransformer {
     ) -> Matrix<f32> {
         assert_eq!(x.rows(), self.cfg.d_model, "input feature dim mismatch");
         let mut h = x.clone();
-        for (bi, block) in self.blocks.iter().enumerate() {
-            // Attention sub-layer (pre-norm, residual).
-            let normed = layer_norm(&h);
-            captures.push(CapturedLayer {
-                name: format!("block{bi}.qkv"),
-                weight: block.w_qkv.clone(),
-                input: normed.clone(),
-            });
-            let qkv = block.w_qkv.gemm_f32(&normed).expect("qkv shapes");
-            let ctx = self.attention(&qkv);
-            captures.push(CapturedLayer {
-                name: format!("block{bi}.attn_proj"),
-                weight: block.w_proj.clone(),
-                input: ctx.clone(),
-            });
-            let attn_out = block.w_proj.gemm_f32(&ctx).expect("proj shapes");
-            h = add(&h, &attn_out);
-
-            // MLP sub-layer.
-            let normed = layer_norm(&h);
-            captures.push(CapturedLayer {
-                name: format!("block{bi}.fc1"),
-                weight: block.w_fc1.clone(),
-                input: normed.clone(),
-            });
-            let hidden = block.w_fc1.gemm_f32(&normed).expect("fc1 shapes");
-            let activated = hidden.map(|&v| gelu(v));
-            captures.push(CapturedLayer {
-                name: format!("block{bi}.fc2"),
-                weight: block.w_fc2.clone(),
-                input: activated.clone(),
-            });
-            let mlp_out = block.w_fc2.gemm_f32(&activated).expect("fc2 shapes");
-            h = add(&h, &mlp_out);
+        for bi in 0..self.blocks.len() {
+            h = self.run_block(bi, &h, Some(captures));
         }
         h
+    }
+
+    /// One block's math, shared by the plain and capturing paths so they
+    /// cannot drift.
+    fn run_block(
+        &self,
+        bi: usize,
+        h: &Matrix<f32>,
+        mut captures: Option<&mut Vec<CapturedLayer>>,
+    ) -> Matrix<f32> {
+        let block = &self.blocks[bi];
+        let mut capture = |name: &str, weight: &Matrix<f32>, input: &Matrix<f32>| {
+            if let Some(captures) = captures.as_deref_mut() {
+                captures.push(CapturedLayer {
+                    name: format!("block{bi}.{name}"),
+                    weight: weight.clone(),
+                    input: input.clone(),
+                });
+            }
+        };
+        // Attention sub-layer (pre-norm, residual).
+        let normed = layer_norm(h);
+        capture("qkv", &block.w_qkv, &normed);
+        let qkv = block.w_qkv.gemm_f32(&normed).expect("qkv shapes");
+        let ctx = ops::multi_head_attention(&qkv, self.cfg.n_heads);
+        capture("attn_proj", &block.w_proj, &ctx);
+        let attn_out = block.w_proj.gemm_f32(&ctx).expect("proj shapes");
+        let h = ops::add(h, &attn_out);
+
+        // MLP sub-layer.
+        let normed = layer_norm(&h);
+        capture("fc1", &block.w_fc1, &normed);
+        let hidden = block.w_fc1.gemm_f32(&normed).expect("fc1 shapes");
+        let activated = hidden.map(|&v| gelu(v));
+        capture("fc2", &block.w_fc2, &activated);
+        let mlp_out = block.w_fc2.gemm_f32(&activated).expect("fc2 shapes");
+        ops::add(&h, &mlp_out)
     }
 
     /// Runs a forward pass over `x` and returns the captured
@@ -175,81 +228,6 @@ impl TinyTransformer {
         self.forward_captured(x, &mut captures);
         captures
     }
-
-    /// Multi-head self-attention over the stacked QKV tensor
-    /// (`3·d_model × tokens`).
-    fn attention(&self, qkv: &Matrix<f32>) -> Matrix<f32> {
-        let d = self.cfg.d_model;
-        let t = qkv.cols();
-        let dh = d / self.cfg.n_heads;
-        let scale = 1.0 / (dh as f32).sqrt();
-        let mut ctx = Matrix::<f32>::zeros(d, t);
-        for h in 0..self.cfg.n_heads {
-            let q0 = h * dh;
-            // Scores: A[i][j] = (q_i · k_j) · scale, softmax over j.
-            for i in 0..t {
-                let mut row = vec![0f32; t];
-                for (j, slot) in row.iter_mut().enumerate() {
-                    let mut dot = 0f32;
-                    for f in 0..dh {
-                        dot += qkv[(q0 + f, i)] * qkv[(d + q0 + f, j)];
-                    }
-                    *slot = dot * scale;
-                }
-                softmax_in_place(&mut row);
-                for f in 0..dh {
-                    let mut acc = 0f32;
-                    for (j, &a) in row.iter().enumerate() {
-                        acc += a * qkv[(2 * d + q0 + f, j)];
-                    }
-                    ctx[(q0 + f, i)] = acc;
-                }
-            }
-        }
-        ctx
-    }
-}
-
-/// Per-token (column-wise) LayerNorm with unit gain and zero bias.
-pub fn layer_norm(x: &Matrix<f32>) -> Matrix<f32> {
-    let (k, n) = x.shape();
-    let mut out = Matrix::<f32>::zeros(k, n);
-    for c in 0..n {
-        let mut mean = 0f32;
-        for r in 0..k {
-            mean += x[(r, c)];
-        }
-        mean /= k as f32;
-        let mut var = 0f32;
-        for r in 0..k {
-            let d = x[(r, c)] - mean;
-            var += d * d;
-        }
-        var /= k as f32;
-        let inv = 1.0 / (var + 1e-5).sqrt();
-        for r in 0..k {
-            out[(r, c)] = (x[(r, c)] - mean) * inv;
-        }
-    }
-    out
-}
-
-/// Numerically-stable softmax.
-pub fn softmax_in_place(xs: &mut [f32]) {
-    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0f32;
-    for v in xs.iter_mut() {
-        *v = (*v - max).exp();
-        sum += *v;
-    }
-    for v in xs.iter_mut() {
-        *v /= sum;
-    }
-}
-
-fn add(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
-    debug_assert_eq!(a.shape(), b.shape());
-    Matrix::from_fn(a.rows(), a.cols(), |r, c| a[(r, c)] + b[(r, c)])
 }
 
 #[cfg(test)]
@@ -274,6 +252,25 @@ mod tests {
         let y2 = m.forward(&x);
         assert_eq!(y1.shape(), (64, 12));
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn forward_equals_chained_per_block_forwards() {
+        let m = TinyTransformer::new_random(TransformerConfig::default(), 9);
+        let x = input(64, 8, 10);
+        let mut h = x.clone();
+        for bi in 0..m.config().n_layers {
+            h = m.forward_block(bi, &h);
+        }
+        assert_eq!(h, m.forward(&x), "per-block path diverged from forward");
+    }
+
+    #[test]
+    fn from_weights_round_trips_the_random_constructor() {
+        let a = TinyTransformer::new_random(TransformerConfig::default(), 11);
+        let b = TinyTransformer::from_weights(a.config(), a.blocks().to_vec());
+        let x = input(64, 6, 12);
+        assert_eq!(a.forward(&x), b.forward(&x));
     }
 
     #[test]

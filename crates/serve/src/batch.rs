@@ -179,6 +179,7 @@ pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
         let _ = job.responder.send(InferenceOutput {
             acc: out,
             scale: model.output_scale(),
+            f32_bits: model.is_block(),
             workload,
             batched_cols: total_cols,
             latency,

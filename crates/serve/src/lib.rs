@@ -31,6 +31,8 @@ pub mod batch;
 pub mod metrics;
 pub mod model;
 pub mod runtime;
+#[doc(hidden)]
+pub mod testutil;
 
 use std::fmt;
 use std::time::Duration;
@@ -41,7 +43,9 @@ use panacea_tensor::Matrix;
 
 pub use batch::BatchPolicy;
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use model::{LayerSpec, ModelRegistry, PrepareOptions, PreparedModel};
+pub use model::{
+    f32_bits_decode, f32_bits_encode, LayerSpec, ModelRegistry, PrepareOptions, PreparedModel,
+};
 pub use runtime::{Pending, QueueDepth, Runtime, RuntimeConfig, RuntimeHandle};
 
 /// A completed request: the final integer accumulators plus serving
@@ -49,10 +53,17 @@ pub use runtime::{Pending, QueueDepth, Runtime, RuntimeConfig, RuntimeHandle};
 #[derive(Debug, Clone)]
 pub struct InferenceOutput {
     /// Final-layer accumulators for this request's columns (`M × N_req`),
-    /// bit-identical to running the request alone.
+    /// bit-identical to running the request alone. For transformer-block
+    /// models this holds the output hidden states as raw f32 bit
+    /// patterns (see [`f32_bits`](Self::f32_bits)).
     pub acc: Matrix<i32>,
-    /// Scale converting `acc` to floats (`acc · scale ≈ W·x + b`).
+    /// Scale converting `acc` to floats (`acc · scale ≈ W·x + b`);
+    /// `1.0` and unused when [`f32_bits`](Self::f32_bits) is set.
     pub scale: f64,
+    /// `true` when `acc` carries f32 bit patterns (transformer-block
+    /// models) rather than integer accumulators — the domain switch
+    /// [`to_f32`](Self::to_f32) keys on.
+    pub f32_bits: bool,
     /// AQS workload of the *whole* batch this request rode in.
     pub workload: Workload,
     /// Total columns in that batch (≥ this request's columns).
@@ -62,9 +73,14 @@ pub struct InferenceOutput {
 }
 
 impl InferenceOutput {
-    /// Dequantizes the accumulators into floats.
+    /// The float view of the result: dequantized accumulators for linear
+    /// chains, bit-reinterpreted hidden states for block models.
     pub fn to_f32(&self) -> Matrix<f32> {
-        self.acc.map(|&v| (f64::from(v) * self.scale) as f32)
+        if self.f32_bits {
+            f32_bits_decode(&self.acc)
+        } else {
+            self.acc.map(|&v| (f64::from(v) * self.scale) as f32)
+        }
     }
 }
 
@@ -100,6 +116,18 @@ pub enum ServeError {
     CodesOutOfRange {
         /// Largest representable code.
         max: i32,
+    },
+    /// A block-model request carried NaN or infinite hidden-state
+    /// elements (block inputs are f32 and must be finite).
+    NonFiniteInput,
+    /// The request used the wrong entry point for the model's kind —
+    /// code-domain inference on a transformer-block model, or a block
+    /// request against a linear chain.
+    ModelKindMismatch {
+        /// The model that was addressed.
+        model: String,
+        /// Whether that model is a transformer-block model.
+        model_is_block: bool,
     },
     /// The admission layer shed this request instead of queueing it
     /// unboundedly: either the in-flight limit was reached or the
@@ -139,6 +167,25 @@ impl fmt::Display for ServeError {
             }
             ServeError::CodesOutOfRange { max } => {
                 write!(f, "request codes exceed the calibrated format (max {max})")
+            }
+            ServeError::NonFiniteInput => {
+                write!(f, "block request contains NaN or infinite hidden states")
+            }
+            ServeError::ModelKindMismatch {
+                model,
+                model_is_block,
+            } => {
+                if *model_is_block {
+                    write!(
+                        f,
+                        "model {model:?} serves transformer blocks; use the block entry point"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "model {model:?} is a linear chain, not a transformer-block model"
+                    )
+                }
             }
             ServeError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
             ServeError::ShuttingDown => write!(f, "runtime is shutting down"),

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use panacea_bitslice::VECTOR_LEN;
+use panacea_block::QuantizedBlock;
 use panacea_core::pipeline::{pad_cols_to_vector_len, run_coalesced, QuantizedLinear};
 use panacea_core::Workload;
 use panacea_models::engine::CapturedLayer;
@@ -20,6 +21,19 @@ use panacea_quant::{ActivationCalibrator, LayerQuantConfig, Quantizer};
 use panacea_tensor::Matrix;
 
 use crate::ServeError;
+
+/// Reinterprets an f32 hidden-state matrix as its raw bit patterns —
+/// the lossless `i32` representation block requests travel the queue,
+/// cache, and wire in, so every integer-keyed component (batcher,
+/// request cache, content hashing) applies to block traffic unchanged.
+pub fn f32_bits_encode(m: &Matrix<f32>) -> Matrix<i32> {
+    m.map(|&v| v.to_bits() as i32)
+}
+
+/// Inverse of [`f32_bits_encode`].
+pub fn f32_bits_decode(m: &Matrix<i32>) -> Matrix<f32> {
+    m.map(|&v| f32::from_bits(v as u32))
+}
 
 /// One float layer of a model to prepare: weights `M × K` and a bias of
 /// length `M`.
@@ -60,18 +74,33 @@ impl Default for PrepareOptions {
     }
 }
 
-/// A fully prepared linear chain: every layer's weights are sliced, every
-/// activation format calibrated, and adjacent layers are glued by
-/// requantizers so codes flow end to end without leaving the integer
-/// domain.
+/// What a prepared model executes per request.
+#[derive(Debug, Clone)]
+enum Body {
+    /// A linear chain: adjacent layers glued by requantizers so codes
+    /// flow end to end without leaving the integer domain.
+    Chain {
+        layers: Vec<QuantizedLinear>,
+        input_cfg: LayerQuantConfig,
+    },
+    /// A stack of quantized transformer blocks; requests and responses
+    /// are f32 hidden states, carried as bit patterns (see
+    /// [`f32_bits_encode`]).
+    Blocks { blocks: Vec<QuantizedBlock> },
+}
+
+/// A fully prepared model: either a linear chain (every layer's weights
+/// sliced, every activation format calibrated, adjacent layers glued by
+/// requantizers) or a stack of quantized transformer blocks
+/// ([`panacea_block::QuantizedBlock`]) executing pre-norm attention +
+/// MLP with residuals.
 #[derive(Debug, Clone)]
 pub struct PreparedModel {
     name: String,
     /// Process-unique preparation identity — see
     /// [`instance_id`](Self::instance_id).
     instance: u64,
-    layers: Vec<QuantizedLinear>,
-    input_cfg: LayerQuantConfig,
+    body: Body,
     in_features: usize,
     out_features: usize,
 }
@@ -168,11 +197,54 @@ impl PreparedModel {
         Ok(PreparedModel {
             name,
             instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
-            input_cfg: configs[0],
             in_features: first.weight.cols(),
             out_features: layers.last().expect("non-empty").weight.rows(),
-            layers: prepared,
+            body: Body::Chain {
+                layers: prepared,
+                input_cfg: configs[0],
+            },
         })
+    }
+
+    /// Wraps an already-prepared transformer-block stack (built by
+    /// `panacea_block::BlockBuilder`) as a servable model. Requests are
+    /// `d_model × tokens` f32 hidden states travelling as bit patterns
+    /// ([`f32_bits_encode`]); each request's columns form one sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyModel`] for zero blocks and
+    /// [`ServeError::Shape`] if the blocks disagree on `d_model`.
+    pub fn from_blocks(
+        name: impl Into<String>,
+        blocks: Vec<QuantizedBlock>,
+    ) -> Result<Self, ServeError> {
+        let name = name.into();
+        let Some(first) = blocks.first() else {
+            return Err(ServeError::EmptyModel { model: name });
+        };
+        let d_model = first.d_model();
+        for b in &blocks {
+            if b.d_model() != d_model {
+                return Err(ServeError::Shape {
+                    expected: d_model,
+                    actual: b.d_model(),
+                });
+            }
+        }
+        Ok(PreparedModel {
+            name,
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            in_features: d_model,
+            out_features: d_model,
+            body: Body::Blocks { blocks },
+        })
+    }
+
+    /// Whether this model executes transformer blocks (f32 hidden-state
+    /// requests) rather than a code-domain linear chain.
+    pub fn is_block(&self) -> bool {
+        matches!(self.body, Body::Blocks { .. })
     }
 
     /// Prepares a single-layer model from a [`CapturedLayer`] recorded by
@@ -218,34 +290,59 @@ impl PreparedModel {
         self.out_features
     }
 
-    /// Number of prepared layers.
+    /// Number of prepared layers (linear layers, or transformer blocks).
     pub fn num_layers(&self) -> usize {
-        self.layers.len()
+        match &self.body {
+            Body::Chain { layers, .. } => layers.len(),
+            Body::Blocks { blocks } => blocks.len(),
+        }
     }
 
     /// The activation format requests must quantize into.
+    ///
+    /// # Panics
+    ///
+    /// Panics for transformer-block models — their requests are f32
+    /// hidden states, not calibrated codes (check
+    /// [`is_block`](Self::is_block) first).
     pub fn input_config(&self) -> &LayerQuantConfig {
-        &self.input_cfg
+        match &self.body {
+            Body::Chain { input_cfg, .. } => input_cfg,
+            Body::Blocks { .. } => {
+                panic!("block models take f32 hidden states, not quantized codes")
+            }
+        }
     }
 
-    /// The scale converting final accumulators to floats.
+    /// The scale converting final accumulators to floats. `1.0` for
+    /// block models, whose outputs are f32 bit patterns that need no
+    /// scaling (see [`f32_bits_decode`]).
     pub fn output_scale(&self) -> f64 {
-        self.layers.last().expect("non-empty").accumulator_scale()
+        match &self.body {
+            Body::Chain { layers, .. } => layers.last().expect("non-empty").accumulator_scale(),
+            Body::Blocks { .. } => 1.0,
+        }
     }
 
-    /// Quantizes a float input (`K × N`) into request codes.
+    /// Converts a float input (`K × N`) into this model's request
+    /// representation: calibrated activation codes for linear chains,
+    /// raw f32 bit patterns for transformer-block models.
     pub fn quantize(&self, x: &Matrix<f32>) -> Matrix<i32> {
-        self.input_cfg.quantizer.quantize_matrix(x)
+        match &self.body {
+            Body::Chain { input_cfg, .. } => input_cfg.quantizer.quantize_matrix(x),
+            Body::Blocks { .. } => f32_bits_encode(x),
+        }
     }
 
-    /// Checks a request's codes against this model's input contract.
+    /// Checks a request's payload against this model's input contract.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Shape`] on a feature-count mismatch,
-    /// [`ServeError::EmptyRequest`] for zero columns, and
-    /// [`ServeError::CodesOutOfRange`] if any code exceeds the calibrated
-    /// format.
+    /// Returns [`ServeError::Shape`] on a feature-count mismatch and
+    /// [`ServeError::EmptyRequest`] for zero columns. Linear chains
+    /// additionally reject codes exceeding the calibrated format
+    /// ([`ServeError::CodesOutOfRange`]); block models reject NaN or
+    /// infinite hidden states ([`ServeError::NonFiniteInput`]).
     pub fn validate(&self, codes: &Matrix<i32>) -> Result<(), ServeError> {
         if codes.rows() != self.in_features {
             return Err(ServeError::Shape {
@@ -256,10 +353,19 @@ impl PreparedModel {
         if codes.cols() == 0 {
             return Err(ServeError::EmptyRequest);
         }
-        if !self.input_cfg.codes_in_range(codes) {
-            return Err(ServeError::CodesOutOfRange {
-                max: self.input_cfg.max_code(),
-            });
+        match &self.body {
+            Body::Chain { input_cfg, .. } => {
+                if !input_cfg.codes_in_range(codes) {
+                    return Err(ServeError::CodesOutOfRange {
+                        max: input_cfg.max_code(),
+                    });
+                }
+            }
+            Body::Blocks { .. } => {
+                if !codes.iter().all(|&v| f32::from_bits(v as u32).is_finite()) {
+                    return Err(ServeError::NonFiniteInput);
+                }
+            }
         }
         Ok(())
     }
@@ -276,52 +382,96 @@ impl PreparedModel {
     /// Panics if `codes` violates the input contract (use
     /// [`validate`](Self::validate) first — the runtime does).
     pub fn forward_codes(&self, codes: &Matrix<i32>) -> (Matrix<i32>, Workload) {
-        // Pad once at entry (skipping the copy when already aligned — the
-        // common case for a well-coalesced batch); every layer preserves N.
-        let (padded, pad);
-        let input = if codes.cols().is_multiple_of(VECTOR_LEN) {
-            pad = 0;
-            codes
-        } else {
-            (padded, pad) = pad_cols_to_vector_len(codes);
-            &padded
-        };
-        let mut wl = Workload::default();
-        let last = self.layers.len() - 1;
-        let mut x: Option<Matrix<i32>> = None;
-        for layer in &self.layers[..last] {
-            let (next, w) = layer.forward_codes(x.as_ref().unwrap_or(input));
-            wl = wl.merged(&w);
-            x = Some(next);
+        match &self.body {
+            Body::Chain { layers, .. } => {
+                // Pad once at entry (skipping the copy when already
+                // aligned — the common case for a well-coalesced batch);
+                // every layer preserves N.
+                let (padded, pad);
+                let input = if codes.cols().is_multiple_of(VECTOR_LEN) {
+                    pad = 0;
+                    codes
+                } else {
+                    (padded, pad) = pad_cols_to_vector_len(codes);
+                    &padded
+                };
+                let mut wl = Workload::default();
+                let last = layers.len() - 1;
+                let mut x: Option<Matrix<i32>> = None;
+                for layer in &layers[..last] {
+                    let (next, w) = layer.forward_codes(x.as_ref().unwrap_or(input));
+                    wl = wl.merged(&w);
+                    x = Some(next);
+                }
+                let (acc, w) = layers[last].forward(x.as_ref().unwrap_or(input));
+                let acc = if pad == 0 {
+                    acc
+                } else {
+                    acc.submatrix(0, 0, acc.rows(), acc.cols() - pad)
+                };
+                (acc, wl.merged(&w))
+            }
+            // A single block request: all columns are one sequence.
+            Body::Blocks { .. } => self.forward_block_segments(codes, &[codes.cols()]),
         }
-        let (acc, w) = self.layers[last].forward(x.as_ref().unwrap_or(input));
-        let acc = if pad == 0 {
-            acc
-        } else {
-            acc.submatrix(0, 0, acc.rows(), acc.cols() - pad)
-        };
-        (acc, wl.merged(&w))
     }
 
-    /// Runs the chain on several requests' codes at once: their columns
-    /// are coalesced into one wide GEMM `N` dimension, executed in a
-    /// single pass, and split back per request — bit-identical to running
-    /// each request alone. This is the batched entry point the runtime's
-    /// batch executor drives.
+    /// Block-body execution over bit-encoded hidden states: `segments`
+    /// lists the token count of each independent sequence packed into
+    /// the columns (attention never crosses a segment boundary).
+    fn forward_block_segments(
+        &self,
+        bits: &Matrix<i32>,
+        segments: &[usize],
+    ) -> (Matrix<i32>, Workload) {
+        let Body::Blocks { blocks } = &self.body else {
+            unreachable!("callers dispatch on body kind");
+        };
+        let mut h = f32_bits_decode(bits);
+        let mut wl = Workload::default();
+        for block in blocks {
+            let (next, w) = block.forward_segments(&h, segments);
+            wl = wl.merged(&w.total());
+            h = next;
+        }
+        (f32_bits_encode(&h), wl)
+    }
+
+    /// Runs the model on several requests' payloads at once: their
+    /// columns are coalesced into one wide GEMM `N` dimension, executed
+    /// in a single pass, and split back per request — bit-identical to
+    /// running each request alone. For block models each request's
+    /// columns stay one attention sequence (the coalescing only widens
+    /// the GEMMs). This is the batched entry point the runtime's batch
+    /// executor drives.
     ///
     /// # Panics
     ///
     /// Panics if the requests disagree on the feature dimension or
     /// violate the input contract (the runtime validates at submission).
     pub fn forward_batch(&self, requests: &[&Matrix<i32>]) -> (Vec<Matrix<i32>>, Workload) {
-        run_coalesced(requests, |stacked| self.forward_codes(stacked))
+        match &self.body {
+            Body::Chain { .. } => run_coalesced(requests, |stacked| self.forward_codes(stacked)),
+            Body::Blocks { .. } => {
+                let widths: Vec<usize> = requests.iter().map(|m| m.cols()).collect();
+                run_coalesced(requests, |stacked| {
+                    self.forward_block_segments(stacked, &widths)
+                })
+            }
+        }
     }
 
-    /// Float-in/float-out convenience path (quantize, run, dequantize).
+    /// Float-in/float-out convenience path: quantize → run → dequantize
+    /// for chains, hidden states in → hidden states out for block models.
     pub fn forward_f32(&self, x: &Matrix<f32>) -> (Matrix<f32>, Workload) {
         let (acc, wl) = self.forward_codes(&self.quantize(x));
-        let s = self.output_scale();
-        (acc.map(|&v| (f64::from(v) * s) as f32), wl)
+        match &self.body {
+            Body::Chain { .. } => {
+                let s = self.output_scale();
+                (acc.map(|&v| (f64::from(v) * s) as f32), wl)
+            }
+            Body::Blocks { .. } => (f32_bits_decode(&acc), wl),
+        }
     }
 }
 
@@ -533,6 +683,97 @@ mod tests {
         );
         assert_eq!(a.instance_id(), a.clone().instance_id());
         assert_ne!(a.instance_id(), 0, "0 is reserved as never-issued");
+    }
+
+    use crate::testutil::{block_model as shared_block_model, hidden};
+
+    fn block_model(seed: u64) -> (PreparedModel, Vec<panacea_block::QuantizedBlock>) {
+        shared_block_model("blk", seed)
+    }
+
+    #[test]
+    fn block_model_round_trips_hidden_states_bit_exactly() {
+        let (model, blocks) = block_model(40);
+        assert!(model.is_block());
+        assert_eq!(model.num_layers(), 2);
+        assert_eq!(model.in_features(), 16);
+        assert_eq!(model.out_features(), 16);
+        assert_eq!(model.output_scale(), 1.0);
+        let x = hidden(16, 5, 0);
+        let bits = model.quantize(&x);
+        assert!(model.validate(&bits).is_ok());
+        let (out_bits, wl) = model.forward_codes(&bits);
+        assert!(wl.mul > 0);
+        // Direct block-chain execution is the oracle.
+        let mut expect = x.clone();
+        for b in &blocks {
+            expect = b.forward(&expect).0;
+        }
+        assert_eq!(f32_bits_decode(&out_bits), expect);
+        let (f32_out, _) = model.forward_f32(&x);
+        assert_eq!(f32_out, expect);
+    }
+
+    #[test]
+    fn block_model_batch_is_bit_exact_per_request() {
+        let (model, _) = block_model(41);
+        let requests: Vec<Matrix<i32>> = [1usize, 4, 2]
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| model.quantize(&hidden(16, w, i)))
+            .collect();
+        let refs: Vec<&Matrix<i32>> = requests.iter().collect();
+        let (batched, _) = model.forward_batch(&refs);
+        for (req, got) in requests.iter().zip(&batched) {
+            let (alone, _) = model.forward_codes(req);
+            assert_eq!(got, &alone, "batched block request diverged from solo");
+        }
+    }
+
+    #[test]
+    fn block_model_validate_enforces_the_f32_contract() {
+        let (model, _) = block_model(42);
+        assert!(matches!(
+            model.validate(&Matrix::<i32>::zeros(15, 2)),
+            Err(ServeError::Shape {
+                expected: 16,
+                actual: 15
+            })
+        ));
+        assert!(matches!(
+            model.validate(&Matrix::<i32>::zeros(16, 0)),
+            Err(ServeError::EmptyRequest)
+        ));
+        let nan = f32_bits_encode(&Matrix::from_fn(16, 2, |_, _| f32::NAN));
+        assert!(matches!(
+            model.validate(&nan),
+            Err(ServeError::NonFiniteInput)
+        ));
+        let inf = f32_bits_encode(&Matrix::from_fn(16, 1, |_, _| f32::INFINITY));
+        assert!(matches!(
+            model.validate(&inf),
+            Err(ServeError::NonFiniteInput)
+        ));
+    }
+
+    #[test]
+    fn empty_block_stack_rejected() {
+        assert!(matches!(
+            PreparedModel::from_blocks("none", Vec::new()),
+            Err(ServeError::EmptyModel { .. })
+        ));
+    }
+
+    #[test]
+    fn f32_bits_round_trip_is_lossless() {
+        let x = Matrix::from_fn(3, 4, |r, c| {
+            if (r + c) % 2 == 0 {
+                -(r as f32) * 0.37 + c as f32
+            } else {
+                f32::MIN_POSITIVE * (1 + r) as f32
+            }
+        });
+        assert_eq!(f32_bits_decode(&f32_bits_encode(&x)), x);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`dist`] — synthetic value distributions that mimic the activation and
 //!   weight statistics of real DNN layers (Gaussian weights, asymmetric
 //!   post-GELU activations, long-tail channels with outliers, …);
+//! * [`ops`] — shared f32 transformer math (LayerNorm, softmax,
+//!   multi-head attention, residual add) used by both the float forward
+//!   engine and the quantized block engine;
 //! * [`stats`] — summary statistics (mean/std/histogram/percentiles) and
 //!   error metrics (MSE, SQNR) used by the PTQ calibration and by the
 //!   quality-proxy evaluation.
@@ -26,6 +29,7 @@
 
 pub mod dist;
 pub mod matrix;
+pub mod ops;
 pub mod stats;
 
 pub use matrix::Matrix;

@@ -1,0 +1,199 @@
+//! Shared f32 transformer math: LayerNorm, softmax, multi-head
+//! attention, and elementwise addition.
+//!
+//! These used to live inside `panacea_models::engine`, but the quantized
+//! block engine needs the *same* float semantics for its non-GEMM glue
+//! (so a quantized block and the float oracle diverge only where
+//! quantization actually happens). Centralizing them here gives both one
+//! implementation; `engine` re-exports them for compatibility.
+//!
+//! Activations follow the workspace GEMM convention: a tensor is
+//! `features × tokens` (`K × N`).
+
+use crate::Matrix;
+
+/// Per-token (column-wise) LayerNorm with unit gain and zero bias.
+pub fn layer_norm(x: &Matrix<f32>) -> Matrix<f32> {
+    let (k, n) = x.shape();
+    let mut out = Matrix::<f32>::zeros(k, n);
+    for c in 0..n {
+        let mut mean = 0f32;
+        for r in 0..k {
+            mean += x[(r, c)];
+        }
+        mean /= k as f32;
+        let mut var = 0f32;
+        for r in 0..k {
+            let d = x[(r, c)] - mean;
+            var += d * d;
+        }
+        var /= k as f32;
+        let inv = 1.0 / (var + 1e-5).sqrt();
+        for r in 0..k {
+            out[(r, c)] = (x[(r, c)] - mean) * inv;
+        }
+    }
+    out
+}
+
+/// Numerically-stable softmax.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0f32;
+    for v in xs.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in xs.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Multi-head self-attention over a stacked QKV tensor
+/// (`3·d_model × tokens`, rows ordered Q then K then V): per head,
+/// scores `A[i][j] = (q_i · k_j) / √d_h` softmaxed over `j`, then the
+/// context `Σ_j A[i][j]·v_j`. Returns the `d_model × tokens` context.
+///
+/// Every token attends to every column, so callers batching independent
+/// sequences must invoke this once per sequence segment.
+///
+/// # Panics
+///
+/// Panics if `qkv.rows()` is not divisible by `3·n_heads` or `n_heads`
+/// is zero.
+pub fn multi_head_attention(qkv: &Matrix<f32>, n_heads: usize) -> Matrix<f32> {
+    assert!(n_heads > 0, "attention needs at least one head");
+    assert_eq!(
+        qkv.rows() % (3 * n_heads),
+        0,
+        "QKV rows {} must divide by 3·n_heads",
+        qkv.rows()
+    );
+    let d = qkv.rows() / 3;
+    let t = qkv.cols();
+    let dh = d / n_heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut ctx = Matrix::<f32>::zeros(d, t);
+    for h in 0..n_heads {
+        let q0 = h * dh;
+        for i in 0..t {
+            let mut row = vec![0f32; t];
+            for (j, slot) in row.iter_mut().enumerate() {
+                let mut dot = 0f32;
+                for f in 0..dh {
+                    dot += qkv[(q0 + f, i)] * qkv[(d + q0 + f, j)];
+                }
+                *slot = dot * scale;
+            }
+            softmax_in_place(&mut row);
+            for f in 0..dh {
+                let mut acc = 0f32;
+                for (j, &a) in row.iter().enumerate() {
+                    acc += a * qkv[(2 * d + q0 + f, j)];
+                }
+                ctx[(q0 + f, i)] = acc;
+            }
+        }
+    }
+    ctx
+}
+
+/// Elementwise sum of two same-shaped matrices (the residual add).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn add(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+    assert_eq!(a.shape(), b.shape(), "residual add needs matching shapes");
+    Matrix::from_fn(a.rows(), a.cols(), |r, c| a[(r, c)] + b[(r, c)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DistributionKind;
+    use crate::stats;
+
+    fn input(d: usize, t: usize, seed: u64) -> Matrix<f32> {
+        let mut rng = crate::seeded_rng(seed);
+        DistributionKind::Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .sample_matrix(d, t, &mut rng)
+    }
+
+    #[test]
+    fn layer_norm_normalizes_columns() {
+        let x = input(32, 8, 1);
+        let n = layer_norm(&x);
+        for c in 0..8 {
+            let col: Vec<f32> = (0..32).map(|r| n[(r, c)]).collect();
+            assert!(stats::mean(&col).abs() < 1e-4);
+            assert!((stats::std_dev(&col) - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut xs = vec![1.0, 2.0, 3.0, -10.0];
+        softmax_in_place(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(xs.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn attention_rows_are_convex_mixes_of_values() {
+        // With Q ≡ 0 every score row softmaxes to uniform, so the context
+        // is the mean of the value columns — an exact, hand-checkable case.
+        let d = 8;
+        let t = 4;
+        let mut qkv = Matrix::<f32>::zeros(3 * d, t);
+        for r in 0..d {
+            for c in 0..t {
+                qkv[(2 * d + r, c)] = (r * t + c) as f32;
+            }
+        }
+        let ctx = multi_head_attention(&qkv, 2);
+        for r in 0..d {
+            let mean: f32 = (0..t).map(|c| qkv[(2 * d + r, c)]).sum::<f32>() / t as f32;
+            for c in 0..t {
+                assert!((ctx[(r, c)] - mean).abs() < 1e-4, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_segments_are_column_independent_across_calls() {
+        // Running two sequences separately must equal slicing a stacked
+        // tensor — the property the batched block engine relies on.
+        let qkv_a = input(3 * 16, 5, 2);
+        let qkv_b = input(3 * 16, 3, 3);
+        let a = multi_head_attention(&qkv_a, 4);
+        let b = multi_head_attention(&qkv_b, 4);
+        let stacked = Matrix::hstack(&[&qkv_a, &qkv_b]).expect("same rows");
+        let a2 = multi_head_attention(&stacked.submatrix(0, 0, 3 * 16, 5), 4);
+        let b2 = multi_head_attention(&stacked.submatrix(0, 5, 3 * 16, 3), 4);
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(2, 3, |r, c| (r * c) as f32);
+        let s = add(&a, &b);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(s[(r, c)], (r + c + r * c) as f32);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn misaligned_qkv_rejected() {
+        multi_head_attention(&Matrix::<f32>::zeros(10, 2), 2);
+    }
+}

@@ -15,6 +15,10 @@
 //!   SIMD / Sibia baseline accelerators;
 //! * [`models`] — DNN benchmark layer inventories, a small forward engine,
 //!   and quality-proxy metrics;
+//! * [`block`] — the quantized transformer-block execution engine:
+//!   pre-norm attention + MLP blocks whose four weight GEMMs run the AQS
+//!   pipeline, glued by shared f32 attention/LayerNorm math and a
+//!   requantized, coded-domain fc1→GELU→fc2 boundary;
 //! * [`serve`] — the batched, multi-threaded inference runtime: a
 //!   prepared-model registry, a dynamic batcher coalescing requests into
 //!   the GEMM `N` dimension, and a worker pool with clean shutdown;
@@ -38,6 +42,7 @@
 //! ```
 
 pub use panacea_bitslice as bitslice;
+pub use panacea_block as block;
 pub use panacea_core as core;
 pub use panacea_gateway as gateway;
 pub use panacea_models as models;

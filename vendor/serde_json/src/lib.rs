@@ -184,6 +184,10 @@ fn write_number(v: f64, out: &mut String) {
     if !v.is_finite() {
         // JSON has no NaN/Infinity; mirror serde_json's null fallback.
         out.push_str("null");
+    } else if v == 0.0 && v.is_sign_negative() {
+        // `0 as i64` would drop the sign; -0.0 must survive the wire so
+        // bit-exact f32 payload round-trips hold.
+        out.push_str("-0.0");
     } else if v.fract() == 0.0 && v.abs() < 9e15 {
         out.push_str(&format!("{}", v as i64));
     } else {
@@ -721,5 +725,28 @@ mod tests {
             .map(|x| x.as_i64().unwrap())
             .collect();
         assert_eq!(back, vals.iter().map(|&x| i64::from(x)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn finite_floats_round_trip_bit_exactly_including_negative_zero() {
+        let vals = [
+            0.0f64,
+            -0.0,
+            0.1,
+            -1.5e-38,
+            f64::from(f32::MIN_POSITIVE),
+            9e15, // just past the integer fast path
+        ];
+        let v = Value::Array(vals.iter().map(|&x| Value::Number(x)).collect());
+        let encoded = to_string(&v).unwrap();
+        let parsed = from_str(&encoded).unwrap();
+        for (orig, back) in vals.iter().zip(parsed.as_array().unwrap()) {
+            let back = back.as_f64().unwrap();
+            assert_eq!(
+                orig.to_bits(),
+                back.to_bits(),
+                "{orig} mangled into {back} via {encoded}"
+            );
+        }
     }
 }
