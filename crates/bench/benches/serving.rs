@@ -8,12 +8,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use panacea_block::QuantizedBlock;
+use panacea_block::{decode_step, KvCache, QuantizedBlock};
 use panacea_gateway::{CacheConfig, CachedOutput, RequestCache, ShardRouter};
 use panacea_models::engine::TransformerConfig;
 use panacea_models::zoo::Benchmark;
 use panacea_serve::{
-    BatchPolicy, LayerSpec, ModelRegistry, PrepareOptions, PreparedModel, Runtime, RuntimeConfig,
+    BatchPolicy, LayerSpec, ModelRegistry, Payload, PrepareOptions, PreparedModel, Runtime,
+    RuntimeConfig,
 };
 use panacea_tensor::dist::DistributionKind;
 use panacea_tensor::Matrix;
@@ -137,7 +138,7 @@ fn bench_runtime_dispatch(c: &mut Criterion) {
                         .collect();
                     pending
                         .into_iter()
-                        .map(|p| p.wait().expect("served").acc)
+                        .map(|p| p.wait().expect("served").payload)
                         .collect::<Vec<_>>()
                 })
             },
@@ -169,17 +170,17 @@ fn bench_request_cache(c: &mut Criterion) {
         shards: 8,
         ..CacheConfig::default()
     });
-    let hit_codes = request(&model, 4, &mut rng);
-    let (acc, _) = model.forward_codes(&hit_codes);
+    let hit_codes = Payload::Codes(request(&model, 4, &mut rng));
+    let (out, _) = model.forward(&hit_codes);
     cache.insert(
         model.instance_id(),
         hit_codes.clone(),
         CachedOutput {
-            acc,
+            payload: out,
             scale: model.output_scale(),
         },
     );
-    let miss_codes = request(&model, 4, &mut rng);
+    let miss_codes = Payload::Codes(request(&model, 4, &mut rng));
 
     let mut group = c.benchmark_group("gateway_cache");
     group.bench_function("hit", |b| {
@@ -188,6 +189,46 @@ fn bench_request_cache(c: &mut Criterion) {
     group.bench_function("miss", |b| {
         b.iter(|| cache.get(model.instance_id(), &miss_codes))
     });
+    group.finish();
+}
+
+/// One KV-cached decode step versus a full-prefix causal recompute, at
+/// several prefix lengths. The cached step's per-token cost should stay
+/// roughly flat in the prefix (only attention grows, linearly), while
+/// the recompute re-runs every GEMM over the whole prefix and grows
+/// linearly per token — the O(tokens) vs O(tokens²) gap across a
+/// generation.
+fn bench_decode_step(c: &mut Criterion) {
+    let block = prepared_block(9);
+    let token = Matrix::from_fn(32, 1, |r, _| (((r * 29 + 3) % 89) as f32 - 44.0) / 22.0);
+    let mut group = c.benchmark_group("decode_step");
+    for prefix_len in [16usize, 64, 256] {
+        let prefix = Matrix::from_fn(32, prefix_len, |r, c| {
+            (((r * 29 + c * 11) % 89) as f32 - 44.0) / 22.0
+        });
+        let blocks = std::slice::from_ref(&block);
+        let mut prefilled = KvCache::for_blocks(blocks);
+        decode_step(blocks, &prefix, &mut prefilled);
+        group.bench_with_input(
+            BenchmarkId::new("kv_cached", prefix_len),
+            &prefilled,
+            |b, prefilled| {
+                // The clone is O(prefix) memcpy — negligible next to
+                // the step's GEMMs, and it keeps every iteration
+                // stepping from the same prefix length.
+                b.iter(|| {
+                    let mut kv = prefilled.clone();
+                    decode_step(blocks, &token, &mut kv)
+                })
+            },
+        );
+        let with_new = Matrix::hstack(&[&prefix, &token]).expect("same rows");
+        group.bench_with_input(
+            BenchmarkId::new("full_recompute", prefix_len),
+            &with_new,
+            |b, with_new| b.iter(|| block.forward_segments_causal(with_new, &[with_new.cols()])),
+        );
+    }
     group.finish();
 }
 
@@ -201,6 +242,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_batch_width, bench_block_forward, bench_runtime_dispatch, bench_router_route, bench_request_cache
+    targets = bench_batch_width, bench_block_forward, bench_runtime_dispatch, bench_router_route, bench_request_cache, bench_decode_step
 }
 criterion_main!(benches);

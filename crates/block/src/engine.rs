@@ -134,6 +134,32 @@ impl QuantizedBlock {
         x: &Matrix<f32>,
         segments: &[usize],
     ) -> (Matrix<f32>, BlockWorkload) {
+        self.forward_segments_impl(x, segments, false)
+    }
+
+    /// [`forward_segments`](Self::forward_segments) with **causal**
+    /// attention: within each segment, token `i` attends only to tokens
+    /// `j ≤ i`. This is the decoder-semantics full-prefix pass — the
+    /// recompute oracle KV-cached decode
+    /// ([`forward_decode`](Self::forward_decode)) is bit-identical to.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`forward_segments`](Self::forward_segments).
+    pub fn forward_segments_causal(
+        &self,
+        x: &Matrix<f32>,
+        segments: &[usize],
+    ) -> (Matrix<f32>, BlockWorkload) {
+        self.forward_segments_impl(x, segments, true)
+    }
+
+    fn forward_segments_impl(
+        &self,
+        x: &Matrix<f32>,
+        segments: &[usize],
+        causal: bool,
+    ) -> (Matrix<f32>, BlockWorkload) {
         assert_eq!(x.rows(), self.d_model, "hidden-state width mismatch");
         let n = x.cols();
         assert!(n > 0, "block forward needs at least one token column");
@@ -170,7 +196,11 @@ impl QuantizedBlock {
                 continue;
             }
             let seg = qkv_f.submatrix(0, col, qkv_f.rows(), len);
-            let seg_ctx = ops::multi_head_attention(&seg, self.n_heads);
+            let seg_ctx = if causal {
+                ops::multi_head_attention_causal(&seg, self.n_heads)
+            } else {
+                ops::multi_head_attention(&seg, self.n_heads)
+            };
             for r in 0..self.d_model {
                 for c in 0..len {
                     ctx[(r, col + c)] = seg_ctx[(r, c)];
@@ -181,17 +211,7 @@ impl QuantizedBlock {
         let (attn_out, wl_proj) = self.run_dequant(&self.proj, &ctx);
         let h = ops::add(xp, &attn_out);
 
-        // MLP sub-layer: fc1 requantizes straight into the pre-GELU
-        // 8-bit format, the LUT applies GELU code→code, and fc2 consumes
-        // the codes — no f32 round-trip between the two GEMMs.
-        let ln2 = ops::layer_norm(&h);
-        let fc1_codes = self.fc1.input_config().quantizer.quantize_matrix(&ln2);
-        let (mid_codes, wl_fc1) = self.fc1.forward_codes(&fc1_codes);
-        let fc2_codes = mid_codes.map(|&c| self.gelu_lut[c as usize]);
-        let (fc2_acc, wl_fc2) = self.fc2.forward(&fc2_codes);
-        let s_fc2 = self.fc2.accumulator_scale();
-        let mlp_out = fc2_acc.map(|&v| (f64::from(v) * s_fc2) as f32);
-        let out = ops::add(&h, &mlp_out);
+        let (out, wl_fc1, wl_fc2) = self.mlp_sublayer(&h);
 
         let out = if aligned == n {
             out
@@ -207,6 +227,104 @@ impl QuantizedBlock {
                 fc2: wl_fc2,
             },
         )
+    }
+
+    /// One KV-cached decode step: runs the block on the freshly
+    /// appended tokens of one sequence (`d_model × t_new`, usually one
+    /// column), attending them causally over `state`'s cached prefix,
+    /// and appends their keys/values to the cache. Only the new columns
+    /// pass through the GEMMs, so a step costs O(prefix) instead of the
+    /// O(prefix²) a full recompute pays across a generation.
+    ///
+    /// Stepping tokens through this method — in any chunking — is
+    /// **bit-identical** per column to one causal full pass
+    /// ([`forward_segments_causal`](Self::forward_segments_causal)) over
+    /// the concatenated sequence: the GEMM chain is column-exact under
+    /// any grouping, and the incremental attention accumulates in the
+    /// same order as the full causal pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h_new.rows() != d_model`, `h_new` has zero columns,
+    /// or the cache was built for a different width.
+    pub fn forward_decode(
+        &self,
+        h_new: &Matrix<f32>,
+        state: &mut crate::kv::BlockKvState,
+    ) -> (Matrix<f32>, BlockWorkload) {
+        assert_eq!(h_new.rows(), self.d_model, "hidden-state width mismatch");
+        let n = h_new.cols();
+        assert!(n > 0, "decode step needs at least one token column");
+        assert_eq!(
+            state.d_model(),
+            self.d_model,
+            "KV cache width disagrees with the block"
+        );
+
+        // Pad to the PE vector width exactly like the stateless path;
+        // padded columns never enter attention or the cache.
+        let aligned = n.div_ceil(VECTOR_LEN) * VECTOR_LEN;
+        let padded;
+        let xp = if aligned == n {
+            h_new
+        } else {
+            padded = Matrix::from_fn(self.d_model, aligned, |r, c| {
+                if c < n {
+                    h_new[(r, c)]
+                } else {
+                    0.0
+                }
+            });
+            &padded
+        };
+
+        let ln1 = ops::layer_norm(xp);
+        let (qkv_f, wl_qkv) = self.run_dequant(&self.qkv, &ln1);
+        let qkv_real = qkv_f.submatrix(0, 0, qkv_f.rows(), n);
+        let ctx_real =
+            ops::multi_head_attention_decode(&qkv_real, state.keys(), state.values(), self.n_heads);
+        state.append_from_qkv(&qkv_real, n);
+        let mut ctx = Matrix::<f32>::zeros(self.d_model, aligned);
+        for r in 0..self.d_model {
+            for c in 0..n {
+                ctx[(r, c)] = ctx_real[(r, c)];
+            }
+        }
+        let (attn_out, wl_proj) = self.run_dequant(&self.proj, &ctx);
+        let h = ops::add(xp, &attn_out);
+
+        let (out, wl_fc1, wl_fc2) = self.mlp_sublayer(&h);
+
+        let out = if aligned == n {
+            out
+        } else {
+            out.submatrix(0, 0, self.d_model, n)
+        };
+        (
+            out,
+            BlockWorkload {
+                qkv: wl_qkv,
+                attn_proj: wl_proj,
+                fc1: wl_fc1,
+                fc2: wl_fc2,
+            },
+        )
+    }
+
+    /// The MLP half of the block, shared by the stateless and decode
+    /// paths: fc1 requantizes straight into the pre-GELU 8-bit format,
+    /// the LUT applies GELU code→code, and fc2 consumes the codes — no
+    /// f32 round-trip between the two GEMMs. Returns the post-residual
+    /// hidden states plus the two GEMM workloads.
+    fn mlp_sublayer(&self, h: &Matrix<f32>) -> (Matrix<f32>, Workload, Workload) {
+        let ln2 = ops::layer_norm(h);
+        let fc1_codes = self.fc1.input_config().quantizer.quantize_matrix(&ln2);
+        let (mid_codes, wl_fc1) = self.fc1.forward_codes(&fc1_codes);
+        let fc2_codes = mid_codes.map(|&c| self.gelu_lut[c as usize]);
+        let (fc2_acc, wl_fc2) = self.fc2.forward(&fc2_codes);
+        let s_fc2 = self.fc2.accumulator_scale();
+        let mlp_out = fc2_acc.map(|&v| (f64::from(v) * s_fc2) as f32);
+        (ops::add(h, &mlp_out), wl_fc1, wl_fc2)
     }
 
     /// Quantize → AQS-GEMM → dequantize for the sub-layers whose output

@@ -1,0 +1,228 @@
+//! Per-sequence key/value state for autoregressive decode.
+//!
+//! A stateless block stack recomputes attention over the whole prefix
+//! for every new token — O(tokens²) across a generation. A [`KvCache`]
+//! instead keeps each block's keys and values for every token already
+//! decoded, so [`QuantizedBlock::forward_decode`] only runs the GEMMs on
+//! the *new* columns and attends them over the cached prefix: one step
+//! costs O(tokens), and stepping is **bit-identical** to a full causal
+//! recompute ([`QuantizedBlock::forward_segments_causal`]) because every
+//! coalesced step of the pipeline is column-exact and the incremental
+//! attention accumulates in the same order as the full pass.
+//!
+//! The cache is decoder-semantics by construction: token `i` attends
+//! only to `j ≤ i`, so an already-decoded token's hidden states (and
+//! hence its cached K/V at every block) never change when later tokens
+//! arrive. Bidirectional (encoder-style) stacks cannot be KV-cached —
+//! use the stateless [`QuantizedBlock::forward_segments`] path for
+//! those.
+
+use panacea_tensor::Matrix;
+
+use crate::engine::{BlockWorkload, QuantizedBlock};
+
+/// One block's cached attention state: keys and values in the
+/// **token-major** layout [`panacea_tensor::ops::multi_head_attention_decode`]
+/// consumes (token `j`'s features occupy `[j·d_model, (j+1)·d_model)`),
+/// so appending a decoded token is an O(d_model) push — the prefix is
+/// never rebuilt or copied on the per-token hot path.
+#[derive(Debug, Clone)]
+pub struct BlockKvState {
+    d_model: usize,
+    k: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl BlockKvState {
+    fn new(d_model: usize) -> Self {
+        BlockKvState {
+            d_model,
+            k: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The feature width every cached token has.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Cached keys, token-major (`tokens × d_model` flattened).
+    pub fn keys(&self) -> &[f32] {
+        &self.k
+    }
+
+    /// Cached values, token-major (`tokens × d_model` flattened).
+    pub fn values(&self) -> &[f32] {
+        &self.v
+    }
+
+    /// Tokens resident in this block's cache.
+    pub fn tokens(&self) -> usize {
+        self.k.len() / self.d_model.max(1)
+    }
+
+    /// Appends the K and V rows of freshly decoded tokens, read from a
+    /// stacked QKV tensor (`3·d_model × t_new`, rows ordered Q, K, V) —
+    /// O(d_model · t_new), independent of the prefix length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qkv.rows() != 3·d_model` or `cols` exceeds the
+    /// tensor's width.
+    pub(crate) fn append_from_qkv(&mut self, qkv: &Matrix<f32>, cols: usize) {
+        let d = self.d_model;
+        assert_eq!(qkv.rows(), 3 * d, "QKV width disagrees with the cache");
+        self.k.reserve(cols * d);
+        self.v.reserve(cols * d);
+        for c in 0..cols {
+            for f in 0..d {
+                self.k.push(qkv[(d + f, c)]);
+            }
+            for f in 0..d {
+                self.v.push(qkv[(2 * d + f, c)]);
+            }
+        }
+    }
+}
+
+/// Per-sequence decode state: one [`BlockKvState`] per block of the
+/// stack, plus the token count they all share. Created by
+/// [`KvCache::for_blocks`], grown exclusively by
+/// [`QuantizedBlock::forward_decode`] (via [`decode_step`]).
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    d_model: usize,
+    states: Vec<BlockKvState>,
+}
+
+impl KvCache {
+    /// An empty cache for a stack of `n_blocks` blocks of width
+    /// `d_model`.
+    pub fn new(d_model: usize, n_blocks: usize) -> Self {
+        KvCache {
+            d_model,
+            states: (0..n_blocks).map(|_| BlockKvState::new(d_model)).collect(),
+        }
+    }
+
+    /// An empty cache shaped for `blocks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks disagree on `d_model` (a stack that cannot
+    /// execute at all).
+    pub fn for_blocks(blocks: &[QuantizedBlock]) -> Self {
+        let d_model = blocks.first().map_or(0, QuantizedBlock::d_model);
+        assert!(
+            blocks.iter().all(|b| b.d_model() == d_model),
+            "block stack disagrees on d_model"
+        );
+        KvCache::new(d_model, blocks.len())
+    }
+
+    /// The model width every cached K/V column has.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Number of per-block states (the stack depth this cache serves).
+    pub fn num_blocks(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Tokens decoded into this cache so far.
+    pub fn tokens(&self) -> usize {
+        self.states.first().map_or(0, BlockKvState::tokens)
+    }
+
+    /// Bytes of f32 K/V state currently resident — the figure a serving
+    /// layer's session byte budget accounts.
+    pub fn resident_bytes(&self) -> usize {
+        self.num_blocks() * 2 * self.d_model * self.tokens() * std::mem::size_of::<f32>()
+    }
+
+    /// Bytes one decoded token adds to a cache of this shape — known
+    /// before a step runs, so budgets can be enforced up front.
+    pub fn bytes_per_token(&self) -> usize {
+        self.num_blocks() * 2 * self.d_model * std::mem::size_of::<f32>()
+    }
+
+    /// One block's cached state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.num_blocks()`.
+    pub fn block(&self, block: usize) -> &BlockKvState {
+        &self.states[block]
+    }
+
+    pub(crate) fn block_mut(&mut self, block: usize) -> &mut BlockKvState {
+        &mut self.states[block]
+    }
+}
+
+/// Runs `h_new` (`d_model × t_new`, the freshly appended tokens of one
+/// sequence) through a whole block stack with KV-cached incremental
+/// attention, returning the new tokens' output hidden states and the
+/// summed workload. The cache must have been built for this stack
+/// ([`KvCache::for_blocks`]) and is advanced by `t_new` tokens.
+///
+/// Stepping tokens through this function — in any chunking — is
+/// bit-identical to one full causal pass
+/// ([`QuantizedBlock::forward_segments_causal`]) over the concatenated
+/// sequence.
+///
+/// # Panics
+///
+/// Panics if the cache shape disagrees with `blocks` or `h_new` with
+/// `d_model` (serving layers validate first).
+pub fn decode_step(
+    blocks: &[QuantizedBlock],
+    h_new: &Matrix<f32>,
+    kv: &mut KvCache,
+) -> (Matrix<f32>, BlockWorkload) {
+    assert_eq!(
+        kv.num_blocks(),
+        blocks.len(),
+        "KV cache built for a different stack depth"
+    );
+    let mut h = h_new.clone();
+    let mut wl = BlockWorkload::default();
+    for (bi, block) in blocks.iter().enumerate() {
+        let (next, w) = block.forward_decode(&h, kv.block_mut(bi));
+        wl = wl.merged(&w);
+        h = next;
+    }
+    (h, wl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cache_has_zero_footprint() {
+        let kv = KvCache::new(16, 2);
+        assert_eq!(kv.tokens(), 0);
+        assert_eq!(kv.resident_bytes(), 0);
+        assert_eq!(kv.num_blocks(), 2);
+        assert_eq!(kv.bytes_per_token(), 2 * 2 * 16 * 4);
+    }
+
+    #[test]
+    fn append_grows_tokens_and_bytes_token_major() {
+        let mut kv = KvCache::new(8, 3);
+        // Q rows 0..8 = 1.0, K rows 8..16 = 2.0, V rows 16..24 = 3.0.
+        let qkv = Matrix::from_fn(24, 2, |r, _| (r / 8) as f32 + 1.0);
+        for b in 0..3 {
+            kv.block_mut(b).append_from_qkv(&qkv, 2);
+        }
+        assert_eq!(kv.tokens(), 2);
+        assert_eq!(kv.resident_bytes(), 2 * kv.bytes_per_token());
+        assert_eq!(kv.block(1).keys().len(), 16);
+        assert!(kv.block(1).keys().iter().all(|&x| x == 2.0));
+        assert!(kv.block(1).values().iter().all(|&x| x == 3.0));
+        assert_eq!(kv.block(1).d_model(), 8);
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod builder;
 pub mod engine;
+pub mod kv;
 
 use std::fmt;
 
@@ -51,6 +52,7 @@ use panacea_tensor::matrix::MatrixError;
 
 pub use builder::{sqnr_report, zoo_hidden_states, zoo_transformer, BlockBuilder, BlockSqnr};
 pub use engine::{BlockWorkload, QuantizedBlock};
+pub use kv::{decode_step, BlockKvState, KvCache};
 
 /// Errors from block preparation.
 #[derive(Debug)]

@@ -8,13 +8,22 @@
 //! model's *instance id*
 //! ([`PreparedModel::instance_id`](panacea_serve::PreparedModel::instance_id)
 //! — not its registry name, which can be re-bound to a different model
-//! by re-registration) plus the *quantized* request codes: a hit
-//! requires full key equality (bit-exact codes), never a digest match
-//! alone, so a hit is always a correct replay — even across model
-//! replacement, because a replaced model's entries key under the old id
-//! and simply age out of the LRU. The digest
-//! ([`Matrix::content_hash`](panacea_tensor::Matrix::content_hash))
-//! only picks the shard and accelerates bucket lookup.
+//! by re-registration) plus the typed request
+//! [`Payload`]: a hit requires full key
+//! equality at the *bit* level ([`Payload::bit_eq`] — codes compare
+//! `==`, hidden states compare by `to_bits`, so `-0.0` and `0.0` never
+//! alias), never a digest match alone. A hit is therefore always a
+//! correct replay — even across model replacement, because a replaced
+//! model's entries key under the old id and simply age out of the LRU.
+//! The digest ([`Payload::content_hash`]) only picks the shard and
+//! accelerates bucket lookup.
+//!
+//! **Stateless requests only.** A decode step's output depends on its
+//! session's KV prefix, not just the payload, so cached replay would be
+//! wrong — and even probing would skew the stats. The session path
+//! (gateway `decode` verb) therefore has no reference to this cache at
+//! all; the only call sites are the stateless `infer` path. See the
+//! `decode_steps_never_touch_the_request_cache` regression test.
 //!
 //! Shards are independent LRUs behind their own locks, so concurrent
 //! connection handlers rarely contend; eviction is strict
@@ -25,7 +34,7 @@ use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use panacea_tensor::Matrix;
+use panacea_serve::Payload;
 
 /// Sizing knobs for [`RequestCache`].
 #[derive(Debug, Clone, Copy)]
@@ -34,8 +43,8 @@ pub struct CacheConfig {
     pub capacity: usize,
     /// Number of independently locked LRU shards.
     pub shards: usize,
-    /// Largest single entry (codes + accumulators, in bytes) worth
-    /// keeping. `capacity` bounds the entry *count*, so without this a
+    /// Largest single entry (request payload + result payload, in
+    /// bytes) worth keeping. `capacity` bounds the entry *count*, so without this a
     /// handful of near-request-size-limit payloads could pin gigabytes;
     /// oversized responses are simply not cached.
     pub max_entry_bytes: usize,
@@ -55,9 +64,11 @@ impl Default for CacheConfig {
 /// touching the serving runtime.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CachedOutput {
-    /// Final-layer integer accumulators.
-    pub acc: Matrix<i32>,
-    /// Scale converting `acc` to floats.
+    /// The typed result: code accumulators for chains, hidden states
+    /// for block models.
+    pub payload: Payload,
+    /// Scale converting code accumulators to floats; `1.0` for hidden
+    /// results.
     pub scale: f64,
 }
 
@@ -86,12 +97,19 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug)]
 struct CacheKey {
     /// [`PreparedModel::instance_id`](panacea_serve::PreparedModel::instance_id)
     /// of the model that produced the cached output.
     model: u64,
-    codes: Matrix<i32>,
+    payload: Payload,
+}
+
+impl CacheKey {
+    /// Bit-level key equality — the replay contract's identity.
+    fn matches(&self, model: u64, payload: &Payload) -> bool {
+        self.model == model && self.payload.bit_eq(payload)
+    }
 }
 
 #[derive(Debug)]
@@ -159,15 +177,16 @@ impl LruShard {
         self.head = i;
     }
 
-    fn find(&self, digest: u64, model: u64, codes: &Matrix<i32>) -> Option<usize> {
-        self.buckets.get(&digest)?.iter().copied().find(|&i| {
-            let key = &self.node(i).key;
-            key.model == model && key.codes == *codes
-        })
+    fn find(&self, digest: u64, model: u64, payload: &Payload) -> Option<usize> {
+        self.buckets
+            .get(&digest)?
+            .iter()
+            .copied()
+            .find(|&i| self.node(i).key.matches(model, payload))
     }
 
-    fn get(&mut self, digest: u64, model: u64, codes: &Matrix<i32>) -> Option<CachedOutput> {
-        let i = self.find(digest, model, codes)?;
+    fn get(&mut self, digest: u64, model: u64, payload: &Payload) -> Option<CachedOutput> {
+        let i = self.find(digest, model, payload)?;
         self.unlink(i);
         self.push_front(i);
         Some(self.node(i).value.clone())
@@ -179,7 +198,7 @@ impl LruShard {
         if capacity == 0 {
             return 0;
         }
-        if let Some(i) = self.find(digest, key.model, &key.codes) {
+        if let Some(i) = self.find(digest, key.model, &key.payload) {
             // Bit-exact key already resident: refresh recency, keep the
             // (necessarily identical) value.
             self.unlink(i);
@@ -264,18 +283,20 @@ impl RequestCache {
         self.capacity_per_shard > 0
     }
 
-    /// Whether an entry of `cells` `i32` values (request codes plus
-    /// accumulators) fits [`CacheConfig::max_entry_bytes`]. Both counts
-    /// are known before a request runs, so callers can skip the payload
-    /// clone for entries [`insert`](Self::insert) would reject anyway.
+    /// Whether an entry of `cells` 4-byte elements (request payload
+    /// plus result payload — `i32` codes and `f32` hidden states are
+    /// the same width) fits [`CacheConfig::max_entry_bytes`]. Both
+    /// counts are known before a request runs, so callers can skip the
+    /// payload clone for entries [`insert`](Self::insert) would reject
+    /// anyway.
     pub fn admits(&self, cells: usize) -> bool {
-        cells.saturating_mul(std::mem::size_of::<i32>()) <= self.max_entry_bytes
+        cells.saturating_mul(4) <= self.max_entry_bytes
     }
 
-    fn digest(model: u64, codes: &Matrix<i32>) -> u64 {
+    fn digest(model: u64, payload: &Payload) -> u64 {
         let mut h = DefaultHasher::new();
         model.hash(&mut h);
-        codes.content_hash().hash(&mut h);
+        payload.content_hash().hash(&mut h);
         h.finish()
     }
 
@@ -283,17 +304,17 @@ impl RequestCache {
         &self.shards[(digest as usize) % self.shards.len()]
     }
 
-    /// Looks up a bit-exact prior response for `(model, codes)`,
+    /// Looks up a bit-exact prior response for `(model, payload)`,
     /// refreshing its recency on a hit. `model` is the serving model's
     /// [`instance_id`](panacea_serve::PreparedModel::instance_id), so
     /// entries written for a since-replaced model can never answer.
-    pub fn get(&self, model: u64, codes: &Matrix<i32>) -> Option<CachedOutput> {
-        let digest = Self::digest(model, codes);
+    pub fn get(&self, model: u64, payload: &Payload) -> Option<CachedOutput> {
+        let digest = Self::digest(model, payload);
         let found = self
             .shard_for(digest)
             .lock()
             .expect("cache shard poisoned")
-            .get(digest, model, codes);
+            .get(digest, model, payload);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -301,25 +322,25 @@ impl RequestCache {
         found
     }
 
-    /// Stores a response for `(model, codes)`, evicting least-recently
-    /// used entries if its shard is full. `model` is the producing
-    /// model's
+    /// Stores a response for `(model, payload)`, evicting
+    /// least-recently used entries if its shard is full. `model` is the
+    /// producing model's
     /// [`instance_id`](panacea_serve::PreparedModel::instance_id).
     /// Entries larger than [`CacheConfig::max_entry_bytes`] are silently
     /// skipped — the count-based capacity cannot bound their footprint.
-    pub fn insert(&self, model: u64, codes: Matrix<i32>, value: CachedOutput) {
-        let cells = codes.rows() * codes.cols() + value.acc.rows() * value.acc.cols();
+    pub fn insert(&self, model: u64, payload: Payload, value: CachedOutput) {
+        let cells = payload.cells() + value.payload.cells();
         if !self.admits(cells) {
             return;
         }
-        let digest = Self::digest(model, &codes);
+        let digest = Self::digest(model, &payload);
         let evicted = self
             .shard_for(digest)
             .lock()
             .expect("cache shard poisoned")
             .insert(
                 digest,
-                CacheKey { model, codes },
+                CacheKey { model, payload },
                 value,
                 self.capacity_per_shard,
             );
@@ -355,15 +376,18 @@ impl RequestCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use panacea_tensor::Matrix;
     use std::sync::Arc;
 
-    fn codes(salt: i32) -> Matrix<i32> {
-        Matrix::from_fn(4, 2, |r, c| salt * 100 + (r * 2 + c) as i32)
+    fn codes(salt: i32) -> Payload {
+        Payload::Codes(Matrix::from_fn(4, 2, |r, c| {
+            salt * 100 + (r * 2 + c) as i32
+        }))
     }
 
     fn output(salt: i32) -> CachedOutput {
         CachedOutput {
-            acc: Matrix::from_fn(2, 2, |r, c| salt * 10 + (r + c) as i32),
+            payload: Payload::Codes(Matrix::from_fn(2, 2, |r, c| salt * 10 + (r + c) as i32)),
             scale: 0.5,
         }
     }
@@ -375,8 +399,9 @@ mod tests {
         assert_eq!(cache.get(1, &codes(1)), Some(output(1)));
         assert_eq!(cache.get(1, &codes(2)), None);
         assert_eq!(cache.get(2, &codes(1)), None);
-        let mut nearly = codes(1);
-        nearly[(3, 1)] += 1;
+        let nearly = Payload::Codes(Matrix::from_fn(4, 2, |r, c| {
+            100 + (r * 2 + c) as i32 + usize::from(r == 3 && c == 1) as i32
+        }));
         assert_eq!(cache.get(1, &nearly), None);
         let s = cache.stats();
         assert_eq!(s.hits, 1);
@@ -448,7 +473,7 @@ mod tests {
         assert_eq!(cache.len(), 1);
         // 4×4 codes + 2×2 acc = 20 cells (80 bytes): must be skipped, or
         // the count-based capacity stops bounding memory.
-        let big = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as i32);
+        let big = Payload::Codes(Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as i32));
         cache.insert(1, big.clone(), output(2));
         assert_eq!(cache.len(), 1, "oversized entry was cached");
         assert!(cache.get(1, &big).is_none());
@@ -471,6 +496,25 @@ mod tests {
             .filter(|s| s.lock().unwrap().len > 0)
             .count();
         assert!(occupied >= 2, "all 64 keys landed in one shard");
+    }
+
+    #[test]
+    fn hidden_payload_hits_are_bit_exact_not_just_numeric() {
+        // -0.0 == 0.0 numerically, but the replay contract is about
+        // bits: the two must not alias as cache keys.
+        let cache = RequestCache::new(CacheConfig::default());
+        let pos = Payload::Hidden(Matrix::from_vec(1, 1, vec![0.0f32]).unwrap());
+        let neg = Payload::Hidden(Matrix::from_vec(1, 1, vec![-0.0f32]).unwrap());
+        let out = CachedOutput {
+            payload: Payload::Hidden(Matrix::from_vec(1, 1, vec![1.5f32]).unwrap()),
+            scale: 1.0,
+        };
+        cache.insert(1, pos.clone(), out.clone());
+        assert_eq!(cache.get(1, &pos), Some(out));
+        assert_eq!(cache.get(1, &neg), None, "signed zeros aliased");
+        // Kind is part of the key too: the same bits as codes miss.
+        let as_codes = Payload::Codes(Matrix::from_vec(1, 1, vec![0i32]).unwrap());
+        assert_eq!(cache.get(1, &as_codes), None);
     }
 
     #[test]

@@ -8,11 +8,12 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use panacea_serve::Payload;
 use panacea_tensor::Matrix;
 
 use crate::protocol::{
-    decode_response, encode_request, BlockReply, GatewayStats, InferReply, Payload, Request,
-    Response,
+    decode_response, encode_request, DecodeReply, GatewayStats, InferReply, Request, Response,
+    SessionCloseReply, SessionOpenReply,
 };
 use crate::GatewayError;
 
@@ -58,99 +59,166 @@ impl GatewayClient {
         match self.call(request)? {
             Response::Infer(reply) => Ok(reply),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
-            Response::Stats(_) | Response::Block(_) => Err(GatewayError::Protocol(
+            _ => Err(GatewayError::Protocol(
                 "server answered an infer request with the wrong kind".to_string(),
             )),
         }
     }
 
-    /// Runs a model on pre-quantized activation codes.
+    /// Runs one typed stateless inference: codes for a linear chain,
+    /// hidden states for a transformer-block model. The server rejects
+    /// a payload whose kind does not match the model.
     ///
     /// # Errors
     ///
     /// [`GatewayError::Remote`] for server-side rejections (overload,
     /// unknown model, bad payload), [`GatewayError::Io`] /
-    /// [`GatewayError::Protocol`] for transport failures.
+    /// [`GatewayError::Protocol`] for transport failures — including
+    /// non-finite hidden elements, which JSON cannot carry.
+    pub fn infer(&mut self, model: &str, payload: Payload) -> Result<InferReply, GatewayError> {
+        if let Payload::Hidden(h) = &payload {
+            check_finite(h)?;
+        }
+        self.expect_infer(&Request::Infer {
+            model: model.to_string(),
+            payload,
+        })
+    }
+
+    /// Runs a model on pre-quantized activation codes — shorthand for
+    /// [`infer`](Self::infer) with [`Payload::Codes`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`infer`](Self::infer).
     pub fn infer_codes(
         &mut self,
         model: &str,
         codes: Matrix<i32>,
     ) -> Result<InferReply, GatewayError> {
-        self.expect_infer(&Request::Infer {
-            model: model.to_string(),
-            payload: Payload::Codes(codes),
-        })
+        self.infer(model, Payload::Codes(codes))
     }
 
-    /// Runs a model on float activations; the server quantizes them with
-    /// the model's calibrated input format.
+    /// Runs a transformer-block model on one sequence of hidden states
+    /// — shorthand for [`infer`](Self::infer) with [`Payload::Hidden`].
+    /// The reply's hidden states are bit-identical to direct
+    /// `QuantizedBlock` execution (finite f32 values survive the JSON
+    /// wire exactly).
     ///
     /// # Errors
     ///
-    /// Same as [`infer_codes`](Self::infer_codes), plus
-    /// [`GatewayError::Protocol`] for non-finite elements — JSON cannot
-    /// carry NaN/infinity, so they are rejected here rather than
-    /// silently mangled on the wire.
+    /// Same as [`infer`](Self::infer).
+    pub fn infer_hidden(
+        &mut self,
+        model: &str,
+        hidden: Matrix<f32>,
+    ) -> Result<InferReply, GatewayError> {
+        self.infer(model, Payload::Hidden(hidden))
+    }
+
+    /// Runs a model on float activations; the server converts them into
+    /// the model's native payload (quantizes for chains, passes through
+    /// for block models).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`infer`](Self::infer).
     pub fn infer_f32(
         &mut self,
         model: &str,
         input: Matrix<f32>,
     ) -> Result<InferReply, GatewayError> {
-        if input.iter().any(|v| !v.is_finite()) {
-            return Err(GatewayError::Protocol(
-                "float payload contains NaN or infinite elements".to_string(),
-            ));
-        }
-        self.expect_infer(&Request::Infer {
+        check_finite(&input)?;
+        self.expect_infer(&Request::InferF32 {
             model: model.to_string(),
-            payload: Payload::F32(input),
+            input,
         })
     }
 
-    /// Runs a transformer-block model on one sequence of hidden states
-    /// (`d_model × tokens`), returning the output hidden states —
-    /// bit-identical to direct `QuantizedBlock` execution (finite f32
-    /// values survive the JSON wire exactly).
+    /// Opens a decode session on a transformer-block model. The reply
+    /// names the shard the session (and its KV state) is pinned to.
     ///
     /// # Errors
     ///
-    /// Same as [`infer_codes`](Self::infer_codes), plus
-    /// [`GatewayError::Protocol`] for non-finite elements, which JSON
-    /// cannot carry.
-    pub fn infer_block(
-        &mut self,
-        model: &str,
-        hidden: Matrix<f32>,
-    ) -> Result<BlockReply, GatewayError> {
-        if hidden.iter().any(|v| !v.is_finite()) {
-            return Err(GatewayError::Protocol(
-                "hidden-state payload contains NaN or infinite elements".to_string(),
-            ));
-        }
-        match self.call(&Request::InferBlock {
+    /// Same categories as [`infer`](Self::infer); notably
+    /// `unknown_model`, `bad_request` for chain models, and
+    /// `overloaded` when admission sheds the open.
+    pub fn session_open(&mut self, model: &str) -> Result<SessionOpenReply, GatewayError> {
+        match self.call(&Request::SessionOpen {
             model: model.to_string(),
-            hidden,
         })? {
-            Response::Block(reply) => Ok(reply),
+            Response::SessionOpen(reply) => Ok(reply),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
-            Response::Stats(_) | Response::Infer(_) => Err(GatewayError::Protocol(
-                "server answered a block request with the wrong kind".to_string(),
+            _ => Err(GatewayError::Protocol(
+                "server answered a session_open request with the wrong kind".to_string(),
             )),
         }
     }
 
-    /// Fetches gateway-level metrics (per-shard, cache, admission).
+    /// Advances a decode session by one or more new token columns,
+    /// returning their output hidden states — bit-identical to a full
+    /// causal recompute of the session's whole prefix.
     ///
     /// # Errors
     ///
-    /// Same transport failures as [`infer_codes`](Self::infer_codes).
+    /// Same categories as [`infer`](Self::infer), plus
+    /// `unknown_session` once the session has been closed or evicted
+    /// (reopen and replay the prefix).
+    pub fn decode(
+        &mut self,
+        session: u64,
+        hidden: Matrix<f32>,
+    ) -> Result<DecodeReply, GatewayError> {
+        check_finite(&hidden)?;
+        match self.call(&Request::Decode { session, hidden })? {
+            Response::Decode(reply) => Ok(reply),
+            Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
+            _ => Err(GatewayError::Protocol(
+                "server answered a decode request with the wrong kind".to_string(),
+            )),
+        }
+    }
+
+    /// Closes a decode session, freeing its KV state.
+    ///
+    /// # Errors
+    ///
+    /// `unknown_session` if it does not exist, plus the usual transport
+    /// failures.
+    pub fn session_close(&mut self, session: u64) -> Result<SessionCloseReply, GatewayError> {
+        match self.call(&Request::SessionClose { session })? {
+            Response::SessionClose(reply) => Ok(reply),
+            Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
+            _ => Err(GatewayError::Protocol(
+                "server answered a session_close request with the wrong kind".to_string(),
+            )),
+        }
+    }
+
+    /// Fetches gateway-level metrics (per-shard serving and session
+    /// counters, cache, admission).
+    ///
+    /// # Errors
+    ///
+    /// Same transport failures as [`infer`](Self::infer).
     pub fn stats(&mut self) -> Result<GatewayStats, GatewayError> {
         match self.call(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
-            Response::Infer(_) | Response::Block(_) => Err(GatewayError::Protocol(
+            _ => Err(GatewayError::Protocol(
                 "server answered a stats request with an inference".to_string(),
             )),
         }
     }
+}
+
+/// JSON cannot carry NaN/infinity; reject them before the wire rather
+/// than silently mangling the payload.
+fn check_finite(m: &Matrix<f32>) -> Result<(), GatewayError> {
+    if m.iter().any(|v| !v.is_finite()) {
+        return Err(GatewayError::Protocol(
+            "float payload contains NaN or infinite elements".to_string(),
+        ));
+    }
+    Ok(())
 }

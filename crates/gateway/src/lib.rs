@@ -34,8 +34,13 @@
 //!   [`ServeError::Overloaded`] rejections instead of queueing without
 //!   limit.
 //! * [`GatewayServer`] / [`GatewayClient`] speak a line-delimited JSON
-//!   protocol (`infer` and `stats` verbs) over blocking TCP — std only,
-//!   with the wire encoding provided by the vendored `serde_json`.
+//!   protocol over blocking TCP — std only, with the wire encoding
+//!   provided by the vendored `serde_json`. One typed `infer` verb
+//!   serves both model kinds (the payload carries its domain), and the
+//!   `session_open` / `decode` / `session_close` verbs drive stateful
+//!   KV-cached decode: a session pins to the shard holding its KV
+//!   state, and decode steps bypass the request cache entirely (their
+//!   output depends on session state, not just the payload).
 
 pub mod admission;
 pub mod cache;
@@ -53,8 +58,10 @@ use panacea_serve::ServeError;
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
 pub use cache::{CacheConfig, CacheStats, CachedOutput, RequestCache};
 pub use client::GatewayClient;
+pub use panacea_serve::{Payload, PayloadKind, SessionConfig, SessionStats};
 pub use protocol::{
-    BlockReply, ErrorKind, GatewayStats, InferReply, Payload, Request, Response, ShardStats,
+    DecodeReply, ErrorKind, GatewayStats, InferReply, Request, Response, SessionCloseReply,
+    SessionOpenReply, ShardStats,
 };
 pub use router::ShardRouter;
 pub use server::{Gateway, GatewayConfig, GatewayServer, ServerConfig};

@@ -1,12 +1,19 @@
 //! The gateway wire protocol: line-delimited JSON over TCP.
 //!
 //! Every message is one JSON object on one line. Requests carry a
-//! `verb` — `"infer"` (with either pre-quantized integer `codes` or a
-//! float `input` the server quantizes) or `"stats"`. Responses carry
-//! `ok`; successful inferences return the final integer accumulators
-//! plus the dequantization scale (so clients can verify bit-exactness
-//! against local execution before converting to floats), the shard that
-//! served the request, and whether the response came from the cache.
+//! `verb`:
+//!
+//! * `"infer"` — one **typed** stateless inference. The payload object
+//!   carries its own domain tag (`{"kind": "codes" | "hidden", ...}`),
+//!   mirroring [`panacea_serve::Payload`] exactly; alternatively an
+//!   `input` float matrix asks the server to convert into the model's
+//!   native payload (quantize for chains, pass through for blocks).
+//! * `"session_open"` / `"decode"` / `"session_close"` — the stateful
+//!   decode-session surface: open pins a session (and its KV cache) to
+//!   a shard, decode advances it by one or more token columns, close
+//!   frees it.
+//! * `"stats"` — gateway metrics, including per-shard session counts
+//!   and resident KV bytes.
 //!
 //! Matrices travel as `{"rows": R, "cols": C, "data": [row-major…]}`.
 //! Integer payloads round-trip bit-exactly (JSON numbers are `f64`,
@@ -18,6 +25,7 @@
 
 use std::time::Duration;
 
+use panacea_serve::Payload;
 use panacea_tensor::Matrix;
 use serde_json::{json, Value};
 
@@ -28,43 +36,58 @@ use crate::GatewayError;
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Run a linear-chain model on one activation payload.
+    /// Run one stateless inference on a typed payload: codes for a
+    /// linear chain, hidden states for a transformer-block model (the
+    /// columns form one attention sequence). A payload of the wrong
+    /// kind for the model is rejected by validation — there are no
+    /// per-kind verbs.
     Infer {
         /// Registered model name.
         model: String,
-        /// The activations to run.
+        /// The typed activation payload.
         payload: Payload,
     },
-    /// Run a transformer-block model on one sequence of hidden states.
-    InferBlock {
+    /// Convenience form of `infer`: float activations the server
+    /// converts into the model's native payload (quantizes for chains,
+    /// passes through for block models).
+    InferF32 {
         /// Registered model name.
         model: String,
-        /// Hidden states (`d_model × tokens`); the columns form one
-        /// attention sequence.
+        /// Float activations (`K × N`).
+        input: Matrix<f32>,
+    },
+    /// Open a decode session on a transformer-block model. The session
+    /// starts empty; its prefix arrives through `Decode` steps.
+    SessionOpen {
+        /// Registered model name.
+        model: String,
+    },
+    /// Advance a decode session by one or more new token columns.
+    Decode {
+        /// Session id from `SessionOpen`.
+        session: u64,
+        /// New hidden-state columns (`d_model × t_new`).
         hidden: Matrix<f32>,
+    },
+    /// Close a decode session, freeing its KV state.
+    SessionClose {
+        /// Session id from `SessionOpen`.
+        session: u64,
     },
     /// Fetch gateway-level metrics.
     Stats,
 }
 
-/// The activation payload of an `infer` request.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Payload {
-    /// Already-quantized activation codes (`K × N`), produced with the
-    /// model's calibrated input format.
-    Codes(Matrix<i32>),
-    /// Float activations (`K × N`); the server quantizes them with the
-    /// model's input format before execution.
-    F32(Matrix<f32>),
-}
-
 /// A successful `infer` response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferReply {
-    /// Final-layer integer accumulators (`M × N`), bit-identical to
-    /// running the request directly on a [`panacea_serve::Runtime`].
-    pub acc: Matrix<i32>,
-    /// Scale converting `acc` to floats.
+    /// The typed result, bit-identical to running the request directly
+    /// on a [`panacea_serve::Runtime`]: final integer accumulators
+    /// ([`Payload::Codes`]) for chains, output hidden states
+    /// ([`Payload::Hidden`]) for block models.
+    pub payload: Payload,
+    /// Scale converting code accumulators to floats; `1.0` for hidden
+    /// results.
     pub scale: f64,
     /// Gateway-measured request latency (decode to response, excluding
     /// network time).
@@ -76,36 +99,64 @@ pub struct InferReply {
 }
 
 impl InferReply {
-    /// Dequantizes the accumulators into floats.
+    /// The float view of the result: dequantized accumulators for
+    /// chains, the hidden states themselves for block models.
     pub fn to_f32(&self) -> Matrix<f32> {
-        self.acc.map(|&v| (f64::from(v) * self.scale) as f32)
+        match &self.payload {
+            Payload::Codes(acc) => acc.map(|&v| (f64::from(v) * self.scale) as f32),
+            Payload::Hidden(h) => h.clone(),
+        }
     }
 }
 
-/// A successful `infer_block` response.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BlockReply {
-    /// Output hidden states (`d_model × tokens`), bit-identical to
-    /// running the request directly on the prepared `QuantizedBlock`
-    /// stack (finite f32 values survive the JSON wire exactly).
-    pub hidden: Matrix<f32>,
-    /// Gateway-measured request latency (decode to response, excluding
-    /// network time).
-    pub latency: Duration,
-    /// The shard that served (or would have served) the request.
+/// A successful `session_open` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionOpenReply {
+    /// The process-unique session id to decode against.
+    pub session: u64,
+    /// The shard holding the session's KV state — every decode step
+    /// for this session executes there (session affinity).
     pub shard: usize,
-    /// Whether the response was replayed from the request cache.
-    pub cache_hit: bool,
+}
+
+/// A successful `decode` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeReply {
+    /// Output hidden states for the new tokens (`d_model × t_new`),
+    /// bit-identical to a full causal recompute of the session's whole
+    /// prefix.
+    pub hidden: Matrix<f32>,
+    /// Total tokens resident in the session after this step.
+    pub tokens: usize,
+    /// The shard holding the session.
+    pub shard: usize,
+    /// Gateway-measured step latency.
+    pub latency: Duration,
+}
+
+/// A successful `session_close` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionCloseReply {
+    /// The closed session's id.
+    pub session: u64,
+    /// Tokens the session had decoded when it closed.
+    pub tokens: usize,
 }
 
 /// Machine-readable category of an error response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKind {
-    /// Admission control shed the request; retry after backing off.
+    /// Admission control shed the request (or the KV byte budget is
+    /// exhausted); retry after backing off.
     Overloaded,
     /// The model name is not registered on this gateway.
     UnknownModel,
-    /// The request itself is invalid (shape, code range, empty payload).
+    /// The addressed decode session does not exist — never opened,
+    /// closed, or evicted (idle timeout / byte budget). Open a fresh
+    /// session and replay the prefix.
+    UnknownSession,
+    /// The request itself is invalid (payload kind, shape, code range,
+    /// empty payload).
     BadRequest,
     /// The gateway is shutting down.
     ShuttingDown,
@@ -118,6 +169,7 @@ impl ErrorKind {
         match self {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::UnknownModel => "unknown_model",
+            ErrorKind::UnknownSession => "unknown_session",
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Internal => "internal",
@@ -128,6 +180,7 @@ impl ErrorKind {
         match s {
             "overloaded" => ErrorKind::Overloaded,
             "unknown_model" => ErrorKind::UnknownModel,
+            "unknown_session" => ErrorKind::UnknownSession,
             "bad_request" => ErrorKind::BadRequest,
             "shutting_down" => ErrorKind::ShuttingDown,
             _ => ErrorKind::Internal,
@@ -165,6 +218,14 @@ pub struct ShardStats {
     pub queued_cols: u64,
     /// Columns claimed by workers but not yet answered.
     pub in_flight_cols: u64,
+    /// Decode sessions currently pinned to this shard.
+    pub open_sessions: u64,
+    /// KV-cache bytes resident for those sessions.
+    pub kv_bytes: u64,
+    /// Decode steps this shard has executed.
+    pub decode_steps: u64,
+    /// Tokens this shard has decoded across all sessions.
+    pub decode_tokens: u64,
 }
 
 /// Gateway-level metrics bundle returned by the `stats` verb.
@@ -181,10 +242,14 @@ pub struct GatewayStats {
 /// A decoded server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// Successful inference.
+    /// Successful typed inference.
     Infer(InferReply),
-    /// Successful transformer-block inference.
-    Block(BlockReply),
+    /// Decode session opened.
+    SessionOpen(SessionOpenReply),
+    /// Decode step served.
+    Decode(DecodeReply),
+    /// Decode session closed.
+    SessionClose(SessionCloseReply),
     /// Metrics snapshot.
     Stats(GatewayStats),
     /// The request failed; `kind` says how, `message` says why.
@@ -196,7 +261,7 @@ pub enum Response {
     },
 }
 
-fn matrix_i32_to_value(m: &Matrix<i32>) -> Value {
+fn matrix_f32_to_value(m: &Matrix<f32>) -> Value {
     json!({
         "rows": m.rows(),
         "cols": m.cols(),
@@ -204,12 +269,29 @@ fn matrix_i32_to_value(m: &Matrix<i32>) -> Value {
     })
 }
 
-fn matrix_f32_to_value(m: &Matrix<f32>) -> Value {
-    json!({
-        "rows": m.rows(),
-        "cols": m.cols(),
-        "data": Value::Array(m.iter().map(|&v| Value::from(v)).collect()),
-    })
+fn payload_to_value(p: &Payload) -> Value {
+    match p {
+        Payload::Codes(m) => json!({
+            "kind": "codes",
+            "rows": m.rows(),
+            "cols": m.cols(),
+            "data": Value::Array(m.iter().map(|&v| Value::from(v)).collect()),
+        }),
+        Payload::Hidden(m) => json!({
+            "kind": "hidden",
+            "rows": m.rows(),
+            "cols": m.cols(),
+            "data": Value::Array(m.iter().map(|&v| Value::from(v)).collect()),
+        }),
+    }
+}
+
+fn value_to_payload(v: &Value) -> Result<Payload, GatewayError> {
+    match str_field(v, "kind")? {
+        "codes" => Ok(Payload::Codes(value_to_matrix_i32(v)?)),
+        "hidden" => Ok(Payload::Hidden(value_to_matrix_f32(v)?)),
+        other => Err(bad(format!("unknown payload kind {other:?}"))),
+    }
 }
 
 fn bad(msg: impl Into<String>) -> GatewayError {
@@ -305,24 +387,29 @@ fn value_to_matrix_f32(v: &Value) -> Result<Matrix<f32>, GatewayError> {
 /// Serializes a request to its single-line wire form (no newline).
 pub fn encode_request(req: &Request) -> String {
     let value = match req {
-        Request::Infer { model, payload } => {
-            let (key, matrix) = match payload {
-                Payload::Codes(codes) => ("codes", matrix_i32_to_value(codes)),
-                Payload::F32(input) => ("input", matrix_f32_to_value(input)),
-            };
-            let mut map = serde_json::Map::new();
-            map.insert("verb".to_string(), Value::from("infer"));
-            map.insert("model".to_string(), Value::from(model.clone()));
-            map.insert(key.to_string(), matrix);
-            Value::Object(map)
-        }
-        Request::InferBlock { model, hidden } => {
-            let mut map = serde_json::Map::new();
-            map.insert("verb".to_string(), Value::from("infer_block"));
-            map.insert("model".to_string(), Value::from(model.clone()));
-            map.insert("hidden".to_string(), matrix_f32_to_value(hidden));
-            Value::Object(map)
-        }
+        Request::Infer { model, payload } => json!({
+            "verb": "infer",
+            "model": model.clone(),
+            "payload": payload_to_value(payload),
+        }),
+        Request::InferF32 { model, input } => json!({
+            "verb": "infer",
+            "model": model.clone(),
+            "input": matrix_f32_to_value(input),
+        }),
+        Request::SessionOpen { model } => json!({
+            "verb": "session_open",
+            "model": model.clone(),
+        }),
+        Request::Decode { session, hidden } => json!({
+            "verb": "decode",
+            "session": *session,
+            "hidden": matrix_f32_to_value(hidden),
+        }),
+        Request::SessionClose { session } => json!({
+            "verb": "session_close",
+            "session": *session,
+        }),
         Request::Stats => json!({ "verb": "stats" }),
     };
     serde_json::to_string(&value).expect("shim serializer never fails")
@@ -339,19 +426,28 @@ pub fn decode_request(line: &str) -> Result<Request, GatewayError> {
     match str_field(&v, "verb")? {
         "infer" => {
             let model = str_field(&v, "model")?.to_string();
-            let payload = match (v.get("codes"), v.get("input")) {
-                (Some(codes), None) => Payload::Codes(value_to_matrix_i32(codes)?),
-                (None, Some(input)) => Payload::F32(value_to_matrix_f32(input)?),
-                (Some(_), Some(_)) => {
-                    return Err(bad("request carries both codes and input"));
-                }
-                (None, None) => return Err(bad("request carries neither codes nor input")),
-            };
-            Ok(Request::Infer { model, payload })
+            match (v.get("payload"), v.get("input")) {
+                (Some(payload), None) => Ok(Request::Infer {
+                    model,
+                    payload: value_to_payload(payload)?,
+                }),
+                (None, Some(input)) => Ok(Request::InferF32 {
+                    model,
+                    input: value_to_matrix_f32(input)?,
+                }),
+                (Some(_), Some(_)) => Err(bad("request carries both payload and input")),
+                (None, None) => Err(bad("request carries neither payload nor input")),
+            }
         }
-        "infer_block" => Ok(Request::InferBlock {
+        "session_open" => Ok(Request::SessionOpen {
             model: str_field(&v, "model")?.to_string(),
+        }),
+        "decode" => Ok(Request::Decode {
+            session: u64_field(&v, "session")?,
             hidden: value_to_matrix_f32(field(&v, "hidden")?)?,
+        }),
+        "session_close" => Ok(Request::SessionClose {
+            session: u64_field(&v, "session")?,
         }),
         "stats" => Ok(Request::Stats),
         other => Err(bad(format!("unknown verb {other:?}"))),
@@ -369,6 +465,10 @@ fn shard_stats_to_value(s: &ShardStats) -> Value {
         "columns_per_second": s.columns_per_second,
         "queued_cols": s.queued_cols,
         "in_flight_cols": s.in_flight_cols,
+        "open_sessions": s.open_sessions,
+        "kv_bytes": s.kv_bytes,
+        "decode_steps": s.decode_steps,
+        "decode_tokens": s.decode_tokens,
     })
 }
 
@@ -383,6 +483,10 @@ fn value_to_shard_stats(v: &Value) -> Result<ShardStats, GatewayError> {
         columns_per_second: f64_field(v, "columns_per_second")?,
         queued_cols: u64_field(v, "queued_cols")?,
         in_flight_cols: u64_field(v, "in_flight_cols")?,
+        open_sessions: u64_field(v, "open_sessions")?,
+        kv_bytes: u64_field(v, "kv_bytes")?,
+        decode_steps: u64_field(v, "decode_steps")?,
+        decode_tokens: u64_field(v, "decode_tokens")?,
     })
 }
 
@@ -438,19 +542,31 @@ pub fn encode_response(resp: &Response) -> String {
         Response::Infer(reply) => json!({
             "ok": true,
             "kind": "infer",
-            "acc": matrix_i32_to_value(&reply.acc),
+            "payload": payload_to_value(&reply.payload),
             "scale": reply.scale,
             "latency_us": reply.latency.as_micros() as u64,
             "shard": reply.shard,
             "cache_hit": reply.cache_hit,
         }),
-        Response::Block(reply) => json!({
+        Response::SessionOpen(reply) => json!({
             "ok": true,
-            "kind": "infer_block",
-            "hidden": matrix_f32_to_value(&reply.hidden),
-            "latency_us": reply.latency.as_micros() as u64,
+            "kind": "session_open",
+            "session": reply.session,
             "shard": reply.shard,
-            "cache_hit": reply.cache_hit,
+        }),
+        Response::Decode(reply) => json!({
+            "ok": true,
+            "kind": "decode",
+            "hidden": matrix_f32_to_value(&reply.hidden),
+            "tokens": reply.tokens,
+            "shard": reply.shard,
+            "latency_us": reply.latency.as_micros() as u64,
+        }),
+        Response::SessionClose(reply) => json!({
+            "ok": true,
+            "kind": "session_close",
+            "session": reply.session,
+            "tokens": reply.tokens,
         }),
         Response::Stats(stats) => stats_to_value(stats),
         Response::Error { kind, message } => json!({
@@ -481,7 +597,7 @@ pub fn decode_response(line: &str) -> Result<Response, GatewayError> {
     }
     match str_field(&v, "kind")? {
         "infer" => Ok(Response::Infer(InferReply {
-            acc: value_to_matrix_i32(field(&v, "acc")?)?,
+            payload: value_to_payload(field(&v, "payload")?)?,
             scale: f64_field(&v, "scale")?,
             latency: Duration::from_micros(u64_field(&v, "latency_us")?),
             shard: usize_field(&v, "shard")?,
@@ -489,13 +605,19 @@ pub fn decode_response(line: &str) -> Result<Response, GatewayError> {
                 .as_bool()
                 .ok_or_else(|| bad("field \"cache_hit\" is not a boolean"))?,
         })),
-        "infer_block" => Ok(Response::Block(BlockReply {
-            hidden: value_to_matrix_f32(field(&v, "hidden")?)?,
-            latency: Duration::from_micros(u64_field(&v, "latency_us")?),
+        "session_open" => Ok(Response::SessionOpen(SessionOpenReply {
+            session: u64_field(&v, "session")?,
             shard: usize_field(&v, "shard")?,
-            cache_hit: field(&v, "cache_hit")?
-                .as_bool()
-                .ok_or_else(|| bad("field \"cache_hit\" is not a boolean"))?,
+        })),
+        "decode" => Ok(Response::Decode(DecodeReply {
+            hidden: value_to_matrix_f32(field(&v, "hidden")?)?,
+            tokens: usize_field(&v, "tokens")?,
+            shard: usize_field(&v, "shard")?,
+            latency: Duration::from_micros(u64_field(&v, "latency_us")?),
+        })),
+        "session_close" => Ok(Response::SessionClose(SessionCloseReply {
+            session: u64_field(&v, "session")?,
+            tokens: usize_field(&v, "tokens")?,
         })),
         "stats" => Ok(Response::Stats(value_to_stats(&v)?)),
         other => Err(bad(format!("unknown response kind {other:?}"))),
@@ -522,29 +644,31 @@ mod tests {
     }
 
     #[test]
-    fn infer_request_round_trips_floats() {
+    fn infer_f32_request_round_trips() {
         let input = Matrix::from_fn(2, 2, |r, c| 0.25 * (r as f32) - 1.5 * (c as f32));
-        let req = Request::Infer {
+        let req = Request::InferF32 {
             model: "m".to_string(),
-            payload: Payload::F32(input),
+            input,
         };
         assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
     }
 
     #[test]
-    fn block_request_round_trips_floats_bit_exactly() {
+    fn hidden_payload_round_trips_floats_bit_exactly() {
         // Awkward but finite values: subnormals, negative zero, and
         // shortest-round-trip-sensitive fractions must all survive.
         let hidden =
             Matrix::from_vec(2, 2, vec![0.1f32, -0.0, f32::MIN_POSITIVE, -1.5e-38]).unwrap();
-        let req = Request::InferBlock {
+        let req = Request::Infer {
             model: "decoder".to_string(),
-            hidden: hidden.clone(),
+            payload: Payload::Hidden(hidden.clone()),
         };
-        let Request::InferBlock { hidden: back, .. } =
-            decode_request(&encode_request(&req)).unwrap()
+        let Request::Infer {
+            payload: Payload::Hidden(back),
+            ..
+        } = decode_request(&encode_request(&req)).unwrap()
         else {
-            panic!("wrong verb");
+            panic!("wrong verb or payload kind");
         };
         for (a, b) in hidden.iter().zip(back.iter()) {
             assert_eq!(a.to_bits(), b.to_bits(), "f32 mangled on the wire");
@@ -552,19 +676,52 @@ mod tests {
     }
 
     #[test]
-    fn block_response_round_trips() {
-        let resp = Response::Block(BlockReply {
-            hidden: Matrix::from_vec(1, 3, vec![0.25, -3.5, 1e-20]).unwrap(),
-            latency: Duration::from_micros(99),
-            shard: 1,
-            cache_hit: false,
-        });
-        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    fn session_requests_round_trip() {
+        for req in [
+            Request::SessionOpen {
+                model: "decoder".to_string(),
+            },
+            Request::Decode {
+                // A large but f64-exact id: JSON numbers are f64, and
+                // session ids are sequential from 1, so every real id
+                // is exactly representable on the wire.
+                session: 1u64 << 52,
+                hidden: Matrix::from_vec(2, 1, vec![0.5f32, -1.25]).unwrap(),
+            },
+            Request::SessionClose { session: 7 },
+        ] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
     }
 
     #[test]
-    fn block_request_rejects_non_finite_hidden_states() {
-        let line = "{\"verb\":\"infer_block\",\"model\":\"m\",\"hidden\":{\"rows\":1,\"cols\":1,\"data\":[1e999]}}";
+    fn session_responses_round_trip() {
+        for resp in [
+            Response::SessionOpen(SessionOpenReply {
+                session: 42,
+                shard: 1,
+            }),
+            Response::Decode(DecodeReply {
+                hidden: Matrix::from_vec(1, 2, vec![0.25f32, -3.5]).unwrap(),
+                tokens: 17,
+                shard: 0,
+                latency: Duration::from_micros(88),
+            }),
+            Response::SessionClose(SessionCloseReply {
+                session: 42,
+                tokens: 17,
+            }),
+        ] {
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn hidden_requests_reject_non_finite_elements() {
+        let line = "{\"verb\":\"infer\",\"model\":\"m\",\"payload\":{\"kind\":\"hidden\",\"rows\":1,\"cols\":1,\"data\":[1e999]}}";
+        assert!(decode_request(line).is_err());
+        let line =
+            "{\"verb\":\"decode\",\"session\":1,\"hidden\":{\"rows\":1,\"cols\":1,\"data\":[1e999]}}";
         assert!(decode_request(line).is_err());
     }
 
@@ -577,13 +734,21 @@ mod tests {
     }
 
     #[test]
-    fn infer_response_round_trips() {
+    fn infer_response_round_trips_both_kinds() {
         let resp = Response::Infer(InferReply {
-            acc: codes(),
+            payload: Payload::Codes(codes()),
             scale: 1.25e-3,
             latency: Duration::from_micros(417),
             shard: 1,
             cache_hit: true,
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        let resp = Response::Infer(InferReply {
+            payload: Payload::Hidden(Matrix::from_vec(1, 3, vec![0.25, -3.5, 1e-20]).unwrap()),
+            scale: 1.0,
+            latency: Duration::from_micros(99),
+            shard: 0,
+            cache_hit: false,
         });
         assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
     }
@@ -602,6 +767,10 @@ mod tests {
                     columns_per_second: 1234.5,
                     queued_cols: 4,
                     in_flight_cols: 8,
+                    open_sessions: 3,
+                    kv_bytes: 12288,
+                    decode_steps: 9,
+                    decode_tokens: 21,
                 },
                 ShardStats::default(),
             ],
@@ -623,11 +792,13 @@ mod tests {
 
     #[test]
     fn error_response_round_trips_kind() {
-        let resp = Response::Error {
-            kind: ErrorKind::Overloaded,
-            message: "in-flight limit 8 reached".to_string(),
-        };
-        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        for kind in [ErrorKind::Overloaded, ErrorKind::UnknownSession] {
+            let resp = Response::Error {
+                kind,
+                message: "nope".to_string(),
+            };
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
     }
 
     #[test]
@@ -638,11 +809,16 @@ mod tests {
             "{}",
             "{\"verb\":\"launch\"}",
             "{\"verb\":\"infer\",\"model\":\"m\"}",
-            "{\"verb\":\"infer\",\"model\":\"m\",\"codes\":{\"rows\":2,\"cols\":2,\"data\":[1]}}",
-            "{\"verb\":\"infer\",\"model\":\"m\",\"codes\":{\"rows\":1,\"cols\":1,\"data\":[1.5]}}",
+            "{\"verb\":\"infer\",\"model\":\"m\",\"payload\":{\"rows\":1,\"cols\":1,\"data\":[1]}}",
+            "{\"verb\":\"infer\",\"model\":\"m\",\"payload\":{\"kind\":\"zap\",\"rows\":1,\"cols\":1,\"data\":[1]}}",
+            "{\"verb\":\"infer\",\"model\":\"m\",\"payload\":{\"kind\":\"codes\",\"rows\":2,\"cols\":2,\"data\":[1]}}",
+            "{\"verb\":\"infer\",\"model\":\"m\",\"payload\":{\"kind\":\"codes\",\"rows\":1,\"cols\":1,\"data\":[1.5]}}",
+            "{\"verb\":\"decode\",\"hidden\":{\"rows\":1,\"cols\":1,\"data\":[1]}}",
+            "{\"verb\":\"session_open\"}",
+            "{\"verb\":\"session_close\"}",
             // rows*cols overflows usize: must be a clean protocol error,
             // not a multiplication overflow inside Matrix::from_vec.
-            "{\"verb\":\"infer\",\"model\":\"m\",\"codes\":{\"rows\":4294967296,\"cols\":4294967296,\"data\":[]}}",
+            "{\"verb\":\"infer\",\"model\":\"m\",\"payload\":{\"kind\":\"codes\",\"rows\":4294967296,\"cols\":4294967296,\"data\":[]}}",
         ] {
             assert!(decode_request(line).is_err(), "accepted {line:?}");
         }
@@ -679,14 +855,23 @@ mod tests {
     }
 
     #[test]
-    fn reply_to_f32_applies_scale() {
+    fn reply_to_f32_applies_scale_only_to_codes() {
         let reply = InferReply {
-            acc: Matrix::from_vec(1, 2, vec![4, -8]).unwrap(),
+            payload: Payload::Codes(Matrix::from_vec(1, 2, vec![4, -8]).unwrap()),
             scale: 0.5,
             latency: Duration::ZERO,
             shard: 0,
             cache_hit: false,
         };
         assert_eq!(reply.to_f32().as_slice(), &[2.0, -4.0]);
+        let hidden = Matrix::from_vec(1, 2, vec![1.5f32, -0.25]).unwrap();
+        let reply = InferReply {
+            payload: Payload::Hidden(hidden.clone()),
+            scale: 0.5, // ignored for hidden results
+            latency: Duration::ZERO,
+            shard: 0,
+            cache_hit: false,
+        };
+        assert_eq!(reply.to_f32(), hidden);
     }
 }

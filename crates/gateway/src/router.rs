@@ -15,10 +15,9 @@ use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::Arc;
 
 use panacea_serve::{
-    InferenceOutput, ModelRegistry, Pending, PreparedModel, QueueDepth, Runtime, RuntimeConfig,
-    ServeError,
+    InferenceOutput, ModelRegistry, Payload, Pending, PreparedModel, QueueDepth, Runtime,
+    RuntimeConfig, ServeError,
 };
-use panacea_tensor::Matrix;
 
 use crate::protocol::ShardStats;
 
@@ -129,18 +128,22 @@ impl ShardRouter {
     /// # Errors
     ///
     /// Same as [`Runtime::submit`].
-    pub fn submit(&self, model: &str, codes: Matrix<i32>) -> Result<(Pending, usize), ServeError> {
+    pub fn submit(
+        &self,
+        model: &str,
+        payload: impl Into<Payload>,
+    ) -> Result<(Pending, usize), ServeError> {
         let resolved = self.model(model).ok_or_else(|| ServeError::UnknownModel {
             model: model.to_string(),
         })?;
         let shard = self.route(model);
-        let pending = self.shards[shard].submit_to(resolved, codes)?;
+        let pending = self.shards[shard].submit_to(resolved, payload)?;
         Ok((pending, shard))
     }
 
     /// [`submit`](Self::submit) onto an explicit shard with an
     /// already-resolved model — the gateway uses this to keep the shard
-    /// decision and the cache probe on the same codes.
+    /// decision and the cache probe on the same payload.
     ///
     /// # Errors
     ///
@@ -153,9 +156,9 @@ impl ShardRouter {
         &self,
         shard: usize,
         model: Arc<PreparedModel>,
-        codes: Matrix<i32>,
+        payload: impl Into<Payload>,
     ) -> Result<Pending, ServeError> {
-        self.shards[shard].submit_to(model, codes)
+        self.shards[shard].submit_to(model, payload)
     }
 
     /// Routes, enqueues, and blocks for the answer.
@@ -166,9 +169,9 @@ impl ShardRouter {
     pub fn infer(
         &self,
         model: &str,
-        codes: Matrix<i32>,
+        payload: impl Into<Payload>,
     ) -> Result<(InferenceOutput, usize), ServeError> {
-        let (pending, shard) = self.submit(model, codes)?;
+        let (pending, shard) = self.submit(model, payload)?;
         Ok((pending.wait()?, shard))
     }
 
@@ -194,6 +197,9 @@ impl ShardRouter {
                     columns_per_second: m.columns_per_second(),
                     queued_cols: q.queued_cols as u64,
                     in_flight_cols: q.in_flight_cols as u64,
+                    // Session counters are owned by the gateway's
+                    // per-shard SessionManagers and merged there.
+                    ..ShardStats::default()
                 }
             })
             .collect()
@@ -205,6 +211,7 @@ mod tests {
     use super::*;
     use crate::testutil::{codes, models};
     use panacea_serve::BatchPolicy;
+    use panacea_tensor::Matrix;
     use std::time::Duration;
 
     #[test]
@@ -282,7 +289,7 @@ mod tests {
             let x = codes(&model, 2, salt);
             let (expect, _) = model.forward_codes(&x);
             let (out, shard) = router.infer(name, x).expect("served");
-            assert_eq!(out.acc, expect);
+            assert_eq!(out.payload, expect.into());
             assert!(shard < router.num_shards());
         }
     }
@@ -305,6 +312,6 @@ mod tests {
         let x = codes(&model, 1, 0);
         let (out, shard) = router.infer("m", x).expect("served");
         assert_eq!(shard, 0);
-        assert_eq!(out.acc.rows(), 8);
+        assert_eq!(out.payload.rows(), 8);
     }
 }

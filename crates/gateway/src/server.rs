@@ -17,14 +17,16 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use panacea_serve::{f32_bits_decode, f32_bits_encode, PreparedModel, RuntimeConfig, ServeError};
+use panacea_serve::{
+    Payload, PreparedModel, RuntimeConfig, ServeError, SessionConfig, SessionManager,
+};
 use panacea_tensor::Matrix;
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::cache::{CacheConfig, CachedOutput, RequestCache};
 use crate::protocol::{
-    decode_request, encode_response, BlockReply, ErrorKind, GatewayStats, InferReply, Payload,
-    Request, Response,
+    decode_request, encode_response, DecodeReply, ErrorKind, GatewayStats, InferReply, Request,
+    Response, SessionCloseReply, SessionOpenReply,
 };
 use crate::router::ShardRouter;
 
@@ -39,6 +41,8 @@ pub struct GatewayConfig {
     pub cache: CacheConfig,
     /// Admission bounds.
     pub admission: AdmissionConfig,
+    /// Per-shard decode-session bounds (idle timeout, KV byte budget).
+    pub session: SessionConfig,
 }
 
 impl Default for GatewayConfig {
@@ -48,16 +52,21 @@ impl Default for GatewayConfig {
             runtime: RuntimeConfig::default(),
             cache: CacheConfig::default(),
             admission: AdmissionConfig::default(),
+            session: SessionConfig::default(),
         }
     }
 }
 
-/// The transport-free gateway core: cache → admission → shard router.
+/// The transport-free gateway core: cache → admission → shard router,
+/// plus one [`SessionManager`] per shard holding decode-session KV
+/// state (a session is *pinned* to the shard that opened it — its
+/// state lives there, so every step routes there).
 #[derive(Debug)]
 pub struct Gateway {
     router: ShardRouter,
     cache: RequestCache,
     admission: AdmissionController,
+    sessions: Vec<SessionManager>,
 }
 
 impl Gateway {
@@ -68,10 +77,15 @@ impl Gateway {
 
     /// [`new`](Self::new) for already-shared model handles.
     pub fn from_shared(models: Vec<Arc<PreparedModel>>, config: GatewayConfig) -> Self {
+        let router = ShardRouter::from_shared(models, config.shards, config.runtime);
+        let sessions = (0..router.num_shards())
+            .map(|_| SessionManager::new(config.session))
+            .collect();
         Gateway {
-            router: ShardRouter::from_shared(models, config.shards, config.runtime),
+            router,
             cache: RequestCache::new(config.cache),
             admission: AdmissionController::new(config.admission),
+            sessions,
         }
     }
 
@@ -90,25 +104,31 @@ impl Gateway {
         &self.admission
     }
 
-    /// Runs one linear-chain inference through cache, admission, and
-    /// routing.
+    /// One shard's session manager (session counts, KV footprint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.router().num_shards()`.
+    pub fn sessions(&self, shard: usize) -> &SessionManager {
+        &self.sessions[shard]
+    }
+
+    /// Runs one stateless typed inference through cache, admission, and
+    /// routing: codes for a linear chain, hidden states for a
+    /// transformer-block model. There is no per-kind entry point — a
+    /// payload of the wrong kind for the model fails validation with
+    /// [`ServeError::PayloadKindMismatch`].
     ///
     /// # Errors
     ///
     /// Everything [`panacea_serve::Runtime::infer`] surfaces, plus
-    /// [`ServeError::Overloaded`] from admission control and
-    /// [`ServeError::ModelKindMismatch`] when `model` serves transformer
-    /// blocks (use [`infer_block`](Self::infer_block)).
+    /// [`ServeError::Overloaded`] from admission control.
     pub fn infer(&self, model: &str, payload: Payload) -> Result<InferReply, ServeError> {
         let started = Instant::now();
-        let resolved = self.resolve(model, false)?;
-        let codes = match payload {
-            Payload::Codes(codes) => codes,
-            Payload::F32(input) => resolved.quantize(&input),
-        };
-        let (acc, scale, shard, cache_hit) = self.execute(resolved, codes)?;
+        let resolved = self.resolve(model)?;
+        let (out, scale, shard, cache_hit) = self.execute(resolved, payload)?;
         Ok(InferReply {
-            acc,
+            payload: out,
             scale,
             latency: started.elapsed(),
             shard,
@@ -116,46 +136,118 @@ impl Gateway {
         })
     }
 
-    /// Runs one transformer-block inference: hidden states in, hidden
-    /// states out, with the request's columns forming one attention
-    /// sequence. The hidden states ride the queue and cache as f32 bit
-    /// patterns, so routing, caching (bit-exact replay), and admission
-    /// behave exactly as for code-domain requests.
+    /// [`infer`](Self::infer) on float activations: the server converts
+    /// them into the model's native payload (quantizes for chains,
+    /// passes through for block models) before the shared request path.
     ///
     /// # Errors
     ///
-    /// Same as [`infer`](Self::infer), with
-    /// [`ServeError::ModelKindMismatch`] when `model` is a linear chain
-    /// and [`ServeError::NonFiniteInput`] for NaN/infinite elements.
-    pub fn infer_block(&self, model: &str, hidden: Matrix<f32>) -> Result<BlockReply, ServeError> {
+    /// Same as [`infer`](Self::infer).
+    pub fn infer_f32(&self, model: &str, input: Matrix<f32>) -> Result<InferReply, ServeError> {
         let started = Instant::now();
-        let resolved = self.resolve(model, true)?;
-        let bits = f32_bits_encode(&hidden);
-        let (out_bits, _scale, shard, cache_hit) = self.execute(resolved, bits)?;
-        Ok(BlockReply {
-            hidden: f32_bits_decode(&out_bits),
+        let resolved = self.resolve(model)?;
+        let payload = resolved.quantize(&input);
+        let (out, scale, shard, cache_hit) = self.execute(resolved, payload)?;
+        Ok(InferReply {
+            payload: out,
+            scale,
             latency: started.elapsed(),
             shard,
             cache_hit,
         })
     }
 
-    /// Resolves a model name and checks its kind against the entry point
-    /// the caller came through.
-    fn resolve(&self, model: &str, want_block: bool) -> Result<Arc<PreparedModel>, ServeError> {
-        let resolved = self
-            .router
+    /// Opens a decode session on a transformer-block model, pinning it
+    /// to the shard whose session manager currently holds the least KV
+    /// state (ties broken by open-session count, then shard index).
+    /// Stateless routing balances by runtime queue depth, but decode
+    /// steps never enter the runtime queue — placing by session load is
+    /// what actually spreads KV memory, so N shards really do give N ×
+    /// `max_kv_bytes` of aggregate session capacity. The open counts
+    /// against the admission controller's in-flight bound, so a
+    /// session-open storm is shed like any other burst.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`], [`ServeError::PayloadKindMismatch`]
+    /// for linear chains, and [`ServeError::Overloaded`] when admission
+    /// sheds the open.
+    pub fn session_open(&self, model: &str) -> Result<SessionOpenReply, ServeError> {
+        let resolved = self.resolve(model)?;
+        let permit = self.admission.try_admit()?;
+        let shard = self
+            .sessions
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, mgr)| {
+                let s = mgr.stats();
+                (s.kv_bytes, s.open_sessions, *i)
+            })
+            .map(|(i, _)| i)
+            .expect("gateway always has at least one shard");
+        let session = self.sessions[shard].open(resolved)?;
+        drop(permit);
+        Ok(SessionOpenReply { session, shard })
+    }
+
+    /// Advances a decode session by one or more new token columns,
+    /// executing on the shard that holds its KV state (session
+    /// affinity). Decode steps take an admission permit like any other
+    /// request but **never** touch the [`RequestCache`]: a step's
+    /// output depends on the session's KV prefix, so replaying a cached
+    /// step would corrupt session state — the session path is
+    /// structurally cache-free (see the regression test).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for closed/evicted sessions,
+    /// [`ServeError::Overloaded`] from admission,
+    /// [`ServeError::KvBudgetExceeded`] when the step cannot fit the
+    /// shard's KV budget, and the input-contract errors of
+    /// [`panacea_serve::SessionManager::step`].
+    pub fn decode(&self, session: u64, hidden: &Matrix<f32>) -> Result<DecodeReply, ServeError> {
+        let started = Instant::now();
+        let permit = self.admission.try_admit()?;
+        let shard = self
+            .find_session(session)
+            .ok_or(ServeError::UnknownSession { session })?;
+        let (out, tokens, _wl) = self.sessions[shard].step(session, hidden)?;
+        drop(permit);
+        Ok(DecodeReply {
+            hidden: out,
+            tokens,
+            shard,
+            latency: started.elapsed(),
+        })
+    }
+
+    /// Closes a decode session, freeing its KV state on its shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] if it does not exist (never
+    /// opened, already closed, or evicted).
+    pub fn session_close(&self, session: u64) -> Result<SessionCloseReply, ServeError> {
+        let shard = self
+            .find_session(session)
+            .ok_or(ServeError::UnknownSession { session })?;
+        let tokens = self.sessions[shard].close(session)?;
+        Ok(SessionCloseReply { session, tokens })
+    }
+
+    /// The shard holding a session's KV state. Session ids are
+    /// process-unique, so at most one manager answers.
+    fn find_session(&self, session: u64) -> Option<usize> {
+        (0..self.sessions.len()).find(|&s| self.sessions[s].contains(session))
+    }
+
+    /// Resolves a model name against the shared registry.
+    fn resolve(&self, model: &str) -> Result<Arc<PreparedModel>, ServeError> {
+        self.router
             .model(model)
             .ok_or_else(|| ServeError::UnknownModel {
                 model: model.to_string(),
-            })?;
-        if resolved.is_block() != want_block {
-            return Err(ServeError::ModelKindMismatch {
-                model: model.to_string(),
-                model_is_block: resolved.is_block(),
-            });
-        }
-        Ok(resolved)
+            })
     }
 
     /// The shared request path behind both verbs: cache probe →
@@ -165,58 +257,67 @@ impl Gateway {
     fn execute(
         &self,
         resolved: Arc<PreparedModel>,
-        codes: Matrix<i32>,
-    ) -> Result<(Matrix<i32>, f64, usize, bool), ServeError> {
+        payload: Payload,
+    ) -> Result<(Payload, f64, usize, bool), ServeError> {
         // Validation happens exactly once, inside the runtime's submit
-        // path (`validate` is a full scan of the codes — scanning here
-        // too would double the cost on every uncached request). The
-        // cache-hit fast path needs no scan of its own: entries are only
-        // written after a validated run, and hits require bit-exact key
-        // equality, so invalid codes can never match one.
+        // path (`validate` is a full scan of the payload — scanning
+        // here too would double the cost on every uncached request).
+        // The cache-hit fast path needs no scan of its own: entries are
+        // only written after a validated run, and hits require bit-exact
+        // key equality, so an invalid payload can never match one.
         let shard = self.router.route(resolved.name());
         // A disabled cache — or an entry the size bound would reject
-        // anyway (its accumulator dims are known up front) — skips the
-        // whole probe-and-insert dance, including the codes/acc clones
-        // and the content hash, which are full passes over the payload.
-        let entry_cells = codes.rows() * codes.cols() + resolved.out_features() * codes.cols();
+        // anyway (its result dims are known up front) — skips the whole
+        // probe-and-insert dance, including the payload clones and the
+        // content hash, which are full passes over the payload.
+        let entry_cells = payload.cells() + resolved.out_features() * payload.cols();
         let cached = self.cache.enabled() && self.cache.admits(entry_cells);
         // Cache entries key on the resolved instance, not the name: if
         // the name is later re-bound to a new preparation, its old
         // entries can never answer for the replacement.
         let resolved_id = resolved.instance_id();
         if cached {
-            if let Some(hit) = self.cache.get(resolved_id, &codes) {
-                return Ok((hit.acc, hit.scale, shard, true));
+            if let Some(hit) = self.cache.get(resolved_id, &payload) {
+                return Ok((hit.payload, hit.scale, shard, true));
             }
         }
         let permit = self.admission.try_admit()?;
-        let (pending, kept_codes) = if cached {
+        let (pending, kept_payload) = if cached {
             let pending =
                 self.router
-                    .submit_to_shard(shard, Arc::clone(&resolved), codes.clone())?;
-            (pending, Some(codes))
+                    .submit_to_shard(shard, Arc::clone(&resolved), payload.clone())?;
+            (pending, Some(payload))
         } else {
-            (self.router.submit_to_shard(shard, resolved, codes)?, None)
+            (self.router.submit_to_shard(shard, resolved, payload)?, None)
         };
         let out = self.admission.wait_bounded(&pending)?;
         drop(permit);
-        if let Some(codes) = kept_codes {
+        if let Some(payload) = kept_payload {
             self.cache.insert(
                 resolved_id,
-                codes,
+                payload,
                 CachedOutput {
-                    acc: out.acc.clone(),
+                    payload: out.payload.clone(),
                     scale: out.scale,
                 },
             );
         }
-        Ok((out.acc, out.scale, shard, false))
+        Ok((out.payload, out.scale, shard, false))
     }
 
-    /// Current gateway-level metrics (per-shard, cache, admission).
+    /// Current gateway-level metrics (per-shard serving and session
+    /// counters, cache, admission).
     pub fn stats(&self) -> GatewayStats {
+        let mut shards = self.router.shard_stats();
+        for (shard, mgr) in shards.iter_mut().zip(&self.sessions) {
+            let s = mgr.stats();
+            shard.open_sessions = s.open_sessions as u64;
+            shard.kv_bytes = s.kv_bytes as u64;
+            shard.decode_steps = s.steps;
+            shard.decode_tokens = s.tokens;
+        }
         GatewayStats {
-            shards: self.router.shard_stats(),
+            shards,
             cache: self.cache.stats(),
             admission: self.admission.stats(),
         }
@@ -225,35 +326,48 @@ impl Gateway {
     /// Dispatches one decoded request to a response — the single entry
     /// point both the TCP server and in-process callers use.
     pub fn handle(&self, request: Request) -> Response {
+        fn reply<T>(r: Result<T, ServeError>, wrap: impl FnOnce(T) -> Response) -> Response {
+            match r {
+                Ok(v) => wrap(v),
+                Err(e) => Response::Error {
+                    kind: error_kind(&e),
+                    message: e.to_string(),
+                },
+            }
+        }
         match request {
             Request::Stats => Response::Stats(self.stats()),
-            Request::Infer { model, payload } => match self.infer(&model, payload) {
-                Ok(reply) => Response::Infer(reply),
-                Err(e) => Response::Error {
-                    kind: error_kind(&e),
-                    message: e.to_string(),
-                },
-            },
-            Request::InferBlock { model, hidden } => match self.infer_block(&model, hidden) {
-                Ok(reply) => Response::Block(reply),
-                Err(e) => Response::Error {
-                    kind: error_kind(&e),
-                    message: e.to_string(),
-                },
-            },
+            Request::Infer { model, payload } => {
+                reply(self.infer(&model, payload), Response::Infer)
+            }
+            Request::InferF32 { model, input } => {
+                reply(self.infer_f32(&model, input), Response::Infer)
+            }
+            Request::SessionOpen { model } => {
+                reply(self.session_open(&model), Response::SessionOpen)
+            }
+            Request::Decode { session, hidden } => {
+                reply(self.decode(session, &hidden), Response::Decode)
+            }
+            Request::SessionClose { session } => {
+                reply(self.session_close(session), Response::SessionClose)
+            }
         }
     }
 }
 
 fn error_kind(e: &ServeError) -> ErrorKind {
     match e {
-        ServeError::Overloaded { .. } => ErrorKind::Overloaded,
+        ServeError::Overloaded { .. } | ServeError::KvBudgetExceeded { .. } => {
+            ErrorKind::Overloaded
+        }
         ServeError::UnknownModel { .. } => ErrorKind::UnknownModel,
+        ServeError::UnknownSession { .. } => ErrorKind::UnknownSession,
         ServeError::Shape { .. }
         | ServeError::EmptyRequest
         | ServeError::CodesOutOfRange { .. }
         | ServeError::NonFiniteInput
-        | ServeError::ModelKindMismatch { .. }
+        | ServeError::PayloadKindMismatch { .. }
         | ServeError::EmptyModel { .. }
         | ServeError::UnalignedRows { .. } => ErrorKind::BadRequest,
         ServeError::ShuttingDown => ErrorKind::ShuttingDown,
@@ -542,10 +656,10 @@ mod tests {
             .infer("m", Payload::Codes(x.clone()))
             .expect("served");
         assert!(!first.cache_hit);
-        assert_eq!(first.acc, expect);
+        assert_eq!(first.payload, expect.clone().into());
         let second = gateway.infer("m", Payload::Codes(x)).expect("served");
         assert!(second.cache_hit, "identical payload missed the cache");
-        assert_eq!(second.acc, expect, "cache replay diverged");
+        assert_eq!(second.payload, expect.into(), "cache replay diverged");
         let stats = gateway.stats();
         assert_eq!(stats.cache.hits, 1);
         // The cached request never re-entered a runtime.
@@ -578,9 +692,13 @@ mod tests {
             !after.cache_hit,
             "stale cache entry replayed for the replaced model"
         );
-        assert_eq!(after.acc, expect, "answer did not come from the new model");
+        assert_eq!(
+            after.payload,
+            expect.into(),
+            "answer did not come from the new model"
+        );
         assert_ne!(
-            after.acc, first.acc,
+            after.payload, first.payload,
             "test models must differ for this check to mean anything"
         );
     }
@@ -592,61 +710,76 @@ mod tests {
         let gateway = Gateway::new(vec![model], GatewayConfig::default());
         let x = hidden(16, 3, 0);
         let expect = direct_forward(&blocks, &x);
-        let cold = gateway.infer_block("blk", x.clone()).expect("served");
+        let cold = gateway
+            .infer("blk", Payload::Hidden(x.clone()))
+            .expect("served");
         assert!(!cold.cache_hit);
-        for (a, b) in expect.iter().zip(cold.hidden.iter()) {
+        let cold_hidden = cold.payload.as_hidden().expect("block result");
+        for (a, b) in expect.iter().zip(cold_hidden.iter()) {
             assert_eq!(
                 a.to_bits(),
                 b.to_bits(),
                 "gateway diverged from direct block execution"
             );
         }
-        let warm = gateway.infer_block("blk", x).expect("served");
+        let warm = gateway.infer("blk", Payload::Hidden(x)).expect("served");
         assert!(warm.cache_hit, "identical hidden states missed the cache");
-        assert_eq!(warm.hidden, cold.hidden, "cache replay diverged");
+        assert_eq!(warm.payload, cold.payload, "cache replay diverged");
         let stats = gateway.stats();
         assert_eq!(stats.cache.hits, 1);
         assert_eq!(stats.shards.iter().map(|s| s.requests).sum::<u64>(), 1);
     }
 
     #[test]
-    fn verbs_are_guarded_by_model_kind() {
+    fn payload_kinds_are_guarded_by_validation() {
         use crate::testutil::{block_model, hidden};
         let (block, _) = block_model("blk", 61);
         let mut set = models(&["chain"], 62);
         set.push(block);
         let gateway = Gateway::new(set, GatewayConfig::default());
-        // Code-domain verb against a block model.
+        // Codes against a block model: one typed verb, one guard — the
+        // model's own validate.
         let err = gateway
             .infer("blk", Payload::Codes(Matrix::zeros(16, 1)))
-            .expect_err("block model served a code request");
+            .expect_err("block model served a code payload");
         assert!(matches!(
             err,
-            ServeError::ModelKindMismatch {
+            ServeError::PayloadKindMismatch {
                 model_is_block: true,
                 ..
             }
         ));
-        // Block verb against a linear chain.
+        // Hidden states against a linear chain.
         let err = gateway
-            .infer_block("chain", hidden(16, 1, 0))
-            .expect_err("chain served a block request");
+            .infer("chain", Payload::Hidden(hidden(16, 1, 0)))
+            .expect_err("chain served a hidden payload");
         assert!(matches!(
             err,
-            ServeError::ModelKindMismatch {
+            ServeError::PayloadKindMismatch {
                 model_is_block: false,
                 ..
             }
         ));
         // Both surface as BadRequest on the wire.
-        let resp = gateway.handle(Request::InferBlock {
+        let resp = gateway.handle(Request::Infer {
             model: "chain".to_string(),
-            hidden: hidden(16, 1, 0),
+            payload: Payload::Hidden(hidden(16, 1, 0)),
         });
         assert!(matches!(
             resp,
             Response::Error {
                 kind: ErrorKind::BadRequest,
+                ..
+            }
+        ));
+        // Sessions are block-only, through the same validation story.
+        let err = gateway
+            .session_open("chain")
+            .expect_err("chain opened a decode session");
+        assert!(matches!(
+            err,
+            ServeError::PayloadKindMismatch {
+                model_is_block: false,
                 ..
             }
         ));
@@ -662,9 +795,203 @@ mod tests {
             std: 0.5,
         }
         .sample_matrix(model.in_features(), 2, &mut rng);
-        let (expect, _) = model.forward_codes(&model.quantize(&input));
-        let reply = gateway.infer("m", Payload::F32(input)).expect("served");
-        assert_eq!(reply.acc, expect);
+        let quantized = model.quantize(&input);
+        let (expect, _) = model.forward(&quantized);
+        let reply = gateway.infer_f32("m", input).expect("served");
+        assert_eq!(reply.payload, expect);
+        // The wire form of the convenience verb lands on the same path.
+        let via_wire = gateway.handle(Request::InferF32 {
+            model: "m".to_string(),
+            input: DistributionKind::Gaussian {
+                mean: 0.2,
+                std: 0.5,
+            }
+            .sample_matrix(model.in_features(), 2, &mut rng),
+        });
+        assert!(matches!(via_wire, Response::Infer(_)));
+    }
+
+    #[test]
+    fn decode_sessions_round_trip_and_match_causal_recompute() {
+        use crate::testutil::{block_model, hidden};
+        let (model, blocks) = block_model("blk", 63);
+        let gateway = Gateway::new(vec![model], GatewayConfig::default());
+        let open = gateway.session_open("blk").expect("opened");
+        assert!(open.shard < gateway.router().num_shards());
+
+        // Prefill with 3 tokens, then decode 2 more one at a time.
+        let prefix = hidden(16, 5, 3);
+        let mut outs: Vec<Matrix<f32>> = Vec::new();
+        let first = gateway
+            .decode(open.session, &prefix.submatrix(0, 0, 16, 3))
+            .expect("prefill");
+        assert_eq!(first.tokens, 3);
+        assert_eq!(first.shard, open.shard, "step left the session's shard");
+        outs.push(first.hidden);
+        for c in 3..5 {
+            let step = gateway
+                .decode(open.session, &prefix.submatrix(0, c, 16, 1))
+                .expect("step");
+            assert_eq!(step.tokens, c + 1);
+            outs.push(step.hidden);
+        }
+
+        // Oracle: one causal full pass over the whole prefix.
+        let mut expect = prefix.clone();
+        for b in &blocks {
+            expect = b.forward_segments_causal(&expect, &[5]).0;
+        }
+        let mut col = 0;
+        for out in &outs {
+            for c in 0..out.cols() {
+                for r in 0..16 {
+                    assert_eq!(
+                        out[(r, c)].to_bits(),
+                        expect[(r, col + c)].to_bits(),
+                        "gateway decode diverged from causal recompute"
+                    );
+                }
+            }
+            col += out.cols();
+        }
+
+        let closed = gateway.session_close(open.session).expect("closed");
+        assert_eq!(closed.tokens, 5);
+        assert!(matches!(
+            gateway.decode(open.session, &hidden(16, 1, 0)),
+            Err(ServeError::UnknownSession { .. })
+        ));
+        assert!(matches!(
+            gateway.session_close(open.session),
+            Err(ServeError::UnknownSession { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_steps_never_touch_the_request_cache() {
+        // Replaying a cached decode step would corrupt session state:
+        // the output depends on the KV prefix, not just the payload.
+        // The session path must not probe, hit, or populate the cache —
+        // its counters must not move at all.
+        use crate::testutil::{block_model, hidden};
+        let (model, _) = block_model("blk", 64);
+        let gateway = Gateway::new(vec![model], GatewayConfig::default());
+        let baseline = gateway.stats().cache;
+
+        let x = hidden(16, 1, 42);
+        let y = hidden(16, 1, 43);
+        let a = gateway.session_open("blk").expect("opened");
+        let b = gateway.session_open("blk").expect("opened");
+        // Identical payloads behind different prefixes — the classic
+        // cache-replay bait.
+        let behind_y = {
+            gateway.decode(a.session, &y).expect("step");
+            gateway.decode(a.session, &x).expect("step")
+        };
+        let fresh = gateway.decode(b.session, &x).expect("step");
+        assert_eq!(
+            gateway.stats().cache,
+            baseline,
+            "decode touched the request cache"
+        );
+        // And the outputs demonstrate why replay would be wrong: the
+        // same payload yields different hidden states behind different
+        // prefixes.
+        assert_ne!(behind_y.hidden, fresh.hidden, "KV prefix ignored");
+
+        // Stateless traffic through the same gateway still caches.
+        let warm = hidden(16, 2, 7);
+        let cold = gateway
+            .infer("blk", Payload::Hidden(warm.clone()))
+            .expect("served");
+        let replay = gateway.infer("blk", Payload::Hidden(warm)).expect("served");
+        assert!(!cold.cache_hit && replay.cache_hit);
+    }
+
+    #[test]
+    fn stats_report_per_shard_sessions_and_kv_bytes() {
+        use crate::testutil::block_model;
+        use crate::testutil::hidden;
+        let (model, _) = block_model("blk", 65);
+        let gateway = Gateway::new(vec![model], GatewayConfig::default());
+        let open = gateway.session_open("blk").expect("opened");
+        gateway
+            .decode(open.session, &hidden(16, 4, 0))
+            .expect("step");
+        let stats = gateway.stats();
+        let shard = &stats.shards[open.shard];
+        assert_eq!(shard.open_sessions, 1);
+        // 2 blocks × 2 (K+V) × 16 features × 4 tokens × 4 bytes.
+        assert_eq!(shard.kv_bytes, 2 * 2 * 16 * 4 * 4);
+        assert_eq!(shard.decode_steps, 1);
+        assert_eq!(shard.decode_tokens, 4);
+        // The other shard holds nothing.
+        let other: u64 = stats
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != open.shard)
+            .map(|(_, s)| s.open_sessions + s.kv_bytes)
+            .sum();
+        assert_eq!(other, 0);
+        gateway.session_close(open.session).expect("closed");
+        assert_eq!(gateway.stats().shards[open.shard].kv_bytes, 0);
+    }
+
+    #[test]
+    fn session_opens_spread_over_shards_by_kv_load() {
+        use crate::testutil::{block_model, hidden};
+        let (model, _) = block_model("blk", 67);
+        let gateway = Gateway::new(vec![model], GatewayConfig::default());
+        // Empty sessions tie on kv_bytes, so placement round-robins on
+        // open-session count…
+        let a = gateway.session_open("blk").expect("opened");
+        let b = gateway.session_open("blk").expect("opened");
+        assert_ne!(a.shard, b.shard, "empty opens piled onto one shard");
+        // …and once KV bytes differ, the lighter shard wins: grow the
+        // session on shard A, close B, and the next open must avoid A.
+        gateway.decode(a.session, &hidden(16, 4, 0)).expect("step");
+        gateway.session_close(b.session).expect("closed");
+        let c = gateway.session_open("blk").expect("opened");
+        assert_eq!(
+            c.shard, b.shard,
+            "open ignored KV load and joined the heavy shard"
+        );
+    }
+
+    #[test]
+    fn session_opens_count_against_admission() {
+        use crate::testutil::block_model;
+        let (model, _) = block_model("blk", 66);
+        let gateway = Gateway::new(
+            vec![model],
+            GatewayConfig {
+                admission: AdmissionConfig {
+                    max_in_flight: 1,
+                    max_queue_wait: Duration::from_secs(5),
+                },
+                ..GatewayConfig::default()
+            },
+        );
+        let before = gateway.stats().admission.admitted;
+        let open = gateway.session_open("blk").expect("opened");
+        let after = gateway.stats().admission;
+        assert_eq!(after.admitted, before + 1, "open did not take a permit");
+        assert_eq!(after.in_flight, 0, "open leaked its permit");
+        // With the only permit held, a session open is shed like any
+        // other request.
+        let permit = gateway.admission().try_admit().expect("permit");
+        assert!(matches!(
+            gateway.session_open("blk"),
+            Err(ServeError::Overloaded { .. })
+        ));
+        assert!(matches!(
+            gateway.decode(open.session, &crate::testutil::hidden(16, 1, 0)),
+            Err(ServeError::Overloaded { .. })
+        ));
+        drop(permit);
+        assert!(gateway.session_open("blk").is_ok());
+        assert_eq!(gateway.stats().admission.rejected_capacity, 2);
     }
 
     #[test]
@@ -741,7 +1068,7 @@ mod tests {
         let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
         let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
         let line =
-            "{\"verb\":\"infer\",\"model\":\"modèle\",\"codes\":{\"rows\":1,\"cols\":1,\"data\":[1]}}\n";
+            "{\"verb\":\"infer\",\"model\":\"modèle\",\"payload\":{\"kind\":\"codes\",\"rows\":1,\"cols\":1,\"data\":[1]}}\n";
         // Split the line *inside* the two-byte 'è' and stall past the
         // handler's read timeout: the name must reassemble intact (the
         // server answers unknown_model naming it), not be dropped or

@@ -31,7 +31,11 @@ fn concurrent_clients_get_bit_exact_answers_over_tcp() {
                 let x = codes(&model, 1 + (t + i) % 3, t * 10 + i);
                 let (expect, _) = model.forward_codes(&x);
                 let reply = client.infer_codes(name, x).expect("served");
-                assert_eq!(reply.acc, expect, "thread {t} request {i} diverged");
+                assert_eq!(
+                    reply.payload,
+                    expect.into(),
+                    "thread {t} request {i} diverged"
+                );
                 assert!(reply.shard < 2);
             }
         }));
@@ -61,7 +65,7 @@ fn repeated_request_is_a_bit_exact_cache_hit() {
     assert!(!first.cache_hit);
     let second = client.infer_codes("m", x).expect("served");
     assert!(second.cache_hit, "identical payload missed the cache");
-    assert_eq!(second.acc, first.acc);
+    assert_eq!(second.payload, first.payload);
     assert_eq!(second.scale, first.scale);
 }
 
@@ -78,9 +82,9 @@ fn f32_round_trip_matches_local_quantize_and_forward() {
         std: 0.5,
     }
     .sample_matrix(model.in_features(), 3, &mut rng);
-    let (expect, _) = model.forward_codes(&model.quantize(&input));
+    let (expect, _) = model.forward(&model.quantize(&input));
     let reply = client.infer_f32("m", input).expect("served");
-    assert_eq!(reply.acc, expect, "wire f32 payload diverged");
+    assert_eq!(reply.payload, expect, "wire f32 payload diverged");
 }
 
 #[test]
@@ -108,6 +112,7 @@ fn overload_burst_yields_explicit_rejections_not_unbounded_queueing() {
                 max_in_flight: 2,
                 max_queue_wait: Duration::from_secs(10),
             },
+            ..GatewayConfig::default()
         },
     ));
     let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
@@ -125,7 +130,7 @@ fn overload_burst_yields_explicit_rejections_not_unbounded_queueing() {
             barrier.wait();
             match client.infer_codes("m", x) {
                 Ok(reply) => {
-                    assert_eq!(reply.acc, expect, "admitted request diverged");
+                    assert_eq!(reply.payload, expect.into(), "admitted request diverged");
                     Ok(())
                 }
                 Err(e) => {
@@ -159,9 +164,10 @@ fn block_requests_round_trip_bit_exactly_over_tcp() {
     for (salt, tokens) in [(0usize, 1usize), (1, 4), (2, 3)] {
         let x = hidden(16, tokens, salt);
         let expect = direct_forward(&blocks, &x);
-        let reply = client.infer_block("decoder", x).expect("served");
-        assert_eq!(reply.hidden.shape(), (16, tokens));
-        for (a, b) in expect.iter().zip(reply.hidden.iter()) {
+        let reply = client.infer_hidden("decoder", x).expect("served");
+        let got = reply.payload.as_hidden().expect("hidden result");
+        assert_eq!(got.shape(), (16, tokens));
+        for (a, b) in expect.iter().zip(got.iter()) {
             assert_eq!(
                 a.to_bits(),
                 b.to_bits(),
@@ -172,15 +178,71 @@ fn block_requests_round_trip_bit_exactly_over_tcp() {
 
     // Replay: the same sequence must be a bit-exact cache hit.
     let x = hidden(16, 2, 9);
-    let cold = client.infer_block("decoder", x.clone()).expect("served");
-    let warm = client.infer_block("decoder", x).expect("served");
+    let cold = client.infer_hidden("decoder", x.clone()).expect("served");
+    let warm = client.infer_hidden("decoder", x).expect("served");
     assert!(!cold.cache_hit && warm.cache_hit, "expected a cache replay");
-    assert_eq!(cold.hidden, warm.hidden);
+    assert_eq!(cold.payload, warm.payload);
 
     // Non-finite payloads are rejected client-side before the wire.
     let mut nan = hidden(16, 1, 0);
     nan[(0, 0)] = f32::NAN;
-    assert!(client.infer_block("decoder", nan).is_err());
+    assert!(client.infer_hidden("decoder", nan).is_err());
+}
+
+#[test]
+fn decode_sessions_work_over_tcp_with_affinity_and_eviction_errors() {
+    use panacea_gateway::testutil::{block_model, hidden};
+    let (model, blocks) = block_model("decoder", 41);
+    let gateway = Arc::new(Gateway::new(vec![model], GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    let open = client.session_open("decoder").expect("opened");
+    let prefix = hidden(16, 4, 11);
+    // Prefill in one call, then one single-token step.
+    let prefill = client
+        .decode(open.session, prefix.submatrix(0, 0, 16, 3))
+        .expect("prefill");
+    assert_eq!(prefill.tokens, 3);
+    assert_eq!(prefill.shard, open.shard, "decode left the pinned shard");
+    let step = client
+        .decode(open.session, prefix.submatrix(0, 3, 16, 1))
+        .expect("step");
+    assert_eq!(step.tokens, 4);
+    assert_eq!(step.shard, open.shard);
+
+    // Oracle: full causal recompute of the whole prefix, last column.
+    let mut expect = prefix.clone();
+    for b in &blocks {
+        expect = b.forward_segments_causal(&expect, &[4]).0;
+    }
+    for r in 0..16 {
+        assert_eq!(
+            step.hidden[(r, 0)].to_bits(),
+            expect[(r, 3)].to_bits(),
+            "TCP decode diverged from causal recompute"
+        );
+    }
+
+    // Stats over the wire see the session and its KV bytes.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.shards[open.shard].open_sessions, 1);
+    assert_eq!(stats.shards[open.shard].kv_bytes, 2 * 2 * 16 * 4 * 4);
+
+    // Close, then decode/close again: unknown_session on the wire.
+    let closed = client.session_close(open.session).expect("closed");
+    assert_eq!(closed.tokens, 4);
+    for attempt in [
+        client.decode(open.session, hidden(16, 1, 0)).unwrap_err(),
+        client.session_close(open.session).unwrap_err(),
+    ] {
+        match attempt {
+            panacea_gateway::GatewayError::Remote { kind, .. } => {
+                assert_eq!(kind, panacea_gateway::ErrorKind::UnknownSession)
+            }
+            other => panic!("expected a remote unknown_session error, got {other}"),
+        }
+    }
 }
 
 #[test]
@@ -275,7 +337,7 @@ fn malformed_lines_get_error_responses_and_the_connection_survives() {
     reader.read_line(&mut line).expect("read");
     let resp = panacea_gateway::protocol::decode_response(&line).expect("decode");
     match resp {
-        panacea_gateway::Response::Infer(reply) => assert_eq!(reply.acc, expect),
+        panacea_gateway::Response::Infer(reply) => assert_eq!(reply.payload, expect.into()),
         other => panic!("expected an inference, got {other:?}"),
     }
 }

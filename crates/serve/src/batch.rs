@@ -16,11 +16,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use panacea_bitslice::VECTOR_LEN;
-use panacea_tensor::Matrix;
 
 use crate::metrics::Metrics;
 use crate::model::PreparedModel;
-use crate::InferenceOutput;
+use crate::{InferenceOutput, Payload};
 
 /// Batching policy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -42,12 +41,13 @@ impl Default for BatchPolicy {
     }
 }
 
-/// One queued request: codes, the resolved model handle, the response
-/// channel, and the enqueue timestamp latency is measured from.
+/// One queued request: its typed payload, the resolved model handle,
+/// the response channel, and the enqueue timestamp latency is measured
+/// from.
 #[derive(Debug)]
 pub(crate) struct Job {
     pub(crate) model: Arc<PreparedModel>,
-    pub(crate) codes: Matrix<i32>,
+    pub(crate) payload: Payload,
     pub(crate) responder: mpsc::Sender<InferenceOutput>,
     pub(crate) enqueued_at: Instant,
     /// Set by the caller's dropped `Pending` handle; workers drop the
@@ -81,7 +81,7 @@ pub(crate) fn head_model_cols(queue: &VecDeque<Job>) -> usize {
     queue
         .iter()
         .filter(|j| Arc::ptr_eq(&j.model, &head.model))
-        .map(|j| j.codes.cols())
+        .map(|j| j.payload.cols())
         .sum()
 }
 
@@ -109,13 +109,13 @@ pub(crate) fn queue_is_single_model(queue: &VecDeque<Job>) -> bool {
 pub(crate) fn take_batch(queue: &mut VecDeque<Job>, max_batch: usize) -> Option<Batch> {
     let head = queue.pop_front()?;
     let model = Arc::clone(&head.model);
-    let mut cols = head.codes.cols();
+    let mut cols = head.payload.cols();
     let mut jobs = vec![head];
     let mut i = 0;
     while i < queue.len() && cols < max_batch {
         if Arc::ptr_eq(&queue[i].model, &model) {
             let job = queue.remove(i).expect("index in bounds");
-            cols += job.codes.cols();
+            cols += job.payload.cols();
             jobs.push(job);
         } else {
             i += 1;
@@ -127,7 +127,7 @@ pub(crate) fn take_batch(queue: &mut VecDeque<Job>, max_batch: usize) -> Option<
         // anyway; failing that, accept one that still ends on a vector
         // boundary with at most one extra group of overshoot.
         let fits = |j: &Job| {
-            let c = j.codes.cols();
+            let c = j.payload.cols();
             c <= need || (c % VECTOR_LEN == need && c <= need + VECTOR_LEN)
         };
         let Some(idx) = queue
@@ -137,7 +137,7 @@ pub(crate) fn take_batch(queue: &mut VecDeque<Job>, max_batch: usize) -> Option<
             break;
         };
         let job = queue.remove(idx).expect("index in bounds");
-        cols += job.codes.cols();
+        cols += job.payload.cols();
         jobs.push(job);
     }
     Some(Batch { model, jobs })
@@ -148,8 +148,8 @@ pub(crate) fn take_batch(queue: &mut VecDeque<Job>, max_batch: usize) -> Option<
 /// dropped are completed and counted but their send is ignored.
 pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
     let Batch { model, jobs } = batch;
-    let refs: Vec<&Matrix<i32>> = jobs.iter().map(|j| &j.codes).collect();
-    let total_cols: usize = refs.iter().map(|m| m.cols()).sum();
+    let refs: Vec<&Payload> = jobs.iter().map(|j| &j.payload).collect();
+    let total_cols: usize = refs.iter().map(|p| p.cols()).sum();
 
     let started = Instant::now();
     let (outputs, workload) = model.forward_batch(&refs);
@@ -177,9 +177,8 @@ pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
     for ((job, out), latency) in jobs.iter().zip(outputs).zip(latencies) {
         // A dropped receiver just means the caller stopped waiting.
         let _ = job.responder.send(InferenceOutput {
-            acc: out,
+            payload: out,
             scale: model.output_scale(),
-            f32_bits: model.is_block(),
             workload,
             batched_cols: total_cols,
             latency,
@@ -192,6 +191,7 @@ mod tests {
     use super::*;
     use crate::model::{LayerSpec, PrepareOptions, PreparedModel};
     use panacea_tensor::dist::DistributionKind;
+    use panacea_tensor::Matrix;
 
     fn prepared(seed: u64) -> Arc<PreparedModel> {
         let mut rng = panacea_tensor::seeded_rng(seed);
@@ -224,7 +224,7 @@ mod tests {
         (
             Job {
                 model: Arc::clone(model),
-                codes,
+                payload: codes.into(),
                 responder: tx,
                 enqueued_at: Instant::now(),
                 cancelled: Arc::new(AtomicBool::new(false)),
@@ -280,10 +280,10 @@ mod tests {
             rxs.push(rx);
         }
         let batch = take_batch(&mut queue, 3).expect("non-empty");
-        let widths: Vec<usize> = batch.jobs.iter().map(|j| j.codes.cols()).collect();
+        let widths: Vec<usize> = batch.jobs.iter().map(|j| j.payload.cols()).collect();
         assert_eq!(widths, vec![3, 1], "packer should reclaim the padding");
         // The skipped jobs keep their relative order.
-        let rest: Vec<usize> = queue.iter().map(|j| j.codes.cols()).collect();
+        let rest: Vec<usize> = queue.iter().map(|j| j.payload.cols()).collect();
         assert_eq!(rest, vec![2, 4]);
     }
 
@@ -300,7 +300,7 @@ mod tests {
             rxs.push(rx);
         }
         let batch = take_batch(&mut queue, 2).expect("non-empty");
-        let total: usize = batch.jobs.iter().map(|j| j.codes.cols()).sum();
+        let total: usize = batch.jobs.iter().map(|j| j.payload.cols()).sum();
         assert_eq!(total, 8);
         assert!(queue.is_empty());
     }
@@ -316,7 +316,7 @@ mod tests {
             rxs.push(rx);
         }
         let batch = take_batch(&mut queue, 6).expect("non-empty");
-        let total: usize = batch.jobs.iter().map(|j| j.codes.cols()).sum();
+        let total: usize = batch.jobs.iter().map(|j| j.payload.cols()).sum();
         assert_eq!(total, 8, "two singles should complete the vector group");
         assert!(queue.is_empty());
     }
@@ -348,7 +348,7 @@ mod tests {
         j2.cancelled.store(true, Ordering::Release);
         queue.extend([j1, j2, j3]);
         assert_eq!(purge_cancelled(&mut queue), 1);
-        let widths: Vec<usize> = queue.iter().map(|j| j.codes.cols()).collect();
+        let widths: Vec<usize> = queue.iter().map(|j| j.payload.cols()).collect();
         assert_eq!(widths, vec![1, 3], "live jobs must keep their order");
         assert_eq!(purge_cancelled(&mut queue), 0);
     }
@@ -370,13 +370,13 @@ mod tests {
             queue.push_back(j);
             rxs.push(rx);
         }
-        let singles: Vec<Matrix<i32>> = queue.iter().map(|j| a.forward_codes(&j.codes).0).collect();
+        let singles: Vec<Payload> = queue.iter().map(|j| a.forward(&j.payload).0).collect();
         let metrics = Metrics::default();
         let batch = take_batch(&mut queue, 64).expect("non-empty");
         execute(batch, &metrics);
         for (rx, alone) in rxs.iter().zip(singles) {
             let out = rx.try_recv().expect("answered");
-            assert_eq!(out.acc, alone);
+            assert_eq!(out.payload, alone);
             assert_eq!(out.batched_cols, 9);
         }
         let snap = metrics.snapshot();

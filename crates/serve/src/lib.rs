@@ -30,7 +30,9 @@
 pub mod batch;
 pub mod metrics;
 pub mod model;
+pub mod payload;
 pub mod runtime;
+pub mod session;
 #[doc(hidden)]
 pub mod testutil;
 
@@ -43,27 +45,23 @@ use panacea_tensor::Matrix;
 
 pub use batch::BatchPolicy;
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use model::{
-    f32_bits_decode, f32_bits_encode, LayerSpec, ModelRegistry, PrepareOptions, PreparedModel,
-};
+pub use model::{LayerSpec, ModelRegistry, PrepareOptions, PreparedModel};
+pub use payload::{Payload, PayloadKind};
 pub use runtime::{Pending, QueueDepth, Runtime, RuntimeConfig, RuntimeHandle};
+pub use session::{SessionConfig, SessionManager, SessionStats};
 
-/// A completed request: the final integer accumulators plus serving
-/// telemetry.
+/// A completed request: the typed result payload plus serving telemetry.
 #[derive(Debug, Clone)]
 pub struct InferenceOutput {
-    /// Final-layer accumulators for this request's columns (`M × N_req`),
-    /// bit-identical to running the request alone. For transformer-block
-    /// models this holds the output hidden states as raw f32 bit
-    /// patterns (see [`f32_bits`](Self::f32_bits)).
-    pub acc: Matrix<i32>,
-    /// Scale converting `acc` to floats (`acc · scale ≈ W·x + b`);
-    /// `1.0` and unused when [`f32_bits`](Self::f32_bits) is set.
+    /// The result for this request's columns, bit-identical to running
+    /// the request alone: final-layer integer accumulators
+    /// ([`Payload::Codes`], `M × N_req`) for linear chains, output
+    /// hidden states ([`Payload::Hidden`]) for transformer-block models.
+    pub payload: Payload,
+    /// Scale converting code accumulators to floats
+    /// (`acc · scale ≈ W·x + b`); `1.0` and unused for
+    /// [`Payload::Hidden`] results.
     pub scale: f64,
-    /// `true` when `acc` carries f32 bit patterns (transformer-block
-    /// models) rather than integer accumulators — the domain switch
-    /// [`to_f32`](Self::to_f32) keys on.
-    pub f32_bits: bool,
     /// AQS workload of the *whole* batch this request rode in.
     pub workload: Workload,
     /// Total columns in that batch (≥ this request's columns).
@@ -74,12 +72,11 @@ pub struct InferenceOutput {
 
 impl InferenceOutput {
     /// The float view of the result: dequantized accumulators for linear
-    /// chains, bit-reinterpreted hidden states for block models.
+    /// chains, the hidden states themselves for block models.
     pub fn to_f32(&self) -> Matrix<f32> {
-        if self.f32_bits {
-            f32_bits_decode(&self.acc)
-        } else {
-            self.acc.map(|&v| (f64::from(v) * self.scale) as f32)
+        match &self.payload {
+            Payload::Codes(acc) => acc.map(|&v| (f64::from(v) * self.scale) as f32),
+            Payload::Hidden(h) => h.clone(),
         }
     }
 }
@@ -120,14 +117,32 @@ pub enum ServeError {
     /// A block-model request carried NaN or infinite hidden-state
     /// elements (block inputs are f32 and must be finite).
     NonFiniteInput,
-    /// The request used the wrong entry point for the model's kind —
-    /// code-domain inference on a transformer-block model, or a block
-    /// request against a linear chain.
-    ModelKindMismatch {
+    /// The request's payload domain does not match the model's kind —
+    /// activation codes sent to a transformer-block model, or hidden
+    /// states sent to a linear chain. Also raised when a decode session
+    /// is opened on a chain model (sessions hold block KV state).
+    PayloadKindMismatch {
         /// The model that was addressed.
         model: String,
         /// Whether that model is a transformer-block model.
         model_is_block: bool,
+    },
+    /// The addressed decode session does not exist on this runtime —
+    /// never opened, already closed, or evicted (idle timeout or KV byte
+    /// budget). The caller must open a fresh session and replay its
+    /// prefix.
+    UnknownSession {
+        /// The session id that failed to resolve.
+        session: u64,
+    },
+    /// Admitting this decode step would exceed the session manager's KV
+    /// byte budget and no idle session could be evicted to make room.
+    /// Retryable once other sessions close or go idle.
+    KvBudgetExceeded {
+        /// Bytes the cache would hold after this step.
+        needed: usize,
+        /// The configured budget.
+        budget: usize,
     },
     /// The admission layer shed this request instead of queueing it
     /// unboundedly: either the in-flight limit was reached or the
@@ -171,21 +186,33 @@ impl fmt::Display for ServeError {
             ServeError::NonFiniteInput => {
                 write!(f, "block request contains NaN or infinite hidden states")
             }
-            ServeError::ModelKindMismatch {
+            ServeError::PayloadKindMismatch {
                 model,
                 model_is_block,
             } => {
                 if *model_is_block {
                     write!(
                         f,
-                        "model {model:?} serves transformer blocks; use the block entry point"
+                        "model {model:?} serves transformer blocks; send hidden states, not codes"
                     )
                 } else {
                     write!(
                         f,
-                        "model {model:?} is a linear chain, not a transformer-block model"
+                        "model {model:?} is a linear chain; send activation codes, not hidden states"
                     )
                 }
+            }
+            ServeError::UnknownSession { session } => {
+                write!(
+                    f,
+                    "decode session {session} does not exist (closed or evicted)"
+                )
+            }
+            ServeError::KvBudgetExceeded { needed, budget } => {
+                write!(
+                    f,
+                    "KV cache budget exceeded: step needs {needed} bytes, budget is {budget}"
+                )
             }
             ServeError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
             ServeError::ShuttingDown => write!(f, "runtime is shutting down"),

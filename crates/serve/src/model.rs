@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use panacea_bitslice::VECTOR_LEN;
-use panacea_block::QuantizedBlock;
+use panacea_block::{KvCache, QuantizedBlock};
 use panacea_core::pipeline::{pad_cols_to_vector_len, run_coalesced, QuantizedLinear};
 use panacea_core::Workload;
 use panacea_models::engine::CapturedLayer;
@@ -20,20 +20,7 @@ use panacea_quant::dbs::DbsConfig;
 use panacea_quant::{ActivationCalibrator, LayerQuantConfig, Quantizer};
 use panacea_tensor::Matrix;
 
-use crate::ServeError;
-
-/// Reinterprets an f32 hidden-state matrix as its raw bit patterns —
-/// the lossless `i32` representation block requests travel the queue,
-/// cache, and wire in, so every integer-keyed component (batcher,
-/// request cache, content hashing) applies to block traffic unchanged.
-pub fn f32_bits_encode(m: &Matrix<f32>) -> Matrix<i32> {
-    m.map(|&v| v.to_bits() as i32)
-}
-
-/// Inverse of [`f32_bits_encode`].
-pub fn f32_bits_decode(m: &Matrix<i32>) -> Matrix<f32> {
-    m.map(|&v| f32::from_bits(v as u32))
-}
+use crate::{Payload, ServeError};
 
 /// One float layer of a model to prepare: weights `M × K` and a bias of
 /// length `M`.
@@ -84,8 +71,7 @@ enum Body {
         input_cfg: LayerQuantConfig,
     },
     /// A stack of quantized transformer blocks; requests and responses
-    /// are f32 hidden states, carried as bit patterns (see
-    /// [`f32_bits_encode`]).
+    /// are f32 hidden states (`Payload::Hidden`).
     Blocks { blocks: Vec<QuantizedBlock> },
 }
 
@@ -208,8 +194,8 @@ impl PreparedModel {
 
     /// Wraps an already-prepared transformer-block stack (built by
     /// `panacea_block::BlockBuilder`) as a servable model. Requests are
-    /// `d_model × tokens` f32 hidden states travelling as bit patterns
-    /// ([`f32_bits_encode`]); each request's columns form one sequence.
+    /// `d_model × tokens` [`Payload::Hidden`] f32 hidden states; each
+    /// request's columns form one attention sequence.
     ///
     /// # Errors
     ///
@@ -314,9 +300,9 @@ impl PreparedModel {
         }
     }
 
-    /// The scale converting final accumulators to floats. `1.0` for
-    /// block models, whose outputs are f32 bit patterns that need no
-    /// scaling (see [`f32_bits_decode`]).
+    /// The scale converting final code accumulators to floats. `1.0`
+    /// for block models, whose [`Payload::Hidden`] outputs need no
+    /// scaling.
     pub fn output_scale(&self) -> f64 {
         match &self.body {
             Body::Chain { layers, .. } => layers.last().expect("non-empty").accumulator_scale(),
@@ -324,54 +310,66 @@ impl PreparedModel {
         }
     }
 
-    /// Converts a float input (`K × N`) into this model's request
-    /// representation: calibrated activation codes for linear chains,
-    /// raw f32 bit patterns for transformer-block models.
-    pub fn quantize(&self, x: &Matrix<f32>) -> Matrix<i32> {
+    /// Converts a float input (`K × N`) into this model's native request
+    /// payload: calibrated activation codes for linear chains, the
+    /// hidden states themselves for transformer-block models.
+    pub fn quantize(&self, x: &Matrix<f32>) -> Payload {
         match &self.body {
-            Body::Chain { input_cfg, .. } => input_cfg.quantizer.quantize_matrix(x),
-            Body::Blocks { .. } => f32_bits_encode(x),
+            Body::Chain { input_cfg, .. } => Payload::Codes(input_cfg.quantizer.quantize_matrix(x)),
+            Body::Blocks { .. } => Payload::Hidden(x.clone()),
         }
     }
 
-    /// Checks a request's payload against this model's input contract.
+    /// Checks a request's payload against this model's input contract —
+    /// including the payload *kind*, so a mismatch between what the
+    /// caller sent and what the model executes is caught here, in one
+    /// place, instead of by per-verb guards upstream.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Shape`] on a feature-count mismatch and
-    /// [`ServeError::EmptyRequest`] for zero columns. Linear chains
-    /// additionally reject codes exceeding the calibrated format
-    /// ([`ServeError::CodesOutOfRange`]); block models reject NaN or
-    /// infinite hidden states ([`ServeError::NonFiniteInput`]).
-    pub fn validate(&self, codes: &Matrix<i32>) -> Result<(), ServeError> {
-        if codes.rows() != self.in_features {
+    /// Returns [`ServeError::PayloadKindMismatch`] when the payload's
+    /// domain does not match the model's kind, [`ServeError::Shape`] on
+    /// a feature-count mismatch, and [`ServeError::EmptyRequest`] for
+    /// zero columns. Linear chains additionally reject codes exceeding
+    /// the calibrated format ([`ServeError::CodesOutOfRange`]); block
+    /// models reject NaN or infinite hidden states
+    /// ([`ServeError::NonFiniteInput`]).
+    pub fn validate(&self, payload: &Payload) -> Result<(), ServeError> {
+        if payload.rows() != self.in_features {
             return Err(ServeError::Shape {
                 expected: self.in_features,
-                actual: codes.rows(),
+                actual: payload.rows(),
             });
         }
-        if codes.cols() == 0 {
+        if payload.cols() == 0 {
             return Err(ServeError::EmptyRequest);
         }
-        match &self.body {
-            Body::Chain { input_cfg, .. } => {
+        match (&self.body, payload) {
+            (Body::Chain { input_cfg, .. }, Payload::Codes(codes)) => {
                 if !input_cfg.codes_in_range(codes) {
                     return Err(ServeError::CodesOutOfRange {
                         max: input_cfg.max_code(),
                     });
                 }
             }
-            Body::Blocks { .. } => {
-                if !codes.iter().all(|&v| f32::from_bits(v as u32).is_finite()) {
+            (Body::Blocks { .. }, Payload::Hidden(h)) => {
+                if !h.iter().all(|v| v.is_finite()) {
                     return Err(ServeError::NonFiniteInput);
                 }
+            }
+            _ => {
+                return Err(ServeError::PayloadKindMismatch {
+                    model: self.name.clone(),
+                    model_is_block: self.is_block(),
+                });
             }
         }
         Ok(())
     }
 
     /// Runs the full chain on already-quantized codes (`K × N`), returning
-    /// the final integer accumulators and the summed workload.
+    /// the final integer accumulators and the summed workload — the
+    /// direct code-domain entry point for linear chains.
     ///
     /// The input is zero-padded up to the PE array's vector width and the
     /// padding trimmed from the output, so any column count is accepted;
@@ -379,62 +377,84 @@ impl PreparedModel {
     ///
     /// # Panics
     ///
-    /// Panics if `codes` violates the input contract (use
-    /// [`validate`](Self::validate) first — the runtime does).
+    /// Panics on transformer-block models (their payloads are hidden
+    /// states — use [`forward`](Self::forward)) and if `codes` violates
+    /// the input contract (use [`validate`](Self::validate) first — the
+    /// runtime does).
     pub fn forward_codes(&self, codes: &Matrix<i32>) -> (Matrix<i32>, Workload) {
-        match &self.body {
-            Body::Chain { layers, .. } => {
-                // Pad once at entry (skipping the copy when already
-                // aligned — the common case for a well-coalesced batch);
-                // every layer preserves N.
-                let (padded, pad);
-                let input = if codes.cols().is_multiple_of(VECTOR_LEN) {
-                    pad = 0;
-                    codes
-                } else {
-                    (padded, pad) = pad_cols_to_vector_len(codes);
-                    &padded
-                };
-                let mut wl = Workload::default();
-                let last = layers.len() - 1;
-                let mut x: Option<Matrix<i32>> = None;
-                for layer in &layers[..last] {
-                    let (next, w) = layer.forward_codes(x.as_ref().unwrap_or(input));
-                    wl = wl.merged(&w);
-                    x = Some(next);
-                }
-                let (acc, w) = layers[last].forward(x.as_ref().unwrap_or(input));
-                let acc = if pad == 0 {
-                    acc
-                } else {
-                    acc.submatrix(0, 0, acc.rows(), acc.cols() - pad)
-                };
-                (acc, wl.merged(&w))
-            }
-            // A single block request: all columns are one sequence.
-            Body::Blocks { .. } => self.forward_block_segments(codes, &[codes.cols()]),
+        let Body::Chain { layers, .. } = &self.body else {
+            panic!("block models take hidden states, not codes; use forward()")
+        };
+        // Pad once at entry (skipping the copy when already aligned —
+        // the common case for a well-coalesced batch); every layer
+        // preserves N.
+        let (padded, pad);
+        let input = if codes.cols().is_multiple_of(VECTOR_LEN) {
+            pad = 0;
+            codes
+        } else {
+            (padded, pad) = pad_cols_to_vector_len(codes);
+            &padded
+        };
+        let mut wl = Workload::default();
+        let last = layers.len() - 1;
+        let mut x: Option<Matrix<i32>> = None;
+        for layer in &layers[..last] {
+            let (next, w) = layer.forward_codes(x.as_ref().unwrap_or(input));
+            wl = wl.merged(&w);
+            x = Some(next);
         }
+        let (acc, w) = layers[last].forward(x.as_ref().unwrap_or(input));
+        let acc = if pad == 0 {
+            acc
+        } else {
+            acc.submatrix(0, 0, acc.rows(), acc.cols() - pad)
+        };
+        (acc, wl.merged(&w))
     }
 
-    /// Block-body execution over bit-encoded hidden states: `segments`
-    /// lists the token count of each independent sequence packed into
-    /// the columns (attention never crosses a segment boundary).
+    /// Block-body execution over hidden states: `segments` lists the
+    /// token count of each independent sequence packed into the columns
+    /// (attention never crosses a segment boundary).
     fn forward_block_segments(
         &self,
-        bits: &Matrix<i32>,
+        h: &Matrix<f32>,
         segments: &[usize],
-    ) -> (Matrix<i32>, Workload) {
+    ) -> (Matrix<f32>, Workload) {
         let Body::Blocks { blocks } = &self.body else {
             unreachable!("callers dispatch on body kind");
         };
-        let mut h = f32_bits_decode(bits);
+        let mut h = h.clone();
         let mut wl = Workload::default();
         for block in blocks {
             let (next, w) = block.forward_segments(&h, segments);
             wl = wl.merged(&w.total());
             h = next;
         }
-        (f32_bits_encode(&h), wl)
+        (h, wl)
+    }
+
+    /// Runs one request in its typed payload domain: codes in → code
+    /// accumulators out for linear chains, hidden states in → hidden
+    /// states out for transformer-block models (the request's columns
+    /// form one attention sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload violates the input contract — including its
+    /// kind (use [`validate`](Self::validate) first; the runtime does).
+    pub fn forward(&self, payload: &Payload) -> (Payload, Workload) {
+        match (&self.body, payload) {
+            (Body::Chain { .. }, Payload::Codes(codes)) => {
+                let (acc, wl) = self.forward_codes(codes);
+                (Payload::Codes(acc), wl)
+            }
+            (Body::Blocks { .. }, Payload::Hidden(h)) => {
+                let (out, wl) = self.forward_block_segments(h, &[h.cols()]);
+                (Payload::Hidden(out), wl)
+            }
+            _ => panic!("payload kind does not match the model (validate first)"),
+        }
     }
 
     /// Runs the model on several requests' payloads at once: their
@@ -448,15 +468,34 @@ impl PreparedModel {
     /// # Panics
     ///
     /// Panics if the requests disagree on the feature dimension or
-    /// violate the input contract (the runtime validates at submission).
-    pub fn forward_batch(&self, requests: &[&Matrix<i32>]) -> (Vec<Matrix<i32>>, Workload) {
+    /// violate the input contract — including payload kind (the runtime
+    /// validates at submission).
+    pub fn forward_batch(&self, requests: &[&Payload]) -> (Vec<Payload>, Workload) {
         match &self.body {
-            Body::Chain { .. } => run_coalesced(requests, |stacked| self.forward_codes(stacked)),
+            Body::Chain { .. } => {
+                let codes: Vec<&Matrix<i32>> = requests
+                    .iter()
+                    .map(|p| p.as_codes().expect("chain batch carries codes"))
+                    .collect();
+                let (outs, wl) = run_coalesced(&codes, |stacked| self.forward_codes(stacked));
+                (outs.into_iter().map(Payload::Codes).collect(), wl)
+            }
             Body::Blocks { .. } => {
-                let widths: Vec<usize> = requests.iter().map(|m| m.cols()).collect();
-                run_coalesced(requests, |stacked| {
-                    self.forward_block_segments(stacked, &widths)
-                })
+                let hiddens: Vec<&Matrix<f32>> = requests
+                    .iter()
+                    .map(|p| p.as_hidden().expect("block batch carries hidden states"))
+                    .collect();
+                let widths: Vec<usize> = hiddens.iter().map(|m| m.cols()).collect();
+                if hiddens.is_empty() {
+                    return (Vec::new(), Workload::default());
+                }
+                let stacked =
+                    Matrix::hstack(&hiddens).expect("batched sequences must share the model width");
+                let (out, wl) = self.forward_block_segments(&stacked, &widths);
+                let parts = out
+                    .split_cols(&widths)
+                    .expect("block forward keeps one output column per input column");
+                (parts.into_iter().map(Payload::Hidden).collect(), wl)
             }
         }
     }
@@ -464,14 +503,88 @@ impl PreparedModel {
     /// Float-in/float-out convenience path: quantize → run → dequantize
     /// for chains, hidden states in → hidden states out for block models.
     pub fn forward_f32(&self, x: &Matrix<f32>) -> (Matrix<f32>, Workload) {
-        let (acc, wl) = self.forward_codes(&self.quantize(x));
-        match &self.body {
-            Body::Chain { .. } => {
+        let (out, wl) = self.forward(&self.quantize(x));
+        let f = match out {
+            Payload::Codes(acc) => {
                 let s = self.output_scale();
-                (acc.map(|&v| (f64::from(v) * s) as f32), wl)
+                acc.map(|&v| (f64::from(v) * s) as f32)
             }
-            Body::Blocks { .. } => (f32_bits_decode(&acc), wl),
+            Payload::Hidden(h) => h,
+        };
+        (f, wl)
+    }
+
+    /// An empty KV cache shaped for this model's block stack — the
+    /// per-sequence state a decode session grows.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::PayloadKindMismatch`] for linear chains, which have
+    /// no attention state to cache.
+    pub fn new_kv_cache(&self) -> Result<KvCache, ServeError> {
+        match &self.body {
+            Body::Blocks { blocks } => Ok(KvCache::for_blocks(blocks)),
+            Body::Chain { .. } => Err(ServeError::PayloadKindMismatch {
+                model: self.name.clone(),
+                model_is_block: false,
+            }),
         }
+    }
+
+    /// One KV-cached decode step: runs `hidden` (`d_model × t_new`, the
+    /// freshly appended tokens of one sequence) through the block stack
+    /// with incremental causal attention over `kv`'s cached prefix,
+    /// advancing the cache by `t_new` tokens. Stepping is bit-identical
+    /// to a full causal recompute over the concatenated sequence
+    /// (`QuantizedBlock::forward_segments_causal` per block) — see the
+    /// decode-exactness property tests.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::PayloadKindMismatch`] for linear chains,
+    /// [`ServeError::Shape`] / [`ServeError::EmptyRequest`] /
+    /// [`ServeError::NonFiniteInput`] for inputs violating the hidden
+    /// payload contract, and [`ServeError::Shape`] when `kv` was built
+    /// for a different stack.
+    pub fn forward_decode(
+        &self,
+        hidden: &Matrix<f32>,
+        kv: &mut KvCache,
+    ) -> Result<(Matrix<f32>, Workload), ServeError> {
+        let Body::Blocks { blocks } = &self.body else {
+            return Err(ServeError::PayloadKindMismatch {
+                model: self.name.clone(),
+                model_is_block: false,
+            });
+        };
+        // The hidden-payload contract, checked without cloning the step
+        // into a Payload (decode steps are the per-token hot path).
+        if hidden.rows() != self.in_features {
+            return Err(ServeError::Shape {
+                expected: self.in_features,
+                actual: hidden.rows(),
+            });
+        }
+        if hidden.cols() == 0 {
+            return Err(ServeError::EmptyRequest);
+        }
+        if !hidden.iter().all(|v| v.is_finite()) {
+            return Err(ServeError::NonFiniteInput);
+        }
+        if kv.num_blocks() != blocks.len() {
+            return Err(ServeError::Shape {
+                expected: blocks.len(),
+                actual: kv.num_blocks(),
+            });
+        }
+        if kv.d_model() != self.in_features {
+            return Err(ServeError::Shape {
+                expected: self.in_features,
+                actual: kv.d_model(),
+            });
+        }
+        let (out, wl) = panacea_block::decode_step(blocks, hidden, kv);
+        Ok((out, wl.total()))
     }
 }
 
@@ -579,10 +692,11 @@ mod tests {
         assert_eq!(m.num_layers(), 2);
         assert_eq!(m.in_features(), 32);
         assert_eq!(m.out_features(), 8);
-        let codes = m.quantize(&calib);
-        assert!(m.validate(&codes).is_ok());
-        let (acc, wl) = m.forward_codes(&codes);
-        assert_eq!(acc.shape(), (8, 24));
+        let payload = m.quantize(&calib);
+        assert_eq!(payload.kind(), crate::PayloadKind::Codes);
+        assert!(m.validate(&payload).is_ok());
+        let (out, wl) = m.forward(&payload);
+        assert_eq!(out.as_codes().expect("chain output").shape(), (8, 24));
         assert!(wl.mul > 0);
     }
 
@@ -591,9 +705,9 @@ mod tests {
         let (layers, calib) = spec_chain(2, &[16, 8]);
         let m = PreparedModel::prepare("m", &layers, &calib, PrepareOptions::default())
             .expect("prepare");
-        let codes = m.quantize(&calib);
-        let (a, _) = m.forward_codes(&codes);
-        let (b, _) = m.clone().forward_codes(&codes);
+        let payload = m.quantize(&calib);
+        let (a, _) = m.forward(&payload);
+        let (b, _) = m.clone().forward(&payload);
         assert_eq!(a, b);
     }
 
@@ -636,20 +750,29 @@ mod tests {
         let m = PreparedModel::prepare("m", &layers, &calib, PrepareOptions::default())
             .expect("prepare");
         assert!(matches!(
-            m.validate(&Matrix::<i32>::zeros(15, 2)),
+            m.validate(&Matrix::<i32>::zeros(15, 2).into()),
             Err(ServeError::Shape {
                 expected: 16,
                 actual: 15
             })
         ));
         assert!(matches!(
-            m.validate(&Matrix::<i32>::zeros(16, 0)),
+            m.validate(&Matrix::<i32>::zeros(16, 0).into()),
             Err(ServeError::EmptyRequest)
         ));
         let bad = Matrix::from_fn(16, 2, |_, _| 999);
         assert!(matches!(
-            m.validate(&bad),
+            m.validate(&bad.into()),
             Err(ServeError::CodesOutOfRange { .. })
+        ));
+        // The payload kind is part of the contract: hidden states sent
+        // to a linear chain are rejected here, not by a verb guard.
+        assert!(matches!(
+            m.validate(&Matrix::<f32>::zeros(16, 2).into()),
+            Err(ServeError::PayloadKindMismatch {
+                model_is_block: false,
+                ..
+            })
         ));
     }
 
@@ -700,16 +823,17 @@ mod tests {
         assert_eq!(model.out_features(), 16);
         assert_eq!(model.output_scale(), 1.0);
         let x = hidden(16, 5, 0);
-        let bits = model.quantize(&x);
-        assert!(model.validate(&bits).is_ok());
-        let (out_bits, wl) = model.forward_codes(&bits);
+        let payload = model.quantize(&x);
+        assert_eq!(payload.kind(), crate::PayloadKind::Hidden);
+        assert!(model.validate(&payload).is_ok());
+        let (out, wl) = model.forward(&payload);
         assert!(wl.mul > 0);
         // Direct block-chain execution is the oracle.
         let mut expect = x.clone();
         for b in &blocks {
             expect = b.forward(&expect).0;
         }
-        assert_eq!(f32_bits_decode(&out_bits), expect);
+        assert_eq!(out.as_hidden().expect("block output"), &expect);
         let (f32_out, _) = model.forward_f32(&x);
         assert_eq!(f32_out, expect);
     }
@@ -717,42 +841,50 @@ mod tests {
     #[test]
     fn block_model_batch_is_bit_exact_per_request() {
         let (model, _) = block_model(41);
-        let requests: Vec<Matrix<i32>> = [1usize, 4, 2]
+        let requests: Vec<Payload> = [1usize, 4, 2]
             .iter()
             .enumerate()
             .map(|(i, &w)| model.quantize(&hidden(16, w, i)))
             .collect();
-        let refs: Vec<&Matrix<i32>> = requests.iter().collect();
+        let refs: Vec<&Payload> = requests.iter().collect();
         let (batched, _) = model.forward_batch(&refs);
         for (req, got) in requests.iter().zip(&batched) {
-            let (alone, _) = model.forward_codes(req);
+            let (alone, _) = model.forward(req);
             assert_eq!(got, &alone, "batched block request diverged from solo");
         }
     }
 
     #[test]
-    fn block_model_validate_enforces_the_f32_contract() {
+    fn block_model_validate_enforces_the_hidden_contract() {
         let (model, _) = block_model(42);
         assert!(matches!(
-            model.validate(&Matrix::<i32>::zeros(15, 2)),
+            model.validate(&Matrix::<f32>::zeros(15, 2).into()),
             Err(ServeError::Shape {
                 expected: 16,
                 actual: 15
             })
         ));
         assert!(matches!(
-            model.validate(&Matrix::<i32>::zeros(16, 0)),
+            model.validate(&Matrix::<f32>::zeros(16, 0).into()),
             Err(ServeError::EmptyRequest)
         ));
-        let nan = f32_bits_encode(&Matrix::from_fn(16, 2, |_, _| f32::NAN));
+        let nan = Matrix::from_fn(16, 2, |_, _| f32::NAN);
         assert!(matches!(
-            model.validate(&nan),
+            model.validate(&nan.into()),
             Err(ServeError::NonFiniteInput)
         ));
-        let inf = f32_bits_encode(&Matrix::from_fn(16, 1, |_, _| f32::INFINITY));
+        let inf = Matrix::from_fn(16, 1, |_, _| f32::INFINITY);
         assert!(matches!(
-            model.validate(&inf),
+            model.validate(&inf.into()),
             Err(ServeError::NonFiniteInput)
+        ));
+        // Codes against a block model are a payload-kind mismatch.
+        assert!(matches!(
+            model.validate(&Matrix::<i32>::zeros(16, 2).into()),
+            Err(ServeError::PayloadKindMismatch {
+                model_is_block: true,
+                ..
+            })
         ));
     }
 
@@ -765,15 +897,71 @@ mod tests {
     }
 
     #[test]
-    fn f32_bits_round_trip_is_lossless() {
-        let x = Matrix::from_fn(3, 4, |r, c| {
-            if (r + c) % 2 == 0 {
-                -(r as f32) * 0.37 + c as f32
-            } else {
-                f32::MIN_POSITIVE * (1 + r) as f32
+    fn decode_steps_match_full_causal_recompute() {
+        let (model, blocks) = block_model(43);
+        let mut kv = model.new_kv_cache().expect("block model");
+        let prefix = hidden(16, 6, 7);
+        // Step one token at a time; compare against a causal full pass.
+        let mut expect = prefix.clone();
+        for b in &blocks {
+            expect = b.forward_segments_causal(&expect, &[6]).0;
+        }
+        for c in 0..6 {
+            let one = prefix.submatrix(0, c, 16, 1);
+            let (out, wl) = model.forward_decode(&one, &mut kv).expect("step");
+            assert!(wl.mul > 0);
+            for r in 0..16 {
+                assert_eq!(out[(r, 0)].to_bits(), expect[(r, c)].to_bits());
             }
-        });
-        assert_eq!(f32_bits_decode(&f32_bits_encode(&x)), x);
+        }
+        assert_eq!(kv.tokens(), 6);
+    }
+
+    #[test]
+    fn decode_rejects_chains_and_bad_steps() {
+        let (layers, calib) = spec_chain(8, &[16, 8]);
+        let chain = PreparedModel::prepare("c", &layers, &calib, PrepareOptions::default())
+            .expect("prepare");
+        assert!(matches!(
+            chain.new_kv_cache(),
+            Err(ServeError::PayloadKindMismatch {
+                model_is_block: false,
+                ..
+            })
+        ));
+        let (model, _) = block_model(44);
+        let mut kv = model.new_kv_cache().expect("block model");
+        assert!(matches!(
+            model.forward_decode(&Matrix::<f32>::zeros(15, 1), &mut kv),
+            Err(ServeError::Shape { .. })
+        ));
+        assert!(matches!(
+            model.forward_decode(&Matrix::<f32>::zeros(16, 0), &mut kv),
+            Err(ServeError::EmptyRequest)
+        ));
+        let nan = Matrix::from_fn(16, 1, |_, _| f32::NAN);
+        assert!(matches!(
+            model.forward_decode(&nan, &mut kv),
+            Err(ServeError::NonFiniteInput)
+        ));
+        // A cache built for a different stack depth is rejected…
+        let mut wrong_depth = panacea_block::KvCache::new(16, 5);
+        assert!(matches!(
+            model.forward_decode(&Matrix::<f32>::zeros(16, 1), &mut wrong_depth),
+            Err(ServeError::Shape {
+                expected: 2,
+                actual: 5
+            })
+        ));
+        // …and a wrong-width cache reports the widths, not the depths.
+        let mut wrong_width = panacea_block::KvCache::new(32, 2);
+        assert!(matches!(
+            model.forward_decode(&Matrix::<f32>::zeros(16, 1), &mut wrong_width),
+            Err(ServeError::Shape {
+                expected: 16,
+                actual: 32
+            })
+        ));
     }
 
     #[test]

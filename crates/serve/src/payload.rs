@@ -1,0 +1,193 @@
+//! The typed request/response payload every serving layer carries.
+//!
+//! Earlier revisions smuggled transformer-block hidden states through
+//! the integer code queue as f32 bit patterns, and every component that
+//! touched a request had to know (or guess) which domain the `i32`s
+//! were really in. [`Payload`] makes the domain part of the type: a
+//! request is either calibrated activation [`Codes`](Payload::Codes)
+//! for a linear chain or f32 [`Hidden`](Payload::Hidden) states for a
+//! transformer-block stack, end to end — queue, batcher, cache, wire.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use panacea_tensor::Matrix;
+
+/// Which domain a [`Payload`] carries — also the kind of model it can
+/// be served by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Calibrated integer activation codes (linear-chain models).
+    Codes,
+    /// f32 hidden states (transformer-block models).
+    Hidden,
+}
+
+impl std::fmt::Display for PayloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PayloadKind::Codes => "codes",
+            PayloadKind::Hidden => "hidden",
+        })
+    }
+}
+
+/// One request's (or response's) activation payload. See the module
+/// docs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Already-quantized activation codes (`K × N`), produced with a
+    /// chain model's calibrated input format. As a response: the final
+    /// integer accumulators, convertible to floats with the model's
+    /// output scale.
+    Codes(Matrix<i32>),
+    /// f32 hidden states (`d_model × tokens`); the columns form one
+    /// attention sequence. As a response: the output hidden states,
+    /// needing no scale.
+    Hidden(Matrix<f32>),
+}
+
+impl Payload {
+    /// The payload's domain.
+    pub fn kind(&self) -> PayloadKind {
+        match self {
+            Payload::Codes(_) => PayloadKind::Codes,
+            Payload::Hidden(_) => PayloadKind::Hidden,
+        }
+    }
+
+    /// Feature rows of the carried matrix.
+    pub fn rows(&self) -> usize {
+        match self {
+            Payload::Codes(m) => m.rows(),
+            Payload::Hidden(m) => m.rows(),
+        }
+    }
+
+    /// Activation columns of the carried matrix — the GEMM `N` work a
+    /// request contributes to a batch.
+    pub fn cols(&self) -> usize {
+        match self {
+            Payload::Codes(m) => m.cols(),
+            Payload::Hidden(m) => m.cols(),
+        }
+    }
+
+    /// Total elements (all 4-byte, in either domain) — what byte-bounded
+    /// components size this payload by.
+    pub fn cells(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// The carried codes, if this is a [`Codes`](Payload::Codes)
+    /// payload.
+    pub fn as_codes(&self) -> Option<&Matrix<i32>> {
+        match self {
+            Payload::Codes(m) => Some(m),
+            Payload::Hidden(_) => None,
+        }
+    }
+
+    /// The carried hidden states, if this is a
+    /// [`Hidden`](Payload::Hidden) payload.
+    pub fn as_hidden(&self) -> Option<&Matrix<f32>> {
+        match self {
+            Payload::Codes(_) => None,
+            Payload::Hidden(m) => Some(m),
+        }
+    }
+
+    /// Bit-level equality: the identity a bit-exact replay cache must
+    /// key on. Differs from `==` only for floats, where `-0.0 == 0.0`
+    /// numerically but the two are distinct bit patterns (and a replay
+    /// contract promises the *bits* match).
+    pub fn bit_eq(&self, other: &Payload) -> bool {
+        match (self, other) {
+            (Payload::Codes(a), Payload::Codes(b)) => a == b,
+            (Payload::Hidden(a), Payload::Hidden(b)) => {
+                a.shape() == b.shape()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            _ => false,
+        }
+    }
+
+    /// A content digest over the payload's kind, shape, and element
+    /// bits — consistent with [`bit_eq`](Self::bit_eq) (equal payloads
+    /// hash equal), used by caches to pick shards and buckets. Full-key
+    /// correctness still requires a `bit_eq` check.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        match self {
+            Payload::Codes(m) => {
+                0u8.hash(&mut h);
+                m.content_hash().hash(&mut h);
+            }
+            Payload::Hidden(m) => {
+                1u8.hash(&mut h);
+                m.rows().hash(&mut h);
+                m.cols().hash(&mut h);
+                for v in m.iter() {
+                    v.to_bits().hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+impl From<Matrix<i32>> for Payload {
+    fn from(m: Matrix<i32>) -> Self {
+        Payload::Codes(m)
+    }
+}
+
+impl From<Matrix<f32>> for Payload {
+    fn from(m: Matrix<f32>) -> Self {
+        Payload::Hidden(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_shapes_are_reported() {
+        let c: Payload = Matrix::<i32>::zeros(3, 2).into();
+        let h: Payload = Matrix::<f32>::zeros(4, 5).into();
+        assert_eq!(c.kind(), PayloadKind::Codes);
+        assert_eq!(h.kind(), PayloadKind::Hidden);
+        assert_eq!((c.rows(), c.cols(), c.cells()), (3, 2, 6));
+        assert_eq!((h.rows(), h.cols(), h.cells()), (4, 5, 20));
+        assert!(c.as_codes().is_some() && c.as_hidden().is_none());
+        assert!(h.as_hidden().is_some() && h.as_codes().is_none());
+    }
+
+    #[test]
+    fn bit_eq_distinguishes_signed_zero_where_eq_does_not() {
+        let pos = Payload::Hidden(Matrix::from_vec(1, 1, vec![0.0f32]).unwrap());
+        let neg = Payload::Hidden(Matrix::from_vec(1, 1, vec![-0.0f32]).unwrap());
+        assert_eq!(pos, neg, "f32 == treats signed zeros as equal");
+        assert!(!pos.bit_eq(&neg), "bit_eq must not");
+        assert!(pos.bit_eq(&pos.clone()));
+    }
+
+    #[test]
+    fn kinds_never_compare_bit_equal() {
+        let c = Payload::Codes(Matrix::from_vec(1, 1, vec![0i32]).unwrap());
+        let h = Payload::Hidden(Matrix::from_vec(1, 1, vec![0.0f32]).unwrap());
+        assert!(!c.bit_eq(&h));
+        assert_ne!(c.content_hash(), h.content_hash());
+    }
+
+    #[test]
+    fn content_hash_tracks_bits() {
+        let a = Payload::Hidden(Matrix::from_vec(1, 2, vec![1.5f32, -2.25]).unwrap());
+        let b = Payload::Hidden(Matrix::from_vec(1, 2, vec![1.5f32, -2.25]).unwrap());
+        let c = Payload::Hidden(Matrix::from_vec(2, 1, vec![1.5f32, -2.25]).unwrap());
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash(), "shape must hash");
+    }
+}

@@ -18,14 +18,12 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use panacea_tensor::Matrix;
-
 use crate::batch::{
     execute, head_model_cols, purge_cancelled, queue_is_single_model, take_batch, BatchPolicy, Job,
 };
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::model::{ModelRegistry, PreparedModel};
-use crate::{InferenceOutput, ServeError};
+use crate::{InferenceOutput, Payload, ServeError};
 
 /// Runtime sizing and batching configuration.
 #[derive(Debug, Clone, Copy)]
@@ -68,14 +66,14 @@ impl Shared {
     fn submit_to(
         self: &Arc<Self>,
         model: Arc<PreparedModel>,
-        codes: Matrix<i32>,
+        payload: Payload,
     ) -> Result<Pending, ServeError> {
-        model.validate(&codes)?;
+        model.validate(&payload)?;
         let (tx, rx) = mpsc::channel();
         let cancelled = Arc::new(AtomicBool::new(false));
         let job = Job {
             model,
-            codes,
+            payload,
             responder: tx,
             enqueued_at: Instant::now(),
             cancelled: Arc::clone(&cancelled),
@@ -99,7 +97,7 @@ impl Shared {
         let st = self.state.lock().expect("queue lock poisoned");
         QueueDepth {
             queued_jobs: st.queue.len(),
-            queued_cols: st.queue.iter().map(|j| j.codes.cols()).sum(),
+            queued_cols: st.queue.iter().map(|j| j.payload.cols()).sum(),
             in_flight_cols: st.in_flight_cols,
         }
     }
@@ -143,9 +141,9 @@ impl QueueDepth {
 ///                            PrepareOptions::default()).unwrap(),
 /// );
 /// let runtime = Runtime::start(Arc::clone(&registry), RuntimeConfig::default());
-/// let codes = registry.get("fc").unwrap().quantize(&calib);
-/// let out = runtime.infer("fc", codes).unwrap();
-/// assert_eq!(out.acc.shape(), (8, 32));
+/// let payload = registry.get("fc").unwrap().quantize(&calib);
+/// let out = runtime.infer("fc", payload).unwrap();
+/// assert_eq!(out.payload.as_codes().unwrap().shape(), (8, 32));
 /// ```
 #[derive(Debug)]
 pub struct Runtime {
@@ -202,14 +200,14 @@ impl Runtime {
     /// [`ServeError::UnknownModel`] for unregistered names, the
     /// validation errors of [`PreparedModel::validate`], and
     /// [`ServeError::ShuttingDown`] once shutdown has begun.
-    pub fn submit(&self, model: &str, codes: Matrix<i32>) -> Result<Pending, ServeError> {
+    pub fn submit(&self, model: &str, payload: impl Into<Payload>) -> Result<Pending, ServeError> {
         let resolved = self
             .registry
             .get(model)
             .ok_or_else(|| ServeError::UnknownModel {
                 model: model.to_string(),
             })?;
-        self.submit_to(resolved, codes)
+        self.submit_to(resolved, payload)
     }
 
     /// [`submit`](Self::submit) with an already-resolved model handle —
@@ -221,9 +219,9 @@ impl Runtime {
     pub fn submit_to(
         &self,
         model: Arc<PreparedModel>,
-        codes: Matrix<i32>,
+        payload: impl Into<Payload>,
     ) -> Result<Pending, ServeError> {
-        self.shared.submit_to(model, codes)
+        self.shared.submit_to(model, payload.into())
     }
 
     /// Submits and blocks until the response arrives.
@@ -232,8 +230,12 @@ impl Runtime {
     ///
     /// Same as [`submit`](Self::submit), plus [`ServeError::WorkerLost`]
     /// if the runtime dies before answering.
-    pub fn infer(&self, model: &str, codes: Matrix<i32>) -> Result<InferenceOutput, ServeError> {
-        self.submit(model, codes)?.wait()
+    pub fn infer(
+        &self,
+        model: &str,
+        payload: impl Into<Payload>,
+    ) -> Result<InferenceOutput, ServeError> {
+        self.submit(model, payload)?.wait()
     }
 
     /// Current aggregate metrics.
@@ -304,14 +306,14 @@ impl RuntimeHandle {
     /// # Errors
     ///
     /// Same as [`Runtime::submit`].
-    pub fn submit(&self, model: &str, codes: Matrix<i32>) -> Result<Pending, ServeError> {
+    pub fn submit(&self, model: &str, payload: impl Into<Payload>) -> Result<Pending, ServeError> {
         let resolved = self
             .registry
             .get(model)
             .ok_or_else(|| ServeError::UnknownModel {
                 model: model.to_string(),
             })?;
-        self.shared.submit_to(resolved, codes)
+        self.shared.submit_to(resolved, payload.into())
     }
 
     /// [`submit`](Self::submit) with an already-resolved model handle.
@@ -322,9 +324,9 @@ impl RuntimeHandle {
     pub fn submit_to(
         &self,
         model: Arc<PreparedModel>,
-        codes: Matrix<i32>,
+        payload: impl Into<Payload>,
     ) -> Result<Pending, ServeError> {
-        self.shared.submit_to(model, codes)
+        self.shared.submit_to(model, payload.into())
     }
 
     /// Submits and blocks until the response arrives.
@@ -332,8 +334,12 @@ impl RuntimeHandle {
     /// # Errors
     ///
     /// Same as [`Runtime::infer`].
-    pub fn infer(&self, model: &str, codes: Matrix<i32>) -> Result<InferenceOutput, ServeError> {
-        self.submit(model, codes)?.wait()
+    pub fn infer(
+        &self,
+        model: &str,
+        payload: impl Into<Payload>,
+    ) -> Result<InferenceOutput, ServeError> {
+        self.submit(model, payload)?.wait()
     }
 
     /// Current aggregate metrics.
@@ -494,7 +500,7 @@ fn worker_loop(shared: &Shared) {
         let Some(batch) = take_batch(&mut st.queue, shared.policy.max_batch) else {
             continue;
         };
-        let batch_cols: usize = batch.jobs.iter().map(|j| j.codes.cols()).sum();
+        let batch_cols: usize = batch.jobs.iter().map(|j| j.payload.cols()).sum();
         st.in_flight_cols += batch_cols;
         drop(st);
         // If the batch left same-model stragglers (over budget) or other
@@ -511,6 +517,7 @@ mod tests {
     use super::*;
     use crate::model::{LayerSpec, PrepareOptions};
     use panacea_tensor::dist::DistributionKind;
+    use panacea_tensor::Matrix;
     use std::time::Duration;
 
     fn registry_with(names: &[&str], seed: u64) -> Arc<ModelRegistry> {
@@ -554,7 +561,7 @@ mod tests {
         let codes = codes_for(&model, 4, 0);
         let (expect, _) = model.forward_codes(&codes);
         let out = runtime.infer("m", codes).expect("served");
-        assert_eq!(out.acc, expect);
+        assert_eq!(out.payload, expect.into());
         assert!(out.latency > Duration::ZERO);
         assert_eq!(runtime.metrics().requests, 1);
     }
@@ -577,7 +584,7 @@ mod tests {
                 }
             }
         };
-        assert_eq!(out.acc, expect);
+        assert_eq!(out.payload, expect.into());
     }
 
     #[test]
@@ -659,7 +666,7 @@ mod tests {
                 let codes = codes_for(&model, 1 + t % 3, t);
                 let (expect, _) = model.forward_codes(&codes);
                 let out = runtime.infer(name, codes).expect("served");
-                assert_eq!(out.acc, expect, "thread {t} got a wrong answer");
+                assert_eq!(out.payload, expect.into(), "thread {t} got a wrong answer");
             }));
         }
         for th in threads {

@@ -1,0 +1,578 @@
+//! Stateful decode sessions: per-sequence KV caches with lifecycle
+//! management.
+//!
+//! A decode session owns one sequence's [`KvCache`] across a
+//! transformer-block stack. The [`SessionManager`] is the
+//! serving-layer owner of that state: it creates sessions
+//! ([`open`](SessionManager::open)), advances them
+//! ([`step`](SessionManager::step) — one KV-cached
+//! [`PreparedModel::forward_decode`] call per step), and bounds their
+//! footprint two ways:
+//!
+//! * **idle eviction** — a session untouched for
+//!   [`SessionConfig::idle_timeout`] is dropped on the next manager
+//!   operation (or an explicit [`sweep`](SessionManager::sweep));
+//! * **byte budget** — the total resident KV bytes across sessions may
+//!   not exceed [`SessionConfig::max_kv_bytes`]; a step that would
+//!   overflow first evicts least-recently-used *idle* sessions and, if
+//!   the budget still cannot fit, fails with
+//!   [`ServeError::KvBudgetExceeded`] instead of growing unboundedly.
+//!
+//! Steps execute on the calling thread (a decode step is a latency-bound
+//! O(prefix) pass over one new token, not a batching candidate), and a
+//! session's steps are serialized by its own lock while distinct
+//! sessions run concurrently. Stepping a closed or evicted session
+//! fails with [`ServeError::UnknownSession`] — the caller re-opens and
+//! replays its prefix.
+//!
+//! Session state is **never** admissible to a response cache: a step's
+//! output depends on the KV prefix, not just its payload, so replaying
+//! a cached step would corrupt (or lie about) session state. The
+//! gateway's `RequestCache` is reachable only from the stateless
+//! request path; this module has no cache access at all.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use panacea_block::KvCache;
+use panacea_core::Workload;
+use panacea_tensor::Matrix;
+
+use crate::model::PreparedModel;
+use crate::ServeError;
+
+/// Lifecycle and footprint knobs for a [`SessionManager`].
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// A session untouched this long is evicted by the next manager
+    /// operation (or an explicit [`SessionManager::sweep`]).
+    pub idle_timeout: Duration,
+    /// Total resident KV bytes allowed across all sessions.
+    pub max_kv_bytes: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            idle_timeout: Duration::from_secs(60),
+            max_kv_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Point-in-time session counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions currently resident.
+    pub open_sessions: usize,
+    /// KV bytes currently resident across all sessions.
+    pub kv_bytes: usize,
+    /// Sessions ever opened.
+    pub opened: u64,
+    /// Sessions closed by their caller.
+    pub closed: u64,
+    /// Sessions evicted by the idle timeout.
+    pub evicted_idle: u64,
+    /// Sessions evicted to make room under the byte budget.
+    pub evicted_budget: u64,
+    /// Decode steps executed.
+    pub steps: u64,
+    /// Tokens decoded across all steps.
+    pub tokens: u64,
+}
+
+/// Source of process-unique session ids; 0 is never issued.
+static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Debug)]
+struct Session {
+    model: Arc<PreparedModel>,
+    kv: KvCache,
+    last_used: Instant,
+}
+
+/// One session's map entry: the per-session lock plus the metadata the
+/// manager reads without taking it.
+#[derive(Debug)]
+struct Slot {
+    cell: Mutex<Session>,
+    bytes_per_token: usize,
+    /// Bytes this slot currently contributes to the manager's
+    /// `total_bytes` — resident KV plus any reservation for a step in
+    /// flight. Mutated and read only under the manager's inner lock
+    /// (hence `Relaxed`); it exists so removal (close/eviction) can
+    /// settle a slot's accounting exactly once without touching the
+    /// per-session lock, whatever a concurrent step is doing.
+    accounted: AtomicUsize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    opened: u64,
+    closed: u64,
+    evicted_idle: u64,
+    evicted_budget: u64,
+    steps: u64,
+    tokens: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    sessions: HashMap<u64, Arc<Slot>>,
+    /// Sum of resident KV bytes, including reservations for in-flight
+    /// steps.
+    total_bytes: usize,
+    counters: Counters,
+}
+
+/// Owner of decode-session state and lifecycle. See the module docs.
+#[derive(Debug)]
+pub struct SessionManager {
+    config: SessionConfig,
+    inner: Mutex<Inner>,
+}
+
+impl SessionManager {
+    /// An empty manager enforcing `config`.
+    pub fn new(config: SessionConfig) -> Self {
+        SessionManager {
+            config,
+            inner: Mutex::new(Inner {
+                sessions: HashMap::new(),
+                total_bytes: 0,
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// The bounds being enforced.
+    pub fn config(&self) -> SessionConfig {
+        self.config
+    }
+
+    /// Opens a session on a transformer-block model, returning its
+    /// process-unique id. The session starts with an empty KV cache;
+    /// the prefix (prompt) arrives through [`step`](Self::step) calls,
+    /// which accept any column chunking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::PayloadKindMismatch`] when `model` is a linear
+    /// chain (there is no attention state to cache).
+    pub fn open(&self, model: Arc<PreparedModel>) -> Result<u64, ServeError> {
+        let kv = model.new_kv_cache()?;
+        let bytes_per_token = kv.bytes_per_token();
+        let id = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot {
+            cell: Mutex::new(Session {
+                model,
+                kv,
+                last_used: Instant::now(),
+            }),
+            bytes_per_token,
+            accounted: AtomicUsize::new(0),
+        });
+        let mut inner = self.inner.lock().expect("session map poisoned");
+        self.evict_idle_locked(&mut inner, Instant::now());
+        inner.sessions.insert(id, slot);
+        inner.counters.opened += 1;
+        Ok(id)
+    }
+
+    /// Whether `session` is currently resident — how a sharded front
+    /// end finds the manager holding a session's KV state.
+    pub fn contains(&self, session: u64) -> bool {
+        self.inner
+            .lock()
+            .expect("session map poisoned")
+            .sessions
+            .contains_key(&session)
+    }
+
+    /// Advances a session by `hidden` (`d_model × t_new` new tokens,
+    /// any chunking), returning the new tokens' output hidden states,
+    /// the session's total token count afterwards, and the step's
+    /// workload. Bit-identical to a full causal recompute of the whole
+    /// prefix — see [`PreparedModel::forward_decode`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] if the session was never opened,
+    /// was closed, or has been evicted;
+    /// [`ServeError::KvBudgetExceeded`] if the step cannot fit the byte
+    /// budget even after evicting idle sessions; and the input-contract
+    /// errors of [`PreparedModel::forward_decode`].
+    pub fn step(
+        &self,
+        session: u64,
+        hidden: &Matrix<f32>,
+    ) -> Result<(Matrix<f32>, usize, Workload), ServeError> {
+        let now = Instant::now();
+        let (slot, growth) = {
+            let mut inner = self.inner.lock().expect("session map poisoned");
+            self.evict_idle_locked(&mut inner, now);
+            let slot = Arc::clone(
+                inner
+                    .sessions
+                    .get(&session)
+                    .ok_or(ServeError::UnknownSession { session })?,
+            );
+            let growth = slot.bytes_per_token.saturating_mul(hidden.cols());
+            let session_bytes = slot.accounted.load(Ordering::Relaxed);
+            // A step this session could never fit even alone must not
+            // evict anyone else on its doomed way to the error.
+            if session_bytes + growth > self.config.max_kv_bytes {
+                return Err(ServeError::KvBudgetExceeded {
+                    needed: session_bytes + growth,
+                    budget: self.config.max_kv_bytes,
+                });
+            }
+            if inner.total_bytes + growth > self.config.max_kv_bytes {
+                self.evict_for_budget_locked(&mut inner, session, growth, now);
+            }
+            if inner.total_bytes + growth > self.config.max_kv_bytes {
+                return Err(ServeError::KvBudgetExceeded {
+                    needed: inner.total_bytes + growth,
+                    budget: self.config.max_kv_bytes,
+                });
+            }
+            // Reserve the growth while the step runs, so concurrent
+            // steps cannot jointly overshoot the budget. The slot's
+            // `accounted` carries the reservation, so a removal racing
+            // this step settles it exactly once.
+            slot.accounted.fetch_add(growth, Ordering::Relaxed);
+            inner.total_bytes += growth;
+            (slot, growth)
+        };
+
+        let result = {
+            let mut s = slot.cell.lock().expect("session poisoned");
+            let model = Arc::clone(&s.model);
+            let r = model.forward_decode(hidden, &mut s.kv);
+            s.last_used = Instant::now();
+            r.map(|(out, wl)| (out, s.kv.tokens(), wl))
+        };
+
+        let mut inner = self.inner.lock().expect("session map poisoned");
+        match &result {
+            // On success the reservation simply *becomes* the resident
+            // bytes — nothing to adjust. If the session was removed
+            // mid-step (close or eviction), the removal already settled
+            // the slot's whole `accounted` (reservation included), and
+            // the orphaned cache frees when the last Arc goes.
+            Ok((_, _, _)) => {
+                inner.counters.steps += 1;
+                inner.counters.tokens += hidden.cols() as u64;
+            }
+            // A failed step grew nothing: release the reservation —
+            // unless a concurrent removal already settled it.
+            Err(_) => {
+                if inner.sessions.contains_key(&session) {
+                    slot.accounted.fetch_sub(growth, Ordering::Relaxed);
+                    inner.total_bytes = inner.total_bytes.saturating_sub(growth);
+                }
+            }
+        }
+        result
+    }
+
+    /// Closes a session, freeing its KV state; returns the tokens it
+    /// had decoded.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] if it does not exist (never
+    /// opened, already closed, or evicted).
+    pub fn close(&self, session: u64) -> Result<usize, ServeError> {
+        let slot = {
+            let mut inner = self.inner.lock().expect("session map poisoned");
+            let slot = inner
+                .sessions
+                .remove(&session)
+                .ok_or(ServeError::UnknownSession { session })?;
+            // Settle the slot's accounting in full — resident bytes
+            // plus any in-flight step's reservation (that step sees the
+            // removal and leaves the settlement alone).
+            inner.total_bytes = inner
+                .total_bytes
+                .saturating_sub(slot.accounted.load(Ordering::Relaxed));
+            inner.counters.closed += 1;
+            slot
+        };
+        // Wait for an in-flight step *outside* the manager lock, so one
+        // slow step being closed never stalls the whole shard.
+        let tokens = slot.cell.lock().expect("session poisoned").kv.tokens();
+        Ok(tokens)
+    }
+
+    /// Evicts every idle-timed-out session now (idle eviction also
+    /// happens opportunistically on open/step). Returns how many were
+    /// evicted.
+    pub fn sweep(&self) -> usize {
+        let mut inner = self.inner.lock().expect("session map poisoned");
+        self.evict_idle_locked(&mut inner, Instant::now())
+    }
+
+    /// Current counters and resident footprint.
+    pub fn stats(&self) -> SessionStats {
+        let inner = self.inner.lock().expect("session map poisoned");
+        SessionStats {
+            open_sessions: inner.sessions.len(),
+            kv_bytes: inner.total_bytes,
+            opened: inner.counters.opened,
+            closed: inner.counters.closed,
+            evicted_idle: inner.counters.evicted_idle,
+            evicted_budget: inner.counters.evicted_budget,
+            steps: inner.counters.steps,
+            tokens: inner.counters.tokens,
+        }
+    }
+
+    /// Drops sessions idle past the timeout. A session whose lock is
+    /// held (a step in flight) is by definition not idle and is
+    /// skipped.
+    fn evict_idle_locked(&self, inner: &mut Inner, now: Instant) -> usize {
+        let mut victims = Vec::new();
+        for (&id, slot) in &inner.sessions {
+            let Ok(s) = slot.cell.try_lock() else {
+                continue; // mid-step: not idle
+            };
+            if now.duration_since(s.last_used) > self.config.idle_timeout {
+                victims.push((id, slot.accounted.load(Ordering::Relaxed)));
+            }
+        }
+        let n = victims.len();
+        for (id, bytes) in victims {
+            inner.sessions.remove(&id);
+            inner.total_bytes = inner.total_bytes.saturating_sub(bytes);
+            inner.counters.evicted_idle += 1;
+        }
+        n
+    }
+
+    /// Evicts least-recently-used sessions (skipping `keep` and any
+    /// mid-step session) until `growth` more bytes fit the budget or
+    /// nothing evictable remains.
+    fn evict_for_budget_locked(&self, inner: &mut Inner, keep: u64, growth: usize, _now: Instant) {
+        let mut candidates: Vec<(u64, Instant, usize)> = Vec::new();
+        for (&id, slot) in &inner.sessions {
+            if id == keep {
+                continue;
+            }
+            let Ok(s) = slot.cell.try_lock() else {
+                continue; // mid-step: stealing its state would corrupt it
+            };
+            candidates.push((id, s.last_used, slot.accounted.load(Ordering::Relaxed)));
+        }
+        candidates.sort_by_key(|&(_, used, _)| used);
+        for (id, _, bytes) in candidates {
+            if inner.total_bytes + growth <= self.config.max_kv_bytes {
+                break;
+            }
+            inner.sessions.remove(&id);
+            inner.total_bytes = inner.total_bytes.saturating_sub(bytes);
+            inner.counters.evicted_budget += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{block_model, hidden};
+
+    fn manager(config: SessionConfig) -> (SessionManager, Arc<PreparedModel>) {
+        let (model, _) = block_model("s", 70);
+        (SessionManager::new(config), Arc::new(model))
+    }
+
+    #[test]
+    fn open_step_close_round_trip() {
+        let (mgr, model) = manager(SessionConfig::default());
+        let id = mgr.open(Arc::clone(&model)).expect("opened");
+        assert!(mgr.contains(id));
+        let (out, tokens, wl) = mgr.step(id, &hidden(16, 3, 0)).expect("stepped");
+        assert_eq!(out.shape(), (16, 3));
+        assert_eq!(tokens, 3);
+        assert!(wl.mul > 0);
+        let (_, tokens, _) = mgr.step(id, &hidden(16, 1, 1)).expect("stepped");
+        assert_eq!(tokens, 4);
+        let s = mgr.stats();
+        assert_eq!(s.open_sessions, 1);
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.tokens, 4);
+        assert_eq!(s.kv_bytes, 2 * 2 * 16 * 4 * 4);
+        assert_eq!(mgr.close(id).expect("closed"), 4);
+        assert!(!mgr.contains(id));
+        assert_eq!(mgr.stats().kv_bytes, 0);
+    }
+
+    #[test]
+    fn unknown_closed_and_double_closed_sessions_error() {
+        let (mgr, model) = manager(SessionConfig::default());
+        assert!(matches!(
+            mgr.step(999, &hidden(16, 1, 0)),
+            Err(ServeError::UnknownSession { session: 999 })
+        ));
+        let id = mgr.open(model).expect("opened");
+        mgr.close(id).expect("closed");
+        assert!(matches!(
+            mgr.step(id, &hidden(16, 1, 0)),
+            Err(ServeError::UnknownSession { .. })
+        ));
+        assert!(matches!(
+            mgr.close(id),
+            Err(ServeError::UnknownSession { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_models_cannot_open_sessions() {
+        let mgr = SessionManager::new(SessionConfig::default());
+        let chain = Arc::new(
+            crate::PreparedModel::prepare(
+                "chain",
+                &[crate::LayerSpec::unbiased(
+                    panacea_tensor::Matrix::<f32>::zeros(8, 16),
+                )],
+                &panacea_tensor::Matrix::<f32>::zeros(16, 4),
+                crate::PrepareOptions::default(),
+            )
+            .expect("prepare"),
+        );
+        assert!(matches!(
+            mgr.open(chain),
+            Err(ServeError::PayloadKindMismatch {
+                model_is_block: false,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_and_step_errors_afterwards() {
+        let (mgr, model) = manager(SessionConfig {
+            idle_timeout: Duration::from_millis(20),
+            ..SessionConfig::default()
+        });
+        let id = mgr.open(model).expect("opened");
+        mgr.step(id, &hidden(16, 2, 0)).expect("stepped");
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(mgr.sweep(), 1);
+        let s = mgr.stats();
+        assert_eq!(s.evicted_idle, 1);
+        assert_eq!(s.open_sessions, 0);
+        assert_eq!(s.kv_bytes, 0, "evicted KV bytes must be released");
+        assert!(matches!(
+            mgr.step(id, &hidden(16, 1, 1)),
+            Err(ServeError::UnknownSession { .. })
+        ));
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_idle_sessions_then_errors() {
+        // bytes_per_token = 2 blocks × 2 (K+V) × 16 × 4 = 256 bytes.
+        // Budget of 1024 holds 4 tokens total.
+        let (mgr, model) = manager(SessionConfig {
+            idle_timeout: Duration::from_secs(3600),
+            max_kv_bytes: 1024,
+        });
+        let a = mgr.open(Arc::clone(&model)).expect("opened");
+        let b = mgr.open(Arc::clone(&model)).expect("opened");
+        mgr.step(a, &hidden(16, 3, 0)).expect("fills 3 tokens");
+        mgr.step(b, &hidden(16, 1, 1)).expect("fits exactly");
+        // One more token does not fit; the LRU session (a) is evicted
+        // to make room.
+        mgr.step(b, &hidden(16, 1, 2))
+            .expect("b grows after a dies");
+        assert!(!mgr.contains(a), "LRU session survived the budget");
+        assert!(mgr.contains(b));
+        assert_eq!(mgr.stats().evicted_budget, 1);
+        assert!(matches!(
+            mgr.step(a, &hidden(16, 1, 3)),
+            Err(ServeError::UnknownSession { .. })
+        ));
+        // A single step larger than the whole budget cannot be helped
+        // by eviction.
+        let c = mgr.open(model).expect("opened");
+        assert!(matches!(
+            mgr.step(c, &hidden(16, 5, 4)),
+            Err(ServeError::KvBudgetExceeded { .. })
+        ));
+        // The failed reservation must not leak accounted bytes.
+        assert_eq!(mgr.stats().kv_bytes, 2 * 256);
+    }
+
+    #[test]
+    fn byte_accounting_survives_concurrent_step_close_churn() {
+        // Steps racing closes and evictions must leave `kv_bytes`
+        // exactly consistent: every session's bytes are settled once —
+        // never leaked, never double-subtracted.
+        let (mgr, model) = manager(SessionConfig::default());
+        let mgr = std::sync::Arc::new(mgr);
+        let mut threads = Vec::new();
+        for t in 0..4u64 {
+            let mgr = std::sync::Arc::clone(&mgr);
+            let model = Arc::clone(&model);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    let id = mgr.open(Arc::clone(&model)).expect("opened");
+                    // Race a closer against the stepper on the same
+                    // session half the time.
+                    if (t + i) % 2 == 0 {
+                        let mgr2 = std::sync::Arc::clone(&mgr);
+                        let closer = std::thread::spawn(move || mgr2.close(id));
+                        let _ = mgr.step(id, &hidden(16, 2, (t * 100 + i) as usize));
+                        let _ = closer.join().expect("closer");
+                        let _ = mgr.close(id); // second close may race too
+                    } else {
+                        mgr.step(id, &hidden(16, 3, i as usize)).expect("stepped");
+                        // A failing step must roll its reservation back.
+                        assert!(mgr.step(id, &hidden(15, 1, 0)).is_err());
+                        mgr.close(id).expect("closed");
+                    }
+                }
+            }));
+        }
+        for th in threads {
+            th.join().expect("churn thread");
+        }
+        let s = mgr.stats();
+        assert_eq!(s.open_sessions, 0, "sessions leaked");
+        assert_eq!(
+            s.kv_bytes, 0,
+            "byte accounting drifted under concurrent churn"
+        );
+    }
+
+    #[test]
+    fn step_outputs_match_stateless_causal_recompute() {
+        let (mgr, model) = manager(SessionConfig::default());
+        let (raw_model, blocks) = block_model("oracle", 70);
+        assert_eq!(raw_model.in_features(), 16);
+        let id = mgr.open(Arc::clone(&model)).expect("opened");
+        let prefix = hidden(16, 5, 9);
+        let mut expect = prefix.clone();
+        for b in &blocks {
+            expect = b.forward_segments_causal(&expect, &[5]).0;
+        }
+        let mut got = Vec::new();
+        for c in 0..5 {
+            let (out, _, _) = mgr
+                .step(id, &prefix.submatrix(0, c, 16, 1))
+                .expect("stepped");
+            got.push(out);
+        }
+        for (c, out) in got.iter().enumerate() {
+            for r in 0..16 {
+                assert_eq!(
+                    out[(r, 0)].to_bits(),
+                    expect[(r, c)].to_bits(),
+                    "session step diverged from causal recompute"
+                );
+            }
+        }
+    }
+}

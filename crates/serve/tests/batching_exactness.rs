@@ -106,7 +106,7 @@ proptest! {
             let (padded, pad) = pad_cols_to_vector_len(codes);
             let (solo, _) = reference.forward(&padded);
             let solo = solo.submatrix(0, 0, solo.rows(), solo.cols() - pad);
-            prop_assert_eq!(&out.acc, &solo);
+            prop_assert_eq!(out.payload.as_codes().expect("chain output"), &solo);
         }
     }
 
@@ -124,7 +124,7 @@ proptest! {
             .wait()
             .expect("served");
         let (direct, _) = shared.forward_codes(&width);
-        prop_assert_eq!(&out.acc, &direct);
+        prop_assert_eq!(out.payload.as_codes().expect("chain output"), &direct);
         prop_assert!((out.scale - shared.output_scale()).abs() < 1e-18);
     }
 }

@@ -9,9 +9,7 @@ use panacea_block::QuantizedBlock;
 use panacea_serve::testutil::{
     block_model as shared_block_model, direct_forward as direct, hidden,
 };
-use panacea_serve::{
-    f32_bits_encode, BatchPolicy, ModelRegistry, PreparedModel, Runtime, RuntimeConfig,
-};
+use panacea_serve::{BatchPolicy, ModelRegistry, Payload, PreparedModel, Runtime, RuntimeConfig};
 use panacea_tensor::Matrix;
 
 fn block_model(seed: u64) -> (PreparedModel, Vec<QuantizedBlock>) {
@@ -44,13 +42,16 @@ fn coalesced_block_requests_are_bit_exact_vs_direct_execution() {
         .iter()
         .map(|x| {
             runtime
-                .submit_to(Arc::clone(&shared), f32_bits_encode(x))
+                .submit_to(Arc::clone(&shared), x.clone())
                 .expect("queued")
         })
         .collect();
     for (x, p) in inputs.iter().zip(pending) {
         let out = p.wait().expect("served");
-        assert!(out.f32_bits, "block responses must flag the f32 domain");
+        assert!(
+            matches!(out.payload, Payload::Hidden(_)),
+            "block responses must carry hidden states"
+        );
         assert_eq!(
             out.to_f32(),
             direct(&blocks, x),
@@ -72,9 +73,25 @@ fn non_finite_block_request_is_rejected_at_submission() {
     let registry = Arc::new(ModelRegistry::new());
     registry.insert(model);
     let runtime = Runtime::start(Arc::clone(&registry), RuntimeConfig::default());
-    let nan = f32_bits_encode(&Matrix::from_fn(16, 2, |_, _| f32::NAN));
+    let nan = Matrix::from_fn(16, 2, |_, _| f32::NAN);
     assert!(matches!(
         runtime.infer("decoder", nan),
         Err(panacea_serve::ServeError::NonFiniteInput)
+    ));
+}
+
+#[test]
+fn payload_kind_mismatches_are_rejected_at_submission() {
+    let (model, _) = block_model(52);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(model);
+    let runtime = Runtime::start(Arc::clone(&registry), RuntimeConfig::default());
+    // Codes against a block model: caught by validate, in one place.
+    assert!(matches!(
+        runtime.infer("decoder", Matrix::<i32>::zeros(16, 2)),
+        Err(panacea_serve::ServeError::PayloadKindMismatch {
+            model_is_block: true,
+            ..
+        })
     ));
 }

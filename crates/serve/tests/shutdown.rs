@@ -72,7 +72,7 @@ fn shutdown_while_queued_drains_every_request() {
         let out = p
             .wait()
             .expect("accepted request answered despite shutdown");
-        assert_eq!(out.acc, expect);
+        assert_eq!(out.payload, expect.clone().into());
     }
     assert_eq!(runtime.metrics().requests, 12);
 }
@@ -99,7 +99,7 @@ fn drop_joins_workers_and_answers_queued_requests() {
         // requires them to notice shutdown and drain the queue first.
     }
     let out = pending.wait().expect("drop drained the queue");
-    assert_eq!(out.acc, expected);
+    assert_eq!(out.payload, expected.into());
 }
 
 #[test]

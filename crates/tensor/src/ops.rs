@@ -98,6 +98,106 @@ pub fn multi_head_attention(qkv: &Matrix<f32>, n_heads: usize) -> Matrix<f32> {
     ctx
 }
 
+/// Causal multi-head self-attention over a stacked QKV tensor: token `i`
+/// attends only to tokens `j ≤ i`. This is the decoder-style counterpart
+/// of [`multi_head_attention`] and the full-prefix oracle for KV-cached
+/// decode — [`multi_head_attention_decode`] with an empty prefix is
+/// bit-identical to this, column for column.
+///
+/// # Panics
+///
+/// Same conditions as [`multi_head_attention`].
+pub fn multi_head_attention_causal(qkv: &Matrix<f32>, n_heads: usize) -> Matrix<f32> {
+    multi_head_attention_decode(qkv, &[], &[], n_heads)
+}
+
+/// Incremental causal multi-head attention: `qkv_new` stacks Q/K/V for
+/// `t_new` freshly appended tokens (`3·d_model × t_new`), while
+/// `k_prefix`/`v_prefix` hold the cached keys/values of every earlier
+/// token in **token-major** layout — token `j`'s feature vector
+/// occupies `[j·d_model, (j+1)·d_model)` — so a cache appends one token
+/// in O(d_model) without rebuilding the prefix. New token `i` (global
+/// position `t_prefix + i`) attends causally over the whole prefix plus
+/// the new tokens up to and including itself; cached tokens are never
+/// recomputed, so one decode step costs O(prefix) instead of
+/// O(prefix²).
+///
+/// Scores and context sums iterate global positions in ascending order
+/// with the same accumulation pattern as [`multi_head_attention_causal`],
+/// so stepping tokens one at a time through this function is
+/// **bit-identical** to one full causal pass over the concatenated
+/// sequence (given bit-identical cached K/V, which column-independent
+/// GEMMs guarantee).
+///
+/// Returns the `d_model × t_new` context for the new tokens only.
+///
+/// # Panics
+///
+/// Panics if `n_heads` is zero, `qkv_new.rows()` is not divisible by
+/// `3·n_heads`, or the prefix slices disagree with each other or are
+/// not a whole number of `d_model`-feature tokens.
+pub fn multi_head_attention_decode(
+    qkv_new: &Matrix<f32>,
+    k_prefix: &[f32],
+    v_prefix: &[f32],
+    n_heads: usize,
+) -> Matrix<f32> {
+    assert!(n_heads > 0, "attention needs at least one head");
+    assert_eq!(
+        qkv_new.rows() % (3 * n_heads),
+        0,
+        "QKV rows {} must divide by 3·n_heads",
+        qkv_new.rows()
+    );
+    let d = qkv_new.rows() / 3;
+    assert_eq!(k_prefix.len(), v_prefix.len(), "K/V prefix mismatch");
+    assert_eq!(
+        k_prefix.len() % d,
+        0,
+        "prefix length must be a whole number of d_model tokens"
+    );
+    let t_prev = k_prefix.len() / d;
+    let t_new = qkv_new.cols();
+    let dh = d / n_heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut ctx = Matrix::<f32>::zeros(d, t_new);
+    for h in 0..n_heads {
+        let q0 = h * dh;
+        for i in 0..t_new {
+            // Global attention span of new token i: every cached token
+            // plus the new tokens up to and including itself.
+            let span = t_prev + i + 1;
+            let mut row = vec![0f32; span];
+            for (j, slot) in row.iter_mut().enumerate() {
+                let mut dot = 0f32;
+                for f in 0..dh {
+                    let k = if j < t_prev {
+                        k_prefix[j * d + q0 + f]
+                    } else {
+                        qkv_new[(d + q0 + f, j - t_prev)]
+                    };
+                    dot += qkv_new[(q0 + f, i)] * k;
+                }
+                *slot = dot * scale;
+            }
+            softmax_in_place(&mut row);
+            for f in 0..dh {
+                let mut acc = 0f32;
+                for (j, &a) in row.iter().enumerate() {
+                    let v = if j < t_prev {
+                        v_prefix[j * d + q0 + f]
+                    } else {
+                        qkv_new[(2 * d + q0 + f, j - t_prev)]
+                    };
+                    acc += a * v;
+                }
+                ctx[(q0 + f, i)] = acc;
+            }
+        }
+    }
+    ctx
+}
+
 /// Elementwise sum of two same-shaped matrices (the residual add).
 ///
 /// # Panics
@@ -177,6 +277,91 @@ mod tests {
         let b2 = multi_head_attention(&stacked.submatrix(0, 5, 3 * 16, 3), 4);
         assert_eq!(a, a2);
         assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn causal_attention_last_token_matches_bidirectional() {
+        // The last token attends over the whole sequence under both
+        // masks, so its context column must agree bit for bit.
+        let qkv = input(3 * 16, 6, 4);
+        let full = multi_head_attention(&qkv, 4);
+        let causal = multi_head_attention_causal(&qkv, 4);
+        let t = qkv.cols() - 1;
+        for r in 0..16 {
+            assert_eq!(full[(r, t)].to_bits(), causal[(r, t)].to_bits());
+        }
+    }
+
+    #[test]
+    fn causal_attention_first_token_attends_only_itself() {
+        let qkv = input(3 * 8, 3, 5);
+        let causal = multi_head_attention_causal(&qkv, 2);
+        // Token 0's softmax row has one entry, so its context is exactly
+        // its own value vector.
+        for r in 0..8 {
+            assert_eq!(causal[(r, 0)].to_bits(), qkv[(2 * 8 + r, 0)].to_bits());
+        }
+    }
+
+    /// Pushes the K and V feature vectors of every column of a stacked
+    /// QKV tensor onto token-major prefix buffers.
+    fn push_kv(qkv: &Matrix<f32>, k: &mut Vec<f32>, v: &mut Vec<f32>) {
+        let d = qkv.rows() / 3;
+        for c in 0..qkv.cols() {
+            for f in 0..d {
+                k.push(qkv[(d + f, c)]);
+            }
+            for f in 0..d {
+                v.push(qkv[(2 * d + f, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn stepwise_decode_is_bit_exact_vs_full_causal_pass() {
+        let d = 16;
+        let t = 7;
+        let qkv = input(3 * d, t, 6);
+        let oracle = multi_head_attention_causal(&qkv, 4);
+        // Step one token at a time, carrying the K/V prefix forward.
+        let mut k = Vec::new();
+        let mut v = Vec::new();
+        for i in 0..t {
+            let step = qkv.submatrix(0, i, 3 * d, 1);
+            let ctx = multi_head_attention_decode(&step, &k, &v, 4);
+            for r in 0..d {
+                assert_eq!(
+                    ctx[(r, 0)].to_bits(),
+                    oracle[(r, i)].to_bits(),
+                    "token {i} row {r} diverged from the full causal pass"
+                );
+            }
+            push_kv(&step, &mut k, &mut v);
+        }
+    }
+
+    #[test]
+    fn multi_token_decode_steps_match_single_token_steps() {
+        // Feeding 3 tokens in one decode call must equal feeding them
+        // one at a time — the prefill-vs-step equivalence.
+        let d = 8;
+        let qkv = input(3 * d, 5, 7);
+        let prefix = qkv.submatrix(0, 0, 3 * d, 2);
+        let mut k = Vec::new();
+        let mut v = Vec::new();
+        push_kv(&prefix, &mut k, &mut v);
+        let chunk = qkv.submatrix(0, 2, 3 * d, 3);
+        let at_once = multi_head_attention_decode(&chunk, &k, &v, 2);
+        let mut k_step = k.clone();
+        let mut v_step = v.clone();
+        for i in 0..3 {
+            let step = chunk.submatrix(0, i, 3 * d, 1);
+            let ctx = multi_head_attention_decode(&step, &k_step, &v_step, 2);
+            for r in 0..d {
+                assert_eq!(ctx[(r, 0)].to_bits(), at_once[(r, i)].to_bits());
+            }
+            push_kv(&step, &mut k_step, &mut v_step);
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Transformer-block serving demo: a 2-block quantized decoder served
 //! end-to-end through a localhost TCP gateway, with three gates:
 //!
-//! 1. every `infer_block` response is **bit-identical** to running the
+//! 1. every hidden-payload `infer` response is **bit-identical** to running the
 //!    same hidden states directly through the prepared `QuantizedBlock`
 //!    stack (f32 values survive the JSON wire exactly);
 //! 2. the per-block SQNR against the float oracle
@@ -87,16 +87,17 @@ fn main() {
     let gateway = Arc::new(Gateway::new(vec![model], GatewayConfig::default()));
     let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
     let addr = server.local_addr();
-    println!("\ngateway listening on {addr} (verb: infer_block)");
+    println!("\ngateway listening on {addr} (typed infer verb, hidden payloads)");
 
     // 4. Bit-exactness gate over real TCP, across sequence lengths.
     let mut client = GatewayClient::connect(addr).expect("connect");
     for (salt, tokens) in [(0usize, 1usize), (1, TOKENS), (2, 3), (3, 2)] {
         let x = hidden(tokens, salt);
         let expect = direct(&blocks, &x);
-        let reply = client.infer_block("decoder", x).expect("served");
-        assert_eq!(reply.hidden.shape(), (D_MODEL, tokens));
-        for (a, b) in expect.iter().zip(reply.hidden.iter()) {
+        let reply = client.infer_hidden("decoder", x).expect("served");
+        let got = reply.payload.as_hidden().expect("hidden result");
+        assert_eq!(got.shape(), (D_MODEL, tokens));
+        for (a, b) in expect.iter().zip(got.iter()) {
             assert_eq!(
                 a.to_bits(),
                 b.to_bits(),
@@ -108,10 +109,10 @@ fn main() {
 
     // 5. Cache replay gate.
     let x = hidden(TOKENS, 99);
-    let cold = client.infer_block("decoder", x.clone()).expect("cold");
-    let warm = client.infer_block("decoder", x).expect("warm");
+    let cold = client.infer_hidden("decoder", x.clone()).expect("cold");
+    let warm = client.infer_hidden("decoder", x).expect("warm");
     assert!(!cold.cache_hit && warm.cache_hit, "expected a cache replay");
-    assert_eq!(cold.hidden, warm.hidden, "cached replay diverged");
+    assert_eq!(cold.payload, warm.payload, "cached replay diverged");
     println!(
         "cache replay: cold {:?} → warm {:?}, outputs identical ✓",
         cold.latency, warm.latency
@@ -146,7 +147,7 @@ fn main() {
                 std::thread::spawn(move || {
                     barrier.wait();
                     for x in requests {
-                        let reply = client.infer_block("decoder", x).expect("served");
+                        let reply = client.infer_hidden("decoder", x).expect("served");
                         assert!(!reply.cache_hit, "throughput run hit the cache");
                     }
                 })

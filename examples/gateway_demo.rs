@@ -91,9 +91,7 @@ fn main() {
         models.clone(),
         GatewayConfig {
             shards: 2,
-            runtime: RuntimeConfig::default(),
-            cache: CacheConfig::default(),
-            admission: AdmissionConfig::default(),
+            ..GatewayConfig::default()
         },
     ));
     let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
@@ -130,7 +128,7 @@ fn main() {
                     .expect("direct runtime");
                 let reply = client.infer_codes(model.name(), codes).expect("gateway");
                 assert_eq!(
-                    reply.acc, direct.acc,
+                    reply.payload, direct.payload,
                     "gateway diverged from direct Runtime::infer"
                 );
                 shards_seen.insert(reply.shard);
@@ -167,8 +165,8 @@ fn main() {
         .infer_codes(model.name(), payload)
         .expect("warm request");
     assert!(!cold.cache_hit && warm.cache_hit, "expected a cache replay");
-    assert_eq!(cold.acc, direct.acc);
-    assert_eq!(warm.acc, direct.acc, "cached output diverged");
+    assert_eq!(cold.payload, direct.payload);
+    assert_eq!(warm.payload, direct.payload, "cached output diverged");
     println!(
         "cache replay: cold {:?} → warm {:?}, outputs identical ✓",
         cold.latency, warm.latency
@@ -196,6 +194,7 @@ fn main() {
                 max_in_flight: 2,
                 max_queue_wait: Duration::from_secs(10),
             },
+            ..GatewayConfig::default()
         },
     ));
     let strict_server = GatewayServer::bind(Arc::clone(&strict), "127.0.0.1:0").expect("bind");

@@ -11,9 +11,9 @@ use std::time::{Duration, Instant};
 
 use panacea::models::engine::{TinyTransformer, TransformerConfig};
 use panacea::serve::{
-    BatchPolicy, ModelRegistry, PrepareOptions, PreparedModel, Runtime, RuntimeConfig,
+    BatchPolicy, ModelRegistry, Payload, PrepareOptions, PreparedModel, Runtime, RuntimeConfig,
 };
-use panacea::tensor::{dist::DistributionKind, seeded_rng, Matrix};
+use panacea::tensor::{dist::DistributionKind, seeded_rng};
 
 const REQUESTS: usize = 48;
 const COLS_PER_REQUEST: usize = 2;
@@ -45,7 +45,7 @@ fn main() {
         .insert(PreparedModel::from_capture(&capture, PrepareOptions::default()).expect("prepare"));
 
     // 2. A fleet of independent requests (each a few activation columns).
-    let requests: Vec<Matrix<i32>> = (0..REQUESTS)
+    let requests: Vec<Payload> = (0..REQUESTS)
         .map(|_| {
             let f = DistributionKind::Gaussian {
                 mean: 0.4,
@@ -58,9 +58,9 @@ fn main() {
 
     // 3. Sequential reference: each request alone through the pipeline.
     let t0 = Instant::now();
-    let sequential: Vec<Matrix<i32>> = requests
+    let sequential: Vec<Payload> = requests
         .iter()
-        .map(|codes| model.forward_codes(codes).0)
+        .map(|payload| model.forward(payload).0)
         .collect();
     let sequential_time = t0.elapsed();
 
@@ -84,7 +84,7 @@ fn main() {
         let t1 = Instant::now();
         // Concurrent submitters, one per chunk of 8 requests; each keeps
         // all its requests in flight at once (submit first, then wait).
-        let outputs: Vec<Matrix<i32>> = thread::scope(|s| {
+        let outputs: Vec<Payload> = thread::scope(|s| {
             let handles: Vec<_> = requests
                 .chunks(8)
                 .map(|chunk| {
@@ -93,15 +93,15 @@ fn main() {
                     s.spawn(move || {
                         let pending: Vec<_> = chunk
                             .iter()
-                            .map(|codes| {
+                            .map(|payload| {
                                 runtime
-                                    .submit_to(Arc::clone(model), codes.clone())
+                                    .submit_to(Arc::clone(model), payload.clone())
                                     .expect("queued")
                             })
                             .collect();
                         pending
                             .into_iter()
-                            .map(|p| p.wait().expect("served").acc)
+                            .map(|p| p.wait().expect("served").payload)
                             .collect::<Vec<_>>()
                     })
                 })

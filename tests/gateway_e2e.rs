@@ -42,7 +42,7 @@ fn deep_nesting_request_line_is_rejected_not_fatal() {
     let codes = Matrix::from_fn(model.in_features(), 1, |r, c| ((r * 5 + c) % 100) as i32);
     let (expect, _) = model.forward_codes(&codes);
     let reply = client.infer_codes("m", codes).expect("served after bomb");
-    assert_eq!(reply.acc, expect);
+    assert_eq!(reply.payload, expect.into());
 }
 
 #[test]
@@ -60,12 +60,20 @@ fn facade_gateway_round_trip_with_cache_and_stats() {
         let (expect, _) = model.forward_codes(&codes);
 
         let cold = client.infer_codes(name, codes.clone()).expect("served");
-        assert_eq!(cold.acc, expect, "gateway diverged for {name}");
+        assert_eq!(
+            cold.payload,
+            expect.clone().into(),
+            "gateway diverged for {name}"
+        );
         assert!(!cold.cache_hit);
 
         let warm = client.infer_codes(name, codes).expect("served");
         assert!(warm.cache_hit, "repeat of {name} missed the cache");
-        assert_eq!(warm.acc, expect, "cache replay diverged for {name}");
+        assert_eq!(
+            warm.payload,
+            expect.into(),
+            "cache replay diverged for {name}"
+        );
     }
 
     let stats = client.stats().expect("stats");
