@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use panacea_block::{decode_step, KvCache, QuantizedBlock};
+use panacea_block::{decode_step, decode_step_batch, KvCache, QuantizedBlock};
 use panacea_gateway::{CacheConfig, CachedOutput, RequestCache, ShardRouter};
 use panacea_models::engine::TransformerConfig;
 use panacea_models::zoo::Benchmark;
@@ -232,6 +232,64 @@ fn bench_decode_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// Continuous-batching decode: N sessions each advancing by one token,
+/// executed as N serial solo steps versus one fused pass
+/// (`decode_step_batch`). Both do identical per-session math bit for
+/// bit; the fused pass fills the GEMM `N` dimension instead of padding
+/// each width-1 step up to the PE vector width — the per-shard decode
+/// throughput lever the serving batcher pulls.
+fn bench_decode_batch(c: &mut Criterion) {
+    let block = prepared_block(10);
+    let blocks = std::slice::from_ref(&block);
+    let mut group = c.benchmark_group("decode_batch");
+    for sessions in [1usize, 4, 8, 16] {
+        let prefilled: Vec<KvCache> = (0..sessions)
+            .map(|s| {
+                let prefix = Matrix::from_fn(32, 32, |r, c| {
+                    (((r * 29 + c * 11 + s * 7) % 89) as f32 - 44.0) / 22.0
+                });
+                let mut kv = KvCache::for_blocks(blocks);
+                decode_step(blocks, &prefix, &mut kv);
+                kv
+            })
+            .collect();
+        let tokens: Vec<Matrix<f32>> = (0..sessions)
+            .map(|s| {
+                Matrix::from_fn(32, 1, |r, _| {
+                    (((r * 29 + s * 11 + 3) % 89) as f32 - 44.0) / 22.0
+                })
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("serial_solo_steps", sessions),
+            &prefilled,
+            |b, prefilled| {
+                b.iter(|| {
+                    let mut kvs = prefilled.clone();
+                    for (t, kv) in tokens.iter().zip(&mut kvs) {
+                        decode_step(blocks, t, kv);
+                    }
+                })
+            },
+        );
+        let refs: Vec<&Matrix<f32>> = tokens.iter().collect();
+        let stacked = Matrix::hstack(&refs).expect("same rows");
+        let segments = vec![1usize; sessions];
+        group.bench_with_input(
+            BenchmarkId::new("fused_pass", sessions),
+            &prefilled,
+            |b, prefilled| {
+                b.iter(|| {
+                    let mut kvs = prefilled.clone();
+                    let mut kv_refs: Vec<&mut KvCache> = kvs.iter_mut().collect();
+                    decode_step_batch(blocks, &stacked, &segments, &mut kv_refs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn quick() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -242,6 +300,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_batch_width, bench_block_forward, bench_runtime_dispatch, bench_router_route, bench_request_cache, bench_decode_step
+    targets = bench_batch_width, bench_block_forward, bench_runtime_dispatch, bench_router_route, bench_request_cache, bench_decode_step, bench_decode_batch
 }
 criterion_main!(benches);

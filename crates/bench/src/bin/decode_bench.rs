@@ -1,0 +1,159 @@
+//! Continuous-batching decode throughput, machine-readable.
+//!
+//! Measures aggregate decode tokens/s for N concurrent sessions under
+//! two executions of the exact same work:
+//!
+//! * **solo** — serial per-session stepping ([`decode_step`]), the
+//!   pre-batching behavior: every single-token step runs the block
+//!   stack at GEMM width 1, padded up to the PE vector width;
+//! * **batched** — one fused pass per round ([`decode_step_batch`]):
+//!   all N sessions' new-token columns share one QKV/proj/fc1/fc2 GEMM
+//!   pass per block, attention per session.
+//!
+//! Both paths are bit-identical per session (asserted here on the first
+//! round); the difference is purely GEMM width and padding waste. The
+//! results are written to `BENCH_decode.json` so the repo's decode perf
+//! trajectory is tracked across PRs, and the 8-session speedup is gated
+//! so CI catches a regression that serializes decode again.
+//!
+//! Run with: `cargo run --release -p panacea-bench --bin decode_bench`
+
+use std::time::Instant;
+
+use panacea_block::{decode_step, decode_step_batch, KvCache, QuantizedBlock};
+use panacea_models::engine::TransformerConfig;
+use panacea_models::zoo::Benchmark;
+use panacea_serve::testutil::block_stack;
+use panacea_tensor::Matrix;
+use serde_json::{json, Value};
+
+const D_MODEL: usize = 32;
+const N_BLOCKS: usize = 2;
+const PREFIX: usize = 32;
+const ROUNDS: usize = 48;
+const SESSION_COUNTS: [usize; 4] = [1, 4, 8, 16];
+/// The regression gate: fused 8-session decode must beat serial
+/// stepping by at least this factor (the MAC ratio alone is ~4×).
+const GATED_SESSIONS: usize = 8;
+const GATED_SPEEDUP: f64 = 2.0;
+
+fn token(salt: usize) -> Matrix<f32> {
+    Matrix::from_fn(D_MODEL, 1, |r, _| {
+        (((r * 29 + salt * 11 + 3) % 89) as f32 - 44.0) / 22.0
+    })
+}
+
+fn prefilled(blocks: &[QuantizedBlock], sessions: usize) -> Vec<KvCache> {
+    (0..sessions)
+        .map(|s| {
+            let prefix = Matrix::from_fn(D_MODEL, PREFIX, |r, c| {
+                (((r * 29 + c * 11 + s * 7) % 89) as f32 - 44.0) / 22.0
+            });
+            let mut kv = KvCache::for_blocks(blocks);
+            decode_step(blocks, &prefix, &mut kv);
+            kv
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = TransformerConfig {
+        d_model: D_MODEL,
+        n_heads: 4,
+        d_ff: 64,
+        n_layers: N_BLOCKS,
+    };
+    let blocks = block_stack(Benchmark::Gpt2, cfg, 17);
+    println!(
+        "continuous-batching decode bench ({N_BLOCKS} blocks, d_model={D_MODEL}, \
+         prefix={PREFIX}, {ROUNDS} tokens/session)"
+    );
+    println!(
+        "{:>9}  {:>14}  {:>16}  {:>8}",
+        "sessions", "solo tok/s", "batched tok/s", "speedup"
+    );
+
+    let mut rows: Vec<Value> = Vec::new();
+    let mut gated_speedup = 0.0f64;
+    for &sessions in &SESSION_COUNTS {
+        let tokens: Vec<Matrix<f32>> = (0..sessions).map(token).collect();
+        let refs: Vec<&Matrix<f32>> = tokens.iter().collect();
+        let stacked = Matrix::hstack(&refs).expect("same width");
+        let segments = vec![1usize; sessions];
+
+        // Bit-exactness spot check: the first fused round must equal
+        // the first solo round, per session.
+        {
+            let mut solo = prefilled(&blocks, sessions);
+            let mut fused = solo.clone();
+            let solo_outs: Vec<Matrix<f32>> = tokens
+                .iter()
+                .zip(&mut solo)
+                .map(|(t, kv)| decode_step(&blocks, t, kv).0)
+                .collect();
+            let mut kv_refs: Vec<&mut KvCache> = fused.iter_mut().collect();
+            let (out, _) = decode_step_batch(&blocks, &stacked, &segments, &mut kv_refs);
+            for (s, solo_out) in solo_outs.iter().enumerate() {
+                for r in 0..D_MODEL {
+                    assert_eq!(
+                        out[(r, s)].to_bits(),
+                        solo_out[(r, 0)].to_bits(),
+                        "fused decode diverged from solo at session {s}, row {r}"
+                    );
+                }
+            }
+        }
+
+        // Solo: serial per-session stepping, one GEMM pass per step.
+        let mut solo = prefilled(&blocks, sessions);
+        let started = Instant::now();
+        for _ in 0..ROUNDS {
+            for (t, kv) in tokens.iter().zip(&mut solo) {
+                decode_step(&blocks, t, kv);
+            }
+        }
+        let solo_tps = (sessions * ROUNDS) as f64 / started.elapsed().as_secs_f64();
+
+        // Batched: one fused pass per round across all sessions.
+        let mut fused = prefilled(&blocks, sessions);
+        let started = Instant::now();
+        for _ in 0..ROUNDS {
+            let mut kv_refs: Vec<&mut KvCache> = fused.iter_mut().collect();
+            decode_step_batch(&blocks, &stacked, &segments, &mut kv_refs);
+        }
+        let batched_tps = (sessions * ROUNDS) as f64 / started.elapsed().as_secs_f64();
+
+        let speedup = batched_tps / solo_tps;
+        if sessions == GATED_SESSIONS {
+            gated_speedup = speedup;
+        }
+        println!("{sessions:>9}  {solo_tps:>14.1}  {batched_tps:>16.1}  {speedup:>7.2}x");
+        rows.push(json!({
+            "sessions": sessions,
+            "solo_tokens_per_s": solo_tps,
+            "batched_tokens_per_s": batched_tps,
+            "speedup": speedup,
+        }));
+    }
+
+    let report = json!({
+        "bench": "decode_continuous_batching",
+        "d_model": D_MODEL,
+        "n_blocks": N_BLOCKS,
+        "n_heads": 4,
+        "d_ff": 64,
+        "prefix_tokens": PREFIX,
+        "tokens_per_session": ROUNDS,
+        "results": Value::Array(rows),
+    });
+    let encoded = serde_json::to_string(&report).expect("shim serializer never fails");
+    std::fs::write("BENCH_decode.json", &encoded).expect("write BENCH_decode.json");
+    println!("\nwrote BENCH_decode.json");
+
+    assert!(
+        gated_speedup >= GATED_SPEEDUP,
+        "continuous batching regressed: {gated_speedup:.2}x at {GATED_SESSIONS} sessions \
+         (need >= {GATED_SPEEDUP}x)"
+    );
+    println!("{GATED_SESSIONS}-session fused speedup {gated_speedup:.2}x >= {GATED_SPEEDUP}x ✓");
+}

@@ -252,17 +252,64 @@ impl QuantizedBlock {
         h_new: &Matrix<f32>,
         state: &mut crate::kv::BlockKvState,
     ) -> (Matrix<f32>, BlockWorkload) {
+        self.forward_decode_batch(h_new, &[h_new.cols()], &mut [state])
+    }
+
+    /// Continuous-batching decode: many sessions' freshly appended token
+    /// columns, stacked side by side in `h_new` (`d_model × Σsegments`),
+    /// run through **one** QKV / proj / fc1 / fc2 GEMM pass, while
+    /// incremental causal attention (and the K/V append) runs per
+    /// session against that session's own cache state. `segments[i]`
+    /// columns belong to `states[i]`, in order.
+    ///
+    /// Because every coalesced stage of the pipeline is column-exact and
+    /// attention only reads its own segment plus its own cached prefix,
+    /// each session's output columns are **bit-identical** to running
+    /// that session alone through [`forward_decode`](Self::forward_decode)
+    /// — coalescing changes the GEMM width (and the padding waste), never
+    /// the bits. This is the kernel-level contract the serving layer's
+    /// decode batcher is built on: N concurrent single-token steps cost
+    /// one `N`-wide GEMM pass per layer instead of N padded width-1
+    /// passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h_new.rows() != d_model`, `segments` and `states`
+    /// disagree in length, any segment is zero, the segments do not sum
+    /// to `h_new.cols()`, or any state was built for a different width.
+    pub fn forward_decode_batch(
+        &self,
+        h_new: &Matrix<f32>,
+        segments: &[usize],
+        states: &mut [&mut crate::kv::BlockKvState],
+    ) -> (Matrix<f32>, BlockWorkload) {
         assert_eq!(h_new.rows(), self.d_model, "hidden-state width mismatch");
         let n = h_new.cols();
         assert!(n > 0, "decode step needs at least one token column");
         assert_eq!(
-            state.d_model(),
-            self.d_model,
-            "KV cache width disagrees with the block"
+            segments.len(),
+            states.len(),
+            "one KV state per coalesced session"
         );
+        assert!(
+            segments.iter().all(|&s| s > 0),
+            "decode segments must be non-empty"
+        );
+        assert_eq!(
+            segments.iter().sum::<usize>(),
+            n,
+            "segments must cover every stacked column"
+        );
+        for state in states.iter() {
+            assert_eq!(
+                state.d_model(),
+                self.d_model,
+                "KV cache width disagrees with the block"
+            );
+        }
 
         // Pad to the PE vector width exactly like the stateless path;
-        // padded columns never enter attention or the cache.
+        // padded columns never enter attention or the caches.
         let aligned = n.div_ceil(VECTOR_LEN) * VECTOR_LEN;
         let padded;
         let xp = if aligned == n {
@@ -280,15 +327,23 @@ impl QuantizedBlock {
 
         let ln1 = ops::layer_norm(xp);
         let (qkv_f, wl_qkv) = self.run_dequant(&self.qkv, &ln1);
-        let qkv_real = qkv_f.submatrix(0, 0, qkv_f.rows(), n);
-        let ctx_real =
-            ops::multi_head_attention_decode(&qkv_real, state.keys(), state.values(), self.n_heads);
-        state.append_from_qkv(&qkv_real, n);
         let mut ctx = Matrix::<f32>::zeros(self.d_model, aligned);
-        for r in 0..self.d_model {
-            for c in 0..n {
-                ctx[(r, c)] = ctx_real[(r, c)];
+        let mut col = 0;
+        for (&len, state) in segments.iter().zip(states.iter_mut()) {
+            let seg_qkv = qkv_f.submatrix(0, col, qkv_f.rows(), len);
+            let seg_ctx = ops::multi_head_attention_decode(
+                &seg_qkv,
+                state.keys(),
+                state.values(),
+                self.n_heads,
+            );
+            state.append_from_qkv(&seg_qkv, len);
+            for r in 0..self.d_model {
+                for c in 0..len {
+                    ctx[(r, col + c)] = seg_ctx[(r, c)];
+                }
             }
+            col += len;
         }
         let (attn_out, wl_proj) = self.run_dequant(&self.proj, &ctx);
         let h = ops::add(xp, &attn_out);

@@ -62,9 +62,24 @@ impl BlockKvState {
         self.k.len() / self.d_model.max(1)
     }
 
+    /// Grows the backing buffers to hold `additional` more tokens
+    /// without reallocating — the serving layer calls this once per
+    /// prefill chunk (and at session open) so the per-token append never
+    /// pays incremental `Vec` growth on the hot path.
+    pub fn reserve_tokens(&mut self, additional: usize) {
+        let cells = additional.saturating_mul(self.d_model);
+        self.k.reserve(cells);
+        self.v.reserve(cells);
+    }
+
     /// Appends the K and V rows of freshly decoded tokens, read from a
     /// stacked QKV tensor (`3·d_model × t_new`, rows ordered Q, K, V) —
     /// O(d_model · t_new), independent of the prefix length.
+    ///
+    /// The destination region is sized once up front and each feature
+    /// row of the source is walked as one contiguous slice (the tensor
+    /// is row-major), so the copy is slice traversals plus strided
+    /// stores — no per-cell bounds-checked 2-D indexing.
     ///
     /// # Panics
     ///
@@ -73,14 +88,21 @@ impl BlockKvState {
     pub(crate) fn append_from_qkv(&mut self, qkv: &Matrix<f32>, cols: usize) {
         let d = self.d_model;
         assert_eq!(qkv.rows(), 3 * d, "QKV width disagrees with the cache");
-        self.k.reserve(cols * d);
-        self.v.reserve(cols * d);
-        for c in 0..cols {
-            for f in 0..d {
-                self.k.push(qkv[(d + f, c)]);
-            }
-            for f in 0..d {
-                self.v.push(qkv[(2 * d + f, c)]);
+        assert!(cols <= qkv.cols(), "append exceeds the QKV width");
+        let w = qkv.cols();
+        let src = qkv.as_slice();
+        let kb = self.k.len();
+        let vb = self.v.len();
+        self.k.resize(kb + cols * d, 0.0);
+        self.v.resize(vb + cols * d, 0.0);
+        for f in 0..d {
+            let krow = &src[(d + f) * w..(d + f) * w + cols];
+            let vrow = &src[(2 * d + f) * w..(2 * d + f) * w + cols];
+            for (c, (&kx, &vx)) in krow.iter().zip(vrow).enumerate() {
+                // Token-major destination: token c's features at
+                // [c·d, (c+1)·d).
+                self.k[kb + c * d + f] = kx;
+                self.v[vb + c * d + f] = vx;
             }
         }
     }
@@ -160,6 +182,14 @@ impl KvCache {
     pub(crate) fn block_mut(&mut self, block: usize) -> &mut BlockKvState {
         &mut self.states[block]
     }
+
+    /// Pre-reserves room for `additional` more tokens in every block's
+    /// K/V buffers — see [`BlockKvState::reserve_tokens`].
+    pub fn reserve_tokens(&mut self, additional: usize) {
+        for state in &mut self.states {
+            state.reserve_tokens(additional);
+        }
+    }
 }
 
 /// Runs `h_new` (`d_model × t_new`, the freshly appended tokens of one
@@ -182,15 +212,53 @@ pub fn decode_step(
     h_new: &Matrix<f32>,
     kv: &mut KvCache,
 ) -> (Matrix<f32>, BlockWorkload) {
+    decode_step_batch(blocks, h_new, &[h_new.cols()], &mut [kv])
+}
+
+/// Continuous-batching decode across a whole block stack: many sessions'
+/// freshly appended token columns (stacked in `h_new`, `segments[i]`
+/// columns per session, in order) run through **one** GEMM pass per
+/// block via [`QuantizedBlock::forward_decode_batch`], while attention
+/// and the K/V append stay per session against `kvs[i]`. Every cache is
+/// advanced by its own segment's token count.
+///
+/// Each session's output columns are **bit-identical** to stepping that
+/// session alone through [`decode_step`] — coalescing fills the GEMM `N`
+/// dimension (reclaiming the PE array's pad-to-vector waste) without
+/// changing a single bit. See the batch-decode exactness property tests.
+///
+/// # Panics
+///
+/// Panics if `segments`/`kvs` disagree in length, any segment is zero or
+/// the segments do not sum to `h_new.cols()`, or any cache disagrees
+/// with `blocks` on depth or width (serving layers validate first).
+pub fn decode_step_batch(
+    blocks: &[QuantizedBlock],
+    h_new: &Matrix<f32>,
+    segments: &[usize],
+    kvs: &mut [&mut KvCache],
+) -> (Matrix<f32>, BlockWorkload) {
     assert_eq!(
-        kv.num_blocks(),
-        blocks.len(),
-        "KV cache built for a different stack depth"
+        segments.len(),
+        kvs.len(),
+        "one KV cache per coalesced session"
     );
+    for (&len, kv) in segments.iter().zip(kvs.iter_mut()) {
+        assert_eq!(
+            kv.num_blocks(),
+            blocks.len(),
+            "KV cache built for a different stack depth"
+        );
+        // One reservation covers the whole chunk across every block, so
+        // the per-token appends below never grow the buffers.
+        kv.reserve_tokens(len);
+    }
     let mut h = h_new.clone();
     let mut wl = BlockWorkload::default();
     for (bi, block) in blocks.iter().enumerate() {
-        let (next, w) = block.forward_decode(&h, kv.block_mut(bi));
+        let mut states: Vec<&mut BlockKvState> =
+            kvs.iter_mut().map(|kv| kv.block_mut(bi)).collect();
+        let (next, w) = block.forward_decode_batch(&h, segments, &mut states);
         wl = wl.merged(&w);
         h = next;
     }

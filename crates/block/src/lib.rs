@@ -52,7 +52,7 @@ use panacea_tensor::matrix::MatrixError;
 
 pub use builder::{sqnr_report, zoo_hidden_states, zoo_transformer, BlockBuilder, BlockSqnr};
 pub use engine::{BlockWorkload, QuantizedBlock};
-pub use kv::{decode_step, BlockKvState, KvCache};
+pub use kv::{decode_step, decode_step_batch, BlockKvState, KvCache};
 
 /// Errors from block preparation.
 #[derive(Debug)]

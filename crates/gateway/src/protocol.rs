@@ -226,6 +226,15 @@ pub struct ShardStats {
     pub decode_steps: u64,
     /// Tokens this shard has decoded across all sessions.
     pub decode_tokens: u64,
+    /// Fused continuous-batching decode passes this shard has run.
+    pub decode_batches: u64,
+    /// Average decode steps per fused pass (`decode_steps /
+    /// decode_batches`; `> 1` means concurrent sessions shared GEMM
+    /// passes). Zero before any fused pass.
+    pub decode_batch_occupancy: f64,
+    /// Columns the fused decode passes zero-padded to the PE vector
+    /// width.
+    pub decode_padded_cols: u64,
 }
 
 /// Gateway-level metrics bundle returned by the `stats` verb.
@@ -469,6 +478,9 @@ fn shard_stats_to_value(s: &ShardStats) -> Value {
         "kv_bytes": s.kv_bytes,
         "decode_steps": s.decode_steps,
         "decode_tokens": s.decode_tokens,
+        "decode_batches": s.decode_batches,
+        "decode_batch_occupancy": s.decode_batch_occupancy,
+        "decode_padded_cols": s.decode_padded_cols,
     })
 }
 
@@ -487,6 +499,9 @@ fn value_to_shard_stats(v: &Value) -> Result<ShardStats, GatewayError> {
         kv_bytes: u64_field(v, "kv_bytes")?,
         decode_steps: u64_field(v, "decode_steps")?,
         decode_tokens: u64_field(v, "decode_tokens")?,
+        decode_batches: u64_field(v, "decode_batches")?,
+        decode_batch_occupancy: f64_field(v, "decode_batch_occupancy")?,
+        decode_padded_cols: u64_field(v, "decode_padded_cols")?,
     })
 }
 
@@ -771,6 +786,9 @@ mod tests {
                     kv_bytes: 12288,
                     decode_steps: 9,
                     decode_tokens: 21,
+                    decode_batches: 4,
+                    decode_batch_occupancy: 2.25,
+                    decode_padded_cols: 5,
                 },
                 ShardStats::default(),
             ],

@@ -315,6 +315,9 @@ impl Gateway {
             shard.kv_bytes = s.kv_bytes as u64;
             shard.decode_steps = s.steps;
             shard.decode_tokens = s.tokens;
+            shard.decode_batches = s.decode_batches;
+            shard.decode_batch_occupancy = s.decode_batch_occupancy();
+            shard.decode_padded_cols = s.decode_padded_cols;
         }
         GatewayStats {
             shards,

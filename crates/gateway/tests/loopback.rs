@@ -224,10 +224,17 @@ fn decode_sessions_work_over_tcp_with_affinity_and_eviction_errors() {
         );
     }
 
-    // Stats over the wire see the session and its KV bytes.
+    // Stats over the wire see the session, its KV bytes, and the
+    // continuous-batching counters (two steps rode fused passes; a solo
+    // client's occupancy is exactly 1 step per pass).
     let stats = client.stats().expect("stats");
     assert_eq!(stats.shards[open.shard].open_sessions, 1);
     assert_eq!(stats.shards[open.shard].kv_bytes, 2 * 2 * 16 * 4 * 4);
+    assert_eq!(stats.shards[open.shard].decode_steps, 2);
+    assert_eq!(stats.shards[open.shard].decode_batches, 2);
+    assert_eq!(stats.shards[open.shard].decode_batch_occupancy, 1.0);
+    // 3-column prefill pads to 4, the single-token step pads to 4.
+    assert_eq!(stats.shards[open.shard].decode_padded_cols, 1 + 3);
 
     // Close, then decode/close again: unknown_session on the wire.
     let closed = client.session_close(open.session).expect("closed");

@@ -1,0 +1,323 @@
+//! Continuous batching for decode: coalescing concurrent sessions'
+//! single-token steps into one GEMM pass per layer.
+//!
+//! KV caching (PR 5) made one decode step O(prefix), but every step
+//! still executed alone on its caller's thread: a single-token step runs
+//! the whole block stack at GEMM width `N = 1`, and the PE array pads
+//! `N` up to the vector width — so a fleet of concurrent decode sessions
+//! wastes up to [`VECTOR_LEN`]× the MACs and serializes work the GEMM
+//! could amortize. The [`DecodeBatcher`] fixes that: callers enqueue
+//! steps, and a dedicated worker stacks the queued steps of the *same*
+//! prepared model (one column group per session) into a single fused
+//! pass — one QKV/proj/fc1/fc2 GEMM per block over all sessions'
+//! columns, attention per session against its own cache
+//! ([`PreparedModel::forward_decode_batch`](crate::PreparedModel::forward_decode_batch)).
+//!
+//! Guarantees:
+//!
+//! * **Bit-exact** — each session's output is bit-identical to stepping
+//!   it alone (column-exact coalescing, same accumulation order); the
+//!   batcher changes throughput, never bits.
+//! * **Same-model grouping** — sessions on different prepared instances
+//!   never share a pass (their weights differ), mirroring the stateless
+//!   batcher's pointer-identity grouping.
+//! * **One step per session per pass** — two queued steps for one
+//!   session are order-dependent (the second attends over the first's
+//!   K/V), so the second waits for the next pass.
+//! * **No poisoning** — steps are validated *before* they can enqueue
+//!   ([`PreparedModel::validate_decode`](crate::PreparedModel::validate_decode)),
+//!   so a malformed request fails on its own thread and can never take
+//!   a fused batch down.
+//!
+//! Knobs: `max_batch` bounds the fused pass's total columns, and
+//! `max_wait` is how long the oldest queued step lingers for batchmates.
+//! Even at zero linger, batches form naturally under load: while one
+//! pass executes, the next wave of steps queues up behind it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use panacea_bitslice::VECTOR_LEN;
+use panacea_block::KvCache;
+use panacea_core::Workload;
+use panacea_tensor::Matrix;
+
+use crate::session::{Session, Slot};
+
+/// What a fused pass hands back to each waiting step: the session's
+/// output columns, its total token count afterwards, and the workload of
+/// the whole batch the step rode in (mirroring the stateless runtime's
+/// per-request workload reporting).
+pub(crate) type StepOutcome = (Matrix<f32>, usize, Workload);
+
+/// One queued decode step.
+#[derive(Debug)]
+struct DecodeJob {
+    session: u64,
+    slot: Arc<Slot>,
+    hidden: Matrix<f32>,
+    responder: mpsc::Sender<StepOutcome>,
+    enqueued_at: Instant,
+}
+
+#[derive(Debug)]
+struct BatchQueue {
+    queue: VecDeque<DecodeJob>,
+    shutting_down: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<BatchQueue>,
+    work_ready: Condvar,
+    max_batch: usize,
+    max_wait: Duration,
+    batches: AtomicU64,
+    padded_cols: AtomicU64,
+}
+
+/// The continuous-batching executor behind
+/// [`SessionManager::step`](crate::SessionManager::step): a queue of
+/// decode steps plus one worker thread fusing them into batched GEMM
+/// passes. Owned by the session manager; dropping it drains the queue
+/// and joins the worker.
+#[derive(Debug)]
+pub struct DecodeBatcher {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl DecodeBatcher {
+    /// Spawns the batching worker. `max_batch` bounds a fused pass's
+    /// total columns (at least the head step always dispatches);
+    /// `max_wait` is the linger for batchmates.
+    pub(crate) fn new(max_batch: usize, max_wait: Duration) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(BatchQueue {
+                queue: VecDeque::new(),
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+            max_batch: max_batch.max(1),
+            max_wait,
+            batches: AtomicU64::new(0),
+            padded_cols: AtomicU64::new(0),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("panacea-decode-batch".to_string())
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn decode batcher")
+        };
+        DecodeBatcher {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueues one pre-validated step and returns the channel its
+    /// outcome arrives on. The caller blocks on the receiver; a closed
+    /// channel means the worker died (surfaced as `WorkerLost`).
+    pub(crate) fn submit(
+        &self,
+        session: u64,
+        slot: Arc<Slot>,
+        hidden: Matrix<f32>,
+    ) -> mpsc::Receiver<StepOutcome> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.state.lock().expect("decode queue poisoned");
+            st.queue.push_back(DecodeJob {
+                session,
+                slot,
+                hidden,
+                responder: tx,
+                enqueued_at: Instant::now(),
+            });
+        }
+        self.shared.work_ready.notify_one();
+        rx
+    }
+
+    /// Fused passes executed so far.
+    pub fn batches(&self) -> u64 {
+        self.shared.batches.load(Ordering::Relaxed)
+    }
+
+    /// Columns the fused passes zero-padded to reach the PE vector
+    /// width — the waste continuous batching exists to reclaim.
+    pub fn padded_cols(&self) -> u64 {
+        self.shared.padded_cols.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for DecodeBatcher {
+    fn drop(&mut self) {
+        let Some(worker) = self.worker.take() else {
+            return;
+        };
+        {
+            let mut st = self.shared.state.lock().expect("decode queue poisoned");
+            st.shutting_down = true;
+        }
+        self.shared.work_ready.notify_all();
+        let _ = worker.join();
+    }
+}
+
+/// Columns the head's model could fuse right now: same prepared
+/// instance, at most one step per session.
+fn eligible_cols(queue: &VecDeque<DecodeJob>) -> usize {
+    let Some(head) = queue.front() else { return 0 };
+    let mut sessions: Vec<u64> = Vec::with_capacity(queue.len());
+    let mut cols = 0;
+    for job in queue {
+        if Arc::ptr_eq(&job.slot.model, &head.slot.model) && !sessions.contains(&job.session) {
+            sessions.push(job.session);
+            cols += job.hidden.cols();
+        }
+    }
+    cols
+}
+
+/// Whether every queued step targets the head's model. The worker only
+/// lingers while this holds — once another model waits behind the head,
+/// lingering would head-of-line-block it.
+fn queue_is_single_model(queue: &VecDeque<DecodeJob>) -> bool {
+    let Some(head) = queue.front() else {
+        return true;
+    };
+    queue
+        .iter()
+        .all(|j| Arc::ptr_eq(&j.slot.model, &head.slot.model))
+}
+
+/// Removes the head step plus every queued same-model step for a
+/// session not already in the batch, in arrival order, until the column
+/// budget fills. Steps for other models (or repeat sessions) keep their
+/// relative order.
+fn take_decode_batch(queue: &mut VecDeque<DecodeJob>, max_batch: usize) -> Option<Vec<DecodeJob>> {
+    let head = queue.pop_front()?;
+    let model = Arc::clone(&head.slot.model);
+    let mut cols = head.hidden.cols();
+    let mut sessions = vec![head.session];
+    let mut jobs = vec![head];
+    let mut i = 0;
+    while i < queue.len() && cols < max_batch {
+        let candidate = &queue[i];
+        if Arc::ptr_eq(&candidate.slot.model, &model)
+            && !sessions.contains(&candidate.session)
+            // The budget is a hard bound: a companion that would push
+            // the pass past it waits for the next one, so a queued
+            // single-token step is never head-of-line-blocked behind a
+            // wide chunk riding its pass.
+            && cols + candidate.hidden.cols() <= max_batch
+        {
+            let job = queue.remove(i).expect("index in bounds");
+            cols += job.hidden.cols();
+            sessions.push(job.session);
+            jobs.push(job);
+        } else {
+            i += 1;
+        }
+    }
+    Some(jobs)
+}
+
+/// Executes one fused pass: lock every participating session for the
+/// duration of the pass (a session's steps are serialized by definition;
+/// holding the lock across the pass is exactly the serialization a solo
+/// step would impose, and releasing it mid-pass would let an eviction
+/// tear half-advanced KV state), run the batched decode, split the
+/// outputs back per session, answer every caller.
+fn execute_batch(jobs: Vec<DecodeJob>, shared: &Shared) {
+    let model = Arc::clone(&jobs[0].slot.model);
+    let mut guards: Vec<MutexGuard<'_, Session>> = jobs
+        .iter()
+        .map(|j| j.slot.cell.lock().expect("session poisoned"))
+        .collect();
+    let hiddens: Vec<&Matrix<f32>> = jobs.iter().map(|j| &j.hidden).collect();
+    let segments: Vec<usize> = hiddens.iter().map(|h| h.cols()).collect();
+    let stacked = Matrix::hstack(&hiddens).expect("validated steps share the model width");
+    let mut kvs: Vec<&mut KvCache> = guards.iter_mut().map(|g| &mut g.kv).collect();
+    // The error arm is unreachable by construction: every step was
+    // validated against its model before enqueue and its cache was
+    // built by that model. If it ever fires, dropping the responders
+    // surfaces `WorkerLost` to the callers instead of hanging them.
+    if let Ok((out, wl)) = model.forward_decode_batch_prevalidated(&stacked, &segments, &mut kvs) {
+        let now = Instant::now();
+        let tokens: Vec<usize> = guards
+            .iter_mut()
+            .map(|g| {
+                g.last_used = now;
+                g.kv.tokens()
+            })
+            .collect();
+        drop(guards);
+        let total: usize = segments.iter().sum();
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.padded_cols.fetch_add(
+            ((VECTOR_LEN - total % VECTOR_LEN) % VECTOR_LEN) as u64,
+            Ordering::Relaxed,
+        );
+        let parts = out
+            .split_cols(&segments)
+            .expect("decode keeps one output column per input column");
+        for ((job, part), tok) in jobs.into_iter().zip(parts).zip(tokens) {
+            // A dropped receiver just means the caller stopped waiting;
+            // the session still advanced.
+            let _ = job.responder.send((part, tok, wl));
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut st = shared.state.lock().expect("decode queue poisoned");
+    loop {
+        // Idle: wait for work, or for shutdown with a drained queue.
+        while st.queue.is_empty() {
+            if st.shutting_down {
+                return;
+            }
+            st = shared.work_ready.wait(st).expect("decode queue poisoned");
+        }
+
+        // Linger until the head model's fusable columns fill the
+        // budget, the head step's deadline passes, another model queues
+        // behind the head, or shutdown forces dispatch.
+        while !st.shutting_down {
+            if eligible_cols(&st.queue) >= shared.max_batch || !queue_is_single_model(&st.queue) {
+                break;
+            }
+            let head_enqueued = match st.queue.front() {
+                Some(job) => job.enqueued_at,
+                None => break,
+            };
+            let deadline = head_enqueued + shared.max_wait;
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = shared
+                .work_ready
+                .wait_timeout(st, deadline - now)
+                .expect("decode queue poisoned");
+            st = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+
+        let Some(jobs) = take_decode_batch(&mut st.queue, shared.max_batch) else {
+            continue;
+        };
+        drop(st);
+        execute_batch(jobs, shared);
+        st = shared.state.lock().expect("decode queue poisoned");
+    }
+}

@@ -28,6 +28,7 @@
 //! intake, drains every accepted request, and joins all workers.
 
 pub mod batch;
+pub mod decode_batch;
 pub mod metrics;
 pub mod model;
 pub mod payload;
@@ -44,6 +45,7 @@ use panacea_core::Workload;
 use panacea_tensor::Matrix;
 
 pub use batch::BatchPolicy;
+pub use decode_batch::DecodeBatcher;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use model::{LayerSpec, ModelRegistry, PrepareOptions, PreparedModel};
 pub use payload::{Payload, PayloadKind};

@@ -551,14 +551,98 @@ impl PreparedModel {
         hidden: &Matrix<f32>,
         kv: &mut KvCache,
     ) -> Result<(Matrix<f32>, Workload), ServeError> {
-        let Body::Blocks { blocks } = &self.body else {
-            return Err(ServeError::PayloadKindMismatch {
-                model: self.name.clone(),
-                model_is_block: false,
+        self.validate_decode(hidden)?;
+        self.forward_decode_prevalidated(hidden, kv)
+    }
+
+    /// [`forward_decode`](Self::forward_decode) minus the payload
+    /// re-scan, for serving hot paths that already ran
+    /// [`validate_decode`](Self::validate_decode) on `hidden` (the KV
+    /// shape is still checked — it is O(1)).
+    pub(crate) fn forward_decode_prevalidated(
+        &self,
+        hidden: &Matrix<f32>,
+        kv: &mut KvCache,
+    ) -> Result<(Matrix<f32>, Workload), ServeError> {
+        let blocks = self.decode_blocks()?;
+        self.check_kv(blocks, kv)?;
+        let (out, wl) = panacea_block::decode_step(blocks, hidden, kv);
+        Ok((out, wl.total()))
+    }
+
+    /// Continuous-batching decode: many sessions' new token columns,
+    /// stacked in `hidden` (`segments[i]` columns advance `kvs[i]`), run
+    /// through one GEMM pass per block
+    /// ([`panacea_block::decode_step_batch`]) with attention and the K/V
+    /// append per session. Each session's output columns are
+    /// bit-identical to stepping it alone through
+    /// [`forward_decode`](Self::forward_decode) — this is the fused pass
+    /// the decode batcher executes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`forward_decode`](Self::forward_decode),
+    /// plus [`ServeError::Shape`] when `segments` and `kvs` disagree in
+    /// length, any segment is empty, or the segments do not cover
+    /// `hidden`'s columns exactly.
+    pub fn forward_decode_batch(
+        &self,
+        hidden: &Matrix<f32>,
+        segments: &[usize],
+        kvs: &mut [&mut KvCache],
+    ) -> Result<(Matrix<f32>, Workload), ServeError> {
+        self.validate_decode(hidden)?;
+        if segments.len() != kvs.len() {
+            return Err(ServeError::Shape {
+                expected: segments.len(),
+                actual: kvs.len(),
             });
-        };
-        // The hidden-payload contract, checked without cloning the step
-        // into a Payload (decode steps are the per-token hot path).
+        }
+        if segments.contains(&0) {
+            return Err(ServeError::EmptyRequest);
+        }
+        if segments.iter().sum::<usize>() != hidden.cols() {
+            return Err(ServeError::Shape {
+                expected: hidden.cols(),
+                actual: segments.iter().sum(),
+            });
+        }
+        self.forward_decode_batch_prevalidated(hidden, segments, kvs)
+    }
+
+    /// [`forward_decode_batch`](Self::forward_decode_batch) minus the
+    /// payload re-scan and segment checks, for the decode batcher's
+    /// worker: every step was validated before it could enqueue, and
+    /// the worker builds `segments` from the very matrices it stacks.
+    /// KV shape checks (O(1) each) remain.
+    pub(crate) fn forward_decode_batch_prevalidated(
+        &self,
+        hidden: &Matrix<f32>,
+        segments: &[usize],
+        kvs: &mut [&mut KvCache],
+    ) -> Result<(Matrix<f32>, Workload), ServeError> {
+        let blocks = self.decode_blocks()?;
+        for kv in kvs.iter() {
+            self.check_kv(blocks, kv)?;
+        }
+        let (out, wl) = panacea_block::decode_step_batch(blocks, hidden, segments, kvs);
+        Ok((out, wl.total()))
+    }
+
+    /// The hidden-payload contract for decode steps, checked without
+    /// cloning the step into a [`Payload`] (decode steps are the
+    /// per-token hot path). The serving layer runs this *before* a step
+    /// can enter a fused batch, so one bad request can never poison its
+    /// batchmates.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::PayloadKindMismatch`] for linear chains,
+    /// [`ServeError::Shape`] / [`ServeError::EmptyRequest`] /
+    /// [`ServeError::NonFiniteInput`] for inputs violating the hidden
+    /// payload contract.
+    pub fn validate_decode(&self, hidden: &Matrix<f32>) -> Result<(), ServeError> {
+        self.decode_blocks()?;
         if hidden.rows() != self.in_features {
             return Err(ServeError::Shape {
                 expected: self.in_features,
@@ -571,6 +655,21 @@ impl PreparedModel {
         if !hidden.iter().all(|v| v.is_finite()) {
             return Err(ServeError::NonFiniteInput);
         }
+        Ok(())
+    }
+
+    /// The block stack, or the chain-model error decode paths share.
+    fn decode_blocks(&self) -> Result<&[QuantizedBlock], ServeError> {
+        match &self.body {
+            Body::Blocks { blocks } => Ok(blocks),
+            Body::Chain { .. } => Err(ServeError::PayloadKindMismatch {
+                model: self.name.clone(),
+                model_is_block: false,
+            }),
+        }
+    }
+
+    fn check_kv(&self, blocks: &[QuantizedBlock], kv: &KvCache) -> Result<(), ServeError> {
         if kv.num_blocks() != blocks.len() {
             return Err(ServeError::Shape {
                 expected: blocks.len(),
@@ -583,8 +682,7 @@ impl PreparedModel {
                 actual: kv.d_model(),
             });
         }
-        let (out, wl) = panacea_block::decode_step(blocks, hidden, kv);
-        Ok((out, wl.total()))
+        Ok(())
     }
 }
 

@@ -18,12 +18,27 @@
 //!   the budget still cannot fit, fails with
 //!   [`ServeError::KvBudgetExceeded`] instead of growing unboundedly.
 //!
-//! Steps execute on the calling thread (a decode step is a latency-bound
-//! O(prefix) pass over one new token, not a batching candidate), and a
-//! session's steps are serialized by its own lock while distinct
-//! sessions run concurrently. Stepping a closed or evicted session
-//! fails with [`ServeError::UnknownSession`] — the caller re-opens and
-//! replays its prefix.
+//! Steps are **continuously batched**: [`step`](SessionManager::step)
+//! submits into the manager's [`DecodeBatcher`], whose worker fuses the
+//! queued steps of concurrent sessions on the same model into one GEMM
+//! pass per layer ([`PreparedModel::forward_decode_batch`]) — aggregate
+//! decode throughput scales with concurrency by filling the GEMM `N`
+//! dimension, while every session's outputs stay bit-identical to solo
+//! stepping. Knobs: [`SessionConfig::max_decode_batch`] (columns per
+//! fused pass; `0`/`1` disables batching and steps execute inline on
+//! the caller thread, the pre-batching behavior) and
+//! [`SessionConfig::decode_max_wait`] (linger for batchmates). A
+//! session's steps are serialized by its own lock — held by the worker
+//! for the fused pass it rides in — while distinct sessions proceed
+//! concurrently. Stepping a closed or evicted session fails with
+//! [`ServeError::UnknownSession`] — the caller re-opens and replays its
+//! prefix.
+//!
+//! Idle eviction is amortized: the O(sessions) idle scan runs at most
+//! once per sweep period (a fraction of the idle timeout), not on every
+//! step, so steady-state stepping costs O(1) in session count under the
+//! manager's map lock. An explicit [`sweep`](SessionManager::sweep)
+//! always scans.
 //!
 //! Session state is **never** admissible to a response cache: a step's
 //! output depends on the KV prefix, not just its payload, so replaying
@@ -40,17 +55,35 @@ use panacea_block::KvCache;
 use panacea_core::Workload;
 use panacea_tensor::Matrix;
 
+use crate::decode_batch::DecodeBatcher;
 use crate::model::PreparedModel;
 use crate::ServeError;
 
-/// Lifecycle and footprint knobs for a [`SessionManager`].
+/// Lifecycle, footprint, and continuous-batching knobs for a
+/// [`SessionManager`].
 #[derive(Debug, Clone, Copy)]
 pub struct SessionConfig {
-    /// A session untouched this long is evicted by the next manager
-    /// operation (or an explicit [`SessionManager::sweep`]).
+    /// A session untouched this long is evicted by the next amortized
+    /// sweep (or an explicit [`SessionManager::sweep`]).
     pub idle_timeout: Duration,
     /// Total resident KV bytes allowed across all sessions.
     pub max_kv_bytes: usize,
+    /// Column budget of one fused decode pass (continuous batching).
+    /// `0` or `1` disables the batcher entirely: steps execute inline
+    /// on the caller's thread, one session per GEMM pass. A chunk at
+    /// least this wide also executes inline — it would fill a pass by
+    /// itself, and caller-thread execution keeps concurrent wide
+    /// prefills parallel instead of serialized behind the worker.
+    pub max_decode_batch: usize,
+    /// How long the oldest queued decode step may linger for batchmates
+    /// before its fused pass dispatches anyway. Batches also form with
+    /// zero linger — steps queue up behind the pass in flight — but a
+    /// short linger fills passes when arrivals trickle in.
+    pub decode_max_wait: Duration,
+    /// KV capacity (in tokens) pre-reserved when a session opens, so a
+    /// typical prefill appends into pre-sized buffers instead of growing
+    /// them mid-chunk.
+    pub open_reserve_tokens: usize,
 }
 
 impl Default for SessionConfig {
@@ -58,6 +91,9 @@ impl Default for SessionConfig {
         SessionConfig {
             idle_timeout: Duration::from_secs(60),
             max_kv_bytes: 64 << 20,
+            max_decode_batch: 32,
+            decode_max_wait: Duration::ZERO,
+            open_reserve_tokens: 64,
         }
     }
 }
@@ -81,23 +117,49 @@ pub struct SessionStats {
     pub steps: u64,
     /// Tokens decoded across all steps.
     pub tokens: u64,
+    /// Fused decode passes executed by the continuous batcher (zero
+    /// when batching is disabled).
+    pub decode_batches: u64,
+    /// Columns the fused passes zero-padded to reach the PE vector
+    /// width.
+    pub decode_padded_cols: u64,
+}
+
+impl SessionStats {
+    /// Average steps per fused decode pass — `steps / decode_batches`,
+    /// the occupancy figure that shows continuous batching working
+    /// (`> 1` means concurrent sessions actually shared GEMM passes).
+    /// Zero when no fused pass has run.
+    pub fn decode_batch_occupancy(&self) -> f64 {
+        if self.decode_batches == 0 {
+            0.0
+        } else {
+            self.steps as f64 / self.decode_batches as f64
+        }
+    }
 }
 
 /// Source of process-unique session ids; 0 is never issued.
 static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
 
+/// The mutable half of a session, behind its per-session lock. The
+/// decode batcher's worker holds this lock for the fused pass a step
+/// rides in.
 #[derive(Debug)]
-struct Session {
-    model: Arc<PreparedModel>,
-    kv: KvCache,
-    last_used: Instant,
+pub(crate) struct Session {
+    pub(crate) kv: KvCache,
+    pub(crate) last_used: Instant,
 }
 
-/// One session's map entry: the per-session lock plus the metadata the
-/// manager reads without taking it.
+/// One session's map entry: the per-session lock plus the immutable
+/// metadata the manager (and the decode batcher) read without taking it.
 #[derive(Debug)]
-struct Slot {
-    cell: Mutex<Session>,
+pub(crate) struct Slot {
+    pub(crate) cell: Mutex<Session>,
+    /// The prepared model this session decodes on — immutable for the
+    /// session's lifetime, so the batcher groups same-model steps by
+    /// pointer identity without touching the cell.
+    pub(crate) model: Arc<PreparedModel>,
     bytes_per_token: usize,
     /// Bytes this slot currently contributes to the manager's
     /// `total_bytes` — resident KV plus any reservation for a step in
@@ -124,6 +186,9 @@ struct Inner {
     /// Sum of resident KV bytes, including reservations for in-flight
     /// steps.
     total_bytes: usize,
+    /// When the next amortized idle scan is due — steps and opens before
+    /// this instant skip the O(sessions) scan entirely.
+    next_idle_sweep: Instant,
     counters: Counters,
 }
 
@@ -132,18 +197,26 @@ struct Inner {
 pub struct SessionManager {
     config: SessionConfig,
     inner: Mutex<Inner>,
+    /// Continuous-batching executor for decode steps; `None` when
+    /// [`SessionConfig::max_decode_batch`] disables batching (steps run
+    /// inline on the caller's thread).
+    batcher: Option<DecodeBatcher>,
 }
 
 impl SessionManager {
     /// An empty manager enforcing `config`.
     pub fn new(config: SessionConfig) -> Self {
+        let batcher = (config.max_decode_batch > 1)
+            .then(|| DecodeBatcher::new(config.max_decode_batch, config.decode_max_wait));
         SessionManager {
             config,
             inner: Mutex::new(Inner {
                 sessions: HashMap::new(),
                 total_bytes: 0,
+                next_idle_sweep: Instant::now() + idle_sweep_period(config.idle_timeout),
                 counters: Counters::default(),
             }),
+            batcher,
         }
     }
 
@@ -162,20 +235,23 @@ impl SessionManager {
     /// [`ServeError::PayloadKindMismatch`] when `model` is a linear
     /// chain (there is no attention state to cache).
     pub fn open(&self, model: Arc<PreparedModel>) -> Result<u64, ServeError> {
-        let kv = model.new_kv_cache()?;
+        let mut kv = model.new_kv_cache()?;
+        // Pre-size the K/V buffers for a typical prefill, so the first
+        // chunk appends into reserved capacity instead of growing vecs.
+        kv.reserve_tokens(self.config.open_reserve_tokens);
         let bytes_per_token = kv.bytes_per_token();
         let id = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(Slot {
             cell: Mutex::new(Session {
-                model,
                 kv,
                 last_used: Instant::now(),
             }),
+            model,
             bytes_per_token,
             accounted: AtomicUsize::new(0),
         });
         let mut inner = self.inner.lock().expect("session map poisoned");
-        self.evict_idle_locked(&mut inner, Instant::now());
+        self.maybe_evict_idle_locked(&mut inner, Instant::now());
         inner.sessions.insert(id, slot);
         inner.counters.opened += 1;
         Ok(id)
@@ -193,17 +269,22 @@ impl SessionManager {
 
     /// Advances a session by `hidden` (`d_model × t_new` new tokens,
     /// any chunking), returning the new tokens' output hidden states,
-    /// the session's total token count afterwards, and the step's
-    /// workload. Bit-identical to a full causal recompute of the whole
-    /// prefix — see [`PreparedModel::forward_decode`].
+    /// the session's total token count afterwards, and the workload of
+    /// the fused pass the step rode in. Bit-identical to a full causal
+    /// recompute of the whole prefix — see
+    /// [`PreparedModel::forward_decode`] — *and* to solo stepping: the
+    /// continuous batcher coalesces concurrent sessions' steps into one
+    /// GEMM pass per layer without changing any session's bits.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownSession`] if the session was never opened,
     /// was closed, or has been evicted;
     /// [`ServeError::KvBudgetExceeded`] if the step cannot fit the byte
-    /// budget even after evicting idle sessions; and the input-contract
-    /// errors of [`PreparedModel::forward_decode`].
+    /// budget even after evicting idle sessions; the input-contract
+    /// errors of [`PreparedModel::validate_decode`]; and
+    /// [`ServeError::WorkerLost`] if the batching worker died (never
+    /// under clean shutdown).
     pub fn step(
         &self,
         session: u64,
@@ -212,7 +293,7 @@ impl SessionManager {
         let now = Instant::now();
         let (slot, growth) = {
             let mut inner = self.inner.lock().expect("session map poisoned");
-            self.evict_idle_locked(&mut inner, now);
+            self.maybe_evict_idle_locked(&mut inner, now);
             let slot = Arc::clone(
                 inner
                     .sessions
@@ -247,12 +328,36 @@ impl SessionManager {
             (slot, growth)
         };
 
-        let result = {
-            let mut s = slot.cell.lock().expect("session poisoned");
-            let model = Arc::clone(&s.model);
-            let r = model.forward_decode(hidden, &mut s.kv);
-            s.last_used = Instant::now();
-            r.map(|(out, wl)| (out, s.kv.tokens(), wl))
+        // Validate before the step can reach a fused batch (or the
+        // session lock): a malformed step fails on this thread, rolls
+        // its reservation back below, and can never poison batchmates.
+        // A chunk at least as wide as the fused-pass budget executes
+        // inline too — it would fill a pass alone anyway, and running
+        // wide prefills on their caller threads keeps them parallel
+        // across sessions instead of serializing behind one worker.
+        let batcher = self
+            .batcher
+            .as_ref()
+            .filter(|_| hidden.cols() < self.config.max_decode_batch);
+        let result = match slot.model.validate_decode(hidden) {
+            Err(e) => Err(e),
+            Ok(()) => match batcher {
+                // Continuous batching: enqueue and block for the fused
+                // pass this step rides in. The worker holds the session
+                // lock for the pass and updates `last_used`.
+                Some(batcher) => batcher
+                    .submit(session, Arc::clone(&slot), hidden.clone())
+                    .recv()
+                    .map_err(|_| ServeError::WorkerLost),
+                // Batching disabled (or a budget-filling chunk):
+                // execute inline, one session per GEMM pass.
+                None => {
+                    let mut s = slot.cell.lock().expect("session poisoned");
+                    let r = slot.model.forward_decode_prevalidated(hidden, &mut s.kv);
+                    s.last_used = Instant::now();
+                    r.map(|(out, wl)| (out, s.kv.tokens(), wl))
+                }
+            },
         };
 
         let mut inner = self.inner.lock().expect("session map poisoned");
@@ -307,9 +412,9 @@ impl SessionManager {
         Ok(tokens)
     }
 
-    /// Evicts every idle-timed-out session now (idle eviction also
-    /// happens opportunistically on open/step). Returns how many were
-    /// evicted.
+    /// Evicts every idle-timed-out session now, regardless of the
+    /// amortization deadline (idle eviction also happens on open/step,
+    /// but only once per sweep period). Returns how many were evicted.
     pub fn sweep(&self) -> usize {
         let mut inner = self.inner.lock().expect("session map poisoned");
         self.evict_idle_locked(&mut inner, Instant::now())
@@ -327,13 +432,27 @@ impl SessionManager {
             evicted_budget: inner.counters.evicted_budget,
             steps: inner.counters.steps,
             tokens: inner.counters.tokens,
+            decode_batches: self.batcher.as_ref().map_or(0, DecodeBatcher::batches),
+            decode_padded_cols: self.batcher.as_ref().map_or(0, DecodeBatcher::padded_cols),
         }
     }
 
-    /// Drops sessions idle past the timeout. A session whose lock is
-    /// held (a step in flight) is by definition not idle and is
-    /// skipped.
+    /// The amortized idle scan: a no-op until the sweep deadline, so
+    /// steady-state stepping never pays the O(sessions) walk under the
+    /// map lock. Staleness is bounded by one sweep period on top of the
+    /// idle timeout.
+    fn maybe_evict_idle_locked(&self, inner: &mut Inner, now: Instant) {
+        if now < inner.next_idle_sweep {
+            return;
+        }
+        self.evict_idle_locked(inner, now);
+    }
+
+    /// Drops sessions idle past the timeout and re-arms the sweep
+    /// deadline. A session whose lock is held (a step in flight) is by
+    /// definition not idle and is skipped.
     fn evict_idle_locked(&self, inner: &mut Inner, now: Instant) -> usize {
+        inner.next_idle_sweep = now + idle_sweep_period(self.config.idle_timeout);
         let mut victims = Vec::new();
         for (&id, slot) in &inner.sessions {
             let Ok(s) = slot.cell.try_lock() else {
@@ -376,6 +495,14 @@ impl SessionManager {
             inner.counters.evicted_budget += 1;
         }
     }
+}
+
+/// How often the amortized idle scan runs: a quarter of the timeout
+/// bounds eviction staleness at ~1.25× `idle_timeout` while keeping the
+/// O(sessions) walk rare; the floor keeps a zero timeout from re-arming
+/// the scan on every operation.
+fn idle_sweep_period(idle_timeout: Duration) -> Duration {
+    (idle_timeout / 4).max(Duration::from_millis(1))
 }
 
 #[cfg(test)]
@@ -478,6 +605,7 @@ mod tests {
         let (mgr, model) = manager(SessionConfig {
             idle_timeout: Duration::from_secs(3600),
             max_kv_bytes: 1024,
+            ..SessionConfig::default()
         });
         let a = mgr.open(Arc::clone(&model)).expect("opened");
         let b = mgr.open(Arc::clone(&model)).expect("opened");
@@ -545,6 +673,171 @@ mod tests {
             s.kv_bytes, 0,
             "byte accounting drifted under concurrent churn"
         );
+    }
+
+    #[test]
+    fn concurrent_batched_steps_are_bit_exact_and_share_fused_passes() {
+        // Four sessions with *different* token streams step concurrently
+        // through the continuous batcher. Every session's outputs must be
+        // bit-identical to a solo causal recompute of its own stream, and
+        // the batcher must actually fuse passes (occupancy > 1).
+        let (model, blocks) = block_model("batched", 80);
+        let model = Arc::new(model);
+        let mgr = Arc::new(SessionManager::new(SessionConfig {
+            max_decode_batch: 4,
+            decode_max_wait: Duration::from_millis(100),
+            ..SessionConfig::default()
+        }));
+        const SESSIONS: usize = 4;
+        const STEPS: usize = 3;
+        let barrier = Arc::new(std::sync::Barrier::new(SESSIONS));
+        let mut threads = Vec::new();
+        for t in 0..SESSIONS {
+            let mgr = Arc::clone(&mgr);
+            let model = Arc::clone(&model);
+            let barrier = Arc::clone(&barrier);
+            threads.push(std::thread::spawn(move || {
+                let id = mgr.open(model).expect("opened");
+                let stream = hidden(16, STEPS, 50 + t);
+                let mut outs = Vec::new();
+                barrier.wait();
+                for c in 0..STEPS {
+                    let (out, tokens, wl) = mgr
+                        .step(id, &stream.submatrix(0, c, 16, 1))
+                        .expect("stepped");
+                    assert_eq!(tokens, c + 1);
+                    assert!(wl.mul > 0);
+                    outs.push(out);
+                }
+                mgr.close(id).expect("closed");
+                (t, outs)
+            }));
+        }
+        for th in threads {
+            let (t, outs) = th.join().expect("session thread");
+            let stream = hidden(16, STEPS, 50 + t);
+            let mut expect = stream.clone();
+            for b in &blocks {
+                expect = b.forward_segments_causal(&expect, &[STEPS]).0;
+            }
+            for (c, out) in outs.iter().enumerate() {
+                for r in 0..16 {
+                    assert_eq!(
+                        out[(r, 0)].to_bits(),
+                        expect[(r, c)].to_bits(),
+                        "batched step diverged from solo recompute (session {t})"
+                    );
+                }
+            }
+        }
+        let s = mgr.stats();
+        assert_eq!(s.steps, (SESSIONS * STEPS) as u64);
+        assert!(s.decode_batches > 0, "no fused pass ran");
+        assert!(
+            s.decode_batch_occupancy() > 1.0,
+            "concurrent sessions never shared a fused pass (occupancy {}, {} batches)",
+            s.decode_batch_occupancy(),
+            s.decode_batches
+        );
+    }
+
+    #[test]
+    fn disabling_the_batcher_runs_steps_inline() {
+        let (mgr, model) = manager(SessionConfig {
+            max_decode_batch: 1,
+            ..SessionConfig::default()
+        });
+        let id = mgr.open(model).expect("opened");
+        let (out, tokens, wl) = mgr.step(id, &hidden(16, 2, 5)).expect("stepped");
+        assert_eq!(out.shape(), (16, 2));
+        assert_eq!(tokens, 2);
+        assert!(wl.mul > 0);
+        let s = mgr.stats();
+        assert_eq!(s.steps, 1);
+        assert_eq!(s.decode_batches, 0, "inline mode must not run fused passes");
+        assert_eq!(s.decode_batch_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn budget_filling_chunks_bypass_the_batcher_but_stay_exact() {
+        // A prefill chunk as wide as the fused-pass budget would fill a
+        // pass alone: it must run inline (no fused pass counted) while
+        // narrower follow-up steps keep batching — and the outputs must
+        // still match the causal recompute oracle.
+        let (model, blocks) = block_model("wide", 81);
+        let mgr = SessionManager::new(SessionConfig {
+            max_decode_batch: 4,
+            ..SessionConfig::default()
+        });
+        let id = mgr.open(Arc::new(model)).expect("opened");
+        let stream = hidden(16, 5, 9);
+        let (wide, tokens, _) = mgr
+            .step(id, &stream.submatrix(0, 0, 16, 4))
+            .expect("prefill");
+        assert_eq!(tokens, 4);
+        assert_eq!(
+            mgr.stats().decode_batches,
+            0,
+            "budget-filling chunk went through the batcher"
+        );
+        let (narrow, tokens, _) = mgr.step(id, &stream.submatrix(0, 4, 16, 1)).expect("step");
+        assert_eq!(tokens, 5);
+        assert_eq!(mgr.stats().decode_batches, 1, "narrow step did not batch");
+        let mut expect = stream.clone();
+        for b in &blocks {
+            expect = b.forward_segments_causal(&expect, &[5]).0;
+        }
+        for r in 0..16 {
+            for c in 0..4 {
+                assert_eq!(wide[(r, c)].to_bits(), expect[(r, c)].to_bits());
+            }
+            assert_eq!(narrow[(r, 0)].to_bits(), expect[(r, 4)].to_bits());
+        }
+    }
+
+    #[test]
+    fn invalid_steps_fail_before_reaching_a_fused_batch() {
+        // A malformed step must error on its own thread (with its
+        // reservation rolled back), leaving the batcher untouched.
+        let (mgr, model) = manager(SessionConfig::default());
+        let id = mgr.open(model).expect("opened");
+        assert!(matches!(
+            mgr.step(id, &hidden(15, 1, 0)),
+            Err(ServeError::Shape { .. })
+        ));
+        let nan = Matrix::from_fn(16, 1, |_, _| f32::NAN);
+        assert!(matches!(
+            mgr.step(id, &nan),
+            Err(ServeError::NonFiniteInput)
+        ));
+        let s = mgr.stats();
+        assert_eq!(s.decode_batches, 0, "invalid steps entered the batcher");
+        assert_eq!(s.kv_bytes, 0, "failed steps leaked reservations");
+        // The session still works afterwards.
+        assert!(mgr.step(id, &hidden(16, 1, 1)).is_ok());
+    }
+
+    #[test]
+    fn idle_scan_is_amortized_but_sweep_is_immediate() {
+        // With a long idle timeout the amortized deadline is far away:
+        // a step on one session must not opportunistically evict another
+        // expired-looking session before the sweep period elapses —
+        // while an explicit sweep() always scans.
+        let (mgr, model) = manager(SessionConfig {
+            idle_timeout: Duration::from_secs(3600),
+            ..SessionConfig::default()
+        });
+        let a = mgr.open(Arc::clone(&model)).expect("opened");
+        for i in 0..50 {
+            mgr.step(a, &hidden(16, 1, i)).expect("stepped");
+        }
+        assert_eq!(
+            mgr.stats().evicted_idle,
+            0,
+            "steady-state stepping paid idle scans"
+        );
+        assert_eq!(mgr.sweep(), 0, "nothing is actually idle");
+        assert!(mgr.contains(a));
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //!    (`forward_segments_causal`) of the session's whole prefix;
 //! 2. **cross-client determinism** — concurrent sessions fed the same
 //!    token stream produce bit-identical generations;
-//! 3. **session lifecycle** — stats report the sessions and their KV
+//! 3. **continuous batching** — 8 concurrent sessions' single-token
+//!    steps fuse into shared GEMM passes (batch occupancy > 1), their
+//!    outputs stay bit-identical to the batching-disabled serial path,
+//!    and aggregate tokens/s beats serial per-session stepping ≥ 2×;
+//! 4. **session lifecycle** — stats report the sessions and their KV
 //!    bytes while open, closing frees them, and a closed session errors
 //!    with `unknown_session`.
 //!
@@ -17,7 +21,7 @@
 //!
 //! Run with: `cargo run --release --example decode_demo`
 
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use panacea::block::{zoo_hidden_states, zoo_transformer, BlockBuilder, QuantizedBlock};
@@ -68,8 +72,11 @@ fn main() {
     let blocks = BlockBuilder::default()
         .prepare(&oracle, &calibration)
         .expect("prepare blocks");
-    let model = PreparedModel::from_blocks("decoder", blocks.clone()).expect("servable");
-    let gateway = Arc::new(Gateway::new(vec![model], GatewayConfig::default()));
+    let model = Arc::new(PreparedModel::from_blocks("decoder", blocks.clone()).expect("servable"));
+    let gateway = Arc::new(Gateway::from_shared(
+        vec![Arc::clone(&model)],
+        GatewayConfig::default(),
+    ));
     let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
     let addr = server.local_addr();
     println!(
@@ -174,7 +181,148 @@ fn main() {
         );
     }
 
-    // 5. Lifecycle gates: a closed session errors explicitly, and the
+    // 5. Continuous batching: the same generation work executed two
+    //    ways — serial per-session stepping with batching disabled (the
+    //    pre-batching behavior), then 8 concurrent clients through the
+    //    batching gateway. Gates: bit-identical outputs, fused-pass
+    //    occupancy > 1, and >= 2x aggregate tokens/s.
+    const BATCH_SESSIONS: usize = 8;
+    const BATCH_PREFIX: usize = 16;
+    const BATCH_GEN: usize = 24;
+    let serial_gateway = Arc::new(Gateway::from_shared(
+        vec![Arc::clone(&model)],
+        GatewayConfig {
+            session: panacea::serve::SessionConfig {
+                max_decode_batch: 1, // steps execute inline, one per GEMM pass
+                ..Default::default()
+            },
+            ..GatewayConfig::default()
+        },
+    ));
+    let serial_server =
+        GatewayServer::bind(Arc::clone(&serial_gateway), "127.0.0.1:0").expect("bind");
+    let serial_outs = {
+        let mut client = GatewayClient::connect(serial_server.local_addr()).expect("connect");
+        let prefix = prefix_tokens(BATCH_PREFIX);
+        let mut sessions = Vec::new();
+        for _ in 0..BATCH_SESSIONS {
+            let open = client.session_open("decoder").expect("opened");
+            let prefill = client
+                .decode(open.session, prefix.clone())
+                .expect("prefill");
+            sessions.push((open.session, next_token(&prefill.hidden)));
+        }
+        let started = Instant::now();
+        let mut outs: Vec<Matrix<f32>> = Vec::new();
+        for _ in 0..BATCH_GEN {
+            for (session, token) in &mut sessions {
+                let step = client.decode(*session, token.clone()).expect("step");
+                *token = next_token(&step.hidden);
+                outs.push(step.hidden);
+            }
+        }
+        let elapsed = started.elapsed();
+        for (session, _) in &sessions {
+            client.session_close(*session).expect("closed");
+        }
+        let serial_tps = (BATCH_SESSIONS * BATCH_GEN) as f64 / elapsed.as_secs_f64();
+        (outs, serial_tps)
+    };
+    let (serial_outs, serial_tps) = serial_outs;
+
+    let stats_before = GatewayClient::connect(addr)
+        .expect("connect")
+        .stats()
+        .expect("stats");
+    let barrier = Arc::new(Barrier::new(BATCH_SESSIONS));
+    let mut threads = Vec::new();
+    for _ in 0..BATCH_SESSIONS {
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            let mut client = GatewayClient::connect(addr).expect("connect");
+            let prefix = prefix_tokens(BATCH_PREFIX);
+            let open = client.session_open("decoder").expect("opened");
+            let prefill = client
+                .decode(open.session, prefix.clone())
+                .expect("prefill");
+            let mut token = next_token(&prefill.hidden);
+            barrier.wait();
+            let started = Instant::now();
+            let mut outs: Vec<Matrix<f32>> = Vec::new();
+            for _ in 0..BATCH_GEN {
+                let step = client.decode(open.session, token.clone()).expect("step");
+                token = next_token(&step.hidden);
+                outs.push(step.hidden);
+            }
+            let elapsed = started.elapsed();
+            client.session_close(open.session).expect("closed");
+            (outs, elapsed)
+        }));
+    }
+    let results: Vec<(Vec<Matrix<f32>>, std::time::Duration)> = threads
+        .into_iter()
+        .map(|t| t.join().expect("batch client"))
+        .collect();
+    let batched_tps = (BATCH_SESSIONS * BATCH_GEN) as f64
+        / results
+            .iter()
+            .map(|(_, d)| d.as_secs_f64())
+            .fold(0.0, f64::max);
+
+    // Gate: every batched client's generation is bit-identical to the
+    // serial (batching-disabled) path — every session decodes the same
+    // stream, so every output sequence must match bit for bit (to_bits,
+    // so a signed-zero swap could never slip through f32 equality).
+    for (c, (outs, _)) in results.iter().enumerate() {
+        for (step, out) in outs.iter().enumerate() {
+            let expect = &serial_outs[step * BATCH_SESSIONS];
+            for r in 0..D_MODEL {
+                assert_eq!(
+                    out[(r, 0)].to_bits(),
+                    expect[(r, 0)].to_bits(),
+                    "batched client {c} step {step} row {r} diverged from serial stepping"
+                );
+            }
+        }
+    }
+
+    // Gate: the fused passes actually coalesced concurrent sessions.
+    let stats_after = GatewayClient::connect(addr)
+        .expect("connect")
+        .stats()
+        .expect("stats");
+    let steps_delta: u64 = stats_after
+        .shards
+        .iter()
+        .zip(&stats_before.shards)
+        .map(|(a, b)| a.decode_steps - b.decode_steps)
+        .sum();
+    let batches_delta: u64 = stats_after
+        .shards
+        .iter()
+        .zip(&stats_before.shards)
+        .map(|(a, b)| a.decode_batches - b.decode_batches)
+        .sum();
+    assert!(batches_delta > 0, "no fused decode pass ran");
+    let occupancy = steps_delta as f64 / batches_delta as f64;
+    assert!(
+        occupancy > 1.0,
+        "concurrent sessions never shared a fused pass (occupancy {occupancy:.2})"
+    );
+
+    // Gate: continuous batching pays off end to end.
+    let speedup = batched_tps / serial_tps;
+    println!(
+        "\ncontinuous batching @ {BATCH_SESSIONS} sessions: serial {serial_tps:.1} tok/s, \
+         batched {batched_tps:.1} tok/s ({speedup:.2}x, occupancy {occupancy:.2})"
+    );
+    assert!(
+        speedup >= 2.0,
+        "continuous batching underperformed: {speedup:.2}x aggregate speedup at \
+         {BATCH_SESSIONS} sessions (need >= 2x)"
+    );
+
+    // 6. Lifecycle gates: a closed session errors explicitly, and the
     //    gateway is clean (no sessions, no KV bytes) after the run.
     let mut client = GatewayClient::connect(addr).expect("connect");
     let open = client.session_open("decoder").expect("opened");
