@@ -16,11 +16,19 @@
 //! trajectory is tracked across PRs, and the 8-session speedup is gated
 //! so CI catches a regression that serializes decode again.
 //!
+//! A telemetry A/B section re-runs the fused workload with block
+//! sub-layer stage timing toggled off and on
+//! ([`set_stage_timing_enabled`]) and gates the instrumentation cost at
+//! ≤3% of decode tokens/s, so observability never quietly taxes the
+//! serving hot path.
+//!
 //! Run with: `cargo run --release -p panacea-bench --bin decode_bench`
 
 use std::time::Instant;
 
-use panacea_block::{decode_step, decode_step_batch, KvCache, QuantizedBlock};
+use panacea_block::{
+    decode_step, decode_step_batch, set_stage_timing_enabled, KvCache, QuantizedBlock,
+};
 use panacea_models::engine::TransformerConfig;
 use panacea_models::zoo::Benchmark;
 use panacea_serve::testutil::block_stack;
@@ -36,6 +44,11 @@ const SESSION_COUNTS: [usize; 4] = [1, 4, 8, 16];
 /// stepping by at least this factor (the MAC ratio alone is ~4×).
 const GATED_SESSIONS: usize = 8;
 const GATED_SPEEDUP: f64 = 2.0;
+/// Telemetry gate: stage timing on must cost at most this fraction of
+/// fused decode throughput relative to timing off. Best-of-N on each
+/// arm so scheduler noise doesn't fail the gate spuriously.
+const OVERHEAD_TRIALS: usize = 5;
+const MAX_TELEMETRY_OVERHEAD: f64 = 0.03;
 
 fn token(salt: usize) -> Matrix<f32> {
     Matrix::from_fn(D_MODEL, 1, |r, _| {
@@ -54,6 +67,22 @@ fn prefilled(blocks: &[QuantizedBlock], sessions: usize) -> Vec<KvCache> {
             kv
         })
         .collect()
+}
+
+/// One fused-decode throughput trial at `sessions` concurrency:
+/// prefill, then `ROUNDS` batched steps, returning tokens/s.
+fn fused_trial(blocks: &[QuantizedBlock], sessions: usize) -> f64 {
+    let tokens: Vec<Matrix<f32>> = (0..sessions).map(token).collect();
+    let refs: Vec<&Matrix<f32>> = tokens.iter().collect();
+    let stacked = Matrix::hstack(&refs).expect("same width");
+    let segments = vec![1usize; sessions];
+    let mut fused = prefilled(blocks, sessions);
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        let mut kv_refs: Vec<&mut KvCache> = fused.iter_mut().collect();
+        decode_step_batch(blocks, &stacked, &segments, &mut kv_refs);
+    }
+    (sessions * ROUNDS) as f64 / started.elapsed().as_secs_f64()
 }
 
 fn main() {
@@ -136,6 +165,27 @@ fn main() {
         }));
     }
 
+    // Telemetry overhead A/B: the same fused-decode workload with block
+    // sub-layer stage timing off vs on. Arms are interleaved per trial
+    // so clock/thermal drift taxes both equally, and each arm takes its
+    // best of OVERHEAD_TRIALS runs — best-of is the right statistic for
+    // an overhead bound because noise only ever slows a trial down.
+    fused_trial(&blocks, GATED_SESSIONS); // warmup
+    let mut disabled_tps = 0.0f64;
+    let mut enabled_tps = 0.0f64;
+    for _ in 0..OVERHEAD_TRIALS {
+        set_stage_timing_enabled(false);
+        disabled_tps = disabled_tps.max(fused_trial(&blocks, GATED_SESSIONS));
+        set_stage_timing_enabled(true);
+        enabled_tps = enabled_tps.max(fused_trial(&blocks, GATED_SESSIONS));
+    }
+    let overhead = 1.0 - enabled_tps / disabled_tps;
+    println!(
+        "\ntelemetry A/B @ {GATED_SESSIONS} sessions: timing off {disabled_tps:.1} tok/s, \
+         on {enabled_tps:.1} tok/s ({:+.2}% overhead)",
+        overhead * 100.0
+    );
+
     let report = json!({
         "bench": "decode_continuous_batching",
         "d_model": D_MODEL,
@@ -145,6 +195,12 @@ fn main() {
         "prefix_tokens": PREFIX,
         "tokens_per_session": ROUNDS,
         "results": Value::Array(rows),
+        "telemetry_overhead": json!({
+            "sessions": GATED_SESSIONS,
+            "timing_disabled_tokens_per_s": disabled_tps,
+            "timing_enabled_tokens_per_s": enabled_tps,
+            "overhead_frac": overhead,
+        }),
     });
     let encoded = serde_json::to_string(&report).expect("shim serializer never fails");
     std::fs::write("BENCH_decode.json", &encoded).expect("write BENCH_decode.json");
@@ -156,4 +212,17 @@ fn main() {
          (need >= {GATED_SPEEDUP}x)"
     );
     println!("{GATED_SESSIONS}-session fused speedup {gated_speedup:.2}x >= {GATED_SPEEDUP}x ✓");
+
+    assert!(
+        enabled_tps >= (1.0 - MAX_TELEMETRY_OVERHEAD) * disabled_tps,
+        "stage timing costs {:.2}% of fused decode throughput \
+         (gate: <= {:.0}%)",
+        overhead * 100.0,
+        MAX_TELEMETRY_OVERHEAD * 100.0
+    );
+    println!(
+        "telemetry overhead {:+.2}% <= {:.0}% ✓",
+        overhead * 100.0,
+        MAX_TELEMETRY_OVERHEAD * 100.0
+    );
 }

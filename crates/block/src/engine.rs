@@ -6,6 +6,8 @@ use panacea_core::Workload;
 use panacea_quant::Quantizer;
 use panacea_tensor::{ops, Matrix};
 
+use crate::stage_timing::{stage_end, stage_start, Stage};
+
 /// Per-sub-layer AQS workload of one block execution — which of the four
 /// weight GEMMs the multiplies and slice traffic went to.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -187,8 +189,11 @@ impl QuantizedBlock {
         };
 
         // Attention sub-layer.
+        let t = stage_start();
         let ln1 = ops::layer_norm(xp);
         let (qkv_f, wl_qkv) = self.run_dequant(&self.qkv, &ln1);
+        stage_end(Stage::Qkv, t);
+        let t = stage_start();
         let mut ctx = Matrix::<f32>::zeros(self.d_model, aligned);
         let mut col = 0;
         for &len in segments {
@@ -208,8 +213,11 @@ impl QuantizedBlock {
             }
             col += len;
         }
+        stage_end(Stage::Attn, t);
+        let t = stage_start();
         let (attn_out, wl_proj) = self.run_dequant(&self.proj, &ctx);
         let h = ops::add(xp, &attn_out);
+        stage_end(Stage::Proj, t);
 
         let (out, wl_fc1, wl_fc2) = self.mlp_sublayer(&h);
 
@@ -325,8 +333,11 @@ impl QuantizedBlock {
             &padded
         };
 
+        let t = stage_start();
         let ln1 = ops::layer_norm(xp);
         let (qkv_f, wl_qkv) = self.run_dequant(&self.qkv, &ln1);
+        stage_end(Stage::Qkv, t);
+        let t = stage_start();
         let mut ctx = Matrix::<f32>::zeros(self.d_model, aligned);
         let mut col = 0;
         for (&len, state) in segments.iter().zip(states.iter_mut()) {
@@ -345,8 +356,11 @@ impl QuantizedBlock {
             }
             col += len;
         }
+        stage_end(Stage::Attn, t);
+        let t = stage_start();
         let (attn_out, wl_proj) = self.run_dequant(&self.proj, &ctx);
         let h = ops::add(xp, &attn_out);
+        stage_end(Stage::Proj, t);
 
         let (out, wl_fc1, wl_fc2) = self.mlp_sublayer(&h);
 
@@ -372,14 +386,19 @@ impl QuantizedBlock {
     /// f32 round-trip between the two GEMMs. Returns the post-residual
     /// hidden states plus the two GEMM workloads.
     fn mlp_sublayer(&self, h: &Matrix<f32>) -> (Matrix<f32>, Workload, Workload) {
+        let t = stage_start();
         let ln2 = ops::layer_norm(h);
         let fc1_codes = self.fc1.input_config().quantizer.quantize_matrix(&ln2);
         let (mid_codes, wl_fc1) = self.fc1.forward_codes(&fc1_codes);
+        stage_end(Stage::Fc1, t);
+        let t = stage_start();
         let fc2_codes = mid_codes.map(|&c| self.gelu_lut[c as usize]);
         let (fc2_acc, wl_fc2) = self.fc2.forward(&fc2_codes);
         let s_fc2 = self.fc2.accumulator_scale();
         let mlp_out = fc2_acc.map(|&v| (f64::from(v) * s_fc2) as f32);
-        (ops::add(h, &mlp_out), wl_fc1, wl_fc2)
+        let out = ops::add(h, &mlp_out);
+        stage_end(Stage::Fc2, t);
+        (out, wl_fc1, wl_fc2)
     }
 
     /// Quantize → AQS-GEMM → dequantize for the sub-layers whose output

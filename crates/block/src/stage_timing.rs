@@ -1,0 +1,117 @@
+//! Process-global sub-layer stage timing for block execution.
+//!
+//! Every [`QuantizedBlock`](crate::QuantizedBlock) forward pass times
+//! its five sub-stages — the QKV GEMM, attention, the output
+//! projection, and the two MLP GEMMs — into one process-global set of
+//! [`Histogram`]s. The rollup is global rather than per-block because
+//! a serving deployment runs many blocks per model per shard and the
+//! question the histograms answer ("where does a forward pass spend
+//! its time?") is a process-level one; the serve-layer histograms
+//! carry the per-shard breakdown.
+//!
+//! Timing is on by default and costs two `Instant::now()` calls per
+//! GEMM — negligible next to the GEMM itself, and gated by the decode
+//! bench's ≤3% overhead assertion. [`set_stage_timing_enabled`] turns
+//! it off entirely (one relaxed atomic load per stage), which is what
+//! the bench's A/B comparison toggles.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use panacea_telemetry::{Histogram, HistogramSnapshot};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+struct StageSet {
+    qkv: Histogram,
+    attn: Histogram,
+    proj: Histogram,
+    fc1: Histogram,
+    fc2: Histogram,
+}
+
+fn stages() -> &'static StageSet {
+    static STAGES: OnceLock<StageSet> = OnceLock::new();
+    STAGES.get_or_init(|| StageSet {
+        qkv: Histogram::new(),
+        attn: Histogram::new(),
+        proj: Histogram::new(),
+        fc1: Histogram::new(),
+        fc2: Histogram::new(),
+    })
+}
+
+/// One of the five timed sub-stages of a block forward pass.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Stage {
+    Qkv,
+    Attn,
+    Proj,
+    Fc1,
+    Fc2,
+}
+
+/// Starts timing a stage; `None` when timing is disabled.
+pub(crate) fn stage_start() -> Option<Instant> {
+    ENABLED.load(Ordering::Relaxed).then(Instant::now)
+}
+
+/// Finishes timing a stage started with [`stage_start`].
+pub(crate) fn stage_end(stage: Stage, started: Option<Instant>) {
+    let Some(started) = started else { return };
+    let set = stages();
+    let hist = match stage {
+        Stage::Qkv => &set.qkv,
+        Stage::Attn => &set.attn,
+        Stage::Proj => &set.proj,
+        Stage::Fc1 => &set.fc1,
+        Stage::Fc2 => &set.fc2,
+    };
+    hist.record_duration(started.elapsed());
+}
+
+/// Turns block sub-layer stage timing on or off process-wide.
+pub fn set_stage_timing_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether block sub-layer stage timing is currently on.
+pub fn stage_timing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Snapshots of the process-global block stage histograms (nanosecond
+/// samples), tagged with their wire-format stage names.
+pub fn stage_snapshots() -> Vec<(&'static str, HistogramSnapshot)> {
+    let set = stages();
+    vec![
+        ("block_qkv", set.qkv.snapshot()),
+        ("block_attn", set.attn.snapshot()),
+        ("block_proj", set.proj.snapshot()),
+        ("block_fc1", set.fc1.snapshot()),
+        ("block_fc2", set.fc2.snapshot()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_gates_recording_and_snapshots_roll_up() {
+        // The stage set is process-global and other tests record into
+        // it concurrently, so assert deltas, never absolute counts.
+        set_stage_timing_enabled(false);
+        let t = stage_start();
+        assert!(t.is_none(), "disabled timing must not start timers");
+        stage_end(Stage::Qkv, t);
+        set_stage_timing_enabled(true);
+        let before: u64 = stage_snapshots().iter().map(|(_, s)| s.count).sum();
+        let t = stage_start();
+        assert!(t.is_some());
+        stage_end(Stage::Fc2, t);
+        let after: u64 = stage_snapshots().iter().map(|(_, s)| s.count).sum();
+        assert!(after > before, "enabled timing must record");
+    }
+}

@@ -12,8 +12,8 @@ use panacea_serve::Payload;
 use panacea_tensor::Matrix;
 
 use crate::protocol::{
-    decode_response, encode_request, DecodeReply, GatewayStats, InferReply, Request, Response,
-    SessionCloseReply, SessionOpenReply,
+    decode_response, encode_request, DecodeReply, GatewayMetrics, GatewayStats, InferReply,
+    Request, Response, SessionCloseReply, SessionOpenReply, TraceReply,
 };
 use crate::GatewayError;
 
@@ -207,6 +207,38 @@ impl GatewayClient {
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
             _ => Err(GatewayError::Protocol(
                 "server answered a stats request with an inference".to_string(),
+            )),
+        }
+    }
+
+    /// Fetches per-stage latency quantile summaries (gateway stages,
+    /// per-shard serving stages, block sub-layer stages).
+    ///
+    /// # Errors
+    ///
+    /// Same transport failures as [`infer`](Self::infer).
+    pub fn metrics(&mut self) -> Result<GatewayMetrics, GatewayError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(metrics) => Ok(metrics),
+            Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
+            _ => Err(GatewayError::Protocol(
+                "server answered a metrics request with the wrong kind".to_string(),
+            )),
+        }
+    }
+
+    /// Fetches up to `limit` of the most recent slow-request traces,
+    /// newest first, each a structured span list.
+    ///
+    /// # Errors
+    ///
+    /// Same transport failures as [`infer`](Self::infer).
+    pub fn trace(&mut self, limit: usize) -> Result<TraceReply, GatewayError> {
+        match self.call(&Request::Trace { limit })? {
+            Response::Trace(reply) => Ok(reply),
+            Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
+            _ => Err(GatewayError::Protocol(
+                "server answered a trace request with the wrong kind".to_string(),
             )),
         }
     }

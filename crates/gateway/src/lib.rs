@@ -59,9 +59,11 @@ pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, Admis
 pub use cache::{CacheConfig, CacheStats, CachedOutput, RequestCache};
 pub use client::GatewayClient;
 pub use panacea_serve::{Payload, PayloadKind, SessionConfig, SessionStats};
+pub use panacea_telemetry::{TraceConfig, Tracer};
 pub use protocol::{
-    DecodeReply, ErrorKind, GatewayStats, InferReply, Request, Response, SessionCloseReply,
-    SessionOpenReply, ShardStats,
+    DecodeReply, ErrorKind, GatewayMetrics, GatewayStats, InferReply, Request, Response,
+    SessionCloseReply, SessionOpenReply, ShardStats, SpanSummary, StageSummary, TraceReply,
+    TraceSummary,
 };
 pub use router::ShardRouter;
 pub use server::{Gateway, GatewayConfig, GatewayServer, ServerConfig};

@@ -12,8 +12,15 @@
 //!   decode-session surface: open pins a session (and its KV cache) to
 //!   a shard, decode advances it by one or more token columns, close
 //!   frees it.
-//! * `"stats"` — gateway metrics, including per-shard session counts
-//!   and resident KV bytes.
+//! * `"stats"` — gateway counters, including per-shard session counts
+//!   and resident KV bytes, plus `uptime_ms` and a monotonic snapshot
+//!   `seq`.
+//! * `"metrics"` — per-stage latency quantile summaries
+//!   (count/sum/p50/p90/p99/max per stage) for the gateway's
+//!   connection-handling stages, every shard's serving stages, and the
+//!   block engine's sub-layer stages.
+//! * `"trace"` — the most recent slow-request traces as structured
+//!   span lists (id/parent/stage/start_us/dur_us).
 //!
 //! Matrices travel as `{"rows": R, "cols": C, "data": [row-major…]}`.
 //! Integer payloads round-trip bit-exactly (JSON numbers are `f64`,
@@ -76,6 +83,14 @@ pub enum Request {
     },
     /// Fetch gateway-level metrics.
     Stats,
+    /// Fetch per-stage latency quantile summaries (gateway stages,
+    /// per-shard serving stages, block sub-layer stages).
+    Metrics,
+    /// Fetch the most recent slow-request traces as span trees.
+    Trace {
+        /// Maximum number of traces to return (newest first).
+        limit: usize,
+    },
 }
 
 /// A successful `infer` response.
@@ -246,6 +261,125 @@ pub struct GatewayStats {
     pub cache: CacheStats,
     /// Admission-control counters.
     pub admission: AdmissionStats,
+    /// Milliseconds since the gateway started.
+    pub uptime_ms: u64,
+    /// Monotonic snapshot sequence number: strictly increases with
+    /// every `stats` or `metrics` snapshot the gateway assembles, so
+    /// scrapers can order and dedupe snapshots.
+    pub seq: u64,
+}
+
+/// Quantile summary of one stage's latency histogram, as reported by
+/// the `metrics` verb. Values are in the histogram's native unit —
+/// nanoseconds for duration stages, raw counts for occupancy stages
+/// (`decode_occupancy`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Stage name (e.g. `"queue_wait"`, `"decode_pass"`, `"block_qkv"`).
+    pub stage: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Estimated 50th-percentile sample (upper bucket bound).
+    pub p50: u64,
+    /// Estimated 90th-percentile sample.
+    pub p90: u64,
+    /// Estimated 99th-percentile sample.
+    pub p99: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+}
+
+impl StageSummary {
+    /// Summarizes one named histogram snapshot.
+    pub fn from_snapshot(stage: &str, snap: &panacea_telemetry::HistogramSnapshot) -> Self {
+        StageSummary {
+            stage: stage.to_string(),
+            count: snap.count,
+            sum: snap.sum,
+            p50: snap.p50(),
+            p90: snap.p90(),
+            p99: snap.p99(),
+            max: snap.max,
+        }
+    }
+}
+
+/// Per-stage latency quantiles returned by the `metrics` verb.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GatewayMetrics {
+    /// Milliseconds since the gateway started.
+    pub uptime_ms: u64,
+    /// Monotonic snapshot sequence number (shared counter with the
+    /// `stats` verb).
+    pub seq: u64,
+    /// Gateway connection-handling stages: `parse`, `cache_probe`,
+    /// `admission_wait`, `route`, `execute`.
+    pub gateway: Vec<StageSummary>,
+    /// Per-shard serving stages (`queue_wait`, `batch_form`, `execute`,
+    /// `split_back`, `step`, `decode_linger`, `decode_pass`,
+    /// `decode_occupancy`), indexed by shard id.
+    pub shards: Vec<Vec<StageSummary>>,
+    /// Process-global block sub-layer stages (`block_qkv`,
+    /// `block_attn`, `block_proj`, `block_fc1`, `block_fc2`).
+    pub block: Vec<StageSummary>,
+}
+
+/// One span of a recorded trace, as reported by the `trace` verb.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Span id, unique within the trace; the root span is id 0.
+    pub id: u64,
+    /// Parent span id; `None` only for the root span.
+    pub parent: Option<u64>,
+    /// Stage tag (the request verb for the root span).
+    pub stage: String,
+    /// Microseconds from trace start to span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// One recorded request trace, as reported by the `trace` verb.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Process-unique trace id.
+    pub id: u64,
+    /// The request verb the trace covers.
+    pub verb: String,
+    /// Total request duration in microseconds.
+    pub total_us: u64,
+    /// The spans, in creation order; span 0 is the root.
+    pub spans: Vec<SpanSummary>,
+}
+
+impl From<&panacea_telemetry::Trace> for TraceSummary {
+    fn from(t: &panacea_telemetry::Trace) -> Self {
+        TraceSummary {
+            id: t.id.get(),
+            verb: t.verb.to_string(),
+            total_us: t.total_us,
+            spans: t
+                .spans
+                .iter()
+                .map(|s| SpanSummary {
+                    id: s.id,
+                    parent: s.parent,
+                    stage: s.stage.to_string(),
+                    start_us: s.start_us,
+                    dur_us: s.dur_us,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Slow-request traces returned by the `trace` verb, newest first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceReply {
+    /// The pinned slow traces.
+    pub traces: Vec<TraceSummary>,
 }
 
 /// A decoded server response.
@@ -261,6 +395,10 @@ pub enum Response {
     SessionClose(SessionCloseReply),
     /// Metrics snapshot.
     Stats(GatewayStats),
+    /// Per-stage latency quantile summaries.
+    Metrics(GatewayMetrics),
+    /// Slow-request trace span trees.
+    Trace(TraceReply),
     /// The request failed; `kind` says how, `message` says why.
     Error {
         /// Machine-readable category.
@@ -420,6 +558,11 @@ pub fn encode_request(req: &Request) -> String {
             "session": *session,
         }),
         Request::Stats => json!({ "verb": "stats" }),
+        Request::Metrics => json!({ "verb": "metrics" }),
+        Request::Trace { limit } => json!({
+            "verb": "trace",
+            "limit": *limit,
+        }),
     };
     serde_json::to_string(&value).expect("shim serializer never fails")
 }
@@ -459,6 +602,10 @@ pub fn decode_request(line: &str) -> Result<Request, GatewayError> {
             session: u64_field(&v, "session")?,
         }),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "trace" => Ok(Request::Trace {
+            limit: usize_field(&v, "limit")?,
+        }),
         other => Err(bad(format!("unknown verb {other:?}"))),
     }
 }
@@ -509,6 +656,8 @@ fn stats_to_value(stats: &GatewayStats) -> Value {
     json!({
         "ok": true,
         "kind": "stats",
+        "uptime_ms": stats.uptime_ms,
+        "seq": stats.seq,
         "shards": Value::Array(stats.shards.iter().map(shard_stats_to_value).collect()),
         "cache": json!({
             "hits": stats.cache.hits,
@@ -548,6 +697,145 @@ fn value_to_stats(v: &Value) -> Result<GatewayStats, GatewayError> {
             rejected_timeout: u64_field(admission, "rejected_timeout")?,
             in_flight: usize_field(admission, "in_flight")?,
         },
+        uptime_ms: u64_field(v, "uptime_ms")?,
+        seq: u64_field(v, "seq")?,
+    })
+}
+
+fn stage_summary_to_value(s: &StageSummary) -> Value {
+    json!({
+        "stage": s.stage.clone(),
+        "count": s.count,
+        "sum": s.sum,
+        "p50": s.p50,
+        "p90": s.p90,
+        "p99": s.p99,
+        "max": s.max,
+    })
+}
+
+fn value_to_stage_summary(v: &Value) -> Result<StageSummary, GatewayError> {
+    Ok(StageSummary {
+        stage: str_field(v, "stage")?.to_string(),
+        count: u64_field(v, "count")?,
+        sum: u64_field(v, "sum")?,
+        p50: u64_field(v, "p50")?,
+        p90: u64_field(v, "p90")?,
+        p99: u64_field(v, "p99")?,
+        max: u64_field(v, "max")?,
+    })
+}
+
+fn stage_summaries_to_value(stages: &[StageSummary]) -> Value {
+    Value::Array(stages.iter().map(stage_summary_to_value).collect())
+}
+
+fn value_to_stage_summaries(v: &Value) -> Result<Vec<StageSummary>, GatewayError> {
+    v.as_array()
+        .ok_or_else(|| bad("stage list is not an array"))?
+        .iter()
+        .map(value_to_stage_summary)
+        .collect()
+}
+
+fn metrics_to_value(m: &GatewayMetrics) -> Value {
+    json!({
+        "ok": true,
+        "kind": "metrics",
+        "uptime_ms": m.uptime_ms,
+        "seq": m.seq,
+        "gateway": stage_summaries_to_value(&m.gateway),
+        "shards": Value::Array(m.shards.iter().map(|s| stage_summaries_to_value(s)).collect()),
+        "block": stage_summaries_to_value(&m.block),
+    })
+}
+
+fn value_to_metrics(v: &Value) -> Result<GatewayMetrics, GatewayError> {
+    Ok(GatewayMetrics {
+        uptime_ms: u64_field(v, "uptime_ms")?,
+        seq: u64_field(v, "seq")?,
+        gateway: value_to_stage_summaries(field(v, "gateway")?)?,
+        shards: field(v, "shards")?
+            .as_array()
+            .ok_or_else(|| bad("shards is not an array"))?
+            .iter()
+            .map(value_to_stage_summaries)
+            .collect::<Result<Vec<_>, _>>()?,
+        block: value_to_stage_summaries(field(v, "block")?)?,
+    })
+}
+
+fn span_to_value(s: &SpanSummary) -> Value {
+    json!({
+        "id": s.id,
+        // JSON null marks the root span's absent parent.
+        "parent": match s.parent {
+            Some(p) => Value::from(p),
+            None => Value::Null,
+        },
+        "stage": s.stage.clone(),
+        "start_us": s.start_us,
+        "dur_us": s.dur_us,
+    })
+}
+
+fn value_to_span(v: &Value) -> Result<SpanSummary, GatewayError> {
+    let parent = match field(v, "parent")? {
+        Value::Null => None,
+        other => Some(
+            other
+                .as_u64()
+                .ok_or_else(|| bad("field \"parent\" is not null or a non-negative integer"))?,
+        ),
+    };
+    Ok(SpanSummary {
+        id: u64_field(v, "id")?,
+        parent,
+        stage: str_field(v, "stage")?.to_string(),
+        start_us: u64_field(v, "start_us")?,
+        dur_us: u64_field(v, "dur_us")?,
+    })
+}
+
+fn trace_to_value(t: &TraceSummary) -> Value {
+    json!({
+        "id": t.id,
+        "verb": t.verb.clone(),
+        "total_us": t.total_us,
+        "spans": Value::Array(t.spans.iter().map(span_to_value).collect()),
+    })
+}
+
+fn value_to_trace(v: &Value) -> Result<TraceSummary, GatewayError> {
+    Ok(TraceSummary {
+        id: u64_field(v, "id")?,
+        verb: str_field(v, "verb")?.to_string(),
+        total_us: u64_field(v, "total_us")?,
+        spans: field(v, "spans")?
+            .as_array()
+            .ok_or_else(|| bad("spans is not an array"))?
+            .iter()
+            .map(value_to_span)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn trace_reply_to_value(r: &TraceReply) -> Value {
+    json!({
+        "ok": true,
+        "kind": "trace",
+        "traces": Value::Array(r.traces.iter().map(trace_to_value).collect()),
+    })
+}
+
+fn value_to_trace_reply(v: &Value) -> Result<TraceReply, GatewayError> {
+    Ok(TraceReply {
+        traces: field(v, "traces")?
+            .as_array()
+            .ok_or_else(|| bad("traces is not an array"))?
+            .iter()
+            .map(value_to_trace)
+            .collect::<Result<Vec<_>, _>>()?,
     })
 }
 
@@ -584,6 +872,8 @@ pub fn encode_response(resp: &Response) -> String {
             "tokens": reply.tokens,
         }),
         Response::Stats(stats) => stats_to_value(stats),
+        Response::Metrics(metrics) => metrics_to_value(metrics),
+        Response::Trace(reply) => trace_reply_to_value(reply),
         Response::Error { kind, message } => json!({
             "ok": false,
             "error": kind.as_str(),
@@ -635,6 +925,8 @@ pub fn decode_response(line: &str) -> Result<Response, GatewayError> {
             tokens: usize_field(&v, "tokens")?,
         })),
         "stats" => Ok(Response::Stats(value_to_stats(&v)?)),
+        "metrics" => Ok(Response::Metrics(value_to_metrics(&v)?)),
+        "trace" => Ok(Response::Trace(value_to_trace_reply(&v)?)),
         other => Err(bad(format!("unknown response kind {other:?}"))),
     }
 }
@@ -804,8 +1096,139 @@ mod tests {
                 rejected_timeout: 1,
                 in_flight: 3,
             },
+            uptime_ms: 98_765,
+            seq: 17,
         });
         assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn metrics_and_trace_requests_round_trip() {
+        for req in [Request::Metrics, Request::Trace { limit: 12 }] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+    }
+
+    fn stage(name: &str, count: u64) -> StageSummary {
+        StageSummary {
+            stage: name.to_string(),
+            count,
+            sum: count * 100,
+            p50: 90,
+            p90: 180,
+            p99: 400,
+            max: 417,
+        }
+    }
+
+    #[test]
+    fn metrics_response_round_trips() {
+        let resp = Response::Metrics(GatewayMetrics {
+            uptime_ms: 5_000,
+            seq: 3,
+            gateway: vec![stage("parse", 9), stage("route", 9)],
+            shards: vec![
+                vec![stage("queue_wait", 4), stage("execute", 4)],
+                vec![], // a shard with no summaries survives too
+            ],
+            block: vec![stage("block_qkv", 32)],
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        // An all-empty bundle round-trips as well.
+        let resp = Response::Metrics(GatewayMetrics::default());
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn trace_response_round_trips_span_parents() {
+        let resp = Response::Trace(TraceReply {
+            traces: vec![TraceSummary {
+                id: 7,
+                verb: "decode".to_string(),
+                total_us: 1_234,
+                spans: vec![
+                    SpanSummary {
+                        id: 0,
+                        parent: None,
+                        stage: "decode".to_string(),
+                        start_us: 0,
+                        dur_us: 1_234,
+                    },
+                    SpanSummary {
+                        id: 1,
+                        parent: Some(0),
+                        stage: "execute".to_string(),
+                        start_us: 10,
+                        dur_us: 1_200,
+                    },
+                ],
+            }],
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        let resp = Response::Trace(TraceReply::default());
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn stage_summary_matches_histogram_snapshot() {
+        let h = panacea_telemetry::Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = StageSummary::from_snapshot("execute", &h.snapshot());
+        assert_eq!(s.stage, "execute");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn trace_summary_flattens_telemetry_traces() {
+        let tracer = panacea_telemetry::Tracer::new(panacea_telemetry::TraceConfig {
+            slow_threshold: Duration::ZERO,
+            ..Default::default()
+        });
+        let mut tb = tracer.begin("infer");
+        tb.span("execute", panacea_telemetry::ROOT_SPAN, || ());
+        tracer.finish(tb);
+        let traces = tracer.slow(1);
+        let summary = TraceSummary::from(&traces[0]);
+        assert_eq!(summary.verb, "infer");
+        assert_eq!(summary.spans.len(), 2);
+        assert_eq!(summary.spans[0].parent, None);
+        assert_eq!(summary.spans[1].parent, Some(0));
+        assert_eq!(summary.spans[1].stage, "execute");
+    }
+
+    #[test]
+    fn hostile_metrics_and_trace_lines_are_rejected() {
+        for line in [
+            // trace request without a limit
+            "{\"verb\":\"trace\"}",
+            "{\"verb\":\"trace\",\"limit\":-1}",
+            "{\"verb\":\"trace\",\"limit\":\"all\"}",
+            // metrics responses with missing or mistyped pieces
+            "{\"ok\":true,\"kind\":\"metrics\"}",
+            "{\"ok\":true,\"kind\":\"metrics\",\"uptime_ms\":1,\"seq\":1,\"gateway\":7,\"shards\":[],\"block\":[]}",
+            "{\"ok\":true,\"kind\":\"metrics\",\"uptime_ms\":1,\"seq\":1,\"gateway\":[{\"stage\":\"parse\"}],\"shards\":[],\"block\":[]}",
+            "{\"ok\":true,\"kind\":\"metrics\",\"uptime_ms\":1,\"seq\":1,\"gateway\":[],\"shards\":[[{\"count\":1}]],\"block\":[]}",
+            // trace responses with malformed spans
+            "{\"ok\":true,\"kind\":\"trace\"}",
+            "{\"ok\":true,\"kind\":\"trace\",\"traces\":{}}",
+            "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5}]}",
+            "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5,\"spans\":[{\"id\":0,\"stage\":\"x\",\"start_us\":0,\"dur_us\":1}]}]}",
+            "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5,\"spans\":[{\"id\":0,\"parent\":\"root\",\"stage\":\"x\",\"start_us\":0,\"dur_us\":1}]}]}",
+            // stats response missing the new uptime/seq fields
+            "{\"ok\":true,\"kind\":\"stats\",\"shards\":[],\"cache\":{\"hits\":0,\"misses\":0,\"evictions\":0,\"entries\":0},\"admission\":{\"admitted\":0,\"rejected_capacity\":0,\"rejected_timeout\":0,\"in_flight\":0}}",
+        ] {
+            let req_err = decode_request(line).is_err();
+            let resp_err = decode_response(line).is_err();
+            assert!(
+                req_err && resp_err,
+                "line survived decoding somewhere: {line}"
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -20,13 +20,15 @@ use std::time::{Duration, Instant};
 use panacea_serve::{
     Payload, PreparedModel, RuntimeConfig, ServeError, SessionConfig, SessionManager,
 };
+use panacea_telemetry::{Histogram, TraceBuilder, TraceConfig, Tracer, ROOT_SPAN};
 use panacea_tensor::Matrix;
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::cache::{CacheConfig, CachedOutput, RequestCache};
 use crate::protocol::{
-    decode_request, encode_response, DecodeReply, ErrorKind, GatewayStats, InferReply, Request,
-    Response, SessionCloseReply, SessionOpenReply,
+    decode_request, encode_response, DecodeReply, ErrorKind, GatewayMetrics, GatewayStats,
+    InferReply, Request, Response, SessionCloseReply, SessionOpenReply, StageSummary, TraceReply,
+    TraceSummary,
 };
 use crate::router::ShardRouter;
 
@@ -43,6 +45,8 @@ pub struct GatewayConfig {
     pub admission: AdmissionConfig,
     /// Per-shard decode-session bounds (idle timeout, KV byte budget).
     pub session: SessionConfig,
+    /// Request-tracing knobs (slow threshold, ring sizes).
+    pub trace: TraceConfig,
 }
 
 impl Default for GatewayConfig {
@@ -53,8 +57,19 @@ impl Default for GatewayConfig {
             cache: CacheConfig::default(),
             admission: AdmissionConfig::default(),
             session: SessionConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
+}
+
+/// The gateway's connection-handling stage histograms (nanoseconds).
+#[derive(Debug, Default)]
+struct GatewayStages {
+    parse: Histogram,
+    cache_probe: Histogram,
+    admission_wait: Histogram,
+    route: Histogram,
+    execute: Histogram,
 }
 
 /// The transport-free gateway core: cache → admission → shard router,
@@ -67,6 +82,10 @@ pub struct Gateway {
     cache: RequestCache,
     admission: AdmissionController,
     sessions: Vec<SessionManager>,
+    started: Instant,
+    seq: AtomicU64,
+    stages: GatewayStages,
+    tracer: Tracer,
 }
 
 impl Gateway {
@@ -86,6 +105,10 @@ impl Gateway {
             cache: RequestCache::new(config.cache),
             admission: AdmissionController::new(config.admission),
             sessions,
+            started: Instant::now(),
+            seq: AtomicU64::new(0),
+            stages: GatewayStages::default(),
+            tracer: Tracer::new(config.trace),
         }
     }
 
@@ -124,9 +147,21 @@ impl Gateway {
     /// Everything [`panacea_serve::Runtime::infer`] surfaces, plus
     /// [`ServeError::Overloaded`] from admission control.
     pub fn infer(&self, model: &str, payload: Payload) -> Result<InferReply, ServeError> {
+        let mut tb = self.tracer.begin("infer");
+        let out = self.infer_traced(model, payload, &mut tb);
+        self.tracer.finish(tb);
+        out
+    }
+
+    fn infer_traced(
+        &self,
+        model: &str,
+        payload: Payload,
+        tb: &mut TraceBuilder,
+    ) -> Result<InferReply, ServeError> {
         let started = Instant::now();
         let resolved = self.resolve(model)?;
-        let (out, scale, shard, cache_hit) = self.execute(resolved, payload)?;
+        let (out, scale, shard, cache_hit) = self.execute(resolved, payload, tb)?;
         Ok(InferReply {
             payload: out,
             scale,
@@ -144,10 +179,22 @@ impl Gateway {
     ///
     /// Same as [`infer`](Self::infer).
     pub fn infer_f32(&self, model: &str, input: Matrix<f32>) -> Result<InferReply, ServeError> {
+        let mut tb = self.tracer.begin("infer");
+        let out = self.infer_f32_traced(model, input, &mut tb);
+        self.tracer.finish(tb);
+        out
+    }
+
+    fn infer_f32_traced(
+        &self,
+        model: &str,
+        input: Matrix<f32>,
+        tb: &mut TraceBuilder,
+    ) -> Result<InferReply, ServeError> {
         let started = Instant::now();
         let resolved = self.resolve(model)?;
-        let payload = resolved.quantize(&input);
-        let (out, scale, shard, cache_hit) = self.execute(resolved, payload)?;
+        let payload = tb.span("quantize", ROOT_SPAN, || resolved.quantize(&input));
+        let (out, scale, shard, cache_hit) = self.execute(resolved, payload, tb)?;
         Ok(InferReply {
             payload: out,
             scale,
@@ -173,8 +220,25 @@ impl Gateway {
     /// for linear chains, and [`ServeError::Overloaded`] when admission
     /// sheds the open.
     pub fn session_open(&self, model: &str) -> Result<SessionOpenReply, ServeError> {
+        let mut tb = self.tracer.begin("session_open");
+        let out = self.session_open_traced(model, &mut tb);
+        self.tracer.finish(tb);
+        out
+    }
+
+    fn session_open_traced(
+        &self,
+        model: &str,
+        tb: &mut TraceBuilder,
+    ) -> Result<SessionOpenReply, ServeError> {
         let resolved = self.resolve(model)?;
-        let permit = self.admission.try_admit()?;
+        let span = tb.start_span("admission_wait", ROOT_SPAN);
+        let permit = self.admission.try_admit();
+        self.stages
+            .admission_wait
+            .record_duration(tb.end_span(span));
+        let permit = permit?;
+        let span = tb.start_span("route", ROOT_SPAN);
         let shard = self
             .sessions
             .iter()
@@ -185,7 +249,11 @@ impl Gateway {
             })
             .map(|(i, _)| i)
             .expect("gateway always has at least one shard");
-        let session = self.sessions[shard].open(resolved)?;
+        self.stages.route.record_duration(tb.end_span(span));
+        let span = tb.start_span("execute", ROOT_SPAN);
+        let session = self.sessions[shard].open(resolved);
+        self.stages.execute.record_duration(tb.end_span(span));
+        let session = session?;
         drop(permit);
         Ok(SessionOpenReply { session, shard })
     }
@@ -206,12 +274,33 @@ impl Gateway {
     /// shard's KV budget, and the input-contract errors of
     /// [`panacea_serve::SessionManager::step`].
     pub fn decode(&self, session: u64, hidden: &Matrix<f32>) -> Result<DecodeReply, ServeError> {
+        let mut tb = self.tracer.begin("decode");
+        let out = self.decode_traced(session, hidden, &mut tb);
+        self.tracer.finish(tb);
+        out
+    }
+
+    fn decode_traced(
+        &self,
+        session: u64,
+        hidden: &Matrix<f32>,
+        tb: &mut TraceBuilder,
+    ) -> Result<DecodeReply, ServeError> {
         let started = Instant::now();
-        let permit = self.admission.try_admit()?;
-        let shard = self
-            .find_session(session)
-            .ok_or(ServeError::UnknownSession { session })?;
-        let (out, tokens, _wl) = self.sessions[shard].step(session, hidden)?;
+        let span = tb.start_span("admission_wait", ROOT_SPAN);
+        let permit = self.admission.try_admit();
+        self.stages
+            .admission_wait
+            .record_duration(tb.end_span(span));
+        let permit = permit?;
+        let span = tb.start_span("route", ROOT_SPAN);
+        let shard = self.find_session(session);
+        self.stages.route.record_duration(tb.end_span(span));
+        let shard = shard.ok_or(ServeError::UnknownSession { session })?;
+        let span = tb.start_span("execute", ROOT_SPAN);
+        let stepped = self.sessions[shard].step(session, hidden);
+        self.stages.execute.record_duration(tb.end_span(span));
+        let (out, tokens, _wl) = stepped?;
         drop(permit);
         Ok(DecodeReply {
             hidden: out,
@@ -228,11 +317,21 @@ impl Gateway {
     /// [`ServeError::UnknownSession`] if it does not exist (never
     /// opened, already closed, or evicted).
     pub fn session_close(&self, session: u64) -> Result<SessionCloseReply, ServeError> {
-        let shard = self
-            .find_session(session)
-            .ok_or(ServeError::UnknownSession { session })?;
-        let tokens = self.sessions[shard].close(session)?;
-        Ok(SessionCloseReply { session, tokens })
+        let mut tb = self.tracer.begin("session_close");
+        let span = tb.start_span("route", ROOT_SPAN);
+        let shard = self.find_session(session);
+        self.stages.route.record_duration(tb.end_span(span));
+        let out = shard
+            .ok_or(ServeError::UnknownSession { session })
+            .and_then(|shard| {
+                let span = tb.start_span("execute", ROOT_SPAN);
+                let closed = self.sessions[shard].close(session);
+                self.stages.execute.record_duration(tb.end_span(span));
+                closed
+            })
+            .map(|tokens| SessionCloseReply { session, tokens });
+        self.tracer.finish(tb);
+        out
     }
 
     /// The shard holding a session's KV state. Session ids are
@@ -258,6 +357,7 @@ impl Gateway {
         &self,
         resolved: Arc<PreparedModel>,
         payload: Payload,
+        tb: &mut TraceBuilder,
     ) -> Result<(Payload, f64, usize, bool), ServeError> {
         // Validation happens exactly once, inside the runtime's submit
         // path (`validate` is a full scan of the payload — scanning
@@ -265,7 +365,9 @@ impl Gateway {
         // The cache-hit fast path needs no scan of its own: entries are
         // only written after a validated run, and hits require bit-exact
         // key equality, so an invalid payload can never match one.
+        let span = tb.start_span("route", ROOT_SPAN);
         let shard = self.router.route(resolved.name());
+        self.stages.route.record_duration(tb.end_span(span));
         // A disabled cache — or an entry the size bound would reject
         // anyway (its result dims are known up front) — skips the whole
         // probe-and-insert dance, including the payload clones and the
@@ -277,20 +379,33 @@ impl Gateway {
         // entries can never answer for the replacement.
         let resolved_id = resolved.instance_id();
         if cached {
-            if let Some(hit) = self.cache.get(resolved_id, &payload) {
+            let span = tb.start_span("cache_probe", ROOT_SPAN);
+            let hit = self.cache.get(resolved_id, &payload);
+            self.stages.cache_probe.record_duration(tb.end_span(span));
+            if let Some(hit) = hit {
                 return Ok((hit.payload, hit.scale, shard, true));
             }
         }
-        let permit = self.admission.try_admit()?;
-        let (pending, kept_payload) = if cached {
-            let pending =
-                self.router
-                    .submit_to_shard(shard, Arc::clone(&resolved), payload.clone())?;
-            (pending, Some(payload))
-        } else {
-            (self.router.submit_to_shard(shard, resolved, payload)?, None)
-        };
-        let out = self.admission.wait_bounded(&pending)?;
+        let span = tb.start_span("admission_wait", ROOT_SPAN);
+        let permit = self.admission.try_admit();
+        self.stages
+            .admission_wait
+            .record_duration(tb.end_span(span));
+        let permit = permit?;
+        let span = tb.start_span("execute", ROOT_SPAN);
+        let ran: Result<_, ServeError> = (|| {
+            let (pending, kept_payload) = if cached {
+                let pending =
+                    self.router
+                        .submit_to_shard(shard, Arc::clone(&resolved), payload.clone())?;
+                (pending, Some(payload))
+            } else {
+                (self.router.submit_to_shard(shard, resolved, payload)?, None)
+            };
+            Ok((self.admission.wait_bounded(&pending)?, kept_payload))
+        })();
+        self.stages.execute.record_duration(tb.end_span(span));
+        let (out, kept_payload) = ran?;
         drop(permit);
         if let Some(payload) = kept_payload {
             self.cache.insert(
@@ -323,6 +438,80 @@ impl Gateway {
             shards,
             cache: self.cache.stats(),
             admission: self.admission.stats(),
+            uptime_ms: self.uptime_ms(),
+            seq: self.next_seq(),
+        }
+    }
+
+    fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// The next snapshot sequence number — strictly increasing across
+    /// every `stats`/`metrics` snapshot this gateway assembles.
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The request tracer (slow-trace rings, trace knobs).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records one wire-parse duration into the gateway's `parse` stage
+    /// histogram (called by the TCP handler; in-process callers skip
+    /// parsing entirely).
+    pub fn record_parse(&self, elapsed: Duration) {
+        self.stages.parse.record_duration(elapsed);
+    }
+
+    /// Per-stage latency quantile summaries: the gateway's own
+    /// connection-handling stages, every shard's serving and session
+    /// stages, and the process-global block sub-layer stages.
+    pub fn metrics(&self) -> GatewayMetrics {
+        let gateway = [
+            ("parse", self.stages.parse.snapshot()),
+            ("cache_probe", self.stages.cache_probe.snapshot()),
+            ("admission_wait", self.stages.admission_wait.snapshot()),
+            ("route", self.stages.route.snapshot()),
+            ("execute", self.stages.execute.snapshot()),
+        ]
+        .iter()
+        .map(|(name, snap)| StageSummary::from_snapshot(name, snap))
+        .collect();
+        let shards = (0..self.router.num_shards())
+            .map(|i| {
+                self.router
+                    .shard(i)
+                    .stage_snapshots()
+                    .iter()
+                    .chain(self.sessions[i].stage_snapshots().iter())
+                    .map(|(name, snap)| StageSummary::from_snapshot(name, snap))
+                    .collect()
+            })
+            .collect();
+        let block = panacea_block::stage_snapshots()
+            .iter()
+            .map(|(name, snap)| StageSummary::from_snapshot(name, snap))
+            .collect();
+        GatewayMetrics {
+            uptime_ms: self.uptime_ms(),
+            seq: self.next_seq(),
+            gateway,
+            shards,
+            block,
+        }
+    }
+
+    /// The most recent pinned slow-request traces, newest first.
+    pub fn traces(&self, limit: usize) -> TraceReply {
+        TraceReply {
+            traces: self
+                .tracer
+                .slow(limit)
+                .iter()
+                .map(TraceSummary::from)
+                .collect(),
         }
     }
 
@@ -340,6 +529,8 @@ impl Gateway {
         }
         match request {
             Request::Stats => Response::Stats(self.stats()),
+            Request::Metrics => Response::Metrics(self.metrics()),
+            Request::Trace { limit } => Response::Trace(self.traces(limit)),
             Request::Infer { model, payload } => {
                 reply(self.infer(&model, payload), Response::Infer)
             }
@@ -622,13 +813,18 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) {
                 line.clear();
                 continue;
             }
-            Ok(text) => match decode_request(text) {
-                Ok(request) => gateway.handle(request),
-                Err(e) => Response::Error {
-                    kind: ErrorKind::BadRequest,
-                    message: e.to_string(),
-                },
-            },
+            Ok(text) => {
+                let parse_started = Instant::now();
+                let decoded = decode_request(text);
+                gateway.record_parse(parse_started.elapsed());
+                match decoded {
+                    Ok(request) => gateway.handle(request),
+                    Err(e) => Response::Error {
+                        kind: ErrorKind::BadRequest,
+                        message: e.to_string(),
+                    },
+                }
+            }
             Err(_) => Response::Error {
                 kind: ErrorKind::BadRequest,
                 message: "request line is not valid UTF-8".to_string(),

@@ -308,13 +308,176 @@ fn stats_verb_round_trips_over_the_wire() {
         thread::yield_now();
     }
     let stats = client.stats().expect("stats");
-    assert_eq!(stats, gateway.stats(), "wire stats diverged from source");
+    let mut local = gateway.stats();
+    // Each snapshot stamps its own strictly-increasing sequence number
+    // and uptime; normalize them before the exact-equality comparison.
+    assert!(local.seq > stats.seq, "snapshot seq did not increase");
+    assert!(local.uptime_ms >= stats.uptime_ms, "uptime went backwards");
+    local.seq = stats.seq;
+    local.uptime_ms = stats.uptime_ms;
+    assert_eq!(stats, local, "wire stats diverged from source");
     assert_eq!(stats.shards.len(), 2);
     assert_eq!(stats.cache.hits, 1);
     assert_eq!(stats.cache.misses, 1);
     assert!((stats.cache.hit_rate() - 0.5).abs() < 1e-12);
     assert_eq!(stats.admission.admitted, 1);
     assert_eq!(stats.shards.iter().map(|s| s.requests).sum::<u64>(), 1);
+}
+
+#[test]
+fn metrics_verb_reports_stage_quantiles_over_the_wire() {
+    use panacea_gateway::testutil::{block_model, hidden};
+    let (model, _) = block_model("decoder", 50);
+    let mut set = models(&["chain"], 51);
+    set.push(model);
+    let gateway = Arc::new(Gateway::new(set, GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    // Traffic on both surfaces: stateless chain inference plus a decode
+    // session, so serving-stage and decode-stage histograms both fill.
+    let chain = gateway.router().model("chain").expect("registered");
+    for salt in 0..3 {
+        client
+            .infer_codes("chain", codes(&chain, 1, salt))
+            .expect("served");
+    }
+    let open = client.session_open("decoder").expect("opened");
+    client.decode(open.session, hidden(16, 2, 1)).expect("step");
+    client.session_close(open.session).expect("closed");
+
+    let first = client.metrics().expect("metrics");
+    let second = client.metrics().expect("metrics");
+    assert!(second.seq > first.seq, "metrics seq did not increase");
+    assert!(second.uptime_ms >= first.uptime_ms);
+
+    let by_name = |stages: &[panacea_gateway::StageSummary], name: &str| {
+        stages
+            .iter()
+            .find(|s| s.stage == name)
+            .unwrap_or_else(|| panic!("stage {name:?} missing"))
+            .clone()
+    };
+    // Gateway stages: every wire request was parsed, routed, executed.
+    for name in ["parse", "route", "execute"] {
+        let s = by_name(&first.gateway, name);
+        assert!(s.count > 0, "gateway stage {name:?} recorded nothing");
+        assert!(
+            s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max,
+            "quantiles out of order for {name:?}: {s:?}"
+        );
+        assert!(s.sum > 0 && s.max > 0);
+    }
+    // The cache admits the chain requests, so probes were timed too.
+    assert!(by_name(&first.gateway, "cache_probe").count > 0);
+    assert!(by_name(&first.gateway, "admission_wait").count > 0);
+
+    // Per-shard serving stages: the three chain requests all landed on
+    // one shard (same model routes to the same shard); that shard's
+    // queue_wait/batch_form/execute/split_back all saw every batch.
+    assert_eq!(first.shards.len(), 2);
+    let serving: Vec<_> = first
+        .shards
+        .iter()
+        .filter(|s| by_name(s, "queue_wait").count > 0)
+        .collect();
+    assert!(!serving.is_empty(), "no shard recorded serving stages");
+    for shard in &serving {
+        for name in ["queue_wait", "batch_form", "execute", "split_back"] {
+            let s = by_name(shard, name);
+            assert!(s.count > 0, "shard stage {name:?} recorded nothing");
+            assert!(s.p50 <= s.max, "p50 exceeds max for {name:?}");
+        }
+    }
+    // The decode session ran on some shard: step latency and the fused
+    // decode pass stages recorded there, with occupancy exactly 1 per
+    // pass for a solo client.
+    let decode_shard = first
+        .shards
+        .iter()
+        .find(|s| by_name(s, "step").count > 0)
+        .expect("no shard recorded decode steps");
+    assert!(by_name(decode_shard, "decode_linger").count > 0);
+    assert!(by_name(decode_shard, "decode_pass").count > 0);
+    let occupancy = by_name(decode_shard, "decode_occupancy");
+    assert!(occupancy.count > 0);
+    assert_eq!(occupancy.max, 1, "solo decode pass occupancy must be 1");
+
+    // Block sub-layer stages: the decoder's forward passes rolled up.
+    for name in [
+        "block_qkv",
+        "block_attn",
+        "block_proj",
+        "block_fc1",
+        "block_fc2",
+    ] {
+        let s = by_name(&first.block, name);
+        assert!(s.count > 0, "block stage {name:?} recorded nothing");
+    }
+}
+
+#[test]
+fn slow_requests_are_pinned_and_retrievable_via_trace_verb() {
+    use panacea_gateway::TraceConfig;
+    let gateway = Arc::new(Gateway::new(
+        models(&["m"], 10),
+        GatewayConfig {
+            // Zero threshold: every request counts as slow, so the test
+            // needs no artificial delay to pin a trace.
+            trace: TraceConfig {
+                slow_threshold: Duration::ZERO,
+                ..TraceConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    ));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    let model = gateway.router().model("m").expect("registered");
+    client
+        .infer_codes("m", codes(&model, 2, 4))
+        .expect("served");
+
+    let reply = client.trace(8).expect("trace");
+    assert!(!reply.traces.is_empty(), "slow request was not pinned");
+    let trace = reply
+        .traces
+        .iter()
+        .find(|t| t.verb == "infer")
+        .expect("no infer trace pinned");
+
+    // The span list is a complete tree: a root covering the request,
+    // every other span parented within the trace, offsets and durations
+    // inside the root's window.
+    assert!(!trace.spans.is_empty());
+    let root = &trace.spans[0];
+    assert_eq!(root.id, 0);
+    assert_eq!(root.parent, None);
+    assert_eq!(root.stage, "infer");
+    assert_eq!(root.dur_us, trace.total_us);
+    let stages: Vec<&str> = trace.spans.iter().map(|s| s.stage.as_str()).collect();
+    for expect in ["route", "cache_probe", "admission_wait", "execute"] {
+        assert!(
+            stages.contains(&expect),
+            "stage {expect:?} missing: {stages:?}"
+        );
+    }
+    for span in &trace.spans[1..] {
+        let parent = span.parent.expect("non-root span lost its parent");
+        assert!(parent < span.id, "parent does not precede child");
+        assert!(span.start_us <= trace.total_us);
+        assert!(span.dur_us <= trace.total_us);
+    }
+
+    // The limit is honored: more traffic, then ask for just one trace.
+    client
+        .infer_codes("m", codes(&model, 1, 5))
+        .expect("served");
+    let limited = client.trace(1).expect("trace");
+    assert_eq!(limited.traces.len(), 1);
+    // Newest first: the second request's trace outranks the first's.
+    assert!(limited.traces[0].id > trace.id);
 }
 
 #[test]

@@ -1,0 +1,196 @@
+//! Property tests for the `metrics` and `trace` wire verbs: arbitrary
+//! structured replies survive the line-delimited JSON round trip
+//! exactly, and mutilated lines (dropped fields) error cleanly instead
+//! of decoding into something else.
+
+use panacea_gateway::protocol::{decode_request, decode_response, encode_request, encode_response};
+use panacea_gateway::{
+    GatewayMetrics, Request, Response, SpanSummary, StageSummary, TraceReply, TraceSummary,
+};
+use proptest::prelude::*;
+
+const STAGE_NAMES: &[&str] = &[
+    "parse",
+    "cache_probe",
+    "admission_wait",
+    "route",
+    "execute",
+    "queue_wait",
+    "batch_form",
+    "split_back",
+    "step",
+    "decode_linger",
+    "decode_pass",
+    "decode_occupancy",
+    "block_qkv",
+    "block_attn",
+    "block_proj",
+    "block_fc1",
+    "block_fc2",
+];
+
+/// Builds one stage summary from six raw u64s. Values stay below the
+/// wire format's 9e15 integral bound (JSON numbers are f64) — the same
+/// bound the real histograms' nanosecond samples respect for any
+/// practical uptime.
+fn stage(i: usize, vals: &[u64]) -> StageSummary {
+    let v = |j: usize| vals[(i * 6 + j) % vals.len()] % 9_000_000_000_000_000;
+    StageSummary {
+        stage: STAGE_NAMES[i % STAGE_NAMES.len()].to_string(),
+        count: v(0),
+        sum: v(1),
+        p50: v(2),
+        p90: v(3),
+        p99: v(4),
+        max: v(5),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn metrics_responses_round_trip(
+        vals in proptest::collection::vec(0u64..u64::MAX, 6..48),
+        gateway_stages in 0usize..6,
+        shard_count in 0usize..4,
+        shard_stages in 0usize..9,
+        block_stages in 0usize..6,
+        uptime_ms in 0u64..9_000_000_000_000_000,
+        seq in 0u64..9_000_000_000_000_000,
+    ) {
+        let resp = Response::Metrics(GatewayMetrics {
+            uptime_ms,
+            seq,
+            gateway: (0..gateway_stages).map(|i| stage(i, &vals)).collect(),
+            shards: (0..shard_count)
+                .map(|s| (0..shard_stages).map(|i| stage(s * 7 + i, &vals)).collect())
+                .collect(),
+            block: (0..block_stages).map(|i| stage(i + 12, &vals)).collect(),
+        });
+        let line = encode_response(&resp);
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(decode_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn trace_responses_round_trip(
+        vals in proptest::collection::vec(0u64..9_000_000_000_000_000, 4..64),
+        trace_count in 0usize..4,
+        span_count in 1usize..12,
+    ) {
+        let traces = (0..trace_count)
+            .map(|t| {
+                let v = |j: usize| vals[(t * 13 + j) % vals.len()];
+                let spans = (0..span_count)
+                    .map(|i| SpanSummary {
+                        id: i as u64,
+                        // Root has no parent; every other span points at
+                        // an arbitrary earlier span, like real traces.
+                        parent: (i > 0).then(|| v(i) % i as u64),
+                        stage: STAGE_NAMES[(t + i) % STAGE_NAMES.len()].to_string(),
+                        start_us: v(i + 1),
+                        dur_us: v(i + 2),
+                    })
+                    .collect();
+                TraceSummary {
+                    id: v(0),
+                    verb: ["infer", "decode", "session_open"][t % 3].to_string(),
+                    total_us: v(1),
+                    spans,
+                }
+            })
+            .collect();
+        let resp = Response::Trace(TraceReply { traces });
+        prop_assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn metrics_and_trace_requests_round_trip(limit in 0usize..9_000_000_000_000_000) {
+        let req = Request::Trace { limit };
+        prop_assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        prop_assert_eq!(
+            decode_request(&encode_request(&Request::Metrics)).unwrap(),
+            Request::Metrics
+        );
+    }
+}
+
+/// Dropping any single required field from a valid `metrics` or `trace`
+/// response line must yield a clean protocol error, never a mangled
+/// decode. Field removal is done by renaming the key, which preserves
+/// JSON validity, so the failure is always "missing field", not a parse
+/// error — the strict-decoder path under test.
+#[test]
+fn dropping_any_required_field_errors_cleanly() {
+    let metrics = Response::Metrics(GatewayMetrics {
+        uptime_ms: 12,
+        seq: 3,
+        gateway: vec![StageSummary {
+            stage: "parse".to_string(),
+            count: 1,
+            sum: 2,
+            p50: 3,
+            p90: 4,
+            p99: 5,
+            max: 6,
+        }],
+        shards: vec![vec![]],
+        block: vec![],
+    });
+    let trace = Response::Trace(TraceReply {
+        traces: vec![TraceSummary {
+            id: 1,
+            verb: "infer".to_string(),
+            total_us: 9,
+            spans: vec![SpanSummary {
+                id: 0,
+                parent: None,
+                stage: "infer".to_string(),
+                start_us: 0,
+                dur_us: 9,
+            }],
+        }],
+    });
+    for resp in [metrics, trace] {
+        let line = encode_response(&resp);
+        assert_eq!(
+            decode_response(&line).unwrap(),
+            resp,
+            "baseline must decode"
+        );
+        for key in [
+            "uptime_ms",
+            "seq",
+            "gateway",
+            "shards",
+            "block",
+            "stage",
+            "count",
+            "sum",
+            "p50",
+            "p90",
+            "p99",
+            "max",
+            "traces",
+            "verb",
+            "total_us",
+            "spans",
+            "parent",
+            "start_us",
+            "dur_us",
+        ] {
+            let needle = format!("\"{key}\":");
+            if !line.contains(&needle) {
+                continue; // key not part of this response kind
+            }
+            let mangled = line.replacen(&needle, &format!("\"_{key}\":"), 1);
+            let err = decode_response(&mangled)
+                .expect_err(&format!("decoded without required field {key:?}"));
+            assert!(
+                err.to_string().contains("missing field"),
+                "wrong error for dropped {key:?}: {err}"
+            );
+        }
+    }
+}

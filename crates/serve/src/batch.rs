@@ -152,6 +152,9 @@ pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
     let total_cols: usize = refs.iter().map(|p| p.cols()).sum();
 
     let started = Instant::now();
+    for job in &jobs {
+        metrics.record_queue_wait(started.duration_since(job.enqueued_at));
+    }
     let (outputs, workload) = model.forward_batch(&refs);
     let compute = started.elapsed();
 
@@ -174,6 +177,7 @@ pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
         compute,
         batch_max_latency,
     );
+    let split_started = Instant::now();
     for ((job, out), latency) in jobs.iter().zip(outputs).zip(latencies) {
         // A dropped receiver just means the caller stopped waiting.
         let _ = job.responder.send(InferenceOutput {
@@ -184,6 +188,7 @@ pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
             latency,
         });
     }
+    metrics.record_split_back(split_started.elapsed());
 }
 
 #[cfg(test)]

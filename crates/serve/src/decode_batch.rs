@@ -44,6 +44,7 @@ use std::time::{Duration, Instant};
 use panacea_bitslice::VECTOR_LEN;
 use panacea_block::KvCache;
 use panacea_core::Workload;
+use panacea_telemetry::{Histogram, HistogramSnapshot};
 use panacea_tensor::Matrix;
 
 use crate::session::{Session, Slot};
@@ -78,6 +79,13 @@ struct Shared {
     max_wait: Duration,
     batches: AtomicU64,
     padded_cols: AtomicU64,
+    /// Enqueue-to-pass-start linger, per step (ns).
+    linger: Histogram,
+    /// Fused-pass duration, per pass (ns).
+    pass: Histogram,
+    /// Sessions fused per pass (raw counts, not durations) — the full
+    /// occupancy distribution rather than just a mean.
+    occupancy: Histogram,
 }
 
 /// The continuous-batching executor behind
@@ -106,6 +114,9 @@ impl DecodeBatcher {
             max_wait,
             batches: AtomicU64::new(0),
             padded_cols: AtomicU64::new(0),
+            linger: Histogram::new(),
+            pass: Histogram::new(),
+            occupancy: Histogram::new(),
         });
         let worker = {
             let shared = Arc::clone(&shared);
@@ -153,6 +164,17 @@ impl DecodeBatcher {
     /// width — the waste continuous batching exists to reclaim.
     pub fn padded_cols(&self) -> u64 {
         self.shared.padded_cols.load(Ordering::Relaxed)
+    }
+
+    /// Per-stage histograms: `decode_linger` and `decode_pass` carry
+    /// nanosecond samples, `decode_occupancy` carries sessions-per-pass
+    /// counts.
+    pub fn stage_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        vec![
+            ("decode_linger", self.shared.linger.snapshot()),
+            ("decode_pass", self.shared.pass.snapshot()),
+            ("decode_occupancy", self.shared.occupancy.snapshot()),
+        ]
     }
 }
 
@@ -237,6 +259,13 @@ fn take_decode_batch(queue: &mut VecDeque<DecodeJob>, max_batch: usize) -> Optio
 /// outputs back per session, answer every caller.
 fn execute_batch(jobs: Vec<DecodeJob>, shared: &Shared) {
     let model = Arc::clone(&jobs[0].slot.model);
+    let pass_started = Instant::now();
+    for job in &jobs {
+        shared
+            .linger
+            .record_duration(pass_started.duration_since(job.enqueued_at));
+    }
+    shared.occupancy.record(jobs.len() as u64);
     let mut guards: Vec<MutexGuard<'_, Session>> = jobs
         .iter()
         .map(|j| j.slot.cell.lock().expect("session poisoned"))
@@ -251,6 +280,9 @@ fn execute_batch(jobs: Vec<DecodeJob>, shared: &Shared) {
     // surfaces `WorkerLost` to the callers instead of hanging them.
     if let Ok((out, wl)) = model.forward_decode_batch_prevalidated(&stacked, &segments, &mut kvs) {
         let now = Instant::now();
+        shared
+            .pass
+            .record_duration(now.duration_since(pass_started));
         let tokens: Vec<usize> = guards
             .iter_mut()
             .map(|g| {

@@ -1,10 +1,19 @@
 //! Aggregated serving metrics: request/batch counts, coalesced columns,
-//! summed AQS workload, and latency extremes.
+//! summed AQS workload, latency extremes, and per-stage latency
+//! histograms.
+//!
+//! Counters are sharded atomics ([`ShardedCounter`]) rather than one
+//! `Mutex`-guarded struct, so steady-state fused decode passes and wide
+//! batch completions never contend on one lock or cache line. Every
+//! counter is individually monotone, which keeps [`Metrics::snapshot`]
+//! monotone field-by-field under concurrent recording — the invariant
+//! pollers rely on to compute rates.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use panacea_core::Workload;
+use panacea_telemetry::{Histogram, HistogramSnapshot, ShardedCounter};
 
 /// A point-in-time copy of the runtime's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -64,10 +73,31 @@ impl MetricsSnapshot {
     }
 }
 
-/// Shared mutable counters, updated once per dispatched batch.
+/// Shared serving counters plus per-stage latency histograms, updated
+/// on the worker hot path without locks.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    inner: Mutex<MetricsSnapshot>,
+    requests: ShardedCounter,
+    batches: ShardedCounter,
+    columns: ShardedCounter,
+    padded_cols: ShardedCounter,
+    cancelled: ShardedCounter,
+    compute_nanos: ShardedCounter,
+    wl_mul: ShardedCounter,
+    wl_add: ShardedCounter,
+    wl_ema_slices: ShardedCounter,
+    wl_comp_mul: ShardedCounter,
+    wl_comp_add: ShardedCounter,
+    max_latency_nanos: AtomicU64,
+    widest_batch: AtomicU64,
+    /// Enqueue-to-execution-start wait, per request (ns).
+    queue_wait: Histogram,
+    /// Linger-start-to-batch-taken formation time, per batch (ns).
+    batch_form: Histogram,
+    /// Coalesced forward-pass duration, per batch (ns).
+    execute: Histogram,
+    /// Split-and-respond fan-out duration, per batch (ns).
+    split_back: Histogram,
 }
 
 impl Metrics {
@@ -81,27 +111,79 @@ impl Metrics {
         compute: Duration,
         max_latency: Duration,
     ) {
-        let mut m = self.inner.lock().expect("metrics lock poisoned");
-        m.requests += requests as u64;
-        m.batches += 1;
-        m.columns += columns as u64;
-        m.padded_cols += padded as u64;
-        m.workload = m.workload.merged(workload);
-        m.compute_time += compute;
-        m.max_latency = m.max_latency.max(max_latency);
-        m.widest_batch = m.widest_batch.max(columns as u64);
+        self.requests.add(requests as u64);
+        self.batches.add(1);
+        self.columns.add(columns as u64);
+        self.padded_cols.add(padded as u64);
+        self.wl_mul.add(workload.mul);
+        self.wl_add.add(workload.add);
+        self.wl_ema_slices.add(workload.ema_slices);
+        self.wl_comp_mul.add(workload.comp_mul);
+        self.wl_comp_add.add(workload.comp_add);
+        self.compute_nanos.add(duration_nanos(compute));
+        self.max_latency_nanos
+            .fetch_max(duration_nanos(max_latency), Ordering::Relaxed);
+        self.widest_batch
+            .fetch_max(columns as u64, Ordering::Relaxed);
+        self.execute.record_duration(compute);
     }
 
     /// Records queued requests purged because their caller went away.
     pub(crate) fn record_cancelled(&self, requests: usize) {
-        let mut m = self.inner.lock().expect("metrics lock poisoned");
-        m.cancelled += requests as u64;
+        self.cancelled.add(requests as u64);
+    }
+
+    /// Records one request's enqueue-to-execution-start wait.
+    pub(crate) fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record_duration(wait);
+    }
+
+    /// Records how long a worker spent forming (lingering for) a batch.
+    pub(crate) fn record_batch_form(&self, form: Duration) {
+        self.batch_form.record_duration(form);
+    }
+
+    /// Records the post-GEMM split-and-respond fan-out time of a batch.
+    pub(crate) fn record_split_back(&self, split: Duration) {
+        self.split_back.record_duration(split);
     }
 
     /// Copies out the current counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        *self.inner.lock().expect("metrics lock poisoned")
+        MetricsSnapshot {
+            requests: self.requests.sum(),
+            batches: self.batches.sum(),
+            columns: self.columns.sum(),
+            workload: Workload {
+                mul: self.wl_mul.sum(),
+                add: self.wl_add.sum(),
+                ema_slices: self.wl_ema_slices.sum(),
+                comp_mul: self.wl_comp_mul.sum(),
+                comp_add: self.wl_comp_add.sum(),
+            },
+            compute_time: Duration::from_nanos(self.compute_nanos.sum()),
+            max_latency: Duration::from_nanos(self.max_latency_nanos.load(Ordering::Relaxed)),
+            widest_batch: self.widest_batch.load(Ordering::Relaxed),
+            padded_cols: self.padded_cols.sum(),
+            cancelled: self.cancelled.sum(),
+        }
     }
+
+    /// Per-stage latency histograms (nanosecond samples), tagged with
+    /// their stage names.
+    pub fn stage_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        vec![
+            ("queue_wait", self.queue_wait.snapshot()),
+            ("batch_form", self.batch_form.snapshot()),
+            ("execute", self.execute.snapshot()),
+            ("split_back", self.split_back.snapshot()),
+        ]
+    }
+}
+
+/// Duration → nanoseconds, saturating at `u64::MAX` (~584 years).
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -155,5 +237,29 @@ mod tests {
         assert_eq!(s.mean_batch_cols(), 0.0);
         assert_eq!(s.columns_per_second(), 0.0);
         assert_eq!(s.padding_overhead(), 0.0);
+    }
+
+    #[test]
+    fn stage_histograms_capture_batch_stages() {
+        let m = Metrics::default();
+        m.record_queue_wait(Duration::from_micros(50));
+        m.record_batch_form(Duration::from_micros(10));
+        m.record_split_back(Duration::from_micros(5));
+        m.record_batch(
+            1,
+            4,
+            0,
+            &Workload::default(),
+            Duration::from_micros(200),
+            Duration::from_micros(260),
+        );
+        let stages = m.stage_snapshots();
+        let by_name: std::collections::HashMap<_, _> = stages.into_iter().collect();
+        assert_eq!(by_name["queue_wait"].count, 1);
+        assert_eq!(by_name["batch_form"].count, 1);
+        assert_eq!(by_name["split_back"].count, 1);
+        let exec = &by_name["execute"];
+        assert_eq!(exec.count, 1);
+        assert!(exec.p50() >= 200_000, "execute p50 in ns: {}", exec.p50());
     }
 }

@@ -243,6 +243,12 @@ impl Runtime {
         self.shared.metrics.snapshot()
     }
 
+    /// Per-stage latency histograms (`queue_wait`, `batch_form`,
+    /// `execute`, `split_back`), nanosecond samples.
+    pub fn stage_snapshots(&self) -> Vec<(&'static str, panacea_telemetry::HistogramSnapshot)> {
+        self.shared.metrics.stage_snapshots()
+    }
+
     /// Snapshot of the queued and in-flight work — what a shard router
     /// ranks runtimes by.
     pub fn queue_depth(&self) -> QueueDepth {
@@ -469,6 +475,7 @@ fn worker_loop(shared: &Shared) {
         // head request's deadline passes, another model queues up behind
         // the head (lingering would head-of-line-block it), or shutdown
         // forces dispatch.
+        let form_started = Instant::now();
         loop {
             if st.shutting_down
                 || head_model_cols(&st.queue) >= shared.policy.max_batch
@@ -500,6 +507,7 @@ fn worker_loop(shared: &Shared) {
         let Some(batch) = take_batch(&mut st.queue, shared.policy.max_batch) else {
             continue;
         };
+        shared.metrics.record_batch_form(form_started.elapsed());
         let batch_cols: usize = batch.jobs.iter().map(|j| j.payload.cols()).sum();
         st.in_flight_cols += batch_cols;
         drop(st);

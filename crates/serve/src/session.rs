@@ -53,6 +53,7 @@ use std::time::{Duration, Instant};
 
 use panacea_block::KvCache;
 use panacea_core::Workload;
+use panacea_telemetry::{Histogram, HistogramSnapshot};
 use panacea_tensor::Matrix;
 
 use crate::decode_batch::DecodeBatcher;
@@ -201,6 +202,8 @@ pub struct SessionManager {
     /// [`SessionConfig::max_decode_batch`] disables batching (steps run
     /// inline on the caller's thread).
     batcher: Option<DecodeBatcher>,
+    /// End-to-end [`step`](Self::step) latency (ns), successes only.
+    step_latency: Histogram,
 }
 
 impl SessionManager {
@@ -217,6 +220,7 @@ impl SessionManager {
                 counters: Counters::default(),
             }),
             batcher,
+            step_latency: Histogram::new(),
         }
     }
 
@@ -370,6 +374,7 @@ impl SessionManager {
             Ok((_, _, _)) => {
                 inner.counters.steps += 1;
                 inner.counters.tokens += hidden.cols() as u64;
+                self.step_latency.record_duration(now.elapsed());
             }
             // A failed step grew nothing: release the reservation —
             // unless a concurrent removal already settled it.
@@ -435,6 +440,23 @@ impl SessionManager {
             decode_batches: self.batcher.as_ref().map_or(0, DecodeBatcher::batches),
             decode_padded_cols: self.batcher.as_ref().map_or(0, DecodeBatcher::padded_cols),
         }
+    }
+
+    /// Per-stage histograms for the decode path: `step` (end-to-end
+    /// step latency, ns) plus the batcher's `decode_linger` /
+    /// `decode_pass` (ns) and `decode_occupancy` (sessions per fused
+    /// pass). Batcher stages are empty when batching is disabled.
+    pub fn stage_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        let mut stages = vec![("step", self.step_latency.snapshot())];
+        match &self.batcher {
+            Some(batcher) => stages.extend(batcher.stage_snapshots()),
+            None => stages.extend([
+                ("decode_linger", HistogramSnapshot::empty()),
+                ("decode_pass", HistogramSnapshot::empty()),
+                ("decode_occupancy", HistogramSnapshot::empty()),
+            ]),
+        }
+        stages
     }
 
     /// The amortized idle scan: a no-op until the sweep deadline, so

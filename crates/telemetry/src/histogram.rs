@@ -1,0 +1,364 @@
+//! Sharded-atomic log-linear histograms with mergeable snapshots.
+//!
+//! The bucket layout is HDR-style log-linear: values below
+//! [`LINEAR_MAX`] get exact one-wide buckets, and every power-of-two
+//! tier above that is split into [`SUB_BUCKETS`] equal sub-buckets, so
+//! the relative quantile error is bounded by `1/SUB_BUCKETS` (≈3.1%)
+//! at any magnitude up to `u64::MAX`. Recording is a handful of
+//! `Relaxed` `fetch_add`s on a thread-affine shard — no locks, no
+//! allocation — which keeps the hot serving paths cheap enough for the
+//! bench overhead gate.
+//!
+//! Values are unit-agnostic `u64`s: the serving stack records
+//! nanoseconds for durations and raw column counts for occupancy.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Sub-bucket resolution: each power-of-two tier splits into
+/// `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per power-of-two tier (32).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Values below this get exact one-wide buckets.
+pub const LINEAR_MAX: u64 = SUB_BUCKETS * 2;
+/// Total bucket count covering the full `u64` range: the linear region
+/// plus two tier-0/1 ranges share the first two tiers, and exponents
+/// `SUB_BITS+1 ..= 63` each add one tier of `SUB_BUCKETS`.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS as usize;
+
+/// Default shard count for new histograms.
+const DEFAULT_SHARDS: usize = 4;
+
+/// Maps a value to its bucket index. Total over all of `u64`.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS + 1
+    let tier = exp - SUB_BITS; // >= 1
+    let offset = (v >> tier) - SUB_BUCKETS; // 0..SUB_BUCKETS
+    ((tier as u64 + 1) * SUB_BUCKETS + offset) as usize
+}
+
+/// Largest value that maps into `index` — what quantiles report, so an
+/// estimate never undershoots the exact order statistic.
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index < LINEAR_MAX as usize {
+        return index as u64;
+    }
+    let tier = (index as u64 / SUB_BUCKETS) - 1;
+    let offset = index as u64 % SUB_BUCKETS;
+    let low = (SUB_BUCKETS + offset) << tier;
+    low + ((1u64 << tier) - 1)
+}
+
+/// One shard's counters. Aligned so adjacent shards never share a
+/// cache line through this struct (the bucket arrays are separate
+/// allocations already).
+#[repr(align(64))]
+struct Shard {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Round-robin slot assigned on a thread's first record; `MAX`
+    /// means unassigned.
+    static THREAD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+pub(crate) fn thread_shard_slot() -> usize {
+    THREAD_SLOT.with(|c| {
+        let mut slot = c.get();
+        if slot == usize::MAX {
+            slot = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+            c.set(slot);
+        }
+        slot
+    })
+}
+
+/// A concurrent log-linear histogram. Threads record into
+/// round-robin-assigned shards; [`Histogram::snapshot`] merges them.
+pub struct Histogram {
+    shards: Box<[Shard]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("sum", &s.sum)
+            .field("max", &s.max)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// A histogram with the default shard count.
+    pub fn new() -> Self {
+        Histogram::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A histogram with `shards` independent recording shards (≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Histogram {
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Records one value. Lock-free: a few `Relaxed` atomic ops on the
+    /// calling thread's shard.
+    pub fn record(&self, value: u64) {
+        let shard = &self.shards[thread_shard_slot() % self.shards.len()];
+        shard.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+        shard.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds (saturating at
+    /// `u64::MAX` — ~584 years).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Merges every shard into one point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        for shard in self.shards.iter() {
+            for (acc, b) in out.buckets.iter_mut().zip(shard.buckets.iter()) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            out.count += shard.count.load(Ordering::Relaxed);
+            out.sum += shard.sum.load(Ordering::Relaxed);
+            out.max = out.max.max(shard.max.load(Ordering::Relaxed));
+        }
+        out
+    }
+}
+
+/// An immutable, mergeable copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see the module docs for the layout).
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (same unit as the samples).
+    pub sum: u64,
+    /// Largest recorded value, exact.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with nothing recorded.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds another snapshot into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded values; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket
+    /// holding the order statistic of rank `ceil(q·count)`. Never below
+    /// the exact quantile and at most `exact/32 + 1` above it. Returns
+    /// 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The histogram max is exact; never report past it.
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_buckets_are_exact() {
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_inverts() {
+        let mut samples: Vec<u64> = (0..4096).collect();
+        for exp in 6..64u32 {
+            for off in [0u64, 1, 31] {
+                let base = (SUB_BUCKETS + off) << (exp - SUB_BITS);
+                samples.extend([base - 1, base, base + 1]);
+            }
+        }
+        samples.push(u64::MAX);
+        samples.sort_unstable();
+        let mut prev = 0usize;
+        for &v in &samples {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index regressed at {v}");
+            assert!(idx < NUM_BUCKETS);
+            assert!(bucket_upper_bound(idx) >= v, "v={v} escaped its bucket");
+            prev = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn upper_bound_relative_error_is_bounded() {
+        for v in [64u64, 100, 1_000, 65_535, 1 << 20, u64::MAX / 3] {
+            let ub = bucket_upper_bound(bucket_index(v));
+            assert!(ub >= v);
+            assert!(ub - v <= v / 32 + 1, "v={v} ub={ub}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_set() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.max, 100);
+        // p50 = 50th order statistic = 50; values ≤ 63 are exact.
+        assert_eq!(s.p50(), 50);
+        assert_eq!(s.quantile(1.0), 100);
+        let p99 = s.p99();
+        assert!((99..=100).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [0u64, 1, 63, 64, 65, 1000, 1 << 40] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [5u64, 64, 1 << 40, u64::MAX] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_is_deterministic() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    h.record(t * 1000 + i);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let reference = Histogram::with_shards(1);
+        for t in 0..8u64 {
+            for i in 0..1000u64 {
+                reference.record(t * 1000 + i);
+            }
+        }
+        assert_eq!(h.snapshot(), reference.snapshot());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests: histogram quantiles against exact sorted-vector
+//! quantiles across adversarial distributions, and determinism of
+//! concurrent recording + snapshot merging.
+
+use panacea_telemetry::{Histogram, HistogramSnapshot, SUB_BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The exact order statistic the histogram's `quantile(q)` brackets:
+/// rank `ceil(q·n)` (1-based) of the sorted samples.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Asserts the histogram estimate brackets the exact quantile with the
+/// documented log-linear error bound: `exact ≤ est ≤ exact + exact/32 + 1`.
+fn check_quantiles(samples: &[u64]) {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, samples.len() as u64);
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(snap.max, *sorted.last().unwrap());
+    for q in [0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+        let exact = exact_quantile(&sorted, q);
+        let est = snap.quantile(q);
+        assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+        assert!(
+            est <= exact.saturating_add(exact / SUB_BUCKETS).saturating_add(1),
+            "q={q}: est {est} too far above exact {exact}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_bracket_exact_uniform(samples in vec(0u64..100_000, 1..400)) {
+        check_quantiles(&samples);
+    }
+
+    #[test]
+    fn quantiles_bracket_exact_heavy_tail(
+        body in vec(0u64..200, 1..200),
+        tail in vec(1_000_000_000u64..4_000_000_000_000, 0..20),
+    ) {
+        let mut samples = body;
+        samples.extend_from_slice(&tail);
+        check_quantiles(&samples);
+    }
+
+    #[test]
+    fn quantiles_bracket_exact_bucket_boundaries(
+        tiers in vec(1u32..40, 1..100),
+        offsets in vec(0u64..SUB_BUCKETS, 1..100),
+    ) {
+        // Values of the form (32 + offset) << tier sit exactly on bucket
+        // lower bounds — the adversarial case for an upper-bound report.
+        let samples: Vec<u64> = tiers
+            .iter()
+            .zip(offsets.iter().cycle())
+            .map(|(&t, &off)| (SUB_BUCKETS + off) << t)
+            .collect();
+        check_quantiles(&samples);
+    }
+
+    #[test]
+    fn single_sample_is_reported_within_bound(v in 0u64..u64::MAX) {
+        check_quantiles(&[v]);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording(
+        left in vec(0u64..1_000_000, 0..200),
+        right in vec(0u64..1_000_000, 0..200),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for &v in &left {
+            a.record(v);
+            combined.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            combined.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        prop_assert_eq!(merged, combined.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_matches_sequential(
+        samples in vec(0u64..10_000_000, 8..256),
+        threads in 2usize..6,
+    ) {
+        let shared = std::sync::Arc::new(Histogram::new());
+        let chunks: Vec<Vec<u64>> = samples
+            .chunks(samples.len().div_ceil(threads))
+            .map(<[u64]>::to_vec)
+            .collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let h = shared.clone();
+                std::thread::spawn(move || {
+                    for v in chunk {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let sequential = Histogram::with_shards(1);
+        for &v in &samples {
+            sequential.record(v);
+        }
+        prop_assert_eq!(shared.snapshot(), sequential.snapshot());
+    }
+}
+
+#[test]
+fn merging_empty_snapshots_is_identity() {
+    let h = Histogram::new();
+    h.record(42);
+    let mut snap = h.snapshot();
+    snap.merge(&HistogramSnapshot::empty());
+    assert_eq!(snap, h.snapshot());
+}

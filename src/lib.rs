@@ -25,7 +25,11 @@
 //! * [`gateway`] — the sharded TCP front-end over `serve`: line-delimited
 //!   JSON protocol, rendezvous shard routing, a content-addressed LRU
 //!   request cache, and admission control with explicit overload
-//!   rejections.
+//!   rejections;
+//! * [`telemetry`] — std-only observability primitives: sharded-atomic
+//!   log-linear latency histograms with mergeable snapshots and
+//!   p50/p90/p99 estimates, request-scoped span tracing with bounded
+//!   slow-trace rings, and cache-padded sharded counters.
 //!
 //! # Quickstart
 //!
@@ -49,4 +53,5 @@ pub use panacea_models as models;
 pub use panacea_quant as quant;
 pub use panacea_serve as serve;
 pub use panacea_sim as sim;
+pub use panacea_telemetry as telemetry;
 pub use panacea_tensor as tensor;
