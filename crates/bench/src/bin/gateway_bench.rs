@@ -1,0 +1,333 @@
+//! Gateway load harness: mixed infer/decode traffic over real TCP,
+//! machine-readable.
+//!
+//! Drives a live [`GatewayServer`] with concurrent clients at several
+//! concurrency levels — half the clients hammer the stateless `infer`
+//! verb on a linear-chain model, the other half run KV-cached decode
+//! sessions on a transformer-block model — and records **client-side**
+//! request latencies. Each level then cross-checks the server's own
+//! windowed dimensional metrics (the `metrics` verb's
+//! `(model, verb, stage)` summaries) against what the clients observed,
+//! and asserts the `health` verb reports `ok` under this nominal load.
+//!
+//! A final overload phase points a synchronized burst at a gateway with
+//! two admission permits and a zero-tolerance shed SLO, and asserts the
+//! sheds are counted by reason on the wire and flip the health verdict
+//! off `ok` — the failure path is exercised, not assumed.
+//!
+//! Results go to `BENCH_gateway.json` so the serving-latency trajectory
+//! is tracked across PRs. Set `GATEWAY_BENCH_SMOKE=1` to run a reduced
+//! matrix (CI uses this; the gates are identical).
+//!
+//! Run with: `cargo run --release -p panacea-bench --bin gateway_bench`
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use panacea_gateway::testutil::{block_model, hidden, models};
+use panacea_gateway::{
+    AdmissionConfig, CacheConfig, Gateway, GatewayClient, GatewayConfig, GatewayServer, SloConfig,
+    SloStatus, SloTarget,
+};
+use panacea_serve::{BatchPolicy, RuntimeConfig};
+use serde_json::{json, Value};
+
+const CHAIN_MODEL: &str = "chain";
+const BLOCK_MODEL: &str = "block";
+const BLOCK_D_MODEL: usize = 16;
+
+/// Server-vs-client p99 agreement gates. The server measures verb time
+/// inside the gateway (after request decode, before response encode),
+/// so it must sit below the client's full round trip — but above a
+/// floor, or the windowed histograms are not measuring the same
+/// requests the clients sent. The upper gate gets a constant slack on
+/// top of the ratio: histogram buckets round up (≤1/32 relative) and
+/// both sides' p99 sits on different single samples.
+const P99_UPPER_RATIO: f64 = 1.10;
+const P99_UPPER_SLACK_US: f64 = 1_000.0;
+const P99_LOWER_RATIO: f64 = 0.02;
+
+fn smoke() -> bool {
+    std::env::var("GATEWAY_BENCH_SMOKE").is_ok()
+}
+
+/// Exact client-side quantile: sorted nearest-rank, no bucketing.
+fn quantile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn nominal_gateway() -> Arc<Gateway> {
+    let mut all = models(&[CHAIN_MODEL], 21);
+    all.push(block_model(BLOCK_MODEL, 22).0);
+    Arc::new(Gateway::new(all, GatewayConfig::default()))
+}
+
+struct LevelOutcome {
+    infer_us: Vec<f64>,
+    decode_us: Vec<f64>,
+    decode_tokens: usize,
+    elapsed: Duration,
+}
+
+/// One load trial: `clients` concurrent connections, split between
+/// stateless infer traffic and decode sessions, all latencies measured
+/// client-side. Payloads are salted per request so the request cache
+/// never short-circuits the serving path.
+fn run_level(addr: std::net::SocketAddr, clients: usize, requests: usize) -> LevelOutcome {
+    let barrier = Arc::new(Barrier::new(clients));
+    let mut threads = Vec::new();
+    let started = Instant::now();
+    for t in 0..clients {
+        let barrier = Arc::clone(&barrier);
+        threads.push(thread::spawn(move || {
+            let mut client = GatewayClient::connect(addr).expect("connect");
+            let mut latencies = Vec::with_capacity(requests);
+            barrier.wait();
+            if t % 2 == 0 {
+                // Infer client: unique codes per request (no cache hits).
+                for i in 0..requests {
+                    let x = panacea_tensor::Matrix::from_fn(16, 1, |r, _| {
+                        ((r * 31 + (t * 10_000 + i) * 13) % 200) as i32
+                    });
+                    let begun = Instant::now();
+                    client.infer_codes(CHAIN_MODEL, x).expect("infer served");
+                    latencies.push(begun.elapsed().as_secs_f64() * 1e6);
+                }
+                (latencies, Vec::new(), 0usize)
+            } else {
+                // Decode client: one session, `requests` single-token
+                // steps against live KV state.
+                let open = client.session_open(BLOCK_MODEL).expect("session open");
+                for i in 0..requests {
+                    let token = hidden(BLOCK_D_MODEL, 1, t * 10_000 + i);
+                    let begun = Instant::now();
+                    client.decode(open.session, token).expect("decode served");
+                    latencies.push(begun.elapsed().as_secs_f64() * 1e6);
+                }
+                client.session_close(open.session).expect("session close");
+                (Vec::new(), latencies, requests)
+            }
+        }));
+    }
+    let mut infer_us = Vec::new();
+    let mut decode_us = Vec::new();
+    let mut decode_tokens = 0usize;
+    for th in threads {
+        let (inf, dec, toks) = th.join().expect("client thread");
+        infer_us.extend(inf);
+        decode_us.extend(dec);
+        decode_tokens += toks;
+    }
+    let elapsed = started.elapsed();
+    infer_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    decode_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    LevelOutcome {
+        infer_us,
+        decode_us,
+        decode_tokens,
+        elapsed,
+    }
+}
+
+/// The overload phase: two permits, a lingering batcher, no cache, and
+/// an SLO that tolerates almost no shedding. A synchronized burst must
+/// produce per-reason shed counts on the wire and a non-`ok` health
+/// verdict.
+fn run_overload(burst: usize) -> (u64, u64, f64, String) {
+    let gateway = Arc::new(Gateway::new(
+        models(&[CHAIN_MODEL], 23),
+        GatewayConfig {
+            shards: 1,
+            runtime: RuntimeConfig {
+                workers: 1,
+                policy: BatchPolicy {
+                    max_batch: 4096,
+                    max_wait: Duration::from_millis(150),
+                },
+            },
+            cache: CacheConfig {
+                capacity: 0,
+                shards: 1,
+                ..CacheConfig::default()
+            },
+            admission: AdmissionConfig {
+                max_in_flight: 2,
+                max_queue_wait: Duration::from_secs(10),
+            },
+            slo: SloConfig {
+                targets: vec![SloTarget {
+                    max_shed_rate: Some(0.05),
+                    ..SloTarget::over("availability", Duration::from_secs(10))
+                }],
+            },
+            ..GatewayConfig::default()
+        },
+    ));
+    let mut server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let barrier = Arc::new(Barrier::new(burst));
+    let mut threads = Vec::new();
+    for t in 0..burst {
+        let barrier = Arc::clone(&barrier);
+        threads.push(thread::spawn(move || {
+            let mut client = GatewayClient::connect(addr).expect("connect");
+            let x = panacea_tensor::Matrix::from_fn(16, 1, |r, _| ((r * 31 + t * 13) % 200) as i32);
+            barrier.wait();
+            match client.infer_codes(CHAIN_MODEL, x) {
+                Ok(_) => false,
+                Err(e) => {
+                    assert!(e.is_overloaded(), "unexpected overload-phase failure: {e}");
+                    true
+                }
+            }
+        }));
+    }
+    let rejected = threads
+        .into_iter()
+        .map(|th| th.join().expect("burst thread"))
+        .filter(|&r| r)
+        .count() as u64;
+
+    let mut client = GatewayClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    let health = client.health().expect("health");
+    let shed_rate = health
+        .targets
+        .first()
+        .map(|t| t.shed_rate)
+        .unwrap_or_default();
+    let status = health.status.as_str().to_string();
+
+    assert_eq!(
+        stats.sheds.in_flight, rejected,
+        "per-reason shed counter disagrees with client-observed rejections"
+    );
+    assert!(
+        rejected > 0,
+        "{burst}-way burst over 2 permits shed nothing — overload path untested"
+    );
+    assert!(
+        health.status != SloStatus::Ok,
+        "health stayed ok through {rejected} sheds (shed rate {shed_rate:.3})"
+    );
+    server.shutdown();
+    (rejected, stats.sheds.total(), shed_rate, status)
+}
+
+fn main() {
+    let smoke = smoke();
+    let levels: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8] };
+    let requests = if smoke { 12 } else { 60 };
+    let burst = if smoke { 12 } else { 24 };
+    println!(
+        "gateway load bench ({} mode): mixed infer/decode over TCP, {requests} requests/client",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>13}  {:>13}  {:>10}  {:>8}",
+        "clients", "inf p50 µs", "inf p99 µs", "srv p99 µs", "dec p50 µs", "tok/s", "health"
+    );
+
+    let mut rows: Vec<Value> = Vec::new();
+    for &clients in levels {
+        let gateway = nominal_gateway();
+        let mut server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+        let out = run_level(server.local_addr(), clients, requests);
+
+        // Server-side view, queried inside the metrics window the load
+        // just filled.
+        let mut probe = GatewayClient::connect(server.local_addr()).expect("connect");
+        let metrics = probe.metrics().expect("metrics");
+        let infer_dim = metrics
+            .dims
+            .iter()
+            .find(|d| d.model == CHAIN_MODEL && d.verb == "infer" && d.stage == "request")
+            .expect("no (chain, infer, request) dimension on the wire");
+        let health = probe.health().expect("health");
+        let stats = probe.stats().expect("stats");
+        server.shutdown();
+
+        let infer_p50 = quantile_us(&out.infer_us, 0.50);
+        let infer_p99 = quantile_us(&out.infer_us, 0.99);
+        let decode_p50 = quantile_us(&out.decode_us, 0.50);
+        let decode_p99 = quantile_us(&out.decode_us, 0.99);
+        let server_p99 = infer_dim.p99_us as f64;
+        let tokens_per_s = out.decode_tokens as f64 / out.elapsed.as_secs_f64();
+        let requests_per_s = out.infer_us.len() as f64 / out.elapsed.as_secs_f64();
+        println!(
+            "{clients:>8}  {infer_p50:>12.1}  {infer_p99:>12.1}  {server_p99:>13.1}  \
+             {decode_p50:>13.1}  {tokens_per_s:>10.1}  {:>8}",
+            health.status.as_str()
+        );
+
+        // Gates: every infer landed in the server's windowed dimension,
+        // nothing shed, health ok, and the two p99 views agree.
+        assert_eq!(
+            infer_dim.ok,
+            out.infer_us.len() as u64,
+            "server windowed ok-count missed infer requests"
+        );
+        assert_eq!(stats.sheds.total(), 0, "nominal load shed requests");
+        assert_eq!(
+            health.status,
+            SloStatus::Ok,
+            "health not ok under nominal load: {health:?}"
+        );
+        assert!(
+            server_p99 <= infer_p99 * P99_UPPER_RATIO + P99_UPPER_SLACK_US,
+            "server windowed p99 {server_p99:.1}µs above client p99 {infer_p99:.1}µs \
+             (gate {P99_UPPER_RATIO}x + {P99_UPPER_SLACK_US}µs)"
+        );
+        assert!(
+            server_p99 >= infer_p99 * P99_LOWER_RATIO,
+            "server windowed p99 {server_p99:.1}µs implausibly far below client p99 \
+             {infer_p99:.1}µs (gate {P99_LOWER_RATIO}x)"
+        );
+
+        rows.push(json!({
+            "clients": clients,
+            "infer_requests": out.infer_us.len(),
+            "decode_tokens": out.decode_tokens,
+            "client_infer_p50_us": infer_p50,
+            "client_infer_p99_us": infer_p99,
+            "client_decode_p50_us": decode_p50,
+            "client_decode_p99_us": decode_p99,
+            "server_infer_p99_us": server_p99,
+            "infer_requests_per_s": requests_per_s,
+            "decode_tokens_per_s": tokens_per_s,
+            "shed_total": stats.sheds.total(),
+            "health": health.status.as_str(),
+        }));
+    }
+    println!("nominal gates: health ok, zero sheds, server/client p99 agreement ✓");
+
+    let (rejected, shed_total, shed_rate, status) = run_overload(burst);
+    println!(
+        "overload: {burst}-way burst over 2 permits shed {rejected} \
+         (shed rate {shed_rate:.3}), health {status} ✓"
+    );
+
+    let report = json!({
+        "bench": "gateway_load",
+        "mode": if smoke { "smoke" } else { "full" },
+        "requests_per_client": requests,
+        "results": Value::Array(rows),
+        "overload": json!({
+            "burst_clients": burst,
+            "admission_permits": 2,
+            "rejected": rejected,
+            "shed_total": shed_total,
+            "shed_rate": shed_rate,
+            "health": status,
+        }),
+    });
+    let encoded = serde_json::to_string(&report).expect("shim serializer never fails");
+    std::fs::write("BENCH_gateway.json", &encoded).expect("write BENCH_gateway.json");
+    println!("wrote BENCH_gateway.json");
+}

@@ -13,9 +13,10 @@ use panacea_tensor::Matrix;
 
 use crate::protocol::{
     decode_response, encode_request, DecodeReply, GatewayMetrics, GatewayStats, InferReply,
-    Request, Response, SessionCloseReply, SessionOpenReply, TraceReply,
+    Request, Response, SessionCloseReply, SessionOpenReply, TraceKind, TraceReply,
 };
 use crate::GatewayError;
+use panacea_telemetry::HealthReport;
 
 /// A connected gateway client. See the module docs.
 #[derive(Debug)]
@@ -227,18 +228,56 @@ impl GatewayClient {
         }
     }
 
-    /// Fetches up to `limit` of the most recent slow-request traces,
-    /// newest first, each a structured span list.
+    /// Fetches up to `limit` of the pinned slow-request traces, newest
+    /// first, each a structured span list — shorthand for
+    /// [`trace_of`](Self::trace_of) with [`TraceKind::Slow`].
     ///
     /// # Errors
     ///
     /// Same transport failures as [`infer`](Self::infer).
     pub fn trace(&mut self, limit: usize) -> Result<TraceReply, GatewayError> {
-        match self.call(&Request::Trace { limit })? {
+        self.trace_of(limit, TraceKind::Slow)
+    }
+
+    /// Fetches up to `limit` of the most recent traces regardless of
+    /// duration — shorthand for [`trace_of`](Self::trace_of) with
+    /// [`TraceKind::Recent`].
+    ///
+    /// # Errors
+    ///
+    /// Same transport failures as [`infer`](Self::infer).
+    pub fn trace_recent(&mut self, limit: usize) -> Result<TraceReply, GatewayError> {
+        self.trace_of(limit, TraceKind::Recent)
+    }
+
+    /// Fetches up to `limit` recorded traces from the chosen ring,
+    /// newest first.
+    ///
+    /// # Errors
+    ///
+    /// Same transport failures as [`infer`](Self::infer).
+    pub fn trace_of(&mut self, limit: usize, kind: TraceKind) -> Result<TraceReply, GatewayError> {
+        match self.call(&Request::Trace { limit, kind })? {
             Response::Trace(reply) => Ok(reply),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
             _ => Err(GatewayError::Protocol(
                 "server answered a trace request with the wrong kind".to_string(),
+            )),
+        }
+    }
+
+    /// Fetches the gateway's SLO health verdict: per-target burn rates
+    /// over sliding windows plus the overall status.
+    ///
+    /// # Errors
+    ///
+    /// Same transport failures as [`infer`](Self::infer).
+    pub fn health(&mut self) -> Result<HealthReport, GatewayError> {
+        match self.call(&Request::Health)? {
+            Response::Health(report) => Ok(report),
+            Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
+            _ => Err(GatewayError::Protocol(
+                "server answered a health request with the wrong kind".to_string(),
             )),
         }
     }

@@ -58,12 +58,15 @@ use panacea_serve::ServeError;
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
 pub use cache::{CacheConfig, CacheStats, CachedOutput, RequestCache};
 pub use client::GatewayClient;
-pub use panacea_serve::{Payload, PayloadKind, SessionConfig, SessionStats};
-pub use panacea_telemetry::{TraceConfig, Tracer};
+pub use panacea_serve::{OverloadReason, Payload, PayloadKind, SessionConfig, SessionStats};
+pub use panacea_telemetry::{
+    HealthReport, MetricKey, MetricRegistry, SloConfig, SloStatus, SloTarget, TargetReport,
+    TraceConfig, Tracer, WindowConfig,
+};
 pub use protocol::{
-    DecodeReply, ErrorKind, GatewayMetrics, GatewayStats, InferReply, Request, Response,
-    SessionCloseReply, SessionOpenReply, ShardStats, SpanSummary, StageSummary, TraceReply,
-    TraceSummary,
+    DecodeReply, DimSummary, ErrorKind, GatewayMetrics, GatewayStats, InferReply, Request,
+    Response, SessionCloseReply, SessionOpenReply, ShardStats, ShedStats, SpanSummary,
+    StageSummary, TraceKind, TraceReply, TraceSummary,
 };
 pub use router::ShardRouter;
 pub use server::{Gateway, GatewayConfig, GatewayServer, ServerConfig};

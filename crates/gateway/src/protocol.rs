@@ -19,8 +19,12 @@
 //!   (count/sum/p50/p90/p99/max per stage) for the gateway's
 //!   connection-handling stages, every shard's serving stages, and the
 //!   block engine's sub-layer stages.
-//! * `"trace"` — the most recent slow-request traces as structured
-//!   span lists (id/parent/stage/start_us/dur_us).
+//! * `"trace"` — recorded request traces as structured span lists
+//!   (id/parent/stage/start_us/dur_us). An optional `kind` field picks
+//!   the ring: `"slow"` (default — pinned slow-request traces) or
+//!   `"recent"` (the most recent traces regardless of duration).
+//! * `"health"` — the gateway's SLO verdict: per-target burn rates over
+//!   sliding windows plus an overall `ok`/`degraded`/`critical` status.
 //!
 //! Matrices travel as `{"rows": R, "cols": C, "data": [row-major…]}`.
 //! Integer payloads round-trip bit-exactly (JSON numbers are `f64`,
@@ -33,6 +37,7 @@
 use std::time::Duration;
 
 use panacea_serve::Payload;
+use panacea_telemetry::{HealthReport, MetricKey, SloStatus, TargetReport};
 use panacea_tensor::Matrix;
 use serde_json::{json, Value};
 
@@ -86,11 +91,44 @@ pub enum Request {
     /// Fetch per-stage latency quantile summaries (gateway stages,
     /// per-shard serving stages, block sub-layer stages).
     Metrics,
-    /// Fetch the most recent slow-request traces as span trees.
+    /// Fetch recorded request traces as span trees.
     Trace {
         /// Maximum number of traces to return (newest first).
         limit: usize,
+        /// Which trace ring to read; defaults to [`TraceKind::Slow`]
+        /// when the wire field is absent.
+        kind: TraceKind,
     },
+    /// Fetch the gateway's SLO health verdict.
+    Health,
+}
+
+/// Which trace ring a `trace` request reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Pinned slow-request traces (over the configured threshold).
+    #[default]
+    Slow,
+    /// The most recent traces regardless of duration.
+    Recent,
+}
+
+impl TraceKind {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Slow => "slow",
+            TraceKind::Recent => "recent",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, GatewayError> {
+        match s {
+            "slow" => Ok(TraceKind::Slow),
+            "recent" => Ok(TraceKind::Recent),
+            other => Err(bad(format!("unknown trace kind {other:?}"))),
+        }
+    }
 }
 
 /// A successful `infer` response.
@@ -252,6 +290,28 @@ pub struct ShardStats {
     pub decode_padded_cols: u64,
 }
 
+/// Overload sheds broken down by which bound rejected the request, as
+/// reported by the `stats` verb. Unlike the admission controller's own
+/// counters, these are counted where errors surface at the gateway's
+/// public verbs, so KV-budget rejections (which never pass through
+/// admission) are visible too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShedStats {
+    /// Sheds because the in-flight limit was reached.
+    pub in_flight: u64,
+    /// Sheds because the queue-wait bound elapsed.
+    pub queue_wait: u64,
+    /// Sheds because a decode step could not fit the KV byte budget.
+    pub kv_budget: u64,
+}
+
+impl ShedStats {
+    /// Total sheds across every reason.
+    pub fn total(&self) -> u64 {
+        self.in_flight + self.queue_wait + self.kv_budget
+    }
+}
+
 /// Gateway-level metrics bundle returned by the `stats` verb.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GatewayStats {
@@ -261,6 +321,8 @@ pub struct GatewayStats {
     pub cache: CacheStats,
     /// Admission-control counters.
     pub admission: AdmissionStats,
+    /// Overload sheds by reason, counted at the gateway's public verbs.
+    pub sheds: ShedStats,
     /// Milliseconds since the gateway started.
     pub uptime_ms: u64,
     /// Monotonic snapshot sequence number: strictly increases with
@@ -306,6 +368,54 @@ impl StageSummary {
     }
 }
 
+/// One dimension's windowed summary — quantiles and outcome counts for
+/// a (model, verb, stage) cell over the metrics window — as reported by
+/// the `metrics` verb. Latency values are in microseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DimSummary {
+    /// Model name the cell is keyed by.
+    pub model: String,
+    /// Wire verb or internal path ("infer", "decode", "batch", …).
+    pub verb: String,
+    /// Pipeline stage ("request", "execute", "step", "fused_pass", …).
+    pub stage: String,
+    /// Latency samples in the window.
+    pub count: u64,
+    /// Estimated windowed p50 latency (µs).
+    pub p50_us: u64,
+    /// Estimated windowed p90 latency (µs).
+    pub p90_us: u64,
+    /// Estimated windowed p99 latency (µs).
+    pub p99_us: u64,
+    /// Windowed maximum latency (µs).
+    pub max_us: u64,
+    /// Successful outcomes in the window.
+    pub ok: u64,
+    /// Failed outcomes in the window (excluding sheds).
+    pub error: u64,
+    /// Shed (overload-rejected) outcomes in the window.
+    pub shed: u64,
+}
+
+impl DimSummary {
+    /// Summarizes one dimension's window (nanosecond latencies → µs).
+    pub fn from_window(key: &MetricKey, w: &panacea_telemetry::DimWindow) -> Self {
+        DimSummary {
+            model: key.model.clone(),
+            verb: key.verb.clone(),
+            stage: key.stage.clone(),
+            count: w.latency.count,
+            p50_us: w.latency.p50() / 1_000,
+            p90_us: w.latency.p90() / 1_000,
+            p99_us: w.latency.p99() / 1_000,
+            max_us: w.latency.max / 1_000,
+            ok: w.ok,
+            error: w.error,
+            shed: w.shed,
+        }
+    }
+}
+
 /// Per-stage latency quantiles returned by the `metrics` verb.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GatewayMetrics {
@@ -324,6 +434,10 @@ pub struct GatewayMetrics {
     /// Process-global block sub-layer stages (`block_qkv`,
     /// `block_attn`, `block_proj`, `block_fc1`, `block_fc2`).
     pub block: Vec<StageSummary>,
+    /// The sliding window the dimensional summaries cover, in ms.
+    pub dims_window_ms: u64,
+    /// Windowed dimensional summaries, sorted by (model, verb, stage).
+    pub dims: Vec<DimSummary>,
 }
 
 /// One span of a recorded trace, as reported by the `trace` verb.
@@ -397,8 +511,10 @@ pub enum Response {
     Stats(GatewayStats),
     /// Per-stage latency quantile summaries.
     Metrics(GatewayMetrics),
-    /// Slow-request trace span trees.
+    /// Recorded request trace span trees.
     Trace(TraceReply),
+    /// SLO health verdict.
+    Health(HealthReport),
     /// The request failed; `kind` says how, `message` says why.
     Error {
         /// Machine-readable category.
@@ -559,10 +675,12 @@ pub fn encode_request(req: &Request) -> String {
         }),
         Request::Stats => json!({ "verb": "stats" }),
         Request::Metrics => json!({ "verb": "metrics" }),
-        Request::Trace { limit } => json!({
+        Request::Trace { limit, kind } => json!({
             "verb": "trace",
             "limit": *limit,
+            "kind": kind.as_str(),
         }),
+        Request::Health => json!({ "verb": "health" }),
     };
     serde_json::to_string(&value).expect("shim serializer never fails")
 }
@@ -605,7 +723,16 @@ pub fn decode_request(line: &str) -> Result<Request, GatewayError> {
         "metrics" => Ok(Request::Metrics),
         "trace" => Ok(Request::Trace {
             limit: usize_field(&v, "limit")?,
+            // Absent means slow — the ring the verb originally served.
+            kind: match v.get("kind") {
+                None => TraceKind::Slow,
+                Some(k) => TraceKind::parse(
+                    k.as_str()
+                        .ok_or_else(|| bad("field \"kind\" is not a string"))?,
+                )?,
+            },
         }),
+        "health" => Ok(Request::Health),
         other => Err(bad(format!("unknown verb {other:?}"))),
     }
 }
@@ -671,6 +798,11 @@ fn stats_to_value(stats: &GatewayStats) -> Value {
             "rejected_timeout": stats.admission.rejected_timeout,
             "in_flight": stats.admission.in_flight,
         }),
+        "sheds": json!({
+            "in_flight": stats.sheds.in_flight,
+            "queue_wait": stats.sheds.queue_wait,
+            "kv_budget": stats.sheds.kv_budget,
+        }),
     })
 }
 
@@ -683,6 +815,7 @@ fn value_to_stats(v: &Value) -> Result<GatewayStats, GatewayError> {
         .collect::<Result<Vec<_>, _>>()?;
     let cache = field(v, "cache")?;
     let admission = field(v, "admission")?;
+    let sheds = field(v, "sheds")?;
     Ok(GatewayStats {
         shards,
         cache: CacheStats {
@@ -696,6 +829,11 @@ fn value_to_stats(v: &Value) -> Result<GatewayStats, GatewayError> {
             rejected_capacity: u64_field(admission, "rejected_capacity")?,
             rejected_timeout: u64_field(admission, "rejected_timeout")?,
             in_flight: usize_field(admission, "in_flight")?,
+        },
+        sheds: ShedStats {
+            in_flight: u64_field(sheds, "in_flight")?,
+            queue_wait: u64_field(sheds, "queue_wait")?,
+            kv_budget: u64_field(sheds, "kv_budget")?,
         },
         uptime_ms: u64_field(v, "uptime_ms")?,
         seq: u64_field(v, "seq")?,
@@ -738,6 +876,38 @@ fn value_to_stage_summaries(v: &Value) -> Result<Vec<StageSummary>, GatewayError
         .collect()
 }
 
+fn dim_summary_to_value(d: &DimSummary) -> Value {
+    json!({
+        "model": d.model.clone(),
+        "verb": d.verb.clone(),
+        "stage": d.stage.clone(),
+        "count": d.count,
+        "p50_us": d.p50_us,
+        "p90_us": d.p90_us,
+        "p99_us": d.p99_us,
+        "max_us": d.max_us,
+        "ok": d.ok,
+        "error": d.error,
+        "shed": d.shed,
+    })
+}
+
+fn value_to_dim_summary(v: &Value) -> Result<DimSummary, GatewayError> {
+    Ok(DimSummary {
+        model: str_field(v, "model")?.to_string(),
+        verb: str_field(v, "verb")?.to_string(),
+        stage: str_field(v, "stage")?.to_string(),
+        count: u64_field(v, "count")?,
+        p50_us: u64_field(v, "p50_us")?,
+        p90_us: u64_field(v, "p90_us")?,
+        p99_us: u64_field(v, "p99_us")?,
+        max_us: u64_field(v, "max_us")?,
+        ok: u64_field(v, "ok")?,
+        error: u64_field(v, "error")?,
+        shed: u64_field(v, "shed")?,
+    })
+}
+
 fn metrics_to_value(m: &GatewayMetrics) -> Value {
     json!({
         "ok": true,
@@ -747,6 +917,8 @@ fn metrics_to_value(m: &GatewayMetrics) -> Value {
         "gateway": stage_summaries_to_value(&m.gateway),
         "shards": Value::Array(m.shards.iter().map(|s| stage_summaries_to_value(s)).collect()),
         "block": stage_summaries_to_value(&m.block),
+        "dims_window_ms": m.dims_window_ms,
+        "dims": Value::Array(m.dims.iter().map(dim_summary_to_value).collect()),
     })
 }
 
@@ -762,6 +934,73 @@ fn value_to_metrics(v: &Value) -> Result<GatewayMetrics, GatewayError> {
             .map(value_to_stage_summaries)
             .collect::<Result<Vec<_>, _>>()?,
         block: value_to_stage_summaries(field(v, "block")?)?,
+        dims_window_ms: u64_field(v, "dims_window_ms")?,
+        dims: field(v, "dims")?
+            .as_array()
+            .ok_or_else(|| bad("dims is not an array"))?
+            .iter()
+            .map(value_to_dim_summary)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+/// JSON has no infinity: an unbounded burn rate (zero budget, nonzero
+/// measurement) is clamped to `f64::MAX` on the wire.
+fn finite_burn(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::MAX
+    }
+}
+
+fn target_report_to_value(t: &TargetReport) -> Value {
+    json!({
+        "name": t.name.clone(),
+        "status": t.status.as_str(),
+        "burn_rate": finite_burn(t.burn_rate),
+        "samples": t.samples,
+        "p99_us": t.p99_us,
+        "error_rate": t.error_rate,
+        "shed_rate": t.shed_rate,
+    })
+}
+
+fn status_field(v: &Value, key: &str) -> Result<SloStatus, GatewayError> {
+    let s = str_field(v, key)?;
+    SloStatus::parse(s).ok_or_else(|| bad(format!("unknown SLO status {s:?}")))
+}
+
+fn value_to_target_report(v: &Value) -> Result<TargetReport, GatewayError> {
+    Ok(TargetReport {
+        name: str_field(v, "name")?.to_string(),
+        status: status_field(v, "status")?,
+        burn_rate: f64_field(v, "burn_rate")?,
+        samples: u64_field(v, "samples")?,
+        p99_us: f64_field(v, "p99_us")?,
+        error_rate: f64_field(v, "error_rate")?,
+        shed_rate: f64_field(v, "shed_rate")?,
+    })
+}
+
+fn health_to_value(h: &HealthReport) -> Value {
+    json!({
+        "ok": true,
+        "kind": "health",
+        "status": h.status.as_str(),
+        "targets": Value::Array(h.targets.iter().map(target_report_to_value).collect()),
+    })
+}
+
+fn value_to_health(v: &Value) -> Result<HealthReport, GatewayError> {
+    Ok(HealthReport {
+        status: status_field(v, "status")?,
+        targets: field(v, "targets")?
+            .as_array()
+            .ok_or_else(|| bad("targets is not an array"))?
+            .iter()
+            .map(value_to_target_report)
+            .collect::<Result<Vec<_>, _>>()?,
     })
 }
 
@@ -874,6 +1113,7 @@ pub fn encode_response(resp: &Response) -> String {
         Response::Stats(stats) => stats_to_value(stats),
         Response::Metrics(metrics) => metrics_to_value(metrics),
         Response::Trace(reply) => trace_reply_to_value(reply),
+        Response::Health(report) => health_to_value(report),
         Response::Error { kind, message } => json!({
             "ok": false,
             "error": kind.as_str(),
@@ -927,6 +1167,7 @@ pub fn decode_response(line: &str) -> Result<Response, GatewayError> {
         "stats" => Ok(Response::Stats(value_to_stats(&v)?)),
         "metrics" => Ok(Response::Metrics(value_to_metrics(&v)?)),
         "trace" => Ok(Response::Trace(value_to_trace_reply(&v)?)),
+        "health" => Ok(Response::Health(value_to_health(&v)?)),
         other => Err(bad(format!("unknown response kind {other:?}"))),
     }
 }
@@ -1096,17 +1337,48 @@ mod tests {
                 rejected_timeout: 1,
                 in_flight: 3,
             },
+            sheds: ShedStats {
+                in_flight: 2,
+                queue_wait: 1,
+                kv_budget: 4,
+            },
             uptime_ms: 98_765,
             seq: 17,
         });
         assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        if let Response::Stats(s) = &resp {
+            assert_eq!(s.sheds.total(), 7);
+        }
     }
 
     #[test]
     fn metrics_and_trace_requests_round_trip() {
-        for req in [Request::Metrics, Request::Trace { limit: 12 }] {
+        for req in [
+            Request::Metrics,
+            Request::Health,
+            Request::Trace {
+                limit: 12,
+                kind: TraceKind::Slow,
+            },
+            Request::Trace {
+                limit: 3,
+                kind: TraceKind::Recent,
+            },
+        ] {
             assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn trace_requests_without_a_kind_default_to_slow() {
+        let req = decode_request("{\"verb\":\"trace\",\"limit\":5}").unwrap();
+        assert_eq!(
+            req,
+            Request::Trace {
+                limit: 5,
+                kind: TraceKind::Slow,
+            }
+        );
     }
 
     fn stage(name: &str, count: u64) -> StageSummary {
@@ -1132,11 +1404,87 @@ mod tests {
                 vec![], // a shard with no summaries survives too
             ],
             block: vec![stage("block_qkv", 32)],
+            dims_window_ms: 10_000,
+            dims: vec![DimSummary {
+                model: "m".to_string(),
+                verb: "infer".to_string(),
+                stage: "request".to_string(),
+                count: 40,
+                p50_us: 120,
+                p90_us: 300,
+                p99_us: 900,
+                max_us: 1_050,
+                ok: 38,
+                error: 1,
+                shed: 1,
+            }],
         });
         assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
         // An all-empty bundle round-trips as well.
         let resp = Response::Metrics(GatewayMetrics::default());
         assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn health_response_round_trips() {
+        use panacea_telemetry::{HealthReport, SloStatus, TargetReport};
+        let resp = Response::Health(HealthReport {
+            status: SloStatus::Degraded,
+            targets: vec![
+                TargetReport {
+                    name: "latency".to_string(),
+                    status: SloStatus::Ok,
+                    burn_rate: 0.25,
+                    samples: 100,
+                    p99_us: 1_500.0,
+                    error_rate: 0.0,
+                    shed_rate: 0.0,
+                },
+                TargetReport {
+                    name: "availability".to_string(),
+                    status: SloStatus::Degraded,
+                    burn_rate: 1.5,
+                    samples: 40,
+                    p99_us: 0.0,
+                    error_rate: 0.05,
+                    shed_rate: 0.15,
+                },
+            ],
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        // An empty report (no targets configured) survives too.
+        let resp = Response::Health(HealthReport {
+            status: SloStatus::Ok,
+            targets: vec![],
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn infinite_burn_rates_are_clamped_on_the_wire() {
+        use panacea_telemetry::{HealthReport, SloStatus, TargetReport};
+        let resp = Response::Health(HealthReport {
+            status: SloStatus::Critical,
+            targets: vec![TargetReport {
+                name: "none-allowed".to_string(),
+                status: SloStatus::Critical,
+                burn_rate: f64::INFINITY,
+                samples: 1,
+                p99_us: 0.0,
+                error_rate: 0.0,
+                shed_rate: 1.0,
+            }],
+        });
+        let line = encode_response(&resp);
+        let Response::Health(back) = decode_response(&line).unwrap() else {
+            panic!("wrong response kind");
+        };
+        assert_eq!(back.status, SloStatus::Critical);
+        assert!(
+            back.targets[0].burn_rate.is_finite() && back.targets[0].burn_rate > 1e300,
+            "infinite burn did not clamp: {}",
+            back.targets[0].burn_rate
+        );
     }
 
     #[test]
@@ -1208,6 +1556,9 @@ mod tests {
             "{\"verb\":\"trace\"}",
             "{\"verb\":\"trace\",\"limit\":-1}",
             "{\"verb\":\"trace\",\"limit\":\"all\"}",
+            // trace request with a bad ring kind
+            "{\"verb\":\"trace\",\"limit\":1,\"kind\":\"fast\"}",
+            "{\"verb\":\"trace\",\"limit\":1,\"kind\":7}",
             // metrics responses with missing or mistyped pieces
             "{\"ok\":true,\"kind\":\"metrics\"}",
             "{\"ok\":true,\"kind\":\"metrics\",\"uptime_ms\":1,\"seq\":1,\"gateway\":7,\"shards\":[],\"block\":[]}",
@@ -1221,6 +1572,16 @@ mod tests {
             "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5,\"spans\":[{\"id\":0,\"parent\":\"root\",\"stage\":\"x\",\"start_us\":0,\"dur_us\":1}]}]}",
             // stats response missing the new uptime/seq fields
             "{\"ok\":true,\"kind\":\"stats\",\"shards\":[],\"cache\":{\"hits\":0,\"misses\":0,\"evictions\":0,\"entries\":0},\"admission\":{\"admitted\":0,\"rejected_capacity\":0,\"rejected_timeout\":0,\"in_flight\":0}}",
+            // stats response missing the per-reason shed breakdown
+            "{\"ok\":true,\"kind\":\"stats\",\"uptime_ms\":1,\"seq\":1,\"shards\":[],\"cache\":{\"hits\":0,\"misses\":0,\"evictions\":0,\"entries\":0},\"admission\":{\"admitted\":0,\"rejected_capacity\":0,\"rejected_timeout\":0,\"in_flight\":0}}",
+            // metrics response missing the dimensional summaries
+            "{\"ok\":true,\"kind\":\"metrics\",\"uptime_ms\":1,\"seq\":1,\"gateway\":[],\"shards\":[],\"block\":[]}",
+            // health responses with missing or mistyped pieces
+            "{\"ok\":true,\"kind\":\"health\"}",
+            "{\"ok\":true,\"kind\":\"health\",\"status\":\"fine\",\"targets\":[]}",
+            "{\"ok\":true,\"kind\":\"health\",\"status\":\"ok\",\"targets\":7}",
+            "{\"ok\":true,\"kind\":\"health\",\"status\":\"ok\",\"targets\":[{\"name\":\"x\"}]}",
+            "{\"ok\":true,\"kind\":\"health\",\"status\":\"ok\",\"targets\":[{\"name\":\"x\",\"status\":\"ok\",\"burn_rate\":\"hot\",\"samples\":1,\"p99_us\":1,\"error_rate\":0,\"shed_rate\":0}]}",
         ] {
             let req_err = decode_request(line).is_err();
             let resp_err = decode_response(line).is_err();

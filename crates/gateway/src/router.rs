@@ -42,13 +42,38 @@ impl ShardRouter {
         shards: usize,
         config: RuntimeConfig,
     ) -> Self {
+        Self::build(models, shards, config, None)
+    }
+
+    /// [`from_shared`](Self::from_shared) with a dimensional metric
+    /// registry threaded into every shard's runtime, so per-model
+    /// windowed batch-execute latencies are recorded alongside the
+    /// aggregate histograms.
+    pub fn from_shared_with_dims(
+        models: Vec<Arc<PreparedModel>>,
+        shards: usize,
+        config: RuntimeConfig,
+        dims: panacea_telemetry::MetricRegistry,
+    ) -> Self {
+        Self::build(models, shards, config, Some(dims))
+    }
+
+    fn build(
+        models: Vec<Arc<PreparedModel>>,
+        shards: usize,
+        config: RuntimeConfig,
+        dims: Option<panacea_telemetry::MetricRegistry>,
+    ) -> Self {
         let shards = (0..shards.max(1))
             .map(|_| {
                 let registry = Arc::new(ModelRegistry::new());
                 for model in &models {
                     registry.insert_shared(Arc::clone(model));
                 }
-                Runtime::start(registry, config)
+                match &dims {
+                    Some(dims) => Runtime::start_with_dims(registry, config, dims.clone()),
+                    None => Runtime::start(registry, config),
+                }
             })
             .collect();
         ShardRouter { shards }

@@ -18,22 +18,29 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use panacea_serve::{
-    Payload, PreparedModel, RuntimeConfig, ServeError, SessionConfig, SessionManager,
+    OverloadReason, Payload, PreparedModel, RuntimeConfig, ServeError, SessionConfig,
+    SessionManager,
 };
-use panacea_telemetry::{Histogram, TraceBuilder, TraceConfig, Tracer, ROOT_SPAN};
+use panacea_telemetry::{
+    HealthReport, Histogram, MetricRegistry, SloConfig, TraceBuilder, TraceConfig, Tracer,
+    ROOT_SPAN, STAGE_REQUEST,
+};
 use panacea_tensor::Matrix;
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::cache::{CacheConfig, CachedOutput, RequestCache};
 use crate::protocol::{
-    decode_request, encode_response, DecodeReply, ErrorKind, GatewayMetrics, GatewayStats,
-    InferReply, Request, Response, SessionCloseReply, SessionOpenReply, StageSummary, TraceReply,
-    TraceSummary,
+    decode_request, encode_response, DecodeReply, DimSummary, ErrorKind, GatewayMetrics,
+    GatewayStats, InferReply, Request, Response, SessionCloseReply, SessionOpenReply, ShedStats,
+    StageSummary, TraceKind, TraceReply, TraceSummary,
 };
 use crate::router::ShardRouter;
 
+/// The sliding window the `metrics` verb's dimensional summaries cover.
+const DIMS_WINDOW: Duration = Duration::from_secs(10);
+
 /// Everything a gateway deployment tunes.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GatewayConfig {
     /// Number of serving shards (independent runtimes).
     pub shards: usize,
@@ -47,6 +54,11 @@ pub struct GatewayConfig {
     pub session: SessionConfig,
     /// Request-tracing knobs (slow threshold, ring sizes).
     pub trace: TraceConfig,
+    /// SLO targets the `health` verb evaluates over windowed
+    /// dimensional metrics. The default targets are deliberately
+    /// generous (2s p99, 50% shed budget) so an untuned gateway reports
+    /// `ok`; deployments tighten from there.
+    pub slo: SloConfig,
 }
 
 impl Default for GatewayConfig {
@@ -58,6 +70,7 @@ impl Default for GatewayConfig {
             admission: AdmissionConfig::default(),
             session: SessionConfig::default(),
             trace: TraceConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -70,6 +83,41 @@ struct GatewayStages {
     admission_wait: Histogram,
     route: Histogram,
     execute: Histogram,
+}
+
+/// Per-reason overload shed counters, incremented where errors surface
+/// at the gateway's public verbs.
+#[derive(Debug, Default)]
+struct ShedCounters {
+    in_flight: AtomicU64,
+    queue_wait: AtomicU64,
+    kv_budget: AtomicU64,
+}
+
+impl ShedCounters {
+    /// Counts a shed if `e` is one; returns whether it was.
+    fn count(&self, e: &ServeError) -> bool {
+        let counter = match e {
+            ServeError::Overloaded {
+                reason: OverloadReason::InFlight { .. },
+            } => &self.in_flight,
+            ServeError::Overloaded {
+                reason: OverloadReason::QueueWait { .. },
+            } => &self.queue_wait,
+            ServeError::KvBudgetExceeded { .. } => &self.kv_budget,
+            _ => return false,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn snapshot(&self) -> ShedStats {
+        ShedStats {
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_wait: self.queue_wait.load(Ordering::Relaxed),
+            kv_budget: self.kv_budget.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The transport-free gateway core: cache → admission → shard router,
@@ -86,6 +134,9 @@ pub struct Gateway {
     seq: AtomicU64,
     stages: GatewayStages,
     tracer: Tracer,
+    dims: MetricRegistry,
+    slo: SloConfig,
+    sheds: ShedCounters,
 }
 
 impl Gateway {
@@ -96,9 +147,11 @@ impl Gateway {
 
     /// [`new`](Self::new) for already-shared model handles.
     pub fn from_shared(models: Vec<Arc<PreparedModel>>, config: GatewayConfig) -> Self {
-        let router = ShardRouter::from_shared(models, config.shards, config.runtime);
+        let dims = MetricRegistry::default();
+        let router =
+            ShardRouter::from_shared_with_dims(models, config.shards, config.runtime, dims.clone());
         let sessions = (0..router.num_shards())
-            .map(|_| SessionManager::new(config.session))
+            .map(|_| SessionManager::with_dims(config.session, dims.clone()))
             .collect();
         Gateway {
             router,
@@ -109,6 +162,36 @@ impl Gateway {
             seq: AtomicU64::new(0),
             stages: GatewayStages::default(),
             tracer: Tracer::new(config.trace),
+            dims,
+            slo: config.slo,
+            sheds: ShedCounters::default(),
+        }
+    }
+
+    /// The dimensional metric registry shared by every layer of this
+    /// gateway (wire verbs, runtimes, session managers, decode
+    /// batchers).
+    pub fn dims(&self) -> &MetricRegistry {
+        &self.dims
+    }
+
+    /// Records one public verb's outcome under its (model, verb,
+    /// `request`) dimension: the request latency plus an ok / error /
+    /// shed outcome, with sheds also counted per reason for the `stats`
+    /// verb's breakdown.
+    fn record_verb<T>(
+        &self,
+        model: &str,
+        verb: &'static str,
+        started: Instant,
+        out: &Result<T, ServeError>,
+    ) {
+        let cell = self.dims.cell(model, verb, STAGE_REQUEST);
+        cell.record_latency(started.elapsed());
+        match out {
+            Ok(_) => cell.record_ok(),
+            Err(e) if self.sheds.count(e) => cell.record_shed(),
+            Err(_) => cell.record_error(),
         }
     }
 
@@ -147,9 +230,11 @@ impl Gateway {
     /// Everything [`panacea_serve::Runtime::infer`] surfaces, plus
     /// [`ServeError::Overloaded`] from admission control.
     pub fn infer(&self, model: &str, payload: Payload) -> Result<InferReply, ServeError> {
+        let started = Instant::now();
         let mut tb = self.tracer.begin("infer");
         let out = self.infer_traced(model, payload, &mut tb);
         self.tracer.finish(tb);
+        self.record_verb(model, "infer", started, &out);
         out
     }
 
@@ -179,9 +264,12 @@ impl Gateway {
     ///
     /// Same as [`infer`](Self::infer).
     pub fn infer_f32(&self, model: &str, input: Matrix<f32>) -> Result<InferReply, ServeError> {
+        let started = Instant::now();
         let mut tb = self.tracer.begin("infer");
         let out = self.infer_f32_traced(model, input, &mut tb);
         self.tracer.finish(tb);
+        // Recorded under "infer": both wire forms share the verb.
+        self.record_verb(model, "infer", started, &out);
         out
     }
 
@@ -220,9 +308,11 @@ impl Gateway {
     /// for linear chains, and [`ServeError::Overloaded`] when admission
     /// sheds the open.
     pub fn session_open(&self, model: &str) -> Result<SessionOpenReply, ServeError> {
+        let started = Instant::now();
         let mut tb = self.tracer.begin("session_open");
         let out = self.session_open_traced(model, &mut tb);
         self.tracer.finish(tb);
+        self.record_verb(model, "session_open", started, &out);
         out
     }
 
@@ -274,9 +364,15 @@ impl Gateway {
     /// shard's KV budget, and the input-contract errors of
     /// [`panacea_serve::SessionManager::step`].
     pub fn decode(&self, session: u64, hidden: &Matrix<f32>) -> Result<DecodeReply, ServeError> {
+        let started = Instant::now();
+        // Attribution happens before the step: a session that errors
+        // mid-step (or gets evicted by it) still records under its
+        // model. Unknown sessions record under "-".
+        let model = self.session_model(session);
         let mut tb = self.tracer.begin("decode");
         let out = self.decode_traced(session, hidden, &mut tb);
         self.tracer.finish(tb);
+        self.record_verb(model.as_deref().unwrap_or("-"), "decode", started, &out);
         out
     }
 
@@ -317,6 +413,8 @@ impl Gateway {
     /// [`ServeError::UnknownSession`] if it does not exist (never
     /// opened, already closed, or evicted).
     pub fn session_close(&self, session: u64) -> Result<SessionCloseReply, ServeError> {
+        let started = Instant::now();
+        let model = self.session_model(session);
         let mut tb = self.tracer.begin("session_close");
         let span = tb.start_span("route", ROOT_SPAN);
         let shard = self.find_session(session);
@@ -331,6 +429,12 @@ impl Gateway {
             })
             .map(|tokens| SessionCloseReply { session, tokens });
         self.tracer.finish(tb);
+        self.record_verb(
+            model.as_deref().unwrap_or("-"),
+            "session_close",
+            started,
+            &out,
+        );
         out
     }
 
@@ -338,6 +442,12 @@ impl Gateway {
     /// process-unique, so at most one manager answers.
     fn find_session(&self, session: u64) -> Option<usize> {
         (0..self.sessions.len()).find(|&s| self.sessions[s].contains(session))
+    }
+
+    /// The model a live session decodes, for metric attribution.
+    fn session_model(&self, session: u64) -> Option<String> {
+        self.find_session(session)
+            .and_then(|s| self.sessions[s].model_name(session))
     }
 
     /// Resolves a model name against the shared registry.
@@ -438,6 +548,7 @@ impl Gateway {
             shards,
             cache: self.cache.stats(),
             admission: self.admission.stats(),
+            sheds: self.sheds.snapshot(),
             uptime_ms: self.uptime_ms(),
             seq: self.next_seq(),
         }
@@ -494,24 +605,40 @@ impl Gateway {
             .iter()
             .map(|(name, snap)| StageSummary::from_snapshot(name, snap))
             .collect();
+        let dims = self
+            .dims
+            .windows(DIMS_WINDOW)
+            .iter()
+            .map(|(key, w)| DimSummary::from_window(key, w))
+            .collect();
         GatewayMetrics {
             uptime_ms: self.uptime_ms(),
             seq: self.next_seq(),
             gateway,
             shards,
             block,
+            dims_window_ms: u64::try_from(DIMS_WINDOW.as_millis()).unwrap_or(u64::MAX),
+            dims,
         }
     }
 
-    /// The most recent pinned slow-request traces, newest first.
-    pub fn traces(&self, limit: usize) -> TraceReply {
+    /// Evaluates the configured SLO targets over the windowed
+    /// dimensional metrics: one report per target plus the overall
+    /// worst-case verdict.
+    pub fn health(&self) -> HealthReport {
+        self.slo.evaluate(&self.dims)
+    }
+
+    /// Recorded request traces, newest first: the pinned slow ring
+    /// ([`TraceKind::Slow`]) or the most recent traces regardless of
+    /// duration ([`TraceKind::Recent`]).
+    pub fn traces(&self, limit: usize, kind: TraceKind) -> TraceReply {
+        let traces = match kind {
+            TraceKind::Slow => self.tracer.slow(limit),
+            TraceKind::Recent => self.tracer.recent(limit),
+        };
         TraceReply {
-            traces: self
-                .tracer
-                .slow(limit)
-                .iter()
-                .map(TraceSummary::from)
-                .collect(),
+            traces: traces.iter().map(TraceSummary::from).collect(),
         }
     }
 
@@ -530,7 +657,8 @@ impl Gateway {
         match request {
             Request::Stats => Response::Stats(self.stats()),
             Request::Metrics => Response::Metrics(self.metrics()),
-            Request::Trace { limit } => Response::Trace(self.traces(limit)),
+            Request::Trace { limit, kind } => Response::Trace(self.traces(limit, kind)),
+            Request::Health => Response::Health(self.health()),
             Request::Infer { model, payload } => {
                 reply(self.infer(&model, payload), Response::Infer)
             }

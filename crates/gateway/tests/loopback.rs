@@ -481,6 +481,158 @@ fn slow_requests_are_pinned_and_retrievable_via_trace_verb() {
 }
 
 #[test]
+fn health_verb_reports_ok_and_dims_appear_in_metrics_after_traffic() {
+    let gateway = Arc::new(Gateway::new(models(&["m"], 11), GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    let model = gateway.router().model("m").expect("registered");
+    for salt in 0..3 {
+        client
+            .infer_codes("m", codes(&model, 1, salt))
+            .expect("served");
+    }
+
+    // Default SLO budgets are generous: light successful traffic is ok.
+    let health = client.health().expect("health");
+    assert_eq!(health.status, panacea_gateway::SloStatus::Ok);
+    assert!(!health.targets.is_empty(), "default SLO config has targets");
+    let latency = health
+        .targets
+        .iter()
+        .find(|t| t.name == "latency")
+        .expect("latency target");
+    assert!(latency.samples > 0, "latency target saw no traffic");
+    assert!(latency.burn_rate < 1.0, "{:?}", latency);
+
+    // The same traffic shows up as a (model, verb, stage) dimension in
+    // the metrics verb's windowed summaries.
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.dims_window_ms > 0);
+    let dim = metrics
+        .dims
+        .iter()
+        .find(|d| d.model == "m" && d.verb == "infer" && d.stage == "request")
+        .expect("no (m, infer, request) dimension recorded");
+    assert_eq!(dim.ok, 3);
+    assert_eq!(dim.error, 0);
+    assert_eq!(dim.shed, 0);
+    assert!(dim.count >= 3, "latency samples missing: {dim:?}");
+}
+
+#[test]
+fn sheds_flip_health_and_are_broken_down_by_reason_in_stats() {
+    use panacea_gateway::{SloConfig, SloTarget};
+    // One permit, lingering batcher, no cache: a synchronized burst must
+    // shed most of itself. The SLO allows zero sheds, so any shed at all
+    // burns critically.
+    let gateway = Arc::new(Gateway::new(
+        models(&["m"], 12),
+        GatewayConfig {
+            shards: 1,
+            runtime: RuntimeConfig {
+                workers: 1,
+                policy: BatchPolicy {
+                    max_batch: 4096,
+                    max_wait: Duration::from_millis(100),
+                },
+            },
+            cache: CacheConfig {
+                capacity: 0,
+                shards: 1,
+                ..CacheConfig::default()
+            },
+            admission: AdmissionConfig {
+                max_in_flight: 1,
+                max_queue_wait: Duration::from_secs(10),
+            },
+            slo: SloConfig {
+                targets: vec![SloTarget {
+                    max_shed_rate: Some(0.0),
+                    ..SloTarget::over("no-sheds", Duration::from_secs(10))
+                }],
+            },
+            ..GatewayConfig::default()
+        },
+    ));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let model = gateway.router().model("m").expect("registered");
+
+    let barrier = Arc::new(Barrier::new(6));
+    let mut threads = Vec::new();
+    for t in 0..6 {
+        let barrier = Arc::clone(&barrier);
+        let x = codes(&model, 1, t);
+        threads.push(thread::spawn(move || {
+            let mut client = GatewayClient::connect(addr).expect("connect");
+            barrier.wait();
+            match client.infer_codes("m", x) {
+                Ok(_) => false,
+                Err(e) => {
+                    assert!(e.is_overloaded(), "unexpected failure: {e}");
+                    true
+                }
+            }
+        }));
+    }
+    let rejected = threads
+        .into_iter()
+        .map(|th| th.join().expect("client thread"))
+        .filter(|&r| r)
+        .count();
+    assert!(rejected > 0, "6-way burst over 1 permit saw no shed");
+
+    let mut client = GatewayClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.sheds.in_flight, rejected as u64,
+        "per-reason shed counter disagrees with observed rejections"
+    );
+    assert_eq!(stats.sheds.queue_wait, 0);
+    assert_eq!(stats.sheds.kv_budget, 0);
+    assert_eq!(stats.sheds.total(), stats.admission.rejected_capacity);
+
+    // Zero shed budget + real sheds: the health verdict burns critical.
+    let health = client.health().expect("health");
+    assert_eq!(health.status, panacea_gateway::SloStatus::Critical);
+    let target = &health.targets[0];
+    assert_eq!(target.name, "no-sheds");
+    assert!(target.shed_rate > 0.0);
+    assert!(target.burn_rate > 1.0, "{target:?}");
+}
+
+#[test]
+fn recent_trace_ring_returns_fast_requests_the_slow_ring_skips() {
+    use panacea_gateway::TraceConfig;
+    let gateway = Arc::new(Gateway::new(
+        models(&["m"], 13),
+        GatewayConfig {
+            // Nothing is "slow" under a 60s threshold, so the slow ring
+            // stays empty while the recent ring records everything.
+            trace: TraceConfig {
+                slow_threshold: Duration::from_secs(60),
+                ..TraceConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    ));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    let model = gateway.router().model("m").expect("registered");
+    client
+        .infer_codes("m", codes(&model, 1, 9))
+        .expect("served");
+
+    let slow = client.trace(8).expect("trace");
+    assert!(slow.traces.is_empty(), "fast request pinned as slow");
+    let recent = client.trace_recent(8).expect("trace recent");
+    assert!(!recent.traces.is_empty(), "recent ring recorded nothing");
+    assert_eq!(recent.traces[0].verb, "infer");
+}
+
+#[test]
 fn malformed_lines_get_error_responses_and_the_connection_survives() {
     use std::io::{BufRead, BufReader, Write};
     let gateway = Arc::new(Gateway::new(models(&["m"], 7), GatewayConfig::default()));

@@ -5,7 +5,8 @@
 
 use panacea_gateway::protocol::{decode_request, decode_response, encode_request, encode_response};
 use panacea_gateway::{
-    GatewayMetrics, Request, Response, SpanSummary, StageSummary, TraceReply, TraceSummary,
+    DimSummary, GatewayMetrics, HealthReport, Request, Response, SloStatus, SpanSummary,
+    StageSummary, TargetReport, TraceKind, TraceReply, TraceSummary,
 };
 use proptest::prelude::*;
 
@@ -46,6 +47,25 @@ fn stage(i: usize, vals: &[u64]) -> StageSummary {
     }
 }
 
+/// Builds one dimensional summary from raw u64s, under the same
+/// integral bound as [`stage`].
+fn dim(i: usize, vals: &[u64]) -> DimSummary {
+    let v = |j: usize| vals[(i * 11 + j) % vals.len()] % 9_000_000_000_000_000;
+    DimSummary {
+        model: format!("model-{}", i % 3),
+        verb: ["infer", "decode", "batch"][i % 3].to_string(),
+        stage: ["request", "execute", "step"][(i / 3) % 3].to_string(),
+        count: v(0),
+        p50_us: v(1),
+        p90_us: v(2),
+        p99_us: v(3),
+        max_us: v(4),
+        ok: v(5),
+        error: v(6),
+        shed: v(7),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -56,6 +76,7 @@ proptest! {
         shard_count in 0usize..4,
         shard_stages in 0usize..9,
         block_stages in 0usize..6,
+        dim_count in 0usize..8,
         uptime_ms in 0u64..9_000_000_000_000_000,
         seq in 0u64..9_000_000_000_000_000,
     ) {
@@ -67,7 +88,38 @@ proptest! {
                 .map(|s| (0..shard_stages).map(|i| stage(s * 7 + i, &vals)).collect())
                 .collect(),
             block: (0..block_stages).map(|i| stage(i + 12, &vals)).collect(),
+            dims_window_ms: uptime_ms / 2,
+            dims: (0..dim_count).map(|i| dim(i, &vals)).collect(),
         });
+        let line = encode_response(&resp);
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(decode_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn health_responses_round_trip(
+        target_count in 0usize..5,
+        // The vendored proptest only samples integer ranges; floats are
+        // derived by scaling, which also keeps them exactly
+        // representable so the wire round trip is equality-comparable.
+        burns in proptest::collection::vec(0u64..10_000, 5),
+        rates in proptest::collection::vec(0u64..1_000, 10),
+        samples in proptest::collection::vec(0u64..9_000_000_000_000_000, 5),
+    ) {
+        let statuses = [SloStatus::Ok, SloStatus::Degraded, SloStatus::Critical];
+        let targets: Vec<TargetReport> = (0..target_count)
+            .map(|i| TargetReport {
+                name: format!("target-{i}"),
+                status: statuses[i % 3],
+                burn_rate: burns[i] as f64 / 100.0,
+                samples: samples[i],
+                p99_us: burns[(i + 1) % 5] as f64 * 1_000.0,
+                error_rate: rates[i] as f64 / 1_000.0,
+                shed_rate: rates[i + 5] as f64 / 1_000.0,
+            })
+            .collect();
+        let status = targets.iter().map(|t| t.status).max().unwrap_or(SloStatus::Ok);
+        let resp = Response::Health(HealthReport { status, targets });
         let line = encode_response(&resp);
         prop_assert!(!line.contains('\n'));
         prop_assert_eq!(decode_response(&line).unwrap(), resp);
@@ -106,12 +158,20 @@ proptest! {
     }
 
     #[test]
-    fn metrics_and_trace_requests_round_trip(limit in 0usize..9_000_000_000_000_000) {
-        let req = Request::Trace { limit };
+    fn metrics_and_trace_requests_round_trip(
+        limit in 0usize..9_000_000_000_000_000,
+        recent in 0u8..2,
+    ) {
+        let kind = if recent == 1 { TraceKind::Recent } else { TraceKind::Slow };
+        let req = Request::Trace { limit, kind };
         prop_assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         prop_assert_eq!(
             decode_request(&encode_request(&Request::Metrics)).unwrap(),
             Request::Metrics
+        );
+        prop_assert_eq!(
+            decode_request(&encode_request(&Request::Health)).unwrap(),
+            Request::Health
         );
     }
 }
@@ -137,6 +197,20 @@ fn dropping_any_required_field_errors_cleanly() {
         }],
         shards: vec![vec![]],
         block: vec![],
+        dims_window_ms: 10_000,
+        dims: vec![DimSummary {
+            model: "m".to_string(),
+            verb: "infer".to_string(),
+            stage: "request".to_string(),
+            count: 4,
+            p50_us: 5,
+            p90_us: 6,
+            p99_us: 7,
+            max_us: 8,
+            ok: 3,
+            error: 1,
+            shed: 0,
+        }],
     });
     let trace = Response::Trace(TraceReply {
         traces: vec![TraceSummary {
@@ -152,7 +226,19 @@ fn dropping_any_required_field_errors_cleanly() {
             }],
         }],
     });
-    for resp in [metrics, trace] {
+    let health = Response::Health(HealthReport {
+        status: SloStatus::Degraded,
+        targets: vec![TargetReport {
+            name: "p99".to_string(),
+            status: SloStatus::Degraded,
+            burn_rate: 1.5,
+            samples: 40,
+            p99_us: 1_200.0,
+            error_rate: 0.01,
+            shed_rate: 0.0,
+        }],
+    });
+    for resp in [metrics, trace, health] {
         let line = encode_response(&resp);
         assert_eq!(
             decode_response(&line).unwrap(),
@@ -179,6 +265,23 @@ fn dropping_any_required_field_errors_cleanly() {
             "parent",
             "start_us",
             "dur_us",
+            "dims_window_ms",
+            "dims",
+            "model",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "max_us",
+            "ok",
+            "error",
+            "shed",
+            "status",
+            "targets",
+            "name",
+            "burn_rate",
+            "samples",
+            "error_rate",
+            "shed_rate",
         ] {
             let needle = format!("\"{key}\":");
             if !line.contains(&needle) {

@@ -177,6 +177,7 @@ pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
         compute,
         batch_max_latency,
     );
+    metrics.record_model_execute(model.name(), compute);
     let split_started = Instant::now();
     for ((job, out), latency) in jobs.iter().zip(outputs).zip(latencies) {
         // A dropped receiver just means the caller stopped waiting.

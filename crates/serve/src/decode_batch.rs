@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 use panacea_bitslice::VECTOR_LEN;
 use panacea_block::KvCache;
 use panacea_core::Workload;
-use panacea_telemetry::{Histogram, HistogramSnapshot};
+use panacea_telemetry::{Histogram, HistogramSnapshot, MetricRegistry};
 use panacea_tensor::Matrix;
 
 use crate::session::{Session, Slot};
@@ -86,6 +86,9 @@ struct Shared {
     /// Sessions fused per pass (raw counts, not durations) — the full
     /// occupancy distribution rather than just a mean.
     occupancy: Histogram,
+    /// Optional dimensional registry: per-model windowed pass duration
+    /// under (model, "decode", "fused_pass").
+    dims: Option<MetricRegistry>,
 }
 
 /// The continuous-batching executor behind
@@ -102,8 +105,9 @@ pub struct DecodeBatcher {
 impl DecodeBatcher {
     /// Spawns the batching worker. `max_batch` bounds a fused pass's
     /// total columns (at least the head step always dispatches);
-    /// `max_wait` is the linger for batchmates.
-    pub(crate) fn new(max_batch: usize, max_wait: Duration) -> Self {
+    /// `max_wait` is the linger for batchmates; `dims`, when present,
+    /// receives per-model windowed fused-pass durations.
+    pub(crate) fn new(max_batch: usize, max_wait: Duration, dims: Option<MetricRegistry>) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(BatchQueue {
                 queue: VecDeque::new(),
@@ -117,6 +121,7 @@ impl DecodeBatcher {
             linger: Histogram::new(),
             pass: Histogram::new(),
             occupancy: Histogram::new(),
+            dims,
         });
         let worker = {
             let shared = Arc::clone(&shared);
@@ -283,6 +288,10 @@ fn execute_batch(jobs: Vec<DecodeJob>, shared: &Shared) {
         shared
             .pass
             .record_duration(now.duration_since(pass_started));
+        if let Some(dims) = &shared.dims {
+            dims.cell(model.name(), "decode", "fused_pass")
+                .record_latency(now.duration_since(pass_started));
+        }
         let tokens: Vec<usize> = guards
             .iter_mut()
             .map(|g| {

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use panacea_core::Workload;
-use panacea_telemetry::{Histogram, HistogramSnapshot, ShardedCounter};
+use panacea_telemetry::{Histogram, HistogramSnapshot, MetricRegistry, ShardedCounter};
 
 /// A point-in-time copy of the runtime's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -98,9 +98,30 @@ pub struct Metrics {
     execute: Histogram,
     /// Split-and-respond fan-out duration, per batch (ns).
     split_back: Histogram,
+    /// Optional dimensional registry: when present, per-model windowed
+    /// latencies are recorded under (model, "batch", "execute") in
+    /// addition to the aggregate histograms above.
+    dims: Option<MetricRegistry>,
 }
 
 impl Metrics {
+    /// Metrics that additionally record per-model windowed dimensions
+    /// into `dims`.
+    pub(crate) fn with_dims(dims: MetricRegistry) -> Self {
+        Metrics {
+            dims: Some(dims),
+            ..Metrics::default()
+        }
+    }
+
+    /// Records one batch's compute latency under its model's dimension
+    /// — a no-op without a registry.
+    pub(crate) fn record_model_execute(&self, model: &str, compute: Duration) {
+        if let Some(dims) = &self.dims {
+            dims.cell(model, "batch", "execute").record_latency(compute);
+        }
+    }
+
     /// Records one completed batch.
     pub(crate) fn record_batch(
         &self,

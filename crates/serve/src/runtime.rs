@@ -155,6 +155,21 @@ pub struct Runtime {
 impl Runtime {
     /// Spawns the worker pool (at least one worker) over `registry`.
     pub fn start(registry: Arc<ModelRegistry>, config: RuntimeConfig) -> Self {
+        Runtime::spawn(registry, config, Metrics::default())
+    }
+
+    /// [`start`](Self::start) with a dimensional metric registry:
+    /// workers additionally record per-model windowed execute latency
+    /// under (model, "batch", "execute").
+    pub fn start_with_dims(
+        registry: Arc<ModelRegistry>,
+        config: RuntimeConfig,
+        dims: panacea_telemetry::MetricRegistry,
+    ) -> Self {
+        Runtime::spawn(registry, config, Metrics::with_dims(dims))
+    }
+
+    fn spawn(registry: Arc<ModelRegistry>, config: RuntimeConfig, metrics: Metrics) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -163,7 +178,7 @@ impl Runtime {
             }),
             work_ready: Condvar::new(),
             policy: config.policy,
-            metrics: Metrics::default(),
+            metrics,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {

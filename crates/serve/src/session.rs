@@ -53,7 +53,7 @@ use std::time::{Duration, Instant};
 
 use panacea_block::KvCache;
 use panacea_core::Workload;
-use panacea_telemetry::{Histogram, HistogramSnapshot};
+use panacea_telemetry::{Histogram, HistogramSnapshot, MetricRegistry};
 use panacea_tensor::Matrix;
 
 use crate::decode_batch::DecodeBatcher;
@@ -204,13 +204,33 @@ pub struct SessionManager {
     batcher: Option<DecodeBatcher>,
     /// End-to-end [`step`](Self::step) latency (ns), successes only.
     step_latency: Histogram,
+    /// Optional dimensional registry: per-model windowed step latency
+    /// under (model, "decode", "step"), plus the batcher's fused-pass
+    /// dimension.
+    dims: Option<MetricRegistry>,
 }
 
 impl SessionManager {
     /// An empty manager enforcing `config`.
     pub fn new(config: SessionConfig) -> Self {
-        let batcher = (config.max_decode_batch > 1)
-            .then(|| DecodeBatcher::new(config.max_decode_batch, config.decode_max_wait));
+        SessionManager::build(config, None)
+    }
+
+    /// [`new`](Self::new) with a dimensional metric registry: steps
+    /// record per-model windowed latency under (model, "decode",
+    /// "step") and fused passes under (model, "decode", "fused_pass").
+    pub fn with_dims(config: SessionConfig, dims: MetricRegistry) -> Self {
+        SessionManager::build(config, Some(dims))
+    }
+
+    fn build(config: SessionConfig, dims: Option<MetricRegistry>) -> Self {
+        let batcher = (config.max_decode_batch > 1).then(|| {
+            DecodeBatcher::new(
+                config.max_decode_batch,
+                config.decode_max_wait,
+                dims.clone(),
+            )
+        });
         SessionManager {
             config,
             inner: Mutex::new(Inner {
@@ -221,6 +241,7 @@ impl SessionManager {
             }),
             batcher,
             step_latency: Histogram::new(),
+            dims,
         }
     }
 
@@ -269,6 +290,17 @@ impl SessionManager {
             .expect("session map poisoned")
             .sessions
             .contains_key(&session)
+    }
+
+    /// The model name a resident session decodes on — how a front end
+    /// attributes session verbs to per-model metric dimensions.
+    pub fn model_name(&self, session: u64) -> Option<String> {
+        self.inner
+            .lock()
+            .expect("session map poisoned")
+            .sessions
+            .get(&session)
+            .map(|slot| slot.model.name().to_string())
     }
 
     /// Advances a session by `hidden` (`d_model × t_new` new tokens,
@@ -375,6 +407,10 @@ impl SessionManager {
                 inner.counters.steps += 1;
                 inner.counters.tokens += hidden.cols() as u64;
                 self.step_latency.record_duration(now.elapsed());
+                if let Some(dims) = &self.dims {
+                    dims.cell(slot.model.name(), "decode", "step")
+                        .record_latency(now.elapsed());
+                }
             }
             // A failed step grew nothing: release the reservation —
             // unless a concurrent removal already settled it.

@@ -207,6 +207,39 @@ impl HistogramSnapshot {
         self.max = self.max.max(other.max);
     }
 
+    /// The samples recorded between `earlier` and this snapshot:
+    /// bucket-wise saturating subtraction, the inverse of
+    /// [`merge`](Self::merge) for snapshots of one growing histogram.
+    ///
+    /// The window's `max` cannot be recovered exactly from two
+    /// cumulative snapshots when the all-time maximum predates the
+    /// window, so it is re-estimated as the upper bound of the highest
+    /// non-empty bucket — the same ≤`1/SUB_BUCKETS` relative error the
+    /// quantiles carry. When the all-time max grew between the two
+    /// snapshots it must have been recorded inside the window and is
+    /// reported exactly.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        let mut highest = None;
+        for (i, (now, then)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            let d = now.saturating_sub(*then);
+            out.buckets[i] = d;
+            if d > 0 {
+                highest = Some(i);
+            }
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out.max = if out.count == 0 {
+            0
+        } else if self.max > earlier.max {
+            self.max
+        } else {
+            highest.map_or(0, |i| bucket_upper_bound(i).min(self.max))
+        };
+        out
+    }
+
     /// Mean of the recorded values; 0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -336,6 +369,41 @@ mod tests {
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn diff_inverts_merge_and_reestimates_max() {
+        let h = Histogram::with_shards(1);
+        for v in [3u64, 50, 1000] {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in [7u64, 2000] {
+            h.record(v);
+        }
+        let window = h.snapshot().diff(&earlier);
+        assert_eq!(window.count, 2);
+        assert_eq!(window.sum, 2007);
+        // 2000 grew the all-time max inside the window: exact.
+        assert_eq!(window.max, 2000);
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&window);
+        assert_eq!(rebuilt.buckets, h.snapshot().buckets);
+
+        // A window whose samples all sit below the all-time max gets a
+        // bucket-bound max estimate.
+        let earlier = h.snapshot();
+        h.record(100);
+        let window = h.snapshot().diff(&earlier);
+        assert_eq!(window.count, 1);
+        assert!(window.max >= 100 && window.max <= 100 + 100 / 32 + 1);
+
+        // Empty window: all zero.
+        let s = h.snapshot();
+        let empty = s.diff(&s);
+        assert!(empty.is_empty());
+        assert_eq!(empty.max, 0);
+        assert_eq!(empty.p99(), 0);
     }
 
     #[test]

@@ -13,18 +13,32 @@
 //! * [`ShardedCounter`] — a cache-line-padded, per-thread-sharded
 //!   monotone counter for hot-path statistics that would otherwise
 //!   contend on one lock or one cache line.
+//! * [`WindowedHistogram`] / [`WindowedCounter`] — sliding-window views
+//!   (boundary-snapshot rings over the cumulative primitives) so "p99
+//!   right now" is answerable, not just "p99 since boot".
+//! * [`MetricRegistry`] — windowed latency + outcome cells keyed by
+//!   (model, verb, stage), the dimensional layer the gateway threads
+//!   through the serving stack.
+//! * [`SloConfig`] — declarative latency/error/shed budgets evaluated
+//!   over windows into a burn-rate [`HealthReport`].
 //!
 //! Everything here is designed to be cheap enough to leave on in
 //! production: recording is a handful of `Relaxed` atomic operations
 //! (histograms, counters) or request-local `Vec` pushes (spans).
 
 pub mod histogram;
+pub mod registry;
+pub mod slo;
 pub mod trace;
+pub mod window;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use histogram::{Histogram, HistogramSnapshot, LINEAR_MAX, NUM_BUCKETS, SUB_BUCKETS};
+pub use registry::{DimCell, DimWindow, MetricKey, MetricRegistry, STAGE_REQUEST};
+pub use slo::{HealthReport, SloConfig, SloStatus, SloTarget, TargetReport};
 pub use trace::{Span, Trace, TraceBuilder, TraceConfig, TraceId, Tracer, ROOT_SPAN};
+pub use window::{WindowConfig, WindowedCounter, WindowedHistogram};
 
 /// Shard count for [`ShardedCounter`].
 const COUNTER_SHARDS: usize = 8;

@@ -1,0 +1,309 @@
+//! A dimensional metric registry keyed by (model, verb, stage).
+//!
+//! The serving stack's aggregate metrics answer "how is the process
+//! doing"; operators also need "how is *model X's decode path* doing,
+//! right now". [`MetricRegistry`] keys windowed latency histograms and
+//! outcome counters by [`MetricKey`] — `(model, verb, stage)` — so
+//! per-model, per-verb latency and error/shed rates are first-class.
+//!
+//! The registry is a cheap [`Clone`] handle over shared state: one
+//! instance is created at the gateway and threaded down through the
+//! router, runtime, session manager, and decode batcher, each layer
+//! recording under its own stage name. Cells are created on first use
+//! and live for the registry's lifetime (the dimension space is small:
+//! models × a handful of verbs × a handful of stages).
+//!
+//! Hot paths should resolve a cell once ([`MetricRegistry::cell`], one
+//! mutex + hash lookup) and hold the returned [`Arc`] where the key is
+//! static; per-request resolution is still far cheaper than the GEMM
+//! work behind every request.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::histogram::HistogramSnapshot;
+use crate::window::{WindowConfig, WindowedCounter, WindowedHistogram};
+
+/// The gateway-facing request stage — the one SLO targets evaluate.
+pub const STAGE_REQUEST: &str = "request";
+
+/// A metric dimension: which model, through which wire verb, at which
+/// pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Model name ("-" where no model applies).
+    pub model: String,
+    /// Wire verb or internal path ("infer", "decode", "batch", …).
+    pub verb: String,
+    /// Pipeline stage ("request", "execute", "step", "fused_pass", …).
+    pub stage: String,
+}
+
+impl MetricKey {
+    /// Builds a key from string-likes.
+    pub fn new(
+        model: impl Into<String>,
+        verb: impl Into<String>,
+        stage: impl Into<String>,
+    ) -> Self {
+        MetricKey {
+            model: model.into(),
+            verb: verb.into(),
+            stage: stage.into(),
+        }
+    }
+}
+
+/// One dimension's metrics: a windowed latency histogram plus windowed
+/// ok/error/shed outcome counters.
+#[derive(Debug)]
+pub struct DimCell {
+    latency: WindowedHistogram,
+    ok: WindowedCounter,
+    error: WindowedCounter,
+    shed: WindowedCounter,
+}
+
+impl DimCell {
+    fn new(config: WindowConfig) -> Self {
+        DimCell {
+            latency: WindowedHistogram::new(config),
+            ok: WindowedCounter::new(config),
+            error: WindowedCounter::new(config),
+            shed: WindowedCounter::new(config),
+        }
+    }
+
+    /// Records one latency sample (lock-free).
+    pub fn record_latency(&self, d: Duration) {
+        self.latency.record_duration(d);
+    }
+
+    /// Counts one successful outcome.
+    pub fn record_ok(&self) {
+        self.ok.add(1);
+    }
+
+    /// Counts one failed outcome (excluding sheds).
+    pub fn record_error(&self) {
+        self.error.add(1);
+    }
+
+    /// Counts one shed (overload-rejected) outcome.
+    pub fn record_shed(&self) {
+        self.shed.add(1);
+    }
+
+    /// The windowed latency histogram.
+    pub fn latency(&self) -> &WindowedHistogram {
+        &self.latency
+    }
+
+    /// A point-in-time view over roughly the last `window`.
+    pub fn window(&self, window: Duration) -> DimWindow {
+        DimWindow {
+            latency: self.latency.window(window),
+            ok: self.ok.window(window),
+            error: self.error.window(window),
+            shed: self.shed.window(window),
+        }
+    }
+}
+
+/// A merged windowed view of one or more dimensions.
+#[derive(Debug, Clone)]
+pub struct DimWindow {
+    /// Windowed latency samples (nanoseconds).
+    pub latency: HistogramSnapshot,
+    /// Successful outcomes in the window.
+    pub ok: u64,
+    /// Failed outcomes in the window.
+    pub error: u64,
+    /// Shed outcomes in the window.
+    pub shed: u64,
+}
+
+impl Default for DimWindow {
+    fn default() -> Self {
+        DimWindow::empty()
+    }
+}
+
+impl DimWindow {
+    /// An all-zero window.
+    pub fn empty() -> Self {
+        DimWindow {
+            latency: HistogramSnapshot::empty(),
+            ok: 0,
+            error: 0,
+            shed: 0,
+        }
+    }
+
+    /// Folds another window into this one.
+    pub fn merge(&mut self, other: &DimWindow) {
+        self.latency.merge(&other.latency);
+        self.ok += other.ok;
+        self.error += other.error;
+        self.shed += other.shed;
+    }
+
+    /// Total outcomes (ok + error + shed).
+    pub fn outcomes(&self) -> u64 {
+        self.ok + self.error + self.shed
+    }
+
+    /// Errors over total outcomes; 0 when nothing happened.
+    pub fn error_rate(&self) -> f64 {
+        if self.outcomes() == 0 {
+            0.0
+        } else {
+            self.error as f64 / self.outcomes() as f64
+        }
+    }
+
+    /// Sheds over total outcomes; 0 when nothing happened.
+    pub fn shed_rate(&self) -> f64 {
+        if self.outcomes() == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.outcomes() as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: WindowConfig,
+    cells: Mutex<HashMap<MetricKey, Arc<DimCell>>>,
+}
+
+/// Shared, cloneable registry of per-dimension windowed metrics.
+#[derive(Debug, Clone)]
+pub struct MetricRegistry {
+    inner: Arc<Inner>,
+}
+
+impl Default for MetricRegistry {
+    fn default() -> Self {
+        MetricRegistry::new(WindowConfig::default())
+    }
+}
+
+impl MetricRegistry {
+    /// A registry whose cells use the given ring geometry.
+    pub fn new(config: WindowConfig) -> Self {
+        MetricRegistry {
+            inner: Arc::new(Inner {
+                config,
+                cells: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Resolves (creating on first use) the cell for a dimension.
+    pub fn cell(&self, model: &str, verb: &str, stage: &str) -> Arc<DimCell> {
+        let mut cells = self.inner.cells.lock().expect("registry poisoned");
+        if let Some(cell) = cells.get(&MetricKey::new(model, verb, stage)) {
+            return Arc::clone(cell);
+        }
+        let cell = Arc::new(DimCell::new(self.inner.config));
+        cells.insert(MetricKey::new(model, verb, stage), Arc::clone(&cell));
+        cell
+    }
+
+    /// All registered dimensions, sorted.
+    pub fn keys(&self) -> Vec<MetricKey> {
+        let cells = self.inner.cells.lock().expect("registry poisoned");
+        let mut keys: Vec<MetricKey> = cells.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Windowed views of every dimension, sorted by key.
+    pub fn windows(&self, window: Duration) -> Vec<(MetricKey, DimWindow)> {
+        let cells: Vec<(MetricKey, Arc<DimCell>)> = {
+            let cells = self.inner.cells.lock().expect("registry poisoned");
+            cells
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect()
+        };
+        let mut out: Vec<(MetricKey, DimWindow)> = cells
+            .into_iter()
+            .map(|(k, cell)| (k, cell.window(window)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Merged window over every dimension matching the filter (`None`
+    /// matches any value for that axis).
+    pub fn window_for(
+        &self,
+        model: Option<&str>,
+        verb: Option<&str>,
+        stage: Option<&str>,
+        window: Duration,
+    ) -> DimWindow {
+        let mut merged = DimWindow::empty();
+        for (key, w) in self.windows(window) {
+            let matches = model.is_none_or(|m| m == key.model)
+                && verb.is_none_or(|v| v == key.verb)
+                && stage.is_none_or(|s| s == key.stage);
+            if matches {
+                merged.merge(&w);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_are_shared_per_key() {
+        let reg = MetricRegistry::default();
+        let a = reg.cell("m", "infer", STAGE_REQUEST);
+        let b = reg.cell("m", "infer", STAGE_REQUEST);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = reg.cell("m", "decode", STAGE_REQUEST);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(reg.keys().len(), 2);
+    }
+
+    #[test]
+    fn window_for_merges_matching_dims() {
+        let reg = MetricRegistry::default();
+        let infer = reg.cell("m", "infer", STAGE_REQUEST);
+        infer.record_latency(Duration::from_micros(100));
+        infer.record_ok();
+        let decode = reg.cell("m", "decode", STAGE_REQUEST);
+        decode.record_latency(Duration::from_micros(300));
+        decode.record_ok();
+        decode.record_shed();
+        let other = reg.cell("n", "infer", STAGE_REQUEST);
+        other.record_error();
+
+        let w = Duration::from_secs(10);
+        let all = reg.window_for(None, None, Some(STAGE_REQUEST), w);
+        assert_eq!(all.latency.count, 2);
+        assert_eq!((all.ok, all.error, all.shed), (2, 1, 1));
+        assert!((all.shed_rate() - 0.25).abs() < 1e-9);
+        assert!((all.error_rate() - 0.25).abs() < 1e-9);
+
+        let m_only = reg.window_for(Some("m"), None, None, w);
+        assert_eq!(m_only.outcomes(), 3);
+        let decode_only = reg.window_for(Some("m"), Some("decode"), None, w);
+        assert_eq!(decode_only.latency.count, 1);
+        assert!(decode_only.latency.p99() >= 300_000);
+
+        let ghost = reg.window_for(Some("ghost"), None, None, w);
+        assert_eq!(ghost.outcomes(), 0);
+        assert_eq!(ghost.latency.p99(), 0);
+        assert_eq!(ghost.error_rate(), 0.0);
+    }
+}
