@@ -12,8 +12,8 @@ use panacea_serve::Payload;
 use panacea_tensor::Matrix;
 
 use crate::protocol::{
-    decode_response, encode_request, DecodeReply, GatewayMetrics, GatewayStats, InferReply,
-    Request, Response, SessionCloseReply, SessionOpenReply, TraceKind, TraceReply,
+    decode_response, encode_request, DecodeReply, EventsReply, GatewayMetrics, GatewayStats,
+    InferReply, Request, Response, SessionCloseReply, SessionOpenReply, TraceKind, TraceReply,
 };
 use crate::GatewayError;
 use panacea_telemetry::HealthReport;
@@ -278,6 +278,23 @@ impl GatewayClient {
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
             _ => Err(GatewayError::Protocol(
                 "server answered a health request with the wrong kind".to_string(),
+            )),
+        }
+    }
+
+    /// Fetches up to `limit` of the gateway's flight-recorder events,
+    /// newest first, plus the pinned incident snapshot if SLO health
+    /// ever flipped to degraded/critical.
+    ///
+    /// # Errors
+    ///
+    /// Same transport failures as [`infer`](Self::infer).
+    pub fn events(&mut self, limit: usize) -> Result<EventsReply, GatewayError> {
+        match self.call(&Request::Events { limit })? {
+            Response::Events(reply) => Ok(reply),
+            Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
+            _ => Err(GatewayError::Protocol(
+                "server answered an events request with the wrong kind".to_string(),
             )),
         }
     }

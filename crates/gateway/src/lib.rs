@@ -60,13 +60,14 @@ pub use cache::{CacheConfig, CacheStats, CachedOutput, RequestCache};
 pub use client::GatewayClient;
 pub use panacea_serve::{OverloadReason, Payload, PayloadKind, SessionConfig, SessionStats};
 pub use panacea_telemetry::{
-    HealthReport, MetricKey, MetricRegistry, SloConfig, SloStatus, SloTarget, TargetReport,
-    TraceConfig, Tracer, WindowConfig,
+    jsonl_metrics_line, unix_ms_now, Event, EventSeverity, FlightRecorder, HealthReport,
+    IncidentSnapshot, MetricKey, MetricRegistry, PrometheusText, SloConfig, SloStatus, SloTarget,
+    TargetReport, TraceConfig, TraceContext, Tracer, WindowConfig,
 };
 pub use protocol::{
-    DecodeReply, DimSummary, ErrorKind, GatewayMetrics, GatewayStats, InferReply, Request,
-    Response, SessionCloseReply, SessionOpenReply, ShardStats, ShedStats, SpanSummary,
-    StageSummary, TraceKind, TraceReply, TraceSummary,
+    DecodeReply, DimSummary, ErrorKind, EventSummary, EventsReply, GatewayMetrics, GatewayStats,
+    IncidentSummary, InferReply, Request, Response, SessionCloseReply, SessionOpenReply,
+    ShardStats, ShedStats, SpanSummary, StageSummary, TraceKind, TraceReply, TraceSummary,
 };
 pub use router::ShardRouter;
 pub use server::{Gateway, GatewayConfig, GatewayServer, ServerConfig};

@@ -25,6 +25,11 @@
 //!   `"recent"` (the most recent traces regardless of duration).
 //! * `"health"` — the gateway's SLO verdict: per-target burn rates over
 //!   sliding windows plus an overall `ok`/`degraded`/`critical` status.
+//! * `"events"` — the flight recorder: recent structured operational
+//!   events (seq/unix_ms/severity/kind/detail, newest first) plus the
+//!   pinned incident snapshot (events + slow traces + dims frozen when
+//!   SLO health last flipped to degraded/critical), or `null` if health
+//!   never flipped.
 //!
 //! Matrices travel as `{"rows": R, "cols": C, "data": [row-major…]}`.
 //! Integer payloads round-trip bit-exactly (JSON numbers are `f64`,
@@ -37,7 +42,9 @@
 use std::time::Duration;
 
 use panacea_serve::Payload;
-use panacea_telemetry::{HealthReport, MetricKey, SloStatus, TargetReport};
+use panacea_telemetry::{
+    Event, EventSeverity, HealthReport, IncidentSnapshot, MetricKey, SloStatus, TargetReport,
+};
 use panacea_tensor::Matrix;
 use serde_json::{json, Value};
 
@@ -101,6 +108,12 @@ pub enum Request {
     },
     /// Fetch the gateway's SLO health verdict.
     Health,
+    /// Fetch recent flight-recorder events plus the pinned incident
+    /// snapshot (if SLO health ever flipped to degraded/critical).
+    Events {
+        /// Maximum number of events to return (newest first).
+        limit: usize,
+    },
 }
 
 /// Which trace ring a `trace` request reads.
@@ -453,6 +466,10 @@ pub struct SpanSummary {
     pub start_us: u64,
     /// Span duration in microseconds.
     pub dur_us: u64,
+    /// Trace ids of other requests that shared the work this span
+    /// covers (e.g. the batchmates of a fused decode pass). Empty for
+    /// exclusive spans.
+    pub links: Vec<u64>,
 }
 
 /// One recorded request trace, as reported by the `trace` verb.
@@ -464,6 +481,9 @@ pub struct TraceSummary {
     pub verb: String,
     /// Total request duration in microseconds.
     pub total_us: u64,
+    /// Wall-clock anchor: milliseconds since the Unix epoch at trace
+    /// begin, so traces correlate with logs and flight-recorder events.
+    pub unix_ms: u64,
     /// The spans, in creation order; span 0 is the root.
     pub spans: Vec<SpanSummary>,
 }
@@ -474,6 +494,7 @@ impl From<&panacea_telemetry::Trace> for TraceSummary {
             id: t.id.get(),
             verb: t.verb.to_string(),
             total_us: t.total_us,
+            unix_ms: t.unix_ms,
             spans: t
                 .spans
                 .iter()
@@ -483,6 +504,7 @@ impl From<&panacea_telemetry::Trace> for TraceSummary {
                     stage: s.stage.to_string(),
                     start_us: s.start_us,
                     dur_us: s.dur_us,
+                    links: s.links.clone(),
                 })
                 .collect(),
         }
@@ -494,6 +516,75 @@ impl From<&panacea_telemetry::Trace> for TraceSummary {
 pub struct TraceReply {
     /// The pinned slow traces.
     pub traces: Vec<TraceSummary>,
+}
+
+/// One flight-recorder event, as reported by the `events` verb.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventSummary {
+    /// Monotone sequence number; total order across the process.
+    pub seq: u64,
+    /// Wall-clock anchor, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Severity: `"info"`, `"warn"`, or `"error"`.
+    pub severity: String,
+    /// Event taxonomy tag, e.g. `"session_open"`, `"shed"`,
+    /// `"health_transition"`.
+    pub kind: String,
+    /// Free-form details: the model, the reason, the counts.
+    pub detail: String,
+}
+
+impl From<&Event> for EventSummary {
+    fn from(e: &Event) -> Self {
+        EventSummary {
+            seq: e.seq,
+            unix_ms: e.unix_ms,
+            severity: e.severity.as_str().to_string(),
+            kind: e.kind.to_string(),
+            detail: e.detail.clone(),
+        }
+    }
+}
+
+/// The diagnostic snapshot pinned when SLO health flipped to
+/// degraded/critical, as reported by the `events` verb.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentSummary {
+    /// When the flip was observed, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// The status health flipped *to*.
+    pub status: SloStatus,
+    /// Recent flight-recorder events at the flip, newest first.
+    pub events: Vec<EventSummary>,
+    /// Pinned slow traces at the flip, newest first.
+    pub traces: Vec<TraceSummary>,
+    /// The windowed dims frozen at the flip, sorted by key.
+    pub dims: Vec<DimSummary>,
+}
+
+impl From<&IncidentSnapshot> for IncidentSummary {
+    fn from(s: &IncidentSnapshot) -> Self {
+        IncidentSummary {
+            unix_ms: s.unix_ms,
+            status: s.status,
+            events: s.events.iter().map(EventSummary::from).collect(),
+            traces: s.traces.iter().map(TraceSummary::from).collect(),
+            dims: s
+                .dims
+                .iter()
+                .map(|(key, w)| DimSummary::from_window(key, w))
+                .collect(),
+        }
+    }
+}
+
+/// Flight-recorder state returned by the `events` verb.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventsReply {
+    /// Recent events, newest first, up to the request's limit.
+    pub events: Vec<EventSummary>,
+    /// The pinned incident snapshot; `None` if health never flipped.
+    pub pinned: Option<IncidentSummary>,
 }
 
 /// A decoded server response.
@@ -515,6 +606,8 @@ pub enum Response {
     Trace(TraceReply),
     /// SLO health verdict.
     Health(HealthReport),
+    /// Flight-recorder events plus the pinned incident snapshot.
+    Events(EventsReply),
     /// The request failed; `kind` says how, `message` says why.
     Error {
         /// Machine-readable category.
@@ -681,6 +774,10 @@ pub fn encode_request(req: &Request) -> String {
             "kind": kind.as_str(),
         }),
         Request::Health => json!({ "verb": "health" }),
+        Request::Events { limit } => json!({
+            "verb": "events",
+            "limit": *limit,
+        }),
     };
     serde_json::to_string(&value).expect("shim serializer never fails")
 }
@@ -733,6 +830,9 @@ pub fn decode_request(line: &str) -> Result<Request, GatewayError> {
             },
         }),
         "health" => Ok(Request::Health),
+        "events" => Ok(Request::Events {
+            limit: usize_field(&v, "limit")?,
+        }),
         other => Err(bad(format!("unknown verb {other:?}"))),
     }
 }
@@ -1015,6 +1115,7 @@ fn span_to_value(s: &SpanSummary) -> Value {
         "stage": s.stage.clone(),
         "start_us": s.start_us,
         "dur_us": s.dur_us,
+        "links": Value::Array(s.links.iter().map(|&id| Value::from(id)).collect()),
     })
 }
 
@@ -1027,12 +1128,22 @@ fn value_to_span(v: &Value) -> Result<SpanSummary, GatewayError> {
                 .ok_or_else(|| bad("field \"parent\" is not null or a non-negative integer"))?,
         ),
     };
+    let links = field(v, "links")?
+        .as_array()
+        .ok_or_else(|| bad("span links is not an array"))?
+        .iter()
+        .map(|item| {
+            item.as_u64()
+                .ok_or_else(|| bad("span link is not a non-negative integer"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(SpanSummary {
         id: u64_field(v, "id")?,
         parent,
         stage: str_field(v, "stage")?.to_string(),
         start_us: u64_field(v, "start_us")?,
         dur_us: u64_field(v, "dur_us")?,
+        links,
     })
 }
 
@@ -1041,6 +1152,7 @@ fn trace_to_value(t: &TraceSummary) -> Value {
         "id": t.id,
         "verb": t.verb.clone(),
         "total_us": t.total_us,
+        "unix_ms": t.unix_ms,
         "spans": Value::Array(t.spans.iter().map(span_to_value).collect()),
     })
 }
@@ -1050,6 +1162,7 @@ fn value_to_trace(v: &Value) -> Result<TraceSummary, GatewayError> {
         id: u64_field(v, "id")?,
         verb: str_field(v, "verb")?.to_string(),
         total_us: u64_field(v, "total_us")?,
+        unix_ms: u64_field(v, "unix_ms")?,
         spans: field(v, "spans")?
             .as_array()
             .ok_or_else(|| bad("spans is not an array"))?
@@ -1075,6 +1188,96 @@ fn value_to_trace_reply(v: &Value) -> Result<TraceReply, GatewayError> {
             .iter()
             .map(value_to_trace)
             .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn event_to_value(e: &EventSummary) -> Value {
+    json!({
+        "seq": e.seq,
+        "unix_ms": e.unix_ms,
+        "severity": e.severity.clone(),
+        "kind": e.kind.clone(),
+        "detail": e.detail.clone(),
+    })
+}
+
+fn value_to_event(v: &Value) -> Result<EventSummary, GatewayError> {
+    let severity = str_field(v, "severity")?;
+    if EventSeverity::parse(severity).is_none() {
+        return Err(bad(format!("unknown event severity {severity:?}")));
+    }
+    Ok(EventSummary {
+        seq: u64_field(v, "seq")?,
+        unix_ms: u64_field(v, "unix_ms")?,
+        severity: severity.to_string(),
+        kind: str_field(v, "kind")?.to_string(),
+        detail: str_field(v, "detail")?.to_string(),
+    })
+}
+
+fn events_to_value(events: &[EventSummary]) -> Value {
+    Value::Array(events.iter().map(event_to_value).collect())
+}
+
+fn value_to_events(v: &Value) -> Result<Vec<EventSummary>, GatewayError> {
+    v.as_array()
+        .ok_or_else(|| bad("events is not an array"))?
+        .iter()
+        .map(value_to_event)
+        .collect()
+}
+
+fn incident_to_value(s: &IncidentSummary) -> Value {
+    json!({
+        "unix_ms": s.unix_ms,
+        "status": s.status.as_str(),
+        "events": events_to_value(&s.events),
+        "traces": Value::Array(s.traces.iter().map(trace_to_value).collect()),
+        "dims": Value::Array(s.dims.iter().map(dim_summary_to_value).collect()),
+    })
+}
+
+fn value_to_incident(v: &Value) -> Result<IncidentSummary, GatewayError> {
+    Ok(IncidentSummary {
+        unix_ms: u64_field(v, "unix_ms")?,
+        status: status_field(v, "status")?,
+        events: value_to_events(field(v, "events")?)?,
+        traces: field(v, "traces")?
+            .as_array()
+            .ok_or_else(|| bad("traces is not an array"))?
+            .iter()
+            .map(value_to_trace)
+            .collect::<Result<Vec<_>, _>>()?,
+        dims: field(v, "dims")?
+            .as_array()
+            .ok_or_else(|| bad("dims is not an array"))?
+            .iter()
+            .map(value_to_dim_summary)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn events_reply_to_value(r: &EventsReply) -> Value {
+    json!({
+        "ok": true,
+        "kind": "events",
+        "events": events_to_value(&r.events),
+        // JSON null marks "health never flipped".
+        "pinned": match &r.pinned {
+            Some(incident) => incident_to_value(incident),
+            None => Value::Null,
+        },
+    })
+}
+
+fn value_to_events_reply(v: &Value) -> Result<EventsReply, GatewayError> {
+    let pinned = match field(v, "pinned")? {
+        Value::Null => None,
+        other => Some(value_to_incident(other)?),
+    };
+    Ok(EventsReply {
+        events: value_to_events(field(v, "events")?)?,
+        pinned,
     })
 }
 
@@ -1114,6 +1317,7 @@ pub fn encode_response(resp: &Response) -> String {
         Response::Metrics(metrics) => metrics_to_value(metrics),
         Response::Trace(reply) => trace_reply_to_value(reply),
         Response::Health(report) => health_to_value(report),
+        Response::Events(reply) => events_reply_to_value(reply),
         Response::Error { kind, message } => json!({
             "ok": false,
             "error": kind.as_str(),
@@ -1168,6 +1372,7 @@ pub fn decode_response(line: &str) -> Result<Response, GatewayError> {
         "metrics" => Ok(Response::Metrics(value_to_metrics(&v)?)),
         "trace" => Ok(Response::Trace(value_to_trace_reply(&v)?)),
         "health" => Ok(Response::Health(value_to_health(&v)?)),
+        "events" => Ok(Response::Events(value_to_events_reply(&v)?)),
         other => Err(bad(format!("unknown response kind {other:?}"))),
     }
 }
@@ -1364,6 +1569,7 @@ mod tests {
                 limit: 3,
                 kind: TraceKind::Recent,
             },
+            Request::Events { limit: 9 },
         ] {
             assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         }
@@ -1488,12 +1694,13 @@ mod tests {
     }
 
     #[test]
-    fn trace_response_round_trips_span_parents() {
+    fn trace_response_round_trips_span_parents_and_links() {
         let resp = Response::Trace(TraceReply {
             traces: vec![TraceSummary {
                 id: 7,
                 verb: "decode".to_string(),
                 total_us: 1_234,
+                unix_ms: 1_700_000_000_123,
                 spans: vec![
                     SpanSummary {
                         id: 0,
@@ -1501,13 +1708,16 @@ mod tests {
                         stage: "decode".to_string(),
                         start_us: 0,
                         dur_us: 1_234,
+                        links: vec![],
                     },
                     SpanSummary {
                         id: 1,
                         parent: Some(0),
-                        stage: "execute".to_string(),
+                        stage: "decode_pass".to_string(),
                         start_us: 10,
                         dur_us: 1_200,
+                        // Batchmates of the fused pass this span covers.
+                        links: vec![3, 9],
                     },
                 ],
             }],
@@ -1515,6 +1725,75 @@ mod tests {
         assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
         let resp = Response::Trace(TraceReply::default());
         assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn events_response_round_trips_with_and_without_a_pinned_incident() {
+        let event = EventSummary {
+            seq: 41,
+            unix_ms: 1_700_000_000_456,
+            severity: "warn".to_string(),
+            kind: "shed".to_string(),
+            detail: "reason=in_flight model=m verb=infer".to_string(),
+        };
+        let resp = Response::Events(EventsReply {
+            events: vec![event.clone()],
+            pinned: Some(IncidentSummary {
+                unix_ms: 1_700_000_000_400,
+                status: SloStatus::Critical,
+                events: vec![event],
+                traces: vec![TraceSummary {
+                    id: 3,
+                    verb: "decode".to_string(),
+                    total_us: 2_500_000,
+                    unix_ms: 1_700_000_000_390,
+                    spans: vec![SpanSummary {
+                        id: 0,
+                        parent: None,
+                        stage: "decode".to_string(),
+                        start_us: 0,
+                        dur_us: 2_500_000,
+                        links: vec![],
+                    }],
+                }],
+                dims: vec![DimSummary {
+                    model: "m".to_string(),
+                    verb: "decode".to_string(),
+                    stage: "step".to_string(),
+                    count: 12,
+                    p50_us: 900,
+                    p90_us: 1_800,
+                    p99_us: 2_400,
+                    max_us: 2_500,
+                    ok: 10,
+                    error: 0,
+                    shed: 2,
+                }],
+            }),
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        // No incident pinned: `pinned` travels as JSON null.
+        let resp = Response::Events(EventsReply::default());
+        let line = encode_response(&resp);
+        assert!(line.contains("\"pinned\":null"));
+        assert_eq!(decode_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn event_summary_preserves_flight_recorder_fields() {
+        use panacea_telemetry::{EventSeverity, FlightRecorder};
+        let rec = FlightRecorder::with_capacity(4);
+        rec.record(
+            EventSeverity::Error,
+            "health_transition",
+            "to=critical".into(),
+        );
+        let events = rec.recent(1);
+        let summary = EventSummary::from(&events[0]);
+        assert_eq!(summary.severity, "error");
+        assert_eq!(summary.kind, "health_transition");
+        assert_eq!(summary.detail, "to=critical");
+        assert!(summary.unix_ms > 0);
     }
 
     #[test]
@@ -1568,8 +1847,22 @@ mod tests {
             "{\"ok\":true,\"kind\":\"trace\"}",
             "{\"ok\":true,\"kind\":\"trace\",\"traces\":{}}",
             "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5}]}",
-            "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5,\"spans\":[{\"id\":0,\"stage\":\"x\",\"start_us\":0,\"dur_us\":1}]}]}",
-            "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5,\"spans\":[{\"id\":0,\"parent\":\"root\",\"stage\":\"x\",\"start_us\":0,\"dur_us\":1}]}]}",
+            "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5,\"unix_ms\":1,\"spans\":[{\"id\":0,\"stage\":\"x\",\"start_us\":0,\"dur_us\":1,\"links\":[]}]}]}",
+            "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5,\"unix_ms\":1,\"spans\":[{\"id\":0,\"parent\":\"root\",\"stage\":\"x\",\"start_us\":0,\"dur_us\":1,\"links\":[]}]}]}",
+            // trace missing the wall-clock anchor
+            "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5,\"spans\":[]}]}",
+            // span missing its links array (or with a mistyped one)
+            "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5,\"unix_ms\":1,\"spans\":[{\"id\":0,\"parent\":null,\"stage\":\"x\",\"start_us\":0,\"dur_us\":1}]}]}",
+            "{\"ok\":true,\"kind\":\"trace\",\"traces\":[{\"id\":1,\"verb\":\"x\",\"total_us\":5,\"unix_ms\":1,\"spans\":[{\"id\":0,\"parent\":null,\"stage\":\"x\",\"start_us\":0,\"dur_us\":1,\"links\":[\"t\"]}]}]}",
+            // events request without a limit
+            "{\"verb\":\"events\"}",
+            "{\"verb\":\"events\",\"limit\":\"all\"}",
+            // events responses with missing or mistyped pieces
+            "{\"ok\":true,\"kind\":\"events\"}",
+            "{\"ok\":true,\"kind\":\"events\",\"events\":[],\"pinned\":7}",
+            "{\"ok\":true,\"kind\":\"events\",\"events\":[{\"seq\":1}],\"pinned\":null}",
+            "{\"ok\":true,\"kind\":\"events\",\"events\":[{\"seq\":1,\"unix_ms\":1,\"severity\":\"fatal\",\"kind\":\"shed\",\"detail\":\"\"}],\"pinned\":null}",
+            "{\"ok\":true,\"kind\":\"events\",\"events\":[],\"pinned\":{\"unix_ms\":1,\"status\":\"critical\",\"events\":[],\"traces\":[]}}",
             // stats response missing the new uptime/seq fields
             "{\"ok\":true,\"kind\":\"stats\",\"shards\":[],\"cache\":{\"hits\":0,\"misses\":0,\"evictions\":0,\"entries\":0},\"admission\":{\"admitted\":0,\"rejected_capacity\":0,\"rejected_timeout\":0,\"in_flight\":0}}",
             // stats response missing the per-reason shed breakdown

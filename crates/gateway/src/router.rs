@@ -42,7 +42,7 @@ impl ShardRouter {
         shards: usize,
         config: RuntimeConfig,
     ) -> Self {
-        Self::build(models, shards, config, None)
+        Self::build(models, shards, config, None, None)
     }
 
     /// [`from_shared`](Self::from_shared) with a dimensional metric
@@ -55,7 +55,20 @@ impl ShardRouter {
         config: RuntimeConfig,
         dims: panacea_telemetry::MetricRegistry,
     ) -> Self {
-        Self::build(models, shards, config, Some(dims))
+        Self::build(models, shards, config, Some(dims), None)
+    }
+
+    /// [`from_shared_with_dims`](Self::from_shared_with_dims) plus a
+    /// flight recorder: model registrations and batch formations on
+    /// every shard land in the event ring.
+    pub fn from_shared_with_observability(
+        models: Vec<Arc<PreparedModel>>,
+        shards: usize,
+        config: RuntimeConfig,
+        dims: panacea_telemetry::MetricRegistry,
+        recorder: panacea_telemetry::FlightRecorder,
+    ) -> Self {
+        Self::build(models, shards, config, Some(dims), Some(recorder))
     }
 
     fn build(
@@ -63,16 +76,26 @@ impl ShardRouter {
         shards: usize,
         config: RuntimeConfig,
         dims: Option<panacea_telemetry::MetricRegistry>,
+        recorder: Option<panacea_telemetry::FlightRecorder>,
     ) -> Self {
         let shards = (0..shards.max(1))
             .map(|_| {
                 let registry = Arc::new(ModelRegistry::new());
+                if let Some(recorder) = &recorder {
+                    registry.set_recorder(recorder.clone());
+                }
                 for model in &models {
                     registry.insert_shared(Arc::clone(model));
                 }
-                match &dims {
-                    Some(dims) => Runtime::start_with_dims(registry, config, dims.clone()),
-                    None => Runtime::start(registry, config),
+                match (&dims, &recorder) {
+                    (Some(dims), Some(recorder)) => Runtime::start_with_observability(
+                        registry,
+                        config,
+                        dims.clone(),
+                        recorder.clone(),
+                    ),
+                    (Some(dims), None) => Runtime::start_with_dims(registry, config, dims.clone()),
+                    _ => Runtime::start(registry, config),
                 }
             })
             .collect();
@@ -184,6 +207,28 @@ impl ShardRouter {
         payload: impl Into<Payload>,
     ) -> Result<Pending, ServeError> {
         self.shards[shard].submit_to(model, payload)
+    }
+
+    /// [`submit_to_shard`](Self::submit_to_shard) carrying a
+    /// [`panacea_telemetry::TraceContext`]: the shard's worker records
+    /// `queue_wait` / `batch_form` / `execute` / `split_back` spans into
+    /// the submitting request's trace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit_to`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.num_shards()`.
+    pub fn submit_to_shard_traced(
+        &self,
+        shard: usize,
+        model: Arc<PreparedModel>,
+        payload: impl Into<Payload>,
+        ctx: Option<panacea_telemetry::TraceContext>,
+    ) -> Result<Pending, ServeError> {
+        self.shards[shard].submit_to_traced(model, payload, ctx)
     }
 
     /// Routes, enqueues, and blocks for the answer.

@@ -13,7 +13,7 @@
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -22,22 +22,32 @@ use panacea_serve::{
     SessionManager,
 };
 use panacea_telemetry::{
-    HealthReport, Histogram, MetricRegistry, SloConfig, TraceBuilder, TraceConfig, Tracer,
-    ROOT_SPAN, STAGE_REQUEST,
+    jsonl_metrics_line, unix_ms_now, EventSeverity, FlightRecorder, HealthReport, Histogram,
+    IncidentSnapshot, MetricRegistry, PrometheusText, SloConfig, SloStatus, TraceBuilder,
+    TraceConfig, Tracer, ROOT_SPAN, STAGE_REQUEST,
 };
 use panacea_tensor::Matrix;
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::cache::{CacheConfig, CachedOutput, RequestCache};
 use crate::protocol::{
-    decode_request, encode_response, DecodeReply, DimSummary, ErrorKind, GatewayMetrics,
-    GatewayStats, InferReply, Request, Response, SessionCloseReply, SessionOpenReply, ShedStats,
-    StageSummary, TraceKind, TraceReply, TraceSummary,
+    decode_request, encode_response, DecodeReply, DimSummary, ErrorKind, EventSummary, EventsReply,
+    GatewayMetrics, GatewayStats, IncidentSummary, InferReply, Request, Response,
+    SessionCloseReply, SessionOpenReply, ShedStats, StageSummary, TraceKind, TraceReply,
+    TraceSummary,
 };
 use crate::router::ShardRouter;
 
 /// The sliding window the `metrics` verb's dimensional summaries cover.
 const DIMS_WINDOW: Duration = Duration::from_secs(10);
+
+/// Flight-recorder ring capacity: enough to hold the lifecycle of a
+/// burst (opens, sheds, evictions, health flips) without the ring
+/// churning past an incident before anyone asks.
+const EVENT_CAPACITY: usize = 256;
+
+/// How many slow traces an incident snapshot freezes at the flip.
+const INCIDENT_TRACES: usize = 16;
 
 /// Everything a gateway deployment tunes.
 #[derive(Debug, Clone)]
@@ -137,6 +147,12 @@ pub struct Gateway {
     dims: MetricRegistry,
     slo: SloConfig,
     sheds: ShedCounters,
+    recorder: FlightRecorder,
+    /// The health verdict as of the last `health()` evaluation —
+    /// transition detection is evaluation-point-driven: a flip is
+    /// noticed (and an incident pinned) when health is next *asked*,
+    /// not at the instant metrics crossed the budget.
+    last_status: Mutex<SloStatus>,
 }
 
 impl Gateway {
@@ -148,10 +164,18 @@ impl Gateway {
     /// [`new`](Self::new) for already-shared model handles.
     pub fn from_shared(models: Vec<Arc<PreparedModel>>, config: GatewayConfig) -> Self {
         let dims = MetricRegistry::default();
-        let router =
-            ShardRouter::from_shared_with_dims(models, config.shards, config.runtime, dims.clone());
+        let recorder = FlightRecorder::with_capacity(EVENT_CAPACITY);
+        let router = ShardRouter::from_shared_with_observability(
+            models,
+            config.shards,
+            config.runtime,
+            dims.clone(),
+            recorder.clone(),
+        );
         let sessions = (0..router.num_shards())
-            .map(|_| SessionManager::with_dims(config.session, dims.clone()))
+            .map(|_| {
+                SessionManager::with_observability(config.session, dims.clone(), recorder.clone())
+            })
             .collect();
         Gateway {
             router,
@@ -165,6 +189,8 @@ impl Gateway {
             dims,
             slo: config.slo,
             sheds: ShedCounters::default(),
+            recorder,
+            last_status: Mutex::new(SloStatus::Ok),
         }
     }
 
@@ -190,7 +216,14 @@ impl Gateway {
         cell.record_latency(started.elapsed());
         match out {
             Ok(_) => cell.record_ok(),
-            Err(e) if self.sheds.count(e) => cell.record_shed(),
+            Err(e) if self.sheds.count(e) => {
+                cell.record_shed();
+                self.recorder.record(
+                    EventSeverity::Warn,
+                    "shed",
+                    format!("reason={} model={model} verb={verb}", shed_reason(e)),
+                );
+            }
             Err(_) => cell.record_error(),
         }
     }
@@ -394,7 +427,11 @@ impl Gateway {
         self.stages.route.record_duration(tb.end_span(span));
         let shard = shard.ok_or(ServeError::UnknownSession { session })?;
         let span = tb.start_span("execute", ROOT_SPAN);
-        let stepped = self.sessions[shard].step(session, hidden);
+        // The step executes on other threads (the shard's decode
+        // batcher); hand them a context so their queue_wait/decode_pass
+        // spans land inside this request's execute span.
+        let ctx = self.tracer.context(tb, span);
+        let stepped = self.sessions[shard].step_traced(session, hidden, Some(ctx));
         self.stages.execute.record_duration(tb.end_span(span));
         let (out, tokens, _wl) = stepped?;
         drop(permit);
@@ -503,14 +540,24 @@ impl Gateway {
             .record_duration(tb.end_span(span));
         let permit = permit?;
         let span = tb.start_span("execute", ROOT_SPAN);
+        // The runtime's batch worker records queue_wait / batch_form /
+        // execute / split_back under this span via the context.
+        let ctx = self.tracer.context(tb, span);
         let ran: Result<_, ServeError> = (|| {
             let (pending, kept_payload) = if cached {
-                let pending =
-                    self.router
-                        .submit_to_shard(shard, Arc::clone(&resolved), payload.clone())?;
+                let pending = self.router.submit_to_shard_traced(
+                    shard,
+                    Arc::clone(&resolved),
+                    payload.clone(),
+                    Some(ctx),
+                )?;
                 (pending, Some(payload))
             } else {
-                (self.router.submit_to_shard(shard, resolved, payload)?, None)
+                (
+                    self.router
+                        .submit_to_shard_traced(shard, resolved, payload, Some(ctx))?,
+                    None,
+                )
             };
             Ok((self.admission.wait_bounded(&pending)?, kept_payload))
         })();
@@ -625,8 +672,132 @@ impl Gateway {
     /// Evaluates the configured SLO targets over the windowed
     /// dimensional metrics: one report per target plus the overall
     /// worst-case verdict.
+    ///
+    /// Transitions are detected here, at evaluation time: when the
+    /// verdict differs from the previous evaluation's, a
+    /// `health_transition` event is recorded (warn for degraded, error
+    /// for critical, info for recovery), and a flip *into*
+    /// degraded/critical additionally pins an [`IncidentSnapshot`] —
+    /// the recent events, the slow traces, and the dims window frozen
+    /// at the flip — retrievable via the `events` verb long after the
+    /// ring has churned and health has recovered.
     pub fn health(&self) -> HealthReport {
-        self.slo.evaluate(&self.dims)
+        let report = self.slo.evaluate(&self.dims);
+        let mut last = self.last_status.lock().expect("health status poisoned");
+        if report.status != *last {
+            let from = *last;
+            *last = report.status;
+            // Holding the lock across record+pin keeps concurrent
+            // evaluations from interleaving their transitions.
+            let severity = match report.status {
+                SloStatus::Ok => EventSeverity::Info,
+                SloStatus::Degraded => EventSeverity::Warn,
+                SloStatus::Critical => EventSeverity::Error,
+            };
+            self.recorder.record(
+                severity,
+                "health_transition",
+                format!("from={} to={}", from.as_str(), report.status.as_str()),
+            );
+            if report.status > SloStatus::Ok {
+                self.recorder.pin(IncidentSnapshot {
+                    unix_ms: unix_ms_now(),
+                    status: report.status,
+                    events: self.recorder.recent(EVENT_CAPACITY),
+                    traces: self.tracer.slow(INCIDENT_TRACES),
+                    dims: self.dims.windows(DIMS_WINDOW),
+                });
+            }
+        }
+        report
+    }
+
+    /// The flight recorder shared by every layer of this gateway.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Flight-recorder state for the `events` verb: the most recent
+    /// events (newest first, up to `limit`) plus the pinned incident
+    /// snapshot if health ever flipped.
+    pub fn events(&self, limit: usize) -> EventsReply {
+        EventsReply {
+            events: self
+                .recorder
+                .recent(limit)
+                .iter()
+                .map(EventSummary::from)
+                .collect(),
+            pinned: self.recorder.pinned().as_ref().map(IncidentSummary::from),
+        }
+    }
+
+    /// Renders the gateway's metrics as a Prometheus text exposition:
+    /// every registry dim as a `panacea_dim_latency_ns` histogram plus
+    /// `panacea_dim_outcomes_total` counters, and every stage histogram
+    /// as `panacea_stage_duration_ns` scoped by layer (`gateway`,
+    /// `shard<N>`, `block`).
+    pub fn prometheus(&self) -> String {
+        let mut text = PrometheusText::new();
+        for (key, w) in self.dims.windows(DIMS_WINDOW) {
+            let labels = [
+                ("model", key.model.as_str()),
+                ("verb", key.verb.as_str()),
+                ("stage", key.stage.as_str()),
+            ];
+            text.histogram("panacea_dim_latency_ns", &labels, &w.latency);
+            for (outcome, value) in [("ok", w.ok), ("error", w.error), ("shed", w.shed)] {
+                let mut with_outcome = labels.to_vec();
+                with_outcome.push(("outcome", outcome));
+                text.counter("panacea_dim_outcomes_total", &with_outcome, value);
+            }
+        }
+        let gateway_stages = [
+            ("parse", self.stages.parse.snapshot()),
+            ("cache_probe", self.stages.cache_probe.snapshot()),
+            ("admission_wait", self.stages.admission_wait.snapshot()),
+            ("route", self.stages.route.snapshot()),
+            ("execute", self.stages.execute.snapshot()),
+        ];
+        for (stage, snap) in &gateway_stages {
+            text.histogram(
+                "panacea_stage_duration_ns",
+                &[("scope", "gateway"), ("stage", stage)],
+                snap,
+            );
+        }
+        for i in 0..self.router.num_shards() {
+            let scope = format!("shard{i}");
+            let stages = self
+                .router
+                .shard(i)
+                .stage_snapshots()
+                .into_iter()
+                .chain(self.sessions[i].stage_snapshots());
+            for (stage, snap) in stages {
+                text.histogram(
+                    "panacea_stage_duration_ns",
+                    &[("scope", scope.as_str()), ("stage", stage)],
+                    &snap,
+                );
+            }
+        }
+        for (stage, snap) in panacea_block::stage_snapshots() {
+            text.histogram(
+                "panacea_stage_duration_ns",
+                &[("scope", "block"), ("stage", stage)],
+                &snap,
+            );
+        }
+        text.counter("panacea_events_total", &[], self.recorder.recorded());
+        text.finish()
+    }
+
+    /// Renders one sweep of the windowed dims as a single JSONL metric
+    /// line anchored at the current wall clock (see
+    /// [`jsonl_metrics_line`]).
+    pub fn metrics_jsonl(&self) -> String {
+        jsonl_metrics_line(unix_ms_now(), &self.dims.windows(DIMS_WINDOW))
     }
 
     /// Recorded request traces, newest first: the pinned slow ring
@@ -659,6 +830,7 @@ impl Gateway {
             Request::Metrics => Response::Metrics(self.metrics()),
             Request::Trace { limit, kind } => Response::Trace(self.traces(limit, kind)),
             Request::Health => Response::Health(self.health()),
+            Request::Events { limit } => Response::Events(self.events(limit)),
             Request::Infer { model, payload } => {
                 reply(self.infer(&model, payload), Response::Infer)
             }
@@ -675,6 +847,21 @@ impl Gateway {
                 reply(self.session_close(session), Response::SessionClose)
             }
         }
+    }
+}
+
+/// The flight-recorder spelling of a shed's cause (mirrors
+/// [`ShedCounters::count`]'s per-reason buckets).
+fn shed_reason(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::Overloaded {
+            reason: OverloadReason::InFlight { .. },
+        } => "in_flight",
+        ServeError::Overloaded {
+            reason: OverloadReason::QueueWait { .. },
+        } => "queue_wait",
+        ServeError::KvBudgetExceeded { .. } => "kv_budget",
+        _ => "other",
     }
 }
 

@@ -1,6 +1,8 @@
 //! End-to-end gateway tests over real localhost TCP: bit-exactness
 //! against direct runtime execution, cache replay, explicit overload
-//! rejections, stats round-trip, and clean server shutdown.
+//! rejections, stats round-trip, cross-thread trace propagation,
+//! flight-recorder events with incident snapshots, and clean server
+//! shutdown.
 
 use std::sync::{Arc, Barrier};
 use std::thread;
@@ -662,6 +664,258 @@ fn malformed_lines_get_error_responses_and_the_connection_survives() {
         panacea_gateway::Response::Infer(reply) => assert_eq!(reply.payload, expect.into()),
         other => panic!("expected an inference, got {other:?}"),
     }
+}
+
+#[test]
+fn decode_traces_stitch_cross_thread_spans_over_tcp() {
+    use panacea_gateway::testutil::{block_model, hidden};
+    use panacea_gateway::TraceConfig;
+    let (model, _) = block_model("decoder", 70);
+    let gateway = Arc::new(Gateway::new(
+        vec![model],
+        GatewayConfig {
+            // Zero threshold pins every request, so the decode's trace
+            // is retrievable without artificial delays.
+            trace: TraceConfig {
+                slow_threshold: Duration::ZERO,
+                ..TraceConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    ));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+
+    let open = client.session_open("decoder").expect("opened");
+    client.decode(open.session, hidden(16, 2, 1)).expect("step");
+    client.session_close(open.session).expect("closed");
+
+    // The decode executed on the shard's decode-batch worker thread,
+    // yet its TCP-fetched trace must be one stitched span tree: the
+    // request root, the gateway's execute span, and under it the
+    // worker-side queue_wait and decode_pass spans.
+    let reply = client.trace(8).expect("trace");
+    let trace = reply
+        .traces
+        .iter()
+        .find(|t| t.verb == "decode")
+        .expect("decode trace not pinned");
+    assert!(trace.unix_ms > 0, "wall-clock anchor missing");
+    let root = &trace.spans[0];
+    assert_eq!(root.id, 0);
+    assert_eq!(root.parent, None);
+    assert_eq!(root.stage, "decode");
+    let execute = trace
+        .spans
+        .iter()
+        .find(|s| s.stage == "execute")
+        .expect("execute span missing");
+    assert_eq!(execute.parent, Some(0), "execute not under the root");
+    for stage in ["queue_wait", "decode_pass"] {
+        let span = trace
+            .spans
+            .iter()
+            .find(|s| s.stage == stage)
+            .unwrap_or_else(|| panic!("cross-thread stage {stage:?} missing from the trace"));
+        assert_eq!(
+            span.parent,
+            Some(execute.id),
+            "{stage:?} not parented under the gateway's execute span"
+        );
+        assert!(span.start_us <= trace.total_us);
+        assert!(span.dur_us <= trace.total_us);
+    }
+    // A solo session's fused pass served only this request: no links.
+    let pass = trace
+        .spans
+        .iter()
+        .find(|s| s.stage == "decode_pass")
+        .expect("checked above");
+    assert!(pass.links.is_empty(), "solo pass linked {:?}", pass.links);
+
+    // The session's lifecycle and the pass itself landed in the flight
+    // recorder, retrievable over the same wire.
+    let events = client.events(64).expect("events");
+    for kind in [
+        "model_register",
+        "session_open",
+        "batch_formed",
+        "session_close",
+    ] {
+        assert!(
+            events.events.iter().any(|e| e.kind == kind),
+            "event kind {kind:?} missing from the ring"
+        );
+    }
+    assert!(events.events.iter().all(|e| e.unix_ms > 0));
+    assert!(events.pinned.is_none(), "healthy run pinned an incident");
+}
+
+#[test]
+fn fused_decode_passes_link_every_participating_trace() {
+    use panacea_gateway::testutil::{block_model, hidden};
+    use panacea_gateway::{SessionConfig, TraceConfig};
+    // One shard and a generous linger window so two concurrent steps
+    // fuse into one decode pass; zero slow threshold pins both traces.
+    let (model, _) = block_model("decoder", 71);
+    let gateway = Arc::new(Gateway::new(
+        vec![model],
+        GatewayConfig {
+            shards: 1,
+            session: SessionConfig {
+                decode_max_wait: Duration::from_millis(500),
+                ..SessionConfig::default()
+            },
+            trace: TraceConfig {
+                slow_threshold: Duration::ZERO,
+                ..TraceConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    ));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // Scheduling can still slip a step past the linger window, so retry
+    // the whole two-client round until a pass actually fused.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let barrier = Arc::new(Barrier::new(2));
+        let threads: Vec<_> = (0..2)
+            .map(|t| {
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    let mut client = GatewayClient::connect(addr).expect("connect");
+                    let open = client.session_open("decoder").expect("opened");
+                    barrier.wait();
+                    client.decode(open.session, hidden(16, 1, t)).expect("step");
+                    client.session_close(open.session).expect("closed");
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().expect("client thread");
+        }
+        let mut client = GatewayClient::connect(addr).expect("connect");
+        let reply = client.trace(16).expect("trace");
+        let decodes: Vec<_> = reply.traces.iter().filter(|t| t.verb == "decode").collect();
+        let linked: Vec<_> = decodes
+            .iter()
+            .filter_map(|t| {
+                t.spans
+                    .iter()
+                    .find(|s| s.stage == "decode_pass" && !s.links.is_empty())
+                    .map(|s| (t.id, s.links.clone()))
+            })
+            .collect();
+        if linked.len() == 2 {
+            // Each trace's pass span links exactly the *other*
+            // participant, never itself.
+            let (a, a_links) = &linked[0];
+            let (b, b_links) = &linked[1];
+            assert_eq!(a_links, &vec![*b], "trace {a} links wrong set");
+            assert_eq!(b_links, &vec![*a], "trace {b} links wrong set");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "steps never fused into one pass; last round's traces: {decodes:?}"
+        );
+    }
+}
+
+#[test]
+fn health_flip_pins_an_incident_retrievable_after_recovery() {
+    use panacea_gateway::{SloConfig, SloStatus, SloTarget};
+    // Zero shed budget over a short window: one shed burns critical,
+    // and once the shed ages out of the window health recovers — but
+    // the pinned snapshot must still tell the story.
+    let gateway = Arc::new(Gateway::new(
+        models(&["m"], 14),
+        GatewayConfig {
+            shards: 1,
+            cache: CacheConfig {
+                capacity: 0,
+                shards: 1,
+                ..CacheConfig::default()
+            },
+            admission: AdmissionConfig {
+                max_in_flight: 1,
+                max_queue_wait: Duration::from_secs(10),
+            },
+            slo: SloConfig {
+                targets: vec![SloTarget {
+                    max_shed_rate: Some(0.0),
+                    ..SloTarget::over("no-sheds", Duration::from_millis(300))
+                }],
+            },
+            ..GatewayConfig::default()
+        },
+    ));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let mut client = GatewayClient::connect(server.local_addr()).expect("connect");
+    let model = gateway.router().model("m").expect("registered");
+
+    // Deliberate overload: hold the only permit, then send a request.
+    let permit = gateway.admission().try_admit().expect("permit");
+    let shed = client.infer_codes("m", codes(&model, 1, 0));
+    assert!(shed
+        .expect_err("request served past the held permit")
+        .is_overloaded());
+    drop(permit);
+
+    // The next health evaluation notices the flip and pins a snapshot.
+    let health = client.health().expect("health");
+    assert_eq!(health.status, SloStatus::Critical);
+
+    // Wait out the SLO window: the shed ages out and health recovers
+    // (an empty window is ok — no traffic is not an outage).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = client.health().expect("health");
+        if health.status == SloStatus::Ok {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "health never recovered: {health:?}"
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    // The incident survives recovery: pinned snapshot frozen at the
+    // flip, with the shed, the transition, and the dims that burned.
+    let reply = client.events(64).expect("events");
+    let pinned = reply.pinned.expect("no incident snapshot pinned");
+    assert_eq!(pinned.status, SloStatus::Critical);
+    assert!(pinned.unix_ms > 0);
+    assert!(
+        pinned.events.iter().any(|e| e.kind == "shed"
+            && e.severity == "warn"
+            && e.detail.contains("reason=in_flight")),
+        "shed event missing from the snapshot: {:?}",
+        pinned.events
+    );
+    assert!(
+        pinned
+            .events
+            .iter()
+            .any(|e| e.kind == "health_transition" && e.detail.contains("to=critical")),
+        "flip transition missing from the snapshot"
+    );
+    assert!(
+        pinned.dims.iter().any(|d| d.shed > 0),
+        "frozen dims lost the shed: {:?}",
+        pinned.dims
+    );
+    // The live ring additionally recorded the recovery transition.
+    assert!(
+        reply.events.iter().any(|e| e.kind == "health_transition"
+            && e.severity == "info"
+            && e.detail.contains("to=ok")),
+        "recovery transition missing from the ring: {:?}",
+        reply.events
+    );
 }
 
 #[test]

@@ -5,8 +5,9 @@
 
 use panacea_gateway::protocol::{decode_request, decode_response, encode_request, encode_response};
 use panacea_gateway::{
-    DimSummary, GatewayMetrics, HealthReport, Request, Response, SloStatus, SpanSummary,
-    StageSummary, TargetReport, TraceKind, TraceReply, TraceSummary,
+    DimSummary, EventSummary, EventsReply, GatewayMetrics, HealthReport, IncidentSummary, Request,
+    Response, SloStatus, SpanSummary, StageSummary, TargetReport, TraceKind, TraceReply,
+    TraceSummary,
 };
 use proptest::prelude::*;
 
@@ -143,12 +144,15 @@ proptest! {
                         stage: STAGE_NAMES[(t + i) % STAGE_NAMES.len()].to_string(),
                         start_us: v(i + 1),
                         dur_us: v(i + 2),
+                        // Fused spans link other traces; most link none.
+                        links: (0..(i % 3)).map(|l| v(i + l + 3)).collect(),
                     })
                     .collect();
                 TraceSummary {
                     id: v(0),
                     verb: ["infer", "decode", "session_open"][t % 3].to_string(),
                     total_us: v(1),
+                    unix_ms: v(2),
                     spans,
                 }
             })
@@ -173,6 +177,49 @@ proptest! {
             decode_request(&encode_request(&Request::Health)).unwrap(),
             Request::Health
         );
+        let req = Request::Events { limit };
+        prop_assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+    }
+
+    #[test]
+    fn events_responses_round_trip(
+        vals in proptest::collection::vec(0u64..9_000_000_000_000_000, 4..32),
+        event_count in 0usize..6,
+        with_pinned in 0u8..2,
+    ) {
+        let event = |i: usize| EventSummary {
+            seq: vals[i % vals.len()],
+            unix_ms: vals[(i + 1) % vals.len()],
+            severity: ["info", "warn", "error"][i % 3].to_string(),
+            kind: ["session_open", "shed", "health_transition", "batch_formed"][i % 4]
+                .to_string(),
+            detail: format!("detail-{i}"),
+        };
+        let events: Vec<EventSummary> = (0..event_count).map(event).collect();
+        let pinned = (with_pinned == 1).then(|| IncidentSummary {
+            unix_ms: vals[0],
+            status: [SloStatus::Degraded, SloStatus::Critical][(vals[1] % 2) as usize],
+            events: events.clone(),
+            traces: vec![TraceSummary {
+                id: vals[2],
+                verb: "decode".to_string(),
+                total_us: vals[3],
+                unix_ms: vals[0],
+                spans: vec![SpanSummary {
+                    id: 0,
+                    parent: None,
+                    stage: "decode".to_string(),
+                    start_us: 0,
+                    dur_us: vals[3],
+                    links: vec![],
+                }],
+            }],
+            dims: (0..2).map(|i| dim(i, &vals)).collect(),
+        });
+        let resp = Response::Events(EventsReply { events, pinned });
+        let line = encode_response(&resp);
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(decode_response(&line).unwrap(), resp);
     }
 }
 
@@ -217,12 +264,14 @@ fn dropping_any_required_field_errors_cleanly() {
             id: 1,
             verb: "infer".to_string(),
             total_us: 9,
+            unix_ms: 1_700_000_000_000,
             spans: vec![SpanSummary {
                 id: 0,
                 parent: None,
                 stage: "infer".to_string(),
                 start_us: 0,
                 dur_us: 9,
+                links: vec![2],
             }],
         }],
     });
@@ -238,7 +287,23 @@ fn dropping_any_required_field_errors_cleanly() {
             shed_rate: 0.0,
         }],
     });
-    for resp in [metrics, trace, health] {
+    let events = Response::Events(EventsReply {
+        events: vec![EventSummary {
+            seq: 7,
+            unix_ms: 1_700_000_000_001,
+            severity: "warn".to_string(),
+            kind: "shed".to_string(),
+            detail: "reason=in_flight model=m verb=infer".to_string(),
+        }],
+        pinned: Some(IncidentSummary {
+            unix_ms: 1_700_000_000_000,
+            status: SloStatus::Degraded,
+            events: vec![],
+            traces: vec![],
+            dims: vec![],
+        }),
+    });
+    for resp in [metrics, trace, health, events] {
         let line = encode_response(&resp);
         assert_eq!(
             decode_response(&line).unwrap(),
@@ -282,6 +347,13 @@ fn dropping_any_required_field_errors_cleanly() {
             "samples",
             "error_rate",
             "shed_rate",
+            "unix_ms",
+            "links",
+            "events",
+            "pinned",
+            "seq",
+            "severity",
+            "detail",
         ] {
             let needle = format!("\"{key}\":");
             if !line.contains(&needle) {

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use panacea_bitslice::VECTOR_LEN;
+use panacea_telemetry::TraceContext;
 
 use crate::metrics::Metrics;
 use crate::model::PreparedModel;
@@ -53,6 +54,10 @@ pub(crate) struct Job {
     /// Set by the caller's dropped `Pending` handle; workers drop the
     /// job instead of executing it. Shared with the `Pending`.
     pub(crate) cancelled: Arc<AtomicBool>,
+    /// When present, the worker records `queue_wait` / `batch_form` /
+    /// `execute` / `split_back` spans into the submitting request's
+    /// trace before answering.
+    pub(crate) ctx: Option<TraceContext>,
 }
 
 /// A dispatchable group of same-model jobs.
@@ -180,6 +185,14 @@ pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
     metrics.record_model_execute(model.name(), compute);
     let split_started = Instant::now();
     for ((job, out), latency) in jobs.iter().zip(outputs).zip(latencies) {
+        // Record remote spans *before* answering: the submitting thread
+        // is blocked on this channel, so its trace cannot finish until
+        // the spans are in the collector.
+        if let Some(ctx) = &job.ctx {
+            ctx.record_span("queue_wait", job.enqueued_at, started);
+            ctx.record_span("execute", started, done);
+            ctx.record_span("split_back", split_started, Instant::now());
+        }
         // A dropped receiver just means the caller stopped waiting.
         let _ = job.responder.send(InferenceOutput {
             payload: out,
@@ -234,6 +247,7 @@ mod tests {
                 responder: tx,
                 enqueued_at: Instant::now(),
                 cancelled: Arc::new(AtomicBool::new(false)),
+                ctx: None,
             },
             rx,
         )

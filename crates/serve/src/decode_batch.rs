@@ -44,7 +44,9 @@ use std::time::{Duration, Instant};
 use panacea_bitslice::VECTOR_LEN;
 use panacea_block::KvCache;
 use panacea_core::Workload;
-use panacea_telemetry::{Histogram, HistogramSnapshot, MetricRegistry};
+use panacea_telemetry::{
+    EventSeverity, FlightRecorder, Histogram, HistogramSnapshot, MetricRegistry, TraceContext,
+};
 use panacea_tensor::Matrix;
 
 use crate::session::{Session, Slot};
@@ -63,6 +65,9 @@ struct DecodeJob {
     hidden: Matrix<f32>,
     responder: mpsc::Sender<StepOutcome>,
     enqueued_at: Instant,
+    /// When present, the worker records `queue_wait` and a
+    /// link-annotated `decode_pass` span into this step's trace.
+    ctx: Option<TraceContext>,
 }
 
 #[derive(Debug)]
@@ -89,6 +94,9 @@ struct Shared {
     /// Optional dimensional registry: per-model windowed pass duration
     /// under (model, "decode", "fused_pass").
     dims: Option<MetricRegistry>,
+    /// Optional flight recorder: fused-pass formations land in the
+    /// event ring.
+    recorder: Option<FlightRecorder>,
 }
 
 /// The continuous-batching executor behind
@@ -106,8 +114,14 @@ impl DecodeBatcher {
     /// Spawns the batching worker. `max_batch` bounds a fused pass's
     /// total columns (at least the head step always dispatches);
     /// `max_wait` is the linger for batchmates; `dims`, when present,
-    /// receives per-model windowed fused-pass durations.
-    pub(crate) fn new(max_batch: usize, max_wait: Duration, dims: Option<MetricRegistry>) -> Self {
+    /// receives per-model windowed fused-pass durations; `recorder`,
+    /// when present, receives fused-pass formation events.
+    pub(crate) fn new(
+        max_batch: usize,
+        max_wait: Duration,
+        dims: Option<MetricRegistry>,
+        recorder: Option<FlightRecorder>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(BatchQueue {
                 queue: VecDeque::new(),
@@ -122,6 +136,7 @@ impl DecodeBatcher {
             pass: Histogram::new(),
             occupancy: Histogram::new(),
             dims,
+            recorder,
         });
         let worker = {
             let shared = Arc::clone(&shared);
@@ -144,6 +159,7 @@ impl DecodeBatcher {
         session: u64,
         slot: Arc<Slot>,
         hidden: Matrix<f32>,
+        ctx: Option<TraceContext>,
     ) -> mpsc::Receiver<StepOutcome> {
         let (tx, rx) = mpsc::channel();
         {
@@ -154,6 +170,7 @@ impl DecodeBatcher {
                 hidden,
                 responder: tx,
                 enqueued_at: Instant::now(),
+                ctx,
             });
         }
         self.shared.work_ready.notify_one();
@@ -306,10 +323,34 @@ fn execute_batch(jobs: Vec<DecodeJob>, shared: &Shared) {
             ((VECTOR_LEN - total % VECTOR_LEN) % VECTOR_LEN) as u64,
             Ordering::Relaxed,
         );
+        if let Some(recorder) = &shared.recorder {
+            recorder.record(
+                EventSeverity::Info,
+                "batch_formed",
+                format!("fused=decode sessions={} cols={total}", jobs.len()),
+            );
+        }
         let parts = out
             .split_cols(&segments)
             .expect("decode keeps one output column per input column");
+        // Trace ids of every traced step in this pass: each traced
+        // step's `decode_pass` span links to its batchmates' traces.
+        let traced_ids: Vec<u64> = jobs
+            .iter()
+            .filter_map(|j| j.ctx.as_ref().map(|c| c.trace_id()))
+            .collect();
         for ((job, part), tok) in jobs.into_iter().zip(parts).zip(tokens) {
+            // Spans land before the send: the stepping thread is blocked
+            // on this channel, so its trace cannot finish earlier.
+            if let Some(ctx) = &job.ctx {
+                ctx.record_span("queue_wait", job.enqueued_at, pass_started);
+                let links: Vec<u64> = traced_ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| id != ctx.trace_id())
+                    .collect();
+                ctx.record_span_linked("decode_pass", pass_started, now, links);
+            }
             // A dropped receiver just means the caller stopped waiting;
             // the session still advanced.
             let _ = job.responder.send((part, tok, wl));

@@ -13,7 +13,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use panacea_core::Workload;
-use panacea_telemetry::{Histogram, HistogramSnapshot, MetricRegistry, ShardedCounter};
+use panacea_telemetry::{
+    EventSeverity, FlightRecorder, Histogram, HistogramSnapshot, MetricRegistry, ShardedCounter,
+};
 
 /// A point-in-time copy of the runtime's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -102,6 +104,9 @@ pub struct Metrics {
     /// latencies are recorded under (model, "batch", "execute") in
     /// addition to the aggregate histograms above.
     dims: Option<MetricRegistry>,
+    /// Optional flight recorder: when present, batch formations land in
+    /// the event ring.
+    recorder: Option<FlightRecorder>,
 }
 
 impl Metrics {
@@ -110,6 +115,15 @@ impl Metrics {
     pub(crate) fn with_dims(dims: MetricRegistry) -> Self {
         Metrics {
             dims: Some(dims),
+            ..Metrics::default()
+        }
+    }
+
+    /// Metrics that record dimensions *and* flight-recorder events.
+    pub(crate) fn with_observability(dims: MetricRegistry, recorder: FlightRecorder) -> Self {
+        Metrics {
+            dims: Some(dims),
+            recorder: Some(recorder),
             ..Metrics::default()
         }
     }
@@ -147,6 +161,13 @@ impl Metrics {
         self.widest_batch
             .fetch_max(columns as u64, Ordering::Relaxed);
         self.execute.record_duration(compute);
+        if let Some(recorder) = &self.recorder {
+            recorder.record(
+                EventSeverity::Info,
+                "batch_formed",
+                format!("jobs={requests} cols={columns} padded={padded}"),
+            );
+        }
     }
 
     /// Records queued requests purged because their caller went away.

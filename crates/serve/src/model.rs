@@ -9,7 +9,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
+
+use panacea_telemetry::{EventSeverity, FlightRecorder};
 
 use panacea_bitslice::VECTOR_LEN;
 use panacea_block::{KvCache, QuantizedBlock};
@@ -693,12 +695,21 @@ impl PreparedModel {
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     models: RwLock<HashMap<String, Arc<PreparedModel>>>,
+    /// Optional flight recorder: registrations and re-registrations
+    /// land in the event ring once one is attached.
+    recorder: Mutex<Option<FlightRecorder>>,
 }
 
 impl ModelRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         ModelRegistry::default()
+    }
+
+    /// Attaches a flight recorder: subsequent (re-)registrations record
+    /// `model_register` / `model_reregister` events.
+    pub fn set_recorder(&self, recorder: FlightRecorder) {
+        *self.recorder.lock().expect("recorder slot poisoned") = Some(recorder);
     }
 
     /// Registers a prepared model under its name, returning the shared
@@ -713,10 +724,19 @@ impl ModelRegistry {
     /// *same* prepared instance, so N shards cost one preparation and
     /// one copy of the sliced weights.
     pub fn insert_shared(&self, model: Arc<PreparedModel>) -> Arc<PreparedModel> {
-        self.models
+        let replaced = self
+            .models
             .write()
             .expect("registry lock poisoned")
             .insert(model.name().to_string(), Arc::clone(&model));
+        if let Some(recorder) = &*self.recorder.lock().expect("recorder slot poisoned") {
+            let kind = if replaced.is_some() {
+                "model_reregister"
+            } else {
+                "model_register"
+            };
+            recorder.record(EventSeverity::Info, kind, format!("model={}", model.name()));
+        }
         model
     }
 

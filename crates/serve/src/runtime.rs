@@ -18,6 +18,8 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use panacea_telemetry::TraceContext;
+
 use crate::batch::{
     execute, head_model_cols, purge_cancelled, queue_is_single_model, take_batch, BatchPolicy, Job,
 };
@@ -67,6 +69,7 @@ impl Shared {
         self: &Arc<Self>,
         model: Arc<PreparedModel>,
         payload: Payload,
+        ctx: Option<TraceContext>,
     ) -> Result<Pending, ServeError> {
         model.validate(&payload)?;
         let (tx, rx) = mpsc::channel();
@@ -77,6 +80,7 @@ impl Shared {
             responder: tx,
             enqueued_at: Instant::now(),
             cancelled: Arc::clone(&cancelled),
+            ctx,
         };
         {
             let mut st = self.state.lock().expect("queue lock poisoned");
@@ -169,6 +173,21 @@ impl Runtime {
         Runtime::spawn(registry, config, Metrics::with_dims(dims))
     }
 
+    /// [`start_with_dims`](Self::start_with_dims) plus a flight
+    /// recorder: batch formations additionally land in the event ring.
+    pub fn start_with_observability(
+        registry: Arc<ModelRegistry>,
+        config: RuntimeConfig,
+        dims: panacea_telemetry::MetricRegistry,
+        recorder: panacea_telemetry::FlightRecorder,
+    ) -> Self {
+        Runtime::spawn(
+            registry,
+            config,
+            Metrics::with_observability(dims, recorder),
+        )
+    }
+
     fn spawn(registry: Arc<ModelRegistry>, config: RuntimeConfig, metrics: Metrics) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -236,7 +255,23 @@ impl Runtime {
         model: Arc<PreparedModel>,
         payload: impl Into<Payload>,
     ) -> Result<Pending, ServeError> {
-        self.shared.submit_to(model, payload.into())
+        self.shared.submit_to(model, payload.into(), None)
+    }
+
+    /// [`submit_to`](Self::submit_to) carrying a [`TraceContext`]: the
+    /// worker records `queue_wait` / `batch_form` / `execute` /
+    /// `split_back` spans into the submitting request's trace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit_to`].
+    pub fn submit_to_traced(
+        &self,
+        model: Arc<PreparedModel>,
+        payload: impl Into<Payload>,
+        ctx: Option<TraceContext>,
+    ) -> Result<Pending, ServeError> {
+        self.shared.submit_to(model, payload.into(), ctx)
     }
 
     /// Submits and blocks until the response arrives.
@@ -334,7 +369,7 @@ impl RuntimeHandle {
             .ok_or_else(|| ServeError::UnknownModel {
                 model: model.to_string(),
             })?;
-        self.shared.submit_to(resolved, payload.into())
+        self.shared.submit_to(resolved, payload.into(), None)
     }
 
     /// [`submit`](Self::submit) with an already-resolved model handle.
@@ -347,7 +382,22 @@ impl RuntimeHandle {
         model: Arc<PreparedModel>,
         payload: impl Into<Payload>,
     ) -> Result<Pending, ServeError> {
-        self.shared.submit_to(model, payload.into())
+        self.shared.submit_to(model, payload.into(), None)
+    }
+
+    /// [`submit_to`](Self::submit_to) carrying a [`TraceContext`] — see
+    /// [`Runtime::submit_to_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit_to`].
+    pub fn submit_to_traced(
+        &self,
+        model: Arc<PreparedModel>,
+        payload: impl Into<Payload>,
+        ctx: Option<TraceContext>,
+    ) -> Result<Pending, ServeError> {
+        self.shared.submit_to(model, payload.into(), ctx)
     }
 
     /// Submits and blocks until the response arrives.
@@ -523,6 +573,12 @@ fn worker_loop(shared: &Shared) {
             continue;
         };
         shared.metrics.record_batch_form(form_started.elapsed());
+        let form_done = Instant::now();
+        for job in &batch.jobs {
+            if let Some(ctx) = &job.ctx {
+                ctx.record_span("batch_form", form_started, form_done);
+            }
+        }
         let batch_cols: usize = batch.jobs.iter().map(|j| j.payload.cols()).sum();
         st.in_flight_cols += batch_cols;
         drop(st);

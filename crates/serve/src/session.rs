@@ -53,7 +53,9 @@ use std::time::{Duration, Instant};
 
 use panacea_block::KvCache;
 use panacea_core::Workload;
-use panacea_telemetry::{Histogram, HistogramSnapshot, MetricRegistry};
+use panacea_telemetry::{
+    EventSeverity, FlightRecorder, Histogram, HistogramSnapshot, MetricRegistry, TraceContext,
+};
 use panacea_tensor::Matrix;
 
 use crate::decode_batch::DecodeBatcher;
@@ -208,27 +210,46 @@ pub struct SessionManager {
     /// under (model, "decode", "step"), plus the batcher's fused-pass
     /// dimension.
     dims: Option<MetricRegistry>,
+    /// Optional flight recorder: session opens, closes, and evictions
+    /// land in the event ring.
+    recorder: Option<FlightRecorder>,
 }
 
 impl SessionManager {
     /// An empty manager enforcing `config`.
     pub fn new(config: SessionConfig) -> Self {
-        SessionManager::build(config, None)
+        SessionManager::build(config, None, None)
     }
 
     /// [`new`](Self::new) with a dimensional metric registry: steps
     /// record per-model windowed latency under (model, "decode",
     /// "step") and fused passes under (model, "decode", "fused_pass").
     pub fn with_dims(config: SessionConfig, dims: MetricRegistry) -> Self {
-        SessionManager::build(config, Some(dims))
+        SessionManager::build(config, Some(dims), None)
     }
 
-    fn build(config: SessionConfig, dims: Option<MetricRegistry>) -> Self {
+    /// [`with_dims`](Self::with_dims) plus a flight recorder: session
+    /// lifecycle (open/close/evict) and fused-pass formations land in
+    /// the event ring.
+    pub fn with_observability(
+        config: SessionConfig,
+        dims: MetricRegistry,
+        recorder: FlightRecorder,
+    ) -> Self {
+        SessionManager::build(config, Some(dims), Some(recorder))
+    }
+
+    fn build(
+        config: SessionConfig,
+        dims: Option<MetricRegistry>,
+        recorder: Option<FlightRecorder>,
+    ) -> Self {
         let batcher = (config.max_decode_batch > 1).then(|| {
             DecodeBatcher::new(
                 config.max_decode_batch,
                 config.decode_max_wait,
                 dims.clone(),
+                recorder.clone(),
             )
         });
         SessionManager {
@@ -242,6 +263,7 @@ impl SessionManager {
             batcher,
             step_latency: Histogram::new(),
             dims,
+            recorder,
         }
     }
 
@@ -275,10 +297,20 @@ impl SessionManager {
             bytes_per_token,
             accounted: AtomicUsize::new(0),
         });
-        let mut inner = self.inner.lock().expect("session map poisoned");
-        self.maybe_evict_idle_locked(&mut inner, Instant::now());
-        inner.sessions.insert(id, slot);
-        inner.counters.opened += 1;
+        let model_name = slot.model.name().to_string();
+        {
+            let mut inner = self.inner.lock().expect("session map poisoned");
+            self.maybe_evict_idle_locked(&mut inner, Instant::now());
+            inner.sessions.insert(id, slot);
+            inner.counters.opened += 1;
+        }
+        if let Some(recorder) = &self.recorder {
+            recorder.record(
+                EventSeverity::Info,
+                "session_open",
+                format!("session={id} model={model_name}"),
+            );
+        }
         Ok(id)
     }
 
@@ -325,6 +357,24 @@ impl SessionManager {
         &self,
         session: u64,
         hidden: &Matrix<f32>,
+    ) -> Result<(Matrix<f32>, usize, Workload), ServeError> {
+        self.step_traced(session, hidden, None)
+    }
+
+    /// [`step`](Self::step) carrying a [`TraceContext`]: when the step
+    /// rides a fused pass, the batching worker records `queue_wait` and
+    /// a `decode_pass` span (linked to its batchmates' traces) into the
+    /// submitting request's trace. Inline steps record no extra spans —
+    /// the caller's own span already covers them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Self::step).
+    pub fn step_traced(
+        &self,
+        session: u64,
+        hidden: &Matrix<f32>,
+        ctx: Option<TraceContext>,
     ) -> Result<(Matrix<f32>, usize, Workload), ServeError> {
         let now = Instant::now();
         let (slot, growth) = {
@@ -382,7 +432,7 @@ impl SessionManager {
                 // pass this step rides in. The worker holds the session
                 // lock for the pass and updates `last_used`.
                 Some(batcher) => batcher
-                    .submit(session, Arc::clone(&slot), hidden.clone())
+                    .submit(session, Arc::clone(&slot), hidden.clone(), ctx)
                     .recv()
                     .map_err(|_| ServeError::WorkerLost),
                 // Batching disabled (or a budget-filling chunk):
@@ -450,6 +500,13 @@ impl SessionManager {
         // Wait for an in-flight step *outside* the manager lock, so one
         // slow step being closed never stalls the whole shard.
         let tokens = slot.cell.lock().expect("session poisoned").kv.tokens();
+        if let Some(recorder) = &self.recorder {
+            recorder.record(
+                EventSeverity::Info,
+                "session_close",
+                format!("session={session} tokens={tokens}"),
+            );
+        }
         Ok(tokens)
     }
 
@@ -525,6 +582,13 @@ impl SessionManager {
             inner.sessions.remove(&id);
             inner.total_bytes = inner.total_bytes.saturating_sub(bytes);
             inner.counters.evicted_idle += 1;
+            if let Some(recorder) = &self.recorder {
+                recorder.record(
+                    EventSeverity::Warn,
+                    "session_evict",
+                    format!("session={id} reason=idle"),
+                );
+            }
         }
         n
     }
@@ -551,6 +615,13 @@ impl SessionManager {
             inner.sessions.remove(&id);
             inner.total_bytes = inner.total_bytes.saturating_sub(bytes);
             inner.counters.evicted_budget += 1;
+            if let Some(recorder) = &self.recorder {
+                recorder.record(
+                    EventSeverity::Warn,
+                    "session_evict",
+                    format!("session={id} reason=budget"),
+                );
+            }
         }
     }
 }

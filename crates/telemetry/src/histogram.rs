@@ -240,6 +240,22 @@ impl HistogramSnapshot {
         out
     }
 
+    /// The non-empty buckets as `(upper_bound, cumulative_count)`
+    /// pairs in ascending bound order — the shape a Prometheus
+    /// histogram exposition's `le` series needs. The final pair's
+    /// cumulative count equals [`count`](Self::count).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                cumulative += n;
+                out.push((bucket_upper_bound(i), cumulative));
+            }
+        }
+        out
+    }
+
     /// Mean of the recorded values; 0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -404,6 +420,23 @@ mod tests {
         assert!(empty.is_empty());
         assert_eq!(empty.max, 0);
         assert_eq!(empty.p99(), 0);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_total() {
+        let h = Histogram::with_shards(1);
+        for v in [1u64, 1, 5, 70, 70, 70, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let cum = s.cumulative_buckets();
+        assert_eq!(cum.len(), 4, "one entry per non-empty bucket");
+        for pair in cum.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "bounds ascend");
+            assert!(pair[0].1 < pair[1].1, "counts are strictly cumulative");
+        }
+        assert_eq!(cum.last().unwrap().1, s.count);
+        assert!(HistogramSnapshot::empty().cumulative_buckets().is_empty());
     }
 
     #[test]

@@ -21,11 +21,23 @@
 //!   through the serving stack.
 //! * [`SloConfig`] — declarative latency/error/shed budgets evaluated
 //!   over windows into a burn-rate [`HealthReport`].
+//! * [`TraceContext`] — the portable slice of an in-flight trace that
+//!   crosses thread boundaries, so queue waits and fused decode passes
+//!   recorded on worker threads merge back into the request's span
+//!   tree.
+//! * [`FlightRecorder`] — a bounded ring of structured operational
+//!   events with severity and wall-clock anchors, plus a pinned
+//!   [`IncidentSnapshot`] frozen when SLO health flips.
+//! * [`PrometheusText`] / [`jsonl_metrics_line`] — text exposition and
+//!   JSONL exporters over the registry and stage histograms.
 //!
 //! Everything here is designed to be cheap enough to leave on in
 //! production: recording is a handful of `Relaxed` atomic operations
 //! (histograms, counters) or request-local `Vec` pushes (spans).
 
+pub mod context;
+pub mod events;
+pub mod export;
 pub mod histogram;
 pub mod registry;
 pub mod slo;
@@ -34,6 +46,9 @@ pub mod window;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+pub use context::TraceContext;
+pub use events::{unix_ms_now, Event, EventSeverity, FlightRecorder, IncidentSnapshot};
+pub use export::{escape_label_value, jsonl_metrics_line, sanitize_metric_name, PrometheusText};
 pub use histogram::{Histogram, HistogramSnapshot, LINEAR_MAX, NUM_BUCKETS, SUB_BUCKETS};
 pub use registry::{DimCell, DimWindow, MetricKey, MetricRegistry, STAGE_REQUEST};
 pub use slo::{HealthReport, SloConfig, SloStatus, SloTarget, TargetReport};

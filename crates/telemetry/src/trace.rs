@@ -8,11 +8,20 @@
 //! whose total duration reaches the configured slow threshold are
 //! additionally pinned into a separate slow ring so they survive
 //! retrieval even under high request rates.
+//!
+//! Work that happens on *other* threads (batch workers, the decode
+//! batcher) records spans through a [`TraceContext`] obtained from
+//! [`Tracer::context`]; `finish` merges those remote spans into the
+//! trace, re-parented under the builder span the context named. See
+//! the [`context`](crate::context) module.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::context::{SpanCollector, TraceContext};
+use crate::events::unix_ms_now;
 
 /// Tracer knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +71,10 @@ pub struct Span {
     pub start_us: u64,
     /// Span duration in microseconds.
     pub dur_us: u64,
+    /// Ids of *other traces* this span participated in — non-empty
+    /// only for shared work like a fused decode pass, where one span
+    /// links to every co-batched request's trace.
+    pub links: Vec<u64>,
 }
 
 /// A finished request trace: the root verb plus its span tree.
@@ -71,6 +84,9 @@ pub struct Trace {
     pub id: TraceId,
     /// The request verb the root span covers.
     pub verb: &'static str,
+    /// Wall-clock anchor: milliseconds since the Unix epoch at the
+    /// moment the trace began. Span offsets are relative to this.
+    pub unix_ms: u64,
     /// Total request duration in microseconds.
     pub total_us: u64,
     /// Spans in start order; index 0 is the root.
@@ -84,6 +100,7 @@ pub struct TraceBuilder {
     id: TraceId,
     verb: &'static str,
     started: Instant,
+    unix_ms: u64,
     spans: Vec<Span>,
 }
 
@@ -97,12 +114,14 @@ impl TraceBuilder {
             id,
             verb,
             started: Instant::now(),
+            unix_ms: unix_ms_now(),
             spans: vec![Span {
                 id: ROOT_SPAN,
                 parent: None,
                 stage: verb,
                 start_us: 0,
                 dur_us: 0,
+                links: Vec::new(),
             }],
         }
     }
@@ -127,6 +146,7 @@ impl TraceBuilder {
             stage,
             start_us,
             dur_us: 0,
+            links: Vec::new(),
         });
         id
     }
@@ -155,6 +175,7 @@ pub struct Tracer {
     config: TraceConfig,
     recent: Mutex<VecDeque<Trace>>,
     slow: Mutex<VecDeque<Trace>>,
+    pending: SpanCollector,
 }
 
 impl Default for Tracer {
@@ -170,6 +191,7 @@ impl Tracer {
             config,
             recent: Mutex::new(VecDeque::with_capacity(config.ring_capacity.min(1024))),
             slow: Mutex::new(VecDeque::with_capacity(config.slow_capacity.min(1024))),
+            pending: SpanCollector::default(),
         }
     }
 
@@ -183,6 +205,32 @@ impl Tracer {
         TraceBuilder::new(verb)
     }
 
+    /// Opens a [`TraceContext`] for `builder` so other threads can
+    /// record spans parented under `parent_span` (a span id from this
+    /// builder). The remote spans are merged into the trace when
+    /// [`finish`](Self::finish) runs; spans recorded after that are
+    /// dropped.
+    pub fn context(&self, builder: &TraceBuilder, parent_span: u64) -> TraceContext {
+        let trace_id = builder.id.get();
+        self.pending
+            .lock()
+            .expect("span collector poisoned")
+            .entry(trace_id)
+            .or_default();
+        TraceContext::new(
+            trace_id,
+            parent_span,
+            builder.started,
+            Arc::clone(&self.pending),
+        )
+    }
+
+    /// How many traces currently have an open remote-span collector
+    /// entry — useful for asserting contexts don't leak.
+    pub fn pending_contexts(&self) -> usize {
+        self.pending.lock().expect("span collector poisoned").len()
+    }
+
     /// Finishes a trace: stamps the root span, appends to the recent
     /// ring, and pins it to the slow ring if it met the threshold.
     /// Returns the total duration.
@@ -190,9 +238,32 @@ impl Tracer {
         let total = builder.started.elapsed();
         let total_us = u64::try_from(total.as_micros()).unwrap_or(u64::MAX);
         builder.spans[ROOT_SPAN as usize].dur_us = total_us;
+        let remote = self
+            .pending
+            .lock()
+            .expect("span collector poisoned")
+            .remove(&builder.id.get());
+        if let Some(remote) = remote {
+            // Remote spans append after every builder span, so their
+            // parent (a builder span index) always precedes them;
+            // offsets clamp into the trace window in case a worker's
+            // clock reading raced the finish.
+            for r in remote {
+                let id = builder.spans.len() as u64;
+                builder.spans.push(Span {
+                    id,
+                    parent: Some(r.parent.min(id.saturating_sub(1))),
+                    stage: r.stage,
+                    start_us: r.start_us.min(total_us),
+                    dur_us: r.dur_us.min(total_us),
+                    links: r.links,
+                });
+            }
+        }
         let trace = Trace {
             id: builder.id,
             verb: builder.verb,
+            unix_ms: builder.unix_ms,
             total_us,
             spans: builder.spans,
         };
@@ -248,6 +319,7 @@ mod tests {
         assert_eq!(traces.len(), 1);
         let t = &traces[0];
         assert_eq!(t.verb, "infer");
+        assert!(t.unix_ms > 0, "traces carry a wall-clock anchor");
         assert_eq!(t.spans[0].stage, "infer");
         assert_eq!(t.spans[0].parent, None);
         assert_eq!(t.spans.len(), 4);
