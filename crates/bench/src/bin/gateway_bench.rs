@@ -35,8 +35,8 @@ use std::time::{Duration, Instant};
 
 use panacea_gateway::testutil::{block_model, hidden, models};
 use panacea_gateway::{
-    AdmissionConfig, CacheConfig, Gateway, GatewayClient, GatewayConfig, GatewayServer, SloConfig,
-    SloStatus, SloTarget,
+    AdmissionConfig, CacheConfig, Gateway, GatewayClient, GatewayConfig, GatewayServer, IoModel,
+    ServerConfig, SloConfig, SloStatus, SloTarget,
 };
 use panacea_serve::{BatchPolicy, RuntimeConfig};
 use serde_json::{json, Value};
@@ -455,6 +455,212 @@ fn run_export(smoke: bool) -> Value {
     })
 }
 
+/// C10K gates. The reactor's whole point is that thread count stays
+/// O(workers) while connections scale — so the server-side thread
+/// growth under hundreds of idle sessions is a hard bound, not a
+/// recording. The latency gate compares the reactor against the
+/// threaded baseline at the nominal client levels; best-of-3 per arm
+/// plus a small absolute slack absorbs single-core scheduler noise on
+/// samples this small without hiding a real regression.
+const C10K_MAX_IO_THREAD_FACTOR: usize = 2;
+const C10K_P99_RATIO: f64 = 1.15;
+const C10K_P99_SLACK_US: f64 = 2_000.0;
+const C10K_TRIALS: usize = 3;
+
+/// Thread count of this process from `/proc/self/status`. The bench
+/// opens its idle sessions from the main thread, so any growth between
+/// two readings is server-side spawning.
+fn proc_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .expect("read Threads: from /proc/self/status")
+}
+
+/// Open file descriptors of this process (`/proc/self/fd` entry count).
+fn proc_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|d| d.count())
+        .expect("read /proc/self/fd")
+}
+
+/// One nominal-load trial against a fresh server under the given io
+/// model, returning the client-side infer p99 in microseconds.
+fn nominal_infer_p99(io_model: IoModel, clients: usize, requests: usize) -> f64 {
+    let gateway = nominal_gateway();
+    let mut server = GatewayServer::bind_with(
+        gateway,
+        "127.0.0.1:0",
+        ServerConfig {
+            io_model,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let out = run_level(server.local_addr(), clients, requests);
+    server.shutdown();
+    quantile_us(&out.infer_us, 0.99)
+}
+
+/// The `--c10k` phase: hold hundreds of mostly-idle decode sessions
+/// open on one reactor-model server while a mixed infer/decode load
+/// runs through it, and prove the resource story — file descriptors
+/// scale with connections, threads do not. Then race the reactor
+/// against the threaded transport at the nominal client levels and
+/// gate the p99 regression.
+fn run_c10k(smoke: bool, levels: &[usize]) -> Value {
+    let sessions = if smoke { 160 } else { 512 };
+    let active_clients = 8;
+    let active_requests = if smoke { 8 } else { 30 };
+    let compare_requests = if smoke { 12 } else { 30 };
+    let nofile = sys_poll::raise_nofile_limit().expect("raise RLIMIT_NOFILE");
+    assert!(
+        nofile as usize > 2 * sessions + 64,
+        "nofile limit {nofile} too low for {sessions} sessions"
+    );
+
+    let gateway = nominal_gateway();
+    let workers = ServerConfig::default().reactor_workers;
+    let threads_before = proc_threads();
+    let fds_before = proc_fds();
+    let mut server = GatewayServer::bind_with(
+        Arc::clone(&gateway),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: sessions + 64,
+            io_model: IoModel::Reactor,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Mostly-idle sessions: each one connects, opens a KV session,
+    // decodes a single token, then sits idle for the rest of the phase
+    // — the long-lived-client shape the reactor exists for. Opened
+    // sequentially from this thread, so the thread-count delta below
+    // is the server's alone.
+    let mut idle = Vec::with_capacity(sessions);
+    for i in 0..sessions {
+        let mut client = GatewayClient::connect(addr).expect("connect idle session");
+        let open = client.session_open(BLOCK_MODEL).expect("session open");
+        client
+            .decode(open.session, hidden(BLOCK_D_MODEL, 1, 7_000_000 + i))
+            .expect("first decode step");
+        idle.push((client, open.session));
+    }
+    let threads_idle = proc_threads();
+    let fds_idle = proc_fds();
+    let io_threads = threads_idle.saturating_sub(threads_before);
+    assert!(
+        io_threads <= C10K_MAX_IO_THREAD_FACTOR * workers,
+        "{sessions} idle connections grew {io_threads} server threads \
+         (gate {C10K_MAX_IO_THREAD_FACTOR}x {workers} workers) — \
+         thread count is scaling with connections"
+    );
+    assert!(
+        fds_idle - fds_before >= 2 * sessions,
+        "fd count grew only {} for {sessions} loopback sessions",
+        fds_idle - fds_before
+    );
+
+    let mut probe = GatewayClient::connect(addr).expect("connect probe");
+    let stats = probe.stats().expect("stats");
+    assert!(
+        stats.connections.open as usize > sessions,
+        "gateway reports {} open connections with {sessions} sessions held",
+        stats.connections.open
+    );
+    assert_eq!(
+        stats.connections.evicted, 0,
+        "idle sessions were evicted under no pressure"
+    );
+
+    // Mixed active load riding on top of the idle mass: the reactor is
+    // polling ~all those registered fds every iteration while these
+    // clients need answers.
+    let active = run_level(addr, active_clients, active_requests);
+    let active_infer_p50 = quantile_us(&active.infer_us, 0.50);
+    let active_infer_p99 = quantile_us(&active.infer_us, 0.99);
+    let active_decode_p50 = quantile_us(&active.decode_us, 0.50);
+    let active_decode_p99 = quantile_us(&active.decode_us, 0.99);
+
+    let stats_after = probe.stats().expect("stats after active load");
+    assert_eq!(
+        stats_after.sheds.total(),
+        0,
+        "active load shed requests under the idle-session mass"
+    );
+    // Every idle session still answers after the storm.
+    for (client, session) in &mut idle {
+        client
+            .decode(*session, hidden(BLOCK_D_MODEL, 1, 8_000_000))
+            .expect("idle session still serves after active load");
+    }
+    for (mut client, session) in idle {
+        client.session_close(session).expect("session close");
+    }
+    drop(probe);
+    server.shutdown();
+    println!(
+        "c10k: {sessions} idle sessions on {io_threads} server threads \
+         ({} fds), active p99 infer {active_infer_p99:.1}µs / \
+         decode {active_decode_p99:.1}µs ✓",
+        fds_idle - fds_before
+    );
+
+    // Reactor-vs-threaded latency at the nominal levels.
+    let mut comparisons: Vec<Value> = Vec::new();
+    for &clients in levels {
+        let best = |io_model: IoModel| {
+            (0..C10K_TRIALS)
+                .map(|_| nominal_infer_p99(io_model, clients, compare_requests))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let threaded_p99 = best(IoModel::Threaded);
+        let reactor_p99 = best(IoModel::Reactor);
+        let ratio = reactor_p99 / threaded_p99;
+        println!(
+            "c10k compare {clients:>2} clients: threaded p99 {threaded_p99:>9.1}µs  \
+             reactor p99 {reactor_p99:>9.1}µs  ratio {ratio:.3}"
+        );
+        assert!(
+            reactor_p99 <= threaded_p99 * C10K_P99_RATIO + C10K_P99_SLACK_US,
+            "reactor infer p99 {reactor_p99:.1}µs regressed past the threaded \
+             baseline {threaded_p99:.1}µs at {clients} clients \
+             (gate {C10K_P99_RATIO}x + {C10K_P99_SLACK_US}µs)"
+        );
+        comparisons.push(json!({
+            "clients": clients,
+            "threaded_infer_p99_us": threaded_p99,
+            "reactor_infer_p99_us": reactor_p99,
+            "ratio": ratio,
+        }));
+    }
+    println!("c10k gates: threads O(workers), reactor p99 within {C10K_P99_RATIO}x threaded ✓");
+
+    json!({
+        "sessions": sessions,
+        "nofile_limit": nofile,
+        "reactor_workers": workers,
+        "server_io_threads": io_threads,
+        "fds_added": fds_idle - fds_before,
+        "open_connections": stats.connections.open,
+        "peak_connections": stats_after.connections.peak,
+        "evicted_connections": stats_after.connections.evicted,
+        "active_infer_p50_us": active_infer_p50,
+        "active_infer_p99_us": active_infer_p99,
+        "active_decode_p50_us": active_decode_p50,
+        "active_decode_p99_us": active_decode_p99,
+        "io_model_comparison": Value::Array(comparisons),
+    })
+}
+
 fn main() {
     let smoke = smoke();
     let levels: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8] };
@@ -574,6 +780,12 @@ fn main() {
         Value::Null
     };
 
+    let connections = if std::env::args().any(|a| a == "--c10k") {
+        run_c10k(smoke, levels)
+    } else {
+        Value::Null
+    };
+
     let report = json!({
         "bench": "gateway_load",
         "mode": if smoke { "smoke" } else { "full" },
@@ -588,6 +800,7 @@ fn main() {
             "health": status,
         }),
         "export": export,
+        "connections": connections,
     });
     let encoded = serde_json::to_string(&report).expect("shim serializer never fails");
     std::fs::write("BENCH_gateway.json", &encoded).expect("write BENCH_gateway.json");

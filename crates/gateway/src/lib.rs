@@ -58,6 +58,7 @@ use panacea_serve::ServeError;
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
 pub use cache::{CacheConfig, CacheStats, CachedOutput, RequestCache};
 pub use client::GatewayClient;
+pub use panacea_netcore::{ConnectionCounters, ConnectionStats};
 pub use panacea_serve::{OverloadReason, Payload, PayloadKind, SessionConfig, SessionStats};
 pub use panacea_telemetry::{
     jsonl_metrics_line, unix_ms_now, Event, EventSeverity, FlightRecorder, HealthReport,
@@ -70,7 +71,7 @@ pub use protocol::{
     ShardStats, ShedStats, SpanSummary, StageSummary, TraceKind, TraceReply, TraceSummary,
 };
 pub use router::ShardRouter;
-pub use server::{Gateway, GatewayConfig, GatewayServer, ServerConfig};
+pub use server::{Gateway, GatewayConfig, GatewayServer, IoModel, ServerConfig};
 
 /// Errors surfaced by the gateway layer (client or server side).
 #[derive(Debug)]

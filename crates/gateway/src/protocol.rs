@@ -41,6 +41,7 @@
 
 use std::time::Duration;
 
+use panacea_netcore::ConnectionStats;
 use panacea_serve::Payload;
 use panacea_telemetry::{
     Event, EventSeverity, HealthReport, IncidentSnapshot, MetricKey, SloStatus, TargetReport,
@@ -336,6 +337,9 @@ pub struct GatewayStats {
     pub admission: AdmissionStats,
     /// Overload sheds by reason, counted at the gateway's public verbs.
     pub sheds: ShedStats,
+    /// Transport-level connection gauges (open, peak, evicted),
+    /// whichever io model is serving.
+    pub connections: ConnectionStats,
     /// Milliseconds since the gateway started.
     pub uptime_ms: u64,
     /// Monotonic snapshot sequence number: strictly increases with
@@ -903,6 +907,11 @@ fn stats_to_value(stats: &GatewayStats) -> Value {
             "queue_wait": stats.sheds.queue_wait,
             "kv_budget": stats.sheds.kv_budget,
         }),
+        "connections": json!({
+            "open": stats.connections.open,
+            "peak": stats.connections.peak,
+            "evicted": stats.connections.evicted,
+        }),
     })
 }
 
@@ -916,6 +925,7 @@ fn value_to_stats(v: &Value) -> Result<GatewayStats, GatewayError> {
     let cache = field(v, "cache")?;
     let admission = field(v, "admission")?;
     let sheds = field(v, "sheds")?;
+    let connections = field(v, "connections")?;
     Ok(GatewayStats {
         shards,
         cache: CacheStats {
@@ -934,6 +944,11 @@ fn value_to_stats(v: &Value) -> Result<GatewayStats, GatewayError> {
             in_flight: u64_field(sheds, "in_flight")?,
             queue_wait: u64_field(sheds, "queue_wait")?,
             kv_budget: u64_field(sheds, "kv_budget")?,
+        },
+        connections: ConnectionStats {
+            open: u64_field(connections, "open")?,
+            peak: u64_field(connections, "peak")?,
+            evicted: u64_field(connections, "evicted")?,
         },
         uptime_ms: u64_field(v, "uptime_ms")?,
         seq: u64_field(v, "seq")?,
@@ -1546,6 +1561,11 @@ mod tests {
                 in_flight: 2,
                 queue_wait: 1,
                 kv_budget: 4,
+            },
+            connections: ConnectionStats {
+                open: 3,
+                peak: 9,
+                evicted: 2,
             },
             uptime_ms: 98_765,
             seq: 17,

@@ -2,21 +2,33 @@
 //! admission — plus the blocking TCP server that exposes it.
 //!
 //! [`Gateway`] is the transport-free core (handy for in-process use and
-//! tests); [`GatewayServer`] wraps it in a `TcpListener` with one
-//! acceptor thread and one handler thread per connection, bounded by
-//! [`ServerConfig::max_connections`] so peers cannot force unbounded
-//! thread creation. Handlers use
-//! short read timeouts so shutdown never hangs on an idle socket, and
-//! dropping the server stops the acceptor, joins every handler, and then
-//! shuts the shards down cleanly (drain, join workers).
+//! tests); [`GatewayServer`] wraps it in a `TcpListener` served by one
+//! of two [`IoModel`]s, both bounded by
+//! [`ServerConfig::max_connections`]:
+//!
+//! * [`IoModel::Reactor`] (the default) — a `poll(2)` readiness loop
+//!   from `panacea-netcore` multiplexing every connection on one
+//!   thread, with a fixed worker pool executing requests. Threads stay
+//!   O(workers) at any connection count.
+//! * [`IoModel::Threaded`] — one blocking handler thread per
+//!   connection. Shutdown is wakeup-driven (Condvar plus socket
+//!   half-close), not poll-interval-driven.
+//!
+//! Either way, dropping the server stops accepting, drains or
+//! disconnects live connections, and joins every server thread.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use panacea_netcore::{
+    ConnObserver, ConnStage, ConnectionCounters, EvictReason, Reactor, ReactorConfig,
+    Service as NetService,
+};
 use panacea_serve::{
     OverloadReason, Payload, PreparedModel, RuntimeConfig, ServeError, SessionConfig,
     SessionManager,
@@ -148,6 +160,7 @@ pub struct Gateway {
     slo: SloConfig,
     sheds: ShedCounters,
     recorder: FlightRecorder,
+    conns: ConnectionCounters,
     /// The health verdict as of the last `health()` evaluation —
     /// transition detection is evaluation-point-driven: a flip is
     /// noticed (and an incident pinned) when health is next *asked*,
@@ -190,6 +203,7 @@ impl Gateway {
             slo: config.slo,
             sheds: ShedCounters::default(),
             recorder,
+            conns: ConnectionCounters::default(),
             last_status: Mutex::new(SloStatus::Ok),
         }
     }
@@ -596,9 +610,16 @@ impl Gateway {
             cache: self.cache.stats(),
             admission: self.admission.stats(),
             sheds: self.sheds.snapshot(),
+            connections: self.conns.snapshot(),
             uptime_ms: self.uptime_ms(),
             seq: self.next_seq(),
         }
+    }
+
+    /// The transport-level connection gauges this gateway's server (of
+    /// either io model) updates and the `stats` verb reports.
+    pub fn connections(&self) -> &ConnectionCounters {
+        &self.conns
     }
 
     fn uptime_ms(&self) -> u64 {
@@ -884,41 +905,262 @@ fn error_kind(e: &ServeError) -> ErrorKind {
     }
 }
 
-/// How often blocked reads wake to check the shutdown flag.
+/// Bound on accept-failure backoff, and the pacing unit a couple of
+/// transport tests reuse. Sleeps against it are Condvar waits that
+/// shutdown interrupts immediately — nothing busy-polls at this
+/// interval anymore.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Largest accepted request line; a connection streaming more without a
+/// newline is answered with an error and closed, bounding per-connection
+/// memory.
+const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Bound on how long a response write may stall on a non-reading client
+/// before the connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Upper bound on the reactor's shutdown drain (in-flight requests
+/// completing and flushing) before survivors are force-evicted.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Which transport serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// One blocking handler thread per connection: threads grow with
+    /// connections. Simple, and still available for comparison runs.
+    Threaded,
+    /// One `poll(2)` reactor thread multiplexing every connection, with
+    /// a fixed worker pool executing requests: threads stay O(workers)
+    /// however many connections are open. The default.
+    Reactor,
+}
+
+impl IoModel {
+    /// Reads `PANACEA_IO_MODEL` (`"threaded"` / `"reactor"`), defaulting
+    /// to [`IoModel::Reactor`] when unset or unrecognized.
+    pub fn from_env() -> IoModel {
+        match std::env::var("PANACEA_IO_MODEL").as_deref() {
+            Ok("threaded") => IoModel::Threaded,
+            _ => IoModel::Reactor,
+        }
+    }
+
+    /// Stable spelling (matches the `PANACEA_IO_MODEL` values).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoModel::Threaded => "threaded",
+            IoModel::Reactor => "reactor",
+        }
+    }
+}
 
 /// Transport-level knobs for [`GatewayServer`] (distinct from
 /// [`GatewayConfig`], which sizes the transport-free [`Gateway`] core).
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Maximum simultaneously connected clients, each served by one
-    /// handler thread. Connections past the bound are answered with one
-    /// [`ErrorKind::Overloaded`] error line and closed, so an untrusted
-    /// peer opening sockets cannot force unbounded thread creation.
+    /// Maximum simultaneously connected clients. Connections past the
+    /// bound are answered with one [`ErrorKind::Overloaded`] error line
+    /// and closed, so an untrusted peer opening sockets cannot force
+    /// unbounded resource use.
     pub max_connections: usize,
+    /// Which transport serves connections. Defaults to
+    /// [`IoModel::from_env`] — reactor unless `PANACEA_IO_MODEL`
+    /// says otherwise.
+    pub io_model: IoModel,
+    /// Request-execution worker threads under [`IoModel::Reactor`]
+    /// (ignored by the threaded model, whose handler threads do their
+    /// own execution).
+    pub reactor_workers: usize,
+    /// Reactor write backlog (bytes) above which a connection stops
+    /// being read from and dispatched until the peer drains.
+    pub max_write_backlog: usize,
+    /// How long a response write may make zero progress on a
+    /// non-reading client before the connection is evicted. Under the
+    /// threaded model this is the socket write timeout.
+    pub write_stall_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             max_connections: 1024,
+            io_model: IoModel::from_env(),
+            reactor_workers: 4,
+            max_write_backlog: 4 << 20,
+            write_stall_timeout: WRITE_TIMEOUT,
         }
     }
 }
 
-/// A blocking TCP front-end over a shared [`Gateway`].
+/// The [`panacea_netcore::Service`] gluing the reactor to the gateway:
+/// parse (timed into the `parse` stage histogram) → handle → encode.
+struct GatewayService {
+    gateway: Arc<Gateway>,
+}
+
+impl NetService for GatewayService {
+    fn serve(&self, line: &str) -> String {
+        let parse_started = Instant::now();
+        let decoded = decode_request(line);
+        self.gateway.record_parse(parse_started.elapsed());
+        let response = match decoded {
+            Ok(request) => self.gateway.handle(request),
+            Err(e) => Response::Error {
+                kind: ErrorKind::BadRequest,
+                message: e.to_string(),
+            },
+        };
+        encode_response(&response)
+    }
+
+    fn bad_request(&self, detail: &str) -> String {
+        encode_response(&Response::Error {
+            kind: ErrorKind::BadRequest,
+            message: detail.to_string(),
+        })
+    }
+
+    fn overloaded(&self, detail: &str) -> String {
+        encode_response(&Response::Error {
+            kind: ErrorKind::Overloaded,
+            message: detail.to_string(),
+        })
+    }
+}
+
+/// Connection-lifecycle telemetry shared by both io models: flight
+/// recorder events for open/close/evict, and per-stage latencies under
+/// the `(model="-", verb="conn", stage=accept|read|write|dispatch)`
+/// dims.
+struct GatewayConnObserver {
+    gateway: Arc<Gateway>,
+}
+
+impl ConnObserver for GatewayConnObserver {
+    fn conn_open(&self, open_now: u64) {
+        self.gateway.recorder().record(
+            EventSeverity::Info,
+            "conn_open",
+            format!("open={open_now}"),
+        );
+    }
+
+    fn conn_close(&self, open_now: u64) {
+        self.gateway.recorder().record(
+            EventSeverity::Info,
+            "conn_close",
+            format!("open={open_now}"),
+        );
+    }
+
+    fn conn_evict(&self, reason: EvictReason, open_now: u64) {
+        self.gateway.recorder().record(
+            EventSeverity::Warn,
+            "conn_evict",
+            format!("reason={} open={open_now}", reason.as_str()),
+        );
+    }
+
+    fn stage_time(&self, stage: ConnStage, elapsed: Duration) {
+        self.gateway
+            .dims()
+            .cell("-", "conn", stage.as_str())
+            .record_latency(elapsed);
+    }
+}
+
+/// A TCP front-end over a shared [`Gateway`], serving with whichever
+/// [`IoModel`] the [`ServerConfig`] selects.
 #[derive(Debug)]
 pub struct GatewayServer {
     gateway: Arc<Gateway>,
     local_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    transport: Transport,
+}
+
+enum Transport {
+    Threaded {
+        shared: Arc<ThreadedShared>,
+        acceptor: Option<JoinHandle<()>>,
+    },
+    Reactor(Option<Reactor>),
+}
+
+impl std::fmt::Debug for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transport::Threaded { .. } => f.write_str("Transport::Threaded"),
+            Transport::Reactor(_) => f.write_str("Transport::Reactor"),
+        }
+    }
+}
+
+/// State the threaded transport shares between the acceptor, its
+/// handler threads, and shutdown: the stop flag, a Condvar making every
+/// backoff sleep interruptible, and read-half clones of live
+/// connections so shutdown can `shutdown(2)` blocked reads awake
+/// instead of having handlers poll a flag on short read timeouts.
+#[derive(Debug, Default)]
+struct ThreadedShared {
+    stop: AtomicBool,
+    sleep_lock: Mutex<()>,
+    stop_cv: Condvar,
+    registry: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ThreadedShared {
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Sleeps up to `d`; returns whether shutdown has been triggered
+    /// (which also interrupts the sleep immediately).
+    fn backoff(&self, d: Duration) -> bool {
+        let guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+        if self.stopped() {
+            return true;
+        }
+        let _ = self.stop_cv.wait_timeout(guard, d);
+        self.stopped()
+    }
+
+    /// Triggers shutdown: flips the flag, wakes every backoff sleeper,
+    /// and half-closes every registered connection so blocked reads
+    /// return EOF at once.
+    fn trigger(&self) {
+        self.stop.store(true, Ordering::Release);
+        {
+            let _guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+            self.stop_cv.notify_all();
+        }
+        let registry = self.registry.lock().expect("registry poisoned");
+        for stream in registry.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Registers a connection for shutdown wakeup; refuses (returning
+    /// `false`) once shutdown has been triggered, closing the race
+    /// where a handler would otherwise register just after the trigger
+    /// swept the registry.
+    fn register(&self, id: u64, stream: TcpStream) -> bool {
+        let mut registry = self.registry.lock().expect("registry poisoned");
+        if self.stopped() {
+            return false;
+        }
+        registry.insert(id, stream);
+        true
+    }
+
+    fn deregister(&self, id: u64) {
+        self.registry.lock().expect("registry poisoned").remove(&id);
+    }
 }
 
 impl GatewayServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections, one handler thread per connection, with
-    /// the default [`ServerConfig`] connection bound.
+    /// serving with the default [`ServerConfig`].
     ///
     /// # Errors
     ///
@@ -931,7 +1173,7 @@ impl GatewayServer {
     ///
     /// # Errors
     ///
-    /// Propagates socket bind failures.
+    /// Propagates socket bind and reactor setup failures.
     pub fn bind_with(
         gateway: Arc<Gateway>,
         addr: impl ToSocketAddrs,
@@ -939,20 +1181,48 @@ impl GatewayServer {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let acceptor = {
-            let gateway = Arc::clone(&gateway);
-            let stop = Arc::clone(&stop);
-            thread::Builder::new()
-                .name("panacea-gateway-accept".to_string())
-                .spawn(move || accept_loop(&listener, &gateway, &stop, config))
-                .expect("spawn acceptor")
+        let transport = match config.io_model {
+            IoModel::Reactor => {
+                let reactor = Reactor::spawn(
+                    listener,
+                    Arc::new(GatewayService {
+                        gateway: Arc::clone(&gateway),
+                    }),
+                    Arc::new(GatewayConnObserver {
+                        gateway: Arc::clone(&gateway),
+                    }),
+                    gateway.connections().clone(),
+                    ReactorConfig {
+                        max_connections: config.max_connections.max(1),
+                        workers: config.reactor_workers,
+                        max_line_bytes: MAX_LINE_BYTES,
+                        max_write_backlog: config.max_write_backlog,
+                        write_stall_timeout: config.write_stall_timeout,
+                        drain_timeout: DRAIN_TIMEOUT,
+                    },
+                )?;
+                Transport::Reactor(Some(reactor))
+            }
+            IoModel::Threaded => {
+                let shared = Arc::new(ThreadedShared::default());
+                let acceptor = {
+                    let gateway = Arc::clone(&gateway);
+                    let shared = Arc::clone(&shared);
+                    thread::Builder::new()
+                        .name("panacea-gateway-accept".to_string())
+                        .spawn(move || accept_loop(&listener, &gateway, &shared, config))
+                        .expect("spawn acceptor")
+                };
+                Transport::Threaded {
+                    shared,
+                    acceptor: Some(acceptor),
+                }
+            }
         };
         Ok(GatewayServer {
             gateway,
             local_addr,
-            stop,
-            acceptor: Some(acceptor),
+            transport,
         })
     }
 
@@ -966,24 +1236,34 @@ impl GatewayServer {
         &self.gateway
     }
 
-    /// Stops accepting, disconnects idle handlers, and joins every
-    /// server thread. Idempotent; also invoked by `Drop`.
+    /// Stops accepting, drains or disconnects live connections, and
+    /// joins every server thread. Idempotent; also invoked by `Drop`.
     pub fn shutdown(&mut self) {
-        let Some(acceptor) = self.acceptor.take() else {
-            return;
-        };
-        self.stop.store(true, Ordering::Release);
-        // Unblock the acceptor with a throwaway connection. A wildcard
-        // bind address is not connectable, so nudge via loopback.
-        let mut nudge_addr = self.local_addr;
-        if nudge_addr.ip().is_unspecified() {
-            nudge_addr.set_ip(match nudge_addr {
-                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
+        match &mut self.transport {
+            Transport::Reactor(reactor) => {
+                if let Some(mut r) = reactor.take() {
+                    r.shutdown();
+                }
+            }
+            Transport::Threaded { shared, acceptor } => {
+                let Some(handle) = acceptor.take() else {
+                    return;
+                };
+                shared.trigger();
+                // Unblock the acceptor with a throwaway connection. A
+                // wildcard bind address is not connectable, so nudge
+                // via loopback.
+                let mut nudge_addr = self.local_addr;
+                if nudge_addr.ip().is_unspecified() {
+                    nudge_addr.set_ip(match nudge_addr {
+                        SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                        SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                    });
+                }
+                let _ = TcpStream::connect(nudge_addr);
+                let _ = handle.join();
+            }
         }
-        let _ = TcpStream::connect(nudge_addr);
-        let _ = acceptor.join();
     }
 }
 
@@ -996,34 +1276,55 @@ impl Drop for GatewayServer {
 fn accept_loop(
     listener: &TcpListener,
     gateway: &Arc<Gateway>,
-    stop: &Arc<AtomicBool>,
+    shared: &Arc<ThreadedShared>,
     config: ServerConfig,
 ) {
     let max_connections = config.max_connections.max(1);
+    let observer = Arc::new(GatewayConnObserver {
+        gateway: Arc::clone(gateway),
+    });
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     for (conn, stream) in listener.incoming().enumerate() {
-        if stop.load(Ordering::Acquire) {
+        if shared.stopped() {
             break;
         }
         let Ok(stream) = stream else {
             // Accept failures can be persistent (fd exhaustion while
-            // every handler slot is held open); sleeping keeps the
-            // acceptor from busy-spinning a core until they clear.
-            thread::sleep(POLL_INTERVAL);
+            // every handler slot is held open); backing off keeps the
+            // acceptor from busy-spinning a core until they clear —
+            // and shutdown interrupts the backoff immediately.
+            if shared.backoff(POLL_INTERVAL) {
+                break;
+            }
             continue;
         };
+        let accept_started = Instant::now();
         handlers.retain(|h| !h.is_finished());
         if handlers.len() >= max_connections {
-            reject_connection(stream, max_connections);
+            reject_connection(gateway, &observer, stream, max_connections);
             continue;
         }
         let gateway = Arc::clone(gateway);
-        let stop = Arc::clone(stop);
+        let shared = Arc::clone(shared);
+        let handler_observer = Arc::clone(&observer);
+        let write_timeout = config.write_stall_timeout;
         let spawned = thread::Builder::new()
             .name(format!("panacea-gateway-conn-{conn}"))
-            .spawn(move || serve_connection(&gateway, stream, &stop));
+            .spawn(move || {
+                serve_connection(
+                    &gateway,
+                    &handler_observer,
+                    &shared,
+                    conn as u64,
+                    stream,
+                    write_timeout,
+                )
+            });
         match spawned {
-            Ok(handle) => handlers.push(handle),
+            Ok(handle) => {
+                observer.stage_time(ConnStage::Accept, accept_started.elapsed());
+                handlers.push(handle);
+            }
             // Thread creation failing (resource exhaustion) must not
             // take the acceptor down; dropping the closure closed the
             // socket, and the next accept tries again.
@@ -1037,7 +1338,12 @@ fn accept_loop(
 
 /// Answers an over-limit connection with a single `Overloaded` error
 /// line (best-effort) and closes it.
-fn reject_connection(mut stream: TcpStream, limit: usize) {
+fn reject_connection(
+    gateway: &Gateway,
+    observer: &GatewayConnObserver,
+    mut stream: TcpStream,
+    limit: usize,
+) {
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let encoded = encode_response(&Response::Error {
         kind: ErrorKind::Overloaded,
@@ -1046,32 +1352,57 @@ fn reject_connection(mut stream: TcpStream, limit: usize) {
     let _ = stream
         .write_all(encoded.as_bytes())
         .and_then(|()| stream.write_all(b"\n"));
+    let open_now = gateway.connections().on_evict(false);
+    observer.conn_evict(EvictReason::MaxConnections, open_now);
 }
 
-/// Largest accepted request line; a connection streaming more without a
-/// newline is answered with an error and closed, bounding per-connection
-/// memory.
-const MAX_LINE_BYTES: usize = 16 << 20;
-
-/// Bound on how long a response write may stall on a non-reading client
-/// before the connection is dropped.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
-
-fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) {
-    // Short read timeouts let the handler notice shutdown while parked
-    // on an idle connection; the write timeout keeps a stalled reader
-    // from pinning the handler (and shutdown) forever.
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
-        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
-    {
+/// One threaded handler's full lifecycle: register for shutdown wakeup,
+/// record open/close (or shutdown-evict) telemetry, and drive the
+/// request loop in between.
+fn serve_connection(
+    gateway: &Gateway,
+    observer: &GatewayConnObserver,
+    shared: &ThreadedShared,
+    conn_id: u64,
+    stream: TcpStream,
+    write_timeout: Duration,
+) {
+    if stream.set_write_timeout(Some(write_timeout)).is_err() {
         return;
     }
+    let Ok(registered) = stream.try_clone() else {
+        return;
+    };
+    if !shared.register(conn_id, registered) {
+        return; // shutdown already swept the registry
+    }
+    observer.conn_open(gateway.connections().on_open());
+    drive_connection(gateway, observer, shared, stream);
+    shared.deregister(conn_id);
+    if shared.stopped() {
+        let open_now = gateway.connections().on_evict(true);
+        observer.conn_evict(EvictReason::Shutdown, open_now);
+    } else {
+        observer.conn_close(gateway.connections().on_close());
+    }
+}
+
+/// The threaded request loop: blocking chunk reads (woken by shutdown's
+/// socket half-close, not by a poll interval), line reassembly, and one
+/// response per request line.
+fn drive_connection(
+    gateway: &Gateway,
+    observer: &GatewayConnObserver,
+    shared: &ThreadedShared,
+    stream: TcpStream,
+) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     let mut line: Vec<u8> = Vec::new();
+    let mut line_started: Option<Instant> = None;
     let respond = |writer: &mut BufWriter<TcpStream>, response: &Response| {
         let encoded = encode_response(response);
         writer
@@ -1081,33 +1412,26 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) {
             .is_ok()
     };
     loop {
-        // Checked once per buffered chunk, so neither a chatty client
-        // nor one dripping bytes mid-line can starve shutdown.
-        if stop.load(Ordering::Acquire) {
+        // Checked once per buffered chunk, so a client dripping bytes
+        // mid-line cannot starve shutdown between wakeups.
+        if shared.stopped() {
             return;
         }
         // Accumulate raw bytes rather than `read_line`-ing a String: one
-        // `fill_buf` returns per chunk (or per timeout), keeping the
-        // handler responsive however slowly bytes arrive, and a
-        // multi-byte UTF-8 sequence split across reads stays intact
-        // because decoding happens only once the full line is assembled.
+        // `fill_buf` returns per chunk, and a multi-byte UTF-8 sequence
+        // split across reads stays intact because decoding happens only
+        // once the full line is assembled.
         let newline_at = match reader.fill_buf() {
-            Ok([]) => return, // EOF
+            Ok([]) => return, // EOF (peer close, or shutdown's half-close)
             Ok(buf) => {
                 let newline = buf.iter().position(|&b| b == b'\n');
                 let take = newline.map_or(buf.len(), |i| i + 1);
                 line.extend_from_slice(&buf[..take]);
                 reader.consume(take);
+                line_started.get_or_insert_with(Instant::now);
                 newline
             }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue;
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => return,
         };
         if line.len() > MAX_LINE_BYTES {
@@ -1123,6 +1447,9 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) {
         if newline_at.is_none() {
             continue; // keep accumulating this line
         }
+        if let Some(started) = line_started.take() {
+            observer.stage_time(ConnStage::Read, started.elapsed());
+        }
         let response = match std::str::from_utf8(&line) {
             Ok(text) if text.trim().is_empty() => {
                 line.clear();
@@ -1133,7 +1460,12 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) {
                 let decoded = decode_request(text);
                 gateway.record_parse(parse_started.elapsed());
                 match decoded {
-                    Ok(request) => gateway.handle(request),
+                    Ok(request) => {
+                        let dispatch_started = Instant::now();
+                        let handled = gateway.handle(request);
+                        observer.stage_time(ConnStage::Dispatch, dispatch_started.elapsed());
+                        handled
+                    }
                     Err(e) => Response::Error {
                         kind: ErrorKind::BadRequest,
                         message: e.to_string(),
@@ -1146,7 +1478,10 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) {
             },
         };
         line.clear();
-        if !respond(&mut writer, &response) {
+        let write_started = Instant::now();
+        let wrote = respond(&mut writer, &response);
+        observer.stage_time(ConnStage::Write, write_started.elapsed());
+        if !wrote {
             return; // client hung up or stalled mid-response
         }
     }
@@ -1643,7 +1978,10 @@ mod tests {
         let server = GatewayServer::bind_with(
             Arc::clone(&gateway),
             "127.0.0.1:0",
-            ServerConfig { max_connections: 1 },
+            ServerConfig {
+                max_connections: 1,
+                ..ServerConfig::default()
+            },
         )
         .expect("bind");
         let mut first = GatewayClient::connect(server.local_addr()).expect("connect");

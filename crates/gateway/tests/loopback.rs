@@ -936,3 +936,148 @@ fn server_shutdown_joins_threads_and_refuses_new_connections() {
         assert!(client.infer_codes("m", codes(&model, 1, 0)).is_err());
     }
 }
+
+#[test]
+fn connection_gauges_and_lifecycle_events_flow_over_the_wire() {
+    let gateway = Arc::new(Gateway::new(models(&["m"], 21), GatewayConfig::default()));
+    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let mut observer_client = GatewayClient::connect(addr).expect("connect");
+    let mut transient = GatewayClient::connect(addr).expect("connect");
+    assert!(transient.stats().is_ok(), "transient client must serve");
+
+    let stats = observer_client.stats().expect("stats");
+    assert!(
+        stats.connections.open >= 2,
+        "both live connections should be counted open: {:?}",
+        stats.connections
+    );
+    assert!(stats.connections.peak >= 2);
+    assert_eq!(stats.connections.evicted, 0);
+
+    // Dropping one client drains the gauge (the close is asynchronous,
+    // so poll briefly) and leaves a close event in the recorder.
+    drop(transient);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let s = observer_client.stats().expect("stats");
+        if s.connections.open <= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "open gauge never drained: {:?}",
+            s.connections
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+    let events = observer_client.events(64).expect("events");
+    for kind in ["conn_open", "conn_close"] {
+        assert!(
+            events.events.iter().any(|e| e.kind == kind),
+            "event kind {kind:?} missing from the ring: {:?}",
+            events.events
+        );
+    }
+}
+
+#[test]
+fn over_limit_connection_is_counted_evicted_with_reason() {
+    use panacea_gateway::ServerConfig;
+    let gateway = Arc::new(Gateway::new(models(&["m"], 22), GatewayConfig::default()));
+    let server = GatewayServer::bind_with(
+        Arc::clone(&gateway),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut first = GatewayClient::connect(server.local_addr()).expect("connect");
+    assert!(first.stats().is_ok(), "in-limit connection must serve");
+    let mut second = GatewayClient::connect(server.local_addr()).expect("connect");
+    let err = second.stats().expect_err("over-limit connection served");
+    assert!(err.is_overloaded(), "wrong rejection: {err}");
+
+    let stats = first.stats().expect("stats");
+    assert_eq!(stats.connections.evicted, 1, "{:?}", stats.connections);
+    let events = first.events(64).expect("events");
+    assert!(
+        events.events.iter().any(|e| e.kind == "conn_evict"
+            && e.severity == "warn"
+            && e.detail.contains("reason=max_connections")),
+        "max_connections eviction missing from the ring: {:?}",
+        events.events
+    );
+}
+
+#[test]
+fn reactor_evicts_slow_consumers_and_drain_evicts_survivors() {
+    use panacea_gateway::{IoModel, ServerConfig};
+    use std::io::Write;
+    use std::net::TcpStream;
+    // Explicitly the reactor model (independent of PANACEA_IO_MODEL)
+    // with a tiny write backlog and a short stall timeout so a
+    // non-reading client is evicted quickly.
+    let gateway = Arc::new(Gateway::new(models(&["m"], 23), GatewayConfig::default()));
+    let mut server = GatewayServer::bind_with(
+        Arc::clone(&gateway),
+        "127.0.0.1:0",
+        ServerConfig {
+            io_model: IoModel::Reactor,
+            max_write_backlog: 16 * 1024,
+            write_stall_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // The slow consumer pipelines stats requests forever and never
+    // reads a byte: once the kernel socket buffers on both sides fill,
+    // its write backlog stalls past the timeout. The writer thread dies
+    // when the eviction resets the connection.
+    let slow = TcpStream::connect(addr).expect("connect slow");
+    let slow_writer = thread::spawn(move || {
+        let mut slow = slow;
+        while slow.write_all(b"{\"verb\":\"stats\"}\n").is_ok() {}
+    });
+
+    // A healthy client keeps being served throughout and watches for
+    // the eviction over the events verb.
+    let mut healthy = GatewayClient::connect(addr).expect("connect healthy");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let events = healthy.events(64).expect("events");
+        if events
+            .events
+            .iter()
+            .any(|e| e.kind == "conn_evict" && e.detail.contains("reason=slow_consumer"))
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slow consumer never evicted: {:?}",
+            events.events
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+    assert!(healthy.stats().is_ok(), "healthy client must survive");
+    slow_writer.join().expect("slow writer");
+
+    // Shutdown drains, then evicts the surviving idle connection with
+    // reason=shutdown — visible in-process after the server is gone.
+    server.shutdown();
+    assert!(
+        gateway
+            .events(64)
+            .events
+            .iter()
+            .any(|e| e.kind == "conn_evict" && e.detail.contains("reason=shutdown")),
+        "shutdown eviction missing from the ring"
+    );
+}

@@ -1,0 +1,159 @@
+//! Byte-level line reassembly with a hard per-line bound.
+//!
+//! The reactor reads whatever the socket has — which may be half a
+//! multi-byte UTF-8 sequence, ten complete requests, or one byte of a
+//! sixteen-megabyte line — and feeds it here. [`LineAssembler`] splits
+//! on `\n`, queues complete lines (newline stripped, bytes otherwise
+//! untouched — UTF-8 validation happens at dispatch, once a full line
+//! exists), and keeps the trailing partial line across feeds. A line
+//! exceeding the bound poisons the assembler: the current and every
+//! later feed fail, so a byte-dripping client cannot grow per-connection
+//! memory without limit.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The default per-line bound, matching the gateway's wire contract.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Why a feed was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineError {
+    /// A line (complete or still accumulating) exceeded the bound.
+    TooLong {
+        /// The configured bound, in bytes excluding the newline.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for LineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LineError::TooLong { limit } => {
+                write!(f, "request line exceeds {limit} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LineError {}
+
+/// Reassembles newline-delimited frames from arbitrary read chunks.
+#[derive(Debug)]
+pub struct LineAssembler {
+    partial: Vec<u8>,
+    ready: VecDeque<Vec<u8>>,
+    max_line: usize,
+    poisoned: bool,
+}
+
+impl LineAssembler {
+    /// An assembler bounding every line at `max_line` bytes (newline
+    /// excluded).
+    pub fn new(max_line: usize) -> Self {
+        LineAssembler {
+            partial: Vec::new(),
+            ready: VecDeque::new(),
+            max_line,
+            poisoned: false,
+        }
+    }
+
+    /// Feeds one read chunk. Complete lines become
+    /// [`pop_line`](Self::pop_line)-able; a trailing fragment is kept
+    /// for the next feed.
+    ///
+    /// # Errors
+    ///
+    /// [`LineError::TooLong`] once any line outgrows the bound — and on
+    /// every feed after that (the connection is beyond saving; the
+    /// caller answers an error and closes).
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(), LineError> {
+        if self.poisoned {
+            return Err(LineError::TooLong {
+                limit: self.max_line,
+            });
+        }
+        let mut rest = chunk;
+        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            let mut line = std::mem::take(&mut self.partial);
+            line.extend_from_slice(&rest[..nl]);
+            rest = &rest[nl + 1..];
+            if line.len() > self.max_line {
+                self.poisoned = true;
+                return Err(LineError::TooLong {
+                    limit: self.max_line,
+                });
+            }
+            self.ready.push_back(line);
+        }
+        self.partial.extend_from_slice(rest);
+        if self.partial.len() > self.max_line {
+            self.poisoned = true;
+            return Err(LineError::TooLong {
+                limit: self.max_line,
+            });
+        }
+        Ok(())
+    }
+
+    /// The oldest complete line, newline stripped.
+    pub fn pop_line(&mut self) -> Option<Vec<u8>> {
+        self.ready.pop_front()
+    }
+
+    /// Complete lines waiting to be popped.
+    pub fn ready_lines(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Bytes of the still-incomplete trailing line.
+    pub fn partial_bytes(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Whether a too-long line has permanently failed this assembler.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_lines_across_arbitrary_chunks() {
+        let mut a = LineAssembler::new(64);
+        a.feed(b"hel").expect("feed");
+        a.feed(b"lo\nwor").expect("feed");
+        assert_eq!(a.pop_line().as_deref(), Some(b"hello".as_slice()));
+        assert_eq!(a.pop_line(), None);
+        a.feed(b"ld\n\ntail").expect("feed");
+        assert_eq!(a.pop_line().as_deref(), Some(b"world".as_slice()));
+        assert_eq!(a.pop_line().as_deref(), Some(b"".as_slice()));
+        assert_eq!(a.partial_bytes(), 4);
+    }
+
+    #[test]
+    fn oversized_line_poisons_permanently() {
+        let mut a = LineAssembler::new(8);
+        assert_eq!(
+            a.feed(b"123456789"),
+            Err(LineError::TooLong { limit: 8 }),
+            "partial overflow undetected"
+        );
+        assert!(a.is_poisoned());
+        assert_eq!(a.feed(b"\n"), Err(LineError::TooLong { limit: 8 }));
+        // A complete line arriving in one chunk is bounded too.
+        let mut b = LineAssembler::new(8);
+        assert_eq!(b.feed(b"123456789\n"), Err(LineError::TooLong { limit: 8 }));
+    }
+
+    #[test]
+    fn exact_limit_line_passes() {
+        let mut a = LineAssembler::new(5);
+        a.feed(b"12345\n").expect("at-limit line is legal");
+        assert_eq!(a.pop_line().as_deref(), Some(b"12345".as_slice()));
+    }
+}

@@ -1,0 +1,146 @@
+//! The request-execution pool: a fixed set of threads draining a shared
+//! job queue, so the reactor thread never runs a request itself.
+//!
+//! The queue is effectively bounded by the reactor's dispatch
+//! discipline (at most one in-flight request per connection, and
+//! connections are bounded), so no separate queue bound is needed.
+//! Shutdown drains: queued jobs still run before workers exit, which is
+//! what lets the reactor flush their responses during its drain phase.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    stop: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+/// A fixed-size worker pool executing boxed jobs in FIFO order.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.threads.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) named
+    /// `{name_prefix}-{index}`.
+    pub fn new(workers: usize, name_prefix: &str) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                stop: false,
+            }),
+            available: Condvar::new(),
+        });
+        let threads = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("{name_prefix}-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Enqueues one job; a parked worker wakes to run it.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        if state.stop {
+            return; // shutting down: the job's completion would be dropped anyway
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.available.notify_one();
+    }
+
+    /// Stops accepting jobs, lets the queue drain, and joins every
+    /// worker. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            state.stop = true;
+        }
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break Some(job);
+                }
+                if state.stop {
+                    break None;
+                }
+                state = shared.available.wait(state).expect("pool state poisoned");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_shutdown_drains_the_queue() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let mut pool = WorkerPool::new(2, "test-worker");
+        for _ in 0..64 {
+            let ran = Arc::clone(&ran);
+            pool.execute(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 64, "shutdown dropped jobs");
+        // Post-shutdown submits are ignored, not panics.
+        pool.execute(|| unreachable!("executed after shutdown"));
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let pool = WorkerPool::new(0, "clamped");
+        assert_eq!(pool.workers(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for [`panacea_netcore::LineAssembler`]: whatever the
+//! socket's chunking does to a byte stream — mid-line splits, splits in
+//! the middle of a multi-byte UTF-8 sequence, one byte at a time — the
+//! reassembled lines must be exactly the lines that were sent, and the
+//! per-line bound must hold under every chunking.
+
+use panacea_netcore::{LineAssembler, LineError};
+use proptest::prelude::*;
+
+/// Line palette mixing ASCII, multi-byte UTF-8 (2-, 3-, and 4-byte
+/// sequences), JSON-ish content, and the empty line.
+const PALETTE: [&str; 6] = [
+    "",
+    "{\"verb\":\"infer\",\"model\":\"chain\"}",
+    "naïve café — überschüssig",
+    "日本語のテキスト行",
+    "emoji tail 🦀🦀🦀",
+    "mixed ascii→ünicode→字",
+];
+
+/// Feeds `payload` to `assembler` sliced into chunks whose sizes cycle
+/// through `chunk_sizes`, returning the first error.
+fn feed_chunked(
+    assembler: &mut LineAssembler,
+    payload: &[u8],
+    chunk_sizes: &[usize],
+) -> Result<(), LineError> {
+    let mut offset = 0;
+    let mut i = 0;
+    while offset < payload.len() {
+        let take = chunk_sizes[i % chunk_sizes.len()].min(payload.len() - offset);
+        assembler.feed(&payload[offset..offset + take])?;
+        offset += take;
+        i += 1;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any message sequence under any chunking reassembles exactly,
+    /// even when a chunk boundary lands inside a multi-byte sequence.
+    #[test]
+    fn reassembly_is_exact_under_any_chunking(
+        picks in proptest::collection::vec(0usize..PALETTE.len(), 0..12),
+        chunk_sizes in proptest::collection::vec(1usize..9, 1..16),
+    ) {
+        let lines: Vec<&str> = picks.iter().map(|&i| PALETTE[i]).collect();
+        let mut payload = Vec::new();
+        for line in &lines {
+            payload.extend_from_slice(line.as_bytes());
+            payload.push(b'\n');
+        }
+
+        let mut assembler = LineAssembler::new(1024);
+        feed_chunked(&mut assembler, &payload, &chunk_sizes).expect("within bound");
+
+        let mut got = Vec::new();
+        while let Some(raw) = assembler.pop_line() {
+            got.push(String::from_utf8(raw).expect("palette lines are UTF-8"));
+        }
+        prop_assert_eq!(got, lines);
+        prop_assert_eq!(assembler.partial_bytes(), 0);
+        prop_assert!(!assembler.is_poisoned());
+    }
+
+    /// A line one byte over the bound is rejected under every chunking,
+    /// and the assembler stays poisoned afterwards.
+    #[test]
+    fn oversize_is_caught_under_any_chunking(
+        chunk_sizes in proptest::collection::vec(1usize..64, 1..8),
+    ) {
+        const LIMIT: usize = 512;
+        let mut payload = vec![b'['; LIMIT + 1];
+        payload.push(b'\n');
+
+        let mut assembler = LineAssembler::new(LIMIT);
+        let err = feed_chunked(&mut assembler, &payload, &chunk_sizes)
+            .expect_err("over-limit line must be refused");
+        prop_assert_eq!(err, LineError::TooLong { limit: LIMIT });
+        prop_assert!(assembler.is_poisoned());
+        prop_assert_eq!(assembler.feed(b"x\n"), Err(LineError::TooLong { limit: LIMIT }));
+    }
+}
+
+/// The parser-bomb shape from the gateway e2e suite: a million-`[` line
+/// within the bound must arrive intact as one line (rejecting it is the
+/// JSON layer's judgment call, not the framing layer's).
+#[test]
+fn million_bracket_line_within_bound_passes_intact() {
+    let bomb = vec![b'['; 1_000_000];
+    let mut assembler = LineAssembler::new(panacea_netcore::DEFAULT_MAX_LINE_BYTES);
+    for chunk in bomb.chunks(64 * 1024) {
+        assembler.feed(chunk).expect("bomb is within the bound");
+    }
+    assembler.feed(b"\n").expect("newline completes the line");
+    let line = assembler.pop_line().expect("one line ready");
+    assert_eq!(line.len(), 1_000_000);
+    assert!(line.iter().all(|&b| b == b'['));
+    assert_eq!(assembler.pop_line(), None);
+}

@@ -25,7 +25,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use panacea::block::{zoo_hidden_states, zoo_transformer, BlockBuilder, QuantizedBlock};
-use panacea::gateway::{Gateway, GatewayClient, GatewayConfig, GatewayServer};
+use panacea::gateway::{Gateway, GatewayClient, GatewayConfig, GatewayServer, ServerConfig};
 use panacea::models::engine::TransformerConfig;
 use panacea::models::zoo::Benchmark;
 use panacea::serve::PreparedModel;
@@ -77,7 +77,19 @@ fn main() {
         vec![Arc::clone(&model)],
         GatewayConfig::default(),
     ));
-    let server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    // Under the reactor transport, fused-decode occupancy is bounded by
+    // the in-flight request cap — the worker pool. The batching phase
+    // below drives 8 concurrent sessions and gates their fusion, so
+    // provision at least that many execution workers.
+    let server = GatewayServer::bind_with(
+        Arc::clone(&gateway),
+        "127.0.0.1:0",
+        ServerConfig {
+            reactor_workers: BATCH_SESSIONS,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
     let addr = server.local_addr();
     println!(
         "decode gateway on {addr} ({} blocks, d_model={D_MODEL}, {} clients)",

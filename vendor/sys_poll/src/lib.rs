@@ -1,0 +1,267 @@
+//! Minimal `poll(2)` / `pipe(2)` bindings — the offline stand-in for
+//! the `libc` crate that the readiness-driven connection core
+//! (`panacea-netcore`) needs.
+//!
+//! Everything here links against symbols the C runtime already provides
+//! (std links libc unconditionally on Unix), so no new dependency is
+//! introduced — this crate exists only so the raw `extern "C"`
+//! declarations and their safety obligations live in one audited place,
+//! the same pattern as the other `vendor/` shims. Linux/Unix only, like
+//! the sockets it multiplexes.
+//!
+//! Exposed surface:
+//!
+//! * [`PollFd`] + [`poll_fds`] — the readiness syscall itself, with
+//!   `EINTR` retried internally.
+//! * [`Pipe`] — a nonblocking self-pipe wakeup token: any thread
+//!   [`notify`](Pipe::notify)s, the poller sees `POLLIN` on
+//!   [`read_fd`](Pipe::read_fd) and [`drain`](Pipe::drain)s.
+//! * [`raise_nofile_limit`] — lifts the soft fd limit to the hard
+//!   limit, for C10K-scale harnesses.
+
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+
+/// `poll(2)` event flag: data readable (or a peer hangup to collect).
+pub const POLLIN: i16 = 0x001;
+/// `poll(2)` event flag: writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// `poll(2)` revent flag: error condition on the descriptor.
+pub const POLLERR: i16 = 0x008;
+/// `poll(2)` revent flag: peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// `poll(2)` revent flag: the descriptor is not open.
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a `poll(2)` descriptor set, ABI-identical to the C
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch (negative entries are ignored by the
+    /// kernel).
+    pub fd: i32,
+    /// Requested events (`POLLIN` / `POLLOUT`; error conditions are
+    /// always reported).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A set entry watching `fd` for `events`.
+    pub fn new(fd: i32, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the kernel reported anything at all on this entry.
+    pub fn ready(&self) -> bool {
+        self.revents != 0
+    }
+
+    /// Readable — including hangup/error, which a read surfaces as
+    /// EOF or an error the caller must collect.
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// Writable — including error, which a write surfaces.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP) != 0
+    }
+
+    /// The descriptor is not open (stale registration).
+    pub fn invalid(&self) -> bool {
+        self.revents & POLLNVAL != 0
+    }
+}
+
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const O_NONBLOCK: c_int = 0o4000;
+const RLIMIT_NOFILE: c_int = 7;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+/// Blocks until at least one entry in `fds` is ready, or `timeout_ms`
+/// elapses (`-1` blocks indefinitely, `0` polls). Returns the number of
+/// ready entries; `EINTR` is retried internally so callers never see
+/// spurious interruption.
+///
+/// # Errors
+///
+/// Any `poll(2)` failure other than `EINTR` (e.g. `ENOMEM`).
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-layout entries for the whole call.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+fn set_nonblocking(fd: c_int) -> io::Result<()> {
+    // SAFETY: fcntl on an owned, open descriptor; flag juggling only.
+    unsafe {
+        let flags = fcntl(fd, F_GETFL, 0);
+        if flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// A self-pipe wakeup token: the poller watches [`read_fd`](Pipe::read_fd)
+/// for `POLLIN`; any thread calls [`notify`](Pipe::notify) to wake it.
+/// Both ends are nonblocking, so a notify against an already-full pipe
+/// is a no-op (the wakeup is already pending) and a drain never blocks.
+#[derive(Debug)]
+pub struct Pipe {
+    read_fd: c_int,
+    write_fd: c_int,
+}
+
+impl Pipe {
+    /// Creates the pipe with both ends nonblocking.
+    ///
+    /// # Errors
+    ///
+    /// `pipe(2)` / `fcntl(2)` failures (fd exhaustion).
+    pub fn new() -> io::Result<Pipe> {
+        let mut fds = [0 as c_int; 2];
+        // SAFETY: `fds` is a valid 2-element buffer for pipe(2).
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let p = Pipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        };
+        set_nonblocking(p.read_fd)?;
+        set_nonblocking(p.write_fd)?;
+        Ok(p)
+    }
+
+    /// The end the poller registers for `POLLIN`.
+    pub fn read_fd(&self) -> i32 {
+        self.read_fd
+    }
+
+    /// Wakes the poller: writes one byte, ignoring a full pipe (the
+    /// wakeup is then already pending) and any other failure (the
+    /// poller's bounded timeout is the fallback).
+    pub fn notify(&self) {
+        let byte = [1u8];
+        // SAFETY: one-byte write to an owned, open, nonblocking fd.
+        let _ = unsafe { write(self.write_fd, byte.as_ptr(), 1) };
+    }
+
+    /// Consumes every pending wakeup byte so the next poll parks again.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        // SAFETY: bounded reads into a local buffer from an owned,
+        // nonblocking fd; loop ends on EAGAIN (rc < 0) or EOF (rc == 0).
+        while unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+    }
+}
+
+impl Drop for Pipe {
+    fn drop(&mut self) {
+        // SAFETY: closing fds this struct exclusively owns.
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to the hard limit and returns the
+/// resulting soft limit. C10K harnesses call this so a conservative
+/// container default (1024) does not cap the connection count under
+/// test; serving code never needs it.
+///
+/// # Errors
+///
+/// `getrlimit(2)` / `setrlimit(2)` failures.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a valid rlimit-layout out-param.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.cur < lim.max {
+        lim.cur = lim.max;
+        // SAFETY: passing a valid rlimit by pointer; raising the soft
+        // limit toward the hard limit needs no privilege.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(lim.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_notify_wakes_poll_and_drain_resets() {
+        let pipe = Pipe::new().expect("pipe");
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).expect("poll"), 0, "spurious wake");
+        pipe.notify();
+        pipe.notify(); // coalesces; never blocks
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).expect("poll"), 1);
+        assert!(fds[0].readable());
+        pipe.drain();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(
+            poll_fds(&mut fds, 0).expect("poll"),
+            0,
+            "drain missed bytes"
+        );
+    }
+
+    #[test]
+    fn poll_times_out_on_quiet_fds() {
+        let pipe = Pipe::new().expect("pipe");
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let started = std::time::Instant::now();
+        assert_eq!(poll_fds(&mut fds, 50).expect("poll"), 0);
+        assert!(started.elapsed() >= std::time::Duration::from_millis(45));
+    }
+
+    #[test]
+    fn nofile_limit_is_raised_idempotently() {
+        let first = raise_nofile_limit().expect("raise");
+        let second = raise_nofile_limit().expect("raise again");
+        assert_eq!(first, second);
+        assert!(first >= 1024);
+    }
+}
