@@ -22,6 +22,17 @@
 //! `BENCH_gateway_metrics.jsonl`), validates both formats, and A/B
 //! gates the scraper's overhead on decode throughput.
 //!
+//! With `--chaos`, a fault-injection phase arms a scripted `faultline`
+//! plan — panics in the runtime workers, the decode batcher, and the
+//! transport layer, plus stalls and connection faults — and drives
+//! mixed deadline-stamped traffic through it. The gates prove the
+//! degradation story end to end: no client call outlives its retry/
+//! deadline budget, every non-faulted reply is bit-exact, the panics
+//! land in the stats counters and the flight recorder, health flips
+//! off `ok` and pins an incident snapshot, and once the plan disarms
+//! the same gateway serves bit-exact traffic and health returns to
+//! `ok`. CI runs this phase under both `PANACEA_IO_MODEL` transports.
+//!
 //! Results go to `BENCH_gateway.json` so the serving-latency trajectory
 //! is tracked across PRs. Set `GATEWAY_BENCH_SMOKE=1` to run a reduced
 //! matrix (CI uses this; the gates are identical).
@@ -33,10 +44,11 @@ use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use panacea_faultline::{Fault, FaultPlan, Scenario};
 use panacea_gateway::testutil::{block_model, hidden, models};
 use panacea_gateway::{
-    AdmissionConfig, CacheConfig, Gateway, GatewayClient, GatewayConfig, GatewayServer, IoModel,
-    ServerConfig, SloConfig, SloStatus, SloTarget,
+    AdmissionConfig, CacheConfig, ClientConfig, ErrorKind, Gateway, GatewayClient, GatewayConfig,
+    GatewayError, GatewayServer, IoModel, ServerConfig, SloConfig, SloStatus, SloTarget,
 };
 use panacea_serve::{BatchPolicy, RuntimeConfig};
 use serde_json::{json, Value};
@@ -661,6 +673,431 @@ fn run_c10k(smoke: bool, levels: &[usize]) -> Value {
     })
 }
 
+/// Chaos-phase budget: every chaos client stamps this deadline on its
+/// requests and retries idempotent verbs this many times. The no-hang
+/// gate bounds each observed call by the worst case a deadline-bounded
+/// retrying client can legitimately take — `(retries + 1)` attempts of
+/// `deadline` plus the client's 1s local read-timeout slack — plus a
+/// margin for backoff sleeps and scheduling.
+const CHAOS_DEADLINE: Duration = Duration::from_millis(800);
+const CHAOS_RETRIES: u32 = 3;
+const CHAOS_BACKOFF: Duration = Duration::from_millis(10);
+const CHAOS_DEADLINE_SLACK: Duration = Duration::from_secs(1);
+/// Error-rate SLO window for the chaos gateway: long enough that the
+/// whole storm's errors are still inside it when health is probed at
+/// the end, short enough that recovery does not stall the bench.
+const CHAOS_SLO_WINDOW: Duration = Duration::from_secs(5);
+
+/// Per-thread tallies from one chaos client.
+#[derive(Default)]
+struct ChaosOutcome {
+    ok: usize,
+    faulted: usize,
+    deadline_exceeded: usize,
+    reopened: usize,
+    max_call: Duration,
+}
+
+impl ChaosOutcome {
+    fn absorb(&mut self, other: &ChaosOutcome) {
+        self.ok += other.ok;
+        self.faulted += other.faulted;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.reopened += other.reopened;
+        self.max_call = self.max_call.max(other.max_call);
+    }
+}
+
+/// Failures a chaos client is expected to absorb: injected faults
+/// surface as internal errors, expired deadlines, sheds, evicted
+/// sessions, or a killed connection. Anything else is a real bug.
+fn chaos_tolerable(e: &GatewayError) -> bool {
+    match e {
+        GatewayError::Remote { kind, .. } => matches!(
+            kind,
+            ErrorKind::Internal
+                | ErrorKind::DeadlineExceeded
+                | ErrorKind::Overloaded
+                | ErrorKind::UnknownSession
+        ),
+        GatewayError::Io(_) | GatewayError::Protocol(_) => true,
+        _ => false,
+    }
+}
+
+fn chaos_client(addr: std::net::SocketAddr, seed: u64) -> GatewayClient {
+    GatewayClient::connect_with(
+        addr,
+        ClientConfig {
+            deadline: Some(CHAOS_DEADLINE),
+            retries: CHAOS_RETRIES,
+            backoff: CHAOS_BACKOFF,
+            seed,
+        },
+    )
+    .expect("connect chaos client")
+}
+
+/// (Re)opens a decode session, redialing through transport faults. The
+/// chaos decode client falls back to this whenever its session may have
+/// been evicted — the client-side analogue of replaying the prefix.
+fn open_with_retry(client: &mut GatewayClient) -> u64 {
+    for _ in 0..40 {
+        match client.session_open(BLOCK_MODEL) {
+            Ok(open) => return open.session,
+            Err(e) => {
+                assert!(chaos_tolerable(&e), "chaos session_open failed hard: {e}");
+                thread::sleep(Duration::from_millis(25));
+                let _ = client.reconnect();
+            }
+        }
+    }
+    panic!("chaos decode client could not reopen a session");
+}
+
+/// The `--chaos` phase: a scripted fault plan fires at least one panic
+/// in each serving layer (runtime worker, decode batcher, transport
+/// worker), an error return, stalls straddling the client deadline, and
+/// reactor connection faults, all while deadline-stamped infer/decode
+/// clients drive load. Gates: no call outlives the retry/deadline
+/// budget, every successful reply is bit-exact, the faults land in the
+/// wire counters and the flight recorder, health flips off `ok` and
+/// pins an incident snapshot, and after disarming the same gateway
+/// serves bit-exact traffic with health back at `ok`.
+fn run_chaos(smoke: bool) -> Value {
+    let clients = 4;
+    let requests = if smoke { 24 } else { 48 };
+    let scenario = Scenario::new()
+        // Layer 1 — runtime workers (stateless infer jobs): two panics
+        // plus a sub-deadline stall.
+        .fire_within("serve.worker.execute", Fault::Panic, 2, 24)
+        .fire_at(
+            "serve.worker.execute",
+            30,
+            Fault::Delay(Duration::from_millis(150)),
+        )
+        // Layer 2 — decode batcher: fused-pass panics with the solo
+        // retry pinned to panic too, so a multi-session pass still
+        // convicts (and evicts) a poisoned session.
+        .fire_within("serve.decode.fused_pass", Fault::Panic, 2, 16)
+        .fire_at("serve.decode.solo_retry", 0, Fault::Panic)
+        // Layer 3 — transport: a panic that unwinds out of the request
+        // handler entirely (the reactor's dispatch job or the threaded
+        // model's connection thread catches it), an injected error
+        // return, and a stall that overruns the client deadline.
+        .fire_at("gateway.execute", 2, Fault::Panic)
+        .fire_at("gateway.execute", 7, Fault::Error)
+        .fire_at(
+            "gateway.execute",
+            12,
+            Fault::Delay(CHAOS_DEADLINE + Duration::from_millis(400)),
+        )
+        // Connection faults. These sites are traversed by the reactor
+        // transport only; under the threaded model they never fire and
+        // the plan is simply quieter.
+        .fire_at("netcore.read", 40, Fault::Reset)
+        .fire_at("netcore.write", 60, Fault::ShortWrite)
+        .fire_within("netcore.dispatch", Fault::Panic, 1, 40);
+    let guard = FaultPlan::compile(0xC4A05, &scenario).arm();
+
+    // A gateway whose availability SLO tolerates almost no errors, so
+    // the storm provably flips health.
+    let mut all = models(&[CHAIN_MODEL], 21);
+    all.push(block_model(BLOCK_MODEL, 22).0);
+    let gateway = Arc::new(Gateway::new(
+        all,
+        GatewayConfig {
+            slo: SloConfig {
+                targets: vec![SloTarget {
+                    max_error_rate: Some(0.01),
+                    ..SloTarget::over("chaos-availability", CHAOS_SLO_WINDOW)
+                }],
+            },
+            ..GatewayConfig::default()
+        },
+    ));
+    // Default `ServerConfig`: the transport comes from PANACEA_IO_MODEL,
+    // so CI exercises the storm under both io models.
+    let io_model = ServerConfig::default().io_model;
+    let mut server = GatewayServer::bind(Arc::clone(&gateway), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let barrier = Arc::new(Barrier::new(clients));
+    let mut threads = Vec::new();
+    for t in 0..clients {
+        let barrier = Arc::clone(&barrier);
+        let gw = Arc::clone(&gateway);
+        threads.push(thread::spawn(move || {
+            let mut out = ChaosOutcome::default();
+            let mut client = chaos_client(addr, t as u64);
+            barrier.wait();
+            if t % 2 == 0 {
+                // Infer client: every successful reply — original or
+                // retried — must be bit-exact against an in-process
+                // forward of the same model.
+                let model = gw.router().model(CHAIN_MODEL).expect("registered");
+                for i in 0..requests {
+                    // The salt stays collision-free across clients mod
+                    // 200 (the code range), so no chaos request is ever
+                    // answered by the request cache — a cached reply
+                    // would dodge the very faults being injected.
+                    let x = panacea_tensor::Matrix::from_fn(16, 1, |r, _| {
+                        ((r * 31 + (t * 60 + i) * 13) % 200) as i32
+                    });
+                    let expect = model.forward_codes(&x).0;
+                    let begun = Instant::now();
+                    match client.infer_codes(CHAIN_MODEL, x) {
+                        Ok(reply) => {
+                            assert_eq!(
+                                reply.payload,
+                                expect.into(),
+                                "non-faulted infer reply diverged under chaos"
+                            );
+                            out.ok += 1;
+                        }
+                        Err(e) => {
+                            assert!(chaos_tolerable(&e), "chaos infer failed hard: {e}");
+                            if matches!(
+                                e,
+                                GatewayError::Remote {
+                                    kind: ErrorKind::DeadlineExceeded,
+                                    ..
+                                }
+                            ) {
+                                out.deadline_exceeded += 1;
+                            }
+                            if matches!(e, GatewayError::Io(_) | GatewayError::Protocol(_)) {
+                                let _ = client.reconnect();
+                            }
+                            out.faulted += 1;
+                        }
+                    }
+                    out.max_call = out.max_call.max(begun.elapsed());
+                }
+            } else {
+                // Decode client: a poisoned eviction or killed
+                // connection mid-stream is survived by reopening a
+                // fresh session; deadline/overload rejections leave the
+                // session's KV state intact, so it keeps stepping.
+                let mut session = open_with_retry(&mut client);
+                for i in 0..requests {
+                    let token = hidden(BLOCK_D_MODEL, 1, t * 10_000 + i);
+                    let begun = Instant::now();
+                    match client.decode(session, token) {
+                        Ok(_) => out.ok += 1,
+                        Err(e) => {
+                            assert!(chaos_tolerable(&e), "chaos decode failed hard: {e}");
+                            let session_intact = matches!(
+                                &e,
+                                GatewayError::Remote {
+                                    kind: ErrorKind::DeadlineExceeded | ErrorKind::Overloaded,
+                                    ..
+                                }
+                            );
+                            if matches!(
+                                e,
+                                GatewayError::Remote {
+                                    kind: ErrorKind::DeadlineExceeded,
+                                    ..
+                                }
+                            ) {
+                                out.deadline_exceeded += 1;
+                            }
+                            if matches!(e, GatewayError::Io(_) | GatewayError::Protocol(_)) {
+                                let _ = client.reconnect();
+                            }
+                            if !session_intact {
+                                session = open_with_retry(&mut client);
+                                out.reopened += 1;
+                            }
+                            out.faulted += 1;
+                        }
+                    }
+                    out.max_call = out.max_call.max(begun.elapsed());
+                }
+                let _ = client.session_close(session);
+            }
+            out
+        }));
+    }
+    let mut infer = ChaosOutcome::default();
+    let mut decode = ChaosOutcome::default();
+    for (t, th) in threads.into_iter().enumerate() {
+        let out = th.join().expect("chaos client thread");
+        if t % 2 == 0 {
+            infer.absorb(&out);
+        } else {
+            decode.absorb(&out);
+        }
+    }
+    drop(guard);
+
+    // Gate: no call outlived the retry/deadline budget — graceful
+    // degradation means bounded waits, not hangs.
+    let hang_bound =
+        (CHAOS_DEADLINE + CHAOS_DEADLINE_SLACK) * (CHAOS_RETRIES + 1) + Duration::from_secs(1);
+    let max_call = infer.max_call.max(decode.max_call);
+    assert!(
+        max_call <= hang_bound,
+        "a chaos client call took {max_call:?}, past the {hang_bound:?} retry/deadline budget"
+    );
+    assert!(
+        infer.ok + decode.ok >= clients * requests * 8 / 10,
+        "chaos storm drowned the load: only {}/{} calls succeeded",
+        infer.ok + decode.ok,
+        clients * requests
+    );
+    assert!(
+        infer.faulted + decode.faulted >= 1,
+        "scripted faults never reached a client — the storm was a no-op"
+    );
+    assert!(
+        infer.deadline_exceeded >= 1,
+        "the scripted over-deadline stall never produced a deadline_exceeded"
+    );
+    assert!(
+        decode.reopened >= 1,
+        "no decode session was evicted and reopened under the batcher panic"
+    );
+
+    // The storm's errors are still inside the SLO window: health must
+    // be off `ok`, and the flip pins an incident snapshot carrying the
+    // injected panics.
+    let mut probe = GatewayClient::connect(addr).expect("connect probe");
+    let flipped = probe.health().expect("health");
+    assert_ne!(
+        flipped.status,
+        SloStatus::Ok,
+        "health stayed ok through an injected-fault storm"
+    );
+    let events = probe.events(128).expect("events");
+    assert!(
+        events.events.iter().any(|e| e.kind == "worker_panic"),
+        "no worker_panic event in the flight recorder after the storm"
+    );
+    let pinned = events
+        .pinned
+        .expect("health flip pinned no incident snapshot");
+    assert!(
+        pinned.events.iter().any(|e| e.kind == "worker_panic"),
+        "the pinned incident snapshot did not capture the injected panics"
+    );
+
+    let stats = probe.stats().expect("stats");
+    let worker_panics: u64 = stats.shards.iter().map(|s| s.worker_panics).sum();
+    let evicted_poisoned: u64 = stats.shards.iter().map(|s| s.evicted_poisoned).sum();
+    let expired_steps: u64 = stats.shards.iter().map(|s| s.expired).sum();
+    assert!(
+        worker_panics >= 2,
+        "expected runtime-worker and decode-batcher panics on the wire, saw {worker_panics}"
+    );
+    assert!(
+        evicted_poisoned >= 1,
+        "the poisoned decode session was never evicted"
+    );
+    assert!(
+        stats.connections.worker_panics >= 1,
+        "the transport layer never caught (and counted) the handler panic"
+    );
+    if io_model == IoModel::Reactor {
+        // Every pool worker survived its caught panics.
+        assert_eq!(
+            stats.connections.workers_alive as usize,
+            ServerConfig::default().reactor_workers,
+            "reactor worker pool did not recover to full strength"
+        );
+    }
+
+    // Recovery: with the plan disarmed, the same gateway must serve
+    // bit-exact traffic and health must drain back to `ok` once the
+    // storm's errors age out of the SLO window.
+    let model = gateway.router().model(CHAIN_MODEL).expect("registered");
+    let recover_started = Instant::now();
+    let mut polls = 0usize;
+    let recovered_status = loop {
+        let x = panacea_tensor::Matrix::from_fn(16, 1, |r, _| ((r * 17 + polls * 29) % 200) as i32);
+        let reply = probe
+            .infer_codes(CHAIN_MODEL, x.clone())
+            .expect("post-chaos infer");
+        assert_eq!(
+            reply.payload,
+            model.forward_codes(&x).0.into(),
+            "post-chaos infer reply diverged"
+        );
+        polls += 1;
+        let health = probe.health().expect("health");
+        if health.status == SloStatus::Ok {
+            break health.status;
+        }
+        assert!(
+            recover_started.elapsed() < CHAOS_SLO_WINDOW + Duration::from_secs(15),
+            "health never returned to ok after the plan disarmed: {health:?}"
+        );
+        thread::sleep(Duration::from_millis(150));
+    };
+    let recovery = recover_started.elapsed();
+
+    // A fresh session on the stormed gateway must match an untouched
+    // reference gateway seeded identically, step for step.
+    let reference = nominal_gateway();
+    let ref_open = reference.session_open(BLOCK_MODEL).expect("reference open");
+    let open = probe.session_open(BLOCK_MODEL).expect("post-chaos open");
+    for i in 0..8 {
+        let token = hidden(BLOCK_D_MODEL, 1, 9_000_000 + i);
+        let got = probe
+            .decode(open.session, token.clone())
+            .expect("post-chaos decode");
+        let want = reference
+            .decode(ref_open.session, &token)
+            .expect("reference decode");
+        assert_eq!(
+            got.hidden, want.hidden,
+            "post-chaos decode diverged from the reference gateway at step {i}"
+        );
+    }
+    probe.session_close(open.session).expect("session close");
+    reference
+        .session_close(ref_open.session)
+        .expect("reference close");
+    server.shutdown();
+
+    println!(
+        "chaos ({io_model:?}): {}/{} calls ok, {} faulted ({} deadline_exceeded), \
+         {} panics / {} transport panics / {} evictions on the wire, \
+         max call {:.0}ms (budget {:.0}ms), health {} -> ok in {:.1}s ✓",
+        infer.ok + decode.ok,
+        clients * requests,
+        infer.faulted + decode.faulted,
+        infer.deadline_exceeded + decode.deadline_exceeded,
+        worker_panics,
+        stats.connections.worker_panics,
+        evicted_poisoned,
+        max_call.as_secs_f64() * 1e3,
+        hang_bound.as_secs_f64() * 1e3,
+        flipped.status.as_str(),
+        recovery.as_secs_f64()
+    );
+
+    json!({
+        "io_model": format!("{io_model:?}"),
+        "clients": clients,
+        "requests_per_client": requests,
+        "ok": infer.ok + decode.ok,
+        "faulted": infer.faulted + decode.faulted,
+        "deadline_exceeded": infer.deadline_exceeded + decode.deadline_exceeded,
+        "sessions_reopened": decode.reopened,
+        "max_call_ms": max_call.as_secs_f64() * 1e3,
+        "hang_bound_ms": hang_bound.as_secs_f64() * 1e3,
+        "worker_panics": worker_panics,
+        "transport_panics": stats.connections.worker_panics,
+        "evicted_poisoned": evicted_poisoned,
+        "expired_steps": expired_steps,
+        "health_at_storm": flipped.status.as_str(),
+        "health_recovered": recovered_status.as_str(),
+        "recovery_s": recovery.as_secs_f64(),
+    })
+}
+
 fn main() {
     let smoke = smoke();
     let levels: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8] };
@@ -786,6 +1223,12 @@ fn main() {
         Value::Null
     };
 
+    let chaos = if std::env::args().any(|a| a == "--chaos") {
+        run_chaos(smoke)
+    } else {
+        Value::Null
+    };
+
     let report = json!({
         "bench": "gateway_load",
         "mode": if smoke { "smoke" } else { "full" },
@@ -801,6 +1244,7 @@ fn main() {
         }),
         "export": export,
         "connections": connections,
+        "chaos": chaos,
     });
     let encoded = serde_json::to_string(&report).expect("shim serializer never fails");
     std::fs::write("BENCH_gateway.json", &encoded).expect("write BENCH_gateway.json");

@@ -72,6 +72,16 @@ impl BlockKvState {
         self.v.reserve(cells);
     }
 
+    /// Discards every cached token past the first `tokens`, keeping the
+    /// prefix intact — a no-op when the cache already holds that few.
+    /// Capacity is retained: a rolled-back step's reservation is reused
+    /// by the retry.
+    pub fn truncate_tokens(&mut self, tokens: usize) {
+        let cells = tokens.saturating_mul(self.d_model);
+        self.k.truncate(cells);
+        self.v.truncate(cells);
+    }
+
     /// Appends the K and V rows of freshly decoded tokens, read from a
     /// stacked QKV tensor (`3·d_model × t_new`, rows ordered Q, K, V) —
     /// O(d_model · t_new), independent of the prefix length.
@@ -190,6 +200,18 @@ impl KvCache {
             state.reserve_tokens(additional);
         }
     }
+
+    /// Rolls the whole cache back to its first `tokens` tokens. This is
+    /// the panic-isolation primitive: a fused decode pass that dies
+    /// partway may have appended K/V to some blocks but not others, so
+    /// the serving layer snapshots [`tokens`](Self::tokens) before the
+    /// pass and truncates back on the way out — restoring a consistent
+    /// prefix a solo retry can step from.
+    pub fn truncate_tokens(&mut self, tokens: usize) {
+        for state in &mut self.states {
+            state.truncate_tokens(tokens);
+        }
+    }
 }
 
 /// Runs `h_new` (`d_model × t_new`, the freshly appended tokens of one
@@ -292,5 +314,28 @@ mod tests {
         assert!(kv.block(1).keys().iter().all(|&x| x == 2.0));
         assert!(kv.block(1).values().iter().all(|&x| x == 3.0));
         assert_eq!(kv.block(1).d_model(), 8);
+    }
+
+    #[test]
+    fn truncate_rolls_back_to_a_consistent_prefix() {
+        let mut kv = KvCache::new(8, 3);
+        let qkv = Matrix::from_fn(24, 3, |r, c| (r / 8) as f32 + c as f32);
+        for b in 0..3 {
+            kv.block_mut(b).append_from_qkv(&qkv, 3);
+        }
+        // Simulate a half-applied step: one block got an extra token.
+        kv.block_mut(1).append_from_qkv(&qkv, 1);
+        kv.truncate_tokens(3);
+        assert_eq!(kv.tokens(), 3);
+        for b in 0..3 {
+            assert_eq!(kv.block(b).tokens(), 3, "block {b} rolled back");
+        }
+        assert_eq!(kv.resident_bytes(), 3 * kv.bytes_per_token());
+        // Truncating past the resident count is a no-op.
+        kv.truncate_tokens(10);
+        assert_eq!(kv.tokens(), 3);
+        kv.truncate_tokens(0);
+        assert_eq!(kv.tokens(), 0);
+        assert_eq!(kv.resident_bytes(), 0);
     }
 }

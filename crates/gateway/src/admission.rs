@@ -14,7 +14,7 @@
 //! claimed into a batch completes normally; its answer is discarded.)
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use panacea_serve::{InferenceOutput, OverloadReason, Pending, ServeError};
 
@@ -121,9 +121,41 @@ impl AdmissionController {
     /// when the bound elapses first, and whatever
     /// [`Pending::wait_timeout`] surfaces otherwise.
     pub fn wait_bounded(&self, pending: &Pending) -> Result<InferenceOutput, ServeError> {
-        let waited = self.config.max_queue_wait;
+        self.wait_bounded_deadline(pending, None)
+    }
+
+    /// [`wait_bounded`](Self::wait_bounded) additionally bounded by the
+    /// caller's `deadline`: the wait lasts until whichever of the queue
+    /// bound and the deadline comes first. A timeout caused by the
+    /// deadline answers [`ServeError::DeadlineExceeded`] — the caller
+    /// asked for that bound, so it is not counted as a shed — while one
+    /// caused by `max_queue_wait` sheds exactly as
+    /// [`wait_bounded`](Self::wait_bounded) does.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeadlineExceeded`] when the deadline bound elapses
+    /// first (or has already passed), and everything
+    /// [`wait_bounded`](Self::wait_bounded) surfaces otherwise.
+    pub fn wait_bounded_deadline(
+        &self,
+        pending: &Pending,
+        deadline: Option<Instant>,
+    ) -> Result<InferenceOutput, ServeError> {
+        let cap = self.config.max_queue_wait;
+        let (waited, deadline_bound) = match deadline {
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(ServeError::DeadlineExceeded);
+                }
+                (remaining.min(cap), remaining <= cap)
+            }
+            None => (cap, false),
+        };
         match pending.wait_timeout(waited)? {
             Some(out) => Ok(out),
+            None if deadline_bound => Err(ServeError::DeadlineExceeded),
             None => {
                 self.rejected_timeout.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::Overloaded {

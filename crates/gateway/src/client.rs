@@ -4,41 +4,143 @@
 //! every call writes one request line and blocks for one response line.
 //! Concurrency comes from opening more clients — they are cheap, and the
 //! server dedicates a thread per connection anyway.
+//!
+//! # Deadlines and retries
+//!
+//! [`ClientConfig`] adds graceful degradation on the caller's side:
+//!
+//! * `deadline` stamps every inference/decode request with a
+//!   `deadline_ms` bound the server enforces at admission, dequeue, and
+//!   batch formation — and arms a socket read timeout slightly past it,
+//!   so even a wedged server cannot hold the caller hostage.
+//! * `retries` re-issues **idempotent** verbs (stateless inference and
+//!   the observability verbs) after transport failures or retryable
+//!   remote errors (`internal`, `overloaded`), reconnecting first when
+//!   the connection itself broke, with exponential backoff and
+//!   deterministic jitter in between. Decode steps and session
+//!   open/close are **never** retried blindly: a lost reply leaves the
+//!   server-side outcome unknown, and replaying a decode step would
+//!   corrupt the session's KV prefix.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use panacea_serve::Payload;
 use panacea_tensor::Matrix;
 
 use crate::protocol::{
-    decode_response, encode_request, DecodeReply, EventsReply, GatewayMetrics, GatewayStats,
-    InferReply, Request, Response, SessionCloseReply, SessionOpenReply, TraceKind, TraceReply,
+    decode_response, encode_request, DecodeReply, ErrorKind, EventsReply, GatewayMetrics,
+    GatewayStats, InferReply, Request, Response, SessionCloseReply, SessionOpenReply, TraceKind,
+    TraceReply,
 };
 use crate::GatewayError;
 use panacea_telemetry::HealthReport;
+
+/// Extra read-timeout headroom past the request deadline: enough for
+/// the server to notice the deadline itself and answer
+/// `deadline_exceeded` before the socket gives up.
+const DEADLINE_SLACK: Duration = Duration::from_secs(1);
+
+/// Client-side degradation knobs. The default retries nothing and sets
+/// no deadline — exactly the old always-blocking behavior.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Per-request deadline stamped onto inference/decode requests (and
+    /// enforced locally via a read timeout with one second of slack
+    /// headroom). `None` sends no bound.
+    pub deadline: Option<Duration>,
+    /// Extra attempts for idempotent verbs after a retryable failure.
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt, with
+    /// ±50% deterministic jitter.
+    pub backoff: Duration,
+    /// Seed for the jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            deadline: None,
+            retries: 0,
+            backoff: Duration::from_millis(50),
+            seed: 0,
+        }
+    }
+}
 
 /// A connected gateway client. See the module docs.
 #[derive(Debug)]
 pub struct GatewayClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    addr: SocketAddr,
+    config: ClientConfig,
+    jitter: u64,
 }
 
 impl GatewayClient {
-    /// Connects to a [`GatewayServer`](crate::GatewayServer).
+    /// Connects to a [`GatewayServer`](crate::GatewayServer) with the
+    /// default (no-deadline, no-retry) [`ClientConfig`].
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// [`connect`](Self::connect) with explicit deadline/retry knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let read_half = stream.try_clone()?;
+        let addr = stream.peer_addr()?;
+        let (reader, writer) = Self::halves(stream, config)?;
         Ok(GatewayClient {
-            reader: BufReader::new(read_half),
-            writer: BufWriter::new(stream),
+            reader,
+            writer,
+            addr,
+            config,
+            jitter: config.seed ^ 0x9e37_79b9_7f4a_7c15,
         })
+    }
+
+    fn halves(
+        stream: TcpStream,
+        config: ClientConfig,
+    ) -> std::io::Result<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
+        stream.set_nodelay(true)?;
+        if let Some(deadline) = config.deadline {
+            stream.set_read_timeout(Some(deadline + DEADLINE_SLACK))?;
+        }
+        let read_half = stream.try_clone()?;
+        Ok((BufReader::new(read_half), BufWriter::new(stream)))
+    }
+
+    /// Drops the (possibly broken) connection and dials the same
+    /// address again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures; the old connection is already
+    /// gone either way.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        let (reader, writer) = Self::halves(stream, self.config)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// The deadline bound stamped onto inference/decode requests.
+    fn deadline_ms(&self) -> Option<u64> {
+        self.config
+            .deadline
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, GatewayError> {
@@ -56,8 +158,65 @@ impl GatewayClient {
         decode_response(&reply)
     }
 
+    /// [`call`](Self::call) for idempotent verbs only: retries up to
+    /// `config.retries` extra attempts on transport failures (after
+    /// reconnecting) and on retryable remote errors, sleeping a
+    /// jittered exponential backoff between attempts.
+    fn call_retrying(&mut self, request: &Request) -> Result<Response, GatewayError> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.call(request);
+            // Remote rejections arrive as `Ok(Response::Error { .. })`
+            // — the wire exchange itself succeeded — so both shapes are
+            // inspected for retryability.
+            let (retry, broke_transport) = match &outcome {
+                Err(e) if retryable(e) => (
+                    true,
+                    matches!(e, GatewayError::Io(_) | GatewayError::Protocol(_)),
+                ),
+                Ok(Response::Error { kind, .. }) => (
+                    matches!(kind, ErrorKind::Internal | ErrorKind::Overloaded),
+                    false,
+                ),
+                _ => (false, false),
+            };
+            if !retry || attempt >= self.config.retries {
+                return outcome;
+            }
+            attempt += 1;
+            self.sleep_backoff(attempt);
+            if broke_transport {
+                // Best effort: a failed redial surfaces as Io on the
+                // next attempt, consuming the remaining budget.
+                let _ = self.reconnect();
+            }
+        }
+    }
+
+    /// Jittered exponential backoff: `backoff * 2^(attempt-1)`, scaled
+    /// by a deterministic factor in `[0.5, 1.5)` so a fleet of clients
+    /// retrying the same incident does not stampede in lockstep.
+    fn sleep_backoff(&mut self, attempt: u32) {
+        let base = self
+            .config
+            .backoff
+            .saturating_mul(1 << (attempt - 1).min(6));
+        // SplitMix64 step; seeded per client, so the sequence is
+        // reproducible but distinct across seeds.
+        self.jitter = self.jitter.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+        std::thread::sleep(base.mul_f64(0.5 + frac));
+    }
+
     fn expect_infer(&mut self, request: &Request) -> Result<InferReply, GatewayError> {
-        match self.call(request)? {
+        // Stateless inference is idempotent (the server's cache keys on
+        // content, and re-running a pure forward pass is harmless), so
+        // it goes through the retrying path.
+        match self.call_retrying(request)? {
             Response::Infer(reply) => Ok(reply),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
             _ => Err(GatewayError::Protocol(
@@ -83,6 +242,7 @@ impl GatewayClient {
         self.expect_infer(&Request::Infer {
             model: model.to_string(),
             payload,
+            deadline_ms: self.deadline_ms(),
         })
     }
 
@@ -133,6 +293,7 @@ impl GatewayClient {
         self.expect_infer(&Request::InferF32 {
             model: model.to_string(),
             input,
+            deadline_ms: self.deadline_ms(),
         })
     }
 
@@ -171,7 +332,14 @@ impl GatewayClient {
         hidden: Matrix<f32>,
     ) -> Result<DecodeReply, GatewayError> {
         check_finite(&hidden)?;
-        match self.call(&Request::Decode { session, hidden })? {
+        // Never retried: a lost reply leaves the step's server-side
+        // outcome unknown, and replaying it would corrupt the KV prefix.
+        let deadline_ms = self.deadline_ms();
+        match self.call(&Request::Decode {
+            session,
+            hidden,
+            deadline_ms,
+        })? {
             Response::Decode(reply) => Ok(reply),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
             _ => Err(GatewayError::Protocol(
@@ -203,7 +371,7 @@ impl GatewayClient {
     ///
     /// Same transport failures as [`infer`](Self::infer).
     pub fn stats(&mut self) -> Result<GatewayStats, GatewayError> {
-        match self.call(&Request::Stats)? {
+        match self.call_retrying(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
             _ => Err(GatewayError::Protocol(
@@ -219,7 +387,7 @@ impl GatewayClient {
     ///
     /// Same transport failures as [`infer`](Self::infer).
     pub fn metrics(&mut self) -> Result<GatewayMetrics, GatewayError> {
-        match self.call(&Request::Metrics)? {
+        match self.call_retrying(&Request::Metrics)? {
             Response::Metrics(metrics) => Ok(metrics),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
             _ => Err(GatewayError::Protocol(
@@ -257,7 +425,7 @@ impl GatewayClient {
     ///
     /// Same transport failures as [`infer`](Self::infer).
     pub fn trace_of(&mut self, limit: usize, kind: TraceKind) -> Result<TraceReply, GatewayError> {
-        match self.call(&Request::Trace { limit, kind })? {
+        match self.call_retrying(&Request::Trace { limit, kind })? {
             Response::Trace(reply) => Ok(reply),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
             _ => Err(GatewayError::Protocol(
@@ -273,7 +441,7 @@ impl GatewayClient {
     ///
     /// Same transport failures as [`infer`](Self::infer).
     pub fn health(&mut self) -> Result<HealthReport, GatewayError> {
-        match self.call(&Request::Health)? {
+        match self.call_retrying(&Request::Health)? {
             Response::Health(report) => Ok(report),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
             _ => Err(GatewayError::Protocol(
@@ -290,13 +458,28 @@ impl GatewayClient {
     ///
     /// Same transport failures as [`infer`](Self::infer).
     pub fn events(&mut self, limit: usize) -> Result<EventsReply, GatewayError> {
-        match self.call(&Request::Events { limit })? {
+        match self.call_retrying(&Request::Events { limit })? {
             Response::Events(reply) => Ok(reply),
             Response::Error { kind, message } => Err(GatewayError::Remote { kind, message }),
             _ => Err(GatewayError::Protocol(
                 "server answered an events request with the wrong kind".to_string(),
             )),
         }
+    }
+}
+
+/// Whether a failed idempotent call is worth another attempt: transport
+/// breakage (the server may have restarted, or the connection was
+/// reset mid-exchange) and transient remote conditions. Deterministic
+/// rejections (`bad_request`, `unknown_model`, `deadline_exceeded`,
+/// `shutting_down`) would just fail identically again.
+fn retryable(e: &GatewayError) -> bool {
+    match e {
+        GatewayError::Io(_) | GatewayError::Protocol(_) => true,
+        GatewayError::Remote { kind, .. } => {
+            matches!(kind, ErrorKind::Internal | ErrorKind::Overloaded)
+        }
+        _ => false,
     }
 }
 

@@ -57,7 +57,7 @@ use panacea_serve::ServeError;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
 pub use cache::{CacheConfig, CacheStats, CachedOutput, RequestCache};
-pub use client::GatewayClient;
+pub use client::{ClientConfig, GatewayClient};
 pub use panacea_netcore::{ConnectionCounters, ConnectionStats};
 pub use panacea_serve::{OverloadReason, Payload, PayloadKind, SessionConfig, SessionStats};
 pub use panacea_telemetry::{

@@ -66,6 +66,12 @@ pub enum Request {
         model: String,
         /// The typed activation payload.
         payload: Payload,
+        /// Optional deadline budget in milliseconds, measured from the
+        /// moment the gateway decodes the request. Work that cannot
+        /// start (admission, queueing) before the budget elapses is
+        /// answered `deadline_exceeded` instead of served late; absent
+        /// means wait indefinitely (bounded only by server policy).
+        deadline_ms: Option<u64>,
     },
     /// Convenience form of `infer`: float activations the server
     /// converts into the model's native payload (quantizes for chains,
@@ -75,6 +81,9 @@ pub enum Request {
         model: String,
         /// Float activations (`K × N`).
         input: Matrix<f32>,
+        /// Optional deadline budget in milliseconds (see
+        /// [`Request::Infer::deadline_ms`]).
+        deadline_ms: Option<u64>,
     },
     /// Open a decode session on a transformer-block model. The session
     /// starts empty; its prefix arrives through `Decode` steps.
@@ -88,6 +97,10 @@ pub enum Request {
         session: u64,
         /// New hidden-state columns (`d_model × t_new`).
         hidden: Matrix<f32>,
+        /// Optional deadline budget in milliseconds (see
+        /// [`Request::Infer::deadline_ms`]). An expired step leaves the
+        /// session itself untouched — only that step is refused.
+        deadline_ms: Option<u64>,
     },
     /// Close a decode session, freeing its KV state.
     SessionClose {
@@ -225,6 +238,10 @@ pub enum ErrorKind {
     /// The request itself is invalid (payload kind, shape, code range,
     /// empty payload).
     BadRequest,
+    /// The request's deadline elapsed before it could be served; the
+    /// work was dropped, not executed late. Retrying is safe for
+    /// stateless verbs.
+    DeadlineExceeded,
     /// The gateway is shutting down.
     ShuttingDown,
     /// Unexpected server-side failure.
@@ -238,6 +255,7 @@ impl ErrorKind {
             ErrorKind::UnknownModel => "unknown_model",
             ErrorKind::UnknownSession => "unknown_session",
             ErrorKind::BadRequest => "bad_request",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Internal => "internal",
         }
@@ -249,6 +267,7 @@ impl ErrorKind {
             "unknown_model" => ErrorKind::UnknownModel,
             "unknown_session" => ErrorKind::UnknownSession,
             "bad_request" => ErrorKind::BadRequest,
+            "deadline_exceeded" => ErrorKind::DeadlineExceeded,
             "shutting_down" => ErrorKind::ShuttingDown,
             _ => ErrorKind::Internal,
         }
@@ -302,6 +321,15 @@ pub struct ShardStats {
     /// Columns the fused decode passes zero-padded to the PE vector
     /// width.
     pub decode_padded_cols: u64,
+    /// Panics caught and isolated on this shard's execution paths
+    /// (batch workers, fused decode passes, inline steps).
+    pub worker_panics: u64,
+    /// Decode sessions evicted because a panic died inside their own
+    /// step.
+    pub evicted_poisoned: u64,
+    /// Requests and decode steps answered `deadline_exceeded` at
+    /// dequeue instead of executed.
+    pub expired: u64,
 }
 
 /// Overload sheds broken down by which bound rejected the request, as
@@ -744,28 +772,72 @@ fn value_to_matrix_f32(v: &Value) -> Result<Matrix<f32>, GatewayError> {
     Ok(Matrix::from_vec(rows, cols, out).expect("dims pre-checked against data length"))
 }
 
+/// Attaches the optional `deadline_ms` wire field; absent deadlines
+/// stay off the wire so pre-deadline peers parse unchanged.
+fn with_deadline(mut value: Value, deadline_ms: Option<u64>) -> Value {
+    if let Some(ms) = deadline_ms {
+        if let Value::Object(map) = &mut value {
+            map.insert("deadline_ms".to_string(), Value::from(ms));
+        }
+    }
+    value
+}
+
+/// Reads the optional `deadline_ms` field (absent or `null` means no
+/// deadline).
+fn opt_deadline_ms(v: &Value) -> Result<Option<u64>, GatewayError> {
+    match v.get("deadline_ms") {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad("field \"deadline_ms\" is not a non-negative integer")),
+    }
+}
+
 /// Serializes a request to its single-line wire form (no newline).
 pub fn encode_request(req: &Request) -> String {
     let value = match req {
-        Request::Infer { model, payload } => json!({
-            "verb": "infer",
-            "model": model.clone(),
-            "payload": payload_to_value(payload),
-        }),
-        Request::InferF32 { model, input } => json!({
-            "verb": "infer",
-            "model": model.clone(),
-            "input": matrix_f32_to_value(input),
-        }),
+        Request::Infer {
+            model,
+            payload,
+            deadline_ms,
+        } => with_deadline(
+            json!({
+                "verb": "infer",
+                "model": model.clone(),
+                "payload": payload_to_value(payload),
+            }),
+            *deadline_ms,
+        ),
+        Request::InferF32 {
+            model,
+            input,
+            deadline_ms,
+        } => with_deadline(
+            json!({
+                "verb": "infer",
+                "model": model.clone(),
+                "input": matrix_f32_to_value(input),
+            }),
+            *deadline_ms,
+        ),
         Request::SessionOpen { model } => json!({
             "verb": "session_open",
             "model": model.clone(),
         }),
-        Request::Decode { session, hidden } => json!({
-            "verb": "decode",
-            "session": *session,
-            "hidden": matrix_f32_to_value(hidden),
-        }),
+        Request::Decode {
+            session,
+            hidden,
+            deadline_ms,
+        } => with_deadline(
+            json!({
+                "verb": "decode",
+                "session": *session,
+                "hidden": matrix_f32_to_value(hidden),
+            }),
+            *deadline_ms,
+        ),
         Request::SessionClose { session } => json!({
             "verb": "session_close",
             "session": *session,
@@ -797,14 +869,17 @@ pub fn decode_request(line: &str) -> Result<Request, GatewayError> {
     match str_field(&v, "verb")? {
         "infer" => {
             let model = str_field(&v, "model")?.to_string();
+            let deadline_ms = opt_deadline_ms(&v)?;
             match (v.get("payload"), v.get("input")) {
                 (Some(payload), None) => Ok(Request::Infer {
                     model,
                     payload: value_to_payload(payload)?,
+                    deadline_ms,
                 }),
                 (None, Some(input)) => Ok(Request::InferF32 {
                     model,
                     input: value_to_matrix_f32(input)?,
+                    deadline_ms,
                 }),
                 (Some(_), Some(_)) => Err(bad("request carries both payload and input")),
                 (None, None) => Err(bad("request carries neither payload nor input")),
@@ -816,6 +891,7 @@ pub fn decode_request(line: &str) -> Result<Request, GatewayError> {
         "decode" => Ok(Request::Decode {
             session: u64_field(&v, "session")?,
             hidden: value_to_matrix_f32(field(&v, "hidden")?)?,
+            deadline_ms: opt_deadline_ms(&v)?,
         }),
         "session_close" => Ok(Request::SessionClose {
             session: u64_field(&v, "session")?,
@@ -859,6 +935,9 @@ fn shard_stats_to_value(s: &ShardStats) -> Value {
         "decode_batches": s.decode_batches,
         "decode_batch_occupancy": s.decode_batch_occupancy,
         "decode_padded_cols": s.decode_padded_cols,
+        "worker_panics": s.worker_panics,
+        "evicted_poisoned": s.evicted_poisoned,
+        "expired": s.expired,
     })
 }
 
@@ -880,6 +959,9 @@ fn value_to_shard_stats(v: &Value) -> Result<ShardStats, GatewayError> {
         decode_batches: u64_field(v, "decode_batches")?,
         decode_batch_occupancy: f64_field(v, "decode_batch_occupancy")?,
         decode_padded_cols: u64_field(v, "decode_padded_cols")?,
+        worker_panics: u64_field(v, "worker_panics")?,
+        evicted_poisoned: u64_field(v, "evicted_poisoned")?,
+        expired: u64_field(v, "expired")?,
     })
 }
 
@@ -911,6 +993,8 @@ fn stats_to_value(stats: &GatewayStats) -> Value {
             "open": stats.connections.open,
             "peak": stats.connections.peak,
             "evicted": stats.connections.evicted,
+            "workers_alive": stats.connections.workers_alive,
+            "worker_panics": stats.connections.worker_panics,
         }),
     })
 }
@@ -949,6 +1033,8 @@ fn value_to_stats(v: &Value) -> Result<GatewayStats, GatewayError> {
             open: u64_field(connections, "open")?,
             peak: u64_field(connections, "peak")?,
             evicted: u64_field(connections, "evicted")?,
+            workers_alive: u64_field(connections, "workers_alive")?,
+            worker_panics: u64_field(connections, "worker_panics")?,
         },
         uptime_ms: u64_field(v, "uptime_ms")?,
         seq: u64_field(v, "seq")?,
@@ -1405,10 +1491,53 @@ mod tests {
         let req = Request::Infer {
             model: "block0.fc2".to_string(),
             payload: Payload::Codes(codes()),
+            deadline_ms: None,
         };
         let line = encode_request(&req);
         assert!(!line.contains('\n'));
+        // No deadline → no field on the wire (older peers keep parsing).
+        assert!(!line.contains("deadline_ms"));
         assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn deadlines_round_trip_on_every_carrying_verb() {
+        for req in [
+            Request::Infer {
+                model: "m".to_string(),
+                payload: Payload::Codes(codes()),
+                deadline_ms: Some(250),
+            },
+            Request::InferF32 {
+                model: "m".to_string(),
+                input: Matrix::from_fn(2, 2, |r, c| (r + c) as f32),
+                deadline_ms: Some(1),
+            },
+            Request::Decode {
+                session: 3,
+                hidden: Matrix::from_vec(1, 1, vec![0.5f32]).unwrap(),
+                deadline_ms: Some(10_000),
+            },
+        ] {
+            let line = encode_request(&req);
+            assert!(line.contains("deadline_ms"));
+            assert_eq!(decode_request(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn non_integer_deadlines_are_rejected() {
+        let line = "{\"verb\":\"infer\",\"model\":\"m\",\"deadline_ms\":-5,\"payload\":{\"kind\":\"codes\",\"rows\":1,\"cols\":1,\"data\":[0]}}";
+        assert!(decode_request(line).is_err());
+        // An explicit null means "no deadline", same as absence.
+        let line = "{\"verb\":\"infer\",\"model\":\"m\",\"deadline_ms\":null,\"payload\":{\"kind\":\"codes\",\"rows\":1,\"cols\":1,\"data\":[0]}}";
+        assert!(matches!(
+            decode_request(line).unwrap(),
+            Request::Infer {
+                deadline_ms: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1417,6 +1546,7 @@ mod tests {
         let req = Request::InferF32 {
             model: "m".to_string(),
             input,
+            deadline_ms: None,
         };
         assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
     }
@@ -1430,6 +1560,7 @@ mod tests {
         let req = Request::Infer {
             model: "decoder".to_string(),
             payload: Payload::Hidden(hidden.clone()),
+            deadline_ms: None,
         };
         let Request::Infer {
             payload: Payload::Hidden(back),
@@ -1455,6 +1586,7 @@ mod tests {
                 // is exactly representable on the wire.
                 session: 1u64 << 52,
                 hidden: Matrix::from_vec(2, 1, vec![0.5f32, -1.25]).unwrap(),
+                deadline_ms: None,
             },
             Request::SessionClose { session: 7 },
         ] {
@@ -1542,6 +1674,9 @@ mod tests {
                     decode_batches: 4,
                     decode_batch_occupancy: 2.25,
                     decode_padded_cols: 5,
+                    worker_panics: 2,
+                    evicted_poisoned: 1,
+                    expired: 6,
                 },
                 ShardStats::default(),
             ],
@@ -1566,6 +1701,8 @@ mod tests {
                 open: 3,
                 peak: 9,
                 evicted: 2,
+                workers_alive: 4,
+                worker_panics: 1,
             },
             uptime_ms: 98_765,
             seq: 17,
@@ -1962,6 +2099,7 @@ mod tests {
         let req = Request::Infer {
             model: "m".to_string(),
             payload: Payload::Codes(m.clone()),
+            deadline_ms: None,
         };
         let Request::Infer { payload, .. } = decode_request(&encode_request(&req)).unwrap() else {
             panic!("wrong verb");

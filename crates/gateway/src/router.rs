@@ -231,6 +231,27 @@ impl ShardRouter {
         self.shards[shard].submit_to_traced(model, payload, ctx)
     }
 
+    /// [`submit_to_shard_traced`](Self::submit_to_shard_traced) with a
+    /// caller deadline — see [`Runtime::submit_to_traced_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit_to_traced_deadline`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.num_shards()`.
+    pub fn submit_to_shard_traced_deadline(
+        &self,
+        shard: usize,
+        model: Arc<PreparedModel>,
+        payload: impl Into<Payload>,
+        ctx: Option<panacea_telemetry::TraceContext>,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Pending, ServeError> {
+        self.shards[shard].submit_to_traced_deadline(model, payload, ctx, deadline)
+    }
+
     /// Routes, enqueues, and blocks for the answer.
     ///
     /// # Errors
@@ -267,6 +288,11 @@ impl ShardRouter {
                     columns_per_second: m.columns_per_second(),
                     queued_cols: q.queued_cols as u64,
                     in_flight_cols: q.in_flight_cols as u64,
+                    // Runtime-level fault counters; the gateway adds the
+                    // session layer's (decode batcher, inline steps) on
+                    // top when it merges SessionManager stats in.
+                    worker_panics: m.worker_panics,
+                    expired: m.expired,
                     // Session counters are owned by the gateway's
                     // per-shard SessionManagers and merged there.
                     ..ShardStats::default()

@@ -20,10 +20,13 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+use panacea_faultline::Fault;
 
 use panacea_netcore::{
     ConnObserver, ConnStage, ConnectionCounters, EvictReason, Reactor, ReactorConfig,
@@ -277,9 +280,27 @@ impl Gateway {
     /// Everything [`panacea_serve::Runtime::infer`] surfaces, plus
     /// [`ServeError::Overloaded`] from admission control.
     pub fn infer(&self, model: &str, payload: Payload) -> Result<InferReply, ServeError> {
+        self.infer_deadline(model, payload, None)
+    }
+
+    /// [`infer`](Self::infer) bounded by a caller deadline: once
+    /// `deadline` passes, the request is rejected at admission, dropped
+    /// from the queue before any GEMM runs, or released from its wait —
+    /// whichever comes first — with [`ServeError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeadlineExceeded`] past the deadline, plus
+    /// everything [`infer`](Self::infer) surfaces.
+    pub fn infer_deadline(
+        &self,
+        model: &str,
+        payload: Payload,
+        deadline: Option<Instant>,
+    ) -> Result<InferReply, ServeError> {
         let started = Instant::now();
         let mut tb = self.tracer.begin("infer");
-        let out = self.infer_traced(model, payload, &mut tb);
+        let out = self.infer_traced(model, payload, &mut tb, deadline);
         self.tracer.finish(tb);
         self.record_verb(model, "infer", started, &out);
         out
@@ -290,10 +311,11 @@ impl Gateway {
         model: &str,
         payload: Payload,
         tb: &mut TraceBuilder,
+        deadline: Option<Instant>,
     ) -> Result<InferReply, ServeError> {
         let started = Instant::now();
         let resolved = self.resolve(model)?;
-        let (out, scale, shard, cache_hit) = self.execute(resolved, payload, tb)?;
+        let (out, scale, shard, cache_hit) = self.execute(resolved, payload, tb, deadline)?;
         Ok(InferReply {
             payload: out,
             scale,
@@ -311,9 +333,25 @@ impl Gateway {
     ///
     /// Same as [`infer`](Self::infer).
     pub fn infer_f32(&self, model: &str, input: Matrix<f32>) -> Result<InferReply, ServeError> {
+        self.infer_f32_deadline(model, input, None)
+    }
+
+    /// [`infer_f32`](Self::infer_f32) bounded by a caller deadline —
+    /// see [`infer_deadline`](Self::infer_deadline).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeadlineExceeded`] past the deadline, plus
+    /// everything [`infer_f32`](Self::infer_f32) surfaces.
+    pub fn infer_f32_deadline(
+        &self,
+        model: &str,
+        input: Matrix<f32>,
+        deadline: Option<Instant>,
+    ) -> Result<InferReply, ServeError> {
         let started = Instant::now();
         let mut tb = self.tracer.begin("infer");
-        let out = self.infer_f32_traced(model, input, &mut tb);
+        let out = self.infer_f32_traced(model, input, &mut tb, deadline);
         self.tracer.finish(tb);
         // Recorded under "infer": both wire forms share the verb.
         self.record_verb(model, "infer", started, &out);
@@ -325,11 +363,12 @@ impl Gateway {
         model: &str,
         input: Matrix<f32>,
         tb: &mut TraceBuilder,
+        deadline: Option<Instant>,
     ) -> Result<InferReply, ServeError> {
         let started = Instant::now();
         let resolved = self.resolve(model)?;
         let payload = tb.span("quantize", ROOT_SPAN, || resolved.quantize(&input));
-        let (out, scale, shard, cache_hit) = self.execute(resolved, payload, tb)?;
+        let (out, scale, shard, cache_hit) = self.execute(resolved, payload, tb, deadline)?;
         Ok(InferReply {
             payload: out,
             scale,
@@ -411,13 +450,31 @@ impl Gateway {
     /// shard's KV budget, and the input-contract errors of
     /// [`panacea_serve::SessionManager::step`].
     pub fn decode(&self, session: u64, hidden: &Matrix<f32>) -> Result<DecodeReply, ServeError> {
+        self.decode_deadline(session, hidden, None)
+    }
+
+    /// [`decode`](Self::decode) bounded by a caller deadline: an expired
+    /// step is dropped before it executes (the session's KV state is
+    /// untouched, so the caller can simply resubmit the same columns)
+    /// and answered [`ServeError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeadlineExceeded`] past the deadline, plus
+    /// everything [`decode`](Self::decode) surfaces.
+    pub fn decode_deadline(
+        &self,
+        session: u64,
+        hidden: &Matrix<f32>,
+        deadline: Option<Instant>,
+    ) -> Result<DecodeReply, ServeError> {
         let started = Instant::now();
         // Attribution happens before the step: a session that errors
         // mid-step (or gets evicted by it) still records under its
         // model. Unknown sessions record under "-".
         let model = self.session_model(session);
         let mut tb = self.tracer.begin("decode");
-        let out = self.decode_traced(session, hidden, &mut tb);
+        let out = self.decode_traced(session, hidden, &mut tb, deadline);
         self.tracer.finish(tb);
         self.record_verb(model.as_deref().unwrap_or("-"), "decode", started, &out);
         out
@@ -428,6 +485,7 @@ impl Gateway {
         session: u64,
         hidden: &Matrix<f32>,
         tb: &mut TraceBuilder,
+        deadline: Option<Instant>,
     ) -> Result<DecodeReply, ServeError> {
         let started = Instant::now();
         let span = tb.start_span("admission_wait", ROOT_SPAN);
@@ -445,7 +503,8 @@ impl Gateway {
         // batcher); hand them a context so their queue_wait/decode_pass
         // spans land inside this request's execute span.
         let ctx = self.tracer.context(tb, span);
-        let stepped = self.sessions[shard].step_traced(session, hidden, Some(ctx));
+        let stepped =
+            self.sessions[shard].step_traced_deadline(session, hidden, Some(ctx), deadline);
         self.stages.execute.record_duration(tb.end_span(span));
         let (out, tokens, _wl) = stepped?;
         drop(permit);
@@ -519,7 +578,17 @@ impl Gateway {
         resolved: Arc<PreparedModel>,
         payload: Payload,
         tb: &mut TraceBuilder,
+        deadline: Option<Instant>,
     ) -> Result<(Payload, f64, usize, bool), ServeError> {
+        // Chaos hook: scripted plans panic, stall, or fail the gateway's
+        // execute path here, before any routing or submission happens.
+        if let Some(fault) = panacea_faultline::point("gateway.execute") {
+            if matches!(fault, Fault::Error) {
+                return Err(ServeError::Internal {
+                    at: "gateway_execute",
+                });
+            }
+        }
         // Validation happens exactly once, inside the runtime's submit
         // path (`validate` is a full scan of the payload — scanning
         // here too would double the cost on every uncached request).
@@ -559,21 +628,30 @@ impl Gateway {
         let ctx = self.tracer.context(tb, span);
         let ran: Result<_, ServeError> = (|| {
             let (pending, kept_payload) = if cached {
-                let pending = self.router.submit_to_shard_traced(
+                let pending = self.router.submit_to_shard_traced_deadline(
                     shard,
                     Arc::clone(&resolved),
                     payload.clone(),
                     Some(ctx),
+                    deadline,
                 )?;
                 (pending, Some(payload))
             } else {
                 (
-                    self.router
-                        .submit_to_shard_traced(shard, resolved, payload, Some(ctx))?,
+                    self.router.submit_to_shard_traced_deadline(
+                        shard,
+                        resolved,
+                        payload,
+                        Some(ctx),
+                        deadline,
+                    )?,
                     None,
                 )
             };
-            Ok((self.admission.wait_bounded(&pending)?, kept_payload))
+            Ok((
+                self.admission.wait_bounded_deadline(&pending, deadline)?,
+                kept_payload,
+            ))
         })();
         self.stages.execute.record_duration(tb.end_span(span));
         let (out, kept_payload) = ran?;
@@ -604,6 +682,11 @@ impl Gateway {
             shard.decode_batches = s.decode_batches;
             shard.decode_batch_occupancy = s.decode_batch_occupancy();
             shard.decode_padded_cols = s.decode_padded_cols;
+            // The router filled the runtime layer's fault counters; the
+            // session layer (decode batcher, inline steps) adds its own.
+            shard.worker_panics += s.worker_panics;
+            shard.expired += s.expired_steps;
+            shard.evicted_poisoned = s.evicted_poisoned;
         }
         GatewayStats {
             shards,
@@ -704,7 +787,10 @@ impl Gateway {
     /// ring has churned and health has recovered.
     pub fn health(&self) -> HealthReport {
         let report = self.slo.evaluate(&self.dims);
-        let mut last = self.last_status.lock().expect("health status poisoned");
+        let mut last = self
+            .last_status
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if report.status != *last {
             let from = *last;
             *last = report.status;
@@ -852,18 +938,33 @@ impl Gateway {
             Request::Trace { limit, kind } => Response::Trace(self.traces(limit, kind)),
             Request::Health => Response::Health(self.health()),
             Request::Events { limit } => Response::Events(self.events(limit)),
-            Request::Infer { model, payload } => {
-                reply(self.infer(&model, payload), Response::Infer)
-            }
-            Request::InferF32 { model, input } => {
-                reply(self.infer_f32(&model, input), Response::Infer)
-            }
+            Request::Infer {
+                model,
+                payload,
+                deadline_ms,
+            } => reply(
+                self.infer_deadline(&model, payload, wire_deadline(deadline_ms)),
+                Response::Infer,
+            ),
+            Request::InferF32 {
+                model,
+                input,
+                deadline_ms,
+            } => reply(
+                self.infer_f32_deadline(&model, input, wire_deadline(deadline_ms)),
+                Response::Infer,
+            ),
             Request::SessionOpen { model } => {
                 reply(self.session_open(&model), Response::SessionOpen)
             }
-            Request::Decode { session, hidden } => {
-                reply(self.decode(session, &hidden), Response::Decode)
-            }
+            Request::Decode {
+                session,
+                hidden,
+                deadline_ms,
+            } => reply(
+                self.decode_deadline(session, &hidden, wire_deadline(deadline_ms)),
+                Response::Decode,
+            ),
             Request::SessionClose { session } => {
                 reply(self.session_close(session), Response::SessionClose)
             }
@@ -886,11 +987,18 @@ fn shed_reason(e: &ServeError) -> &'static str {
     }
 }
 
+/// Converts a wire `deadline_ms` into the absolute deadline the serving
+/// layers enforce, anchored at the moment the request is dispatched.
+fn wire_deadline(deadline_ms: Option<u64>) -> Option<Instant> {
+    deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms))
+}
+
 fn error_kind(e: &ServeError) -> ErrorKind {
     match e {
         ServeError::Overloaded { .. } | ServeError::KvBudgetExceeded { .. } => {
             ErrorKind::Overloaded
         }
+        ServeError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
         ServeError::UnknownModel { .. } => ErrorKind::UnknownModel,
         ServeError::UnknownSession { .. } => ErrorKind::UnknownSession,
         ServeError::Shape { .. }
@@ -901,7 +1009,9 @@ fn error_kind(e: &ServeError) -> ErrorKind {
         | ServeError::EmptyModel { .. }
         | ServeError::UnalignedRows { .. } => ErrorKind::BadRequest,
         ServeError::ShuttingDown => ErrorKind::ShuttingDown,
-        ServeError::WorkerLost | ServeError::Pipeline(_) => ErrorKind::Internal,
+        ServeError::WorkerLost | ServeError::Pipeline(_) | ServeError::Internal { .. } => {
+            ErrorKind::Internal
+        }
     }
 }
 
@@ -1027,6 +1137,18 @@ impl NetService for GatewayService {
             message: detail.to_string(),
         })
     }
+
+    fn internal_error(&self, detail: &str) -> String {
+        // A caught dispatch panic lands here: record it so incident
+        // snapshots pin the event, then answer instead of hanging.
+        self.gateway
+            .recorder()
+            .record(EventSeverity::Error, "worker_panic", detail.to_string());
+        encode_response(&Response::Error {
+            kind: ErrorKind::Internal,
+            message: detail.to_string(),
+        })
+    }
 }
 
 /// Connection-lifecycle telemetry shared by both io models: flight
@@ -1117,7 +1239,10 @@ impl ThreadedShared {
     /// Sleeps up to `d`; returns whether shutdown has been triggered
     /// (which also interrupts the sleep immediately).
     fn backoff(&self, d: Duration) -> bool {
-        let guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+        let guard = self
+            .sleep_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if self.stopped() {
             return true;
         }
@@ -1131,10 +1256,13 @@ impl ThreadedShared {
     fn trigger(&self) {
         self.stop.store(true, Ordering::Release);
         {
-            let _guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+            let _guard = self
+                .sleep_lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             self.stop_cv.notify_all();
         }
-        let registry = self.registry.lock().expect("registry poisoned");
+        let registry = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
         for stream in registry.values() {
             let _ = stream.shutdown(Shutdown::Both);
         }
@@ -1145,7 +1273,7 @@ impl ThreadedShared {
     /// where a handler would otherwise register just after the trigger
     /// swept the registry.
     fn register(&self, id: u64, stream: TcpStream) -> bool {
-        let mut registry = self.registry.lock().expect("registry poisoned");
+        let mut registry = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
         if self.stopped() {
             return false;
         }
@@ -1154,7 +1282,10 @@ impl ThreadedShared {
     }
 
     fn deregister(&self, id: u64) {
-        self.registry.lock().expect("registry poisoned").remove(&id);
+        self.registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
     }
 }
 
@@ -1462,7 +1593,24 @@ fn drive_connection(
                 match decoded {
                     Ok(request) => {
                         let dispatch_started = Instant::now();
-                        let handled = gateway.handle(request);
+                        // Panic isolation, threaded-model edition: a
+                        // handler panic answers this request and keeps
+                        // the connection's thread (and every other
+                        // connection) alive, mirroring the reactor's
+                        // worker-pool catch.
+                        let handled = catch_unwind(AssertUnwindSafe(|| gateway.handle(request)))
+                            .unwrap_or_else(|_| {
+                                gateway.connections().on_worker_panic();
+                                gateway.recorder().record(
+                                    EventSeverity::Error,
+                                    "worker_panic",
+                                    "request handler panicked".to_string(),
+                                );
+                                Response::Error {
+                                    kind: ErrorKind::Internal,
+                                    message: "request handler panicked".to_string(),
+                                }
+                            });
                         observer.stage_time(ConnStage::Dispatch, dispatch_started.elapsed());
                         handled
                     }
@@ -1613,6 +1761,7 @@ mod tests {
         let resp = gateway.handle(Request::Infer {
             model: "chain".to_string(),
             payload: Payload::Hidden(hidden(16, 1, 0)),
+            deadline_ms: None,
         });
         assert!(matches!(
             resp,
@@ -1656,6 +1805,7 @@ mod tests {
                 std: 0.5,
             }
             .sample_matrix(model.in_features(), 2, &mut rng),
+            deadline_ms: None,
         });
         assert!(matches!(via_wire, Response::Infer(_)));
     }
@@ -1849,6 +1999,7 @@ mod tests {
         let ghost = gateway.handle(Request::Infer {
             model: "ghost".to_string(),
             payload: Payload::Codes(Matrix::zeros(16, 1)),
+            deadline_ms: None,
         });
         assert!(matches!(
             ghost,
@@ -1860,6 +2011,7 @@ mod tests {
         let misshapen = gateway.handle(Request::Infer {
             model: "m".to_string(),
             payload: Payload::Codes(Matrix::zeros(3, 1)),
+            deadline_ms: None,
         });
         assert!(matches!(
             misshapen,

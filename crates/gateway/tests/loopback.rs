@@ -654,6 +654,7 @@ fn malformed_lines_get_error_responses_and_the_connection_survives() {
     let req = panacea_gateway::protocol::encode_request(&panacea_gateway::Request::Infer {
         model: "m".to_string(),
         payload: panacea_gateway::Payload::Codes(x),
+        deadline_ms: None,
     });
     raw.write_all(req.as_bytes()).expect("write");
     raw.write_all(b"\n").expect("write");

@@ -13,6 +13,8 @@ struct Inner {
     open: AtomicU64,
     peak: AtomicU64,
     evicted: AtomicU64,
+    workers_alive: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 /// Cheaply cloneable shared connection gauges; clones observe the same
@@ -32,6 +34,12 @@ pub struct ConnectionStats {
     /// Connections the server force-closed (slow consumer, connection
     /// limit, shutdown) rather than the peer closing.
     pub evicted: u64,
+    /// Request-pool worker threads currently alive — the liveness gauge
+    /// a chaos harness watches to prove panics did not thin the pool.
+    pub workers_alive: u64,
+    /// Panics caught inside pool jobs; each one was isolated and the
+    /// worker thread kept serving.
+    pub worker_panics: u64,
 }
 
 impl ConnectionCounters {
@@ -60,12 +68,30 @@ impl ConnectionCounters {
         }
     }
 
+    /// Records a pool worker thread starting.
+    pub fn on_worker_up(&self) {
+        self.inner.workers_alive.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a pool worker thread exiting (clean shutdown or an
+    /// escaped panic — either way it no longer serves).
+    pub fn on_worker_down(&self) {
+        dec_saturating(&self.inner.workers_alive);
+    }
+
+    /// Records a panic caught (and survived) inside a pool job.
+    pub fn on_worker_panic(&self) {
+        self.inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The current gauge values.
     pub fn snapshot(&self) -> ConnectionStats {
         ConnectionStats {
             open: self.inner.open.load(Ordering::Relaxed),
             peak: self.inner.peak.load(Ordering::Relaxed),
             evicted: self.inner.evicted.load(Ordering::Relaxed),
+            workers_alive: self.inner.workers_alive.load(Ordering::Relaxed),
+            worker_panics: self.inner.worker_panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -96,13 +122,19 @@ mod tests {
         assert_eq!(c.on_evict(true), 0);
         let rejected_at = c.on_evict(false); // limit rejection: gauge untouched
         assert_eq!(rejected_at, 0);
+        c.on_worker_up();
+        c.on_worker_up();
+        c.on_worker_panic();
+        c.on_worker_down();
         let snap = c.snapshot();
         assert_eq!(
             snap,
             ConnectionStats {
                 open: 0,
                 peak: 2,
-                evicted: 2
+                evicted: 2,
+                workers_alive: 1,
+                worker_panics: 1,
             }
         );
         // Saturation: a stray extra close cannot wrap the gauge.

@@ -28,11 +28,13 @@
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use panacea_faultline::Fault;
 use sys_poll::{poll_fds, Pipe, PollFd, POLLIN, POLLOUT};
 
 use crate::counters::ConnectionCounters;
@@ -55,6 +57,16 @@ pub trait Service: Send + Sync + 'static {
     /// The response line for a connection rejected at the
     /// `max_connections` bound. The connection closes after it flushes.
     fn overloaded(&self, detail: &str) -> String;
+
+    /// The response line when the handler itself panicked mid-request.
+    /// The reactor catches the panic on the worker, answers with this
+    /// line, and keeps the connection open — the in-flight request must
+    /// always complete or the peer hangs forever. The default reuses
+    /// [`bad_request`](Self::bad_request); protocol layers should
+    /// override with their internal-error spelling.
+    fn internal_error(&self, detail: &str) -> String {
+        self.bad_request(detail)
+    }
 }
 
 /// Why the reactor force-closed a connection.
@@ -270,6 +282,11 @@ impl Reactor {
         let thread = thread::Builder::new()
             .name("panacea-netcore-reactor".into())
             .spawn(move || {
+                let pool = WorkerPool::with_counters(
+                    config.workers,
+                    "panacea-netcore-worker",
+                    Some(counters.clone()),
+                );
                 EventLoop {
                     listener,
                     service,
@@ -279,7 +296,7 @@ impl Reactor {
                     shared: loop_shared,
                     conns: Vec::new(),
                     free: Vec::new(),
-                    pool: WorkerPool::new(config.workers, "panacea-netcore-worker"),
+                    pool,
                 }
                 .run();
             })?;
@@ -449,7 +466,7 @@ impl EventLoop {
                 .shared
                 .completions
                 .lock()
-                .expect("completions poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             std::mem::take(&mut *guard)
         };
         for done in completions {
@@ -477,6 +494,16 @@ impl EventLoop {
                 Err(err) if err.kind() == ErrorKind::WouldBlock => break,
                 Err(_) => break, // transient accept failure; retry next wakeup
             };
+            // Injected accept failure: the connection is dropped on the
+            // floor as if the kernel reset it post-accept. The client
+            // sees a closed socket and must reconnect.
+            if matches!(
+                panacea_faultline::point("netcore.accept"),
+                Some(Fault::Reset)
+            ) {
+                drop(stream);
+                continue;
+            }
             let accept_started = Instant::now();
             let open = self.conns.iter().flatten().count();
             if open >= self.config.max_connections {
@@ -543,6 +570,16 @@ impl EventLoop {
         if !conn.wants_read() {
             return;
         }
+        // Injected read fault: `Reset` closes the connection as an io
+        // error would; `Delay` stalls the loop thread briefly (a slow
+        // NIC / scheduling hiccup).
+        if matches!(panacea_faultline::point("netcore.read"), Some(Fault::Reset)) {
+            self.close_slot(slot, None);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
         let started = Instant::now();
         let mut buf = [0u8; 16 * 1024];
         let mut pulled = 0usize;
@@ -592,11 +629,22 @@ impl EventLoop {
         }
         let started = Instant::now();
         let mut close_now = false;
-        loop {
+        // Injected write faults: `ShortWrite` pushes exactly one byte
+        // this pass (the backlog stays pending and POLLOUT resumes it —
+        // exercising partial-write reassembly on the peer), `Reset`
+        // drops the connection as a broken pipe would.
+        let mut short_write = false;
+        match panacea_faultline::point("netcore.write") {
+            Some(Fault::Reset) => close_now = true,
+            Some(Fault::ShortWrite) => short_write = true,
+            _ => {}
+        }
+        while !close_now {
             let pending = &conn.wbuf[conn.woff..];
             if pending.is_empty() {
                 break;
             }
+            let pending = if short_write { &pending[..1] } else { pending };
             match conn.stream.write(pending) {
                 Ok(0) => {
                     close_now = true;
@@ -605,6 +653,9 @@ impl EventLoop {
                 Ok(n) => {
                     conn.woff += n;
                     conn.last_write_progress = Instant::now();
+                    if short_write {
+                        break;
+                    }
                 }
                 Err(err) if err.kind() == ErrorKind::WouldBlock => break,
                 Err(err) if err.kind() == ErrorKind::Interrupted => continue,
@@ -681,14 +732,28 @@ impl EventLoop {
                 let service = Arc::clone(&self.service);
                 let observer = Arc::clone(&self.observer);
                 let shared = Arc::clone(&self.shared);
+                let counters = self.counters.clone();
                 self.pool.execute(move || {
                     let started = Instant::now();
-                    let response = service.serve(&line);
+                    // A panicking handler must still complete the
+                    // request: the connection's `in_flight` flag only
+                    // clears when a completion lands, so losing it
+                    // would wedge the peer forever. Catch here (not
+                    // just at the pool) and answer the internal-error
+                    // line instead.
+                    let response = catch_unwind(AssertUnwindSafe(|| {
+                        panacea_faultline::point("netcore.dispatch");
+                        service.serve(&line)
+                    }))
+                    .unwrap_or_else(|_| {
+                        counters.on_worker_panic();
+                        service.internal_error("request handler panicked")
+                    });
                     observer.stage_time(ConnStage::Dispatch, started.elapsed());
                     shared
                         .completions
                         .lock()
-                        .expect("completions poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .push(Completion {
                             slot,
                             generation,

@@ -10,6 +10,7 @@
 //! element-exact under any column grouping.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -20,7 +21,7 @@ use panacea_telemetry::TraceContext;
 
 use crate::metrics::Metrics;
 use crate::model::PreparedModel;
-use crate::{InferenceOutput, Payload};
+use crate::{InferenceOutput, Payload, ServeError};
 
 /// Batching policy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -49,8 +50,12 @@ impl Default for BatchPolicy {
 pub(crate) struct Job {
     pub(crate) model: Arc<PreparedModel>,
     pub(crate) payload: Payload,
-    pub(crate) responder: mpsc::Sender<InferenceOutput>,
+    pub(crate) responder: mpsc::Sender<Result<InferenceOutput, ServeError>>,
     pub(crate) enqueued_at: Instant,
+    /// When present, the job is dropped (answered `DeadlineExceeded`)
+    /// if it is still queued past this instant — expired work never
+    /// reaches the GEMM.
+    pub(crate) deadline: Option<Instant>,
     /// Set by the caller's dropped `Pending` handle; workers drop the
     /// job instead of executing it. Shared with the `Pending`.
     pub(crate) cancelled: Arc<AtomicBool>,
@@ -76,6 +81,35 @@ pub(crate) fn purge_cancelled(queue: &mut VecDeque<Job>) -> usize {
     let before = queue.len();
     queue.retain(|j| !j.cancelled.load(Ordering::Acquire));
     before - queue.len()
+}
+
+/// Drops every queued job whose deadline has already passed, answering
+/// each with [`ServeError::DeadlineExceeded`], and returns how many were
+/// dropped. Run at dequeue time — expired work is shed *before* the
+/// GEMM, so a deadline-heavy backlog degrades to cheap rejections
+/// instead of computing results nobody can use.
+pub(crate) fn purge_expired(queue: &mut VecDeque<Job>, now: Instant) -> usize {
+    let before = queue.len();
+    queue.retain(|j| {
+        let expired = j.deadline.is_some_and(|d| now >= d);
+        if expired {
+            // A dropped receiver just means the caller also gave up.
+            let _ = j.responder.send(Err(ServeError::DeadlineExceeded));
+        }
+        !expired
+    });
+    before - queue.len()
+}
+
+/// The soonest instant the queue head's batch must dispatch: the
+/// policy's linger bound, capped by the head's own deadline — lingering
+/// for companions must never push the head past its deadline.
+pub(crate) fn head_dispatch_deadline(head: &Job, max_wait: Duration) -> Instant {
+    let linger = head.enqueued_at + max_wait;
+    match head.deadline {
+        Some(d) => linger.min(d),
+        None => linger,
+    }
 }
 
 /// Total queued columns targeting the queue head's model — what the
@@ -151,6 +185,13 @@ pub(crate) fn take_batch(queue: &mut VecDeque<Job>, max_batch: usize) -> Option<
 /// Executes a batch: one coalesced forward pass, split back per request,
 /// responses sent, metrics recorded. Requests whose receiver has been
 /// dropped are completed and counted but their send is ignored.
+///
+/// The forward pass runs under `catch_unwind`: a panic (a model bug, or
+/// the `serve.worker.execute` fault site firing) answers every rider
+/// with [`ServeError::Internal`] and records a `worker_panic` — the
+/// worker thread survives and the callers are released, not abandoned.
+/// Stateless requests tolerate the batch-wide answer because infer is
+/// idempotent; clients simply retry.
 pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
     let Batch { model, jobs } = batch;
     let refs: Vec<&Payload> = jobs.iter().map(|j| &j.payload).collect();
@@ -160,7 +201,22 @@ pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
     for job in &jobs {
         metrics.record_queue_wait(started.duration_since(job.enqueued_at));
     }
-    let (outputs, workload) = model.forward_batch(&refs);
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        panacea_faultline::point("serve.worker.execute");
+        model.forward_batch(&refs)
+    }));
+    let (outputs, workload) = match ran {
+        Ok(out) => out,
+        Err(_) => {
+            metrics.record_worker_panic(model.name(), "worker_execute");
+            for job in &jobs {
+                let _ = job.responder.send(Err(ServeError::Internal {
+                    at: "worker_execute",
+                }));
+            }
+            return;
+        }
+    };
     let compute = started.elapsed();
 
     let done = Instant::now();
@@ -194,13 +250,13 @@ pub(crate) fn execute(batch: Batch, metrics: &Metrics) {
             ctx.record_span("split_back", split_started, Instant::now());
         }
         // A dropped receiver just means the caller stopped waiting.
-        let _ = job.responder.send(InferenceOutput {
+        let _ = job.responder.send(Ok(InferenceOutput {
             payload: out,
             scale: model.output_scale(),
             workload,
             batched_cols: total_cols,
             latency,
-        });
+        }));
     }
     metrics.record_split_back(split_started.elapsed());
 }
@@ -235,7 +291,9 @@ mod tests {
         )
     }
 
-    fn job(model: &Arc<PreparedModel>, cols: usize) -> (Job, mpsc::Receiver<InferenceOutput>) {
+    type Reply = Result<InferenceOutput, ServeError>;
+
+    fn job(model: &Arc<PreparedModel>, cols: usize) -> (Job, mpsc::Receiver<Reply>) {
         let (tx, rx) = mpsc::channel();
         let codes = Matrix::from_fn(model.in_features(), cols, |r, c| {
             ((r * 31 + c * 7) % 200) as i32
@@ -246,6 +304,7 @@ mod tests {
                 payload: codes.into(),
                 responder: tx,
                 enqueued_at: Instant::now(),
+                deadline: None,
                 cancelled: Arc::new(AtomicBool::new(false)),
                 ctx: None,
             },
@@ -395,7 +454,7 @@ mod tests {
         let batch = take_batch(&mut queue, 64).expect("non-empty");
         execute(batch, &metrics);
         for (rx, alone) in rxs.iter().zip(singles) {
-            let out = rx.try_recv().expect("answered");
+            let out = rx.try_recv().expect("answered").expect("succeeded");
             assert_eq!(out.payload, alone);
             assert_eq!(out.batched_cols, 9);
         }
@@ -403,6 +462,39 @@ mod tests {
         assert_eq!(snap.requests, 3);
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.columns, 9);
+    }
+
+    #[test]
+    fn purge_expired_answers_deadline_exceeded_before_the_gemm() {
+        let a = prepared(12);
+        let mut queue = VecDeque::new();
+        let (mut j1, r1) = job(&a, 1);
+        let (j2, r2) = job(&a, 2);
+        let (mut j3, r3) = job(&a, 3);
+        let now = Instant::now();
+        j1.deadline = Some(now - Duration::from_millis(1)); // already past
+        j3.deadline = Some(now + Duration::from_secs(60)); // comfortably live
+        queue.extend([j1, j2, j3]);
+        assert_eq!(purge_expired(&mut queue, now), 1);
+        match r1.try_recv().expect("expired job is answered") {
+            Err(ServeError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(r2.try_recv().is_err(), "live job not answered yet");
+        assert!(r3.try_recv().is_err(), "live job not answered yet");
+        let widths: Vec<usize> = queue.iter().map(|j| j.payload.cols()).collect();
+        assert_eq!(widths, vec![2, 3], "live jobs keep their order");
+    }
+
+    #[test]
+    fn head_dispatch_deadline_is_capped_by_the_job_deadline() {
+        let a = prepared(13);
+        let (mut j, _r) = job(&a, 1);
+        let long = Duration::from_secs(10);
+        assert_eq!(head_dispatch_deadline(&j, long), j.enqueued_at + long);
+        let d = j.enqueued_at + Duration::from_millis(1);
+        j.deadline = Some(d);
+        assert_eq!(head_dispatch_deadline(&j, long), d);
     }
 
     #[test]

@@ -35,9 +35,10 @@
 //! pass executes, the next wave of steps queues up behind it.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -57,14 +58,32 @@ use crate::session::{Session, Slot};
 /// per-request workload reporting).
 pub(crate) type StepOutcome = (Matrix<f32>, usize, Workload);
 
+/// How a step failed inside the batching worker. The session manager
+/// maps these onto [`ServeError`](crate::ServeError) — and, for
+/// poisoned failures, evicts the owning session before answering.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StepFailure {
+    /// The worker caught a panic executing this step. `poisoned` means
+    /// the panic was attributed to *this session's own* work (its solo
+    /// retry died, or it was alone in the pass), so its KV state —
+    /// though rolled back — is suspect and the session must be evicted.
+    Internal { poisoned: bool, at: &'static str },
+    /// The step's deadline expired while it was queued; it was dropped
+    /// before any GEMM work.
+    DeadlineExceeded,
+}
+
 /// One queued decode step.
 #[derive(Debug)]
 struct DecodeJob {
     session: u64,
     slot: Arc<Slot>,
     hidden: Matrix<f32>,
-    responder: mpsc::Sender<StepOutcome>,
+    responder: mpsc::Sender<Result<StepOutcome, StepFailure>>,
     enqueued_at: Instant,
+    /// When present, the step is answered `DeadlineExceeded` instead of
+    /// executed once this instant passes.
+    deadline: Option<Instant>,
     /// When present, the worker records `queue_wait` and a
     /// link-annotated `decode_pass` span into this step's trace.
     ctx: Option<TraceContext>,
@@ -84,6 +103,10 @@ struct Shared {
     max_wait: Duration,
     batches: AtomicU64,
     padded_cols: AtomicU64,
+    /// Panics caught (and isolated) inside fused passes or solo retries.
+    panics: AtomicU64,
+    /// Steps answered `DeadlineExceeded` at dequeue.
+    expired: AtomicU64,
     /// Enqueue-to-pass-start linger, per step (ns).
     linger: Histogram,
     /// Fused-pass duration, per pass (ns).
@@ -132,6 +155,8 @@ impl DecodeBatcher {
             max_wait,
             batches: AtomicU64::new(0),
             padded_cols: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             linger: Histogram::new(),
             pass: Histogram::new(),
             occupancy: Histogram::new(),
@@ -160,7 +185,8 @@ impl DecodeBatcher {
         slot: Arc<Slot>,
         hidden: Matrix<f32>,
         ctx: Option<TraceContext>,
-    ) -> mpsc::Receiver<StepOutcome> {
+        deadline: Option<Instant>,
+    ) -> mpsc::Receiver<Result<StepOutcome, StepFailure>> {
         let (tx, rx) = mpsc::channel();
         {
             let mut st = self.shared.state.lock().expect("decode queue poisoned");
@@ -170,6 +196,7 @@ impl DecodeBatcher {
                 hidden,
                 responder: tx,
                 enqueued_at: Instant::now(),
+                deadline,
                 ctx,
             });
         }
@@ -186,6 +213,16 @@ impl DecodeBatcher {
     /// width — the waste continuous batching exists to reclaim.
     pub fn padded_cols(&self) -> u64 {
         self.shared.padded_cols.load(Ordering::Relaxed)
+    }
+
+    /// Panics caught (and isolated) inside fused passes or solo retries.
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Steps answered `DeadlineExceeded` at dequeue instead of executed.
+    pub fn expired_steps(&self) -> u64 {
+        self.shared.expired.load(Ordering::Relaxed)
     }
 
     /// Per-stage histograms: `decode_linger` and `decode_pass` carry
@@ -273,12 +310,59 @@ fn take_decode_batch(queue: &mut VecDeque<DecodeJob>, max_batch: usize) -> Optio
     Some(jobs)
 }
 
+/// Records one caught panic: counter, per-model dimensional error (so
+/// SLO error-rate targets see it), and a `worker_panic` event.
+fn record_panic(shared: &Shared, model_name: &str, at: &'static str) {
+    shared.panics.fetch_add(1, Ordering::Relaxed);
+    if let Some(dims) = &shared.dims {
+        dims.cell(model_name, "worker", at).record_error();
+    }
+    if let Some(recorder) = &shared.recorder {
+        recorder.record(
+            EventSeverity::Error,
+            "worker_panic",
+            format!("at={at} model={model_name}"),
+        );
+    }
+}
+
+/// Drops every queued step whose deadline has already passed, answering
+/// each `DeadlineExceeded` — expired decode work never reaches a GEMM.
+fn purge_expired_steps(queue: &mut VecDeque<DecodeJob>, now: Instant, shared: &Shared) {
+    let before = queue.len();
+    queue.retain(|j| {
+        let expired = j.deadline.is_some_and(|d| now >= d);
+        if expired {
+            let _ = j.responder.send(Err(StepFailure::DeadlineExceeded));
+        }
+        !expired
+    });
+    let n = (before - queue.len()) as u64;
+    if n > 0 {
+        shared.expired.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 /// Executes one fused pass: lock every participating session for the
 /// duration of the pass (a session's steps are serialized by definition;
 /// holding the lock across the pass is exactly the serialization a solo
 /// step would impose, and releasing it mid-pass would let an eviction
 /// tear half-advanced KV state), run the batched decode, split the
 /// outputs back per session, answer every caller.
+///
+/// # Panic isolation
+///
+/// The fused pass runs under `catch_unwind` with the session guards held
+/// *outside* the closure, so a mid-pass panic (a model bug, or the
+/// `serve.decode.fused_pass` fault site firing) cannot poison the cells.
+/// A panicking pass may have appended K/V to some blocks but not others,
+/// so every participant's cache is rolled back to its pre-pass token
+/// count ([`KvCache::truncate_tokens`]) — then each batchmate is retried
+/// **solo** (still bit-exact: solo stepping is the definition of
+/// exactness). A step whose solo retry also panics is the poison pill:
+/// its cache is rolled back again and its caller is answered
+/// `Internal { poisoned: true }`, which makes the session manager evict
+/// the session. A single-step pass attributes the panic directly.
 fn execute_batch(jobs: Vec<DecodeJob>, shared: &Shared) {
     let model = Arc::clone(&jobs[0].slot.model);
     let pass_started = Instant::now();
@@ -288,19 +372,92 @@ fn execute_batch(jobs: Vec<DecodeJob>, shared: &Shared) {
             .record_duration(pass_started.duration_since(job.enqueued_at));
     }
     shared.occupancy.record(jobs.len() as u64);
+    // Poison-tolerant lock: a cell poisoned by a caller-thread panic
+    // (inline stepping) has already been rolled back to a consistent
+    // prefix by that path's own isolation before the lock released.
     let mut guards: Vec<MutexGuard<'_, Session>> = jobs
         .iter()
-        .map(|j| j.slot.cell.lock().expect("session poisoned"))
+        .map(|j| j.slot.cell.lock().unwrap_or_else(PoisonError::into_inner))
         .collect();
     let hiddens: Vec<&Matrix<f32>> = jobs.iter().map(|j| &j.hidden).collect();
     let segments: Vec<usize> = hiddens.iter().map(|h| h.cols()).collect();
     let stacked = Matrix::hstack(&hiddens).expect("validated steps share the model width");
-    let mut kvs: Vec<&mut KvCache> = guards.iter_mut().map(|g| &mut g.kv).collect();
+    // Pre-pass token counts — the rollback points if the pass dies.
+    let snapshots: Vec<usize> = guards.iter().map(|g| g.kv.tokens()).collect();
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        panacea_faultline::point("serve.decode.fused_pass");
+        let mut kvs: Vec<&mut KvCache> = guards.iter_mut().map(|g| &mut g.kv).collect();
+        model.forward_decode_batch_prevalidated(&stacked, &segments, &mut kvs)
+    }));
+    let outcome = match ran {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            record_panic(shared, model.name(), "decode_fused_pass");
+            // Roll every participant back to its pre-pass prefix: the
+            // dead pass may have appended K/V to some blocks only.
+            for (guard, &snap) in guards.iter_mut().zip(&snapshots) {
+                guard.kv.truncate_tokens(snap);
+            }
+            if jobs.len() == 1 {
+                // Alone in the pass: the panic is this step's own.
+                drop(guards);
+                let _ = jobs[0].responder.send(Err(StepFailure::Internal {
+                    poisoned: true,
+                    at: "decode_fused_pass",
+                }));
+                return;
+            }
+            // Retry each batchmate solo; a retry that panics again is
+            // the culprit and poisons only its own session.
+            let now = Instant::now();
+            for ((job, guard), &snap) in jobs.iter().zip(guards.iter_mut()).zip(&snapshots) {
+                let solo = catch_unwind(AssertUnwindSafe(|| {
+                    panacea_faultline::point("serve.decode.solo_retry");
+                    let mut kvs: Vec<&mut KvCache> = vec![&mut guard.kv];
+                    model.forward_decode_batch_prevalidated(
+                        &job.hidden,
+                        &[job.hidden.cols()],
+                        &mut kvs,
+                    )
+                }));
+                let answer = match solo {
+                    Ok(Ok((out, wl))) => {
+                        guard.last_used = now;
+                        Ok((out, guard.kv.tokens(), wl))
+                    }
+                    Ok(Err(_)) => Err(StepFailure::Internal {
+                        poisoned: false,
+                        at: "decode_solo_retry",
+                    }),
+                    Err(_) => {
+                        record_panic(shared, model.name(), "decode_solo_retry");
+                        guard.kv.truncate_tokens(snap);
+                        Err(StepFailure::Internal {
+                            poisoned: true,
+                            at: "decode_solo_retry",
+                        })
+                    }
+                };
+                let _ = job.responder.send(answer);
+            }
+            return;
+        }
+    };
     // The error arm is unreachable by construction: every step was
     // validated against its model before enqueue and its cache was
-    // built by that model. If it ever fires, dropping the responders
-    // surfaces `WorkerLost` to the callers instead of hanging them.
-    if let Ok((out, wl)) = model.forward_decode_batch_prevalidated(&stacked, &segments, &mut kvs) {
+    // built by that model. Answering (not dropping) keeps callers from
+    // hanging if it ever fires.
+    let Ok((out, wl)) = outcome else {
+        drop(guards);
+        for job in &jobs {
+            let _ = job.responder.send(Err(StepFailure::Internal {
+                poisoned: false,
+                at: "decode_fused_pass",
+            }));
+        }
+        return;
+    };
+    {
         let now = Instant::now();
         shared
             .pass
@@ -353,7 +510,7 @@ fn execute_batch(jobs: Vec<DecodeJob>, shared: &Shared) {
             }
             // A dropped receiver just means the caller stopped waiting;
             // the session still advanced.
-            let _ = job.responder.send((part, tok, wl));
+            let _ = job.responder.send(Ok((part, tok, wl)));
         }
     }
 }
@@ -361,26 +518,32 @@ fn execute_batch(jobs: Vec<DecodeJob>, shared: &Shared) {
 fn worker_loop(shared: &Shared) {
     let mut st = shared.state.lock().expect("decode queue poisoned");
     loop {
+        purge_expired_steps(&mut st.queue, Instant::now(), shared);
         // Idle: wait for work, or for shutdown with a drained queue.
         while st.queue.is_empty() {
             if st.shutting_down {
                 return;
             }
             st = shared.work_ready.wait(st).expect("decode queue poisoned");
+            purge_expired_steps(&mut st.queue, Instant::now(), shared);
         }
 
         // Linger until the head model's fusable columns fill the
-        // budget, the head step's deadline passes, another model queues
-        // behind the head, or shutdown forces dispatch.
+        // budget, the head step's dispatch deadline passes, another
+        // model queues behind the head, or shutdown forces dispatch.
         while !st.shutting_down {
             if eligible_cols(&st.queue) >= shared.max_batch || !queue_is_single_model(&st.queue) {
                 break;
             }
-            let head_enqueued = match st.queue.front() {
-                Some(job) => job.enqueued_at,
+            let deadline = match st.queue.front() {
+                // Lingering for batchmates must never push the head
+                // past its own deadline.
+                Some(job) => {
+                    let linger = job.enqueued_at + shared.max_wait;
+                    job.deadline.map_or(linger, |d| linger.min(d))
+                }
                 None => break,
             };
-            let deadline = head_enqueued + shared.max_wait;
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -390,16 +553,24 @@ fn worker_loop(shared: &Shared) {
                 .wait_timeout(st, deadline - now)
                 .expect("decode queue poisoned");
             st = guard;
+            purge_expired_steps(&mut st.queue, Instant::now(), shared);
             if timeout.timed_out() {
                 break;
             }
         }
 
+        // Last-instant expiry: a head whose deadline elapsed during the
+        // linger is answered `DeadlineExceeded`, not stepped late.
+        purge_expired_steps(&mut st.queue, Instant::now(), shared);
         let Some(jobs) = take_decode_batch(&mut st.queue, shared.max_batch) else {
             continue;
         };
         drop(st);
-        execute_batch(jobs, shared);
+        // Defense in depth: `execute_batch` isolates pass panics itself;
+        // if anything outside that isolation still unwinds, the dropped
+        // responders surface `WorkerLost` to the waiting callers and the
+        // batching worker survives for subsequent steps.
+        let _ = catch_unwind(AssertUnwindSafe(|| execute_batch(jobs, shared)));
         st = shared.state.lock().expect("decode queue poisoned");
     }
 }

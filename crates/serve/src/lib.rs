@@ -158,6 +158,20 @@ pub enum ServeError {
     /// The runtime terminated before answering (never happens under
     /// clean shutdown, which drains the queue).
     WorkerLost,
+    /// The request's deadline expired before it could execute; the work
+    /// was dropped (at the queue, before the GEMM) and the caller
+    /// released. Retry with a fresh deadline if the result still
+    /// matters.
+    DeadlineExceeded,
+    /// A worker caught a panic while executing this request. The worker
+    /// survived (panic isolation), the caller is answered instead of
+    /// abandoned, and any decode session whose state the panic may have
+    /// corrupted has been evicted.
+    Internal {
+        /// Where the panic was caught (e.g. `worker_execute`,
+        /// `decode_fused_pass`).
+        at: &'static str,
+    },
     /// Quantization/slicing failed during model preparation.
     Pipeline(PipelineError),
 }
@@ -219,6 +233,12 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
             ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
             ServeError::WorkerLost => write!(f, "runtime terminated before answering"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline expired before the request executed")
+            }
+            ServeError::Internal { at } => {
+                write!(f, "internal failure: a worker panicked during {at}")
+            }
             ServeError::Pipeline(e) => write!(f, "model preparation failed: {e}"),
         }
     }

@@ -41,6 +41,13 @@ pub struct MetricsSnapshot {
     /// stopped waiting (its `Pending` handle was dropped, e.g. by an
     /// admission layer shedding the request).
     pub cancelled: u64,
+    /// Panics caught (and isolated) on worker execution paths; each one
+    /// answered its callers with `ServeError::Internal` instead of
+    /// killing the worker.
+    pub worker_panics: u64,
+    /// Queued requests dropped at dequeue because their deadline had
+    /// already expired — answered `DeadlineExceeded` before the GEMM.
+    pub expired: u64,
 }
 
 impl MetricsSnapshot {
@@ -84,6 +91,8 @@ pub struct Metrics {
     columns: ShardedCounter,
     padded_cols: ShardedCounter,
     cancelled: ShardedCounter,
+    worker_panics: ShardedCounter,
+    expired: ShardedCounter,
     compute_nanos: ShardedCounter,
     wl_mul: ShardedCounter,
     wl_add: ShardedCounter,
@@ -175,6 +184,28 @@ impl Metrics {
         self.cancelled.add(requests as u64);
     }
 
+    /// Records one caught worker panic: a `worker_panic` event in the
+    /// flight recorder (when wired) plus a dimensional error count under
+    /// `(model, "worker", at)`, so SLO error-rate targets see it.
+    pub(crate) fn record_worker_panic(&self, model: &str, at: &'static str) {
+        self.worker_panics.add(1);
+        if let Some(dims) = &self.dims {
+            dims.cell(model, "worker", at).record_error();
+        }
+        if let Some(recorder) = &self.recorder {
+            recorder.record(
+                EventSeverity::Error,
+                "worker_panic",
+                format!("at={at} model={model}"),
+            );
+        }
+    }
+
+    /// Records requests dropped at dequeue with an expired deadline.
+    pub(crate) fn record_expired(&self, requests: usize) {
+        self.expired.add(requests as u64);
+    }
+
     /// Records one request's enqueue-to-execution-start wait.
     pub(crate) fn record_queue_wait(&self, wait: Duration) {
         self.queue_wait.record_duration(wait);
@@ -208,6 +239,8 @@ impl Metrics {
             widest_batch: self.widest_batch.load(Ordering::Relaxed),
             padded_cols: self.padded_cols.sum(),
             cancelled: self.cancelled.sum(),
+            worker_panics: self.worker_panics.sum(),
+            expired: self.expired.sum(),
         }
     }
 

@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 use panacea_telemetry::TraceContext;
 
 use crate::batch::{
-    execute, head_model_cols, purge_cancelled, queue_is_single_model, take_batch, BatchPolicy, Job,
+    execute, head_dispatch_deadline, head_model_cols, purge_cancelled, purge_expired,
+    queue_is_single_model, take_batch, BatchPolicy, Job,
 };
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::model::{ModelRegistry, PreparedModel};
@@ -70,8 +71,12 @@ impl Shared {
         model: Arc<PreparedModel>,
         payload: Payload,
         ctx: Option<TraceContext>,
+        deadline: Option<Instant>,
     ) -> Result<Pending, ServeError> {
         model.validate(&payload)?;
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(ServeError::DeadlineExceeded);
+        }
         let (tx, rx) = mpsc::channel();
         let cancelled = Arc::new(AtomicBool::new(false));
         let job = Job {
@@ -79,6 +84,7 @@ impl Shared {
             payload,
             responder: tx,
             enqueued_at: Instant::now(),
+            deadline,
             cancelled: Arc::clone(&cancelled),
             ctx,
         };
@@ -255,7 +261,7 @@ impl Runtime {
         model: Arc<PreparedModel>,
         payload: impl Into<Payload>,
     ) -> Result<Pending, ServeError> {
-        self.shared.submit_to(model, payload.into(), None)
+        self.shared.submit_to(model, payload.into(), None, None)
     }
 
     /// [`submit_to`](Self::submit_to) carrying a [`TraceContext`]: the
@@ -271,7 +277,29 @@ impl Runtime {
         payload: impl Into<Payload>,
         ctx: Option<TraceContext>,
     ) -> Result<Pending, ServeError> {
-        self.shared.submit_to(model, payload.into(), ctx)
+        self.shared.submit_to(model, payload.into(), ctx, None)
+    }
+
+    /// [`submit_to_traced`](Self::submit_to_traced) with a deadline: if
+    /// the request is still queued when `deadline` passes, it is dropped
+    /// before the GEMM and answered [`ServeError::DeadlineExceeded`]; a
+    /// deadline already in the past is rejected at submission. Lingering
+    /// for batch companions never pushes the queue head past its own
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit_to`], plus
+    /// [`ServeError::DeadlineExceeded`] when the deadline has already
+    /// passed at submission.
+    pub fn submit_to_traced_deadline(
+        &self,
+        model: Arc<PreparedModel>,
+        payload: impl Into<Payload>,
+        ctx: Option<TraceContext>,
+        deadline: Option<Instant>,
+    ) -> Result<Pending, ServeError> {
+        self.shared.submit_to(model, payload.into(), ctx, deadline)
     }
 
     /// Submits and blocks until the response arrives.
@@ -369,7 +397,7 @@ impl RuntimeHandle {
             .ok_or_else(|| ServeError::UnknownModel {
                 model: model.to_string(),
             })?;
-        self.shared.submit_to(resolved, payload.into(), None)
+        self.shared.submit_to(resolved, payload.into(), None, None)
     }
 
     /// [`submit`](Self::submit) with an already-resolved model handle.
@@ -382,7 +410,7 @@ impl RuntimeHandle {
         model: Arc<PreparedModel>,
         payload: impl Into<Payload>,
     ) -> Result<Pending, ServeError> {
-        self.shared.submit_to(model, payload.into(), None)
+        self.shared.submit_to(model, payload.into(), None, None)
     }
 
     /// [`submit_to`](Self::submit_to) carrying a [`TraceContext`] — see
@@ -397,7 +425,23 @@ impl RuntimeHandle {
         payload: impl Into<Payload>,
         ctx: Option<TraceContext>,
     ) -> Result<Pending, ServeError> {
-        self.shared.submit_to(model, payload.into(), ctx)
+        self.shared.submit_to(model, payload.into(), ctx, None)
+    }
+
+    /// [`submit_to_traced`](Self::submit_to_traced) with a deadline —
+    /// see [`Runtime::submit_to_traced_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit_to_traced_deadline`].
+    pub fn submit_to_traced_deadline(
+        &self,
+        model: Arc<PreparedModel>,
+        payload: impl Into<Payload>,
+        ctx: Option<TraceContext>,
+        deadline: Option<Instant>,
+    ) -> Result<Pending, ServeError> {
+        self.shared.submit_to(model, payload.into(), ctx, deadline)
     }
 
     /// Submits and blocks until the response arrives.
@@ -433,7 +477,7 @@ impl RuntimeHandle {
 /// from under a worker.
 #[derive(Debug)]
 pub struct Pending {
-    rx: mpsc::Receiver<InferenceOutput>,
+    rx: mpsc::Receiver<Result<InferenceOutput, ServeError>>,
     /// Shared with the queued [`Job`]; set on drop.
     cancelled: Arc<AtomicBool>,
     /// Wakes workers on cancellation so a lingering batch window does
@@ -474,9 +518,14 @@ impl Pending {
     ///
     /// [`ServeError::WorkerLost`] if the runtime terminated without
     /// answering (it never does under clean shutdown, which drains the
-    /// queue first).
+    /// queue first); [`ServeError::DeadlineExceeded`] if the request's
+    /// deadline expired while queued; [`ServeError::Internal`] if the
+    /// executing worker caught a panic.
     pub fn wait(self) -> Result<InferenceOutput, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::WorkerLost)
+        match self.rx.recv() {
+            Ok(answer) => answer,
+            Err(_) => Err(ServeError::WorkerLost),
+        }
     }
 
     /// Non-blocking poll: `Ok(None)` while the batch is still in flight.
@@ -485,10 +534,11 @@ impl Pending {
     ///
     /// [`ServeError::WorkerLost`] if the runtime terminated without
     /// answering — distinct from "not ready yet", so a polling loop can
-    /// stop instead of spinning forever.
+    /// stop instead of spinning forever. Also surfaces the worker's own
+    /// answer errors (`DeadlineExceeded`, `Internal`).
     pub fn try_wait(&self) -> Result<Option<InferenceOutput>, ServeError> {
         match self.rx.try_recv() {
-            Ok(out) => Ok(Some(out)),
+            Ok(answer) => answer.map(Some),
             Err(mpsc::TryRecvError::Empty) => Ok(None),
             Err(mpsc::TryRecvError::Disconnected) => Err(ServeError::WorkerLost),
         }
@@ -508,7 +558,7 @@ impl Pending {
     /// answering.
     pub fn wait_timeout(&self, timeout: Duration) -> Result<Option<InferenceOutput>, ServeError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(out) => Ok(Some(out)),
+            Ok(answer) => answer.map(Some),
             Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::WorkerLost),
         }
@@ -516,12 +566,18 @@ impl Pending {
 }
 
 fn worker_loop(shared: &Shared) {
-    // Under the queue lock: drop jobs whose caller stopped waiting, so
-    // overload shedding cannot leave the queue growing without bound.
+    // Under the queue lock: drop jobs whose caller stopped waiting (so
+    // overload shedding cannot leave the queue growing without bound)
+    // and jobs whose deadline has already expired (answered
+    // `DeadlineExceeded` before any GEMM work is spent on them).
     let purge = |st: &mut State| {
         let n = purge_cancelled(&mut st.queue);
         if n > 0 {
             shared.metrics.record_cancelled(n);
+        }
+        let e = purge_expired(&mut st.queue, Instant::now());
+        if e > 0 {
+            shared.metrics.record_expired(e);
         }
     };
     let mut st = shared.state.lock().expect("queue lock poisoned");
@@ -548,12 +604,13 @@ fn worker_loop(shared: &Shared) {
             {
                 break;
             }
-            let head_enqueued = match st.queue.front() {
-                Some(job) => job.enqueued_at,
+            let deadline = match st.queue.front() {
+                // Lingering for companions must never push the head past
+                // its own deadline.
+                Some(head) => head_dispatch_deadline(head, shared.policy.max_wait),
                 // Another worker drained the queue while we lingered.
                 None => break,
             };
-            let deadline = head_enqueued + shared.policy.max_wait;
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -569,6 +626,9 @@ fn worker_loop(shared: &Shared) {
             }
         }
 
+        // Last-instant expiry check: a head whose deadline elapsed during
+        // the linger is answered `DeadlineExceeded`, not executed late.
+        purge(&mut st);
         let Some(batch) = take_batch(&mut st.queue, shared.policy.max_batch) else {
             continue;
         };

@@ -47,18 +47,20 @@
 //! request path; this module has no cache access at all.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError, TryLockError};
 use std::time::{Duration, Instant};
 
 use panacea_block::KvCache;
 use panacea_core::Workload;
+use panacea_faultline::Fault;
 use panacea_telemetry::{
     EventSeverity, FlightRecorder, Histogram, HistogramSnapshot, MetricRegistry, TraceContext,
 };
 use panacea_tensor::Matrix;
 
-use crate::decode_batch::DecodeBatcher;
+use crate::decode_batch::{DecodeBatcher, StepFailure};
 use crate::model::PreparedModel;
 use crate::ServeError;
 
@@ -126,6 +128,16 @@ pub struct SessionStats {
     /// Columns the fused passes zero-padded to reach the PE vector
     /// width.
     pub decode_padded_cols: u64,
+    /// Panics caught (and isolated) on decode execution paths — fused
+    /// passes, solo retries, and inline steps. Each one answered its
+    /// caller instead of killing a worker.
+    pub worker_panics: u64,
+    /// Sessions evicted because a panic died inside their own step —
+    /// the KV state was rolled back but the session is not trusted.
+    pub evicted_poisoned: u64,
+    /// Decode steps answered `DeadlineExceeded` at dequeue instead of
+    /// executed.
+    pub expired_steps: u64,
 }
 
 impl SessionStats {
@@ -179,6 +191,7 @@ struct Counters {
     closed: u64,
     evicted_idle: u64,
     evicted_budget: u64,
+    evicted_poisoned: u64,
     steps: u64,
     tokens: u64,
 }
@@ -206,6 +219,9 @@ pub struct SessionManager {
     batcher: Option<DecodeBatcher>,
     /// End-to-end [`step`](Self::step) latency (ns), successes only.
     step_latency: Histogram,
+    /// Panics caught on the inline (caller-thread) step path; the
+    /// batcher counts its own.
+    inline_panics: AtomicU64,
     /// Optional dimensional registry: per-model windowed step latency
     /// under (model, "decode", "step"), plus the batcher's fused-pass
     /// dimension.
@@ -262,6 +278,7 @@ impl SessionManager {
             }),
             batcher,
             step_latency: Histogram::new(),
+            inline_panics: AtomicU64::new(0),
             dims,
             recorder,
         }
@@ -299,7 +316,7 @@ impl SessionManager {
         });
         let model_name = slot.model.name().to_string();
         {
-            let mut inner = self.inner.lock().expect("session map poisoned");
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             self.maybe_evict_idle_locked(&mut inner, Instant::now());
             inner.sessions.insert(id, slot);
             inner.counters.opened += 1;
@@ -319,7 +336,7 @@ impl SessionManager {
     pub fn contains(&self, session: u64) -> bool {
         self.inner
             .lock()
-            .expect("session map poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .sessions
             .contains_key(&session)
     }
@@ -329,7 +346,7 @@ impl SessionManager {
     pub fn model_name(&self, session: u64) -> Option<String> {
         self.inner
             .lock()
-            .expect("session map poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .sessions
             .get(&session)
             .map(|slot| slot.model.name().to_string())
@@ -376,9 +393,38 @@ impl SessionManager {
         hidden: &Matrix<f32>,
         ctx: Option<TraceContext>,
     ) -> Result<(Matrix<f32>, usize, Workload), ServeError> {
+        self.step_traced_deadline(session, hidden, ctx, None)
+    }
+
+    /// [`step_traced`](Self::step_traced) with an optional deadline.
+    /// A step whose deadline has already passed is rejected before it
+    /// reserves budget; one that expires while queued behind a stalled
+    /// fused pass is answered [`ServeError::DeadlineExceeded`] at
+    /// dequeue instead of executed uselessly late. A deadline never
+    /// interrupts a pass in flight — KV state stays consistent.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Self::step), plus
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn step_traced_deadline(
+        &self,
+        session: u64,
+        hidden: &Matrix<f32>,
+        ctx: Option<TraceContext>,
+        deadline: Option<Instant>,
+    ) -> Result<(Matrix<f32>, usize, Workload), ServeError> {
         let now = Instant::now();
+        if deadline.is_some_and(|d| now >= d) {
+            return Err(ServeError::DeadlineExceeded);
+        }
+        if let Some(fault) = panacea_faultline::point("serve.session.step") {
+            if matches!(fault, Fault::Error) {
+                return Err(ServeError::Internal { at: "session_step" });
+            }
+        }
         let (slot, growth) = {
-            let mut inner = self.inner.lock().expect("session map poisoned");
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             self.maybe_evict_idle_locked(&mut inner, now);
             let slot = Arc::clone(
                 inner
@@ -431,22 +477,70 @@ impl SessionManager {
                 // Continuous batching: enqueue and block for the fused
                 // pass this step rides in. The worker holds the session
                 // lock for the pass and updates `last_used`.
-                Some(batcher) => batcher
-                    .submit(session, Arc::clone(&slot), hidden.clone(), ctx)
-                    .recv()
-                    .map_err(|_| ServeError::WorkerLost),
+                Some(batcher) => {
+                    match batcher
+                        .submit(session, Arc::clone(&slot), hidden.clone(), ctx, deadline)
+                        .recv()
+                    {
+                        Ok(Ok(outcome)) => Ok(outcome),
+                        Ok(Err(StepFailure::DeadlineExceeded)) => Err(ServeError::DeadlineExceeded),
+                        Ok(Err(StepFailure::Internal { poisoned, at })) => {
+                            if poisoned {
+                                self.evict_poisoned(session, at);
+                            }
+                            Err(ServeError::Internal { at })
+                        }
+                        Err(_) => Err(ServeError::WorkerLost),
+                    }
+                }
                 // Batching disabled (or a budget-filling chunk):
                 // execute inline, one session per GEMM pass.
                 None => {
-                    let mut s = slot.cell.lock().expect("session poisoned");
-                    let r = slot.model.forward_decode_prevalidated(hidden, &mut s.kv);
-                    s.last_used = Instant::now();
-                    r.map(|(out, wl)| (out, s.kv.tokens(), wl))
+                    let mut s = slot.cell.lock().unwrap_or_else(PoisonError::into_inner);
+                    let snapshot = s.kv.tokens();
+                    let ran = catch_unwind(AssertUnwindSafe(|| {
+                        panacea_faultline::point("serve.decode.fused_pass");
+                        slot.model.forward_decode_prevalidated(hidden, &mut s.kv)
+                    }));
+                    match ran {
+                        Ok(r) => {
+                            s.last_used = Instant::now();
+                            r.map(|(out, wl)| (out, s.kv.tokens(), wl))
+                        }
+                        Err(_) => {
+                            // The pass died mid-append: roll the KV back
+                            // to the pre-step prefix (the lock was never
+                            // poisoned — the panic was caught inside the
+                            // closure), then evict the session as
+                            // untrusted.
+                            s.kv.truncate_tokens(snapshot);
+                            drop(s);
+                            self.inline_panics.fetch_add(1, Ordering::Relaxed);
+                            if let Some(dims) = &self.dims {
+                                dims.cell(slot.model.name(), "decode", "decode_inline")
+                                    .record_error();
+                            }
+                            if let Some(recorder) = &self.recorder {
+                                recorder.record(
+                                    EventSeverity::Error,
+                                    "worker_panic",
+                                    format!(
+                                        "at=decode_inline model={} session={session}",
+                                        slot.model.name()
+                                    ),
+                                );
+                            }
+                            self.evict_poisoned(session, "decode_inline");
+                            Err(ServeError::Internal {
+                                at: "decode_inline",
+                            })
+                        }
+                    }
                 }
             },
         };
 
-        let mut inner = self.inner.lock().expect("session map poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         match &result {
             // On success the reservation simply *becomes* the resident
             // bytes — nothing to adjust. If the session was removed
@@ -483,7 +577,7 @@ impl SessionManager {
     /// opened, already closed, or evicted).
     pub fn close(&self, session: u64) -> Result<usize, ServeError> {
         let slot = {
-            let mut inner = self.inner.lock().expect("session map poisoned");
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             let slot = inner
                 .sessions
                 .remove(&session)
@@ -499,7 +593,12 @@ impl SessionManager {
         };
         // Wait for an in-flight step *outside* the manager lock, so one
         // slow step being closed never stalls the whole shard.
-        let tokens = slot.cell.lock().expect("session poisoned").kv.tokens();
+        let tokens = slot
+            .cell
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .kv
+            .tokens();
         if let Some(recorder) = &self.recorder {
             recorder.record(
                 EventSeverity::Info,
@@ -510,17 +609,42 @@ impl SessionManager {
         Ok(tokens)
     }
 
+    /// Removes a session whose own step panicked mid-pass. The KV was
+    /// already rolled back to the pre-step prefix, but a panic inside
+    /// this session's append is grounds for distrust: the caller gets
+    /// [`ServeError::Internal`] now and [`ServeError::UnknownSession`]
+    /// afterwards, and must re-open and replay. Settles the slot's full
+    /// accounting (reservation included) exactly once, mirroring
+    /// [`close`](Self::close); the in-flight step sees the removal and
+    /// leaves settlement alone.
+    fn evict_poisoned(&self, session: u64, at: &'static str) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(slot) = inner.sessions.remove(&session) {
+            inner.total_bytes = inner
+                .total_bytes
+                .saturating_sub(slot.accounted.load(Ordering::Relaxed));
+            inner.counters.evicted_poisoned += 1;
+            if let Some(recorder) = &self.recorder {
+                recorder.record(
+                    EventSeverity::Warn,
+                    "session_evict",
+                    format!("session={session} reason=poisoned at={at}"),
+                );
+            }
+        }
+    }
+
     /// Evicts every idle-timed-out session now, regardless of the
     /// amortization deadline (idle eviction also happens on open/step,
     /// but only once per sweep period). Returns how many were evicted.
     pub fn sweep(&self) -> usize {
-        let mut inner = self.inner.lock().expect("session map poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         self.evict_idle_locked(&mut inner, Instant::now())
     }
 
     /// Current counters and resident footprint.
     pub fn stats(&self) -> SessionStats {
-        let inner = self.inner.lock().expect("session map poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         SessionStats {
             open_sessions: inner.sessions.len(),
             kv_bytes: inner.total_bytes,
@@ -532,6 +656,16 @@ impl SessionManager {
             tokens: inner.counters.tokens,
             decode_batches: self.batcher.as_ref().map_or(0, DecodeBatcher::batches),
             decode_padded_cols: self.batcher.as_ref().map_or(0, DecodeBatcher::padded_cols),
+            worker_panics: self.inline_panics.load(Ordering::Relaxed)
+                + self
+                    .batcher
+                    .as_ref()
+                    .map_or(0, DecodeBatcher::worker_panics),
+            evicted_poisoned: inner.counters.evicted_poisoned,
+            expired_steps: self
+                .batcher
+                .as_ref()
+                .map_or(0, DecodeBatcher::expired_steps),
         }
     }
 
@@ -570,8 +704,15 @@ impl SessionManager {
         inner.next_idle_sweep = now + idle_sweep_period(self.config.idle_timeout);
         let mut victims = Vec::new();
         for (&id, slot) in &inner.sessions {
-            let Ok(s) = slot.cell.try_lock() else {
-                continue; // mid-step: not idle
+            let s = match slot.cell.try_lock() {
+                Ok(s) => s,
+                Err(TryLockError::WouldBlock) => continue, // mid-step: not idle
+                // A poisoned cell means a caller-thread panic escaped
+                // while holding the lock (every serving path catches,
+                // so only foreign users of `Slot` can do this). The
+                // state behind it was never half-mutated by *our* code;
+                // recover and judge idleness normally.
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
             };
             if now.duration_since(s.last_used) > self.config.idle_timeout {
                 victims.push((id, slot.accounted.load(Ordering::Relaxed)));
@@ -602,8 +743,12 @@ impl SessionManager {
             if id == keep {
                 continue;
             }
-            let Ok(s) = slot.cell.try_lock() else {
-                continue; // mid-step: stealing its state would corrupt it
+            let s = match slot.cell.try_lock() {
+                Ok(s) => s,
+                // mid-step: stealing its state would corrupt it
+                Err(TryLockError::WouldBlock) => continue,
+                // recovered, not mid-step — evictable like any other
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
             };
             candidates.push((id, s.last_used, slot.accounted.load(Ordering::Relaxed)));
         }

@@ -26,6 +26,10 @@
 //!   JSON protocol, rendezvous shard routing, a content-addressed LRU
 //!   request cache, and admission control with explicit overload
 //!   rejections;
+//! * [`faultline`] — deterministic fault injection: seeded
+//!   `FaultPlan` scenarios firing panics, injected latency, and I/O
+//!   faults at named sites across the serving stack, compiled to one
+//!   relaxed load per site when disarmed;
 //! * [`telemetry`] — std-only observability primitives: sharded-atomic
 //!   log-linear latency histograms with mergeable snapshots and
 //!   p50/p90/p99 estimates, request-scoped span tracing with bounded
@@ -48,6 +52,7 @@
 pub use panacea_bitslice as bitslice;
 pub use panacea_block as block;
 pub use panacea_core as core;
+pub use panacea_faultline as faultline;
 pub use panacea_gateway as gateway;
 pub use panacea_models as models;
 pub use panacea_quant as quant;
